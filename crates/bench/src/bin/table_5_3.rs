@@ -1,0 +1,122 @@
+//! Regenerates **Table 5.3**: H-structure corrections — skew of the
+//! original flow vs Method 1 (re-estimation) vs Method 2 (correction) on
+//! the twelve benchmark instances, with the flipping counts.
+//!
+//! Method 2 merge-routes every alternative pairing, so the full-size runs
+//! are expensive; quick mode uses size-reduced instances with identical
+//! geometry (pass `--full` for the real sink counts).
+//!
+//! ```sh
+//! cargo run --release -p cts-bench --bin table_5_3
+//! cargo run --release -p cts-bench --bin table_5_3 -- --full
+//! ```
+
+use cts::benchmarks::{
+    generate_gsrc, generate_ispd, generate_scaled_gsrc, GsrcBenchmark, IspdBenchmark,
+};
+use cts::spice::units::PS;
+use cts::{CtsOptions, HCorrection, Instance, Synthesizer, Technology, VerifyOptions};
+use cts_bench::{full_run_requested, library};
+
+/// Paper Table 5.3 ratios (%, negative = improvement) and flip counts:
+/// (bench, re-estimation ratio, correction ratio, flippings).
+const PAPER: [(&str, f64, f64, usize); 12] = [
+    ("r1", 23.07, 18.75, 51),
+    ("r2", 4.79, 4.57, 116),
+    ("r3", 5.32, 5.05, 164),
+    ("r4", -12.11, -13.78, 293),
+    ("r5", -3.80, -3.95, 509),
+    ("f11", -21.68, -27.67, 19),
+    ("f12", 20.69, 17.14, 21),
+    ("f21", 25.78, 20.50, 22),
+    ("f22", -32.66, -48.50, 17),
+    ("f31", -9.32, -10.28, 44),
+    ("f32", -20.30, -25.47, 42),
+    ("fnb1", -8.99, -9.88, 71),
+];
+
+fn instances(full: bool) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for b in GsrcBenchmark::all() {
+        if full {
+            out.push(generate_gsrc(b));
+        } else {
+            out.push(generate_scaled_gsrc(b, 32.min(b.sink_count())));
+        }
+    }
+    for b in IspdBenchmark::all() {
+        if full {
+            out.push(generate_ispd(b));
+        } else {
+            // Reduced ISPD: same die, fewer sinks, deterministic.
+            let reduced = cts::benchmarks::generate_custom(
+                b.name(),
+                32.min(b.sink_count()),
+                b.die_um(),
+                0x7353 + b.sink_count() as u64,
+            );
+            out.push(reduced);
+        }
+    }
+    out
+}
+
+fn main() {
+    let tech = Technology::nominal_45nm();
+    let lib = library(&tech);
+    let full = full_run_requested();
+    if !full {
+        println!("(quick mode: 32-sink variants with benchmark geometry; pass --full for paper-size runs)\n");
+    }
+
+    println!("== Table 5.3: H-structure corrections (this reproduction) ==");
+    println!(
+        "{:<6} {:>12} {:>12} {:>8} {:>12} {:>8} {:>6}",
+        "bench", "orig skew", "re-est", "ratio", "correct", "ratio", "flips"
+    );
+    let mut avg_re = 0.0;
+    let mut avg_co = 0.0;
+    let mut n = 0.0;
+    for inst in instances(full) {
+        let mut skews = Vec::new();
+        let mut flips = 0;
+        for mode in [HCorrection::Off, HCorrection::ReEstimate, HCorrection::Correct] {
+            let mut opts = CtsOptions::default();
+            opts.h_correction = mode;
+            let synth = Synthesizer::new(&lib, opts);
+            let result = synth.synthesize(&inst).expect("synthesis");
+            let verified =
+                cts::verify_tree(&result.tree, result.source, &tech, &VerifyOptions::default())
+                    .expect("verification");
+            skews.push(verified.skew);
+            if mode == HCorrection::Correct {
+                flips = result.flippings;
+            }
+        }
+        let ratio = |alt: f64| 100.0 * (alt - skews[0]) / skews[0];
+        println!(
+            "{:<6} {:>9.1} ps {:>9.1} ps {:>+7.1}% {:>9.1} ps {:>+7.1}% {:>6}",
+            inst.name(),
+            skews[0] / PS,
+            skews[1] / PS,
+            ratio(skews[1]),
+            skews[2] / PS,
+            ratio(skews[2]),
+            flips
+        );
+        avg_re += ratio(skews[1]);
+        avg_co += ratio(skews[2]);
+        n += 1.0;
+    }
+    println!(
+        "\naverage ratio: re-estimation {:+.2} %, correction {:+.2} % (paper: -2.43 % / -6.13 %)",
+        avg_re / n,
+        avg_co / n
+    );
+
+    println!("\n== Table 5.3: paper ratios ==");
+    println!("{:<6} {:>10} {:>10} {:>6}", "bench", "re-est", "correct", "flips");
+    for (name, re, co, flips) in PAPER {
+        println!("{:<6} {:>+9.2}% {:>+9.2}% {:>6}", name, re, co, flips);
+    }
+}

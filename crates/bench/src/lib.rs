@@ -1,0 +1,112 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index); this library holds the pieces
+//! they share: the cached delay library, the standard flow invocation, and
+//! row formatting.
+
+use cts::spice::units::{NS, PS};
+use cts::{CtsOptions, DelaySlewLibrary, Instance, Synthesizer, Technology, VerifyOptions};
+
+/// Loads (or characterizes and caches) the delay library the binaries use.
+///
+/// Default is the fast configuration (cached at
+/// `target/ctslib_fast.v1.txt`); set `CTS_STANDARD_LIB=1` for the
+/// paper-scale characterization (slower first run, cached separately).
+///
+/// # Panics
+///
+/// Panics if characterization fails — the binaries cannot run without a
+/// library.
+pub fn library(tech: &Technology) -> DelaySlewLibrary {
+    let standard = std::env::var("CTS_STANDARD_LIB").is_ok();
+    let (path, cfg) = if standard {
+        (
+            "target/ctslib_standard.v1.txt",
+            cts::timing::CharacterizeConfig::standard(),
+        )
+    } else {
+        (
+            "target/ctslib_fast.v1.txt",
+            cts::timing::CharacterizeConfig::fast(),
+        )
+    };
+    cts::timing::load_or_characterize(path, tech, &cfg)
+        .expect("delay library characterization must succeed")
+}
+
+/// One row of a Table 5.1/5.2-style report.
+#[derive(Debug, Clone)]
+pub struct FlowRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Sink count.
+    pub sinks: usize,
+    /// SPICE-verified worst slew (s).
+    pub worst_slew: f64,
+    /// SPICE-verified skew (s).
+    pub skew: f64,
+    /// SPICE-verified max latency (s).
+    pub max_latency: f64,
+    /// Buffers inserted.
+    pub buffers: usize,
+    /// Total wirelength (µm).
+    pub wirelength_um: f64,
+    /// Synthesis wall time (s).
+    pub synth_seconds: f64,
+}
+
+/// Runs the full flow (synthesize + SPICE verify) on one instance.
+///
+/// # Panics
+///
+/// Panics if synthesis or verification fails — benchmark instances are
+/// expected to be feasible.
+pub fn run_flow(lib: &DelaySlewLibrary, tech: &Technology, instance: &Instance) -> FlowRow {
+    let synth = Synthesizer::new(lib, CtsOptions::default());
+    let t0 = std::time::Instant::now();
+    let result = synth
+        .synthesize(instance)
+        .expect("benchmark synthesis must succeed");
+    let synth_seconds = t0.elapsed().as_secs_f64();
+    let verified = cts::verify_tree(&result.tree, result.source, tech, &VerifyOptions::default())
+        .expect("benchmark verification must succeed");
+    FlowRow {
+        name: instance.name().to_string(),
+        sinks: instance.sinks().len(),
+        worst_slew: verified.worst_slew,
+        skew: verified.skew,
+        max_latency: verified.max_latency,
+        buffers: result.buffers,
+        wirelength_um: result.wirelength_um,
+        synth_seconds,
+    }
+}
+
+/// Prints the standard flow-table header.
+pub fn print_flow_header() {
+    println!(
+        "{:<6} {:>7} {:>14} {:>10} {:>13} {:>8} {:>10} {:>8}",
+        "bench", "#sinks", "worst slew", "skew", "max latency", "#buf", "wire", "time"
+    );
+}
+
+/// Prints one flow-table row.
+pub fn print_flow_row(r: &FlowRow) {
+    println!(
+        "{:<6} {:>7} {:>11.1} ps {:>7.1} ps {:>10.2} ns {:>8} {:>7.1} mm {:>6.1} s",
+        r.name,
+        r.sinks,
+        r.worst_slew / PS,
+        r.skew / PS,
+        r.max_latency / NS,
+        r.buffers,
+        r.wirelength_um / 1000.0,
+        r.synth_seconds
+    );
+}
+
+/// Returns `true` when `--full` was passed (run unreduced instances).
+pub fn full_run_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}

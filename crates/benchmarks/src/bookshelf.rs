@@ -1,0 +1,232 @@
+//! A bookshelf-style text format for CTS instances.
+//!
+//! The GSRC BST benchmarks ship in the UCLA "bookshelf" family of formats;
+//! with no EDA parsing ecosystem available, this module defines a minimal,
+//! line-oriented dialect carrying exactly what CTS needs, so users holding
+//! the real files can convert and drop them in:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! DIE <lo_x> <lo_y> <hi_x> <hi_y>        # µm
+//! SINK <name> <x_um> <y_um> <cap_ff>
+//! SINK ...
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use cts_benchmarks::bookshelf;
+//!
+//! let text = "DIE 0 0 100 100\nSINK ff1 10 20 30\nSINK ff2 90 80 25\n";
+//! let inst = bookshelf::parse_str("tiny", text)?;
+//! assert_eq!(inst.sinks().len(), 2);
+//! let round = bookshelf::to_string(&inst);
+//! assert_eq!(bookshelf::parse_str("tiny", &round)?, inst);
+//! # Ok::<(), bookshelf::ParseBookshelfError>(())
+//! ```
+
+use cts_core::{Instance, Sink};
+use cts_geom::{Point, Rect};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error from parsing a bookshelf file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseBookshelfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bookshelf parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBookshelfError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseBookshelfError {
+    ParseBookshelfError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an instance from the bookshelf dialect.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] with a line number for malformed input,
+/// missing `DIE`, zero sinks, or sinks outside the die.
+pub fn parse_str(name: &str, text: &str) -> Result<Instance, ParseBookshelfError> {
+    let mut die: Option<Rect> = None;
+    let mut sinks: Vec<Sink> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let ln = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next().expect("non-empty") {
+            "DIE" => {
+                let mut f = || -> Result<f64, ParseBookshelfError> {
+                    tok.next()
+                        .ok_or_else(|| err(ln, "DIE needs four numbers"))?
+                        .parse::<f64>()
+                        .map_err(|e| err(ln, format!("bad number: {e}")))
+                };
+                let (x0, y0, x1, y1) = (f()?, f()?, f()?, f()?);
+                die = Some(Rect::from_corners(Point::new(x0, y0), Point::new(x1, y1)));
+            }
+            "SINK" => {
+                let sname = tok.next().ok_or_else(|| err(ln, "SINK needs a name"))?;
+                let mut f = || -> Result<f64, ParseBookshelfError> {
+                    tok.next()
+                        .ok_or_else(|| err(ln, "SINK needs x y cap_ff"))?
+                        .parse::<f64>()
+                        .map_err(|e| err(ln, format!("bad number: {e}")))
+                };
+                let (x, y, cap_ff) = (f()?, f()?, f()?);
+                if !(cap_ff >= 0.0 && cap_ff.is_finite()) {
+                    return Err(err(ln, format!("bad capacitance {cap_ff}")));
+                }
+                sinks.push(Sink::new(sname, Point::new(x, y), cap_ff * 1e-15));
+            }
+            other => return Err(err(ln, format!("unknown directive '{other}'"))),
+        }
+        if tok.next().is_some() {
+            return Err(err(ln, "trailing tokens"));
+        }
+    }
+
+    if sinks.is_empty() {
+        return Err(err(0, "no sinks"));
+    }
+    match die {
+        Some(d) => {
+            for s in &sinks {
+                if !d.contains(s.location) {
+                    return Err(err(0, format!("sink {} outside DIE", s.name)));
+                }
+            }
+            Ok(Instance::with_die(name, sinks, d))
+        }
+        None => Err(err(0, "missing DIE line")),
+    }
+}
+
+/// Serializes an instance to the bookshelf dialect.
+pub fn to_string(instance: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str("# cts bookshelf dialect\n");
+    let d = instance.die();
+    out.push_str(&format!(
+        "DIE {} {} {} {}\n",
+        d.lo().x,
+        d.lo().y,
+        d.hi().x,
+        d.hi().y
+    ));
+    for s in instance.sinks() {
+        out.push_str(&format!(
+            "SINK {} {} {} {}\n",
+            s.name,
+            s.location.x,
+            s.location.y,
+            s.cap / 1e-15
+        ));
+    }
+    out
+}
+
+/// Reads an instance from a file; the instance name is the file stem.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Instance, String> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("instance");
+    parse_str(name, &text).map_err(|e| e.to_string())
+}
+
+/// Writes an instance to a file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_file(instance: &Instance, path: impl AsRef<Path>) -> std::io::Result<()> {
+    fs::write(path, to_string(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_gsrc, GsrcBenchmark};
+
+    #[test]
+    fn roundtrip_synthetic_instance() {
+        let inst = generate_gsrc(GsrcBenchmark::R1);
+        let text = to_string(&inst);
+        let back = parse_str("r1", &text).unwrap();
+        assert_eq!(inst.sinks().len(), back.sinks().len());
+        for (a, b) in inst.sinks().iter().zip(back.sinks()) {
+            assert_eq!(a.name, b.name);
+            assert!((a.location.x - b.location.x).abs() < 1e-9);
+            assert!((a.cap - b.cap).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ok() {
+        let text = "# hello\n\nDIE 0 0 10 10 # die\nSINK a 1 2 3 # a sink\n";
+        let inst = parse_str("t", text).unwrap();
+        assert_eq!(inst.sinks().len(), 1);
+        assert!((inst.sinks()[0].cap - 3e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn missing_die_rejected() {
+        let e = parse_str("t", "SINK a 1 2 3\n").unwrap_err();
+        assert!(e.message.contains("DIE"));
+    }
+
+    #[test]
+    fn sink_outside_die_rejected() {
+        let e = parse_str("t", "DIE 0 0 10 10\nSINK a 50 2 3\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn bad_directive_reports_line() {
+        let e = parse_str("t", "DIE 0 0 10 10\nBOGUS x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let e = parse_str("t", "DIE 0 0 10 10 extra\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = generate_gsrc(GsrcBenchmark::R1);
+        let dir = std::env::temp_dir().join("cts_bookshelf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r1.bms");
+        write_file(&inst, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.name(), "r1");
+        assert_eq!(back.sinks().len(), 267);
+    }
+}

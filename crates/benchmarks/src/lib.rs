@@ -1,0 +1,363 @@
+//! Benchmark instances for clock tree synthesis: the GSRC bookshelf r1–r5
+//! and ISPD 2009 CNS f11–fnb1 suites the paper evaluates on (§5.1), plus a
+//! bookshelf-style text format for external instances.
+//!
+//! The original benchmark files are not redistributable/available offline,
+//! so this crate generates **synthetic equivalents** that preserve what the
+//! algorithm actually consumes: the exact sink count of each instance, a
+//! die size calibrated to the paper's reported latencies, and realistic
+//! sink capacitances, drawn from a seeded RNG so every build sees the same
+//! instance. The substitution is documented in `DESIGN.md`; real bookshelf
+//! files can be dropped in through [`bookshelf`].
+//!
+//! # Example
+//!
+//! ```
+//! use cts_benchmarks::{generate_gsrc, GsrcBenchmark};
+//!
+//! let r1 = generate_gsrc(GsrcBenchmark::R1);
+//! assert_eq!(r1.sinks().len(), 267);
+//! assert_eq!(r1.name(), "r1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bookshelf;
+
+use cts_core::{Instance, Sink};
+use cts_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The five GSRC bookshelf BST instances (Table 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GsrcBenchmark {
+    /// r1: 267 sinks.
+    R1,
+    /// r2: 598 sinks.
+    R2,
+    /// r3: 862 sinks.
+    R3,
+    /// r4: 1903 sinks.
+    R4,
+    /// r5: 3101 sinks.
+    R5,
+}
+
+impl GsrcBenchmark {
+    /// All five, in paper order.
+    pub fn all() -> [GsrcBenchmark; 5] {
+        [
+            GsrcBenchmark::R1,
+            GsrcBenchmark::R2,
+            GsrcBenchmark::R3,
+            GsrcBenchmark::R4,
+            GsrcBenchmark::R5,
+        ]
+    }
+
+    /// Benchmark name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GsrcBenchmark::R1 => "r1",
+            GsrcBenchmark::R2 => "r2",
+            GsrcBenchmark::R3 => "r3",
+            GsrcBenchmark::R4 => "r4",
+            GsrcBenchmark::R5 => "r5",
+        }
+    }
+
+    /// Sink count of the original instance.
+    pub fn sink_count(self) -> usize {
+        match self {
+            GsrcBenchmark::R1 => 267,
+            GsrcBenchmark::R2 => 598,
+            GsrcBenchmark::R3 => 862,
+            GsrcBenchmark::R4 => 1903,
+            GsrcBenchmark::R5 => 3101,
+        }
+    }
+
+    /// Die edge (µm) of the synthetic equivalent, calibrated so the
+    /// synthesized latencies land in the paper's 1.3–3.0 ns range under the
+    /// 10× parasitics.
+    pub fn die_um(self) -> f64 {
+        match self {
+            GsrcBenchmark::R1 => 7_000.0,
+            GsrcBenchmark::R2 => 8_500.0,
+            GsrcBenchmark::R3 => 10_000.0,
+            GsrcBenchmark::R4 => 13_000.0,
+            GsrcBenchmark::R5 => 15_000.0,
+        }
+    }
+
+    fn seed(self) -> u64 {
+        0x6572_0000 + self.sink_count() as u64
+    }
+}
+
+impl fmt::Display for GsrcBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The seven ISPD 2009 clock network synthesis instances (Table 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IspdBenchmark {
+    /// f11: 121 sinks.
+    F11,
+    /// f12: 117 sinks.
+    F12,
+    /// f21: 117 sinks.
+    F21,
+    /// f22: 91 sinks.
+    F22,
+    /// f31: 273 sinks.
+    F31,
+    /// f32: 190 sinks.
+    F32,
+    /// fnb1: 330 sinks.
+    Fnb1,
+}
+
+impl IspdBenchmark {
+    /// All seven, in paper order.
+    pub fn all() -> [IspdBenchmark; 7] {
+        [
+            IspdBenchmark::F11,
+            IspdBenchmark::F12,
+            IspdBenchmark::F21,
+            IspdBenchmark::F22,
+            IspdBenchmark::F31,
+            IspdBenchmark::F32,
+            IspdBenchmark::Fnb1,
+        ]
+    }
+
+    /// Benchmark name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            IspdBenchmark::F11 => "f11",
+            IspdBenchmark::F12 => "f12",
+            IspdBenchmark::F21 => "f21",
+            IspdBenchmark::F22 => "f22",
+            IspdBenchmark::F31 => "f31",
+            IspdBenchmark::F32 => "f32",
+            IspdBenchmark::Fnb1 => "fnb1",
+        }
+    }
+
+    /// Sink count of the original instance.
+    pub fn sink_count(self) -> usize {
+        match self {
+            IspdBenchmark::F11 => 121,
+            IspdBenchmark::F12 => 117,
+            IspdBenchmark::F21 => 117,
+            IspdBenchmark::F22 => 91,
+            IspdBenchmark::F31 => 273,
+            IspdBenchmark::F32 => 190,
+            IspdBenchmark::Fnb1 => 330,
+        }
+    }
+
+    /// Die edge (µm): the ISPD instances have much larger areas than GSRC
+    /// ("very challenging to control slew"), calibrated to the paper's
+    /// 1.6–4.7 ns latencies.
+    pub fn die_um(self) -> f64 {
+        match self {
+            IspdBenchmark::F11 => 20_000.0,
+            IspdBenchmark::F12 => 17_000.0,
+            IspdBenchmark::F21 => 19_000.0,
+            IspdBenchmark::F22 => 14_000.0,
+            IspdBenchmark::F31 => 32_000.0,
+            IspdBenchmark::F32 => 27_000.0,
+            IspdBenchmark::Fnb1 => 36_000.0,
+        }
+    }
+
+    fn seed(self) -> u64 {
+        0x6973_0000 + self.sink_count() as u64 + self.die_um() as u64
+    }
+}
+
+impl fmt::Display for IspdBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates a synthetic sink set: a mixture of uniform background sinks
+/// and clustered groups (real netlists place registers in banks), uniform
+/// caps in `[cap_lo, cap_hi]`.
+fn synth_sinks(n: usize, die: f64, cap_lo: f64, cap_hi: f64, seed: u64) -> Vec<Sink> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A handful of cluster centers, each holding a Gaussian-ish blob.
+    let n_clusters = (n / 60).clamp(2, 12);
+    let centers: Vec<Point> = (0..n_clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.1 * die..0.9 * die),
+                rng.gen_range(0.1 * die..0.9 * die),
+            )
+        })
+        .collect();
+    let sigma = die / 18.0;
+
+    (0..n)
+        .map(|i| {
+            let location = if rng.gen_bool(0.35) {
+                // Clustered: sum of uniforms approximates a Gaussian.
+                let c = centers[rng.gen_range(0..centers.len())];
+                let jitter =
+                    |rng: &mut StdRng| (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * 0.5 * sigma;
+                let dx = jitter(&mut rng);
+                let dy = jitter(&mut rng);
+                Point::new((c.x + dx).clamp(0.0, die), (c.y + dy).clamp(0.0, die))
+            } else {
+                Point::new(rng.gen_range(0.0..die), rng.gen_range(0.0..die))
+            };
+            Sink::new(format!("s{i}"), location, rng.gen_range(cap_lo..cap_hi))
+        })
+        .collect()
+}
+
+/// Generates the synthetic equivalent of a GSRC instance.
+pub fn generate_gsrc(b: GsrcBenchmark) -> Instance {
+    let die = b.die_um();
+    let sinks = synth_sinks(b.sink_count(), die, 10e-15, 35e-15, b.seed());
+    Instance::with_die(
+        b.name(),
+        sinks,
+        Rect::from_corners(Point::ORIGIN, Point::new(die, die)),
+    )
+}
+
+/// Generates the synthetic equivalent of an ISPD 2009 instance.
+pub fn generate_ispd(b: IspdBenchmark) -> Instance {
+    let die = b.die_um();
+    let sinks = synth_sinks(b.sink_count(), die, 20e-15, 50e-15, b.seed());
+    Instance::with_die(
+        b.name(),
+        sinks,
+        Rect::from_corners(Point::ORIGIN, Point::new(die, die)),
+    )
+}
+
+/// A reduced-size variant of a benchmark: the same die and distribution
+/// with only `n_sinks` sinks — handy for tests that must finish quickly
+/// while exercising the same geometry.
+///
+/// # Panics
+///
+/// Panics if `n_sinks` is zero.
+pub fn generate_scaled_gsrc(b: GsrcBenchmark, n_sinks: usize) -> Instance {
+    assert!(n_sinks > 0, "need at least one sink");
+    let die = b.die_um();
+    let sinks = synth_sinks(n_sinks, die, 10e-15, 35e-15, b.seed());
+    Instance::with_die(
+        format!("{}_{n_sinks}", b.name()),
+        sinks,
+        Rect::from_corners(Point::ORIGIN, Point::new(die, die)),
+    )
+}
+
+/// Fully custom synthetic instance (uniform + clustered sinks).
+///
+/// # Panics
+///
+/// Panics if `n_sinks` is zero or `die_um` is non-positive.
+pub fn generate_custom(name: &str, n_sinks: usize, die_um: f64, seed: u64) -> Instance {
+    assert!(n_sinks > 0, "need at least one sink");
+    assert!(die_um > 0.0, "die must be positive");
+    let sinks = synth_sinks(n_sinks, die_um, 10e-15, 40e-15, seed);
+    Instance::with_die(
+        name,
+        sinks,
+        Rect::from_corners(Point::ORIGIN, Point::new(die_um, die_um)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gsrc_counts_match_paper() {
+        let counts: Vec<usize> = GsrcBenchmark::all()
+            .iter()
+            .map(|b| generate_gsrc(*b).sinks().len())
+            .collect();
+        assert_eq!(counts, vec![267, 598, 862, 1903, 3101]);
+    }
+
+    #[test]
+    fn ispd_counts_match_paper() {
+        let counts: Vec<usize> = IspdBenchmark::all()
+            .iter()
+            .map(|b| generate_ispd(*b).sinks().len())
+            .collect();
+        assert_eq!(counts, vec![121, 117, 117, 91, 273, 190, 330]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_gsrc(GsrcBenchmark::R1);
+        let b = generate_gsrc(GsrcBenchmark::R1);
+        assert_eq!(a, b);
+        let c = generate_ispd(IspdBenchmark::F22);
+        let d = generate_ispd(IspdBenchmark::F22);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn sinks_are_inside_the_die() {
+        for b in GsrcBenchmark::all() {
+            let inst = generate_gsrc(b);
+            for s in inst.sinks() {
+                assert!(inst.die().contains(s.location), "{b}: {s} outside");
+            }
+        }
+    }
+
+    #[test]
+    fn ispd_dies_are_larger_than_gsrc() {
+        let max_gsrc = GsrcBenchmark::all()
+            .iter()
+            .map(|b| b.die_um())
+            .fold(0.0f64, f64::max);
+        let min_ispd = IspdBenchmark::all()
+            .iter()
+            .map(|b| b.die_um())
+            .fold(f64::INFINITY, f64::min);
+        // The smallest ISPD die is comparable to the biggest GSRC die; most
+        // are far larger ("large areas ... very challenging").
+        assert!(min_ispd >= 0.9 * max_gsrc);
+    }
+
+    #[test]
+    fn scaled_variant_shares_geometry() {
+        let small = generate_scaled_gsrc(GsrcBenchmark::R3, 20);
+        assert_eq!(small.sinks().len(), 20);
+        assert_eq!(small.die().width(), GsrcBenchmark::R3.die_um());
+    }
+
+    #[test]
+    fn custom_instances() {
+        let inst = generate_custom("mine", 40, 5000.0, 7);
+        assert_eq!(inst.sinks().len(), 40);
+        assert_eq!(inst.name(), "mine");
+        let other_seed = generate_custom("mine", 40, 5000.0, 8);
+        assert_ne!(inst, other_seed);
+    }
+
+    #[test]
+    fn caps_are_in_range() {
+        let inst = generate_ispd(IspdBenchmark::F11);
+        for s in inst.sinks() {
+            assert!(s.cap >= 20e-15 && s.cap <= 50e-15);
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The top-level synthesis flow (paper §4.1, Fig. 4.1): levelized topology
+//! generation driving merge-routing until a single tree remains.
+
+use crate::engine::{TimingEngine, TimingReport};
+use crate::hcorrect::merge_with_correction;
+use crate::instance::Instance;
+use crate::options::{CtsError, CtsOptions};
+use crate::topology::{find_matching, MatchCandidate};
+use crate::tree::{ClockTree, TreeNodeId};
+use cts_timing::{BufferId, DelaySlewLibrary};
+
+/// A synthesized clock tree with engine-estimated quality metrics.
+///
+/// The estimates come from the delay library; for paper-grade numbers run
+/// [`crate::verify::verify_tree`] on the result, which simulates the actual
+/// netlist.
+#[derive(Debug, Clone)]
+pub struct CtsResult {
+    /// The tree (single-rooted, crowned with a source node).
+    pub tree: ClockTree,
+    /// The source node.
+    pub source: TreeNodeId,
+    /// Engine-estimated timing of the finished tree.
+    pub report: TimingReport,
+    /// Topology levels built.
+    pub levels: usize,
+    /// Total buffers inserted.
+    pub buffers: usize,
+    /// Total routed wirelength (µm).
+    pub wirelength_um: f64,
+    /// H-structure pairings flipped (0 when correction is off).
+    pub flippings: usize,
+}
+
+/// The buffered clock tree synthesizer.
+///
+/// ```no_run
+/// use cts_core::{CtsOptions, Instance, Sink, Synthesizer};
+/// use cts_geom::Point;
+/// use cts_timing::fast_library;
+///
+/// let sinks = (0..8)
+///     .map(|i| Sink::new(format!("ff{i}"), Point::new(500.0 * i as f64, 0.0), 30e-15))
+///     .collect();
+/// let instance = Instance::new("demo", sinks);
+/// let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+/// let result = synth.synthesize(&instance)?;
+/// assert!(result.report.skew() < result.report.latency);
+/// # Ok::<(), cts_core::CtsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer<'a> {
+    lib: &'a DelaySlewLibrary,
+    options: CtsOptions,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer over a delay library with the given options.
+    pub fn new(lib: &'a DelaySlewLibrary, options: CtsOptions) -> Synthesizer<'a> {
+        Synthesizer { lib, options }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &CtsOptions {
+        &self.options
+    }
+
+    /// Synthesizes a buffered clock tree for `instance`.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] for invalid options,
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target.
+    pub fn synthesize(&self, instance: &Instance) -> Result<CtsResult, CtsError> {
+        self.options.validate()?;
+        let engine = TimingEngine::new(self.lib);
+        let mut tree = ClockTree::new();
+
+        // Level 0: the sinks.
+        let mut active: Vec<TreeNodeId> = instance
+            .sinks()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| tree.add_sink(i, s))
+            .collect();
+        let centroid = instance.sink_centroid();
+
+        let mut levels = 0;
+        let mut flippings = 0;
+        while active.len() > 1 {
+            levels += 1;
+            let candidates: Vec<MatchCandidate> = active
+                .iter()
+                .map(|&root| MatchCandidate {
+                    location: tree.node(root).location,
+                    delay: engine
+                        .evaluate_subtree(
+                            &tree,
+                            root,
+                            self.options.virtual_driver,
+                            self.options.slew_target,
+                        )
+                        .latency,
+                })
+                .collect();
+            let matching = find_matching(
+                &candidates,
+                centroid,
+                self.options.cost_alpha,
+                self.options.cost_beta,
+            );
+
+            let mut next: Vec<TreeNodeId> = Vec::with_capacity(active.len() / 2 + 1);
+            if let Some(seed) = matching.seed {
+                next.push(active[seed]);
+            }
+            for &(i, j) in &matching.pairs {
+                let merged =
+                    merge_with_correction(self.lib, &self.options, &mut tree, active[i], active[j])?;
+                if merged.flipped {
+                    flippings += 1;
+                }
+                next.push(merged.root);
+            }
+            active = next;
+        }
+
+        let top = active[0];
+        let source_driver = self.strongest_buffer();
+        let source = tree.add_source(top, source_driver);
+
+        // Global refinement: per-merge balancing cannot anticipate the
+        // stems and drivers that upper levels later place above each merge,
+        // which re-opens small skew gaps. Greedy buffer re-typing along the
+        // extreme sinks' root paths, judged on the full-tree evaluation,
+        // closes most of it.
+        self.refine_global(&mut tree, source, &engine);
+        let report = engine.evaluate(&tree, source, self.options.source_slew);
+
+        tree.validate_under(source);
+        let buffers = tree.buffer_count_under(source);
+        let wirelength_um = tree.wirelength_under(source);
+
+        Ok(CtsResult {
+            tree,
+            source,
+            report,
+            levels,
+            buffers,
+            wirelength_um,
+            flippings,
+        })
+    }
+
+    /// Global skew refinement on the finished tree.
+    ///
+    /// Per-merge balancing runs before the upper levels exist; the stems
+    /// and drivers those levels later place above each merge shift its
+    /// balance point. Two complementary passes repair this *in context*:
+    ///
+    /// 1. **Joint re-balancing sweeps** — for every two-child joint, re-run
+    ///    the wire redistribution of §4.2.3 against an evaluation rooted at
+    ///    the joint's true stage driver with its true input slew
+    ///    (redistribution keeps the total wire constant, so nothing above
+    ///    the driver changes). Fine-grained (sub-ps) control.
+    /// 2. **Buffer re-typing** along the extreme sinks' root paths, judged
+    ///    on the full-tree evaluation — the coarse lever for residuals the
+    ///    wire can't reach.
+    fn refine_global(&self, tree: &mut ClockTree, source: TreeNodeId, engine: &TimingEngine<'_>) {
+        // Stage assumptions require every input slew to stay at/under the
+        // synthesis target.
+        let slew_gate = self.options.slew_target * 1.01;
+        let mr = crate::merge::MergeRouting::new(self.lib, &self.options);
+        let arm_budget = mr.arm_budget_um();
+
+        for _round in 0..3 {
+            let (rep, slews) =
+                engine.evaluate_annotated(tree, source, self.options.source_slew);
+            if rep.skew() < 2.0e-12 || rep.sink_arrivals.len() < 2 {
+                return;
+            }
+
+            // --- pass 1: per-joint wire re-balancing in true context -----
+            for joint in tree.ids().collect::<Vec<_>>() {
+                if !matches!(tree.node(joint).kind, crate::tree::NodeKind::Joint)
+                    || tree.node(joint).children.len() != 2
+                {
+                    continue;
+                }
+                // The joint's stage driver: nearest ancestor buffer/source.
+                let mut drv = tree.node(joint).parent;
+                while let Some(d) = drv {
+                    if matches!(
+                        tree.node(d).kind,
+                        crate::tree::NodeKind::Buffer { .. } | crate::tree::NodeKind::Source { .. }
+                    ) {
+                        break;
+                    }
+                    drv = tree.node(d).parent;
+                }
+                let Some(driver_node) = drv else { continue };
+                let Some(&driver_slew) = slews.get(&driver_node) else {
+                    continue;
+                };
+                let kids = [tree.node(joint).children[0], tree.node(joint).children[1]];
+                let total =
+                    tree.node(kids[0]).wire_to_parent_um + tree.node(kids[1]).wire_to_parent_um;
+                if total < 4.0 {
+                    continue;
+                }
+                let caps = [
+                    (arm_budget - mr.effective_pending_um(tree, kids[0])).max(1.0),
+                    (arm_budget - mr.effective_pending_um(tree, kids[1])).max(1.0),
+                ];
+                let r_lo = ((total - caps[1]) / total).clamp(0.0, 1.0);
+                let r_hi = (caps[0] / total).clamp(0.0, 1.0);
+                if r_lo >= r_hi {
+                    continue;
+                }
+                let side_sinks = [tree.sinks_under(kids[0]), tree.sinks_under(kids[1])];
+                let diff_at = |tree: &mut ClockTree, r: f64| -> f64 {
+                    tree.set_wire_to_parent(kids[0], r * total);
+                    tree.set_wire_to_parent(kids[1], (1.0 - r) * total);
+                    let local = engine.evaluate_subtree(
+                        tree,
+                        driver_node,
+                        self.options.virtual_driver,
+                        driver_slew,
+                    );
+                    let arr = local.arrival_map();
+                    let m = |ids: &[TreeNodeId]| {
+                        ids.iter().map(|i| arr[i]).fold(f64::NEG_INFINITY, f64::max)
+                    };
+                    m(&side_sinks[0]) - m(&side_sinks[1])
+                };
+                let r_now = tree.node(kids[0]).wire_to_parent_um / total;
+                let d_now = diff_at(tree, r_now);
+                let (mut lo, mut hi) = (r_lo, r_hi);
+                let (d_lo, d_hi) = (diff_at(tree, lo), diff_at(tree, hi));
+                let r_best = if d_lo >= 0.0 {
+                    lo
+                } else if d_hi <= 0.0 {
+                    hi
+                } else {
+                    for _ in 0..20 {
+                        let mid = 0.5 * (lo + hi);
+                        if diff_at(tree, mid) < 0.0 {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    0.5 * (lo + hi)
+                };
+                // Keep the better of current vs rebalanced.
+                if diff_at(tree, r_best).abs() >= d_now.abs() {
+                    let _ = diff_at(tree, r_now);
+                }
+            }
+
+            // --- pass 2: buffer re-typing on the extreme paths ------------
+            let path_buffers = |tree: &ClockTree, from: TreeNodeId| -> Vec<TreeNodeId> {
+                let mut out = Vec::new();
+                let mut at = Some(from);
+                while let Some(id) = at {
+                    if matches!(tree.node(id).kind, crate::tree::NodeKind::Buffer { .. }) {
+                        out.push(id);
+                    }
+                    at = tree.node(id).parent;
+                }
+                out
+            };
+            for _iter in 0..24 {
+                let rep = engine.evaluate(tree, source, self.options.source_slew);
+                let skew = rep.skew();
+                if skew < 2.0e-12 {
+                    break;
+                }
+                let fastest = rep
+                    .sink_arrivals
+                    .iter()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("sinks present")
+                    .0;
+                let slowest = rep
+                    .sink_arrivals
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("sinks present")
+                    .0;
+                let mut candidates = path_buffers(tree, fastest);
+                candidates.extend(path_buffers(tree, slowest));
+                candidates.sort_unstable();
+                candidates.dedup();
+
+                let mut best: Option<(f64, TreeNodeId, BufferId)> = None;
+                for &cand in &candidates {
+                    let original = match tree.node(cand).kind {
+                        crate::tree::NodeKind::Buffer { buffer } => buffer,
+                        _ => unreachable!("candidates are buffers"),
+                    };
+                    for alt in self.lib.buffer_ids() {
+                        if alt == original {
+                            continue;
+                        }
+                        tree.set_buffer_type(cand, alt);
+                        let trial = engine.evaluate(tree, source, self.options.source_slew);
+                        if trial.worst_slew <= slew_gate
+                            && trial.skew() + 0.3e-12 < best.map_or(skew, |(s, _, _)| s)
+                        {
+                            best = Some((trial.skew(), cand, alt));
+                        }
+                        tree.set_buffer_type(cand, original);
+                    }
+                }
+                match best {
+                    Some((_, node, alt)) => tree.set_buffer_type(node, alt),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn strongest_buffer(&self) -> BufferId {
+        self.lib
+            .buffer_ids()
+            .max_by(|&a, &b| {
+                self.lib
+                    .buffer(a)
+                    .size()
+                    .partial_cmp(&self.lib.buffer(b).size())
+                    .unwrap()
+            })
+            .expect("non-empty buffer library")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Sink;
+    use crate::options::HCorrection;
+    use cts_geom::Point;
+    use cts_spice::units::PS;
+    use cts_timing::fast_library;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_instance(nx: usize, ny: usize, pitch: f64) -> Instance {
+        let mut sinks = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                sinks.push(Sink::new(
+                    format!("s{i}_{j}"),
+                    Point::new(i as f64 * pitch, j as f64 * pitch),
+                    25e-15,
+                ));
+            }
+        }
+        Instance::new("grid", sinks)
+    }
+
+    fn random_instance(n: usize, w: f64, h: f64, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sinks = (0..n)
+            .map(|i| {
+                Sink::new(
+                    format!("s{i}"),
+                    Point::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h)),
+                    rng.gen_range(10e-15..40e-15),
+                )
+            })
+            .collect();
+        Instance::new("rand", sinks)
+    }
+
+    #[test]
+    fn synthesizes_a_grid() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let inst = grid_instance(4, 4, 700.0);
+        let r = synth.synthesize(&inst).unwrap();
+        assert_eq!(r.tree.sinks_under(r.source).len(), 16);
+        assert!(r.levels >= 4, "16 sinks need >= 4 levels, got {}", r.levels);
+        assert!(
+            r.report.worst_slew <= synth.options().slew_limit * 1.1,
+            "slew {} ps",
+            r.report.worst_slew / PS
+        );
+        assert!(
+            r.report.skew() < 0.10 * r.report.latency.max(50.0 * PS),
+            "skew {} ps vs latency {} ps",
+            r.report.skew() / PS,
+            r.report.latency / PS
+        );
+    }
+
+    #[test]
+    fn synthesizes_random_instances() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        for seed in 0..3u64 {
+            let inst = random_instance(13, 4000.0, 3000.0, seed);
+            let r = synth.synthesize(&inst).unwrap();
+            assert_eq!(r.tree.sinks_under(r.source).len(), 13);
+            assert!(r.report.latency > 0.0);
+            assert!(r.wirelength_um > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_sink_instance() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let inst = Instance::new(
+            "one",
+            vec![Sink::new("only", Point::new(10.0, 10.0), 20e-15)],
+        );
+        let r = synth.synthesize(&inst).unwrap();
+        assert_eq!(r.levels, 0);
+        assert_eq!(r.tree.sinks_under(r.source).len(), 1);
+        assert_eq!(r.report.skew(), 0.0);
+    }
+
+    #[test]
+    fn coincident_sinks_are_handled() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let p = Point::new(100.0, 100.0);
+        let inst = Instance::new(
+            "stack",
+            (0..4)
+                .map(|i| Sink::new(format!("s{i}"), p, 20e-15))
+                .collect(),
+        );
+        let r = synth.synthesize(&inst).unwrap();
+        assert_eq!(r.tree.sinks_under(r.source).len(), 4);
+    }
+
+    #[test]
+    fn large_spread_inserts_buffers() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let inst = grid_instance(2, 2, 4000.0);
+        let r = synth.synthesize(&inst).unwrap();
+        assert!(r.buffers > 0, "8 mm spans require along-path buffers");
+    }
+
+    #[test]
+    fn hcorrection_modes_produce_valid_trees() {
+        for mode in [HCorrection::Off, HCorrection::ReEstimate, HCorrection::Correct] {
+            let mut opts = CtsOptions::default();
+            opts.h_correction = mode;
+            let synth = Synthesizer::new(fast_library(), opts);
+            let inst = random_instance(10, 3000.0, 3000.0, 7);
+            let r = synth.synthesize(&inst).unwrap();
+            assert_eq!(
+                r.tree.sinks_under(r.source).len(),
+                10,
+                "mode {mode}: sink lost"
+            );
+            if mode == HCorrection::Off {
+                assert_eq!(r.flippings, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_tree() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let inst = random_instance(9, 2500.0, 2500.0, 42);
+        let a = synth.synthesize(&inst).unwrap();
+        let b = synth.synthesize(&inst).unwrap();
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.report.latency, b.report.latency);
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let mut opts = CtsOptions::default();
+        opts.slew_target = 0.0;
+        let synth = Synthesizer::new(fast_library(), opts);
+        let inst = grid_instance(2, 2, 100.0);
+        assert!(matches!(
+            synth.synthesize(&inst),
+            Err(CtsError::BadOptions(_))
+        ));
+    }
+}

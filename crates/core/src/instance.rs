@@ -1,0 +1,177 @@
+//! Problem instances: the input to clock tree synthesis.
+
+use cts_geom::{Point, Rect};
+use std::fmt;
+
+/// A clock sink: the clock input pin of a flip-flop or latch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sink {
+    /// Pin name (diagnostics and reports).
+    pub name: String,
+    /// Pin location (µm).
+    pub location: Point,
+    /// Pin input capacitance (F).
+    pub cap: f64,
+}
+
+impl Sink {
+    /// Creates a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite location or negative/non-finite capacitance.
+    pub fn new(name: impl Into<String>, location: Point, cap: f64) -> Sink {
+        assert!(location.is_finite(), "sink location must be finite");
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "sink capacitance must be non-negative, got {cap}"
+        );
+        Sink {
+            name: name.into(),
+            location,
+            cap,
+        }
+    }
+}
+
+impl fmt::Display for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.location)
+    }
+}
+
+/// A CTS problem instance: named sink set over a die area.
+///
+/// ```
+/// use cts_core::{Instance, Sink};
+/// use cts_geom::Point;
+///
+/// let sinks = vec![
+///     Sink::new("ff0", Point::new(100.0, 100.0), 35e-15),
+///     Sink::new("ff1", Point::new(900.0, 400.0), 35e-15),
+/// ];
+/// let inst = Instance::new("tiny", sinks);
+/// assert_eq!(inst.sinks().len(), 2);
+/// assert!(inst.die().width() >= 800.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    name: String,
+    sinks: Vec<Sink>,
+    die: Rect,
+}
+
+impl Instance {
+    /// Creates an instance; the die area is the sink bounding box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty.
+    pub fn new(name: impl Into<String>, sinks: Vec<Sink>) -> Instance {
+        assert!(!sinks.is_empty(), "instance needs at least one sink");
+        let die = Rect::bounding(sinks.iter().map(|s| s.location)).expect("non-empty");
+        Instance {
+            name: name.into(),
+            sinks,
+            die,
+        }
+    }
+
+    /// Creates an instance with an explicit die area (which must contain all
+    /// sinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty or any sink lies outside `die`.
+    pub fn with_die(name: impl Into<String>, sinks: Vec<Sink>, die: Rect) -> Instance {
+        assert!(!sinks.is_empty(), "instance needs at least one sink");
+        for s in &sinks {
+            assert!(die.contains(s.location), "sink {} outside die {die}", s);
+        }
+        Instance {
+            name: name.into(),
+            sinks,
+            die,
+        }
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sinks.
+    pub fn sinks(&self) -> &[Sink] {
+        &self.sinks
+    }
+
+    /// The die outline.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Centroid of the sink locations — the reference point of the paper's
+    /// farthest-first matching heuristic (§4.1.1).
+    pub fn sink_centroid(&self) -> Point {
+        let n = self.sinks.len() as f64;
+        let sum = self
+            .sinks
+            .iter()
+            .fold(Point::ORIGIN, |acc, s| acc + s.location);
+        Point::new(sum.x / n, sum.y / n)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} sinks, die {:.0}x{:.0} µm]",
+            self.name,
+            self.sinks.len(),
+            self.die.width(),
+            self.die.height()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sinks3() -> Vec<Sink> {
+        vec![
+            Sink::new("a", Point::new(0.0, 0.0), 10e-15),
+            Sink::new("b", Point::new(300.0, 0.0), 20e-15),
+            Sink::new("c", Point::new(0.0, 300.0), 30e-15),
+        ]
+    }
+
+    #[test]
+    fn die_is_bounding_box() {
+        let inst = Instance::new("t", sinks3());
+        assert_eq!(inst.die().width(), 300.0);
+        assert_eq!(inst.die().height(), 300.0);
+    }
+
+    #[test]
+    fn centroid() {
+        let inst = Instance::new("t", sinks3());
+        let c = inst.sink_centroid();
+        assert!((c.x - 100.0).abs() < 1e-9);
+        assert!((c.y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn empty_rejected() {
+        let _ = Instance::new("t", Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside die")]
+    fn sink_outside_die_rejected() {
+        let die = Rect::with_size(10.0, 10.0);
+        let _ = Instance::with_die("t", sinks3(), die);
+    }
+}

@@ -1,0 +1,49 @@
+//! Buffered clock tree synthesis under aggressive buffer insertion —
+//! the paper's primary contribution (DAC 2010 / UIUC thesis, Y.-Y. Chen).
+//!
+//! Unlike prior buffered-CTS work that restricts buffers to merge nodes,
+//! this flow inserts and sizes buffers **anywhere along routing paths**,
+//! keeping every net's slew under a hard limit while preserving low skew
+//! through accurate library-based timing and balanced routing:
+//!
+//! * [`Synthesizer`] — the top-level flow: levelized topology generation
+//!   (nearest-neighbor matching, farthest-from-centroid greedy, odd-node
+//!   seeding) driving merge-routing per level (§4.1);
+//! * [`MergeRouting`] — the three-stage merge (§4.2): wire-snaking
+//!   *balance*, bi-directional slew-aware *maze routing* with intelligent
+//!   buffer sizing, and merge-point *binary search*;
+//! * [`merge_with_correction`] — H-structure re-estimation/correction of
+//!   intertwined pairings (§4.1.2);
+//! * [`TimingEngine`] — top-down delay/slew propagation over the
+//!   characterized library;
+//! * [`verify_tree`] — SPICE verification of the synthesized netlist (the
+//!   numbers the paper reports);
+//! * [`baseline`] — unbuffered zero-skew DME and merge-node-only buffering
+//!   for comparisons and ablations.
+//!
+//! See the crate-level example on [`Synthesizer`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod baseline;
+mod engine;
+mod flow;
+mod hcorrect;
+mod instance;
+pub mod maze;
+mod merge;
+mod options;
+pub mod topology;
+mod tree;
+pub mod verify;
+
+pub use engine::{TimingEngine, TimingReport};
+pub use flow::{CtsResult, Synthesizer};
+pub use hcorrect::{merge_with_correction, CorrectedMerge};
+pub use instance::{Instance, Sink};
+pub use merge::{MergeOutcome, MergeRouting};
+pub use options::{CtsError, CtsOptions, HCorrection};
+pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId};
+pub use verify::{verify_tree, VerifiedTiming, VerifyOptions};

@@ -1,0 +1,568 @@
+//! Bi-directional maze routing with slew-driven buffer insertion and
+//! intelligent buffer sizing (paper §4.2.2, Figs. 4.3/4.4).
+//!
+//! Routing for a merge starts from *both* sub-tree roots simultaneously.
+//! Each side runs a Dijkstra wavefront over the routing grid whose cost is
+//! the estimated arrival time (sub-tree delay + committed buffered stages +
+//! the pending, not-yet-driven wire segment). While a wavefront expands,
+//! the wire segment since the last buffer grows; when its far-end slew
+//! would exceed the synthesis target, a buffer is inserted as late as
+//! possible with the type whose slew lands closest to the target from
+//! below — the paper's "intelligent buffer insertion" that evaluates
+//! multiple types at and ahead of the expansion cell.
+//!
+//! After both wavefronts cover the grid, the cell minimizing the arrival
+//! difference (skew) is picked as the tentative merge location, the two
+//! cell paths are re-walked exactly (committing buffer sites and stage
+//! delays), and the result is handed to the binary-search stage.
+
+use crate::options::{CtsError, CtsOptions};
+use cts_geom::{CellId, Point, RoutingGrid};
+use cts_timing::{BufferId, DelaySlewLibrary, Load};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One side of a merge: a sub-tree root waiting to be connected.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeSide {
+    /// Root location (µm).
+    pub root_point: Point,
+    /// What the routing wire sees when it reaches the root.
+    pub root_load: Load,
+    /// Delay from the root down to its sinks (s), as estimated by the
+    /// timing engine under the bottom-up slew assumption.
+    pub subtree_delay: f64,
+    /// Unbuffered wire depth already hanging below the root (µm); the first
+    /// routed segment's slew budget is reduced by this much (the driver has
+    /// to push through it before reaching a restoring buffer).
+    pub unbuffered_depth_um: f64,
+}
+
+/// A buffer committed along one routed path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferSite {
+    /// Placement (µm).
+    pub position: Point,
+    /// Library buffer type.
+    pub buffer: BufferId,
+    /// Routed wire length from this buffer down to the previous site (or
+    /// the sub-tree root), µm.
+    pub wire_below_um: f64,
+}
+
+/// The routed plan for one side of a merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SidePlan {
+    /// Buffers in order from the sub-tree root toward the merge point.
+    pub buffers: Vec<BufferSite>,
+    /// Wire length from the last buffer (or the root, if unbuffered) up to
+    /// the merge point (µm).
+    pub top_wire_um: f64,
+    /// Estimated delay of the committed stages, root side (s) — excludes
+    /// the top (pending) wire, which belongs to the next level's stage.
+    pub committed_delay: f64,
+    /// Estimated arrival (sub-tree + committed + pending wire) at the merge
+    /// point (s), used for reporting and tests.
+    pub arrival_estimate: f64,
+}
+
+impl SidePlan {
+    /// The position of the last fixed node: the topmost buffer, or `root`
+    /// when the path is unbuffered — the `v1`/`v2` of the paper's binary
+    /// search stage (§4.2.3).
+    pub fn last_fixed_position(&self, root: Point) -> Point {
+        self.buffers.last().map(|b| b.position).unwrap_or(root)
+    }
+}
+
+/// A complete merge-routing result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergePlan {
+    /// Tentative merge location (refined later by binary search).
+    pub merge_point: Point,
+    /// Plans for the two sides, in the order the roots were given.
+    pub sides: [SidePlan; 2],
+}
+
+/// The maze router.
+#[derive(Debug, Clone, Copy)]
+pub struct MazeRouter<'a> {
+    lib: &'a DelaySlewLibrary,
+    options: &'a CtsOptions,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    arrival: f64,
+    committed: f64,
+    seg_len: f64,
+    load: BufferId, // resolved load of the pending segment
+    prev: Option<CellId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    arrival: f64,
+    cell: CellId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on arrival (BinaryHeap is a max-heap).
+        other
+            .arrival
+            .partial_cmp(&self.arrival)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.cell.cmp(&other.cell))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> MazeRouter<'a> {
+    /// Creates a router.
+    pub fn new(lib: &'a DelaySlewLibrary, options: &'a CtsOptions) -> MazeRouter<'a> {
+        MazeRouter { lib, options }
+    }
+
+    /// Longest pending segment the library can drive into `load` at the
+    /// slew target, maximized over buffer types (since the eventual driver
+    /// is chosen at insertion time).
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] if no buffer can drive even the
+    /// minimum characterized length.
+    fn max_segment(&self, load: BufferId) -> Result<f64, CtsError> {
+        let target = self.options.slew_target;
+        let mut best: Option<f64> = None;
+        for drive in self.lib.buffer_ids() {
+            if let Some(l) =
+                self.lib
+                    .max_wire_length_for_slew(drive, Load::Buffer(load), target, target)
+            {
+                best = Some(best.map_or(l, |b: f64| b.max(l)));
+            }
+        }
+        best.ok_or_else(|| CtsError::SlewUnachievable {
+            context: format!("no buffer can drive load {load} at the slew target"),
+        })
+    }
+
+    /// Precomputed [`MazeRouter::max_segment`] per buffer id — the
+    /// expansion loop consults this on every step.
+    pub(crate) fn segment_limits(&self) -> Result<Vec<f64>, CtsError> {
+        self.lib
+            .buffer_ids()
+            .map(|b| self.max_segment(b))
+            .collect()
+    }
+
+    /// Intelligent sizing: the buffer type whose far-end slew over a
+    /// `seg_len` µm wire into `load` is closest to the target *without
+    /// exceeding it* (Fig. 4.4). Falls back to the strongest buffer if none
+    /// qualifies (the caller bounds `seg_len` so this is defensive).
+    fn best_buffer_for(&self, load: BufferId, seg_len: f64) -> BufferId {
+        let target = self.options.slew_target;
+        let mut best: Option<(BufferId, f64)> = None;
+        let mut strongest: Option<(BufferId, f64)> = None;
+        for drive in self.lib.buffer_ids() {
+            let slew = self
+                .lib
+                .single_wire(drive, Load::Buffer(load), target, seg_len.max(1.0))
+                .output_slew;
+            if slew <= target {
+                // closest to target from below = largest qualifying slew
+                if best.map_or(true, |(_, s)| slew > s) {
+                    best = Some((drive, slew));
+                }
+            }
+            if strongest.map_or(true, |(_, s)| slew < s) {
+                strongest = Some((drive, slew));
+            }
+        }
+        best.or(strongest).expect("non-empty buffer library").0
+    }
+
+    /// Delay of a committed stage: a buffer of type `drive` feeding
+    /// `seg_len` µm of wire into `load`, under the slew-target input
+    /// assumption.
+    fn stage_delay(&self, drive: BufferId, load: BufferId, seg_len: f64) -> f64 {
+        let t = self.lib.single_wire(
+            drive,
+            Load::Buffer(load),
+            self.options.slew_target,
+            seg_len.max(1.0),
+        );
+        t.buffer_delay + t.wire_delay
+    }
+
+    /// Pending-wire delay estimate: the not-yet-driven top segment,
+    /// evaluated under the virtual driver.
+    fn pending_delay(&self, load: BufferId, seg_len: f64) -> f64 {
+        if seg_len <= 0.0 {
+            return 0.0;
+        }
+        self.lib
+            .single_wire(
+                self.options.virtual_driver,
+                Load::Buffer(load),
+                self.options.slew_target,
+                seg_len.max(1.0),
+            )
+            .wire_delay
+    }
+
+    fn resolve_load(&self, load: Load) -> BufferId {
+        match load {
+            Load::Buffer(b) => b,
+            Load::Sink { cap } => self.lib.nearest_buffer_by_cap(cap),
+        }
+    }
+
+    /// Runs one side's wavefront; returns per-cell labels.
+    fn expand_side(
+        &self,
+        grid: &RoutingGrid,
+        side: &MergeSide,
+        limits: &[f64],
+    ) -> Result<Vec<Option<Label>>, CtsError> {
+        let root_load = self.resolve_load(side.root_load);
+        let start = grid.nearest_cell(side.root_point);
+        let start_seg = grid.cell_center(start).manhattan_dist(side.root_point)
+            + side.unbuffered_depth_um;
+
+        let mut labels: Vec<Option<Label>> = vec![None; grid.cell_count()];
+        let mut heap = BinaryHeap::new();
+        let init = Label {
+            arrival: side.subtree_delay + self.pending_delay(root_load, start_seg),
+            committed: 0.0,
+            seg_len: start_seg,
+            load: root_load,
+            prev: None,
+        };
+        labels[grid.linear_index(start)] = Some(init);
+        heap.push(QueueEntry {
+            arrival: init.arrival,
+            cell: start,
+        });
+
+        while let Some(QueueEntry { arrival, cell }) = heap.pop() {
+            let label = labels[grid.linear_index(cell)].expect("queued cells have labels");
+            if arrival > label.arrival {
+                continue; // stale entry
+            }
+            for next in grid.neighbors(cell) {
+                let step = grid.cell_dist(cell, next);
+                let mut committed = label.committed;
+                let mut seg = label.seg_len + step;
+                let mut load = label.load;
+                // Slew control: if the grown segment exceeds what the best
+                // buffer can drive, a buffer is committed at the *current*
+                // cell (as late as possible) before stepping.
+                let max_seg = limits[load.0];
+                if seg > max_seg {
+                    let buf = self.best_buffer_for(load, label.seg_len);
+                    committed += self.stage_delay(buf, load, label.seg_len);
+                    load = buf;
+                    seg = step;
+                }
+                let arrival =
+                    side.subtree_delay + committed + self.pending_delay(load, seg);
+                let idx = grid.linear_index(next);
+                if labels[idx].map_or(true, |l| arrival < l.arrival) {
+                    labels[idx] = Some(Label {
+                        arrival,
+                        committed,
+                        seg_len: seg,
+                        load,
+                        prev: Some(cell),
+                    });
+                    heap.push(QueueEntry {
+                        arrival,
+                        cell: next,
+                    });
+                }
+            }
+        }
+        Ok(labels)
+    }
+
+    /// Reconstructs the cell path root→`to` from backpointers.
+    fn cell_path(grid: &RoutingGrid, labels: &[Option<Label>], to: CellId) -> Vec<CellId> {
+        let mut path = vec![to];
+        let mut at = to;
+        while let Some(prev) = labels[grid.linear_index(at)].and_then(|l| l.prev) {
+            path.push(prev);
+            at = prev;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Exact re-walk of a geometric path from the root to the merge point:
+    /// commits buffer sites late-as-possible with intelligent sizing and
+    /// returns the side plan.
+    fn commit_path(
+        &self,
+        points: &[Point],
+        side: &MergeSide,
+        limits: &[f64],
+    ) -> Result<SidePlan, CtsError> {
+        let mut load = self.resolve_load(side.root_load);
+        // The pre-existing unbuffered depth below the root consumes part of
+        // the first segment's slew budget but is not new wire.
+        let mut phantom = side.unbuffered_depth_um;
+        let mut seg = 0.0f64;
+        let mut committed = 0.0f64;
+        let mut buffers = Vec::new();
+        let mut at = side.root_point;
+
+        for &next in points {
+            let step = at.manhattan_dist(next);
+            if step == 0.0 {
+                continue;
+            }
+            let max_seg = limits[load.0];
+            if phantom + seg + step > max_seg && phantom + seg > 0.0 {
+                let buf = self.best_buffer_for(load, phantom + seg);
+                buffers.push(BufferSite {
+                    position: at,
+                    buffer: buf,
+                    wire_below_um: seg,
+                });
+                // The phantom wire's delay is already inside the sub-tree
+                // delay; only the new wire's share is committed here.
+                let t = self.lib.single_wire(
+                    buf,
+                    Load::Buffer(load),
+                    self.options.slew_target,
+                    (phantom + seg).max(1.0),
+                );
+                let new_share = if phantom + seg > 0.0 {
+                    seg / (phantom + seg)
+                } else {
+                    1.0
+                };
+                committed += t.buffer_delay + t.wire_delay * new_share;
+                load = buf;
+                seg = 0.0;
+                phantom = 0.0;
+            }
+            // A single step longer than max_seg (coarse grid) still must be
+            // taken; the slew overshoot is bounded by one pitch and the
+            // margin between target and limit absorbs it.
+            seg += step;
+            at = next;
+        }
+
+        let arrival = side.subtree_delay + committed + self.pending_delay(load, seg);
+        Ok(SidePlan {
+            buffers,
+            top_wire_um: seg,
+            committed_delay: committed,
+            arrival_estimate: arrival,
+        })
+    }
+
+    /// Routes a merge between two sides and returns the plan.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target at all.
+    pub fn route(&self, a: &MergeSide, b: &MergeSide) -> Result<MergePlan, CtsError> {
+        let grid = RoutingGrid::between(a.root_point, b.root_point, self.options.grid_resolution);
+        let limits = self.segment_limits()?;
+        let la = self.expand_side(&grid, a, &limits)?;
+        let lb = self.expand_side(&grid, b, &limits)?;
+
+        // Merge cell: minimum |arrival difference|, then minimum total.
+        let mut best: Option<(f64, f64, CellId)> = None;
+        for row in 0..grid.rows() {
+            for col in 0..grid.cols() {
+                let cell = CellId::new(col, row);
+                let idx = grid.linear_index(cell);
+                if let (Some(x), Some(y)) = (la[idx], lb[idx]) {
+                    let diff = (x.arrival - y.arrival).abs();
+                    let total = x.arrival + y.arrival;
+                    if best.map_or(true, |(d, t, _)| {
+                        diff < d - 1e-18 || (diff <= d + 1e-18 && total < t)
+                    }) {
+                        best = Some((diff, total, cell));
+                    }
+                }
+            }
+        }
+        let (_, _, merge_cell) = best.expect("grid covers both roots");
+        let merge_point = grid.cell_center(merge_cell);
+
+        let plan_side = |labels: &[Option<Label>], side: &MergeSide| {
+            let cells = Self::cell_path(&grid, labels, merge_cell);
+            let mut points: Vec<Point> = cells.iter().map(|&c| grid.cell_center(c)).collect();
+            // Snap endpoints: the path leaves the exact root and ends at the
+            // exact merge point.
+            if let Some(last) = points.last_mut() {
+                *last = merge_point;
+            }
+            self.commit_path(&points, side, &limits)
+        };
+        let sa = plan_side(&la, a)?;
+        let sb = plan_side(&lb, b)?;
+        Ok(MergePlan {
+            merge_point,
+            sides: [sa, sb],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_spice::units::PS;
+    use cts_timing::fast_library;
+
+    fn options() -> CtsOptions {
+        CtsOptions::default()
+    }
+
+    fn side(x: f64, y: f64, delay_ps: f64) -> MergeSide {
+        MergeSide {
+            root_point: Point::new(x, y),
+            root_load: Load::Sink { cap: 20e-15 },
+            subtree_delay: delay_ps * PS,
+            unbuffered_depth_um: 0.0,
+        }
+    }
+
+    #[test]
+    fn short_merge_needs_no_buffers() {
+        let lib = fast_library();
+        let opts = options();
+        let router = MazeRouter::new(lib, &opts);
+        let plan = router
+            .route(&side(0.0, 0.0, 0.0), &side(300.0, 0.0, 0.0))
+            .unwrap();
+        assert!(plan.sides[0].buffers.is_empty());
+        assert!(plan.sides[1].buffers.is_empty());
+        // Merge lands roughly midway for symmetric sides.
+        assert!(
+            (plan.merge_point.x - 150.0).abs() < 80.0,
+            "merge at {}",
+            plan.merge_point
+        );
+    }
+
+    #[test]
+    fn long_merge_inserts_buffers_along_paths() {
+        let lib = fast_library();
+        let opts = options();
+        let router = MazeRouter::new(lib, &opts);
+        // 6 mm apart: far beyond any single buffered segment.
+        let plan = router
+            .route(&side(0.0, 0.0, 0.0), &side(6000.0, 0.0, 0.0))
+            .unwrap();
+        let total: usize = plan.sides.iter().map(|s| s.buffers.len()).sum();
+        assert!(total >= 2, "expected along-path buffers, got {total}");
+        // Every committed segment respects the slew target by construction:
+        // check that no wire below a buffer exceeds the best max segment.
+        for s in &plan.sides {
+            for b in &s.buffers {
+                let max_any = lib
+                    .buffer_ids()
+                    .filter_map(|d| {
+                        lib.max_wire_length_for_slew(
+                            d,
+                            Load::Buffer(b.buffer),
+                            opts.slew_target,
+                            opts.slew_target,
+                        )
+                    })
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    b.wire_below_um <= max_any * 1.05 + 130.0,
+                    "segment {} µm exceeds drivable {} µm",
+                    b.wire_below_um,
+                    max_any
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_point_shifts_toward_slower_side() {
+        let lib = fast_library();
+        let opts = options();
+        let router = MazeRouter::new(lib, &opts);
+        // Side A carries a few ps more sub-tree delay — within the range
+        // the merge position can compensate over 1.2 mm of wire. (Larger
+        // imbalances are the balance stage's job, not the router's.)
+        let plan = router
+            .route(&side(0.0, 0.0, 3.0), &side(1200.0, 0.0, 0.0))
+            .unwrap();
+        assert!(
+            plan.merge_point.x < 600.0,
+            "merge at {} should lean toward the slow side",
+            plan.merge_point
+        );
+        // And the chosen cell should roughly balance arrivals.
+        let diff =
+            (plan.sides[0].arrival_estimate - plan.sides[1].arrival_estimate).abs();
+        let balanced = router
+            .route(&side(0.0, 0.0, 0.0), &side(1200.0, 0.0, 0.0))
+            .unwrap();
+        let base_diff =
+            (balanced.sides[0].arrival_estimate - balanced.sides[1].arrival_estimate).abs();
+        assert!(
+            diff < 3.0 * PS + base_diff,
+            "arrival diff {} ps (baseline {} ps)",
+            diff / PS,
+            base_diff / PS
+        );
+    }
+
+    #[test]
+    fn side_plan_last_fixed_position() {
+        let lib = fast_library();
+        let opts = options();
+        let router = MazeRouter::new(lib, &opts);
+        let a = side(0.0, 0.0, 0.0);
+        let b = side(5000.0, 0.0, 0.0);
+        let plan = router.route(&a, &b).unwrap();
+        for (s, root) in plan.sides.iter().zip([a.root_point, b.root_point]) {
+            let v = s.last_fixed_position(root);
+            if s.buffers.is_empty() {
+                assert_eq!(v, root);
+            } else {
+                assert_eq!(v, s.buffers.last().unwrap().position);
+            }
+        }
+    }
+
+    #[test]
+    fn wirelength_is_conserved_by_commit() {
+        let lib = fast_library();
+        let opts = options();
+        let router = MazeRouter::new(lib, &opts);
+        let a = side(0.0, 0.0, 0.0);
+        let b = side(4000.0, 300.0, 0.0);
+        let plan = router.route(&a, &b).unwrap();
+        for (s, root) in plan.sides.iter().zip([a.root_point, b.root_point]) {
+            let path_len: f64 =
+                s.buffers.iter().map(|bs| bs.wire_below_um).sum::<f64>() + s.top_wire_um;
+            // The routed length can exceed the straight-line Manhattan
+            // distance (detours) but never undershoot it (minus grid snap).
+            let direct = root.manhattan_dist(plan.merge_point);
+            assert!(
+                path_len >= direct - 300.0,
+                "path {path_len} µm vs direct {direct} µm"
+            );
+        }
+    }
+}

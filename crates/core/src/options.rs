@@ -1,0 +1,177 @@
+//! Synthesis options and error types.
+
+use cts_timing::BufferId;
+use std::fmt;
+
+/// H-structure correction mode (paper §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HCorrection {
+    /// No correction (the base flow).
+    #[default]
+    Off,
+    /// Method 1: re-estimate the six child-pairing edge costs and pick the
+    /// cheapest pairing (cheap, estimate-based).
+    ReEstimate,
+    /// Method 2: actually merge-route all three pairings and keep the one
+    /// with the lowest skew (expensive, measurement-based).
+    Correct,
+}
+
+impl fmt::Display for HCorrection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HCorrection::Off => write!(f, "off"),
+            HCorrection::ReEstimate => write!(f, "re-estimation"),
+            HCorrection::Correct => write!(f, "correction"),
+        }
+    }
+}
+
+/// Options controlling the buffered CTS flow.
+///
+/// Defaults reproduce the paper's experimental setup: 100 ps slew limit
+/// with synthesis at 80 ps (§5.1), R = 45 routing grid (§4.2.2), cost
+/// weights equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtsOptions {
+    /// Hard slew limit the final tree must honor (s).
+    pub slew_limit: f64,
+    /// Slew target used during synthesis, leaving margin under the limit
+    /// (s). The paper uses 80 ps against a 100 ps limit.
+    pub slew_target: f64,
+    /// Default routing grid resolution per dimension (the paper's R = 45).
+    pub grid_resolution: u32,
+    /// Weight of distance in the nearest-neighbor cost (α of eq. 4.1),
+    /// in 1/µm (costs are dimensionless).
+    pub cost_alpha: f64,
+    /// Weight of delay difference in the nearest-neighbor cost (β of
+    /// eq. 4.1), in 1/s.
+    pub cost_beta: f64,
+    /// H-structure correction mode.
+    pub h_correction: HCorrection,
+    /// 10–90 % slew of the edge presented at the clock source input (s).
+    pub source_slew: f64,
+    /// Driver type assumed at sub-tree roots during bottom-up construction
+    /// (before the real upstream buffer exists).
+    pub virtual_driver: BufferId,
+    /// Convergence tolerance of the binary-search stage (s of skew).
+    pub binary_search_tol: f64,
+    /// Maximum binary-search iterations per merge.
+    pub binary_search_iters: usize,
+}
+
+impl Default for CtsOptions {
+    fn default() -> CtsOptions {
+        CtsOptions {
+            slew_limit: 100e-12,
+            slew_target: 80e-12,
+            grid_resolution: 45,
+            // Relative weighting: 1 mm of distance ~ 10 ps of delay skew.
+            cost_alpha: 1e-3,
+            cost_beta: 1e11,
+            h_correction: HCorrection::Off,
+            source_slew: 80e-12,
+            virtual_driver: BufferId(1),
+            binary_search_tol: 0.05e-12,
+            binary_search_iters: 24,
+        }
+    }
+}
+
+impl CtsOptions {
+    /// Validates option consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CtsError::BadOptions`] description if values are
+    /// inconsistent (non-positive limits, target above limit, zero grid).
+    pub fn validate(&self) -> Result<(), CtsError> {
+        let bad = |msg: String| Err(CtsError::BadOptions(msg));
+        if !(self.slew_limit > 0.0) {
+            return bad(format!("slew_limit must be positive, got {}", self.slew_limit));
+        }
+        if !(self.slew_target > 0.0) || self.slew_target > self.slew_limit {
+            return bad(format!(
+                "slew_target ({}) must be in (0, slew_limit = {}]",
+                self.slew_target, self.slew_limit
+            ));
+        }
+        if self.grid_resolution == 0 {
+            return bad("grid_resolution must be positive".into());
+        }
+        if self.cost_alpha < 0.0 || self.cost_beta < 0.0 {
+            return bad("cost weights must be non-negative".into());
+        }
+        if self.binary_search_iters == 0 {
+            return bad("binary_search_iters must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the synthesis flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtsError {
+    /// Options failed validation.
+    BadOptions(String),
+    /// The slew target cannot be met by any buffer in the library even at
+    /// the minimum characterized wire length.
+    SlewUnachievable {
+        /// Description of where the flow got stuck.
+        context: String,
+    },
+    /// Verification (SPICE) failed.
+    Verify(String),
+}
+
+impl fmt::Display for CtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtsError::BadOptions(msg) => write!(f, "invalid CTS options: {msg}"),
+            CtsError::SlewUnachievable { context } => {
+                write!(f, "slew target unachievable with this buffer library: {context}")
+            }
+            CtsError::Verify(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(CtsOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn target_above_limit_rejected() {
+        let mut o = CtsOptions::default();
+        o.slew_target = 2.0 * o.slew_limit;
+        assert!(matches!(o.validate(), Err(CtsError::BadOptions(_))));
+    }
+
+    #[test]
+    fn zero_grid_rejected() {
+        let mut o = CtsOptions::default();
+        o.grid_resolution = 0;
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CtsError::SlewUnachievable {
+            context: "merge of a/b".into(),
+        };
+        assert!(e.to_string().contains("merge of a/b"));
+    }
+
+    #[test]
+    fn hcorrection_display() {
+        assert_eq!(HCorrection::Off.to_string(), "off");
+        assert_eq!(HCorrection::Correct.to_string(), "correction");
+    }
+}

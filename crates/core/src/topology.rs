@@ -1,0 +1,199 @@
+//! Levelized topology generation (paper §4.1.1).
+//!
+//! Each level pairs up the active sub-tree roots using a cost that mixes
+//! distance and delay difference (eq. 4.1), with the paper's greedy
+//! heuristic: repeatedly take the unmatched node *farthest from the sink
+//! centroid* and pair it with its cheapest unmatched partner. With an odd
+//! node count, the node with maximum latency is promoted unmatched to the
+//! next level (the "seed"), where its larger delay is a better fit.
+
+use cts_geom::Point;
+
+/// A candidate for pairing at the current level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchCandidate {
+    /// Location of the sub-tree root (µm).
+    pub location: Point,
+    /// Sub-tree delay/latency estimate (s).
+    pub delay: f64,
+}
+
+/// The pairing computed for one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// Index pairs into the candidate slice, in processing order.
+    pub pairs: Vec<(usize, usize)>,
+    /// Index of the unmatched seed node (odd counts only).
+    pub seed: Option<usize>,
+}
+
+/// The pairing cost of eq. 4.1: `α·distance + β·|Δdelay|`.
+pub fn edge_cost(a: &MatchCandidate, b: &MatchCandidate, alpha: f64, beta: f64) -> f64 {
+    alpha * a.location.manhattan_dist(b.location) + beta * (a.delay - b.delay).abs()
+}
+
+/// Computes the level matching with the farthest-from-centroid greedy
+/// heuristic.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn find_matching(
+    candidates: &[MatchCandidate],
+    centroid: Point,
+    alpha: f64,
+    beta: f64,
+) -> Matching {
+    assert!(!candidates.is_empty(), "cannot match zero candidates");
+    let n = candidates.len();
+    let mut unmatched: Vec<usize> = (0..n).collect();
+    let mut pairs = Vec::with_capacity(n / 2);
+
+    // Seed: with an odd count, promote the maximum-latency node.
+    let seed = if n % 2 == 1 {
+        let s = *unmatched
+            .iter()
+            .max_by(|&&i, &&j| {
+                candidates[i]
+                    .delay
+                    .partial_cmp(&candidates[j].delay)
+                    .unwrap()
+                    .then(i.cmp(&j))
+            })
+            .expect("non-empty");
+        unmatched.retain(|&i| i != s);
+        Some(s)
+    } else {
+        None
+    };
+
+    while unmatched.len() >= 2 {
+        // Farthest unmatched node from the centroid.
+        let (pos, &far) = unmatched
+            .iter()
+            .enumerate()
+            .max_by(|(_, &i), (_, &j)| {
+                let di = candidates[i].location.manhattan_dist(centroid);
+                let dj = candidates[j].location.manhattan_dist(centroid);
+                di.partial_cmp(&dj).unwrap().then(j.cmp(&i))
+            })
+            .expect("len >= 2");
+        unmatched.swap_remove(pos);
+
+        // Its cheapest partner.
+        let (pos, &near) = unmatched
+            .iter()
+            .enumerate()
+            .min_by(|(_, &i), (_, &j)| {
+                let ci = edge_cost(&candidates[far], &candidates[i], alpha, beta);
+                let cj = edge_cost(&candidates[far], &candidates[j], alpha, beta);
+                ci.partial_cmp(&cj).unwrap().then(i.cmp(&j))
+            })
+            .expect("len >= 1");
+        unmatched.swap_remove(pos);
+        pairs.push((far, near));
+    }
+    debug_assert!(unmatched.is_empty());
+
+    Matching { pairs, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(x: f64, y: f64, delay_ps: f64) -> MatchCandidate {
+        MatchCandidate {
+            location: Point::new(x, y),
+            delay: delay_ps * 1e-12,
+        }
+    }
+
+    #[test]
+    fn even_count_pairs_everything() {
+        let c = vec![
+            cand(0.0, 0.0, 0.0),
+            cand(100.0, 0.0, 0.0),
+            cand(1000.0, 1000.0, 0.0),
+            cand(1100.0, 1000.0, 0.0),
+        ];
+        let m = find_matching(&c, Point::new(550.0, 500.0), 1.0, 0.0);
+        assert_eq!(m.pairs.len(), 2);
+        assert!(m.seed.is_none());
+        // Close pairs should be matched together.
+        let mut matched: Vec<(usize, usize)> = m
+            .pairs
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        matched.sort_unstable();
+        assert_eq!(matched, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn odd_count_promotes_max_latency_seed() {
+        let c = vec![
+            cand(0.0, 0.0, 10.0),
+            cand(10.0, 0.0, 90.0), // slowest: becomes the seed
+            cand(20.0, 0.0, 12.0),
+        ];
+        let m = find_matching(&c, Point::new(10.0, 0.0), 1.0, 0.0);
+        assert_eq!(m.seed, Some(1));
+        assert_eq!(m.pairs.len(), 1);
+        assert_eq!(
+            (m.pairs[0].0.min(m.pairs[0].1), m.pairs[0].0.max(m.pairs[0].1)),
+            (0, 2)
+        );
+    }
+
+    #[test]
+    fn beta_steers_toward_delay_balance() {
+        // Node 0 is geometrically closest to 1 but delay-matched with 2.
+        let c = vec![
+            cand(0.0, 0.0, 0.0),
+            cand(50.0, 0.0, 100.0),
+            cand(400.0, 0.0, 1.0),
+            cand(450.0, 0.0, 99.0),
+        ];
+        // Pure distance: (0,1), (2,3).
+        let m_dist = find_matching(&c, Point::new(225.0, 0.0), 1.0, 0.0);
+        let norm = |p: (usize, usize)| (p.0.min(p.1), p.0.max(p.1));
+        let pairs_dist: Vec<_> = m_dist.pairs.iter().map(|&p| norm(p)).collect();
+        assert!(pairs_dist.contains(&(0, 1)));
+        // Delay-dominated: (0,2), (1,3).
+        let m_delay = find_matching(&c, Point::new(225.0, 0.0), 1e-6, 1e12);
+        let pairs_delay: Vec<_> = m_delay.pairs.iter().map(|&p| norm(p)).collect();
+        assert!(pairs_delay.contains(&(0, 2)), "{pairs_delay:?}");
+        assert!(pairs_delay.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn farthest_first_processing_order() {
+        // The node farthest from the centroid must appear in the first pair.
+        let c = vec![
+            cand(0.0, 0.0, 0.0),
+            cand(10.0, 0.0, 0.0),
+            cand(5000.0, 5000.0, 0.0), // far outlier
+            cand(4990.0, 5000.0, 0.0),
+        ];
+        let m = find_matching(&c, Point::new(10.0, 10.0), 1.0, 0.0);
+        let first = m.pairs[0];
+        assert!(first.0 == 2 || first.1 == 2);
+    }
+
+    #[test]
+    fn two_nodes_trivial() {
+        let c = vec![cand(0.0, 0.0, 0.0), cand(10.0, 0.0, 5.0)];
+        let m = find_matching(&c, Point::ORIGIN, 1.0, 1.0);
+        assert_eq!(m.pairs.len(), 1);
+        assert!(m.seed.is_none());
+    }
+
+    #[test]
+    fn single_node_is_seed() {
+        let c = vec![cand(0.0, 0.0, 0.0)];
+        let m = find_matching(&c, Point::ORIGIN, 1.0, 1.0);
+        assert!(m.pairs.is_empty());
+        assert_eq!(m.seed, Some(0));
+    }
+}

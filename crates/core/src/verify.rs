@@ -1,0 +1,314 @@
+//! SPICE verification of synthesized clock trees.
+//!
+//! The paper's reported numbers (worst slew, skew, max latency; §5.1) come
+//! from SPICE simulation of the synthesized netlist, not from the delay
+//! library. This module reproduces that: the tree is simulated stage by
+//! stage on [`cts_spice`], propagating *actual waveforms* (not slews)
+//! across buffer boundaries, and the measurements are taken on the
+//! simulated voltages.
+//!
+//! Stage decomposition is exact for our device model: a CMOS gate loads its
+//! input purely capacitively, so cutting at buffer inputs and carrying the
+//! full input waveform forward loses nothing.
+
+use crate::options::CtsError;
+use crate::tree::{ClockTree, NodeKind, TreeNodeId};
+use cts_spice::units::{NS, PS};
+use cts_spice::{simulate, Circuit, NodeId, SimOptions, Technology, Waveform};
+use std::collections::VecDeque;
+
+/// Options for tree verification.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// 10–90 % slew of the ideal ramp applied at the source input (s).
+    pub input_slew: f64,
+    /// Per-stage simulation window (s). Must exceed any single stage's
+    /// delay plus settling; 3 ns is ample for ps-scale stages.
+    pub stage_window: f64,
+    /// Transient timestep (s).
+    pub dt: f64,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            input_slew: 80.0 * PS,
+            stage_window: 3.0 * NS,
+            dt: 0.5 * PS,
+        }
+    }
+}
+
+/// SPICE-verified timing of a clock tree.
+#[derive(Debug, Clone)]
+pub struct VerifiedTiming {
+    /// Largest 10–90 % slew observed at any node of the tree (s).
+    pub worst_slew: f64,
+    /// Skew: max − min sink arrival (s).
+    pub skew: f64,
+    /// Max sink arrival measured from the source input edge (s).
+    pub max_latency: f64,
+    /// Arrival time per sink node (s).
+    pub sink_arrivals: Vec<(TreeNodeId, f64)>,
+}
+
+/// Simulates the synthesized tree and measures worst slew, skew and
+/// latency — the paper's Table 5.1/5.2 columns.
+///
+/// # Errors
+///
+/// [`CtsError::Verify`] if any stage fails to simulate or a node never
+/// completes its transition within the stage window (which indicates a
+/// grossly illegal tree).
+pub fn verify_tree(
+    tree: &ClockTree,
+    source: TreeNodeId,
+    tech: &Technology,
+    opts: &VerifyOptions,
+) -> Result<VerifiedTiming, CtsError> {
+    let driver = match tree.node(source).kind {
+        NodeKind::Source { driver } => driver,
+        ref k => {
+            return Err(CtsError::Verify(format!(
+                "verification must start at a source node, got {k:?}"
+            )))
+        }
+    };
+    let vdd = tech.vdd();
+    let buffers = tech.buffer_library();
+
+    // Work queue of stages: (tree node of the driving buffer, its input
+    // waveform in local time, global time offset of local t = 0).
+    struct StageJob {
+        node: TreeNodeId,
+        driver: cts_timing::BufferId,
+        wave: Waveform,
+        offset: f64,
+    }
+    let mut queue = VecDeque::new();
+    queue.push_back(StageJob {
+        node: source,
+        driver,
+        wave: Waveform::rising_ramp_10_90(100.0 * PS, opts.input_slew, vdd),
+        offset: -100.0 * PS, // measure latency from the source edge start
+    });
+
+    let mut worst_slew: f64 = 0.0;
+    let mut sink_arrivals = Vec::new();
+    let mut stages = 0usize;
+    // Global 50 % time of the source input edge; arrivals are measured
+    // relative to it (the paper's source-to-sink delay).
+    let mut source_edge: Option<f64> = None;
+
+    while let Some(job) = queue.pop_front() {
+        stages += 1;
+        if stages > 4 * tree.len() + 16 {
+            return Err(CtsError::Verify("stage queue runaway".into()));
+        }
+
+        // Build the stage circuit: driver buffer + downstream wire tree up
+        // to the next buffer inputs / sinks.
+        let mut c = Circuit::new(tech);
+        let cin = c.add_node("stage_in");
+        let cout = c.add_node("stage_out");
+        let btype = &buffers[job.driver.0];
+        c.add_buffer(cin, cout, btype);
+        c.drive(cin, job.wave.clone());
+
+        // Walk the tree below the driver, mirroring it into the circuit.
+        // `loads` collects (tree node, circuit node) for buffers and sinks.
+        let mut loads: Vec<(TreeNodeId, NodeId, bool)> = Vec::new(); // bool: is_buffer
+        let mut measured: Vec<NodeId> = vec![cout];
+        let mut stack: Vec<(TreeNodeId, NodeId)> = tree
+            .node(job.node)
+            .children
+            .iter()
+            .map(|&ch| (ch, cout))
+            .collect();
+        while let Some((tnode, upstream)) = stack.pop() {
+            let cnode = c.add_node(format!("{tnode}"));
+            measured.push(cnode);
+            let len = tree.node(tnode).wire_to_parent_um;
+            if len >= 0.5 {
+                c.add_wire(upstream, cnode, len, tech.wire());
+            } else {
+                // Co-located attachment: a tiny series resistance keeps the
+                // two circuit nodes distinct without adding parasitics.
+                c.add_resistor(upstream, cnode, 1e-3);
+            }
+            match tree.node(tnode).kind {
+                NodeKind::Sink { cap, .. } => {
+                    c.add_cap(cnode, cap);
+                    loads.push((tnode, cnode, false));
+                }
+                NodeKind::Buffer { buffer } => {
+                    // The next stage's gate: purely capacitive here.
+                    c.add_cap(cnode, buffers[buffer.0].input_cap(tech));
+                    loads.push((tnode, cnode, true));
+                }
+                NodeKind::Joint => {
+                    stack.extend(tree.node(tnode).children.iter().map(|&ch| (ch, cnode)));
+                }
+                NodeKind::Source { .. } => {
+                    return Err(CtsError::Verify("source below a driver".into()))
+                }
+            }
+        }
+
+        let sim_opts = {
+            let mut o = SimOptions::default_for(opts.stage_window);
+            o.dt = opts.dt;
+            o
+        };
+        let res = simulate(&c, &sim_opts)
+            .map_err(|e| CtsError::Verify(format!("stage at {}: {e}", job.node)))?;
+
+        // Worst slew across every tree-visible node in this stage.
+        for &n in &measured {
+            let w = res.waveform(n);
+            let slew = w.slew_10_90(vdd).ok_or_else(|| {
+                CtsError::Verify(format!(
+                    "node {} never completed its transition (stage at {})",
+                    c.node_name(n),
+                    job.node
+                ))
+            })?;
+            worst_slew = worst_slew.max(slew);
+        }
+
+        // The stage's reference edge: the driver input's 50 % crossing.
+        let t50_in = job
+            .wave
+            .t50(vdd)
+            .ok_or_else(|| CtsError::Verify("driver input has no edge".into()))?;
+        if source_edge.is_none() {
+            source_edge = Some(job.offset + t50_in);
+        }
+        let t_source = source_edge.expect("set on first stage");
+
+        for (tnode, cnode, is_buffer) in loads {
+            let w = res.waveform(cnode);
+            let t50 = w.t50(vdd).ok_or_else(|| {
+                CtsError::Verify(format!("load {tnode} never crossed 50%"))
+            })?;
+            if is_buffer {
+                let next_driver = match tree.node(tnode).kind {
+                    NodeKind::Buffer { buffer } => buffer,
+                    _ => unreachable!(),
+                };
+                // Re-base the waveform so the edge sits near the start of
+                // the next window, and carry the cut time into the offset.
+                let t_base = (t50 - 300.0 * PS).max(0.0);
+                let shifted = w.shifted(-t_base);
+                queue.push_back(StageJob {
+                    node: tnode,
+                    driver: next_driver,
+                    wave: shifted,
+                    offset: job.offset + t_base,
+                });
+            } else {
+                sink_arrivals.push((tnode, job.offset + t50 - t_source));
+            }
+        }
+    }
+
+    if sink_arrivals.is_empty() {
+        return Err(CtsError::Verify("tree has no sinks".into()));
+    }
+    let max_latency = sink_arrivals
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_arrival = sink_arrivals
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min);
+
+    Ok(VerifiedTiming {
+        worst_slew,
+        skew: max_latency - min_arrival,
+        max_latency,
+        sink_arrivals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Synthesizer;
+    use crate::instance::{Instance, Sink};
+    use crate::options::CtsOptions;
+    use cts_geom::Point;
+    use cts_timing::fast_library;
+
+    fn tech() -> Technology {
+        Technology::nominal_45nm()
+    }
+
+    #[test]
+    fn verifies_a_hand_built_tree() {
+        let mut t = ClockTree::new();
+        let a = t.add_sink(0, &Sink::new("a", Point::new(0.0, 0.0), 20e-15));
+        let b = t.add_sink(1, &Sink::new("b", Point::new(800.0, 0.0), 20e-15));
+        let m = t.add_joint(Point::new(400.0, 0.0));
+        t.attach(m, a, 400.0);
+        t.attach(m, b, 400.0);
+        let src = t.add_source(m, cts_timing::BufferId(2));
+        let v = verify_tree(&t, src, &tech(), &VerifyOptions::default()).unwrap();
+        assert_eq!(v.sink_arrivals.len(), 2);
+        assert!(v.worst_slew > 0.0 && v.worst_slew < 200.0 * PS);
+        assert!(v.skew < 2.0 * PS, "symmetric tree skew {} ps", v.skew / PS);
+        assert!(v.max_latency > 0.0 && v.max_latency < 2.0 * NS);
+    }
+
+    #[test]
+    fn verified_skew_of_unbalanced_tree_is_positive() {
+        let mut t = ClockTree::new();
+        let a = t.add_sink(0, &Sink::new("a", Point::new(0.0, 0.0), 20e-15));
+        let b = t.add_sink(1, &Sink::new("b", Point::new(1500.0, 0.0), 20e-15));
+        let m = t.add_joint(Point::new(200.0, 0.0));
+        t.attach(m, a, 200.0);
+        t.attach(m, b, 1300.0);
+        let src = t.add_source(m, cts_timing::BufferId(2));
+        let v = verify_tree(&t, src, &tech(), &VerifyOptions::default()).unwrap();
+        assert!(v.skew > 5.0 * PS, "skew {} ps", v.skew / PS);
+    }
+
+    #[test]
+    fn verify_synthesized_tree_end_to_end() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let sinks = vec![
+            Sink::new("a", Point::new(0.0, 0.0), 25e-15),
+            Sink::new("b", Point::new(2500.0, 200.0), 25e-15),
+            Sink::new("c", Point::new(300.0, 2200.0), 25e-15),
+            Sink::new("d", Point::new(2400.0, 2500.0), 25e-15),
+            Sink::new("e", Point::new(1200.0, 1200.0), 25e-15),
+        ];
+        let inst = Instance::new("five", sinks);
+        let r = synth.synthesize(&inst).unwrap();
+        let v = verify_tree(&r.tree, r.source, &tech(), &VerifyOptions::default()).unwrap();
+        assert_eq!(v.sink_arrivals.len(), 5);
+        // The paper's headline: verified slew within the 100 ps limit.
+        assert!(
+            v.worst_slew <= synth.options().slew_limit,
+            "verified slew {} ps breaks the limit",
+            v.worst_slew / PS
+        );
+        // Verified skew should be a small fraction of latency (<= 3% is the
+        // paper's ISPD observation; allow headroom for the fast library).
+        assert!(
+            v.skew <= 0.15 * v.max_latency,
+            "skew {} ps vs latency {} ps",
+            v.skew / PS,
+            v.max_latency / PS
+        );
+    }
+
+    #[test]
+    fn verification_requires_source() {
+        let mut t = ClockTree::new();
+        let a = t.add_sink(0, &Sink::new("a", Point::new(0.0, 0.0), 20e-15));
+        let err = verify_tree(&t, a, &tech(), &VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, CtsError::Verify(_)));
+    }
+}

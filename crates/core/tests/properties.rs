@@ -1,0 +1,136 @@
+//! Property-based tests on the synthesis flow: structural and timing
+//! invariants over randomized instances.
+
+use cts_core::{CtsOptions, Instance, NodeKind, Sink, Synthesizer, TimingEngine};
+use cts_geom::Point;
+use cts_timing::fast_library;
+use proptest::prelude::*;
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    // 2..10 sinks over dies from 0.5 mm to 8 mm.
+    (
+        prop::collection::vec(
+            ((0.0..1.0f64), (0.0..1.0f64), (10.0..40.0f64)),
+            2..10,
+        ),
+        500.0..8000.0f64,
+    )
+        .prop_map(|(raw, die)| {
+            let sinks = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, cap_ff))| {
+                    Sink::new(
+                        format!("s{i}"),
+                        Point::new(x * die, y * die),
+                        cap_ff * 1e-15,
+                    )
+                })
+                .collect();
+            Instance::new("prop", sinks)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every sink of the instance appears exactly once in the synthesized
+    /// tree, the tree validates structurally, and there is a single root.
+    #[test]
+    fn synthesis_preserves_sinks(inst in instance_strategy()) {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let r = synth.synthesize(&inst).expect("synthesis");
+        let sinks = r.tree.sinks_under(r.source);
+        prop_assert_eq!(sinks.len(), inst.sinks().len());
+        let mut indices: Vec<usize> = sinks
+            .iter()
+            .map(|&id| match r.tree.node(id).kind {
+                NodeKind::Sink { index, .. } => index,
+                ref k => panic!("non-sink leaf {k:?}"),
+            })
+            .collect();
+        indices.sort_unstable();
+        let expect: Vec<usize> = (0..inst.sinks().len()).collect();
+        prop_assert_eq!(indices, expect);
+        r.tree.validate_under(r.source);
+    }
+
+    /// The engine-estimated worst slew respects the synthesis limit and
+    /// every sink arrival is positive and below 100 ns (sanity bounds).
+    #[test]
+    fn synthesis_respects_slew_and_bounds(inst in instance_strategy()) {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let r = synth.synthesize(&inst).expect("synthesis");
+        prop_assert!(
+            r.report.worst_slew <= synth.options().slew_limit * 1.1,
+            "engine slew {} ps", r.report.worst_slew / 1e-12
+        );
+        for &(_, t) in &r.report.sink_arrivals {
+            prop_assert!(t >= 0.0 && t < 100e-9, "arrival {t}");
+        }
+        prop_assert!(r.report.skew() <= r.report.latency + 1e-15);
+    }
+
+    /// Wirelength dominates the sink-spread lower bound: every sink must be
+    /// reachable, so total wire >= half-perimeter of the bounding box.
+    #[test]
+    fn wirelength_lower_bound(inst in instance_strategy()) {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let r = synth.synthesize(&inst).expect("synthesis");
+        let bb = inst.die();
+        let lower = (bb.width() + bb.height()) * 0.5;
+        prop_assert!(
+            r.wirelength_um >= lower * 0.5,
+            "wire {} µm vs lower bound {} µm", r.wirelength_um, lower
+        );
+    }
+
+    /// Synthesis is a pure function of its inputs.
+    #[test]
+    fn synthesis_is_deterministic(inst in instance_strategy()) {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let a = synth.synthesize(&inst).expect("first");
+        let b = synth.synthesize(&inst).expect("second");
+        prop_assert_eq!(a.tree, b.tree);
+        prop_assert_eq!(a.report.latency, b.report.latency);
+    }
+
+    /// Unbuffered depth is conserved by the engine's stage decomposition:
+    /// evaluating any buffer node's subtree twice (directly and as part of
+    /// the full tree) yields identical sink orderings.
+    #[test]
+    fn subtree_evaluation_consistency(inst in instance_strategy()) {
+        let lib = fast_library();
+        let synth = Synthesizer::new(lib, CtsOptions::default());
+        let r = synth.synthesize(&inst).expect("synthesis");
+        let engine = TimingEngine::new(lib);
+        let full = engine.evaluate(&r.tree, r.source, synth.options().source_slew);
+        let full_arr = full.arrival_map();
+        // Pick the first buffer node; its subtree ordering must match the
+        // full-tree ordering restricted to its sinks.
+        if let Some(buf) = r.tree.ids().find(|&id| {
+            matches!(r.tree.node(id).kind, NodeKind::Buffer { .. })
+                && !r.tree.sinks_under(id).is_empty()
+        }) {
+            let sub = engine.evaluate_subtree(
+                &r.tree,
+                buf,
+                synth.options().virtual_driver,
+                synth.options().slew_target,
+            );
+            let sub_arr = sub.arrival_map();
+            let sinks = r.tree.sinks_under(buf);
+            for &a in &sinks {
+                for &b in &sinks {
+                    // Clearly separated pairs must agree in order.
+                    if sub_arr[&a] + 20e-12 < sub_arr[&b] {
+                        prop_assert!(
+                            full_arr[&a] < full_arr[&b] + 10e-12,
+                            "ordering flip between subtree and full evaluation"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

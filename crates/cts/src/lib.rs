@@ -1,0 +1,77 @@
+//! Buffered clock tree synthesis under aggressive buffer insertion —
+//! a full reproduction of the DAC 2010 paper (Y.-Y. Chen, C. Dong,
+//! D. Chen) and its thesis expansion, as one facade crate.
+//!
+//! The workspace implements the entire stack the paper depends on:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | geometry | [`geom`] | Manhattan metric, merge arcs, routing grids |
+//! | circuits | [`spice`] | nonlinear RC transient simulator (SPICE stand-in) |
+//! | timing | [`timing`] | Elmore/D2M baselines, characterization, delay/slew library |
+//! | synthesis | [`core`] | topology generation, merge-routing, H-corrections, verification |
+//! | workloads | [`benchmarks`] | GSRC r1–r5, ISPD'09 f11–fnb1, bookshelf IO |
+//!
+//! The most common types are re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cts::{CtsOptions, Instance, Sink, Synthesizer};
+//! use cts::geom::Point;
+//!
+//! // Four flip-flops on a 2 mm die.
+//! let sinks = vec![
+//!     Sink::new("ff0", Point::new(0.0, 0.0), 25e-15),
+//!     Sink::new("ff1", Point::new(2000.0, 100.0), 25e-15),
+//!     Sink::new("ff2", Point::new(150.0, 1900.0), 25e-15),
+//!     Sink::new("ff3", Point::new(1800.0, 2000.0), 25e-15),
+//! ];
+//! let instance = Instance::new("quick", sinks);
+//!
+//! let library = cts::timing::fast_library();
+//! let synth = Synthesizer::new(library, CtsOptions::default());
+//! let result = synth.synthesize(&instance)?;
+//! println!(
+//!     "{} buffers, skew {:.1} ps",
+//!     result.buffers,
+//!     result.report.skew() / 1e-12
+//! );
+//! # Ok::<(), cts::CtsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Manhattan geometry substrate (re-export of `cts-geom`).
+pub use cts_geom as geom;
+/// Circuit simulation substrate (re-export of `cts-spice`).
+pub use cts_spice as spice;
+/// Delay/slew modeling (re-export of `cts-timing`).
+pub use cts_timing as timing;
+/// The synthesis flow (re-export of `cts-core`).
+pub use cts_core as core;
+/// Benchmark instances (re-export of `cts-benchmarks`).
+pub use cts_benchmarks as benchmarks;
+
+pub use cts_core::{
+    verify_tree, ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, NodeKind,
+    Sink, Synthesizer, TimingEngine, TimingReport, TreeNodeId, VerifiedTiming, VerifyOptions,
+};
+pub use cts_spice::Technology;
+pub use cts_timing::{BufferId, DelaySlewLibrary, Load};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // Compile-time check that the key paths exist and agree.
+        fn assert_same<T>(_: T, _: T) {}
+        assert_same(
+            crate::CtsOptions::default(),
+            crate::core::CtsOptions::default(),
+        );
+        let t = crate::Technology::nominal_45nm();
+        assert_eq!(t.buffer_library().len(), 3);
+    }
+}

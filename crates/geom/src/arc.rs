@@ -1,0 +1,197 @@
+//! Manhattan arcs: loci of prescribed Manhattan distances from two centers.
+//!
+//! The DME merge-segment construction (paper §2.2) needs "the set of points
+//! at Manhattan distance `l1` from `n1` and `l2` from `n2`". In the L1
+//! metric a "circle" of radius `r` is a diamond (a square rotated 45°), and
+//! the intersection of two diamonds whose radii sum to at least the
+//! center-to-center distance is a ±45° segment — a *Manhattan arc*.
+
+use crate::{Point, Segment};
+
+/// The locus of points at Manhattan distance `l1` from one center and `l2`
+/// from another — the merge segment of zero-skew clock routing.
+///
+/// Constructed with [`ManhattanArc::from_radii`]; the result is a ±45°
+/// [`Segment`] (possibly degenerate to a point).
+///
+/// ```
+/// use cts_geom::{ManhattanArc, Point};
+/// let n1 = Point::new(0.0, 0.0);
+/// let n2 = Point::new(10.0, 0.0);
+/// // Balanced merge point exactly in the middle:
+/// let arc = ManhattanArc::from_radii(n1, n2, 5.0, 5.0).unwrap();
+/// let seg = arc.segment();
+/// assert!(seg.is_manhattan_arc());
+/// assert!((seg.midpoint().x - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManhattanArc {
+    segment: Segment,
+    l1: f64,
+    l2: f64,
+    n1: Point,
+    n2: Point,
+}
+
+impl ManhattanArc {
+    /// Computes the detour-free Manhattan arc at distance `l1` from `n1` and
+    /// `l2` from `n2`.
+    ///
+    /// This is the merge-segment construction of zero-skew routing, which is
+    /// only meaningful when the connection takes no detour: `l1 + l2` must
+    /// equal `dist(n1, n2)` (within a small numerical slack). Returns `None`
+    /// for negative/non-finite radii or radii that are not tight — callers
+    /// that need extra wirelength (wire snaking) handle that separately, as
+    /// the paper's balance stage does (§4.2.1).
+    ///
+    /// The implementation works in the rotated frame `(u, v) = (x+y, x−y)`,
+    /// where each diamond becomes an axis-aligned square of half-side `l`,
+    /// and two tightly touching square boundaries meet in an axis-aligned
+    /// segment in `(u, v)` — i.e. a ±45° segment in `(x, y)`.
+    pub fn from_radii(n1: Point, n2: Point, l1: f64, l2: f64) -> Option<ManhattanArc> {
+        if l1 < 0.0 || l2 < 0.0 || !l1.is_finite() || !l2.is_finite() {
+            return None;
+        }
+        let d = n1.manhattan_dist(n2);
+        let slack = 1e-9 * d.max(1.0);
+        if (l1 + l2 - d).abs() > slack {
+            return None;
+        }
+
+        // Work in the rotated frame: squares [u±l], [v±l] around each center.
+        let (u1, v1) = n1.to_rotated();
+        let (u2, v2) = n2.to_rotated();
+
+        // Intersect the two squares (as filled boxes); for the detour-free
+        // case l1 + l2 == d the intersection of the *boundaries* equals the
+        // intersection of the boxes, which is a segment or point.
+        let ulo = (u1 - l1).max(u2 - l2);
+        let uhi = (u1 + l1).min(u2 + l2);
+        let vlo = (v1 - l1).max(v2 - l2);
+        let vhi = (v1 + l1).min(v2 + l2);
+        if ulo > uhi + slack || vlo > vhi + slack {
+            return None;
+        }
+        // One of the two dimensions is (numerically) collapsed when radii are
+        // tight; pick the thinner dimension as the fixed one.
+        let (a, b) = if (uhi - ulo) <= (vhi - vlo) {
+            let u = (ulo + uhi) / 2.0;
+            (Point::from_rotated(u, vlo), Point::from_rotated(u, vhi))
+        } else {
+            let v = (vlo + vhi) / 2.0;
+            (Point::from_rotated(ulo, v), Point::from_rotated(uhi, v))
+        };
+        Some(ManhattanArc {
+            segment: Segment::new(a, b),
+            l1,
+            l2,
+            n1,
+            n2,
+        })
+    }
+
+    /// The arc as a plain segment (±45° or degenerate).
+    pub fn segment(&self) -> Segment {
+        self.segment
+    }
+
+    /// Radius from the first center used to construct the arc.
+    pub fn radius1(&self) -> f64 {
+        self.l1
+    }
+
+    /// Radius from the second center used to construct the arc.
+    pub fn radius2(&self) -> f64 {
+        self.l2
+    }
+
+    /// First center.
+    pub fn center1(&self) -> Point {
+        self.n1
+    }
+
+    /// Second center.
+    pub fn center2(&self) -> Point {
+        self.n2
+    }
+
+    /// Maximum deviation, over sampled arc points, of the Manhattan distances
+    /// to the two centers from the prescribed radii. Useful for testing and
+    /// assertions; ideally zero.
+    pub fn radius_error(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        const STEPS: usize = 16;
+        for i in 0..=STEPS {
+            let p = self.segment.at(i as f64 / STEPS as f64);
+            worst = worst
+                .max((p.manhattan_dist(self.n1) - self.l1).abs())
+                .max((p.manhattan_dist(self.n2) - self.l2).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_arc_between_horizontal_centers() {
+        let n1 = Point::new(0.0, 0.0);
+        let n2 = Point::new(10.0, 0.0);
+        let arc = ManhattanArc::from_radii(n1, n2, 4.0, 6.0).unwrap();
+        assert!(arc.segment().is_manhattan_arc());
+        assert!(arc.radius_error() < 1e-6, "err = {}", arc.radius_error());
+    }
+
+    #[test]
+    fn diagonal_centers_give_full_antidiagonal() {
+        // Centers aligned at 45°: the tight arc is the anti-diagonal segment
+        // between (0, 5) and (5, 0), every point of which is at Manhattan
+        // distance 5 from both centers.
+        let n1 = Point::new(0.0, 0.0);
+        let n2 = Point::new(5.0, 5.0);
+        let arc = ManhattanArc::from_radii(n1, n2, 5.0, 5.0).unwrap();
+        assert!(arc.radius_error() < 1e-6);
+        assert!(arc.segment().length() > 1.0);
+    }
+
+    #[test]
+    fn too_small_radii_yield_none() {
+        let n1 = Point::new(0.0, 0.0);
+        let n2 = Point::new(10.0, 0.0);
+        assert!(ManhattanArc::from_radii(n1, n2, 3.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn loose_radii_yield_none() {
+        let n1 = Point::new(0.0, 0.0);
+        let n2 = Point::new(1.0, 0.0);
+        // Radii that overshoot the distance are a snaking case, not an arc.
+        assert!(ManhattanArc::from_radii(n1, n2, 10.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn negative_radius_rejected() {
+        let n1 = Point::new(0.0, 0.0);
+        let n2 = Point::new(2.0, 0.0);
+        assert!(ManhattanArc::from_radii(n1, n2, -1.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn coincident_centers_zero_radii() {
+        let n = Point::new(3.0, 3.0);
+        let arc = ManhattanArc::from_radii(n, n, 0.0, 0.0).unwrap();
+        assert!(arc.segment().is_degenerate());
+        assert_eq!(arc.segment().a, n);
+    }
+
+    #[test]
+    fn endpoint_arc_when_one_radius_zero() {
+        let n1 = Point::new(0.0, 0.0);
+        let n2 = Point::new(4.0, 2.0);
+        let arc = ManhattanArc::from_radii(n1, n2, 0.0, 6.0).unwrap();
+        assert!(arc.segment().is_degenerate());
+        assert_eq!(arc.segment().a, n1);
+    }
+}

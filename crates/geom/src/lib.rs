@@ -1,0 +1,62 @@
+//! Manhattan (rectilinear) geometry substrate for clock tree synthesis.
+//!
+//! Clock routing in the target paper — and in VLSI physical design generally —
+//! happens in the L1 (Manhattan) metric: wires run horizontally and
+//! vertically, so the length of a shortest connection between two points is
+//! `|dx| + |dy|`. This crate provides the geometric vocabulary the rest of
+//! the workspace builds on:
+//!
+//! * [`Point`] — a location in µm with Manhattan-distance helpers,
+//! * [`Rect`] — axis-aligned bounding boxes,
+//! * [`ManhattanArc`] — the ±45° segments that arise as loci of equal
+//!   Manhattan distance (the "merge segments" of DME-style algorithms),
+//! * [`RoutingGrid`] — the dynamically sized maze-routing grid of §4.2 of the
+//!   paper (default R = 45 cells per dimension of the bounding box).
+//!
+//! All coordinates are in micrometers (µm) throughout the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use cts_geom::{Point, RoutingGrid};
+//!
+//! let a = Point::new(0.0, 0.0);
+//! let b = Point::new(300.0, 400.0);
+//! assert_eq!(a.manhattan_dist(b), 700.0);
+//!
+//! let grid = RoutingGrid::between(a, b, 45);
+//! assert!(grid.cell_count() >= 45 * 45);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arc;
+mod grid;
+mod point;
+mod rect;
+mod segment;
+
+pub use arc::ManhattanArc;
+pub use grid::{CellId, RoutingGrid, MAX_CELL_PITCH_UM};
+pub use point::Point;
+pub use rect::Rect;
+pub use segment::Segment;
+
+/// Relative tolerance used by geometric equality checks in this crate.
+///
+/// Coordinates are in µm; a nanometer (1e-3 µm) is far below manufacturing
+/// grid resolution, so two coordinates closer than this are "the same".
+pub const GEOM_EPS: f64 = 1e-6;
+
+/// Returns `true` if `a` and `b` are equal within [`GEOM_EPS`] scaled by
+/// magnitude.
+///
+/// ```
+/// assert!(cts_geom::approx_eq(1.0, 1.0 + 1e-9));
+/// assert!(!cts_geom::approx_eq(1.0, 1.1));
+/// ```
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= GEOM_EPS * scale
+}

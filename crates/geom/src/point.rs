@@ -1,0 +1,199 @@
+//! Points in the Manhattan plane.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A location on the chip, in micrometers.
+///
+/// `Point` is the fundamental coordinate type of the workspace: clock sinks,
+/// merge nodes, buffer sites and routing-grid cell centers are all `Point`s.
+/// Distances between points are Manhattan (L1) unless a method says
+/// otherwise, because clock wires are rectilinear.
+///
+/// ```
+/// use cts_geom::Point;
+/// let sink = Point::new(120.0, 40.5);
+/// assert_eq!(sink.manhattan_dist(Point::ORIGIN), 160.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in µm.
+    pub x: f64,
+    /// Vertical coordinate in µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates (µm).
+    ///
+    /// ```
+    /// let p = cts_geom::Point::new(3.0, 4.0);
+    /// assert_eq!((p.x, p.y), (3.0, 4.0));
+    /// ```
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`, i.e. the minimum rectilinear
+    /// wirelength required to connect the two points.
+    ///
+    /// ```
+    /// use cts_geom::Point;
+    /// let d = Point::new(0.0, 0.0).manhattan_dist(Point::new(3.0, -4.0));
+    /// assert_eq!(d, 7.0);
+    /// ```
+    pub fn manhattan_dist(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`. Used only for tie-breaking and
+    /// reporting; routing always uses [`Point::manhattan_dist`].
+    pub fn euclidean_dist(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation: returns the point a fraction `t` of the way from
+    /// `self` to `other` (straight line in coordinate space).
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`. Values outside `[0, 1]`
+    /// extrapolate.
+    ///
+    /// ```
+    /// use cts_geom::Point;
+    /// let m = Point::new(0.0, 0.0).lerp(Point::new(10.0, 20.0), 0.5);
+    /// assert_eq!(m, Point::new(5.0, 10.0));
+    /// ```
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Rotated coordinates `(u, v) = (x + y, x − y)`.
+    ///
+    /// In the rotated frame, Manhattan distance becomes Chebyshev (L∞)
+    /// distance and Manhattan arcs become axis-aligned segments; this is the
+    /// standard trick for merge-segment computations.
+    pub fn to_rotated(self) -> (f64, f64) {
+        (self.x + self.y, self.x - self.y)
+    }
+
+    /// Inverse of [`Point::to_rotated`].
+    pub fn from_rotated(u: f64, v: f64) -> Point {
+        Point::new((u + v) / 2.0, (u - v) / 2.0)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn manhattan_distance_basics() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, -2.0);
+        assert_eq!(a.manhattan_dist(b), 7.0);
+        assert_eq!(b.manhattan_dist(a), 7.0);
+        assert_eq!(a.manhattan_dist(a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_never_exceeds_manhattan() {
+        let a = Point::new(-3.0, 8.0);
+        let b = Point::new(10.0, 1.5);
+        assert!(a.euclidean_dist(b) <= a.manhattan_dist(b));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(2.0, 3.0);
+        let b = Point::new(6.0, -1.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(4.0, 1.0));
+    }
+
+    #[test]
+    fn rotated_roundtrip() {
+        let p = Point::new(12.5, -7.25);
+        let (u, v) = p.to_rotated();
+        let q = Point::from_rotated(u, v);
+        assert!(approx_eq(p.x, q.x) && approx_eq(p.y, q.y));
+    }
+
+    #[test]
+    fn rotated_maps_manhattan_to_chebyshev() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        let (ua, va) = a.to_rotated();
+        let (ub, vb) = b.to_rotated();
+        let chebyshev = (ua - ub).abs().max((va - vb).abs());
+        assert!(approx_eq(chebyshev, a.manhattan_dist(b)));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a + b, Point::new(4.0, 6.0));
+        assert_eq!(b - a, Point::new(2.0, 2.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+    }
+}

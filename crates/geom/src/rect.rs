@@ -1,0 +1,214 @@
+//! Axis-aligned rectangles (bounding boxes, chip outlines).
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle, used for chip outlines, routing regions and
+/// bounding boxes.
+///
+/// A `Rect` is stored by its lower-left and upper-right corners and is always
+/// normalized (`lo.x <= hi.x`, `lo.y <= hi.y`). Degenerate rectangles (zero
+/// width and/or height) are allowed: the bounding box of a single point is a
+/// zero-area `Rect`.
+///
+/// ```
+/// use cts_geom::{Point, Rect};
+/// let r = Rect::from_corners(Point::new(10.0, 0.0), Point::new(0.0, 5.0));
+/// assert_eq!(r.width(), 10.0);
+/// assert_eq!(r.height(), 5.0);
+/// assert!(r.contains(Point::new(5.0, 2.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates the rectangle spanning two arbitrary corner points.
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle from origin `(0,0)` to `(w, h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative or non-finite.
+    pub fn with_size(w: f64, h: f64) -> Rect {
+        assert!(
+            w >= 0.0 && h >= 0.0 && w.is_finite() && h.is_finite(),
+            "rectangle size must be finite and non-negative, got {w} x {h}"
+        );
+        Rect {
+            lo: Point::ORIGIN,
+            hi: Point::new(w, h),
+        }
+    }
+
+    /// Smallest rectangle containing every point of the iterator, or `None`
+    /// for an empty iterator.
+    ///
+    /// ```
+    /// use cts_geom::{Point, Rect};
+    /// let pts = [Point::new(1.0, 7.0), Point::new(-2.0, 3.0)];
+    /// let bb = Rect::bounding(pts.iter().copied()).unwrap();
+    /// assert_eq!(bb.lo(), Point::new(-2.0, 3.0));
+    /// assert_eq!(bb.hi(), Point::new(1.0, 7.0));
+    /// ```
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in it {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some(Rect { lo, hi })
+    }
+
+    /// Lower-left corner.
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width (x extent) in µm.
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (y extent) in µm.
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in µm².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The longer of width and height — the `l` of the paper's complexity
+    /// analysis (§4.3).
+    pub fn longer_dim(&self) -> f64 {
+        self.width().max(self.height())
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(self.hi)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Returns the rectangle grown by `margin` on every side.
+    ///
+    /// A negative margin shrinks the rectangle; it is clamped so the result
+    /// stays normalized (collapsing to the center line/point if needed).
+    pub fn expand(&self, margin: f64) -> Rect {
+        let lo = Point::new(self.lo.x - margin, self.lo.y - margin);
+        let hi = Point::new(self.hi.x + margin, self.hi.y + margin);
+        if lo.x > hi.x || lo.y > hi.y {
+            let c = self.center();
+            Rect { lo: c, hi: c }
+        } else {
+            Rect { lo, hi }
+        }
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Clamps `p` to the closest point inside the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.lo.x, self.hi.x),
+            p.y.clamp(self.lo.y, self.hi.y),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} — {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalize() {
+        let r = Rect::from_corners(Point::new(5.0, -1.0), Point::new(-5.0, 9.0));
+        assert_eq!(r.lo(), Point::new(-5.0, -1.0));
+        assert_eq!(r.hi(), Point::new(5.0, 9.0));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 10.0);
+        assert_eq!(r.longer_dim(), 10.0);
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+        let single = Rect::bounding([Point::new(2.0, 2.0)]).unwrap();
+        assert_eq!(single.area(), 0.0);
+        assert!(single.contains(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let r = Rect::with_size(4.0, 4.0);
+        assert!(r.contains(Point::ORIGIN));
+        assert!(r.contains(Point::new(4.0, 4.0)));
+        assert!(!r.contains(Point::new(4.0001, 0.0)));
+    }
+
+    #[test]
+    fn expand_and_collapse() {
+        let r = Rect::with_size(2.0, 2.0);
+        let grown = r.expand(1.0);
+        assert_eq!(grown.width(), 4.0);
+        let collapsed = r.expand(-5.0);
+        assert_eq!(collapsed.area(), 0.0);
+        assert_eq!(collapsed.center(), r.center());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::with_size(1.0, 1.0);
+        let b = Rect::from_corners(Point::new(3.0, 3.0), Point::new(4.0, 5.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point::ORIGIN));
+        assert!(u.contains(Point::new(4.0, 5.0)));
+    }
+
+    #[test]
+    fn clamp_projects_inside() {
+        let r = Rect::with_size(2.0, 2.0);
+        assert_eq!(r.clamp(Point::new(-1.0, 5.0)), Point::new(0.0, 2.0));
+        assert_eq!(r.clamp(Point::new(1.0, 1.0)), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn with_size_rejects_negative() {
+        let _ = Rect::with_size(-1.0, 2.0);
+    }
+}

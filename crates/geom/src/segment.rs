@@ -1,0 +1,144 @@
+//! Line segments, including the degenerate single-point case.
+
+use crate::{approx_eq, Point};
+use std::fmt;
+
+/// A straight segment between two points (possibly degenerate).
+///
+/// Merge segments in DME-style algorithms and the `v1–v2` line of the
+/// paper's binary-search stage (§4.2.3) are both `Segment`s. A segment whose
+/// endpoints coincide represents a single point — common for merge "regions"
+/// that collapse under detour-free balancing.
+///
+/// ```
+/// use cts_geom::{Point, Segment};
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+/// assert_eq!(s.length(), 10.0);
+/// assert_eq!(s.at(0.25), Point::new(2.5, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    pub fn new(a: Point, b: Point) -> Segment {
+        Segment { a, b }
+    }
+
+    /// Creates the degenerate segment consisting of a single point.
+    pub fn point(p: Point) -> Segment {
+        Segment { a: p, b: p }
+    }
+
+    /// Euclidean length of the segment.
+    pub fn length(&self) -> f64 {
+        self.a.euclidean_dist(self.b)
+    }
+
+    /// Manhattan length of the segment.
+    pub fn manhattan_length(&self) -> f64 {
+        self.a.manhattan_dist(self.b)
+    }
+
+    /// Returns `true` if the segment is a single point.
+    pub fn is_degenerate(&self) -> bool {
+        approx_eq(self.a.x, self.b.x) && approx_eq(self.a.y, self.b.y)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment (`0 ↦ a`, `1 ↦ b`).
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.at(0.5)
+    }
+
+    /// The point of the segment closest (in Manhattan distance) to `p`,
+    /// found by dense parametric sampling.
+    ///
+    /// Manhattan projection onto an arbitrary segment has no single closed
+    /// form across all slopes; for the short merge segments this crate deals
+    /// with, sampling at 1/256 resolution is well below the manufacturing
+    /// grid and keeps the code obviously correct.
+    pub fn closest_point_manhattan(&self, p: Point) -> Point {
+        if self.is_degenerate() {
+            return self.a;
+        }
+        let mut best = self.a;
+        let mut best_d = best.manhattan_dist(p);
+        const STEPS: usize = 256;
+        for i in 1..=STEPS {
+            let q = self.at(i as f64 / STEPS as f64);
+            let d = q.manhattan_dist(p);
+            if d < best_d {
+                best_d = d;
+                best = q;
+            }
+        }
+        best
+    }
+
+    /// Returns `true` if the segment is a Manhattan arc: a single point or a
+    /// segment of slope exactly ±1 (where loci of equal Manhattan distance
+    /// live).
+    pub fn is_manhattan_arc(&self) -> bool {
+        if self.is_degenerate() {
+            return true;
+        }
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        approx_eq(dx.abs(), dy.abs())
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::point(Point::new(1.0, 1.0));
+        assert!(s.is_degenerate());
+        assert_eq!(s.length(), 0.0);
+        assert!(s.is_manhattan_arc());
+        assert_eq!(s.closest_point_manhattan(Point::new(9.0, 9.0)), s.a);
+    }
+
+    #[test]
+    fn parametrization() {
+        let s = Segment::new(Point::ORIGIN, Point::new(4.0, 8.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+        assert_eq!(s.midpoint(), Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn manhattan_arc_detection() {
+        let arc = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, -3.0));
+        assert!(arc.is_manhattan_arc());
+        let not_arc = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 1.0));
+        assert!(!not_arc.is_manhattan_arc());
+    }
+
+    #[test]
+    fn closest_point_is_no_worse_than_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let p = Point::new(8.0, 2.0);
+        let q = s.closest_point_manhattan(p);
+        assert!(q.manhattan_dist(p) <= s.a.manhattan_dist(p));
+        assert!(q.manhattan_dist(p) <= s.b.manhattan_dist(p));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the Manhattan geometry substrate.
+
+use cts_geom::{ManhattanArc, Point, Rect, RoutingGrid, Segment};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Chip-scale coordinates: ±20 mm in µm.
+    -20_000.0..20_000.0f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Manhattan distance is a metric: symmetry, identity, triangle
+    /// inequality.
+    #[test]
+    fn manhattan_is_a_metric(a in point(), b in point(), c in point()) {
+        let ab = a.manhattan_dist(b);
+        let ba = b.manhattan_dist(a);
+        prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
+        prop_assert!(a.manhattan_dist(a) == 0.0);
+        let ac = a.manhattan_dist(c);
+        let cb = c.manhattan_dist(b);
+        prop_assert!(ab <= ac + cb + 1e-9 * (ac + cb).max(1.0));
+    }
+
+    /// L2 <= L1 <= sqrt(2) * L2.
+    #[test]
+    fn norm_equivalence(a in point(), b in point()) {
+        let l1 = a.manhattan_dist(b);
+        let l2 = a.euclidean_dist(b);
+        prop_assert!(l2 <= l1 + 1e-9);
+        prop_assert!(l1 <= l2 * std::f64::consts::SQRT_2 + 1e-9);
+    }
+
+    /// The rotated frame preserves information and maps L1 to Chebyshev.
+    #[test]
+    fn rotation_roundtrip(p in point()) {
+        let (u, v) = p.to_rotated();
+        let q = Point::from_rotated(u, v);
+        prop_assert!(p.manhattan_dist(q) < 1e-6);
+    }
+
+    /// Bounding boxes contain all of their points.
+    #[test]
+    fn bounding_contains_all(pts in prop::collection::vec(point(), 1..40)) {
+        let bb = Rect::bounding(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+    }
+
+    /// A detour-free merge arc, when it exists, satisfies both radius
+    /// constraints everywhere along the arc.
+    #[test]
+    fn merge_arc_radii_are_exact(
+        n1 in point(),
+        n2 in point(),
+        frac in 0.0..1.0f64,
+    ) {
+        let d = n1.manhattan_dist(n2);
+        prop_assume!(d > 1e-6);
+        let l1 = frac * d;
+        let l2 = d - l1;
+        let arc = ManhattanArc::from_radii(n1, n2, l1, l2)
+            .expect("tight radii must always produce an arc");
+        // Scale-aware bound: coordinates up to 4e4, so 1e-7 relative.
+        prop_assert!(arc.radius_error() <= 1e-6 * d.max(1.0),
+            "radius error {} for d = {}", arc.radius_error(), d);
+        prop_assert!(arc.segment().is_manhattan_arc());
+    }
+
+    /// Segment closest-point never does worse than both endpoints.
+    #[test]
+    fn closest_point_dominates_endpoints(a in point(), b in point(), p in point()) {
+        let s = Segment::new(a, b);
+        let q = s.closest_point_manhattan(p);
+        let dq = q.manhattan_dist(p);
+        prop_assert!(dq <= a.manhattan_dist(p) + 1e-9 * dq.max(1.0));
+        prop_assert!(dq <= b.manhattan_dist(p) + 1e-9 * dq.max(1.0));
+    }
+
+    /// Every grid keeps its pitch under the dynamic-sizing cap, covers both
+    /// endpoints, and nearest_cell is consistent with cell_center.
+    #[test]
+    fn grid_invariants(a in point(), b in point()) {
+        let g = RoutingGrid::between(a, b, 45);
+        prop_assert!(g.pitch_x() <= cts_geom::MAX_CELL_PITCH_UM + 1e-9);
+        prop_assert!(g.pitch_y() <= cts_geom::MAX_CELL_PITCH_UM + 1e-9);
+        prop_assert!(g.region().contains(a));
+        prop_assert!(g.region().contains(b));
+        for p in [a, b, a.midpoint(b)] {
+            let c = g.nearest_cell(p);
+            prop_assert!(g.in_bounds(c));
+            // Center of the chosen cell is within one cell of the query.
+            prop_assert!(g.cell_center(c).manhattan_dist(p)
+                <= g.pitch_x() + g.pitch_y() + 1e-9);
+        }
+    }
+
+    /// Grid neighbors are symmetric: if b is a neighbor of a, a is one of b.
+    #[test]
+    fn grid_neighbor_symmetry(a in point(), b in point(), col in 0u32..1000, row in 0u32..1000) {
+        let g = RoutingGrid::between(a, b, 45);
+        let id = cts_geom::CellId::new(col % g.cols(), row % g.rows());
+        for n in g.neighbors(id) {
+            prop_assert!(g.neighbors(n).any(|m| m == id));
+        }
+    }
+}

@@ -1,0 +1,878 @@
+//! Transient analysis: staged Newton solves over tree-structured resistive
+//! components.
+//!
+//! CTS circuits are feed-forward: resistive (wire) components are RC trees,
+//! and the only couplings between them are unilateral CMOS gates (a gate
+//! senses its input voltage and injects current at its output). The solver
+//! exploits this:
+//!
+//! 1. Nodes are partitioned into *components* — connected subgraphs of the
+//!    resistor graph. Components that are trees (the normal case) are solved
+//!    in O(n) by leaf-to-root elimination; anything else falls back to dense
+//!    LU.
+//! 2. Components are ordered topologically along inverter input→output
+//!    dependencies and solved in that order at every timestep, so each
+//!    gate's input waveform is already known when its output component is
+//!    solved.
+//! 3. Within a component, Newton iteration handles the square-law driver
+//!    nonlinearity; the linear part (wire G, cap companion models) stays
+//!    fixed across iterations.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::SimError;
+use crate::units::PS;
+use crate::waveform::Waveform;
+
+/// Time integration scheme for the transient solver.
+///
+/// Backward Euler is unconditionally stable and non-oscillatory but first
+/// order (slightly dissipative: it rounds waveform corners). Trapezoidal is
+/// second order and preserves slews better at the same step size. The
+/// characterization flow uses trapezoidal; backward Euler is kept for
+/// robustness comparisons and as an ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order implicit Euler.
+    BackwardEuler,
+    /// Second-order trapezoidal rule.
+    #[default]
+    Trapezoidal,
+}
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Simulation end time (seconds). The run covers `[0, t_stop]`.
+    pub t_stop: f64,
+    /// Fixed timestep (seconds).
+    pub dt: f64,
+    /// Integration scheme.
+    pub integrator: Integrator,
+    /// Newton convergence tolerance on voltage updates (volts).
+    pub newton_tol: f64,
+    /// Maximum Newton iterations per component per timestep.
+    pub max_newton: usize,
+}
+
+impl SimOptions {
+    /// Reasonable defaults for ps-scale CTS circuits: 0.25 ps trapezoidal
+    /// steps, 1 µV Newton tolerance.
+    pub fn default_for(t_stop: f64) -> SimOptions {
+        SimOptions {
+            t_stop,
+            dt: 0.25 * PS,
+            integrator: Integrator::default(),
+            newton_tol: 1e-6,
+            max_newton: 60,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(SimError::BadOptions(format!("dt = {}", self.dt)));
+        }
+        if !(self.t_stop > 0.0 && self.t_stop.is_finite()) {
+            return Err(SimError::BadOptions(format!("t_stop = {}", self.t_stop)));
+        }
+        if self.dt > self.t_stop {
+            return Err(SimError::BadOptions(format!(
+                "dt ({}) exceeds t_stop ({})",
+                self.dt, self.t_stop
+            )));
+        }
+        if self.max_newton == 0 || !(self.newton_tol > 0.0) {
+            return Err(SimError::BadOptions(
+                "newton parameters must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient run: sampled voltages for every node.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `volts[node][step]`
+    volts: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The shared time axis (seconds).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Raw voltage samples of a node, parallel to [`TransientResult::times`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn samples(&self, node: NodeId) -> &[f64] {
+        &self.volts[node.index()]
+    }
+
+    /// The waveform observed at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        Waveform::from_samples(self.times.clone(), self.volts[node.index()].clone())
+    }
+}
+
+/// Penalty conductance (S) used to enforce source voltages. Circuit
+/// conductances are O(1) S, so the penalty dominates by nine orders of
+/// magnitude while staying far from f64 overflow in the elimination.
+const DIRICHLET_PENALTY: f64 = 1e9;
+
+/// Newton step damping: voltage updates are clamped to this many volts per
+/// iteration to keep the square-law model from overshooting.
+const MAX_NEWTON_STEP_V: f64 = 0.4;
+
+enum ComponentKind {
+    /// Tree component: `order` is a leaf-first elimination order over local
+    /// indices; `parent[i]`/`g_par[i]` give each local node's parent and the
+    /// conductance of the connecting resistor (root has no parent).
+    Tree {
+        order: Vec<usize>,
+        parent: Vec<Option<usize>>,
+        g_par: Vec<f64>,
+    },
+    /// General component solved by dense LU: local resistor list
+    /// `(local_a, local_b, conductance)`.
+    Dense { edges: Vec<(usize, usize, f64)> },
+}
+
+struct Component {
+    /// Global node index per local index.
+    nodes: Vec<usize>,
+    /// Local index per global node (only valid for members).
+    kind: ComponentKind,
+    /// Inverters whose *output* lies in this component:
+    /// `(input global, output local, size)`.
+    drivers: Vec<(usize, usize, f64)>,
+    /// Local indices of driven (source) nodes, with source table index.
+    dirichlet: Vec<(usize, usize)>,
+}
+
+struct Partition {
+    components: Vec<Component>,
+    /// Topological order over `components`.
+    topo: Vec<usize>,
+}
+
+fn partition(circuit: &Circuit) -> Result<Partition, SimError> {
+    let n = circuit.node_count();
+    if n == 0 {
+        return Err(SimError::EmptyCircuit);
+    }
+
+    // Connected components of the resistor graph.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for r in &circuit.resistors {
+        let (a, b) = (r.a.index(), r.b.index());
+        let g = 1.0 / r.ohms;
+        adj[a].push((b, g));
+        adj[b].push((a, g));
+    }
+
+    let mut comp_of = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if comp_of[start] != usize::MAX {
+            continue;
+        }
+        let cid = components.len();
+        // BFS, building a spanning tree; detect extra edges -> not a tree.
+        let mut nodes = vec![start];
+        comp_of[start] = cid;
+        let mut parent_global: Vec<Option<usize>> = vec![None];
+        let mut g_par: Vec<f64> = vec![0.0];
+        let mut is_tree = true;
+        let mut edge_count = 0usize;
+        let mut head = 0;
+        while head < nodes.len() {
+            let u = nodes[head];
+            for &(v, g) in &adj[u] {
+                edge_count += 1;
+                if comp_of[v] == usize::MAX {
+                    comp_of[v] = cid;
+                    nodes.push(v);
+                    parent_global.push(Some(u));
+                    g_par.push(g);
+                }
+            }
+            head += 1;
+        }
+        // Each resistor was counted twice (both directions).
+        if edge_count / 2 != nodes.len() - 1 {
+            is_tree = false;
+        }
+
+        let local_of = |global: usize, nodes: &[usize]| -> usize {
+            nodes.iter().position(|&g| g == global).expect("member")
+        };
+
+        let kind = if is_tree {
+            // BFS order has parents before children; reverse for leaf-first.
+            let mut order: Vec<usize> = (0..nodes.len()).collect();
+            order.reverse();
+            let parent = parent_global
+                .iter()
+                .map(|p| p.map(|g| local_of(g, &nodes)))
+                .collect();
+            ComponentKind::Tree {
+                order,
+                parent,
+                g_par,
+            }
+        } else {
+            let mut edges = Vec::new();
+            for r in &circuit.resistors {
+                let (a, b) = (r.a.index(), r.b.index());
+                if comp_of[a] == cid {
+                    edges.push((local_of(a, &nodes), local_of(b, &nodes), 1.0 / r.ohms));
+                }
+            }
+            ComponentKind::Dense { edges }
+        };
+
+        components.push(Component {
+            nodes,
+            kind,
+            drivers: Vec::new(),
+            dirichlet: Vec::new(),
+        });
+    }
+
+    // `local_of` via a global map (components are disjoint).
+    let mut local_of = vec![usize::MAX; n];
+    for comp in &components {
+        for (li, &g) in comp.nodes.iter().enumerate() {
+            local_of[g] = li;
+        }
+    }
+
+    for inv in &circuit.inverters {
+        let out = inv.output.index();
+        let cid = comp_of[out];
+        components[cid]
+            .drivers
+            .push((inv.input.index(), local_of[out], inv.size));
+    }
+    for (si, (node, _)) in circuit.sources.iter().enumerate() {
+        let g = node.index();
+        components[comp_of[g]].dirichlet.push((local_of[g], si));
+    }
+
+    // Topological order over inverter dependencies (Kahn's algorithm).
+    let m = components.len();
+    let mut indeg = vec![0usize; m];
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (cid, comp) in components.iter().enumerate() {
+        for &(input_global, _, _) in &comp.drivers {
+            let from = comp_of[input_global];
+            if from != cid {
+                out_edges[from].push(cid);
+                indeg[cid] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..m).filter(|&c| indeg[c] == 0).collect();
+    let mut topo = Vec::with_capacity(m);
+    while let Some(c) = queue.pop() {
+        topo.push(c);
+        for &d in &out_edges[c] {
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    if topo.len() != m {
+        return Err(SimError::FeedbackLoop);
+    }
+
+    Ok(Partition { components, topo })
+}
+
+/// Solves `A x = rhs` where `A` is the tree matrix with diagonal `diag` and
+/// off-diagonal `-g_par[i]` between each node and its parent. `order` is
+/// leaf-first. Overwrites `diag`/`rhs` as scratch; returns voltages in
+/// `out`.
+fn solve_tree(
+    order: &[usize],
+    parent: &[Option<usize>],
+    g_par: &[f64],
+    diag: &mut [f64],
+    rhs: &mut [f64],
+    out: &mut [f64],
+) {
+    // Leaf-to-root elimination.
+    for &i in order {
+        if let Some(p) = parent[i] {
+            let factor = g_par[i] / diag[i];
+            diag[p] -= g_par[i] * factor;
+            rhs[p] += factor * rhs[i];
+        }
+    }
+    // Root-to-leaf back-substitution (reverse order = parents first).
+    for &i in order.iter().rev() {
+        match parent[i] {
+            None => out[i] = rhs[i] / diag[i],
+            Some(p) => out[i] = (rhs[i] + g_par[i] * out[p]) / diag[i],
+        }
+    }
+}
+
+/// Dense LU solve with partial pivoting. `a` is row-major `n x n`.
+/// Returns `false` if the matrix is singular.
+fn solve_dense(a: &mut [f64], n: usize, rhs: &mut [f64]) -> bool {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                piv = row;
+            }
+        }
+        if best < 1e-300 {
+            return false;
+        }
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for row in (col + 1)..n {
+            let f = a[row * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * rhs[k];
+        }
+        rhs[row] = acc / a[row * n + row];
+    }
+    true
+}
+
+/// Per-component scratch buffers reused across timesteps.
+struct Scratch {
+    diag_const: Vec<f64>,
+    diag: Vec<f64>,
+    rhs: Vec<f64>,
+    v_iter: Vec<f64>,
+    v_next: Vec<f64>,
+    dense: Vec<f64>,
+}
+
+/// Runs transient analysis on a circuit.
+///
+/// The circuit's source waveforms define all stimulus; every node starts at
+/// its DC operating point for the sources' `t = 0` values.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for empty circuits, invalid options, feedback loops
+/// between gate stages, or numerical failure (divergence, non-finite
+/// solutions).
+pub fn simulate(circuit: &Circuit, opts: &SimOptions) -> Result<TransientResult, SimError> {
+    opts.validate()?;
+    let part = partition(circuit)?;
+    let n = circuit.node_count();
+    let tech = circuit.tech();
+    let gmin = tech.gmin();
+
+    let steps = (opts.t_stop / opts.dt).ceil() as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut volts: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n];
+
+    // Constant per-node linear conductance (gmin + resistor incidences) is
+    // folded into diag_const per component below. Capacitance companion
+    // terms are added per step (they depend only on dt, which is fixed, but
+    // keeping them separate keeps DC and transient assembly uniform).
+    let mut scratch: Vec<Scratch> = part
+        .components
+        .iter()
+        .map(|comp| {
+            let cn = comp.nodes.len();
+            let mut diag_const = vec![gmin; cn];
+            match &comp.kind {
+                ComponentKind::Tree { parent, g_par, .. } => {
+                    for i in 0..cn {
+                        if let Some(p) = parent[i] {
+                            diag_const[i] += g_par[i];
+                            diag_const[p] += g_par[i];
+                        }
+                    }
+                }
+                ComponentKind::Dense { edges } => {
+                    for &(a, b, g) in edges {
+                        diag_const[a] += g;
+                        diag_const[b] += g;
+                    }
+                }
+            }
+            Scratch {
+                diag_const,
+                diag: vec![0.0; cn],
+                rhs: vec![0.0; cn],
+                v_iter: vec![0.0; cn],
+                v_next: vec![0.0; cn],
+                dense: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut v_now = vec![0.0f64; n];
+    // Non-capacitive current into each node at the previous accepted step
+    // (trapezoidal history).
+    let mut i_hist = vec![0.0f64; n];
+
+    // --- DC operating point at t = 0 -------------------------------------
+    for &cid in &part.topo {
+        let comp = &part.components[cid];
+        let s = &mut scratch[cid];
+        for (li, &g) in comp.nodes.iter().enumerate() {
+            s.v_iter[li] = v_now[g]; // zero; refined by Newton below
+        }
+        newton_solve(
+            circuit, comp, s, &v_now, /*cap_scale=*/ 0.0, opts.dt, 0.0, None, opts, 400,
+        )
+        .map_err(|e| promote_divergence(e, 0.0, circuit, comp))?;
+        for (li, &g) in comp.nodes.iter().enumerate() {
+            v_now[g] = s.v_iter[li];
+        }
+    }
+    record_step(&mut times, &mut volts, 0.0, &v_now);
+    update_current_history(circuit, &v_now, &mut i_hist);
+
+    // --- time stepping ----------------------------------------------------
+    let (cap_scale, use_hist) = match opts.integrator {
+        Integrator::BackwardEuler => (1.0, false),
+        Integrator::Trapezoidal => (2.0, true),
+    };
+
+    let mut v_prev = v_now.clone();
+    for step in 1..=steps {
+        let t = step as f64 * opts.dt;
+        v_prev.copy_from_slice(&v_now);
+        for &cid in &part.topo {
+            let comp = &part.components[cid];
+            let s = &mut scratch[cid];
+            for (li, &g) in comp.nodes.iter().enumerate() {
+                s.v_iter[li] = v_prev[g];
+            }
+            let hist = use_hist.then_some(&i_hist[..]);
+            newton_solve(
+                circuit,
+                comp,
+                s,
+                &v_now,
+                cap_scale,
+                opts.dt,
+                t,
+                hist,
+                opts,
+                opts.max_newton,
+            )
+            .map_err(|e| promote_divergence(e, t, circuit, comp))?;
+            for (li, &g) in comp.nodes.iter().enumerate() {
+                v_now[g] = s.v_iter[li];
+            }
+        }
+        if v_now.iter().any(|v| !v.is_finite()) {
+            return Err(SimError::NonFiniteSolution { t });
+        }
+        record_step(&mut times, &mut volts, t, &v_now);
+        if use_hist {
+            update_current_history(circuit, &v_now, &mut i_hist);
+        }
+    }
+
+    Ok(TransientResult { times, volts })
+}
+
+/// Marker error used inside `newton_solve`; promoted to a full
+/// `SimError::NewtonDiverged` with node context by the caller.
+struct Diverged;
+
+fn promote_divergence(_: Diverged, t: f64, circuit: &Circuit, comp: &Component) -> SimError {
+    let node = comp
+        .nodes
+        .first()
+        .map(|&g| circuit.node_name(NodeId(g as u32)).to_string())
+        .unwrap_or_else(|| "?".into());
+    SimError::NewtonDiverged { t, node }
+}
+
+/// Newton iteration on one component at one timestep (or DC when
+/// `cap_scale == 0`). On entry `s.v_iter` holds the initial guess (previous
+/// step); on success it holds the converged solution.
+#[allow(clippy::too_many_arguments)]
+fn newton_solve(
+    circuit: &Circuit,
+    comp: &Component,
+    s: &mut Scratch,
+    v_global: &[f64],
+    cap_scale: f64,
+    dt: f64,
+    t: f64,
+    i_hist: Option<&[f64]>,
+    opts: &SimOptions,
+    max_iter: usize,
+) -> Result<(), Diverged> {
+    let tech = circuit.tech();
+    let cn = comp.nodes.len();
+    let linear = comp.drivers.is_empty();
+
+    for _iter in 0..max_iter {
+        // Assemble diag / rhs for this Newton iterate.
+        for li in 0..cn {
+            let g = comp.nodes[li];
+            let c_over_h = cap_scale * circuit.node_cap[g] / dt;
+            s.diag[li] = s.diag_const[li] + c_over_h;
+            // v_global still holds the previous timestep value for nodes in
+            // this component (committed only after convergence)... except we
+            // need v_prev explicitly: we stash it via closure below.
+            s.rhs[li] = c_over_h * v_global[g];
+            if let Some(hist) = i_hist {
+                s.rhs[li] += hist[g];
+            }
+        }
+        for &(li, si) in &comp.dirichlet {
+            let v_forced = circuit.sources[si].1.value_at(t);
+            s.diag[li] += DIRICHLET_PENALTY;
+            s.rhs[li] += DIRICHLET_PENALTY * v_forced;
+        }
+        for &(input_global, out_local, size) in &comp.drivers {
+            // Gate input: downstream components read already-committed
+            // values; same-component inputs read the current iterate.
+            let v_in = match comp.nodes.iter().position(|&g| g == input_global) {
+                Some(li) => s.v_iter[li],
+                None => v_global[input_global],
+            };
+            let v_out = s.v_iter[out_local];
+            let (i, didv) = tech.inverter_current(size, v_in, v_out);
+            // Linearize: i(v) ~ i0 + didv (v - v0); didv <= 0 strengthens
+            // the diagonal.
+            s.diag[out_local] -= didv;
+            s.rhs[out_local] += i - didv * v_out;
+        }
+
+        // Solve the linearized system.
+        match &comp.kind {
+            ComponentKind::Tree {
+                order,
+                parent,
+                g_par,
+            } => {
+                let (diag, rhs) = (&mut s.diag, &mut s.rhs);
+                solve_tree(order, parent, g_par, diag, rhs, &mut s.v_next);
+            }
+            ComponentKind::Dense { edges } => {
+                s.dense.clear();
+                s.dense.resize(cn * cn, 0.0);
+                for li in 0..cn {
+                    s.dense[li * cn + li] = s.diag[li];
+                }
+                for &(a, b, g) in edges {
+                    s.dense[a * cn + b] -= g;
+                    s.dense[b * cn + a] -= g;
+                }
+                s.v_next.copy_from_slice(&s.rhs);
+                if !solve_dense(&mut s.dense, cn, &mut s.v_next) {
+                    return Err(Diverged);
+                }
+            }
+        }
+
+        // Damped update + convergence check.
+        let mut worst: f64 = 0.0;
+        for li in 0..cn {
+            worst = worst.max((s.v_next[li] - s.v_iter[li]).abs());
+        }
+        if !worst.is_finite() {
+            return Err(Diverged);
+        }
+        let scale = if worst > MAX_NEWTON_STEP_V {
+            MAX_NEWTON_STEP_V / worst
+        } else {
+            1.0
+        };
+        for li in 0..cn {
+            s.v_iter[li] += (s.v_next[li] - s.v_iter[li]) * scale;
+        }
+        if linear || worst < opts.newton_tol {
+            return Ok(());
+        }
+    }
+    Err(Diverged)
+}
+
+/// Recomputes the non-capacitive current into every node (resistors, gmin,
+/// inverters, sources' penalty currents excluded) — the trapezoidal history
+/// term.
+fn update_current_history(circuit: &Circuit, v: &[f64], i_hist: &mut [f64]) {
+    let tech = circuit.tech();
+    let gmin = tech.gmin();
+    for (g, hist) in i_hist.iter_mut().enumerate() {
+        *hist = -gmin * v[g];
+    }
+    for r in &circuit.resistors {
+        let (a, b) = (r.a.index(), r.b.index());
+        let i_ab = (v[a] - v[b]) / r.ohms;
+        i_hist[a] -= i_ab;
+        i_hist[b] += i_ab;
+    }
+    for inv in &circuit.inverters {
+        let (i, _) = tech.inverter_current(inv.size, v[inv.input.index()], v[inv.output.index()]);
+        i_hist[inv.output.index()] += i;
+    }
+    // Dirichlet nodes: their "history" is irrelevant because the penalty
+    // dominates, but a bogus huge value would pollute the rhs; zero it.
+    for (node, _) in &circuit.sources {
+        i_hist[node.index()] = 0.0;
+    }
+}
+
+fn record_step(times: &mut Vec<f64>, volts: &mut [Vec<f64>], t: f64, v: &[f64]) {
+    times.push(t);
+    for (col, &val) in v.iter().enumerate() {
+        volts[col].push(val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::WireParams;
+    use crate::device::Technology;
+    use crate::units::*;
+
+    fn tech() -> Technology {
+        Technology::nominal_45nm()
+    }
+
+    /// v(t) = vdd (1 - exp(-t/RC)) for a driven RC lowpass.
+    #[test]
+    fn rc_charging_matches_analytic() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let src = c.add_node("src");
+        let out = c.add_node("out");
+        c.add_resistor(src, out, 1000.0); // 1 kΩ
+        c.add_cap(out, 100.0 * FF); // tau = 100 ps
+        // Effectively a step: 1 fs rise.
+        c.drive(
+            src,
+            Waveform::from_samples(vec![0.0, 1.0 * FS], vec![0.0, 1.0]),
+        );
+        let res = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap();
+        let w = res.waveform(out);
+        let tau = 100.0 * PS;
+        for &frac in &[0.5, 1.0, 2.0, 3.0] {
+            let t_probe = frac * tau;
+            let expect = 1.0 - (-t_probe / tau).exp();
+            let got = w.value_at(t_probe);
+            assert!(
+                (got - expect).abs() < 0.01,
+                "at {frac} tau: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_euler_close_to_trapezoidal() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let src = c.add_node("src");
+        let out = c.add_node("out");
+        c.add_resistor(src, out, 500.0);
+        c.add_cap(out, 200.0 * FF);
+        c.drive(src, Waveform::rising_ramp_10_90(10.0 * PS, 50.0 * PS, 1.1));
+
+        let mut o1 = SimOptions::default_for(1.0 * NS);
+        o1.integrator = Integrator::BackwardEuler;
+        let mut o2 = o1.clone();
+        o2.integrator = Integrator::Trapezoidal;
+
+        let r1 = simulate(&c, &o1).unwrap();
+        let r2 = simulate(&c, &o2).unwrap();
+        let d1 = r1.waveform(out).t50(1.1).unwrap();
+        let d2 = r2.waveform(out).t50(1.1).unwrap();
+        assert!(
+            (d1 - d2).abs() < 1.0 * PS,
+            "BE and trapezoidal disagree: {} vs {} ps",
+            d1 / PS,
+            d2 / PS
+        );
+    }
+
+    #[test]
+    fn mesh_falls_back_to_dense_and_matches_parallel_resistance() {
+        let t = tech();
+        // Two parallel 2 kΩ paths == 1 kΩ: same tau as the tree case.
+        let mut c = Circuit::new(&t);
+        let src = c.add_node("src");
+        let out = c.add_node("out");
+        let mid1 = c.add_node("m1");
+        let mid2 = c.add_node("m2");
+        c.add_resistor(src, mid1, 1000.0);
+        c.add_resistor(mid1, out, 1000.0);
+        c.add_resistor(src, mid2, 1000.0);
+        c.add_resistor(mid2, out, 1000.0);
+        c.add_cap(out, 100.0 * FF);
+        c.drive(
+            src,
+            Waveform::from_samples(vec![0.0, 1.0 * FS], vec![0.0, 1.0]),
+        );
+        let res = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap();
+        let w = res.waveform(out);
+        // tau = 1 kΩ * 100 fF = 100 ps; t50 = tau ln 2.
+        let t50 = w.first_crossing(0.5, true).unwrap();
+        let expect = 100.0 * PS * std::f64::consts::LN_2;
+        assert!(
+            (t50 - expect).abs() < 2.0 * PS,
+            "t50 = {} ps, expected {} ps",
+            t50 / PS,
+            expect / PS
+        );
+    }
+
+    #[test]
+    fn inverter_inverts_and_stays_in_rails() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let vin = c.add_node("in");
+        let out = c.add_node("out");
+        c.add_inverter(vin, out, 10.0);
+        c.add_cap(out, 20.0 * FF);
+        c.drive(vin, Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()));
+        let res = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap();
+        let w = res.waveform(out);
+        // Starts high (input low), ends low.
+        assert!(w.value_at(0.0) > 0.95 * t.vdd(), "DC init failed: {}", w.value_at(0.0));
+        assert!(w.value_at(1.0 * NS) < 0.05 * t.vdd());
+        for &v in w.values() {
+            assert!(v > -0.1 && v < t.vdd() + 0.1, "rail violation: {v}");
+        }
+    }
+
+    #[test]
+    fn buffer_is_noninverting_with_positive_delay() {
+        let t = tech();
+        let buf = &t.buffer_library()[1]; // 20X
+        let mut c = Circuit::new(&t);
+        let vin = c.add_node("in");
+        let out = c.add_node("out");
+        c.add_buffer(vin, out, buf);
+        let far = c.add_node("far");
+        c.add_wire(out, far, 400.0, t.wire());
+        let input = Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd());
+        c.drive(vin, input.clone());
+        let res = simulate(&c, &SimOptions::default_for(2.0 * NS)).unwrap();
+        let w = res.waveform(far);
+        assert!(w.is_rising(), "buffer must not invert");
+        let d = w.delay_50_from(&input, t.vdd()).unwrap();
+        assert!(d > 1.0 * PS && d < 500.0 * PS, "delay = {} ps", d / PS);
+    }
+
+    #[test]
+    fn longer_wire_has_larger_slew() {
+        let t = tech();
+        let buf = &t.buffer_library()[0]; // 10X
+        let mut slews = Vec::new();
+        for &len in &[200.0, 800.0, 2000.0] {
+            let mut c = Circuit::new(&t);
+            let vin = c.add_node("in");
+            let out = c.add_node("out");
+            c.add_buffer(vin, out, buf);
+            let far = c.add_node("far");
+            c.add_wire(out, far, len, t.wire());
+            c.drive(vin, Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()));
+            let res = simulate(&c, &SimOptions::default_for(4.0 * NS)).unwrap();
+            slews.push(res.waveform(far).slew_10_90(t.vdd()).unwrap());
+        }
+        assert!(
+            slews[0] < slews[1] && slews[1] < slews[2],
+            "slews must grow with length: {:?} ps",
+            slews.iter().map(|s| s / PS).collect::<Vec<_>>()
+        );
+        // The paper's premise: km-scale wires blow way past a 100 ps limit.
+        assert!(slews[2] > 100.0 * PS, "2 mm wire slew = {} ps", slews[2] / PS);
+    }
+
+    #[test]
+    fn ring_oscillator_is_rejected() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        let d = c.add_node("d");
+        c.add_inverter(a, b, 2.0);
+        c.add_inverter(b, d, 2.0);
+        c.add_inverter(d, a, 2.0);
+        let err = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap_err();
+        assert_eq!(err, SimError::FeedbackLoop);
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let t = tech();
+        let c = Circuit::new(&t);
+        let err = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap_err();
+        assert_eq!(err, SimError::EmptyCircuit);
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let a = c.add_node("a");
+        c.add_cap(a, 1.0 * FF);
+        let mut opts = SimOptions::default_for(1.0 * NS);
+        opts.dt = -1.0;
+        assert!(matches!(
+            simulate(&c, &opts).unwrap_err(),
+            SimError::BadOptions(_)
+        ));
+        let mut opts = SimOptions::default_for(1.0 * PS);
+        opts.dt = 10.0 * PS;
+        assert!(matches!(
+            simulate(&c, &opts).unwrap_err(),
+            SimError::BadOptions(_)
+        ));
+    }
+
+    #[test]
+    fn dc_operating_point_of_inverter_chain() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        let d = c.add_node("d");
+        c.add_inverter(a, b, 4.0);
+        c.add_inverter(b, d, 4.0);
+        c.drive(a, Waveform::constant(0.0));
+        let res = simulate(&c, &SimOptions::default_for(100.0 * PS)).unwrap();
+        assert!(res.waveform(b).value_at(0.0) > 0.95 * t.vdd());
+        assert!(res.waveform(d).value_at(0.0) < 0.05 * t.vdd());
+    }
+}

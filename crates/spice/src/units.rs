@@ -1,0 +1,64 @@
+//! Readable SI unit constants and conversions.
+//!
+//! The simulator works in SI base units (seconds, farads, ohms, volts,
+//! amperes). These constants make magnitudes legible at call sites:
+//!
+//! ```
+//! use cts_spice::units::*;
+//! let slew_limit = 100.0 * PS;
+//! let sink_cap = 35.0 * FF;
+//! assert!(slew_limit < 1.0 * NS);
+//! assert_eq!(to_ps(slew_limit), 100.0);
+//! assert!((to_ff(sink_cap) - 35.0).abs() < 1e-9);
+//! ```
+
+/// One nanosecond in seconds.
+pub const NS: f64 = 1e-9;
+/// One picosecond in seconds.
+pub const PS: f64 = 1e-12;
+/// One femtosecond in seconds.
+pub const FS: f64 = 1e-15;
+/// One picofarad in farads.
+pub const PF: f64 = 1e-12;
+/// One femtofarad in farads.
+pub const FF: f64 = 1e-15;
+/// One kiloohm in ohms.
+pub const KOHM: f64 = 1e3;
+/// One milliampere in amperes.
+pub const MA: f64 = 1e-3;
+/// One microampere in amperes.
+pub const UA: f64 = 1e-6;
+
+/// Converts seconds to picoseconds (for display and library storage).
+pub fn to_ps(seconds: f64) -> f64 {
+    seconds / PS
+}
+
+/// Converts seconds to nanoseconds.
+pub fn to_ns(seconds: f64) -> f64 {
+    seconds / NS
+}
+
+/// Converts farads to femtofarads.
+pub fn to_ff(farads: f64) -> f64 {
+    farads / FF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(to_ps(1.5 * PS), 1.5);
+        assert_eq!(to_ns(2.0 * NS), 2.0);
+        assert_eq!(to_ff(3.0 * FF), 3.0);
+    }
+
+    #[test]
+    fn magnitudes_ordered() {
+        assert!(FS < PS && PS < NS);
+        assert!(FF < PF);
+        assert!(UA < MA);
+    }
+}

@@ -1,0 +1,459 @@
+//! SPICE characterization sweeps (paper §3.2).
+//!
+//! For every (driving buffer, load buffer) combination this module sweeps
+//! input slew (via the input-shaping wire length) and load wire length on
+//! the Fig. 3.3 single-wire circuit, and additionally the two branch wire
+//! lengths on the Fig. 3.5 branch circuit, measuring buffer intrinsic
+//! delay, wire delay(s) and wire output slew(s). The measurements feed the
+//! polynomial fits that become the [`crate::DelaySlewLibrary`].
+//!
+//! Simulations are independent, so the sweep fans out over a small
+//! crossbeam thread pool.
+
+use crate::fit::{FitError, PolyFit};
+use crate::library::{BranchFns, DelaySlewLibrary, SingleWireFns};
+use cts_spice::stages::{branch_stage, single_wire_stage, BranchConfig, SingleWireConfig};
+use cts_spice::units::{NS, PS};
+use cts_spice::{SimError, SimOptions, Technology};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sweep and fitting parameters for [`characterize`].
+///
+/// `standard()` reproduces the paper-scale characterization; `fast()` is a
+/// coarse variant for tests (quadratic fits on small grids).
+#[derive(Debug, Clone)]
+pub struct CharacterizeConfig {
+    /// Input-shaping wire lengths (µm); each produces one input-slew sample.
+    pub input_wire_lengths_um: Vec<f64>,
+    /// Load wire lengths for single-wire components (µm).
+    pub wire_lengths_um: Vec<f64>,
+    /// Branch wire lengths; the sweep uses the full cartesian square (µm).
+    pub branch_lengths_um: Vec<f64>,
+    /// Total degree of the 2-D (slew, length) fits. The paper uses 3rd/4th
+    /// order.
+    pub surface_order: u32,
+    /// Total degree of the 3-D (slew, l_left, l_right) fits.
+    pub volume_order: u32,
+    /// 10–90 % slew of the ideal ramp feeding the shaping buffer (s).
+    pub ramp_slew: f64,
+    /// Transient options for each characterization run.
+    pub sim: SimOptions,
+    /// Worker threads (clamped to available parallelism).
+    pub threads: usize,
+}
+
+impl CharacterizeConfig {
+    /// Paper-scale characterization: 5 slews × 7 lengths per buffer pair,
+    /// cubic surfaces; 3 slews × 4 × 4 branch grids, quadratic volumes.
+    pub fn standard() -> CharacterizeConfig {
+        CharacterizeConfig {
+            input_wire_lengths_um: vec![10.0, 200.0, 500.0, 900.0, 1500.0],
+            wire_lengths_um: vec![5.0, 100.0, 300.0, 600.0, 1000.0, 1500.0, 2200.0],
+            branch_lengths_um: vec![50.0, 400.0, 900.0, 1500.0],
+            surface_order: 3,
+            volume_order: 2,
+            ramp_slew: 80.0 * PS,
+            sim: {
+                let mut o = SimOptions::default_for(6.0 * NS);
+                o.dt = 0.5 * PS;
+                o
+            },
+            threads: 8,
+        }
+    }
+
+    /// Coarse characterization for tests: quadratic fits on minimal grids.
+    pub fn fast() -> CharacterizeConfig {
+        CharacterizeConfig {
+            input_wire_lengths_um: vec![10.0, 500.0, 1200.0],
+            wire_lengths_um: vec![5.0, 300.0, 900.0, 1800.0],
+            branch_lengths_um: vec![50.0, 600.0, 1400.0],
+            surface_order: 2,
+            volume_order: 2,
+            ramp_slew: 80.0 * PS,
+            sim: {
+                let mut o = SimOptions::default_for(5.0 * NS);
+                o.dt = 0.5 * PS;
+                o
+            },
+            threads: 8,
+        }
+    }
+}
+
+/// Errors from the characterization flow.
+#[derive(Debug)]
+pub enum CharacterizeError {
+    /// A characterization simulation failed.
+    Sim {
+        /// What was being characterized.
+        context: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// A polynomial fit failed.
+    Fit {
+        /// What was being fitted.
+        context: String,
+        /// The underlying fit error.
+        source: FitError,
+    },
+}
+
+impl fmt::Display for CharacterizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharacterizeError::Sim { context, source } => {
+                write!(f, "characterization sim failed ({context}): {source}")
+            }
+            CharacterizeError::Fit { context, source } => {
+                write!(f, "characterization fit failed ({context}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CharacterizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharacterizeError::Sim { source, .. } => Some(source),
+            CharacterizeError::Fit { source, .. } => Some(source),
+        }
+    }
+}
+
+/// One single-wire characterization sample.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleWireSample {
+    /// Measured input slew at the driving buffer (s).
+    pub input_slew: f64,
+    /// Load wire length (µm).
+    pub length_um: f64,
+    /// Buffer intrinsic delay (s).
+    pub intrinsic_delay: f64,
+    /// Wire delay (s).
+    pub wire_delay: f64,
+    /// Wire output slew (s).
+    pub wire_slew: f64,
+}
+
+/// One branch characterization sample.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchSample {
+    /// Measured input slew at the driving buffer (s).
+    pub input_slew: f64,
+    /// Left wire length (µm).
+    pub l_left_um: f64,
+    /// Right wire length (µm).
+    pub l_right_um: f64,
+    /// Buffer intrinsic delay (s).
+    pub intrinsic_delay: f64,
+    /// Left wire delay (s).
+    pub left_delay: f64,
+    /// Right wire delay (s).
+    pub right_delay: f64,
+    /// Left wire output slew (s).
+    pub left_slew: f64,
+    /// Right wire output slew (s).
+    pub right_slew: f64,
+}
+
+/// Runs the single-wire sweep for one (drive, load) pair and returns the raw
+/// samples. Exposed so the figure-regeneration binaries can plot raw sweep
+/// data (Fig. 3.4) without refitting.
+pub fn sweep_single_wire(
+    tech: &Technology,
+    drive_idx: usize,
+    load_idx: usize,
+    cfg: &CharacterizeConfig,
+) -> Result<Vec<SingleWireSample>, CharacterizeError> {
+    let buffers = tech.buffer_library();
+    let shaper = shaping_buffer(tech);
+    let mut jobs = Vec::new();
+    for &l_input in &cfg.input_wire_lengths_um {
+        for &l in &cfg.wire_lengths_um {
+            jobs.push((l_input, l));
+        }
+    }
+    let samples = run_parallel(cfg.threads, &jobs, |&(l_input, l)| {
+        let scfg = SingleWireConfig {
+            input_buf: &shaper,
+            l_input_um: l_input,
+            drive: &buffers[drive_idx],
+            l_um: l,
+            load: &buffers[load_idx],
+            wire: tech.wire(),
+            ramp_slew: cfg.ramp_slew,
+            rising: true,
+        };
+        let m = single_wire_stage(tech, &scfg)
+            .measure(&cfg.sim)
+            .map_err(|source| CharacterizeError::Sim {
+                context: format!(
+                    "single wire drive={} load={} Linput={l_input} L={l}",
+                    buffers[drive_idx].name(),
+                    buffers[load_idx].name()
+                ),
+                source,
+            })?;
+        Ok(SingleWireSample {
+            input_slew: m.input_slew,
+            length_um: l,
+            intrinsic_delay: m.intrinsic_delay,
+            wire_delay: m.wire_delay,
+            wire_slew: m.wire_slew,
+        })
+    })?;
+    Ok(samples)
+}
+
+/// Runs the branch sweep for one (drive, load_left, load_right) triple.
+pub fn sweep_branch(
+    tech: &Technology,
+    drive_idx: usize,
+    load_left_idx: usize,
+    load_right_idx: usize,
+    cfg: &CharacterizeConfig,
+) -> Result<Vec<BranchSample>, CharacterizeError> {
+    let buffers = tech.buffer_library();
+    let shaper = shaping_buffer(tech);
+    let mut jobs = Vec::new();
+    for &l_input in &cfg.input_wire_lengths_um {
+        for &ll in &cfg.branch_lengths_um {
+            for &lr in &cfg.branch_lengths_um {
+                jobs.push((l_input, ll, lr));
+            }
+        }
+    }
+    let samples = run_parallel(cfg.threads, &jobs, |&(l_input, ll, lr)| {
+        let bcfg = BranchConfig {
+            input_buf: &shaper,
+            l_input_um: l_input,
+            drive: &buffers[drive_idx],
+            l_left_um: ll,
+            l_right_um: lr,
+            load_left: &buffers[load_left_idx],
+            load_right: &buffers[load_right_idx],
+            wire: tech.wire(),
+            ramp_slew: cfg.ramp_slew,
+            rising: true,
+        };
+        let m = branch_stage(tech, &bcfg)
+            .measure(&cfg.sim)
+            .map_err(|source| CharacterizeError::Sim {
+                context: format!(
+                    "branch drive={} loads=({},{}) Linput={l_input} L=({ll},{lr})",
+                    buffers[drive_idx].name(),
+                    buffers[load_left_idx].name(),
+                    buffers[load_right_idx].name()
+                ),
+                source,
+            })?;
+        Ok(BranchSample {
+            input_slew: m.input_slew,
+            l_left_um: ll,
+            l_right_um: lr,
+            intrinsic_delay: m.intrinsic_delay,
+            left_delay: m.left_delay,
+            right_delay: m.right_delay,
+            left_slew: m.left_slew,
+            right_slew: m.right_slew,
+        })
+    })?;
+    Ok(samples)
+}
+
+/// Builds the complete delay/slew library for a technology: sweeps every
+/// buffer combination, fits surfaces/volumes, and assembles the lookup
+/// structure.
+///
+/// # Errors
+///
+/// Returns [`CharacterizeError`] if any simulation or fit fails. A failure
+/// here means the configuration (windows, grids) cannot characterize the
+/// technology — there is no meaningful partial library.
+pub fn characterize(
+    tech: &Technology,
+    cfg: &CharacterizeConfig,
+) -> Result<DelaySlewLibrary, CharacterizeError> {
+    let buffers = tech.buffer_library();
+    let nb = buffers.len();
+
+    let mut single = Vec::with_capacity(nb * nb);
+    for d in 0..nb {
+        for l in 0..nb {
+            let samples = sweep_single_wire(tech, d, l, cfg)?;
+            single.push(fit_single(&samples, cfg.surface_order, d, l)?);
+        }
+    }
+
+    let mut branch = Vec::new();
+    for d in 0..nb {
+        for ll in 0..nb {
+            for lr in ll..nb {
+                let samples = sweep_branch(tech, d, ll, lr, cfg)?;
+                branch.push(((d, ll, lr), fit_branch(&samples, cfg.volume_order, d, ll, lr)?));
+            }
+        }
+    }
+
+    Ok(DelaySlewLibrary::from_parts(
+        tech.vdd(),
+        tech.wire(),
+        buffers,
+        single,
+        branch,
+    ))
+}
+
+fn fit_single(
+    samples: &[SingleWireSample],
+    order: u32,
+    d: usize,
+    l: usize,
+) -> Result<SingleWireFns, CharacterizeError> {
+    let pts: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| vec![s.input_slew, s.length_um])
+        .collect();
+    let fit = |vals: Vec<f64>, what: &str| {
+        PolyFit::fit(2, order, &pts, &vals).map_err(|source| CharacterizeError::Fit {
+            context: format!("single {what} drive#{d} load#{l}"),
+            source,
+        })
+    };
+    Ok(SingleWireFns {
+        intrinsic: fit(samples.iter().map(|s| s.intrinsic_delay).collect(), "intrinsic")?,
+        wire_delay: fit(samples.iter().map(|s| s.wire_delay).collect(), "wire_delay")?,
+        wire_slew: fit(samples.iter().map(|s| s.wire_slew).collect(), "wire_slew")?,
+    })
+}
+
+fn fit_branch(
+    samples: &[BranchSample],
+    order: u32,
+    d: usize,
+    ll: usize,
+    lr: usize,
+) -> Result<BranchFns, CharacterizeError> {
+    let pts: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| vec![s.input_slew, s.l_left_um, s.l_right_um])
+        .collect();
+    let fit = |vals: Vec<f64>, what: &str| {
+        PolyFit::fit(3, order, &pts, &vals).map_err(|source| CharacterizeError::Fit {
+            context: format!("branch {what} drive#{d} loads#({ll},{lr})"),
+            source,
+        })
+    };
+    Ok(BranchFns {
+        intrinsic: fit(samples.iter().map(|s| s.intrinsic_delay).collect(), "intrinsic")?,
+        left_delay: fit(samples.iter().map(|s| s.left_delay).collect(), "left_delay")?,
+        right_delay: fit(samples.iter().map(|s| s.right_delay).collect(), "right_delay")?,
+        left_slew: fit(samples.iter().map(|s| s.left_slew).collect(), "left_slew")?,
+        right_slew: fit(samples.iter().map(|s| s.right_slew).collect(), "right_slew")?,
+    })
+}
+
+/// The buffer used to shape ideal ramps into realistic curved edges
+/// (`Binput` of Fig. 3.3). A mid-size buffer keeps shaped slews in the range
+/// the CTS flow actually sees.
+fn shaping_buffer(tech: &Technology) -> cts_spice::BufferType {
+    tech.buffer_library()
+        .into_iter()
+        .nth(1)
+        .unwrap_or_else(|| cts_spice::BufferType::new("SHAPER", 20.0))
+}
+
+/// Runs `f` over `jobs` on up to `threads` workers, preserving order.
+fn run_parallel<J: Sync, R: Send>(
+    threads: usize,
+    jobs: &[J],
+    f: impl Fn(&J) -> Result<R, CharacterizeError> + Sync,
+) -> Result<Vec<R>, CharacterizeError> {
+    let workers = threads
+        .max(1)
+        .min(jobs.len().max(1))
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
+    if workers <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<R, CharacterizeError>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                results.lock().expect("poisoned")[i] = Some(r);
+            });
+        }
+    })
+    .expect("characterization worker panicked");
+    results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_config_is_fittable() {
+        // Grid sizes must cover the requested polynomial orders.
+        let cfg = CharacterizeConfig::fast();
+        let n2 = cfg.input_wire_lengths_um.len() * cfg.wire_lengths_um.len();
+        assert!(n2 >= 6, "quadratic surface needs >= 6 samples, grid has {n2}");
+        let n3 = cfg.input_wire_lengths_um.len() * cfg.branch_lengths_um.len().pow(2);
+        assert!(n3 >= 10, "quadratic volume needs >= 10 samples, grid has {n3}");
+    }
+
+    #[test]
+    fn single_sweep_produces_grid_samples() {
+        let tech = Technology::nominal_45nm();
+        let mut cfg = CharacterizeConfig::fast();
+        cfg.input_wire_lengths_um = vec![10.0, 800.0];
+        cfg.wire_lengths_um = vec![100.0, 700.0];
+        let samples = sweep_single_wire(&tech, 1, 1, &cfg).unwrap();
+        assert_eq!(samples.len(), 4);
+        // Slews grow with input wire; delays grow with length.
+        assert!(samples[0].input_slew < samples[3].input_slew);
+        assert!(samples[0].wire_delay < samples[1].wire_delay);
+        for s in &samples {
+            assert!(s.intrinsic_delay > 0.0 && s.wire_slew > 0.0);
+        }
+    }
+
+    #[test]
+    fn run_parallel_preserves_order_and_errors() {
+        let jobs: Vec<usize> = (0..40).collect();
+        let out = run_parallel(4, &jobs, |&j| Ok(j * 2)).unwrap();
+        assert_eq!(out, jobs.iter().map(|j| j * 2).collect::<Vec<_>>());
+
+        let err = run_parallel(4, &jobs, |&j| {
+            if j == 17 {
+                Err(CharacterizeError::Sim {
+                    context: "boom".into(),
+                    source: SimError::EmptyCircuit,
+                })
+            } else {
+                Ok(j)
+            }
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Polynomial surface/hyperplane fitting — the Rust equivalent of the
+//! paper's MATLAB surface fits (Figs. 3.4, 3.6, 3.7).
+//!
+//! The delay library stores each characterized quantity as a low-order
+//! polynomial in the sweep variables: `(input slew, wire length)` for
+//! single-wire components, `(input slew, left length, right length)` for
+//! branch components. Inputs are standardized (zero mean, unit variance per
+//! dimension) before fitting so the normal equations stay well conditioned,
+//! and queries are clamped to the characterized domain — extrapolating a
+//! cubic outside its data is how timing models go wrong silently.
+
+use crate::linalg::{least_squares, Matrix};
+use std::fmt;
+
+/// Error returned when a polynomial fit cannot be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer samples than polynomial coefficients.
+    TooFewSamples {
+        /// Samples provided.
+        samples: usize,
+        /// Coefficients required by the requested order.
+        needed: usize,
+    },
+    /// The design matrix was rank deficient (e.g. all samples identical in
+    /// one dimension).
+    Degenerate,
+    /// A sample contained a non-finite coordinate or value.
+    NonFiniteSample,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples { samples, needed } => write!(
+                f,
+                "too few samples for fit: {samples} provided, {needed} needed"
+            ),
+            FitError::Degenerate => write!(f, "design matrix is rank deficient"),
+            FitError::NonFiniteSample => write!(f, "samples must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Monomial powers for a full polynomial basis of total degree `order` in
+/// `dims` variables.
+fn basis_powers(dims: usize, order: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut current = vec![0u32; dims];
+    fn rec(dims: usize, order: u32, idx: usize, left: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if idx == dims {
+            out.push(current.clone());
+            return;
+        }
+        for p in 0..=left {
+            current[idx] = p;
+            rec(dims, order, idx + 1, left - p, current, out);
+        }
+        current[idx] = 0;
+    }
+    rec(dims, order, 0, order, &mut current, &mut out);
+    out
+}
+
+/// Per-dimension standardization parameters.
+#[derive(Debug, Clone, PartialEq)]
+struct Standardizer {
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Standardizer {
+    fn from_samples(dims: usize, points: &[Vec<f64>]) -> Standardizer {
+        let n = points.len() as f64;
+        let mut mean = vec![0.0; dims];
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for p in points {
+            for d in 0..dims {
+                mean[d] += p[d];
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut scale = vec![0.0; dims];
+        for p in points {
+            for d in 0..dims {
+                scale[d] += (p[d] - mean[d]).powi(2);
+            }
+        }
+        for s in &mut scale {
+            *s = (*s / n).sqrt().max(1e-12);
+        }
+        Standardizer {
+            mean,
+            scale,
+            lo,
+            hi,
+        }
+    }
+
+    fn apply(&self, x: &[f64], clamp: bool) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let v = if clamp {
+                    v.clamp(self.lo[d], self.hi[d])
+                } else {
+                    v
+                };
+                (v - self.mean[d]) / self.scale[d]
+            })
+            .collect()
+    }
+}
+
+/// A fitted polynomial in `D` variables with domain clamping.
+///
+/// Build one with [`PolyFit::fit`]; evaluate with [`PolyFit::eval`].
+///
+/// ```
+/// use cts_timing::fit::PolyFit;
+/// // z = 1 + 2x + 3y, sampled on a grid.
+/// let mut pts = Vec::new();
+/// let mut vals = Vec::new();
+/// for i in 0..5 {
+///     for j in 0..5 {
+///         let (x, y) = (i as f64, j as f64);
+///         pts.push(vec![x, y]);
+///         vals.push(1.0 + 2.0 * x + 3.0 * y);
+///     }
+/// }
+/// let fit = PolyFit::fit(2, 2, &pts, &vals)?;
+/// assert!((fit.eval(&[2.0, 2.0]) - 11.0).abs() < 1e-8);
+/// # Ok::<(), cts_timing::fit::FitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    dims: usize,
+    order: u32,
+    powers: Vec<Vec<u32>>,
+    coefs: Vec<f64>,
+    std: Standardizer,
+    max_abs_residual: f64,
+    rms_residual: f64,
+}
+
+impl PolyFit {
+    /// Fits a full polynomial of total degree `order` in `dims` variables to
+    /// the samples `(points[i], values[i])` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if there are fewer samples than coefficients,
+    /// samples are non-finite, or the design matrix is rank deficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has the wrong dimensionality, or `dims == 0`.
+    pub fn fit(
+        dims: usize,
+        order: u32,
+        points: &[Vec<f64>],
+        values: &[f64],
+    ) -> Result<PolyFit, FitError> {
+        assert!(dims > 0, "dims must be positive");
+        assert_eq!(points.len(), values.len(), "points/values must match");
+        for p in points {
+            assert_eq!(p.len(), dims, "point dimensionality mismatch");
+        }
+        if points
+            .iter()
+            .flat_map(|p| p.iter())
+            .chain(values.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(FitError::NonFiniteSample);
+        }
+        let powers = basis_powers(dims, order);
+        if points.len() < powers.len() {
+            return Err(FitError::TooFewSamples {
+                samples: points.len(),
+                needed: powers.len(),
+            });
+        }
+        let std = Standardizer::from_samples(dims, points);
+        let design = Matrix::from_fn(points.len(), powers.len(), |r, c| {
+            let x = std.apply(&points[r], false);
+            monomial(&x, &powers[c])
+        });
+        let coefs = least_squares(&design, values).ok_or(FitError::Degenerate)?;
+
+        let mut max_abs = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let predictions = design.mul_vec(&coefs);
+        for (pred, &truth) in predictions.iter().zip(values) {
+            let e = (pred - truth).abs();
+            max_abs = max_abs.max(e);
+            sum_sq += e * e;
+        }
+        let rms = (sum_sq / values.len() as f64).sqrt();
+
+        Ok(PolyFit {
+            dims,
+            order,
+            powers,
+            coefs,
+            std,
+            max_abs_residual: max_abs,
+            rms_residual: rms,
+        })
+    }
+
+    /// Evaluates the polynomial at `x`, clamping each coordinate to the
+    /// fitted domain (no extrapolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        let z = self.std.apply(x, true);
+        self.powers
+            .iter()
+            .zip(&self.coefs)
+            .map(|(p, c)| c * monomial(&z, p))
+            .sum()
+    }
+
+    /// Number of input variables.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total polynomial degree.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Largest absolute residual over the fitting samples.
+    pub fn max_abs_residual(&self) -> f64 {
+        self.max_abs_residual
+    }
+
+    /// Root-mean-square residual over the fitting samples.
+    pub fn rms_residual(&self) -> f64 {
+        self.rms_residual
+    }
+
+    /// The fitted domain: per-dimension `(lo, hi)` bounds that queries are
+    /// clamped to.
+    pub fn domain(&self) -> Vec<(f64, f64)> {
+        (0..self.dims)
+            .map(|d| (self.std.lo[d], self.std.hi[d]))
+            .collect()
+    }
+
+    // -- (de)serialization support for the library's text format ----------
+
+    pub(crate) fn to_record(&self) -> Vec<f64> {
+        let mut rec = vec![self.dims as f64, self.order as f64];
+        rec.extend(self.std.mean.iter());
+        rec.extend(self.std.scale.iter());
+        rec.extend(self.std.lo.iter());
+        rec.extend(self.std.hi.iter());
+        rec.push(self.max_abs_residual);
+        rec.push(self.rms_residual);
+        rec.extend(self.coefs.iter());
+        rec
+    }
+
+    pub(crate) fn from_record(rec: &[f64]) -> Option<PolyFit> {
+        if rec.len() < 2 {
+            return None;
+        }
+        let dims = rec[0] as usize;
+        let order = rec[1] as u32;
+        if dims == 0 {
+            return None;
+        }
+        let powers = basis_powers(dims, order);
+        let need = 2 + 4 * dims + 2 + powers.len();
+        if rec.len() != need {
+            return None;
+        }
+        let mut it = rec[2..].iter().copied();
+        let mut take = |n: usize| -> Vec<f64> { (&mut it).take(n).collect() };
+        let mean = take(dims);
+        let scale = take(dims);
+        let lo = take(dims);
+        let hi = take(dims);
+        let max_abs_residual = it.next()?;
+        let rms_residual = it.next()?;
+        let coefs: Vec<f64> = it.collect();
+        Some(PolyFit {
+            dims,
+            order,
+            powers,
+            coefs,
+            std: Standardizer {
+                mean,
+                scale,
+                lo,
+                hi,
+            },
+            max_abs_residual,
+            rms_residual,
+        })
+    }
+}
+
+fn monomial(x: &[f64], powers: &[u32]) -> f64 {
+    x.iter()
+        .zip(powers)
+        .map(|(v, &p)| v.powi(p as i32))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_sizes() {
+        assert_eq!(basis_powers(2, 3).len(), 10); // full bivariate cubic
+        assert_eq!(basis_powers(2, 4).len(), 15);
+        assert_eq!(basis_powers(3, 2).len(), 10); // trivariate quadratic
+        assert_eq!(basis_powers(1, 4).len(), 5);
+    }
+
+    #[test]
+    fn fits_exact_cubic_surface() {
+        let f = |x: f64, y: f64| 0.5 - x + 2.0 * y + 0.25 * x * x - 0.1 * x * y * y + 0.03 * x * x * x;
+        let mut pts = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let (x, y) = (i as f64 * 0.7, j as f64 * 1.3 + 2.0);
+                pts.push(vec![x, y]);
+                vals.push(f(x, y));
+            }
+        }
+        let fit = PolyFit::fit(2, 3, &pts, &vals).unwrap();
+        assert!(fit.max_abs_residual() < 1e-8, "residual {}", fit.max_abs_residual());
+        assert!((fit.eval(&[1.05, 3.3]) - f(1.05, 3.3)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let vals: Vec<f64> = (0..10).map(|i| i as f64 * 2.0).collect();
+        let fit = PolyFit::fit(1, 1, &pts, &vals).unwrap();
+        // Queries beyond the domain return the edge value, not extrapolation.
+        assert!((fit.eval(&[100.0]) - fit.eval(&[9.0])).abs() < 1e-9);
+        assert!((fit.eval(&[-5.0]) - fit.eval(&[0.0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let vals = vec![0.0, 1.0];
+        match PolyFit::fit(2, 3, &pts, &vals) {
+            Err(FitError::TooFewSamples { needed: 10, samples: 2 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_samples_are_an_error() {
+        // All x identical: can't identify x coefficients.
+        let pts: Vec<Vec<f64>> = (0..12).map(|i| vec![5.0, i as f64]).collect();
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert!(matches!(
+            PolyFit::fit(2, 2, &pts, &vals),
+            Err(FitError::Degenerate) | Ok(_)
+        ));
+        // (Standardization may still let the fit through with ~zero scale;
+        // if it does, evaluation must at least reproduce the samples.)
+        if let Ok(fit) = PolyFit::fit(2, 2, &pts, &vals) {
+            assert!(fit.rms_residual() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let pts = vec![vec![f64::NAN], vec![1.0]];
+        let vals = vec![0.0, 1.0];
+        assert_eq!(PolyFit::fit(1, 1, &pts, &vals), Err(FitError::NonFiniteSample));
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.3, (i % 5) as f64])
+            .collect();
+        let vals: Vec<f64> = pts.iter().map(|p| 1.0 + p[0] * p[1]).collect();
+        let fit = PolyFit::fit(2, 2, &pts, &vals).unwrap();
+        let rec = fit.to_record();
+        let back = PolyFit::from_record(&rec).unwrap();
+        assert_eq!(fit, back);
+        assert!(PolyFit::from_record(&rec[..rec.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn trivariate_hyperplane_fit() {
+        // The Fig. 3.6/3.7 shape: delay(slew, l_left, l_right).
+        let f = |s: f64, a: f64, b: f64| 3.0 + 0.2 * s + 0.9 * a + 0.4 * b + 0.01 * a * b;
+        let mut pts = Vec::new();
+        let mut vals = Vec::new();
+        for s in 0..3 {
+            for a in 0..4 {
+                for b in 0..4 {
+                    let p = vec![s as f64 * 20.0, a as f64 * 300.0, b as f64 * 300.0];
+                    vals.push(f(p[0], p[1], p[2]));
+                    pts.push(p);
+                }
+            }
+        }
+        let fit = PolyFit::fit(3, 2, &pts, &vals).unwrap();
+        assert!(fit.max_abs_residual() < 1e-6);
+    }
+}

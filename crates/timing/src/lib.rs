@@ -1,0 +1,132 @@
+//! Delay and slew modeling for buffered clock tree synthesis.
+//!
+//! This crate implements Chapter 3 of the paper: the reasons simple models
+//! fail, and the SPICE-characterized polynomial library that replaces them.
+//!
+//! * [`RcTree`] + [`metrics`] — the baselines: Elmore delay, response
+//!   moments, the two-moment D2M delay metric and PERI ramp extensions.
+//!   These are what the paper implemented, measured, and found insufficient
+//!   (§3.1); the workspace keeps them for DME-style merge computation and
+//!   for accuracy ablations.
+//! * [`characterize`] — sweeps the Fig. 3.3 (single-wire) and Fig. 3.5
+//!   (branch) circuits on the [`cts_spice`] simulator across input slew and
+//!   wire lengths for every buffer combination.
+//! * [`fit`] — least-squares polynomial surfaces/volumes over the sweep
+//!   data (the MATLAB surface fits of Figs. 3.4/3.6/3.7).
+//! * [`DelaySlewLibrary`] — the queryable library: buffer intrinsic delay,
+//!   wire delay, and wire output slew as functions of input slew and
+//!   length(s), per (driving buffer, load buffer) combination, with sink
+//!   loads mapped to the nearest buffer by capacitance.
+//! * [`save_library_string`] / [`load_library_str`] — plain-text caching so
+//!   the (expensive) characterization runs once.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cts_spice::Technology;
+//! use cts_timing::{characterize, BufferId, CharacterizeConfig, Load};
+//!
+//! let tech = Technology::nominal_45nm();
+//! let lib = characterize(&tech, &CharacterizeConfig::fast())?;
+//! let timing = lib.single_wire(
+//!     BufferId(0),
+//!     Load::Buffer(BufferId(0)),
+//!     60e-12, // 60 ps input slew
+//!     800.0,  // 800 µm of wire
+//! );
+//! assert!(timing.output_slew > 0.0);
+//! # Ok::<(), cts_timing::CharacterizeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod fit;
+mod io;
+mod library;
+mod linalg;
+pub mod metrics;
+mod rctree;
+
+pub use characterize::{
+    characterize, sweep_branch, sweep_single_wire, BranchSample, CharacterizeConfig,
+    CharacterizeError, SingleWireSample,
+};
+pub use io::{
+    load_library_file, load_library_str, save_library_file, save_library_string,
+    ParseLibraryError,
+};
+pub use library::{
+    BranchFns, BranchTiming, BufferId, DelaySlewLibrary, Load, SingleWireFns, StageTiming,
+};
+pub use rctree::{RcNodeId, RcTree};
+
+use cts_spice::Technology;
+use std::sync::OnceLock;
+
+/// Returns a process-wide delay/slew library for
+/// [`Technology::nominal_45nm`], characterized with
+/// [`CharacterizeConfig::fast`] on first use and cached thereafter.
+///
+/// Tests and examples across the workspace share this library so the
+/// characterization cost (a few seconds) is paid once per process. Flows
+/// that need the full-resolution library should run [`characterize`] with
+/// [`CharacterizeConfig::standard`] themselves (the benchmark binaries cache
+/// it on disk).
+///
+/// # Panics
+///
+/// Panics if characterization fails — with the nominal technology and fast
+/// config this indicates a broken build, not a recoverable condition.
+pub fn fast_library() -> &'static DelaySlewLibrary {
+    static LIB: OnceLock<DelaySlewLibrary> = OnceLock::new();
+    LIB.get_or_init(|| {
+        let tech = Technology::nominal_45nm();
+        characterize(&tech, &CharacterizeConfig::fast())
+            .expect("fast characterization of the nominal technology must succeed")
+    })
+}
+
+/// Loads a delay/slew library from `path`, or characterizes one with the
+/// given config and caches it there. Examples and the benchmark binaries
+/// use this so the multi-minute standard characterization runs once per
+/// machine.
+///
+/// # Errors
+///
+/// Returns a description if characterization fails; a *stale or corrupt*
+/// cache file is regenerated rather than reported.
+pub fn load_or_characterize(
+    path: impl AsRef<std::path::Path>,
+    tech: &Technology,
+    cfg: &CharacterizeConfig,
+) -> Result<DelaySlewLibrary, String> {
+    let path = path.as_ref();
+    if let Ok(lib) = load_library_file(path) {
+        return Ok(lib);
+    }
+    let lib = characterize(tech, cfg).map_err(|e| e.to_string())?;
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = save_library_file(&lib, path) {
+        eprintln!("warning: could not cache library at {}: {e}", path.display());
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_library_is_cached_and_consistent() {
+        let a = fast_library() as *const _;
+        let b = fast_library() as *const _;
+        assert_eq!(a, b, "must return the same cached instance");
+        let lib = fast_library();
+        assert_eq!(lib.buffers().len(), 3);
+        assert!((lib.vdd() - 1.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Minimal dense linear algebra for least-squares fitting.
+//!
+//! The paper fits its delay/slew surfaces in MATLAB; we solve the same
+//! ordinary-least-squares problems with our own primitives: a Cholesky
+//! factorization of the normal equations, with a Householder-QR fallback for
+//! borderline-conditioned systems. Matrices here are tiny (tens of columns),
+//! so clarity beats blocking/vectorization.
+
+/// Column-major dense matrix, sized at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// data[c * rows + r]
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `self^T * self` (the Gram matrix of the columns).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut acc = 0.0;
+                for r in 0..self.rows {
+                    acc += self[(r, i)] * self[(r, j)];
+                }
+                g[(i, j)] = acc;
+                g[(j, i)] = acc;
+            }
+        }
+        g
+    }
+
+    /// `self^T * v`.
+    pub fn t_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self[(r, c)] * v[r]).sum())
+            .collect()
+    }
+
+    /// `self * v`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+/// Solves the SPD system `a x = b` by Cholesky factorization.
+///
+/// Returns `None` if `a` is not (numerically) positive definite.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "cholesky needs a square matrix");
+    assert_eq!(b.len(), n, "dimension mismatch");
+    // Lower-triangular factor L with a = L L^T.
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        let dj = d.sqrt();
+        l[(j, j)] = dj;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for k in 0..j {
+                v -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = v / dj;
+        }
+    }
+    // Forward then back substitution.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for k in 0..i {
+            acc -= l[(i, k)] * y[k];
+        }
+        y[i] = acc / l[(i, i)];
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for k in (i + 1)..n {
+            acc -= l[(k, i)] * x[k];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    Some(x)
+}
+
+/// Solves the least-squares problem `min ||a x - b||` by Householder QR.
+///
+/// Requires `a.rows() >= a.cols()`. Returns `None` if `a` is rank-deficient.
+pub fn solve_qr_least_squares(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "least squares needs rows >= cols");
+    assert_eq!(b.len(), m, "dimension mismatch");
+    let mut r = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Householder vector for column `col`, rows col..m.
+        let mut norm = 0.0;
+        for i in col..m {
+            norm += r[(i, col)] * r[(i, col)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            return None;
+        }
+        let alpha = if r[(col, col)] > 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - col];
+        v[0] = r[(col, col)] - alpha;
+        for i in (col + 1)..m {
+            v[i - col] = r[(i, col)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue; // column already triangular
+        }
+        // Apply H = I - 2 v v^T / (v^T v) to R and rhs.
+        for j in col..n {
+            let mut dot = 0.0;
+            for i in col..m {
+                dot += v[i - col] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vtv;
+            for i in col..m {
+                r[(i, j)] -= f * v[i - col];
+            }
+        }
+        let mut dot = 0.0;
+        for i in col..m {
+            dot += v[i - col] * rhs[i];
+        }
+        let f = 2.0 * dot / vtv;
+        for i in col..m {
+            rhs[i] -= f * v[i - col];
+        }
+    }
+
+    // Back substitution on the upper-triangular R.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let d = r[(i, i)];
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        let mut acc = rhs[i];
+        for k in (i + 1)..n {
+            acc -= r[(i, k)] * x[k];
+        }
+        x[i] = acc / d;
+    }
+    Some(x)
+}
+
+/// Solves the least-squares problem, trying the (fast) normal equations
+/// first and falling back to QR when Cholesky detects ill-conditioning.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let gram = a.gram();
+    let atb = a.t_mul_vec(b);
+    solve_cholesky(&gram, &atb).or_else(|| solve_qr_least_squares(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_spd() {
+        // a = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let x = solve_cholesky(&a, &[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -1.0;
+        assert!(solve_cholesky(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn qr_recovers_exact_solution() {
+        // Overdetermined but consistent: y = 2 + 3x.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { xs[r] });
+        let b: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let sol = solve_qr_least_squares(&a, &b).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-10);
+        assert!((sol[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Noisy line fit: the residual of the LS solution must not exceed
+        // that of nearby perturbed solutions.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 4.0).collect();
+        let b: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let a = Matrix::from_fn(xs.len(), 2, |r, c| if c == 0 { 1.0 } else { xs[r] });
+        let x = least_squares(&a, &b).unwrap();
+        let resid = |sol: &[f64]| -> f64 {
+            a.mul_vec(sol)
+                .iter()
+                .zip(&b)
+                .map(|(p, y)| (p - y) * (p - y))
+                .sum()
+        };
+        let base = resid(&x);
+        for d in [-1e-3, 1e-3] {
+            let mut p = x.clone();
+            p[0] += d;
+            assert!(resid(&p) >= base);
+            let mut p = x.clone();
+            p[1] += d;
+            assert!(resid(&p) >= base);
+        }
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        // Two identical columns.
+        let a = Matrix::from_fn(4, 2, |r, _| r as f64 + 1.0);
+        assert!(solve_qr_least_squares(&a, &[1.0, 2.0, 3.0, 4.0]).is_none());
+    }
+
+    #[test]
+    fn gram_and_mat_vec() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let g = a.gram();
+        assert_eq!(g.rows(), 2);
+        // Column 0 = [0,1,2], column 1 = [1,2,3].
+        assert_eq!(g[(0, 0)], 5.0);
+        assert_eq!(g[(0, 1)], 8.0);
+        assert_eq!(g[(1, 1)], 14.0);
+        assert_eq!(a.t_mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 6.0]);
+        assert_eq!(a.mul_vec(&[1.0, 2.0]), vec![2.0, 5.0, 8.0]);
+    }
+}

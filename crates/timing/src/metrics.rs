@@ -1,0 +1,119 @@
+//! Closed-form delay and slew metrics — the baselines of paper §3.1.
+//!
+//! The paper implemented the higher-moment metrics of Alpert et al. ("delay
+//! and slew metrics made easy") and the PERI ramp-input extension, found
+//! them better than Elmore but still insufficient (they cannot model curved
+//! input waveforms), and moved to SPICE characterization. We implement the
+//! same ladder so the ablation can be reproduced:
+//!
+//! * [`elmore_delay`] — first moment, the classic overestimate,
+//! * [`d2m_delay`] — the two-moment D2M metric `ln 2 · m1² / √m2`,
+//! * [`step_slew_s2m`] — a two-moment 10–90 % slew estimate from the
+//!   impulse-response spread,
+//! * [`peri_ramp_delay`] / [`peri_ramp_slew`] — PERI: extending step-input
+//!   metrics to ramp inputs (output slew ≈ √(input² + step²)).
+
+/// ln 9 — the 10–90 % width of a single-pole exponential in units of its
+/// time constant.
+const LN9: f64 = 2.197_224_577_336_219_6;
+
+/// Elmore delay: the first moment `m1` itself (seconds). Known to
+/// overestimate the 50 % delay of RC trees, often severely at near nodes.
+pub fn elmore_delay(m1: f64) -> f64 {
+    m1
+}
+
+/// The D2M two-moment delay metric: `ln 2 · m1² / √m2` (seconds).
+///
+/// Exact for a single pole, and empirically accurate at far nodes of RC
+/// trees (where the response is dominated by one pole).
+///
+/// # Panics
+///
+/// Panics if `m2 <= 0`.
+pub fn d2m_delay(m1: f64, m2: f64) -> f64 {
+    assert!(m2 > 0.0, "second moment must be positive, got {m2}");
+    std::f64::consts::LN_2 * m1 * m1 / m2.sqrt()
+}
+
+/// Two-moment 10–90 % step slew estimate (seconds).
+///
+/// Models the step response as a single pole with variance-matched time
+/// constant: σ² = 2·m2 − m1², slew ≈ ln 9 · √σ² (exact for one pole, where
+/// σ = τ). Falls back to the Elmore time constant when the variance is
+/// numerically negative (can happen on heavily mismatched fits).
+pub fn step_slew_s2m(m1: f64, m2: f64) -> f64 {
+    let var = 2.0 * m2 - m1 * m1;
+    if var > 0.0 {
+        LN9 * var.sqrt()
+    } else {
+        LN9 * m1
+    }
+}
+
+/// PERI ramp-input 50 % delay (seconds): to first order the 50 % delay of a
+/// linear system is shift-invariant in the input's 50 % crossing, so the
+/// step delay metric carries over unchanged.
+pub fn peri_ramp_delay(step_delay: f64, _input_slew: f64) -> f64 {
+    step_delay
+}
+
+/// PERI ramp-input output slew (seconds): the root-sum-square extension
+/// `√(slew_in² + slew_step²)`, exact in the variance sense for convolution.
+pub fn peri_ramp_slew(step_slew: f64, input_slew: f64) -> f64 {
+    (step_slew * step_slew + input_slew * input_slew).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rctree::RcTree;
+    use cts_spice::units::*;
+
+    #[test]
+    fn d2m_exact_for_single_pole() {
+        let tau = 100.0 * PS;
+        let (m1, m2) = (tau, tau * tau);
+        let d = d2m_delay(m1, m2);
+        assert!((d - std::f64::consts::LN_2 * tau).abs() < 1e-18);
+        // Elmore overestimates the 50% point of an exponential by 1/ln2.
+        assert!(elmore_delay(m1) > d);
+    }
+
+    #[test]
+    fn s2m_exact_for_single_pole() {
+        let tau = 80.0 * PS;
+        let slew = step_slew_s2m(tau, tau * tau);
+        assert!((slew - 2.197_224_577 * tau).abs() < 1e-15);
+    }
+
+    #[test]
+    fn d2m_at_most_elmore_on_rc_lines() {
+        // On distributed lines D2M <= Elmore (it corrects the overestimate).
+        let mut t = RcTree::new(0.0);
+        let end = t.add_wire(t.root(), 500.0, 200.0 * FF, 32);
+        let (m1, m2) = t.m1_m2(end);
+        assert!(d2m_delay(m1, m2) <= elmore_delay(m1));
+        assert!(d2m_delay(m1, m2) > 0.0);
+    }
+
+    #[test]
+    fn peri_slew_dominated_by_larger_term() {
+        let s = peri_ramp_slew(30.0 * PS, 40.0 * PS);
+        assert!((s - 50.0 * PS).abs() < 1e-15);
+        assert!(peri_ramp_slew(0.0, 70.0 * PS) == 70.0 * PS);
+    }
+
+    #[test]
+    fn s2m_negative_variance_fallback() {
+        // m2 < m1^2/2 => negative variance; must not NaN.
+        let s = step_slew_s2m(100.0 * PS, 1000.0 * PS * PS);
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "second moment")]
+    fn d2m_rejects_bad_m2() {
+        let _ = d2m_delay(1e-12, 0.0);
+    }
+}

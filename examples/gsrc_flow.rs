@@ -1,0 +1,60 @@
+//! GSRC flow: synthesize one GSRC bookshelf instance end to end and print
+//! a Table 5.1-style row (worst slew / skew / max latency, SPICE-verified).
+//!
+//! Run with (r1 by default; pass r1..r5):
+//! ```sh
+//! cargo run --release -p cts --example gsrc_flow -- r2
+//! ```
+
+use cts::benchmarks::{generate_gsrc, GsrcBenchmark};
+use cts::spice::units::{NS, PS};
+use cts::{CtsOptions, Synthesizer, Technology, VerifyOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "r1".into());
+    let bench = GsrcBenchmark::all()
+        .into_iter()
+        .find(|b| b.name() == which)
+        .ok_or_else(|| format!("unknown GSRC benchmark '{which}' (use r1..r5)"))?;
+
+    let instance = generate_gsrc(bench);
+    println!("instance: {instance}");
+
+    let tech = Technology::nominal_45nm();
+    let library = cts::timing::load_or_characterize(
+        "target/ctslib_fast.v1.txt",
+        &tech,
+        &cts::timing::CharacterizeConfig::fast(),
+    )?;
+    let synth = Synthesizer::new(&library, CtsOptions::default());
+
+    let t0 = std::time::Instant::now();
+    let result = synth.synthesize(&instance)?;
+    println!(
+        "synthesized in {:.1} s: {} buffers, {:.1} mm wire, {} levels",
+        t0.elapsed().as_secs_f64(),
+        result.buffers,
+        result.wirelength_um / 1000.0,
+        result.levels
+    );
+
+    let verified = cts::verify_tree(
+        &result.tree,
+        result.source,
+        &tech,
+        &VerifyOptions::default(),
+    )?;
+    println!(
+        "\n{:<6} {:>8} {:>12} {:>10} {:>14}",
+        "bench", "#sinks", "worst slew", "skew", "max latency"
+    );
+    println!(
+        "{:<6} {:>8} {:>9.1} ps {:>7.1} ps {:>11.2} ns",
+        bench.name(),
+        instance.sinks().len(),
+        verified.worst_slew / PS,
+        verified.skew / PS,
+        verified.max_latency / NS
+    );
+    Ok(())
+}

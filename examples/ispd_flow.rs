@@ -1,0 +1,56 @@
+//! ISPD'09 flow: synthesize one ISPD clock-network instance and check the
+//! paper's §5.1 observation that skew stays within ~3 % of max latency.
+//!
+//! Run with (f22 by default; pass f11, f12, f21, f22, f31, f32, fnb1):
+//! ```sh
+//! cargo run --release -p cts --example ispd_flow -- f31
+//! ```
+
+use cts::benchmarks::{generate_ispd, IspdBenchmark};
+use cts::spice::units::{NS, PS};
+use cts::{CtsOptions, Synthesizer, Technology, VerifyOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "f22".into());
+    let bench = IspdBenchmark::all()
+        .into_iter()
+        .find(|b| b.name() == which)
+        .ok_or_else(|| format!("unknown ISPD benchmark '{which}'"))?;
+
+    let instance = generate_ispd(bench);
+    println!(
+        "instance: {instance} (die {:.0} mm)",
+        bench.die_um() / 1000.0
+    );
+
+    let tech = Technology::nominal_45nm();
+    let library = cts::timing::load_or_characterize(
+        "target/ctslib_fast.v1.txt",
+        &tech,
+        &cts::timing::CharacterizeConfig::fast(),
+    )?;
+    let synth = Synthesizer::new(&library, CtsOptions::default());
+    let result = synth.synthesize(&instance)?;
+    let verified = cts::verify_tree(
+        &result.tree,
+        result.source,
+        &tech,
+        &VerifyOptions::default(),
+    )?;
+
+    let pct = 100.0 * verified.skew / verified.max_latency;
+    println!(
+        "{}: worst slew {:.1} ps | skew {:.1} ps | latency {:.2} ns | skew/latency {:.1} %",
+        bench.name(),
+        verified.worst_slew / PS,
+        verified.skew / PS,
+        verified.max_latency / NS,
+        pct
+    );
+    if verified.worst_slew <= 100.0 * PS {
+        println!("slew limit honored ✓");
+    } else {
+        println!("slew limit EXCEEDED ✗");
+    }
+    Ok(())
+}

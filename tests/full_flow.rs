@@ -1,0 +1,161 @@
+//! End-to-end integration: synthesize benchmark-shaped instances and check
+//! the paper's headline claims on the SPICE-verified netlist.
+
+use cts::benchmarks::{generate_custom, generate_scaled_gsrc, GsrcBenchmark};
+use cts::spice::units::PS;
+use cts::{CtsOptions, Synthesizer, Technology, VerifyOptions};
+use cts_timing::fast_library;
+
+/// Headline claim (§5.1 / Table 5.1): the verified worst slew honors the
+/// 100 ps limit, and skew stays a small fraction of latency.
+#[test]
+fn scaled_gsrc_honors_slew_and_skew() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let synth = Synthesizer::new(lib, CtsOptions::default());
+
+    // A scaled-down r1 (same die, fewer sinks) keeps runtime test-friendly
+    // while exercising multi-level merges and long routes.
+    let instance = generate_scaled_gsrc(GsrcBenchmark::R1, 24);
+    let result = synth.synthesize(&instance).expect("synthesis");
+    assert_eq!(result.tree.sinks_under(result.source).len(), 24);
+    assert!(result.buffers > 0, "a 7 mm die demands buffers");
+
+    let verified = cts::verify_tree(
+        &result.tree,
+        result.source,
+        &tech,
+        &VerifyOptions::default(),
+    )
+    .expect("verification");
+    assert!(
+        verified.worst_slew <= synth.options().slew_limit,
+        "worst slew {} ps breaks the 100 ps limit",
+        verified.worst_slew / PS
+    );
+    // The paper reports skew at 3-5 % of latency on full-size instances
+    // with its production-tuned flow; this reproduction lands at 10-20 %
+    // on scaled instances (see EXPERIMENTS.md for the gap analysis). The
+    // bound below guards against regressions, not parity.
+    assert!(
+        verified.skew <= 0.22 * verified.max_latency,
+        "skew {} ps vs latency {} ps",
+        verified.skew / PS,
+        verified.max_latency / PS
+    );
+}
+
+/// The engine's estimates must track verified reality (the paper's
+/// argument for library-based analysis): latency within a few percent,
+/// skew within a hand-countable number of ps.
+#[test]
+fn engine_tracks_verification() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let synth = Synthesizer::new(lib, CtsOptions::default());
+    let instance = generate_custom("track", 16, 5000.0, 99);
+    let result = synth.synthesize(&instance).expect("synthesis");
+    let verified = cts::verify_tree(
+        &result.tree,
+        result.source,
+        &tech,
+        &VerifyOptions::default(),
+    )
+    .expect("verification");
+
+    let latency_err =
+        (result.report.latency - verified.max_latency).abs() / verified.max_latency;
+    assert!(
+        latency_err < 0.08,
+        "engine latency off by {:.1} % ({} vs {} ps)",
+        latency_err * 100.0,
+        result.report.latency / PS,
+        verified.max_latency / PS
+    );
+    let skew_err = (result.report.skew() - verified.skew).abs();
+    assert!(
+        skew_err < 40.0 * PS,
+        "engine skew {} ps vs verified {} ps",
+        result.report.skew() / PS,
+        verified.skew / PS
+    );
+}
+
+/// Aggressive insertion vs the merge-node-only policy (Fig. 1.2): on a die
+/// too large for merge-node buffering, only the aggressive flow keeps the
+/// verified slew legal.
+#[test]
+fn aggressive_beats_merge_node_only_buffering() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let opts = CtsOptions::default();
+    let instance = generate_custom("wide", 12, 9000.0, 5);
+
+    let aggressive = Synthesizer::new(lib, opts.clone())
+        .synthesize(&instance)
+        .expect("aggressive synthesis");
+    let v_aggressive = cts::verify_tree(
+        &aggressive.tree,
+        aggressive.source,
+        &tech,
+        &VerifyOptions::default(),
+    )
+    .expect("verify aggressive");
+
+    let baseline = cts::core::baseline::merge_node_buffering(lib, &opts, &instance)
+        .expect("baseline construction");
+    let v_baseline = cts::verify_tree(
+        &baseline.tree,
+        baseline.source,
+        &tech,
+        &VerifyOptions::default(),
+    );
+
+    assert!(
+        v_aggressive.worst_slew <= opts.slew_limit,
+        "aggressive slew {} ps must be legal",
+        v_aggressive.worst_slew / PS
+    );
+    // The baseline either fails verification outright (a node never
+    // completes its transition) or reports a slew violation.
+    match v_baseline {
+        Err(_) => {}
+        Ok(v) => assert!(
+            v.worst_slew > opts.slew_limit,
+            "merge-node-only buffering should not hold slew on a 9 mm die, got {} ps",
+            v.worst_slew / PS
+        ),
+    }
+}
+
+/// All three H-correction modes deliver structurally valid, slew-legal
+/// trees on the same instance.
+#[test]
+fn hcorrection_modes_full_flow() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let instance = generate_custom("hmodes", 12, 4000.0, 11);
+    for mode in [
+        cts::HCorrection::Off,
+        cts::HCorrection::ReEstimate,
+        cts::HCorrection::Correct,
+    ] {
+        let mut opts = CtsOptions::default();
+        opts.h_correction = mode;
+        let synth = Synthesizer::new(lib, opts);
+        let result = synth.synthesize(&instance).expect("synthesis");
+        assert_eq!(result.tree.sinks_under(result.source).len(), 12);
+        let verified = cts::verify_tree(
+            &result.tree,
+            result.source,
+            &tech,
+            &VerifyOptions::default(),
+        )
+        .expect("verification");
+        assert!(
+            verified.worst_slew <= synth.options().slew_limit,
+            "{mode}: slew {} ps",
+            verified.worst_slew / PS
+        );
+    }
+}
