@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cts::benchmarks::generate_custom;
 use cts::spice::units::{NS, PS};
 use cts::spice::{simulate, Circuit, Integrator, SimOptions, Waveform};
+use cts::timing::fast_library;
 use cts::timing::{metrics, RcTree};
 use cts::{CtsOptions, HCorrection, Synthesizer, Technology};
-use cts::timing::fast_library;
 
 /// Backward Euler vs trapezoidal at equal step size: cost comparison (the
 /// accuracy side is covered by the solver tests).
@@ -23,7 +23,10 @@ fn ablate_integrator(c: &mut Criterion) {
         circuit.add_buffer(vin, out, &tech.buffer_library()[2]);
         let far = circuit.add_node("far");
         circuit.add_wire(out, far, 1000.0, tech.wire());
-        circuit.drive(vin, Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, tech.vdd()));
+        circuit.drive(
+            vin,
+            Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, tech.vdd()),
+        );
         let mut opts = SimOptions::default_for(2.0 * NS);
         opts.dt = 0.5 * PS;
         opts.integrator = integ;
@@ -61,7 +64,11 @@ fn ablate_hcorrection(c: &mut Criterion) {
     let inst = generate_custom("hcost", 16, 5000.0, 11);
     let mut group = c.benchmark_group("h_correction");
     group.sample_size(10);
-    for mode in [HCorrection::Off, HCorrection::ReEstimate, HCorrection::Correct] {
+    for mode in [
+        HCorrection::Off,
+        HCorrection::ReEstimate,
+        HCorrection::Correct,
+    ] {
         let mut opts = CtsOptions::default();
         opts.h_correction = mode;
         let synth = Synthesizer::new(lib, opts);

@@ -9,9 +9,9 @@ use cts::core::topology::{find_matching, MatchCandidate};
 use cts::geom::Point;
 use cts::spice::units::{NS, PS};
 use cts::spice::{simulate, Circuit, SimOptions, Waveform};
+use cts::timing::fast_library;
 use cts::timing::{BufferId, Load};
 use cts::{CtsOptions, Synthesizer, Technology, TimingEngine};
-use cts::timing::fast_library;
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("nearest_neighbor_matching");
@@ -114,7 +114,10 @@ fn bench_transient_sim(c: &mut Criterion) {
         circuit.add_buffer(vin, out, &tech.buffer_library()[1]);
         let far = circuit.add_node("far");
         circuit.add_wire(out, far, len, tech.wire());
-        circuit.drive(vin, Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, tech.vdd()));
+        circuit.drive(
+            vin,
+            Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, tech.vdd()),
+        );
         let mut opts = SimOptions::default_for(2.0 * NS);
         opts.dt = 0.5 * PS;
         group.bench_with_input(

@@ -1,0 +1,33 @@
+//! Serial vs multi-threaded synthesis on GSRC-scale instances: the
+//! wall-clock measurement behind the parallel level-synthesis pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cts::benchmarks::{generate_scaled_gsrc, GsrcBenchmark};
+use cts::timing::fast_library;
+use cts::{CtsOptions, Synthesizer};
+
+fn bench_parallel_synthesis(c: &mut Criterion) {
+    let lib = fast_library();
+    // >= 256 sinks so every early level carries a wide rank of independent
+    // pair merges.
+    let inst = generate_scaled_gsrc(GsrcBenchmark::R1, 256);
+    let mut group = c.benchmark_group("synthesize_r1_256");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 0] {
+        let mut opts = CtsOptions::default();
+        opts.threads = threads;
+        let synth = Synthesizer::new(lib, opts);
+        let label = if threads == 0 {
+            "auto".to_string()
+        } else {
+            format!("{threads}")
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &synth, |b, s| {
+            b.iter(|| s.synthesize(&inst).expect("synthesis"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(parallel, bench_parallel_synthesis);
+criterion_main!(parallel);

@@ -59,7 +59,10 @@ fn main() {
         c.add_buffer(lin, lout, &buffers[1]);
         c.drive(din, ramp);
         let res2 = simulate(&c, &opts).expect("ramp sim");
-        let t50_ramp = res2.waveform(lin).t50(tech.vdd()).expect("ramp output edge");
+        let t50_ramp = res2
+            .waveform(lin)
+            .t50(tech.vdd())
+            .expect("ramp output edge");
 
         println!(
             "{:>16.0} {:>14.1} {:>9.1} ps {:>9.1} ps {:>7.1} ps",

@@ -14,7 +14,11 @@ use cts_bench::{full_run_requested, library, print_flow_header, print_flow_row, 
 
 /// Paper Table 5.1: (bench, sinks, worst slew ps, skew ps, latency ns,
 /// skew of [6], skew of [8], skew of [16]).
-const PAPER: [(&str, usize, f64, f64, f64, f64, f64, f64); 5] = [
+/// One paper row: (bench, sinks, worst slew ps, skew ps, latency ns,
+/// skew of [6], skew of [8], skew of [16]).
+type PaperRow = (&'static str, usize, f64, f64, f64, f64, f64, f64);
+
+const PAPER: [PaperRow; 5] = [
     ("r1", 267, 89.5, 69.7, 1.30, 100.0, 57.0, 37.0),
     ("r2", 598, 89.3, 59.9, 1.69, 96.0, 87.4, 59.5),
     ("r3", 862, 89.7, 64.2, 1.95, 101.0, 59.6, 49.5),

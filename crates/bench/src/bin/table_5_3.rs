@@ -80,14 +80,22 @@ fn main() {
     for inst in instances(full) {
         let mut skews = Vec::new();
         let mut flips = 0;
-        for mode in [HCorrection::Off, HCorrection::ReEstimate, HCorrection::Correct] {
+        for mode in [
+            HCorrection::Off,
+            HCorrection::ReEstimate,
+            HCorrection::Correct,
+        ] {
             let mut opts = CtsOptions::default();
             opts.h_correction = mode;
             let synth = Synthesizer::new(&lib, opts);
             let result = synth.synthesize(&inst).expect("synthesis");
-            let verified =
-                cts::verify_tree(&result.tree, result.source, &tech, &VerifyOptions::default())
-                    .expect("verification");
+            let verified = cts::verify_tree(
+                &result.tree,
+                result.source,
+                &tech,
+                &VerifyOptions::default(),
+            )
+            .expect("verification");
             skews.push(verified.skew);
             if mode == HCorrection::Correct {
                 flips = result.flippings;
@@ -115,7 +123,10 @@ fn main() {
     );
 
     println!("\n== Table 5.3: paper ratios ==");
-    println!("{:<6} {:>10} {:>10} {:>6}", "bench", "re-est", "correct", "flips");
+    println!(
+        "{:<6} {:>10} {:>10} {:>6}",
+        "bench", "re-est", "correct", "flips"
+    );
     for (name, re, co, flips) in PAPER {
         println!("{:<6} {:>+9.2}% {:>+9.2}% {:>6}", name, re, co, flips);
     }

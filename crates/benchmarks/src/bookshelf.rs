@@ -42,7 +42,11 @@ pub struct ParseBookshelfError {
 
 impl fmt::Display for ParseBookshelfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bookshelf parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "bookshelf parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

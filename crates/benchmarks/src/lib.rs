@@ -211,8 +211,9 @@ fn synth_sinks(n: usize, die: f64, cap_lo: f64, cap_hi: f64, seed: u64) -> Vec<S
             let location = if rng.gen_bool(0.35) {
                 // Clustered: sum of uniforms approximates a Gaussian.
                 let c = centers[rng.gen_range(0..centers.len())];
-                let jitter =
-                    |rng: &mut StdRng| (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * 0.5 * sigma;
+                let jitter = |rng: &mut StdRng| {
+                    (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * 0.5 * sigma
+                };
                 let dx = jitter(&mut rng);
                 let dy = jitter(&mut rng);
                 Point::new((c.x + dx).clamp(0.0, die), (c.y + dy).clamp(0.0, die))

@@ -164,12 +164,10 @@ impl<'a> Balancer<'a> {
             // driver must also push through the root's unbuffered pending.
             let mut best: Option<(BufferId, f64, f64)> = None; // (buf, len, delay)
             for drive in self.lib.buffer_ids() {
-                let lmax = match self.lib.max_wire_length_for_slew(
-                    drive,
-                    load,
-                    target,
-                    target,
-                ) {
+                let lmax = match self
+                    .lib
+                    .max_wire_length_for_slew(drive, load, target, target)
+                {
                     Some(l) => (l - pending).max(0.0),
                     None => continue,
                 };
@@ -193,7 +191,7 @@ impl<'a> Balancer<'a> {
                     lo
                 };
                 let d = self.stage_delay(drive, load, len);
-                if d <= remaining && best.map_or(true, |(_, _, bd)| d > bd) {
+                if d <= remaining && best.is_none_or(|(_, _, bd)| d > bd) {
                     best = Some((drive, len, d));
                 }
             }
@@ -261,7 +259,7 @@ impl<'a> Balancer<'a> {
             let pending = self.effective_pending_um(tree, current);
             // Only buffers that can drive through the pending region are
             // feasible overshoot stages.
-            let feasible: Vec<BufferId> = self
+            let Some(best) = self
                 .lib
                 .buffer_ids()
                 .filter(|&b| {
@@ -269,12 +267,12 @@ impl<'a> Balancer<'a> {
                         .max_wire_length_for_slew(b, load, target, target)
                         .is_some_and(|l| l >= pending + 1.0)
                 })
-                .collect();
-            let Some(&best) = feasible.iter().min_by(|&&a, &&b| {
-                self.stage_delay(a, load, 1.0)
-                    .partial_cmp(&self.stage_delay(b, load, 1.0))
-                    .unwrap()
-            }) else {
+                .min_by(|&a, &b| {
+                    self.stage_delay(a, load, 1.0)
+                        .partial_cmp(&self.stage_delay(b, load, 1.0))
+                        .unwrap()
+                })
+            else {
                 return Ok(BalanceOutcome {
                     root: current,
                     added_delay: added,

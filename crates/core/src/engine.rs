@@ -254,7 +254,11 @@ impl<'a> TimingEngine<'a> {
         let timing = self.fork_timing(tree, fork, driver, slew_in, stem_len);
         for (idx, &child) in children.iter().enumerate() {
             let ev = self.walk(tree, child, tree.node(child).wire_to_parent_um);
-            let slew = if idx == 0 { timing.left_slew } else { timing.right_slew };
+            let slew = if idx == 0 {
+                timing.left_slew
+            } else {
+                timing.right_slew
+            };
             match ev {
                 Event::LoadAt { node, .. } => out.push((node, slew)),
                 Event::ForkAt { node, .. } => {
@@ -390,11 +394,9 @@ impl<'a> TimingEngine<'a> {
             let load = match &ev {
                 Event::LoadAt { node, .. } => self.load_of(tree, *node),
                 Event::ForkAt { node, .. } => Load::Sink {
-                    cap: tree.shielded_cap_under(
-                        *node,
-                        self.lib.wire().c_per_um(),
-                        &|b| self.lib.buffer(b).stage1_size() * 1.2e-15,
-                    ),
+                    cap: tree.shielded_cap_under(*node, self.lib.wire().c_per_um(), &|b| {
+                        self.lib.buffer(b).stage1_size() * 1.2e-15
+                    }),
                 },
                 Event::Dangling { .. } => Load::Sink { cap: 0.0 },
             };
@@ -404,7 +406,12 @@ impl<'a> TimingEngine<'a> {
         let (ev_r, _load_r) = arm(children[1]);
 
         let timing = self.fork_timing(tree, fork, driver, slew_in, stem_len);
-        let t0 = t_in + if with_intrinsic { timing.buffer_delay } else { 0.0 };
+        let t0 = t_in
+            + if with_intrinsic {
+                timing.buffer_delay
+            } else {
+                0.0
+            };
 
         for (ev, delay, slew) in [
             (ev_l, timing.left_delay, timing.left_slew),
@@ -504,7 +511,11 @@ mod tests {
         t.attach(b, s, 500.0);
         let r = engine.evaluate_subtree(&t, b, BufferId(1), 60.0 * PS);
         assert_eq!(r.sink_arrivals.len(), 1);
-        assert!(r.latency > 0.0 && r.latency < 500.0 * PS, "latency {}", r.latency / PS);
+        assert!(
+            r.latency > 0.0 && r.latency < 500.0 * PS,
+            "latency {}",
+            r.latency / PS
+        );
         assert!(r.worst_slew > 0.0);
         assert_eq!(r.skew(), 0.0);
     }

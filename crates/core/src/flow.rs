@@ -1,13 +1,15 @@
 //! The top-level synthesis flow (paper §4.1, Fig. 4.1): levelized topology
 //! generation driving merge-routing until a single tree remains.
+//!
+//! The heavy lifting lives in [`crate::pipeline::SynthesisPipeline`];
+//! [`Synthesizer`] is the stable public entry point around it.
 
 use crate::engine::{TimingEngine, TimingReport};
-use crate::hcorrect::merge_with_correction;
 use crate::instance::Instance;
 use crate::options::{CtsError, CtsOptions};
-use crate::topology::{find_matching, MatchCandidate};
+use crate::pipeline::{LevelStats, SynthesisPipeline};
 use crate::tree::{ClockTree, TreeNodeId};
-use cts_timing::{BufferId, DelaySlewLibrary};
+use cts_timing::DelaySlewLibrary;
 
 /// A synthesized clock tree with engine-estimated quality metrics.
 ///
@@ -30,6 +32,8 @@ pub struct CtsResult {
     pub wirelength_um: f64,
     /// H-structure pairings flipped (0 when correction is off).
     pub flippings: usize,
+    /// Per-level statistics from the pipeline's level-timing stage.
+    pub level_stats: Vec<LevelStats>,
 }
 
 /// The buffered clock tree synthesizer.
@@ -67,272 +71,35 @@ impl<'a> Synthesizer<'a> {
 
     /// Synthesizes a buffered clock tree for `instance`.
     ///
+    /// Runs the staged [`SynthesisPipeline`]: per-level topology matching,
+    /// parallel per-pair merge-routing (`options.threads` workers; the
+    /// result is bit-identical for every worker count), deterministic
+    /// grafting, and global refinement.
+    ///
     /// # Errors
     ///
     /// [`CtsError::BadOptions`] for invalid options,
     /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
     /// the slew target.
     pub fn synthesize(&self, instance: &Instance) -> Result<CtsResult, CtsError> {
-        self.options.validate()?;
+        let pipeline = SynthesisPipeline::new(self.lib, &self.options)?;
+        let out = pipeline.run(instance)?;
+
         let engine = TimingEngine::new(self.lib);
-        let mut tree = ClockTree::new();
-
-        // Level 0: the sinks.
-        let mut active: Vec<TreeNodeId> = instance
-            .sinks()
-            .iter()
-            .enumerate()
-            .map(|(i, s)| tree.add_sink(i, s))
-            .collect();
-        let centroid = instance.sink_centroid();
-
-        let mut levels = 0;
-        let mut flippings = 0;
-        while active.len() > 1 {
-            levels += 1;
-            let candidates: Vec<MatchCandidate> = active
-                .iter()
-                .map(|&root| MatchCandidate {
-                    location: tree.node(root).location,
-                    delay: engine
-                        .evaluate_subtree(
-                            &tree,
-                            root,
-                            self.options.virtual_driver,
-                            self.options.slew_target,
-                        )
-                        .latency,
-                })
-                .collect();
-            let matching = find_matching(
-                &candidates,
-                centroid,
-                self.options.cost_alpha,
-                self.options.cost_beta,
-            );
-
-            let mut next: Vec<TreeNodeId> = Vec::with_capacity(active.len() / 2 + 1);
-            if let Some(seed) = matching.seed {
-                next.push(active[seed]);
-            }
-            for &(i, j) in &matching.pairs {
-                let merged =
-                    merge_with_correction(self.lib, &self.options, &mut tree, active[i], active[j])?;
-                if merged.flipped {
-                    flippings += 1;
-                }
-                next.push(merged.root);
-            }
-            active = next;
-        }
-
-        let top = active[0];
-        let source_driver = self.strongest_buffer();
-        let source = tree.add_source(top, source_driver);
-
-        // Global refinement: per-merge balancing cannot anticipate the
-        // stems and drivers that upper levels later place above each merge,
-        // which re-opens small skew gaps. Greedy buffer re-typing along the
-        // extreme sinks' root paths, judged on the full-tree evaluation,
-        // closes most of it.
-        self.refine_global(&mut tree, source, &engine);
-        let report = engine.evaluate(&tree, source, self.options.source_slew);
-
-        tree.validate_under(source);
-        let buffers = tree.buffer_count_under(source);
-        let wirelength_um = tree.wirelength_under(source);
+        let report = engine.evaluate(&out.tree, out.source, self.options.source_slew);
+        let buffers = out.tree.buffer_count_under(out.source);
+        let wirelength_um = out.tree.wirelength_under(out.source);
 
         Ok(CtsResult {
-            tree,
-            source,
+            tree: out.tree,
+            source: out.source,
             report,
-            levels,
+            levels: out.levels,
             buffers,
             wirelength_um,
-            flippings,
+            flippings: out.flippings,
+            level_stats: out.level_stats,
         })
-    }
-
-    /// Global skew refinement on the finished tree.
-    ///
-    /// Per-merge balancing runs before the upper levels exist; the stems
-    /// and drivers those levels later place above each merge shift its
-    /// balance point. Two complementary passes repair this *in context*:
-    ///
-    /// 1. **Joint re-balancing sweeps** — for every two-child joint, re-run
-    ///    the wire redistribution of §4.2.3 against an evaluation rooted at
-    ///    the joint's true stage driver with its true input slew
-    ///    (redistribution keeps the total wire constant, so nothing above
-    ///    the driver changes). Fine-grained (sub-ps) control.
-    /// 2. **Buffer re-typing** along the extreme sinks' root paths, judged
-    ///    on the full-tree evaluation — the coarse lever for residuals the
-    ///    wire can't reach.
-    fn refine_global(&self, tree: &mut ClockTree, source: TreeNodeId, engine: &TimingEngine<'_>) {
-        // Stage assumptions require every input slew to stay at/under the
-        // synthesis target.
-        let slew_gate = self.options.slew_target * 1.01;
-        let mr = crate::merge::MergeRouting::new(self.lib, &self.options);
-        let arm_budget = mr.arm_budget_um();
-
-        for _round in 0..3 {
-            let (rep, slews) =
-                engine.evaluate_annotated(tree, source, self.options.source_slew);
-            if rep.skew() < 2.0e-12 || rep.sink_arrivals.len() < 2 {
-                return;
-            }
-
-            // --- pass 1: per-joint wire re-balancing in true context -----
-            for joint in tree.ids().collect::<Vec<_>>() {
-                if !matches!(tree.node(joint).kind, crate::tree::NodeKind::Joint)
-                    || tree.node(joint).children.len() != 2
-                {
-                    continue;
-                }
-                // The joint's stage driver: nearest ancestor buffer/source.
-                let mut drv = tree.node(joint).parent;
-                while let Some(d) = drv {
-                    if matches!(
-                        tree.node(d).kind,
-                        crate::tree::NodeKind::Buffer { .. } | crate::tree::NodeKind::Source { .. }
-                    ) {
-                        break;
-                    }
-                    drv = tree.node(d).parent;
-                }
-                let Some(driver_node) = drv else { continue };
-                let Some(&driver_slew) = slews.get(&driver_node) else {
-                    continue;
-                };
-                let kids = [tree.node(joint).children[0], tree.node(joint).children[1]];
-                let total =
-                    tree.node(kids[0]).wire_to_parent_um + tree.node(kids[1]).wire_to_parent_um;
-                if total < 4.0 {
-                    continue;
-                }
-                let caps = [
-                    (arm_budget - mr.effective_pending_um(tree, kids[0])).max(1.0),
-                    (arm_budget - mr.effective_pending_um(tree, kids[1])).max(1.0),
-                ];
-                let r_lo = ((total - caps[1]) / total).clamp(0.0, 1.0);
-                let r_hi = (caps[0] / total).clamp(0.0, 1.0);
-                if r_lo >= r_hi {
-                    continue;
-                }
-                let side_sinks = [tree.sinks_under(kids[0]), tree.sinks_under(kids[1])];
-                let diff_at = |tree: &mut ClockTree, r: f64| -> f64 {
-                    tree.set_wire_to_parent(kids[0], r * total);
-                    tree.set_wire_to_parent(kids[1], (1.0 - r) * total);
-                    let local = engine.evaluate_subtree(
-                        tree,
-                        driver_node,
-                        self.options.virtual_driver,
-                        driver_slew,
-                    );
-                    let arr = local.arrival_map();
-                    let m = |ids: &[TreeNodeId]| {
-                        ids.iter().map(|i| arr[i]).fold(f64::NEG_INFINITY, f64::max)
-                    };
-                    m(&side_sinks[0]) - m(&side_sinks[1])
-                };
-                let r_now = tree.node(kids[0]).wire_to_parent_um / total;
-                let d_now = diff_at(tree, r_now);
-                let (mut lo, mut hi) = (r_lo, r_hi);
-                let (d_lo, d_hi) = (diff_at(tree, lo), diff_at(tree, hi));
-                let r_best = if d_lo >= 0.0 {
-                    lo
-                } else if d_hi <= 0.0 {
-                    hi
-                } else {
-                    for _ in 0..20 {
-                        let mid = 0.5 * (lo + hi);
-                        if diff_at(tree, mid) < 0.0 {
-                            lo = mid;
-                        } else {
-                            hi = mid;
-                        }
-                    }
-                    0.5 * (lo + hi)
-                };
-                // Keep the better of current vs rebalanced.
-                if diff_at(tree, r_best).abs() >= d_now.abs() {
-                    let _ = diff_at(tree, r_now);
-                }
-            }
-
-            // --- pass 2: buffer re-typing on the extreme paths ------------
-            let path_buffers = |tree: &ClockTree, from: TreeNodeId| -> Vec<TreeNodeId> {
-                let mut out = Vec::new();
-                let mut at = Some(from);
-                while let Some(id) = at {
-                    if matches!(tree.node(id).kind, crate::tree::NodeKind::Buffer { .. }) {
-                        out.push(id);
-                    }
-                    at = tree.node(id).parent;
-                }
-                out
-            };
-            for _iter in 0..24 {
-                let rep = engine.evaluate(tree, source, self.options.source_slew);
-                let skew = rep.skew();
-                if skew < 2.0e-12 {
-                    break;
-                }
-                let fastest = rep
-                    .sink_arrivals
-                    .iter()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .expect("sinks present")
-                    .0;
-                let slowest = rep
-                    .sink_arrivals
-                    .iter()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .expect("sinks present")
-                    .0;
-                let mut candidates = path_buffers(tree, fastest);
-                candidates.extend(path_buffers(tree, slowest));
-                candidates.sort_unstable();
-                candidates.dedup();
-
-                let mut best: Option<(f64, TreeNodeId, BufferId)> = None;
-                for &cand in &candidates {
-                    let original = match tree.node(cand).kind {
-                        crate::tree::NodeKind::Buffer { buffer } => buffer,
-                        _ => unreachable!("candidates are buffers"),
-                    };
-                    for alt in self.lib.buffer_ids() {
-                        if alt == original {
-                            continue;
-                        }
-                        tree.set_buffer_type(cand, alt);
-                        let trial = engine.evaluate(tree, source, self.options.source_slew);
-                        if trial.worst_slew <= slew_gate
-                            && trial.skew() + 0.3e-12 < best.map_or(skew, |(s, _, _)| s)
-                        {
-                            best = Some((trial.skew(), cand, alt));
-                        }
-                        tree.set_buffer_type(cand, original);
-                    }
-                }
-                match best {
-                    Some((_, node, alt)) => tree.set_buffer_type(node, alt),
-                    None => break,
-                }
-            }
-        }
-    }
-
-    fn strongest_buffer(&self) -> BufferId {
-        self.lib
-            .buffer_ids()
-            .max_by(|&a, &b| {
-                self.lib
-                    .buffer(a)
-                    .size()
-                    .partial_cmp(&self.lib.buffer(b).size())
-                    .unwrap()
-            })
-            .expect("non-empty buffer library")
     }
 }
 
@@ -444,7 +211,11 @@ mod tests {
 
     #[test]
     fn hcorrection_modes_produce_valid_trees() {
-        for mode in [HCorrection::Off, HCorrection::ReEstimate, HCorrection::Correct] {
+        for mode in [
+            HCorrection::Off,
+            HCorrection::ReEstimate,
+            HCorrection::Correct,
+        ] {
             let mut opts = CtsOptions::default();
             opts.h_correction = mode;
             let synth = Synthesizer::new(fast_library(), opts);

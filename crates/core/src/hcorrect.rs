@@ -14,7 +14,7 @@
 //!   most expensive but best-performing option (Table 5.3).
 
 use crate::engine::TimingEngine;
-use crate::merge::MergeRouting;
+use crate::merge::{MergeRouting, MergeScratch};
 use crate::options::{CtsError, CtsOptions, HCorrection};
 use crate::tree::{ClockTree, NodeKind, TreeNodeId};
 use cts_timing::DelaySlewLibrary;
@@ -27,10 +27,18 @@ pub struct CorrectedMerge {
     /// Whether the original pairing was flipped (the paper's
     /// "# of flippings" column).
     pub flipped: bool,
+    /// Engine-estimated skew of the committed merge (s) — the pipeline's
+    /// per-level timing stage aggregates these.
+    pub skew_estimate: f64,
+    /// Engine-estimated latency of the committed merge (s).
+    pub latency_estimate: f64,
 }
 
 /// Merges the pair `(a, b)`, applying the configured H-structure
 /// correction when both nodes are merge joints with two children.
+///
+/// Convenience wrapper over [`merge_with_correction_with`] that allocates
+/// fresh scratch.
 ///
 /// # Errors
 ///
@@ -42,14 +50,32 @@ pub fn merge_with_correction(
     a: TreeNodeId,
     b: TreeNodeId,
 ) -> Result<CorrectedMerge, CtsError> {
+    merge_with_correction_with(lib, options, &mut MergeScratch::default(), tree, a, b)
+}
+
+/// [`merge_with_correction`] with caller-provided reusable scratch.
+///
+/// # Errors
+///
+/// Propagates [`CtsError`] from merge-routing.
+pub fn merge_with_correction_with(
+    lib: &DelaySlewLibrary,
+    options: &CtsOptions,
+    scratch: &mut MergeScratch,
+    tree: &mut ClockTree,
+    a: TreeNodeId,
+    b: TreeNodeId,
+) -> Result<CorrectedMerge, CtsError> {
     let mr = MergeRouting::new(lib, options);
     let (ja, jb) = (merge_joint_of(tree, a), merge_joint_of(tree, b));
     let correctable = options.h_correction != HCorrection::Off && ja.is_some() && jb.is_some();
     if !correctable {
-        let out = mr.merge_pair(tree, a, b)?;
+        let out = mr.merge_pair_with(scratch, tree, a, b)?;
         return Ok(CorrectedMerge {
             root: out.merge_node,
             flipped: false,
+            skew_estimate: out.skew_estimate,
+            latency_estimate: out.latency_estimate,
         });
     }
     let (ja, jb) = (ja.expect("checked"), jb.expect("checked"));
@@ -57,7 +83,11 @@ pub fn merge_with_correction(
     let (a1, a2) = children2(tree, ja);
     let (b1, b2) = children2(tree, jb);
     // The three pairings of Fig. 4.2: original and the two cross pairings.
-    let pairings = [[(a1, a2), (b1, b2)], [(a1, b1), (a2, b2)], [(a1, b2), (a2, b1)]];
+    let pairings = [
+        [(a1, a2), (b1, b2)],
+        [(a1, b1), (a2, b2)],
+        [(a1, b2), (a2, b1)],
+    ];
 
     let choice = match options.h_correction {
         HCorrection::Off => unreachable!("handled above"),
@@ -67,12 +97,13 @@ pub fn merge_with_correction(
             let (da1, da2, db1, db2) = (delay(a1), delay(a2), delay(b1), delay(b2));
             let d = [da1, da2, db1, db2];
             let idx = |n: TreeNodeId| -> usize {
-                [a1, a2, b1, b2].iter().position(|&x| x == n).expect("child")
+                [a1, a2, b1, b2]
+                    .iter()
+                    .position(|&x| x == n)
+                    .expect("child")
             };
             let score = |p: &[(TreeNodeId, TreeNodeId); 2]| -> f64 {
-                p.iter()
-                    .map(|&(x, y)| (d[idx(x)] - d[idx(y)]).abs())
-                    .sum()
+                p.iter().map(|&(x, y)| (d[idx(x)] - d[idx(y)]).abs()).sum()
             };
             (0..3).min_by(|&i, &j| {
                 score(&pairings[i])
@@ -94,15 +125,15 @@ pub fn merge_with_correction(
             let mut scores = [f64::INFINITY; 3];
             scores[0] = measured_skew(tree, a).max(measured_skew(tree, b));
             for (i, pairing) in pairings.iter().enumerate().skip(1) {
-                let mut scratch = tree.clone();
-                scratch.detach(a1);
-                scratch.detach(a2);
-                scratch.detach(b1);
-                scratch.detach(b2);
+                let mut trial = tree.clone();
+                trial.detach(a1);
+                trial.detach(a2);
+                trial.detach(b1);
+                trial.detach(b2);
                 let mut worst: f64 = 0.0;
                 let mut failed = false;
                 for &(x, y) in pairing {
-                    match mr.merge_pair(&mut scratch, x, y) {
+                    match mr.merge_pair_with(scratch, &mut trial, x, y) {
                         Ok(out) => worst = worst.max(out.skew_estimate),
                         Err(_) => {
                             failed = true;
@@ -121,10 +152,12 @@ pub fn merge_with_correction(
 
     if choice == 0 {
         // Keep the original pairing: merge a and b directly.
-        let out = mr.merge_pair(tree, a, b)?;
+        let out = mr.merge_pair_with(scratch, tree, a, b)?;
         return Ok(CorrectedMerge {
             root: out.merge_node,
             flipped: false,
+            skew_estimate: out.skew_estimate,
+            latency_estimate: out.latency_estimate,
         });
     }
 
@@ -134,12 +167,18 @@ pub fn merge_with_correction(
     tree.detach(b1);
     tree.detach(b2);
     let pairing = pairings[choice];
-    let m1 = mr.merge_pair(tree, pairing[0].0, pairing[0].1)?.merge_node;
-    let m2 = mr.merge_pair(tree, pairing[1].0, pairing[1].1)?.merge_node;
-    let out = mr.merge_pair(tree, m1, m2)?;
+    let m1 = mr
+        .merge_pair_with(scratch, tree, pairing[0].0, pairing[0].1)?
+        .merge_node;
+    let m2 = mr
+        .merge_pair_with(scratch, tree, pairing[1].0, pairing[1].1)?
+        .merge_node;
+    let out = mr.merge_pair_with(scratch, tree, m1, m2)?;
     Ok(CorrectedMerge {
         root: out.merge_node,
         flipped: true,
+        skew_estimate: out.skew_estimate,
+        latency_estimate: out.latency_estimate,
     })
 }
 
@@ -154,7 +193,7 @@ fn merge_joint_of(tree: &ClockTree, n: TreeNodeId) -> Option<TreeNodeId> {
             let child = tree.node(n).children[0];
             (matches!(tree.node(child).kind, NodeKind::Joint)
                 && tree.node(child).children.len() == 2)
-            .then_some(child)
+                .then_some(child)
         }
         _ => None,
     }

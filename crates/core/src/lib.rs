@@ -35,15 +35,17 @@ mod instance;
 pub mod maze;
 mod merge;
 mod options;
+pub mod pipeline;
 pub mod topology;
 mod tree;
 pub mod verify;
 
 pub use engine::{TimingEngine, TimingReport};
 pub use flow::{CtsResult, Synthesizer};
-pub use hcorrect::{merge_with_correction, CorrectedMerge};
+pub use hcorrect::{merge_with_correction, merge_with_correction_with, CorrectedMerge};
 pub use instance::{Instance, Sink};
-pub use merge::{MergeOutcome, MergeRouting};
+pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
 pub use options::{CtsError, CtsOptions, HCorrection};
+pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId};
 pub use verify::{verify_tree, VerifiedTiming, VerifyOptions};

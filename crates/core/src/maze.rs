@@ -91,6 +91,31 @@ pub struct MazeRouter<'a> {
     options: &'a CtsOptions,
 }
 
+/// Reusable buffers for [`MazeRouter::route_with`]: per-cell label stores,
+/// the wavefront heap, and the cached per-buffer segment limits.
+///
+/// A scratch belongs to one (library, options) context — the segment-limit
+/// cache is computed on first use and never invalidated — and to one
+/// worker at a time. Reusing it across the merges a worker processes is
+/// what removes the per-merge allocation churn of the original router.
+#[derive(Debug, Default, Clone)]
+pub struct MazeScratch {
+    labels: [Vec<Option<Label>>; 2],
+    heap: BinaryHeap<QueueEntry>,
+    limits: Vec<f64>,
+}
+
+impl MazeScratch {
+    /// Ensures the per-buffer segment-limit cache is filled for `router`
+    /// and returns it.
+    pub(crate) fn limits(&mut self, router: &MazeRouter<'_>) -> Result<&[f64], CtsError> {
+        if self.limits.is_empty() {
+            self.limits = router.segment_limits()?;
+        }
+        Ok(&self.limits)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Label {
     arrival: f64,
@@ -158,10 +183,7 @@ impl<'a> MazeRouter<'a> {
     /// Precomputed [`MazeRouter::max_segment`] per buffer id — the
     /// expansion loop consults this on every step.
     pub(crate) fn segment_limits(&self) -> Result<Vec<f64>, CtsError> {
-        self.lib
-            .buffer_ids()
-            .map(|b| self.max_segment(b))
-            .collect()
+        self.lib.buffer_ids().map(|b| self.max_segment(b)).collect()
     }
 
     /// Intelligent sizing: the buffer type whose far-end slew over a
@@ -179,11 +201,11 @@ impl<'a> MazeRouter<'a> {
                 .output_slew;
             if slew <= target {
                 // closest to target from below = largest qualifying slew
-                if best.map_or(true, |(_, s)| slew > s) {
+                if best.is_none_or(|(_, s)| slew > s) {
                     best = Some((drive, slew));
                 }
             }
-            if strongest.map_or(true, |(_, s)| slew < s) {
+            if strongest.is_none_or(|(_, s)| slew < s) {
                 strongest = Some((drive, slew));
             }
         }
@@ -226,20 +248,24 @@ impl<'a> MazeRouter<'a> {
         }
     }
 
-    /// Runs one side's wavefront; returns per-cell labels.
-    fn expand_side(
+    /// Runs one side's wavefront, filling `labels` (one slot per grid
+    /// cell) using the caller's reusable buffers.
+    fn expand_side_into(
         &self,
         grid: &RoutingGrid,
         side: &MergeSide,
         limits: &[f64],
-    ) -> Result<Vec<Option<Label>>, CtsError> {
+        labels: &mut Vec<Option<Label>>,
+        heap: &mut BinaryHeap<QueueEntry>,
+    ) -> Result<(), CtsError> {
         let root_load = self.resolve_load(side.root_load);
         let start = grid.nearest_cell(side.root_point);
-        let start_seg = grid.cell_center(start).manhattan_dist(side.root_point)
-            + side.unbuffered_depth_um;
+        let start_seg =
+            grid.cell_center(start).manhattan_dist(side.root_point) + side.unbuffered_depth_um;
 
-        let mut labels: Vec<Option<Label>> = vec![None; grid.cell_count()];
-        let mut heap = BinaryHeap::new();
+        labels.clear();
+        labels.resize(grid.cell_count(), None);
+        heap.clear();
         let init = Label {
             arrival: side.subtree_delay + self.pending_delay(root_load, start_seg),
             committed: 0.0,
@@ -273,10 +299,9 @@ impl<'a> MazeRouter<'a> {
                     load = buf;
                     seg = step;
                 }
-                let arrival =
-                    side.subtree_delay + committed + self.pending_delay(load, seg);
+                let arrival = side.subtree_delay + committed + self.pending_delay(load, seg);
                 let idx = grid.linear_index(next);
-                if labels[idx].map_or(true, |l| arrival < l.arrival) {
+                if labels[idx].is_none_or(|l| arrival < l.arrival) {
                     labels[idx] = Some(Label {
                         arrival,
                         committed,
@@ -291,7 +316,7 @@ impl<'a> MazeRouter<'a> {
                 }
             }
         }
-        Ok(labels)
+        Ok(())
     }
 
     /// Reconstructs the cell path root→`to` from backpointers.
@@ -373,15 +398,40 @@ impl<'a> MazeRouter<'a> {
 
     /// Routes a merge between two sides and returns the plan.
     ///
+    /// Convenience wrapper over [`MazeRouter::route_with`] that allocates
+    /// fresh scratch; hot paths should hold a [`MazeScratch`] instead.
+    ///
     /// # Errors
     ///
     /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
     /// the slew target at all.
     pub fn route(&self, a: &MergeSide, b: &MergeSide) -> Result<MergePlan, CtsError> {
+        self.route_with(&mut MazeScratch::default(), a, b)
+    }
+
+    /// Routes a merge between two sides using the caller's reusable
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target at all.
+    pub fn route_with(
+        &self,
+        scratch: &mut MazeScratch,
+        a: &MergeSide,
+        b: &MergeSide,
+    ) -> Result<MergePlan, CtsError> {
         let grid = RoutingGrid::between(a.root_point, b.root_point, self.options.grid_resolution);
-        let limits = self.segment_limits()?;
-        let la = self.expand_side(&grid, a, &limits)?;
-        let lb = self.expand_side(&grid, b, &limits)?;
+        scratch.limits(self)?;
+        let MazeScratch {
+            labels: [la, lb],
+            heap,
+            limits,
+        } = scratch;
+        self.expand_side_into(&grid, a, limits, la, heap)?;
+        self.expand_side_into(&grid, b, limits, lb, heap)?;
+        let (la, lb, limits): (&[Option<Label>], &[Option<Label>], &[f64]) = (la, lb, limits);
 
         // Merge cell: minimum |arrival difference|, then minimum total.
         let mut best: Option<(f64, f64, CellId)> = None;
@@ -392,7 +442,7 @@ impl<'a> MazeRouter<'a> {
                 if let (Some(x), Some(y)) = (la[idx], lb[idx]) {
                     let diff = (x.arrival - y.arrival).abs();
                     let total = x.arrival + y.arrival;
-                    if best.map_or(true, |(d, t, _)| {
+                    if best.is_none_or(|(d, t, _)| {
                         diff < d - 1e-18 || (diff <= d + 1e-18 && total < t)
                     }) {
                         best = Some((diff, total, cell));
@@ -411,10 +461,10 @@ impl<'a> MazeRouter<'a> {
             if let Some(last) = points.last_mut() {
                 *last = merge_point;
             }
-            self.commit_path(&points, side, &limits)
+            self.commit_path(&points, side, limits)
         };
-        let sa = plan_side(&la, a)?;
-        let sb = plan_side(&lb, b)?;
+        let sa = plan_side(la, a)?;
+        let sb = plan_side(lb, b)?;
         Ok(MergePlan {
             merge_point,
             sides: [sa, sb],
@@ -512,8 +562,7 @@ mod tests {
             plan.merge_point
         );
         // And the chosen cell should roughly balance arrivals.
-        let diff =
-            (plan.sides[0].arrival_estimate - plan.sides[1].arrival_estimate).abs();
+        let diff = (plan.sides[0].arrival_estimate - plan.sides[1].arrival_estimate).abs();
         let balanced = router
             .route(&side(0.0, 0.0, 0.0), &side(1200.0, 0.0, 0.0))
             .unwrap();

@@ -3,10 +3,30 @@
 
 use crate::balance::Balancer;
 use crate::engine::TimingEngine;
-use crate::maze::{MazeRouter, MergeSide};
+use crate::maze::{MazeRouter, MazeScratch, MergeSide};
 use crate::options::{CtsError, CtsOptions};
 use crate::tree::{ClockTree, NodeKind, TreeNodeId};
 use cts_timing::DelaySlewLibrary;
+
+/// Reusable per-worker state for [`MergeRouting::merge_pair_with`]: the
+/// maze router's scratch plus merge-level caches that depend only on the
+/// (library, options) pair — the symmetric arm budget and the strongest
+/// buffer id — so repeated merges stop re-deriving them.
+///
+/// Like [`MazeScratch`], a value belongs to one (library, options) context.
+#[derive(Debug, Default, Clone)]
+pub struct MergeScratch {
+    pub(crate) maze: MazeScratch,
+    arm_budget_um: Option<f64>,
+    strongest: Option<cts_timing::BufferId>,
+}
+
+impl MergeScratch {
+    /// Fresh scratch (caches fill lazily on first merge).
+    pub fn new() -> MergeScratch {
+        MergeScratch::default()
+    }
+}
 
 /// Effective pending depth (relative to the single-wire segment budget) at
 /// which a fresh merge gets crowned with a buffer.
@@ -44,7 +64,12 @@ impl<'a> MergeRouting<'a> {
     /// Sub-tree delay (max root-to-sink) under the bottom-up assumption.
     pub fn subtree_delay(&self, tree: &ClockTree, root: TreeNodeId) -> f64 {
         TimingEngine::new(self.lib)
-            .evaluate_subtree(tree, root, self.options.virtual_driver, self.options.slew_target)
+            .evaluate_subtree(
+                tree,
+                root,
+                self.options.virtual_driver,
+                self.options.slew_target,
+            )
             .latency
     }
 
@@ -123,12 +148,32 @@ impl<'a> MergeRouting<'a> {
     /// Merges the sub-trees rooted at `r1` and `r2`; returns the new merge
     /// node and quality estimates.
     ///
+    /// Convenience wrapper over [`MergeRouting::merge_pair_with`] that
+    /// allocates fresh scratch; the synthesis pipeline holds a per-worker
+    /// [`MergeScratch`] instead.
+    ///
     /// # Errors
     ///
     /// [`CtsError::SlewUnachievable`] if buffer insertion cannot satisfy
     /// the slew target anywhere along the route.
     pub fn merge_pair(
         &self,
+        tree: &mut ClockTree,
+        r1: TreeNodeId,
+        r2: TreeNodeId,
+    ) -> Result<MergeOutcome, CtsError> {
+        self.merge_pair_with(&mut MergeScratch::default(), tree, r1, r2)
+    }
+
+    /// [`MergeRouting::merge_pair`] with caller-provided reusable scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] if buffer insertion cannot satisfy
+    /// the slew target anywhere along the route.
+    pub fn merge_pair_with(
+        &self,
+        scratch: &mut MergeScratch,
         tree: &mut ClockTree,
         r1: TreeNodeId,
         r2: TreeNodeId,
@@ -141,10 +186,7 @@ impl<'a> MergeRouting<'a> {
         let first_new_node = tree.len();
 
         let mut roots = [r1, r2];
-        let mut delays = [
-            self.subtree_delay(tree, r1),
-            self.subtree_delay(tree, r2),
-        ];
+        let mut delays = [self.subtree_delay(tree, r1), self.subtree_delay(tree, r2)];
 
         // --- balance stage (§4.2.1) -------------------------------------
         // The binary-search stage can only swing the arrival difference by
@@ -152,7 +194,9 @@ impl<'a> MergeRouting<'a> {
         // the two arm budgets. Anything beyond that must be snaked onto the
         // faster side up front (buffered stages for the bulk, a plain
         // detour wire for the residue).
-        let arm_budget = self.arm_budget_um();
+        let arm_budget = *scratch
+            .arm_budget_um
+            .get_or_insert_with(|| self.arm_budget_um());
         let wire_swing = {
             let load = balancer.load_of(tree, roots[0]);
             2.0 * self
@@ -173,8 +217,7 @@ impl<'a> MergeRouting<'a> {
             }
             let fast = if delays[0] < delays[1] { 0 } else { 1 };
             let need = diff - 0.25 * wire_swing;
-            let fine_cap =
-                (arm_budget - self.effective_pending_um(tree, roots[fast])).max(0.0);
+            let fine_cap = (arm_budget - self.effective_pending_um(tree, roots[fast])).max(0.0);
             // First round may overshoot into the buffered-stage dead zone;
             // later rounds fine-wire the (now) faster sibling to absorb it.
             let out = if round == 0 {
@@ -205,7 +248,7 @@ impl<'a> MergeRouting<'a> {
                 unbuffered_depth_um: self.effective_pending_um(tree, roots[1]),
             },
         ];
-        let plan = router.route(&sides[0], &sides[1])?;
+        let plan = router.route_with(&mut scratch.maze, &sides[0], &sides[1])?;
 
         // Materialize the two paths in the arena.
         let mut tops = [roots[0], roots[1]];
@@ -229,19 +272,15 @@ impl<'a> MergeRouting<'a> {
         // next level's stem in one driver's slew budget; overweight top
         // wires get a buffer spliced in (before binary search so the search
         // operates on the final structure).
-        let limits = router.segment_limits()?;
-        let budget_len = limits.iter().cloned().fold(f64::INFINITY, f64::min);
-        let strongest = self
-            .lib
-            .buffer_ids()
-            .max_by(|&a, &b| {
-                self.lib
-                    .buffer(a)
-                    .size()
-                    .partial_cmp(&self.lib.buffer(b).size())
-                    .unwrap()
-            })
-            .expect("non-empty library");
+        let budget_len = scratch
+            .maze
+            .limits(&router)?
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let strongest = *scratch
+            .strongest
+            .get_or_insert_with(|| crate::pipeline::strongest_buffer(self.lib));
         for top in &mut tops {
             let w = tree.node(*top).wire_to_parent_um;
             let below = self.effective_pending_um(tree, *top);
@@ -301,7 +340,12 @@ impl<'a> MergeRouting<'a> {
         let _ = skew; // the refinement below re-measures on the final root
         let subtree_skew = |tree: &ClockTree| {
             engine
-                .evaluate_subtree(tree, root, self.options.virtual_driver, self.options.slew_target)
+                .evaluate_subtree(
+                    tree,
+                    root,
+                    self.options.virtual_driver,
+                    self.options.slew_target,
+                )
                 .skew()
         };
         let mut skew_total = subtree_skew(tree);
@@ -463,7 +507,9 @@ mod tests {
         let ids = points
             .iter()
             .enumerate()
-            .map(|(i, &(x, y))| t.add_sink(i, &Sink::new(format!("s{i}"), Point::new(x, y), 20e-15)))
+            .map(|(i, &(x, y))| {
+                t.add_sink(i, &Sink::new(format!("s{i}"), Point::new(x, y), 20e-15))
+            })
             .collect();
         (t, ids)
     }
@@ -536,12 +582,8 @@ mod tests {
         let engine = TimingEngine::new(lib);
         let (mut t, ids) = sink_tree(&[(0.0, 0.0), (4000.0, 0.0)]);
         let out = mr.merge_pair(&mut t, ids[0], ids[1]).unwrap();
-        let rep = engine.evaluate_subtree(
-            &t,
-            out.merge_node,
-            opts.virtual_driver,
-            opts.slew_target,
-        );
+        let rep =
+            engine.evaluate_subtree(&t, out.merge_node, opts.virtual_driver, opts.slew_target);
         assert!(
             rep.worst_slew <= opts.slew_limit * 1.05,
             "worst slew {} ps exceeds limit",

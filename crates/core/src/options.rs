@@ -58,6 +58,12 @@ pub struct CtsOptions {
     pub binary_search_tol: f64,
     /// Maximum binary-search iterations per merge.
     pub binary_search_iters: usize,
+    /// Worker threads for the per-level parallel stages (candidate timing
+    /// and pair merge-routing): `0` uses all available cores, `1` runs
+    /// serially. The synthesized tree is bit-identical for every value —
+    /// merges build detached sub-forests that are grafted back in
+    /// deterministic pair order.
+    pub threads: usize,
 }
 
 impl Default for CtsOptions {
@@ -74,6 +80,7 @@ impl Default for CtsOptions {
             virtual_driver: BufferId(1),
             binary_search_tol: 0.05e-12,
             binary_search_iters: 24,
+            threads: 0,
         }
     }
 }
@@ -88,7 +95,10 @@ impl CtsOptions {
     pub fn validate(&self) -> Result<(), CtsError> {
         let bad = |msg: String| Err(CtsError::BadOptions(msg));
         if !(self.slew_limit > 0.0) {
-            return bad(format!("slew_limit must be positive, got {}", self.slew_limit));
+            return bad(format!(
+                "slew_limit must be positive, got {}",
+                self.slew_limit
+            ));
         }
         if !(self.slew_target > 0.0) || self.slew_target > self.slew_limit {
             return bad(format!(
@@ -129,7 +139,10 @@ impl fmt::Display for CtsError {
         match self {
             CtsError::BadOptions(msg) => write!(f, "invalid CTS options: {msg}"),
             CtsError::SlewUnachievable { context } => {
-                write!(f, "slew target unachievable with this buffer library: {context}")
+                write!(
+                    f,
+                    "slew target unachievable with this buffer library: {context}"
+                )
             }
             CtsError::Verify(msg) => write!(f, "verification failed: {msg}"),
         }

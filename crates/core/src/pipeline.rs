@@ -1,0 +1,540 @@
+//! The staged, parallel synthesis pipeline.
+//!
+//! The paper's flow (§4.1, Fig. 4.1) is levelized: every topology level
+//! pairs up the active sub-tree roots and merge-routes each pair
+//! *independently*, which makes the dominant cost — balance + slew-aware
+//! maze routing per merge (§4.2) — embarrassingly parallel within a level.
+//! This module restructures the old inline per-level loop into explicit
+//! stages:
+//!
+//! 1. **Topology matching** — per-root timing candidates (evaluated in
+//!    parallel, order-preserving) feed the farthest-from-centroid greedy
+//!    matching.
+//! 2. **Per-pair merge-routing** — each matched pair's two sub-trees are
+//!    [extracted](ClockTree::extract_forest) into a detached forest and
+//!    merged there by a worker from the shared [`cts_util::exec`] pool,
+//!    with per-worker [`MergeScratch`] so the maze router and merge engine
+//!    reuse allocations across merges.
+//! 3. **Graft + H-correction** — the merged forests (H-correction already
+//!    applied inside the worker, where its scratch clones are pair-sized
+//!    instead of whole-tree-sized) are grafted back into the main arena in
+//!    deterministic pair order, so the resulting arena is **bit-identical
+//!    for every thread count**.
+//! 4. **Level timing** — per-level statistics ([`LevelStats`]) aggregated
+//!    from the merge outcomes, surfaced on [`CtsResult`].
+//!
+//! [`crate::Synthesizer::synthesize`] is a thin wrapper over
+//! [`SynthesisPipeline::run`].
+
+use crate::engine::TimingEngine;
+use crate::hcorrect::merge_with_correction_with;
+use crate::instance::Instance;
+use crate::merge::MergeScratch;
+use crate::options::{CtsError, CtsOptions};
+use crate::topology::{find_matching, MatchCandidate, Matching};
+use crate::tree::{ClockTree, NodeKind, TreeNodeId};
+use cts_timing::{BufferId, DelaySlewLibrary};
+use cts_util::{resolve_threads, run_parallel, run_parallel_with};
+
+/// Everything a synthesis run needs that outlives any single merge: the
+/// characterized library, the options, and the resolved worker count.
+///
+/// Per-worker scratch ([`MergeScratch`]) is *not* stored here — each pool
+/// worker owns one for the jobs it processes — but the context is what
+/// scratches are implicitly keyed by: reuse across contexts with different
+/// libraries or options is invalid.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisContext<'a> {
+    /// The characterized delay/slew library.
+    pub lib: &'a DelaySlewLibrary,
+    /// Synthesis options (validated).
+    pub options: &'a CtsOptions,
+    /// Resolved worker count (`options.threads` with `0` = all cores).
+    pub threads: usize,
+}
+
+/// Per-level statistics from the pipeline's level-timing stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    /// Topology level (1 = first merge rank above the sinks).
+    pub level: usize,
+    /// Pairs merged at this level.
+    pub pairs: usize,
+    /// Whether an odd root was promoted unmatched (the seed).
+    pub seed_promoted: bool,
+    /// H-structure pairings flipped at this level.
+    pub flippings: usize,
+    /// Buffers inserted by this level's merges.
+    pub buffers_inserted: usize,
+    /// Worst engine-estimated skew over this level's merges (s).
+    pub worst_skew_estimate: f64,
+    /// Largest engine-estimated sub-tree latency after this level (s).
+    pub max_latency_estimate: f64,
+}
+
+/// What one worker hands back for a merged pair: the detached forest, the
+/// extraction map to graft it with, and the merge bookkeeping.
+struct PairMerge {
+    forest: ClockTree,
+    map: Vec<TreeNodeId>,
+    root: TreeNodeId,
+    flipped: bool,
+    skew_estimate: f64,
+    latency_estimate: f64,
+}
+
+/// The staged synthesis pipeline. See the module docs for the stage
+/// breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisPipeline<'a> {
+    ctx: SynthesisContext<'a>,
+}
+
+/// Output of a full pipeline run, consumed by
+/// [`crate::Synthesizer::synthesize`] to assemble the public
+/// [`crate::CtsResult`].
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The finished tree (crowned with its source).
+    pub tree: ClockTree,
+    /// The source node.
+    pub source: TreeNodeId,
+    /// Topology levels built.
+    pub levels: usize,
+    /// Total H-structure flippings.
+    pub flippings: usize,
+    /// Per-level statistics.
+    pub level_stats: Vec<LevelStats>,
+}
+
+impl<'a> SynthesisPipeline<'a> {
+    /// Builds a pipeline over a library and validated options.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] when the options fail validation.
+    pub fn new(
+        lib: &'a DelaySlewLibrary,
+        options: &'a CtsOptions,
+    ) -> Result<SynthesisPipeline<'a>, CtsError> {
+        options.validate()?;
+        Ok(SynthesisPipeline {
+            ctx: SynthesisContext {
+                lib,
+                options,
+                threads: resolve_threads(options.threads),
+            },
+        })
+    }
+
+    /// The run context.
+    pub fn context(&self) -> SynthesisContext<'a> {
+        self.ctx
+    }
+
+    /// Runs the full levelized flow for `instance` and returns the crowned
+    /// tree plus per-level statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target.
+    pub fn run(&self, instance: &Instance) -> Result<PipelineOutput, CtsError> {
+        let ctx = self.ctx;
+        let mut tree = ClockTree::new();
+        let mut active: Vec<TreeNodeId> = instance
+            .sinks()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| tree.add_sink(i, s))
+            .collect();
+        let centroid = instance.sink_centroid();
+
+        let mut levels = 0;
+        let mut flippings = 0;
+        let mut level_stats = Vec::new();
+        while active.len() > 1 {
+            levels += 1;
+            let matching = self.match_level(&tree, &active, centroid)?;
+            let stats = self.merge_level(&mut tree, &mut active, &matching, levels)?;
+            flippings += stats.flippings;
+            level_stats.push(stats);
+        }
+
+        let top = active[0];
+        let source = tree.add_source(top, strongest_buffer(ctx.lib));
+
+        // Global refinement: per-merge balancing cannot anticipate the
+        // stems and drivers that upper levels later place above each merge,
+        // which re-opens small skew gaps; see [`refine_global`].
+        let engine = TimingEngine::new(ctx.lib);
+        refine_global(ctx, &mut tree, source, &engine);
+
+        tree.validate_under(source);
+        Ok(PipelineOutput {
+            tree,
+            source,
+            levels,
+            flippings,
+            level_stats,
+        })
+    }
+
+    /// Stage 1 — topology matching: evaluate every active root's sub-tree
+    /// delay (in parallel, order preserved) and run the paper's greedy
+    /// matching heuristic.
+    fn match_level(
+        &self,
+        tree: &ClockTree,
+        active: &[TreeNodeId],
+        centroid: cts_geom::Point,
+    ) -> Result<Matching, CtsError> {
+        let ctx = self.ctx;
+        let engine = TimingEngine::new(ctx.lib);
+        let candidates: Vec<MatchCandidate> = run_parallel(ctx.threads, active, |&root| {
+            Ok::<_, CtsError>(MatchCandidate {
+                location: tree.node(root).location,
+                delay: engine
+                    .evaluate_subtree(
+                        tree,
+                        root,
+                        ctx.options.virtual_driver,
+                        ctx.options.slew_target,
+                    )
+                    .latency,
+            })
+        })?;
+        Ok(find_matching(
+            &candidates,
+            centroid,
+            ctx.options.cost_alpha,
+            ctx.options.cost_beta,
+        ))
+    }
+
+    /// Stages 2–4 — merge every matched pair on detached forests (in
+    /// parallel), graft the results back in deterministic pair order, and
+    /// aggregate the level's timing statistics. `active` is replaced by
+    /// the next level's roots.
+    fn merge_level(
+        &self,
+        tree: &mut ClockTree,
+        active: &mut Vec<TreeNodeId>,
+        matching: &Matching,
+        level: usize,
+    ) -> Result<LevelStats, CtsError> {
+        let ctx = self.ctx;
+        let jobs: Vec<(TreeNodeId, TreeNodeId)> = matching
+            .pairs
+            .iter()
+            .map(|&(i, j)| (active[i], active[j]))
+            .collect();
+
+        // Stage 2 + 3a: merge-route each pair (with its H-correction) on a
+        // detached forest. Workers only read the shared arena during
+        // extraction; all mutation happens on the private forest.
+        let merged: Vec<PairMerge> = {
+            let tree: &ClockTree = tree;
+            run_parallel_with(ctx.threads, &jobs, MergeScratch::new, |scratch, &(a, b)| {
+                let (mut forest, map) = tree.extract_forest(&[a, b]);
+                let la = ClockTree::local_id(&map, a);
+                let lb = ClockTree::local_id(&map, b);
+                let out =
+                    merge_with_correction_with(ctx.lib, ctx.options, scratch, &mut forest, la, lb)?;
+                Ok::<_, CtsError>(PairMerge {
+                    root: out.root,
+                    forest,
+                    map,
+                    flipped: out.flipped,
+                    skew_estimate: out.skew_estimate,
+                    latency_estimate: out.latency_estimate,
+                })
+            })?
+        };
+
+        // Stage 3b: graft in pair order — arena layout (and therefore the
+        // whole downstream flow) is independent of the worker count.
+        let mut next: Vec<TreeNodeId> = Vec::with_capacity(active.len() / 2 + 1);
+        if let Some(seed) = matching.seed {
+            next.push(active[seed]);
+        }
+        let mut stats = LevelStats {
+            level,
+            pairs: merged.len(),
+            seed_promoted: matching.seed.is_some(),
+            flippings: 0,
+            buffers_inserted: 0,
+            worst_skew_estimate: 0.0,
+            max_latency_estimate: 0.0,
+        };
+        for m in merged {
+            stats.flippings += m.flipped as usize;
+            stats.worst_skew_estimate = stats.worst_skew_estimate.max(m.skew_estimate);
+            stats.max_latency_estimate = stats.max_latency_estimate.max(m.latency_estimate);
+            stats.buffers_inserted += m
+                .forest
+                .ids()
+                .skip(m.map.len())
+                .filter(|&id| matches!(m.forest.node(id).kind, NodeKind::Buffer { .. }))
+                .count();
+            let global = tree.graft_forest(m.forest, &m.map);
+            next.push(global[m.root.index()]);
+        }
+        *active = next;
+        Ok(stats)
+    }
+}
+
+/// The strongest (largest) buffer in the library — the source driver.
+pub(crate) fn strongest_buffer(lib: &DelaySlewLibrary) -> BufferId {
+    lib.buffer_ids()
+        .max_by(|&a, &b| {
+            lib.buffer(a)
+                .size()
+                .partial_cmp(&lib.buffer(b).size())
+                .unwrap()
+        })
+        .expect("non-empty buffer library")
+}
+
+/// Global skew refinement on the finished tree.
+///
+/// Per-merge balancing runs before the upper levels exist; the stems and
+/// drivers those levels later place above each merge shift its balance
+/// point. Two complementary passes repair this *in context*:
+///
+/// 1. **Joint re-balancing sweeps** — for every two-child joint, re-run
+///    the wire redistribution of §4.2.3 against an evaluation rooted at
+///    the joint's true stage driver with its true input slew
+///    (redistribution keeps the total wire constant, so nothing above the
+///    driver changes). Fine-grained (sub-ps) control.
+/// 2. **Buffer re-typing** along the extreme sinks' root paths, judged on
+///    the full-tree evaluation — the coarse lever for residuals the wire
+///    can't reach.
+pub(crate) fn refine_global(
+    ctx: SynthesisContext<'_>,
+    tree: &mut ClockTree,
+    source: TreeNodeId,
+    engine: &TimingEngine<'_>,
+) {
+    let options = ctx.options;
+    let lib = ctx.lib;
+    // Stage assumptions require every input slew to stay at/under the
+    // synthesis target.
+    let slew_gate = options.slew_target * 1.01;
+    let mr = crate::merge::MergeRouting::new(lib, options);
+    let arm_budget = mr.arm_budget_um();
+
+    for _round in 0..3 {
+        let (rep, slews) = engine.evaluate_annotated(tree, source, options.source_slew);
+        if rep.skew() < 2.0e-12 || rep.sink_arrivals.len() < 2 {
+            return;
+        }
+
+        // --- pass 1: per-joint wire re-balancing in true context -----
+        for joint in tree.ids().collect::<Vec<_>>() {
+            if !matches!(tree.node(joint).kind, NodeKind::Joint)
+                || tree.node(joint).children.len() != 2
+            {
+                continue;
+            }
+            // The joint's stage driver: nearest ancestor buffer/source.
+            let mut drv = tree.node(joint).parent;
+            while let Some(d) = drv {
+                if matches!(
+                    tree.node(d).kind,
+                    NodeKind::Buffer { .. } | NodeKind::Source { .. }
+                ) {
+                    break;
+                }
+                drv = tree.node(d).parent;
+            }
+            let Some(driver_node) = drv else { continue };
+            let Some(&driver_slew) = slews.get(&driver_node) else {
+                continue;
+            };
+            let kids = [tree.node(joint).children[0], tree.node(joint).children[1]];
+            let total = tree.node(kids[0]).wire_to_parent_um + tree.node(kids[1]).wire_to_parent_um;
+            if total < 4.0 {
+                continue;
+            }
+            let caps = [
+                (arm_budget - mr.effective_pending_um(tree, kids[0])).max(1.0),
+                (arm_budget - mr.effective_pending_um(tree, kids[1])).max(1.0),
+            ];
+            let r_lo = ((total - caps[1]) / total).clamp(0.0, 1.0);
+            let r_hi = (caps[0] / total).clamp(0.0, 1.0);
+            if r_lo >= r_hi {
+                continue;
+            }
+            let side_sinks = [tree.sinks_under(kids[0]), tree.sinks_under(kids[1])];
+            let diff_at = |tree: &mut ClockTree, r: f64| -> f64 {
+                tree.set_wire_to_parent(kids[0], r * total);
+                tree.set_wire_to_parent(kids[1], (1.0 - r) * total);
+                let local =
+                    engine.evaluate_subtree(tree, driver_node, options.virtual_driver, driver_slew);
+                let arr = local.arrival_map();
+                let m = |ids: &[TreeNodeId]| {
+                    ids.iter().map(|i| arr[i]).fold(f64::NEG_INFINITY, f64::max)
+                };
+                m(&side_sinks[0]) - m(&side_sinks[1])
+            };
+            let r_now = tree.node(kids[0]).wire_to_parent_um / total;
+            let d_now = diff_at(tree, r_now);
+            let (mut lo, mut hi) = (r_lo, r_hi);
+            let (d_lo, d_hi) = (diff_at(tree, lo), diff_at(tree, hi));
+            let r_best = if d_lo >= 0.0 {
+                lo
+            } else if d_hi <= 0.0 {
+                hi
+            } else {
+                for _ in 0..20 {
+                    let mid = 0.5 * (lo + hi);
+                    if diff_at(tree, mid) < 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            };
+            // Keep the better of current vs rebalanced; restoring is two
+            // wire writes, not another subtree evaluation.
+            if diff_at(tree, r_best).abs() >= d_now.abs() {
+                tree.set_wire_to_parent(kids[0], r_now * total);
+                tree.set_wire_to_parent(kids[1], (1.0 - r_now) * total);
+            }
+        }
+
+        // --- pass 2: buffer re-typing on the extreme paths ------------
+        let path_buffers = |tree: &ClockTree, from: TreeNodeId| -> Vec<TreeNodeId> {
+            let mut out = Vec::new();
+            let mut at = Some(from);
+            while let Some(id) = at {
+                if matches!(tree.node(id).kind, NodeKind::Buffer { .. }) {
+                    out.push(id);
+                }
+                at = tree.node(id).parent;
+            }
+            out
+        };
+        for _iter in 0..24 {
+            let rep = engine.evaluate(tree, source, options.source_slew);
+            let skew = rep.skew();
+            if skew < 2.0e-12 {
+                break;
+            }
+            let fastest = rep
+                .sink_arrivals
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("sinks present")
+                .0;
+            let slowest = rep
+                .sink_arrivals
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("sinks present")
+                .0;
+            let mut candidates = path_buffers(tree, fastest);
+            candidates.extend(path_buffers(tree, slowest));
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            let mut best: Option<(f64, TreeNodeId, BufferId)> = None;
+            for &cand in &candidates {
+                let original = match tree.node(cand).kind {
+                    NodeKind::Buffer { buffer } => buffer,
+                    _ => unreachable!("candidates are buffers"),
+                };
+                for alt in lib.buffer_ids() {
+                    if alt == original {
+                        continue;
+                    }
+                    tree.set_buffer_type(cand, alt);
+                    let trial = engine.evaluate(tree, source, options.source_slew);
+                    if trial.worst_slew <= slew_gate
+                        && trial.skew() + 0.3e-12 < best.map_or(skew, |(s, _, _)| s)
+                    {
+                        best = Some((trial.skew(), cand, alt));
+                    }
+                    tree.set_buffer_type(cand, original);
+                }
+            }
+            match best {
+                Some((_, node, alt)) => tree.set_buffer_type(node, alt),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Sink;
+    use cts_geom::Point;
+    use cts_timing::fast_library;
+
+    fn line_instance(n: usize, pitch: f64) -> Instance {
+        let sinks = (0..n)
+            .map(|i| Sink::new(format!("s{i}"), Point::new(i as f64 * pitch, 0.0), 25e-15))
+            .collect();
+        Instance::new("line", sinks)
+    }
+
+    #[test]
+    fn pipeline_reports_per_level_stats() {
+        let options = CtsOptions::default();
+        let pipe = SynthesisPipeline::new(fast_library(), &options).unwrap();
+        let out = pipe.run(&line_instance(8, 600.0)).unwrap();
+        assert_eq!(out.levels, 3);
+        assert_eq!(out.level_stats.len(), 3);
+        assert_eq!(out.level_stats[0].pairs, 4);
+        assert_eq!(out.level_stats[1].pairs, 2);
+        assert_eq!(out.level_stats[2].pairs, 1);
+        assert!(out.level_stats.iter().all(|s| !s.seed_promoted));
+        // Latency estimates grow as levels stack stages.
+        assert!(out.level_stats[2].max_latency_estimate >= out.level_stats[0].max_latency_estimate);
+    }
+
+    #[test]
+    fn odd_counts_promote_seeds() {
+        let options = CtsOptions::default();
+        let pipe = SynthesisPipeline::new(fast_library(), &options).unwrap();
+        let out = pipe.run(&line_instance(5, 500.0)).unwrap();
+        assert!(out.level_stats.iter().any(|s| s.seed_promoted));
+        assert_eq!(out.tree.sinks_under(out.source).len(), 5);
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_for_bit() {
+        let inst = line_instance(9, 800.0);
+        let mut serial = CtsOptions::default();
+        serial.threads = 1;
+        let mut wide = CtsOptions::default();
+        wide.threads = 4;
+        let a = SynthesisPipeline::new(fast_library(), &serial)
+            .unwrap()
+            .run(&inst)
+            .unwrap();
+        let b = SynthesisPipeline::new(fast_library(), &wide)
+            .unwrap()
+            .run(&inst)
+            .unwrap();
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.level_stats, b.level_stats);
+    }
+
+    #[test]
+    fn context_resolves_threads() {
+        let mut options = CtsOptions::default();
+        options.threads = 1;
+        let pipe = SynthesisPipeline::new(fast_library(), &options).unwrap();
+        assert_eq!(pipe.context().threads, 1);
+        options.threads = 0;
+        let pipe = SynthesisPipeline::new(fast_library(), &options).unwrap();
+        assert!(pipe.context().threads >= 1);
+    }
+}

@@ -121,11 +121,8 @@ mod tests {
         assert_eq!(m.pairs.len(), 2);
         assert!(m.seed.is_none());
         // Close pairs should be matched together.
-        let mut matched: Vec<(usize, usize)> = m
-            .pairs
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut matched: Vec<(usize, usize)> =
+            m.pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         matched.sort_unstable();
         assert_eq!(matched, vec![(0, 1), (2, 3)]);
     }
@@ -141,7 +138,10 @@ mod tests {
         assert_eq!(m.seed, Some(1));
         assert_eq!(m.pairs.len(), 1);
         assert_eq!(
-            (m.pairs[0].0.min(m.pairs[0].1), m.pairs[0].0.max(m.pairs[0].1)),
+            (
+                m.pairs[0].0.min(m.pairs[0].1),
+                m.pairs[0].0.max(m.pairs[0].1)
+            ),
             (0, 2)
         );
     }

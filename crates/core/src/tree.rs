@@ -345,6 +345,119 @@ impl ClockTree {
         worst
     }
 
+    /// Copies the sub-trees rooted at `roots` into a fresh, detached arena.
+    ///
+    /// Nodes are copied in ascending id order (so relative order — and with
+    /// it every order-sensitive traversal — is preserved), with parent and
+    /// child links remapped into the new arena. The returned map gives, for
+    /// each local node id `i`, the original arena id `map[i]`; it is sorted
+    /// ascending, so [`ClockTree::local_id`] can binary-search it.
+    ///
+    /// This is the extraction half of the parallel merge stage: a worker
+    /// merges the detached forest in isolation, and
+    /// [`ClockTree::graft_forest`] later writes the result back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-trees overlap (a node reachable from two roots).
+    pub fn extract_forest(&self, roots: &[TreeNodeId]) -> (ClockTree, Vec<TreeNodeId>) {
+        let mut ids: Vec<TreeNodeId> = Vec::new();
+        for &root in roots {
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                ids.push(id);
+                stack.extend(self.node(id).children.iter().copied());
+            }
+        }
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            assert!(
+                w[0] != w[1],
+                "extract_forest: overlapping sub-trees at {}",
+                w[0]
+            );
+        }
+
+        let local = |id: TreeNodeId| -> TreeNodeId {
+            TreeNodeId(ids.binary_search(&id).expect("link inside the forest"))
+        };
+        let nodes = ids
+            .iter()
+            .map(|&id| {
+                let n = self.node(id);
+                TreeNode {
+                    kind: n.kind.clone(),
+                    location: n.location,
+                    parent: n.parent.map(local),
+                    wire_to_parent_um: n.wire_to_parent_um,
+                    children: n.children.iter().map(|&c| local(c)).collect(),
+                }
+            })
+            .collect();
+        (ClockTree { nodes }, ids)
+    }
+
+    /// The local id (in a forest extracted with `map`) of the original
+    /// arena node `global`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` was not part of the extraction.
+    pub fn local_id(map: &[TreeNodeId], global: TreeNodeId) -> TreeNodeId {
+        TreeNodeId(
+            map.binary_search(&global)
+                .expect("node was part of the extracted forest"),
+        )
+    }
+
+    /// Writes a forest produced by [`ClockTree::extract_forest`] (and since
+    /// mutated — merged, balanced, re-typed) back into this arena.
+    ///
+    /// The first `map.len()` forest nodes overwrite their originals in
+    /// place; nodes beyond that are appended in forest order, so grafting
+    /// the per-pair results in matching order reproduces exactly the arena
+    /// a serial in-place merge pass would have built. Returns the
+    /// local→global id translation for every forest node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest has fewer nodes than `map` (extraction never
+    /// shrinks) or `map` names an id outside this arena.
+    pub fn graft_forest(&mut self, forest: ClockTree, map: &[TreeNodeId]) -> Vec<TreeNodeId> {
+        assert!(
+            forest.nodes.len() >= map.len(),
+            "grafted forest lost nodes ({} < {})",
+            forest.nodes.len(),
+            map.len()
+        );
+        let base = self.nodes.len();
+        let global: Vec<TreeNodeId> = (0..forest.nodes.len())
+            .map(|i| {
+                if i < map.len() {
+                    map[i]
+                } else {
+                    TreeNodeId(base + i - map.len())
+                }
+            })
+            .collect();
+        for (i, n) in forest.nodes.into_iter().enumerate() {
+            let mapped = TreeNode {
+                kind: n.kind,
+                location: n.location,
+                parent: n.parent.map(|p| global[p.0]),
+                wire_to_parent_um: n.wire_to_parent_um,
+                children: n.children.iter().map(|&c| global[c.0]).collect(),
+            };
+            if i < map.len() {
+                self.nodes[map[i].0] = mapped;
+            } else {
+                debug_assert_eq!(global[i].0, self.nodes.len());
+                self.nodes.push(mapped);
+            }
+        }
+        global
+    }
+
     /// Validates structural invariants of the (sub)tree under `root`:
     /// child/parent links consistent, arity respected, no cycles, sinks are
     /// leaves. Returns the number of nodes visited.
@@ -488,5 +601,56 @@ mod tests {
     fn validate_counts_nodes() {
         let (t, _, _, m) = two_sink_tree();
         assert_eq!(t.validate_under(m), 3);
+    }
+
+    #[test]
+    fn extract_then_graft_roundtrips_and_appends() {
+        // Arena: two single-sink roots plus an unrelated third sink that
+        // must stay untouched by the extraction.
+        let mut t = ClockTree::new();
+        let a = t.add_sink(0, &sink("a", 0.0, 0.0));
+        let other = t.add_sink(1, &sink("x", 9.0, 9.0));
+        let b = t.add_sink(2, &sink("b", 400.0, 0.0));
+
+        let (mut forest, map) = t.extract_forest(&[a, b]);
+        assert_eq!(map, vec![a, b]);
+        assert_eq!(forest.len(), 2);
+        let la = ClockTree::local_id(&map, a);
+        let lb = ClockTree::local_id(&map, b);
+        assert_eq!(forest.node(la).location, t.node(a).location);
+
+        // Merge the two locally: new joint above both.
+        let j = forest.add_joint(Point::new(200.0, 0.0));
+        forest.attach(j, la, 200.0);
+        forest.attach(j, lb, 200.0);
+
+        let global = t.graft_forest(forest, &map);
+        let gj = global[j.index()];
+        assert_eq!(t.node(gj).children, vec![a, b]);
+        assert_eq!(t.node(a).parent, Some(gj));
+        assert_eq!(t.node(a).wire_to_parent_um, 200.0);
+        assert!(t.node(other).parent.is_none(), "bystander node disturbed");
+        assert_eq!(t.validate_under(gj), 3);
+        let mut roots = t.roots();
+        roots.sort_unstable();
+        assert_eq!(roots, vec![other, gj]);
+    }
+
+    #[test]
+    fn extract_preserves_structure_and_relative_order() {
+        let (t, a, b, m) = two_sink_tree();
+        let (forest, map) = t.extract_forest(&[m]);
+        assert_eq!(map, vec![a, b, m]);
+        let lm = ClockTree::local_id(&map, m);
+        assert_eq!(forest.sinks_under(lm).len(), 2);
+        assert_eq!(forest.wirelength_under(lm), t.wirelength_under(m));
+        forest.validate_under(lm);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn extract_rejects_overlapping_roots() {
+        let (t, a, _b, m) = two_sink_tree();
+        let _ = t.extract_forest(&[m, a]);
     }
 }

@@ -188,9 +188,9 @@ pub fn verify_tree(
 
         for (tnode, cnode, is_buffer) in loads {
             let w = res.waveform(cnode);
-            let t50 = w.t50(vdd).ok_or_else(|| {
-                CtsError::Verify(format!("load {tnode} never crossed 50%"))
-            })?;
+            let t50 = w
+                .t50(vdd)
+                .ok_or_else(|| CtsError::Verify(format!("load {tnode} never crossed 50%")))?;
             if is_buffer {
                 let next_driver = match tree.node(tnode).kind {
                     NodeKind::Buffer { buffer } => buffer,

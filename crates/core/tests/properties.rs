@@ -9,10 +9,7 @@ use proptest::prelude::*;
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     // 2..10 sinks over dies from 0.5 mm to 8 mm.
     (
-        prop::collection::vec(
-            ((0.0..1.0f64), (0.0..1.0f64), (10.0..40.0f64)),
-            2..10,
-        ),
+        prop::collection::vec(((0.0..1.0f64), (0.0..1.0f64), (10.0..40.0f64)), 2..10),
         500.0..8000.0f64,
     )
         .prop_map(|(raw, die)| {
@@ -66,7 +63,7 @@ proptest! {
             "engine slew {} ps", r.report.worst_slew / 1e-12
         );
         for &(_, t) in &r.report.sink_arrivals {
-            prop_assert!(t >= 0.0 && t < 100e-9, "arrival {t}");
+            prop_assert!((0.0..100e-9).contains(&t), "arrival {t}");
         }
         prop_assert!(r.report.skew() <= r.report.latency + 1e-15);
     }

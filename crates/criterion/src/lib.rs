@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple warmup-then-measure wall-clock harness. No
+//! statistics machinery, no HTML reports: each benchmark prints its
+//! median and mean time per iteration to stdout.
+//!
+//! Like real criterion harnesses, binaries accept an optional substring
+//! filter as their first non-flag argument and ignore `--bench` (which
+//! cargo passes). `cargo test --benches` compiles these binaries in test
+//! mode; the harness detects `--test` and exits quickly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and runtime settings.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    /// Target measurement time per benchmark.
+    measure: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--profile-time" | "-q" | "--quiet" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            measure: Duration::from_millis(400),
+            default_samples: 30,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.enabled(id) {
+            let mut b = Bencher::new(self.test_mode, self.measure, self.default_samples);
+            f(&mut b);
+            b.report(id);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.parent.enabled(&full) {
+            let samples = self.sample_size.unwrap_or(self.parent.default_samples);
+            let mut b = Bencher::new(self.parent.test_mode, self.parent.measure, samples);
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Runs an unparameterized benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            let samples = self.sample_size.unwrap_or(self.parent.default_samples);
+            let mut b = Bencher::new(self.parent.test_mode, self.parent.measure, samples);
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop would also do).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    samples: usize,
+    result: Option<Samples>,
+}
+
+struct Samples {
+    per_iter: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, measure: Duration, samples: usize) -> Bencher {
+        Bencher {
+            test_mode,
+            measure,
+            samples,
+            result: None,
+        }
+    }
+
+    /// Measures `f`, discarding its output via an implicit sink.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some(Samples {
+                per_iter: vec![Duration::ZERO],
+                iters_per_sample: 1,
+            });
+            return;
+        }
+        // Warmup + calibration: find how many iterations fill one sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = self.measure.max(one);
+        let per_sample = budget.as_nanos() / self.samples.max(1) as u128;
+        let iters = (per_sample / one.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed() / iters as u32);
+        }
+        self.result = Some(Samples {
+            per_iter,
+            iters_per_sample: iters,
+        });
+    }
+
+    fn report(self, id: &str) {
+        let Some(mut s) = self.result else {
+            println!("{id:<48} (no measurement)");
+            return;
+        };
+        if self.test_mode {
+            println!("{id:<48} ok (test mode)");
+            return;
+        }
+        s.per_iter.sort_unstable();
+        let median = s.per_iter[s.per_iter.len() / 2];
+        let mean = s.per_iter.iter().sum::<Duration>() / s.per_iter.len() as u32;
+        println!(
+            "{id:<48} median {:>12} mean {:>12}  ({} samples x {} iters)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            s.per_iter.len(),
+            s.iters_per_sample
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+            measure: Duration::from_millis(5),
+            default_samples: 3,
+        };
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64).pow(10)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 3)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_benches() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            test_mode: false,
+            measure: Duration::from_millis(1),
+            default_samples: 2,
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+    }
+}

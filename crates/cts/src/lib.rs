@@ -43,20 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Benchmark instances (re-export of `cts-benchmarks`).
+pub use cts_benchmarks as benchmarks;
+/// The synthesis flow (re-export of `cts-core`).
+pub use cts_core as core;
 /// Manhattan geometry substrate (re-export of `cts-geom`).
 pub use cts_geom as geom;
 /// Circuit simulation substrate (re-export of `cts-spice`).
 pub use cts_spice as spice;
 /// Delay/slew modeling (re-export of `cts-timing`).
 pub use cts_timing as timing;
-/// The synthesis flow (re-export of `cts-core`).
-pub use cts_core as core;
-/// Benchmark instances (re-export of `cts-benchmarks`).
-pub use cts_benchmarks as benchmarks;
 
 pub use cts_core::{
-    verify_tree, ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, NodeKind,
-    Sink, Synthesizer, TimingEngine, TimingReport, TreeNodeId, VerifiedTiming, VerifyOptions,
+    verify_tree, ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats,
+    NodeKind, Sink, SynthesisContext, SynthesisPipeline, Synthesizer, TimingEngine, TimingReport,
+    TreeNodeId, VerifiedTiming, VerifyOptions,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{BufferId, DelaySlewLibrary, Load};

@@ -82,7 +82,10 @@ impl RoutingGrid {
     /// Panics if `r_default` is zero or the points are non-finite.
     pub fn between(a: Point, b: Point, r_default: u32) -> RoutingGrid {
         assert!(r_default > 0, "grid resolution must be positive");
-        assert!(a.is_finite() && b.is_finite(), "grid corners must be finite");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "grid corners must be finite"
+        );
         let bb = Rect::from_corners(a, b);
         // Degenerate boxes (coincident or axis-aligned points) still need an
         // area to route in; give them a minimal square around the centroid.
@@ -158,7 +161,12 @@ impl RoutingGrid {
     ///
     /// Panics if the cell is out of bounds.
     pub fn cell_center(&self, id: CellId) -> Point {
-        assert!(self.in_bounds(id), "cell {id} outside {}x{} grid", self.cols, self.rows);
+        assert!(
+            self.in_bounds(id),
+            "cell {id} outside {}x{} grid",
+            self.cols,
+            self.rows
+        );
         Point::new(
             self.region.lo().x + (id.col as f64 + 0.5) * self.pitch_x,
             self.region.lo().y + (id.row as f64 + 0.5) * self.pitch_y,

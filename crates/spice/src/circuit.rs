@@ -248,7 +248,13 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on out-of-range nodes, `a == b`, or a non-positive length.
-    pub fn add_wire(&mut self, a: NodeId, b: NodeId, length_um: f64, wire: WireParams) -> Vec<NodeId> {
+    pub fn add_wire(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        length_um: f64,
+        wire: WireParams,
+    ) -> Vec<NodeId> {
         self.check_node(a);
         self.check_node(b);
         assert!(a != b, "wire endpoints must differ");

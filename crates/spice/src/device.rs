@@ -126,7 +126,8 @@ impl Technology {
         // NMOS: source at GND. vgs = v_in, vds = v_out.
         let (i_n, g_n) = mosfet_current(kn, self.vtn, self.lambda, v_in, v_out);
         // PMOS: source at VDD. vsg = vdd − v_in, vsd = vdd − v_out.
-        let (i_p, g_p) = mosfet_current(kp, self.vtp, self.lambda, self.vdd - v_in, self.vdd - v_out);
+        let (i_p, g_p) =
+            mosfet_current(kp, self.vtp, self.lambda, self.vdd - v_in, self.vdd - v_out);
 
         // PMOS current flows *into* the node; its derivative wrt v_out picks
         // up a sign from vsd = vdd − v_out.
@@ -288,7 +289,10 @@ mod tests {
         assert!(i < 0.0);
         // Settled states carry (almost) no current.
         let (i, _) = tech.inverter_current(10.0, 0.0, tech.vdd());
-        assert!(i.abs() < 1e-6, "input low, output high is the settled state: i = {i}");
+        assert!(
+            i.abs() < 1e-6,
+            "input low, output high is the settled state: i = {i}"
+        );
     }
 
     #[test]

@@ -662,7 +662,6 @@ fn record_step(times: &mut Vec<f64>, volts: &mut [Vec<f64>], t: f64, v: &[f64]) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::circuit::WireParams;
     use crate::device::Technology;
     use crate::units::*;
 
@@ -679,7 +678,7 @@ mod tests {
         let out = c.add_node("out");
         c.add_resistor(src, out, 1000.0); // 1 kΩ
         c.add_cap(out, 100.0 * FF); // tau = 100 ps
-        // Effectively a step: 1 fs rise.
+                                    // Effectively a step: 1 fs rise.
         c.drive(
             src,
             Waveform::from_samples(vec![0.0, 1.0 * FS], vec![0.0, 1.0]),
@@ -764,11 +763,18 @@ mod tests {
         let out = c.add_node("out");
         c.add_inverter(vin, out, 10.0);
         c.add_cap(out, 20.0 * FF);
-        c.drive(vin, Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()));
+        c.drive(
+            vin,
+            Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()),
+        );
         let res = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap();
         let w = res.waveform(out);
         // Starts high (input low), ends low.
-        assert!(w.value_at(0.0) > 0.95 * t.vdd(), "DC init failed: {}", w.value_at(0.0));
+        assert!(
+            w.value_at(0.0) > 0.95 * t.vdd(),
+            "DC init failed: {}",
+            w.value_at(0.0)
+        );
         assert!(w.value_at(1.0 * NS) < 0.05 * t.vdd());
         for &v in w.values() {
             assert!(v > -0.1 && v < t.vdd() + 0.1, "rail violation: {v}");
@@ -806,7 +812,10 @@ mod tests {
             c.add_buffer(vin, out, buf);
             let far = c.add_node("far");
             c.add_wire(out, far, len, t.wire());
-            c.drive(vin, Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()));
+            c.drive(
+                vin,
+                Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()),
+            );
             let res = simulate(&c, &SimOptions::default_for(4.0 * NS)).unwrap();
             slews.push(res.waveform(far).slew_10_90(t.vdd()).unwrap());
         }
@@ -816,7 +825,11 @@ mod tests {
             slews.iter().map(|s| s / PS).collect::<Vec<_>>()
         );
         // The paper's premise: km-scale wires blow way past a 100 ps limit.
-        assert!(slews[2] > 100.0 * PS, "2 mm wire slew = {} ps", slews[2] / PS);
+        assert!(
+            slews[2] > 100.0 * PS,
+            "2 mm wire slew = {} ps",
+            slews[2] / PS
+        );
     }
 
     #[test]

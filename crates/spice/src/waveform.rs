@@ -201,7 +201,10 @@ impl fmt::Display for Waveform {
             self.times[0] / PS,
             self.times.last().unwrap() / PS,
             self.values.iter().cloned().fold(f64::INFINITY, f64::min),
-            self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            self.values
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
         )
     }
 }
@@ -209,7 +212,6 @@ impl fmt::Display for Waveform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::units::*;
 
     const VDD: f64 = 1.1;
 

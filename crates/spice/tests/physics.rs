@@ -56,7 +56,11 @@ fn fig_1_1_sizing_alone_cannot_control_slew() {
         s20[2] / PS
     );
     // ...and at 3 mm even the 30X buffer is far beyond the 100 ps limit.
-    assert!(s30[2] > 100.0 * PS, "3 mm slew with 30X = {} ps", s30[2] / PS);
+    assert!(
+        s30[2] > 100.0 * PS,
+        "3 mm slew with 30X = {} ps",
+        s30[2] / PS
+    );
 }
 
 /// Paper §3.1 / Fig. 3.2: a curved (buffer-shaped) input and an ideal ramp
@@ -156,10 +160,7 @@ fn intrinsic_delay_depends_on_input_slew() {
     }
     // Input slews must actually differ substantially across the sweep.
     assert!(delays[2].0 > 2.0 * delays[0].0);
-    let spread = delays
-        .iter()
-        .map(|d| d.1)
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = delays.iter().map(|d| d.1).fold(f64::NEG_INFINITY, f64::max)
         - delays.iter().map(|d| d.1).fold(f64::INFINITY, f64::min);
     assert!(
         spread > 5.0 * PS,

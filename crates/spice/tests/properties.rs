@@ -14,17 +14,15 @@ struct RandomTree {
 }
 
 fn random_tree(max_nodes: usize) -> impl Strategy<Value = RandomTree> {
-    prop::collection::vec(
-        (0usize..1000, 50.0..2000.0f64, 1.0..100.0f64),
-        1..max_nodes,
+    prop::collection::vec((0usize..1000, 50.0..2000.0f64, 1.0..100.0f64), 1..max_nodes).prop_map(
+        |raw| RandomTree {
+            links: raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, r, c))| (p % (i + 1), r, c * 1e-15))
+                .collect(),
+        },
     )
-    .prop_map(|raw| RandomTree {
-        links: raw
-            .iter()
-            .enumerate()
-            .map(|(i, &(p, r, c))| (p % (i + 1), r, c * 1e-15))
-            .collect(),
-    })
 }
 
 fn build_circuit(tree: &RandomTree, slew: f64) -> (Circuit, Vec<NodeId>) {
@@ -38,7 +36,10 @@ fn build_circuit(tree: &RandomTree, slew: f64) -> (Circuit, Vec<NodeId>) {
         c.add_cap(n, cap);
         nodes.push(n);
     }
-    c.drive(root, Waveform::rising_ramp_10_90(10.0 * PS, slew, tech.vdd()));
+    c.drive(
+        root,
+        Waveform::rising_ramp_10_90(10.0 * PS, slew, tech.vdd()),
+    );
     (c, nodes)
 }
 
@@ -56,7 +57,7 @@ proptest! {
         for &n in &nodes {
             let w = res.waveform(n);
             for &v in w.values() {
-                prop_assert!(v >= -1e-3 && v <= 1.1 + 1e-3,
+                prop_assert!((-1e-3..=1.1 + 1e-3).contains(&v),
                     "rail violation at {}: {v}", c.node_name(n));
             }
             let v_end = w.value_at(20.0 * NS);

@@ -7,17 +7,16 @@
 //! delay, wire delay(s) and wire output slew(s). The measurements feed the
 //! polynomial fits that become the [`crate::DelaySlewLibrary`].
 //!
-//! Simulations are independent, so the sweep fans out over a small
-//! crossbeam thread pool.
+//! Simulations are independent, so the sweep fans out over the shared
+//! [`cts_util::exec`] thread pool.
 
 use crate::fit::{FitError, PolyFit};
 use crate::library::{BranchFns, DelaySlewLibrary, SingleWireFns};
 use cts_spice::stages::{branch_stage, single_wire_stage, BranchConfig, SingleWireConfig};
 use cts_spice::units::{NS, PS};
 use cts_spice::{SimError, SimOptions, Technology};
+use cts_util::run_parallel;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Sweep and fitting parameters for [`characterize`].
 ///
@@ -40,7 +39,8 @@ pub struct CharacterizeConfig {
     pub ramp_slew: f64,
     /// Transient options for each characterization run.
     pub sim: SimOptions,
-    /// Worker threads (clamped to available parallelism).
+    /// Worker threads for the sweep fan-out (honored as requested; see
+    /// [`cts_util::run_parallel`] — oversubscription is allowed).
     pub threads: usize,
 }
 
@@ -294,7 +294,10 @@ pub fn characterize(
         for ll in 0..nb {
             for lr in ll..nb {
                 let samples = sweep_branch(tech, d, ll, lr, cfg)?;
-                branch.push(((d, ll, lr), fit_branch(&samples, cfg.volume_order, d, ll, lr)?));
+                branch.push((
+                    (d, ll, lr),
+                    fit_branch(&samples, cfg.volume_order, d, ll, lr)?,
+                ));
             }
         }
     }
@@ -325,7 +328,10 @@ fn fit_single(
         })
     };
     Ok(SingleWireFns {
-        intrinsic: fit(samples.iter().map(|s| s.intrinsic_delay).collect(), "intrinsic")?,
+        intrinsic: fit(
+            samples.iter().map(|s| s.intrinsic_delay).collect(),
+            "intrinsic",
+        )?,
         wire_delay: fit(samples.iter().map(|s| s.wire_delay).collect(), "wire_delay")?,
         wire_slew: fit(samples.iter().map(|s| s.wire_slew).collect(), "wire_slew")?,
     })
@@ -349,9 +355,15 @@ fn fit_branch(
         })
     };
     Ok(BranchFns {
-        intrinsic: fit(samples.iter().map(|s| s.intrinsic_delay).collect(), "intrinsic")?,
+        intrinsic: fit(
+            samples.iter().map(|s| s.intrinsic_delay).collect(),
+            "intrinsic",
+        )?,
         left_delay: fit(samples.iter().map(|s| s.left_delay).collect(), "left_delay")?,
-        right_delay: fit(samples.iter().map(|s| s.right_delay).collect(), "right_delay")?,
+        right_delay: fit(
+            samples.iter().map(|s| s.right_delay).collect(),
+            "right_delay",
+        )?,
         left_slew: fit(samples.iter().map(|s| s.left_slew).collect(), "left_slew")?,
         right_slew: fit(samples.iter().map(|s| s.right_slew).collect(), "right_slew")?,
     })
@@ -367,47 +379,6 @@ fn shaping_buffer(tech: &Technology) -> cts_spice::BufferType {
         .unwrap_or_else(|| cts_spice::BufferType::new("SHAPER", 20.0))
 }
 
-/// Runs `f` over `jobs` on up to `threads` workers, preserving order.
-fn run_parallel<J: Sync, R: Send>(
-    threads: usize,
-    jobs: &[J],
-    f: impl Fn(&J) -> Result<R, CharacterizeError> + Sync,
-) -> Result<Vec<R>, CharacterizeError> {
-    let workers = threads
-        .max(1)
-        .min(jobs.len().max(1))
-        .min(
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        );
-    if workers <= 1 {
-        return jobs.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<R, CharacterizeError>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                results.lock().expect("poisoned")[i] = Some(r);
-            });
-        }
-    })
-    .expect("characterization worker panicked");
-    results
-        .into_inner()
-        .expect("poisoned")
-        .into_iter()
-        .map(|r| r.expect("all jobs completed"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,9 +388,15 @@ mod tests {
         // Grid sizes must cover the requested polynomial orders.
         let cfg = CharacterizeConfig::fast();
         let n2 = cfg.input_wire_lengths_um.len() * cfg.wire_lengths_um.len();
-        assert!(n2 >= 6, "quadratic surface needs >= 6 samples, grid has {n2}");
+        assert!(
+            n2 >= 6,
+            "quadratic surface needs >= 6 samples, grid has {n2}"
+        );
         let n3 = cfg.input_wire_lengths_um.len() * cfg.branch_lengths_um.len().pow(2);
-        assert!(n3 >= 10, "quadratic volume needs >= 10 samples, grid has {n3}");
+        assert!(
+            n3 >= 10,
+            "quadratic volume needs >= 10 samples, grid has {n3}"
+        );
     }
 
     #[test]
@@ -441,7 +418,7 @@ mod tests {
     #[test]
     fn run_parallel_preserves_order_and_errors() {
         let jobs: Vec<usize> = (0..40).collect();
-        let out = run_parallel(4, &jobs, |&j| Ok(j * 2)).unwrap();
+        let out = run_parallel(4, &jobs, |&j| Ok::<_, CharacterizeError>(j * 2)).unwrap();
         assert_eq!(out, jobs.iter().map(|j| j * 2).collect::<Vec<_>>());
 
         let err = run_parallel(4, &jobs, |&j| {

@@ -49,18 +49,18 @@ impl std::error::Error for FitError {}
 fn basis_powers(dims: usize, order: u32) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     let mut current = vec![0u32; dims];
-    fn rec(dims: usize, order: u32, idx: usize, left: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    fn rec(dims: usize, idx: usize, left: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
         if idx == dims {
             out.push(current.clone());
             return;
         }
         for p in 0..=left {
             current[idx] = p;
-            rec(dims, order, idx + 1, left - p, current, out);
+            rec(dims, idx + 1, left - p, current, out);
         }
         current[idx] = 0;
     }
-    rec(dims, order, 0, order, &mut current, &mut out);
+    rec(dims, 0, order, &mut current, &mut out);
     out
 }
 
@@ -337,7 +337,8 @@ mod tests {
 
     #[test]
     fn fits_exact_cubic_surface() {
-        let f = |x: f64, y: f64| 0.5 - x + 2.0 * y + 0.25 * x * x - 0.1 * x * y * y + 0.03 * x * x * x;
+        let f =
+            |x: f64, y: f64| 0.5 - x + 2.0 * y + 0.25 * x * x - 0.1 * x * y * y + 0.03 * x * x * x;
         let mut pts = Vec::new();
         let mut vals = Vec::new();
         for i in 0..6 {
@@ -348,7 +349,11 @@ mod tests {
             }
         }
         let fit = PolyFit::fit(2, 3, &pts, &vals).unwrap();
-        assert!(fit.max_abs_residual() < 1e-8, "residual {}", fit.max_abs_residual());
+        assert!(
+            fit.max_abs_residual() < 1e-8,
+            "residual {}",
+            fit.max_abs_residual()
+        );
         assert!((fit.eval(&[1.05, 3.3]) - f(1.05, 3.3)).abs() < 1e-7);
     }
 
@@ -367,7 +372,10 @@ mod tests {
         let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
         let vals = vec![0.0, 1.0];
         match PolyFit::fit(2, 3, &pts, &vals) {
-            Err(FitError::TooFewSamples { needed: 10, samples: 2 }) => {}
+            Err(FitError::TooFewSamples {
+                needed: 10,
+                samples: 2,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -392,7 +400,10 @@ mod tests {
     fn non_finite_rejected() {
         let pts = vec![vec![f64::NAN], vec![1.0]];
         let vals = vec![0.0, 1.0];
-        assert_eq!(PolyFit::fit(1, 1, &pts, &vals), Err(FitError::NonFiniteSample));
+        assert_eq!(
+            PolyFit::fit(1, 1, &pts, &vals),
+            Err(FitError::NonFiniteSample)
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct ParseLibraryError {
 
 impl fmt::Display for ParseLibraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "library parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -160,8 +164,8 @@ pub fn load_library_str(text: &str) -> Result<DelaySlewLibrary, ParseLibraryErro
                 if tok.next().is_some() {
                     return Err(err(ln, "trailing tokens after fit record"));
                 }
-                let fit = PolyFit::from_record(&rec)
-                    .ok_or_else(|| err(ln, "malformed fit record"))?;
+                let fit =
+                    PolyFit::from_record(&rec).ok_or_else(|| err(ln, "malformed fit record"))?;
                 fits.push(FitSlot {
                     key,
                     kind,
@@ -206,12 +210,13 @@ pub fn load_library_str(text: &str) -> Result<DelaySlewLibrary, ParseLibraryErro
         }
     }
 
-    let find3 = |d: usize, ll: usize, lr: usize, kind: &str| -> Result<PolyFit, ParseLibraryError> {
-        fits.iter()
-            .find(|f| f.is_branch && f.key == [d, ll, lr] && f.kind == kind)
-            .map(|f| f.fit.clone())
-            .ok_or_else(|| err(0, format!("missing branch fit ({d},{ll},{lr}) {kind}")))
-    };
+    let find3 =
+        |d: usize, ll: usize, lr: usize, kind: &str| -> Result<PolyFit, ParseLibraryError> {
+            fits.iter()
+                .find(|f| f.is_branch && f.key == [d, ll, lr] && f.kind == kind)
+                .map(|f| f.fit.clone())
+                .ok_or_else(|| err(0, format!("missing branch fit ({d},{ll},{lr}) {kind}")))
+        };
     let mut branch = Vec::new();
     for d in 0..nb {
         for ll in 0..nb {
@@ -230,7 +235,9 @@ pub fn load_library_str(text: &str) -> Result<DelaySlewLibrary, ParseLibraryErro
         }
     }
 
-    Ok(DelaySlewLibrary::from_parts(vdd, wire, buffers, single, branch))
+    Ok(DelaySlewLibrary::from_parts(
+        vdd, wire, buffers, single, branch,
+    ))
 }
 
 fn parse_f64(tok: Option<&str>, line: usize) -> Result<f64, ParseLibraryError> {

@@ -54,8 +54,7 @@ pub use characterize::{
     CharacterizeError, SingleWireSample,
 };
 pub use io::{
-    load_library_file, load_library_str, save_library_file, save_library_string,
-    ParseLibraryError,
+    load_library_file, load_library_str, save_library_file, save_library_string, ParseLibraryError,
 };
 pub use library::{
     BranchFns, BranchTiming, BufferId, DelaySlewLibrary, Load, SingleWireFns, StageTiming,
@@ -65,15 +64,44 @@ pub use rctree::{RcNodeId, RcTree};
 use cts_spice::Technology;
 use std::sync::OnceLock;
 
+/// Cache-file revision for [`fast_library`]'s on-disk cache. The file name
+/// also embeds a fingerprint hash of the fast config and the nominal
+/// technology parameters, so *numeric* drift in either invalidates the
+/// cache automatically; bump this only when the characterization
+/// **pipeline code** (sweeps, fits, stage circuits) changes behavior
+/// without touching those parameters.
+const FAST_LIB_CACHE_REV: &str = "v1";
+
+/// FNV-1a over the debug renderings of the characterization inputs — the
+/// staleness key embedded in the cache file name.
+fn fast_lib_fingerprint(tech: &Technology, cfg: &CharacterizeConfig) -> u64 {
+    let text = format!("{FAST_LIB_CACHE_REV}|{tech:?}|{cfg:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Returns a process-wide delay/slew library for
 /// [`Technology::nominal_45nm`], characterized with
-/// [`CharacterizeConfig::fast`] on first use and cached thereafter.
+/// [`CharacterizeConfig::fast`] on first use and cached thereafter — in
+/// memory per process, and on disk under the workspace `target/` directory
+/// so the many test binaries of a `cargo test` run pay the characterization
+/// cost once per machine instead of once per binary. The text serialization
+/// is exact (17-significant-digit floats), so cached and freshly
+/// characterized libraries answer queries identically.
 ///
-/// Tests and examples across the workspace share this library so the
-/// characterization cost (a few seconds) is paid once per process. Flows
-/// that need the full-resolution library should run [`characterize`] with
-/// [`CharacterizeConfig::standard`] themselves (the benchmark binaries cache
-/// it on disk).
+/// Set `CTS_NO_LIB_CACHE` to any non-empty value other than `0` to bypass
+/// the disk cache and characterize in-process — the manual escape hatch
+/// for validating cache-vs-fresh equivalence or working around a damaged
+/// `target/` directory. The cache honors `CARGO_TARGET_DIR` when set and
+/// falls back to the workspace-relative `target/` otherwise.
+///
+/// Flows that need the full-resolution library should run [`characterize`]
+/// with [`CharacterizeConfig::standard`] themselves (the benchmark binaries
+/// cache it on disk).
 ///
 /// # Panics
 ///
@@ -83,7 +111,24 @@ pub fn fast_library() -> &'static DelaySlewLibrary {
     static LIB: OnceLock<DelaySlewLibrary> = OnceLock::new();
     LIB.get_or_init(|| {
         let tech = Technology::nominal_45nm();
-        characterize(&tech, &CharacterizeConfig::fast())
+        let cfg = CharacterizeConfig::fast();
+        let cache_disabled = std::env::var("CTS_NO_LIB_CACHE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if cache_disabled {
+            return characterize(&tech, &cfg)
+                .expect("fast characterization of the nominal technology must succeed");
+        }
+        let target_dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target")
+            });
+        let path = target_dir.join(format!(
+            "ctslib_fast.{FAST_LIB_CACHE_REV}-{:016x}.txt",
+            fast_lib_fingerprint(&tech, &cfg)
+        ));
+        load_or_characterize(&path, &tech, &cfg)
             .expect("fast characterization of the nominal technology must succeed")
     })
 }
@@ -110,8 +155,22 @@ pub fn load_or_characterize(
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    if let Err(e) = save_library_file(&lib, path) {
-        eprintln!("warning: could not cache library at {}: {e}", path.display());
+    // Write-then-rename so concurrent processes sharing the cache (test
+    // and bench runs against one `target/`) never observe a torn file.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let cached = save_library_file(&lib, &tmp)
+        .map_err(|e| e.to_string())
+        .and_then(|()| {
+            std::fs::rename(&tmp, path).map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                format!("renaming {} into place: {e}", tmp.display())
+            })
+        });
+    if let Err(e) = cached {
+        eprintln!(
+            "warning: could not cache library at {}: {e}",
+            path.display()
+        );
     }
     Ok(lib)
 }

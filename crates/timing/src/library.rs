@@ -323,9 +323,7 @@ impl DelaySlewLibrary {
         slew_limit: f64,
     ) -> Option<f64> {
         let ((_, _), (len_lo, len_hi)) = self.single_domain(drive, load);
-        let slew_at = |len: f64| {
-            self.single_wire(drive, load, input_slew, len).output_slew
-        };
+        let slew_at = |len: f64| self.single_wire(drive, load, input_slew, len).output_slew;
         if slew_at(len_lo) > slew_limit {
             return None;
         }
@@ -381,10 +379,7 @@ pub(crate) mod tests_support {
     /// Builds a tiny synthetic library with linear fits so query mechanics
     /// can be tested without running characterization.
     pub(crate) fn synthetic_library() -> DelaySlewLibrary {
-        let buffers = vec![
-            BufferType::new("A", 10.0),
-            BufferType::new("B", 20.0),
-        ];
+        let buffers = vec![BufferType::new("A", 10.0), BufferType::new("B", 20.0)];
         let grid: Vec<Vec<f64>> = (0..4)
             .flat_map(|i| (0..4).map(move |j| vec![i as f64 * 40e-12, j as f64 * 700.0]))
             .collect();
@@ -407,9 +402,7 @@ pub(crate) mod tests_support {
         let grid3: Vec<Vec<f64>> = (0..3)
             .flat_map(|i| {
                 (0..3).flat_map(move |j| {
-                    (0..3).map(move |k| {
-                        vec![i as f64 * 40e-12, j as f64 * 700.0, k as f64 * 700.0]
-                    })
+                    (0..3).map(move |k| vec![i as f64 * 40e-12, j as f64 * 700.0, k as f64 * 700.0])
                 })
             })
             .collect();

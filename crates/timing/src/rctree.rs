@@ -226,7 +226,11 @@ mod tests {
         let (m1, m2) = t.m1_m2(leaf);
         let tau = 1000.0 * 100e-15;
         assert!((m1 - tau).abs() < 1e-18);
-        assert!((m2 - tau * tau).abs() < 1e-30, "m2 = {m2}, tau^2 = {}", tau * tau);
+        assert!(
+            (m2 - tau * tau).abs() < 1e-30,
+            "m2 = {m2}, tau^2 = {}",
+            tau * tau
+        );
     }
 
     #[test]

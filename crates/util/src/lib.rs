@@ -1,0 +1,15 @@
+//! Shared infrastructure for the CTS workspace.
+//!
+//! The single export that matters is [`exec`]: an order-preserving scoped
+//! thread pool used by both the characterization sweeps (`cts-timing`) and
+//! the per-level parallel merge stage of the synthesis pipeline
+//! (`cts-core`). It used to live as a private helper inside
+//! `cts_timing::characterize`; promoting it here lets every crate fan out
+//! embarrassingly parallel work without re-inventing the worker loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+
+pub use exec::{available_threads, resolve_threads, run_parallel, run_parallel_with};

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{:<16} {:>10} {:>10} {:>10} {:>10}",
         "mode", "skew", "ratio", "flippings", "buffers"
     );
-    for mode in [HCorrection::Off, HCorrection::ReEstimate, HCorrection::Correct] {
+    for mode in [
+        HCorrection::Off,
+        HCorrection::ReEstimate,
+        HCorrection::Correct,
+    ] {
         let mut options = CtsOptions::default();
         options.h_correction = mode;
         let synth = Synthesizer::new(&library, options);

@@ -1,0 +1,8 @@
+//! Root package of the buffered-CTS reproduction workspace.
+//!
+//! This crate exists so the repository-level `examples/` and integration
+//! `tests/` directories build as first-class cargo targets; the actual
+//! implementation lives in the `crates/` workspace members, re-exported
+//! here through the [`cts`] facade.
+
+pub use cts;

@@ -33,6 +33,47 @@ fn synthesis_is_deterministic_across_runs() {
     assert_eq!(a.wirelength_um, b.wirelength_um);
 }
 
+/// The parallel pipeline's contract: for a GSRC-style instance, synthesis
+/// with one worker and with many workers produces identical trees, buffer
+/// counts, and skew — bit for bit. Merges run on detached sub-forests and
+/// graft back in deterministic pair order, so the arena layout cannot
+/// depend on scheduling.
+#[test]
+fn thread_count_does_not_change_results() {
+    let lib = fast_library();
+    let instance = cts::benchmarks::generate_scaled_gsrc(cts::benchmarks::GsrcBenchmark::R1, 40);
+    let mut serial = CtsOptions::default();
+    serial.threads = 1;
+    let mut wide = CtsOptions::default();
+    wide.threads = 4;
+
+    let a = Synthesizer::new(lib, serial)
+        .synthesize(&instance)
+        .expect("serial synthesis");
+    let b = Synthesizer::new(lib, wide)
+        .synthesize(&instance)
+        .expect("parallel synthesis");
+
+    assert_eq!(a.tree, b.tree, "trees must match node for node");
+    assert_eq!(a.buffers, b.buffers, "buffer counts must match");
+    assert_eq!(
+        a.report.skew(),
+        b.report.skew(),
+        "skew must be bit-identical"
+    );
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.wirelength_um, b.wirelength_um);
+    assert_eq!(a.level_stats, b.level_stats);
+
+    // And `0` (auto) agrees too, whatever the hardware provides.
+    let mut auto = CtsOptions::default();
+    auto.threads = 0;
+    let c = Synthesizer::new(lib, auto)
+        .synthesize(&instance)
+        .expect("auto-threaded synthesis");
+    assert_eq!(a.tree, c.tree);
+}
+
 #[test]
 fn bookshelf_roundtrip_is_identity_for_all_benchmarks() {
     for b in GsrcBenchmark::all() {
@@ -51,7 +92,7 @@ fn bookshelf_roundtrip_is_identity_for_all_benchmarks() {
 
 #[test]
 fn library_serialization_roundtrip_preserves_queries() {
-    use cts::timing::{load_library_str, save_library_string, BufferId, Load};
+    use cts::timing::{load_library_str, save_library_string, Load};
     let lib = fast_library();
     let text = save_library_string(lib);
     let back = load_library_str(&text).expect("parse");

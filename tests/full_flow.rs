@@ -63,8 +63,7 @@ fn engine_tracks_verification() {
     )
     .expect("verification");
 
-    let latency_err =
-        (result.report.latency - verified.max_latency).abs() / verified.max_latency;
+    let latency_err = (result.report.latency - verified.max_latency).abs() / verified.max_latency;
     assert!(
         latency_err < 0.08,
         "engine latency off by {:.1} % ({} vs {} ps)",

@@ -20,10 +20,7 @@ fn two_coincident_sinks() {
     let p = Point::new(10.0, 10.0);
     let inst = Instance::new(
         "coincident",
-        vec![
-            Sink::new("a", p, 20e-15),
-            Sink::new("b", p, 20e-15),
-        ],
+        vec![Sink::new("a", p, 20e-15), Sink::new("b", p, 20e-15)],
     );
     let r = synth.synthesize(&inst).expect("coincident sinks must work");
     assert_eq!(r.tree.sinks_under(r.source).len(), 2);
@@ -79,7 +76,8 @@ fn impossible_slew_target_is_rejected_not_hung() {
 
 #[test]
 fn invalid_options_surface_as_errors() {
-    let cases: Vec<Box<dyn Fn(&mut CtsOptions)>> = vec![
+    type OptionTweak = Box<dyn Fn(&mut CtsOptions)>;
+    let cases: Vec<OptionTweak> = vec![
         Box::new(|o| o.slew_limit = -1.0),
         Box::new(|o| o.slew_target = 0.0),
         Box::new(|o| o.grid_resolution = 0),

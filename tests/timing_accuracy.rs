@@ -42,7 +42,10 @@ fn per_sink_arrival_ordering_agrees() {
             }
         }
     }
-    assert!(checked > 0, "test must exercise at least one separated pair");
+    assert!(
+        checked > 0,
+        "test must exercise at least one separated pair"
+    );
 }
 
 /// Engine worst-slew and verified worst-slew agree within the margin the
@@ -87,7 +90,10 @@ fn dme_model_vs_reality_gap() {
     let spread = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - delays.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = delays.iter().cloned().fold(0.0f64, f64::max);
-    assert!(spread <= 0.02 * max.max(1e-12), "DME should be Elmore-balanced");
+    assert!(
+        spread <= 0.02 * max.max(1e-12),
+        "DME should be Elmore-balanced"
+    );
 
     // ...but the unbuffered net on a 9 mm die cannot pass a slew check.
     let tech = Technology::nominal_45nm();
