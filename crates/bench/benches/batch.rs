@@ -1,0 +1,44 @@
+//! 1-shard vs N-shard batch wall time: the smoke measurement behind the
+//! sharded batch driver with overlapped SPICE verification.
+//!
+//! On a single-core container the shard counts should tie (that they do
+//! not *regress* is the smoke check); the speedup claim needs multicore
+//! hardware, like `--bench parallel`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cts::benchmarks::generate_custom;
+use cts::timing::fast_library;
+use cts::{BatchOptions, BatchRunner, CtsOptions, Instance, Technology};
+
+fn bench_batch_shards(c: &mut Criterion) {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    // Enough small instances that every shard stays busy and the
+    // verification stage has a real backlog to overlap with.
+    let suite: Vec<Instance> = (0..8)
+        .map(|k| generate_custom(&format!("b{k}"), 10, 2600.0, 0x5eed + k as u64))
+        .collect();
+    let mut options = CtsOptions::default();
+    options.threads = 1; // shards are the parallel axis
+
+    let mut group = c.benchmark_group("batch_8x10sinks");
+    group.sample_size(10);
+    for (label, shards, overlap_verify) in [
+        ("1shard_fused", 1usize, false),
+        ("1shard_overlap", 1, true),
+        ("4shard_fused", 4, false),
+        ("4shard_overlap", 4, true),
+    ] {
+        let mut batch = BatchOptions::default();
+        batch.shards = shards;
+        batch.overlap_verify = overlap_verify;
+        let runner = BatchRunner::new(lib, &tech, options.clone(), batch);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &runner, |b, r| {
+            b.iter(|| r.run(&suite).expect("batch run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(batch, bench_batch_shards);
+criterion_main!(batch);

@@ -7,10 +7,10 @@
 //! cargo run --release -p cts-bench --bin table_5_1 -- --full  # all five
 //! ```
 
-use cts::benchmarks::{generate_gsrc, GsrcBenchmark};
+use cts::benchmarks::gsrc_suite;
 use cts::spice::units::PS;
-use cts::Technology;
-use cts_bench::{full_run_requested, library, print_flow_header, print_flow_row, run_flow};
+use cts::{CtsOptions, Technology};
+use cts_bench::{full_run_requested, library, print_flow_header, print_flow_row, run_suite};
 
 /// Paper Table 5.1: (bench, sinks, worst slew ps, skew ps, latency ns,
 /// skew of [6], skew of [8], skew of [16]).
@@ -30,22 +30,19 @@ fn main() {
     let tech = Technology::nominal_45nm();
     let lib = library(&tech);
     let full = full_run_requested();
-    let benches: Vec<GsrcBenchmark> = if full {
-        GsrcBenchmark::all().to_vec()
-    } else {
-        GsrcBenchmark::all()[..3].to_vec()
-    };
+    let mut suite = gsrc_suite();
     if !full {
+        suite.truncate(3);
         println!("(quick mode: r1–r3; pass --full for r4/r5)\n");
     }
 
     println!("== Table 5.1: GSRC benchmarks (this reproduction) ==");
+    // The whole suite goes through the sharded batch driver: instances
+    // spread over the cores, SPICE verification overlapped with synthesis.
+    let rows = run_suite(&lib, &tech, CtsOptions::default(), &suite);
     print_flow_header();
-    let mut rows = Vec::new();
-    for b in &benches {
-        let row = run_flow(&lib, &tech, &generate_gsrc(*b));
-        print_flow_row(&row);
-        rows.push(row);
+    for row in &rows {
+        print_flow_row(row);
     }
 
     println!("\n== Table 5.1: paper values (ps / ns) and prior-work skews ==");

@@ -7,9 +7,9 @@
 //! cargo run --release -p cts-bench --bin table_5_2 -- --full  # all seven
 //! ```
 
-use cts::benchmarks::{generate_ispd, IspdBenchmark};
-use cts::Technology;
-use cts_bench::{full_run_requested, library, print_flow_header, print_flow_row, run_flow};
+use cts::benchmarks::ispd_suite;
+use cts::{CtsOptions, Technology};
+use cts_bench::{full_run_requested, library, print_flow_header, print_flow_row, run_suite};
 
 /// Paper Table 5.2: (bench, sinks, worst slew ps, skew ps, latency ns).
 const PAPER: [(&str, usize, f64, f64, f64); 7] = [
@@ -26,22 +26,18 @@ fn main() {
     let tech = Technology::nominal_45nm();
     let lib = library(&tech);
     let full = full_run_requested();
-    let benches: Vec<IspdBenchmark> = if full {
-        IspdBenchmark::all().to_vec()
-    } else {
-        IspdBenchmark::all()[..4].to_vec()
-    };
+    let mut suite = ispd_suite();
     if !full {
+        suite.truncate(4);
         println!("(quick mode: f11..f22; pass --full for all seven)\n");
     }
 
     println!("== Table 5.2: ISPD'09 benchmarks (this reproduction) ==");
+    // Sharded batch run with overlapped SPICE verification.
+    let rows = run_suite(&lib, &tech, CtsOptions::default(), &suite);
     print_flow_header();
-    let mut rows = Vec::new();
-    for b in &benches {
-        let row = run_flow(&lib, &tech, &generate_ispd(*b));
-        print_flow_row(&row);
-        rows.push(row);
+    for row in &rows {
+        print_flow_row(row);
     }
 
     println!("\n== Table 5.2: paper values ==");

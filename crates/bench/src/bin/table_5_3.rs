@@ -11,12 +11,10 @@
 //! cargo run --release -p cts-bench --bin table_5_3 -- --full
 //! ```
 
-use cts::benchmarks::{
-    generate_gsrc, generate_ispd, generate_scaled_gsrc, GsrcBenchmark, IspdBenchmark,
-};
+use cts::benchmarks::{full_suite, reduced_suite};
 use cts::spice::units::PS;
-use cts::{CtsOptions, HCorrection, Instance, Synthesizer, Technology, VerifyOptions};
-use cts_bench::{full_run_requested, library};
+use cts::{CtsOptions, HCorrection, Technology};
+use cts_bench::{full_run_requested, library, run_suite_items};
 
 /// Paper Table 5.3 ratios (%, negative = improvement) and flip counts:
 /// (bench, re-estimation ratio, correction ratio, flippings).
@@ -35,32 +33,6 @@ const PAPER: [(&str, f64, f64, usize); 12] = [
     ("fnb1", -8.99, -9.88, 71),
 ];
 
-fn instances(full: bool) -> Vec<Instance> {
-    let mut out = Vec::new();
-    for b in GsrcBenchmark::all() {
-        if full {
-            out.push(generate_gsrc(b));
-        } else {
-            out.push(generate_scaled_gsrc(b, 32.min(b.sink_count())));
-        }
-    }
-    for b in IspdBenchmark::all() {
-        if full {
-            out.push(generate_ispd(b));
-        } else {
-            // Reduced ISPD: same die, fewer sinks, deterministic.
-            let reduced = cts::benchmarks::generate_custom(
-                b.name(),
-                32.min(b.sink_count()),
-                b.die_um(),
-                0x7353 + b.sink_count() as u64,
-            );
-            out.push(reduced);
-        }
-    }
-    out
-}
-
 fn main() {
     let tech = Technology::nominal_45nm();
     let lib = library(&tech);
@@ -68,6 +40,27 @@ fn main() {
     if !full {
         println!("(quick mode: 32-sink variants with benchmark geometry; pass --full for paper-size runs)\n");
     }
+    let suite = if full {
+        full_suite()
+    } else {
+        reduced_suite(32)
+    };
+
+    // One sharded batch per correction mode: within a mode the twelve
+    // instances spread over the shards and their SPICE verification
+    // overlaps the remaining synthesis.
+    let mode_items: Vec<_> = [
+        HCorrection::Off,
+        HCorrection::ReEstimate,
+        HCorrection::Correct,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let mut opts = CtsOptions::default();
+        opts.h_correction = mode;
+        run_suite_items(&lib, &tech, opts, &suite)
+    })
+    .collect();
 
     println!("== Table 5.3: H-structure corrections (this reproduction) ==");
     println!(
@@ -77,30 +70,9 @@ fn main() {
     let mut avg_re = 0.0;
     let mut avg_co = 0.0;
     let mut n = 0.0;
-    for inst in instances(full) {
-        let mut skews = Vec::new();
-        let mut flips = 0;
-        for mode in [
-            HCorrection::Off,
-            HCorrection::ReEstimate,
-            HCorrection::Correct,
-        ] {
-            let mut opts = CtsOptions::default();
-            opts.h_correction = mode;
-            let synth = Synthesizer::new(&lib, opts);
-            let result = synth.synthesize(&inst).expect("synthesis");
-            let verified = cts::verify_tree(
-                &result.tree,
-                result.source,
-                &tech,
-                &VerifyOptions::default(),
-            )
-            .expect("verification");
-            skews.push(verified.skew);
-            if mode == HCorrection::Correct {
-                flips = result.flippings;
-            }
-        }
+    for (i, inst) in suite.iter().enumerate() {
+        let skews: Vec<f64> = mode_items.iter().map(|items| items[i].skew()).collect();
+        let flips = mode_items[2][i].result.flippings;
         let ratio = |alt: f64| 100.0 * (alt - skews[0]) / skews[0];
         println!(
             "{:<6} {:>9.1} ps {:>9.1} ps {:>+7.1}% {:>9.1} ps {:>+7.1}% {:>6}",

@@ -6,7 +6,9 @@
 //! row formatting.
 
 use cts::spice::units::{NS, PS};
-use cts::{CtsOptions, DelaySlewLibrary, Instance, Synthesizer, Technology, VerifyOptions};
+use cts::{
+    BatchItem, BatchOptions, BatchRunner, CtsOptions, DelaySlewLibrary, Instance, Technology,
+};
 
 /// Loads (or characterizes and caches) the delay library the binaries use.
 ///
@@ -56,31 +58,74 @@ pub struct FlowRow {
     pub synth_seconds: f64,
 }
 
-/// Runs the full flow (synthesize + SPICE verify) on one instance.
+impl FlowRow {
+    /// Builds a table row from a batch item (verified numbers when the
+    /// batch ran verification, engine estimates otherwise).
+    pub fn from_item(item: &BatchItem) -> FlowRow {
+        FlowRow {
+            name: item.name.clone(),
+            sinks: item.sinks,
+            worst_slew: item.worst_slew(),
+            skew: item.skew(),
+            max_latency: item.max_latency(),
+            buffers: item.result.buffers,
+            wirelength_um: item.result.wirelength_um,
+            synth_seconds: item.synth_seconds,
+        }
+    }
+}
+
+/// Runs a whole suite through the sharded batch driver — SPICE
+/// verification of finished trees overlaps with synthesis of later
+/// instances — and returns one table row per instance, in input order.
+///
+/// This is the standard flow invocation of every table-regeneration
+/// binary; pass custom [`CtsOptions`] for ablations (H-corrections etc.).
 ///
 /// # Panics
 ///
 /// Panics if synthesis or verification fails — benchmark instances are
 /// expected to be feasible.
-pub fn run_flow(lib: &DelaySlewLibrary, tech: &Technology, instance: &Instance) -> FlowRow {
-    let synth = Synthesizer::new(lib, CtsOptions::default());
-    let t0 = std::time::Instant::now();
-    let result = synth
-        .synthesize(instance)
-        .expect("benchmark synthesis must succeed");
-    let synth_seconds = t0.elapsed().as_secs_f64();
-    let verified = cts::verify_tree(&result.tree, result.source, tech, &VerifyOptions::default())
-        .expect("benchmark verification must succeed");
-    FlowRow {
-        name: instance.name().to_string(),
-        sinks: instance.sinks().len(),
-        worst_slew: verified.worst_slew,
-        skew: verified.skew,
-        max_latency: verified.max_latency,
-        buffers: result.buffers,
-        wirelength_um: result.wirelength_um,
-        synth_seconds,
+pub fn run_suite(
+    lib: &DelaySlewLibrary,
+    tech: &Technology,
+    options: CtsOptions,
+    instances: &[Instance],
+) -> Vec<FlowRow> {
+    run_suite_items(lib, tech, options, instances)
+        .iter()
+        .map(FlowRow::from_item)
+        .collect()
+}
+
+/// [`run_suite`] returning the full batch items (tree, level stats,
+/// verified timing) instead of flattened rows.
+///
+/// Multi-instance suites parallelize on the **shard axis**: the caller's
+/// `options.threads` is overridden to `1`, since per-instance merge
+/// parallelism on top of the shards would oversubscribe the cores without
+/// changing any result (synthesis is bit-identical for every thread
+/// count). A single-instance suite keeps the caller's thread knob and
+/// parallelizes within the instance instead.
+///
+/// # Panics
+///
+/// Panics if synthesis or verification fails — benchmark instances are
+/// expected to be feasible.
+pub fn run_suite_items(
+    lib: &DelaySlewLibrary,
+    tech: &Technology,
+    mut options: CtsOptions,
+    instances: &[Instance],
+) -> Vec<BatchItem> {
+    if instances.len() > 1 {
+        options.threads = 1;
     }
+    let runner = BatchRunner::new(lib, tech, options, BatchOptions::default());
+    runner
+        .run(instances)
+        .expect("benchmark suite must synthesize and verify")
+        .items
 }
 
 /// Prints the standard flow-table header.

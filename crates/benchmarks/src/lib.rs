@@ -265,6 +265,56 @@ pub fn generate_scaled_gsrc(b: GsrcBenchmark, n_sinks: usize) -> Instance {
     )
 }
 
+/// The five-instance GSRC suite (Table 5.1), in paper order.
+pub fn gsrc_suite() -> Vec<Instance> {
+    GsrcBenchmark::all()
+        .into_iter()
+        .map(generate_gsrc)
+        .collect()
+}
+
+/// The seven-instance ISPD 2009 suite (Table 5.2), in paper order.
+pub fn ispd_suite() -> Vec<Instance> {
+    IspdBenchmark::all()
+        .into_iter()
+        .map(generate_ispd)
+        .collect()
+}
+
+/// The paper's full twelve-instance evaluation set: GSRC r1–r5 followed by
+/// ISPD f11–fnb1 — what the batch driver feeds table regeneration with.
+pub fn full_suite() -> Vec<Instance> {
+    let mut out = gsrc_suite();
+    out.extend(ispd_suite());
+    out
+}
+
+/// Size-reduced variant of [`full_suite`]: every instance keeps its die and
+/// sink distribution but carries at most `max_sinks` sinks — the quick-mode
+/// suite for tests and fast table runs. Deterministic for a given
+/// `max_sinks`.
+///
+/// # Panics
+///
+/// Panics if `max_sinks` is zero.
+pub fn reduced_suite(max_sinks: usize) -> Vec<Instance> {
+    assert!(max_sinks > 0, "need at least one sink per instance");
+    let mut out: Vec<Instance> = GsrcBenchmark::all()
+        .into_iter()
+        .map(|b| generate_scaled_gsrc(b, max_sinks.min(b.sink_count())))
+        .collect();
+    out.extend(IspdBenchmark::all().into_iter().map(|b| {
+        // Reduced ISPD: same die, fewer sinks, deterministic.
+        generate_custom(
+            b.name(),
+            max_sinks.min(b.sink_count()),
+            b.die_um(),
+            0x7353 + b.sink_count() as u64,
+        )
+    }));
+    out
+}
+
 /// Fully custom synthetic instance (uniform + clustered sinks).
 ///
 /// # Panics
@@ -343,6 +393,34 @@ mod tests {
         let small = generate_scaled_gsrc(GsrcBenchmark::R3, 20);
         assert_eq!(small.sinks().len(), 20);
         assert_eq!(small.die().width(), GsrcBenchmark::R3.die_um());
+    }
+
+    #[test]
+    fn suites_are_complete_and_ordered() {
+        let full = full_suite();
+        assert_eq!(full.len(), 12);
+        let names: Vec<&str> = full.iter().map(|i| i.name()).collect();
+        assert_eq!(
+            names,
+            vec!["r1", "r2", "r3", "r4", "r5", "f11", "f12", "f21", "f22", "f31", "f32", "fnb1"]
+        );
+        assert_eq!(gsrc_suite().len(), 5);
+        assert_eq!(ispd_suite().len(), 7);
+    }
+
+    #[test]
+    fn reduced_suite_caps_sinks_and_keeps_geometry() {
+        let reduced = reduced_suite(32);
+        assert_eq!(reduced.len(), 12);
+        for inst in &reduced {
+            assert!(inst.sinks().len() <= 32);
+        }
+        // The ISPD entries keep their (large) dies.
+        assert_eq!(
+            reduced.last().unwrap().die().width(),
+            IspdBenchmark::Fnb1.die_um()
+        );
+        assert_eq!(reduced_suite(32), reduced_suite(32));
     }
 
     #[test]

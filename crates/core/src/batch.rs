@@ -1,0 +1,450 @@
+//! Sharded batch synthesis with overlapped SPICE verification.
+//!
+//! The paper evaluates whole benchmark *suites* (Tables 5.1–5.3), and a
+//! production deployment synthesizes a queue of independent requests; both
+//! reduce to "run N instances through the flow as fast as the hardware
+//! allows". [`BatchRunner`] does that on top of the split
+//! [`Synthesizer::synthesize_unverified`] / [`Synthesizer::verify`] stages:
+//!
+//! * **Sharding** — instances are claimed by up to
+//!   [`BatchOptions::shards`] workers on the shared [`cts_util`] pool; each
+//!   shard owns one [`MergeScratch`], so the maze router's label stores,
+//!   grid-dimension cache, and segment-limit cache persist across every
+//!   instance the shard processes. The characterized library is shared by
+//!   reference — it is built (or loaded from its disk cache) once, not per
+//!   shard.
+//! * **Overlapped verification** — with
+//!   [`BatchOptions::overlap_verify`], finished trees enter a SPICE
+//!   verification stage that runs *while later instances are still
+//!   synthesizing* ([`cts_util::run_two_stage`]): the expensive transient
+//!   simulations no longer serialize behind the last synthesis.
+//! * **Determinism** — results come back in input order, and every
+//!   per-instance [`CtsResult`] is byte-identical to a serial
+//!   [`Synthesizer::synthesize`] call, for every shard count and either
+//!   overlap setting. Scratch reuse and scheduling affect wall time only.
+//! * **First-error short-circuit** — the returned error is the one a
+//!   serial loop over the instances would surface.
+//!
+//! The per-instance rows ([`BatchItem`]) carry everything a Table 5.1-style
+//! report needs; [`BatchSummary`] aggregates the suite (including per-level
+//! [`LevelStats`] folded across instances).
+
+use crate::flow::{CtsResult, Synthesizer};
+use crate::instance::Instance;
+use crate::merge::MergeScratch;
+use crate::options::{CtsError, CtsOptions};
+use crate::pipeline::LevelStats;
+use crate::verify::{VerifiedTiming, VerifyOptions};
+use cts_spice::Technology;
+use cts_timing::DelaySlewLibrary;
+use cts_util::{resolve_threads, run_parallel_with, run_two_stage};
+use std::time::Instant;
+
+/// Options controlling batch execution. Orthogonal to [`CtsOptions`]: the
+/// per-instance flow is configured there; this configures how instances
+/// are scheduled.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker shards instances are distributed over: `0` uses every core,
+    /// `1` runs the batch serially. Any value yields identical results.
+    pub shards: usize,
+    /// Pipeline SPICE verification so that verification of finished trees
+    /// overlaps with synthesis of later instances. With `false` (and
+    /// `verify` on) each shard verifies its own instance right after
+    /// synthesizing it. Results are identical either way.
+    pub overlap_verify: bool,
+    /// Run SPICE verification at all. Off, [`BatchItem::verified`] is
+    /// `None` and the summary quality figures fall back to the engine
+    /// estimates.
+    pub verify: bool,
+    /// Options for the verification stage.
+    pub verify_options: VerifyOptions,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            shards: 0,
+            overlap_verify: true,
+            verify: true,
+            verify_options: VerifyOptions::default(),
+        }
+    }
+}
+
+/// One instance's outcome within a batch.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Instance name (copied from the input).
+    pub name: String,
+    /// Sink count of the instance.
+    pub sinks: usize,
+    /// The synthesized tree with engine-estimated metrics — byte-identical
+    /// to what a serial [`Synthesizer::synthesize`] call produces.
+    pub result: CtsResult,
+    /// SPICE-verified timing, when verification is enabled.
+    pub verified: Option<VerifiedTiming>,
+    /// Wall time of the synthesis stage (s).
+    pub synth_seconds: f64,
+    /// Wall time of the verification stage (s); `0` when skipped.
+    pub verify_seconds: f64,
+}
+
+impl BatchItem {
+    /// Worst 10–90 % slew: SPICE-verified when available, else the engine
+    /// estimate.
+    pub fn worst_slew(&self) -> f64 {
+        self.verified
+            .as_ref()
+            .map_or(self.result.report.worst_slew, |v| v.worst_slew)
+    }
+
+    /// Skew: SPICE-verified when available, else the engine estimate.
+    pub fn skew(&self) -> f64 {
+        self.verified
+            .as_ref()
+            .map_or(self.result.report.skew(), |v| v.skew)
+    }
+
+    /// Max source-to-sink latency: SPICE-verified when available, else the
+    /// engine estimate.
+    pub fn max_latency(&self) -> f64 {
+        self.verified
+            .as_ref()
+            .map_or(self.result.report.latency, |v| v.max_latency)
+    }
+}
+
+/// Suite-level aggregation over a batch run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchSummary {
+    /// Instances synthesized.
+    pub instances: usize,
+    /// Total sinks across the suite.
+    pub sinks: usize,
+    /// Total buffers inserted.
+    pub buffers: usize,
+    /// Total routed wirelength (µm).
+    pub wirelength_um: f64,
+    /// Deepest topology (level count) in the suite.
+    pub levels_max: usize,
+    /// Worst slew across the suite (verified when available).
+    pub worst_slew: f64,
+    /// Worst skew across the suite (verified when available).
+    pub worst_skew: f64,
+    /// Largest max-latency across the suite (verified when available).
+    pub max_latency: f64,
+    /// Per-level statistics folded across instances: counters (pairs,
+    /// flippings, buffers) are summed, extrema (skew/latency estimates)
+    /// maxed, and `seed_promoted` is true when any instance promoted a
+    /// seed at that level.
+    pub level_stats: Vec<LevelStats>,
+}
+
+impl BatchSummary {
+    fn fold(items: &[BatchItem]) -> BatchSummary {
+        let mut s = BatchSummary::default();
+        for item in items {
+            s.instances += 1;
+            s.sinks += item.sinks;
+            s.buffers += item.result.buffers;
+            s.wirelength_um += item.result.wirelength_um;
+            s.levels_max = s.levels_max.max(item.result.levels);
+            s.worst_slew = s.worst_slew.max(item.worst_slew());
+            s.worst_skew = s.worst_skew.max(item.skew());
+            s.max_latency = s.max_latency.max(item.max_latency());
+            for ls in &item.result.level_stats {
+                if s.level_stats.len() < ls.level {
+                    s.level_stats.push(LevelStats {
+                        level: ls.level,
+                        pairs: 0,
+                        seed_promoted: false,
+                        flippings: 0,
+                        buffers_inserted: 0,
+                        worst_skew_estimate: 0.0,
+                        max_latency_estimate: 0.0,
+                    });
+                }
+                let agg = &mut s.level_stats[ls.level - 1];
+                agg.pairs += ls.pairs;
+                agg.seed_promoted |= ls.seed_promoted;
+                agg.flippings += ls.flippings;
+                agg.buffers_inserted += ls.buffers_inserted;
+                agg.worst_skew_estimate = agg.worst_skew_estimate.max(ls.worst_skew_estimate);
+                agg.max_latency_estimate = agg.max_latency_estimate.max(ls.max_latency_estimate);
+            }
+        }
+        s
+    }
+}
+
+/// Output of a batch run: per-instance rows in **input order** plus the
+/// suite summary.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// One row per input instance, in input order.
+    pub items: Vec<BatchItem>,
+    /// The suite-level aggregation.
+    pub summary: BatchSummary,
+}
+
+/// Runs suites of instances through the synthesize → verify flow, sharded
+/// across the worker pool. See the module docs for the guarantees.
+///
+/// ```no_run
+/// use cts_core::{BatchOptions, BatchRunner, CtsOptions, Instance, Sink};
+/// use cts_geom::Point;
+/// use cts_spice::Technology;
+/// use cts_timing::fast_library;
+///
+/// let suite: Vec<Instance> = (0..8)
+///     .map(|k| {
+///         let sinks = (0..4)
+///             .map(|i| Sink::new(format!("ff{i}"), Point::new(600.0 * i as f64, 0.0), 30e-15))
+///             .collect();
+///         Instance::new(format!("req{k}"), sinks)
+///     })
+///     .collect();
+/// let tech = Technology::nominal_45nm();
+/// let runner = BatchRunner::new(
+///     fast_library(),
+///     &tech,
+///     CtsOptions::default(),
+///     BatchOptions::default(),
+/// );
+/// let out = runner.run(&suite)?;
+/// assert_eq!(out.items.len(), 8);
+/// println!("suite worst slew: {} ps", out.summary.worst_slew / 1e-12);
+/// # Ok::<(), cts_core::CtsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner<'a> {
+    synth: Synthesizer<'a>,
+    tech: &'a Technology,
+    batch: BatchOptions,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// Creates a batch runner over a shared library and technology.
+    pub fn new(
+        lib: &'a DelaySlewLibrary,
+        tech: &'a Technology,
+        options: CtsOptions,
+        batch: BatchOptions,
+    ) -> BatchRunner<'a> {
+        BatchRunner {
+            synth: Synthesizer::new(lib, options),
+            tech,
+            batch,
+        }
+    }
+
+    /// The per-instance synthesizer in effect.
+    pub fn synthesizer(&self) -> &Synthesizer<'a> {
+        &self.synth
+    }
+
+    /// The batch options in effect.
+    pub fn batch_options(&self) -> &BatchOptions {
+        &self.batch
+    }
+
+    /// Runs the batch and returns per-instance rows (input order) plus the
+    /// suite summary.
+    ///
+    /// # Errors
+    ///
+    /// The first error — in instance order, matching a serial loop — from
+    /// either stage: [`CtsError::BadOptions`] / [`CtsError::SlewUnachievable`]
+    /// out of synthesis, [`CtsError::Verify`] out of verification.
+    pub fn run(&self, instances: &[Instance]) -> Result<BatchOutput, CtsError> {
+        let shards = resolve_threads(self.batch.shards);
+        let synthesize = |scratch: &mut MergeScratch,
+                          instance: &Instance|
+         -> Result<(CtsResult, f64), CtsError> {
+            let t0 = Instant::now();
+            let result = self.synth.synthesize_unverified_with(instance, scratch)?;
+            Ok((result, t0.elapsed().as_secs_f64()))
+        };
+        let finish = |(result, synth_seconds): (CtsResult, f64),
+                      instance: &Instance|
+         -> Result<BatchItem, CtsError> {
+            let (verified, verify_seconds) = if self.batch.verify {
+                let t0 = Instant::now();
+                let v = self
+                    .synth
+                    .verify(&result, self.tech, &self.batch.verify_options)?;
+                (Some(v), t0.elapsed().as_secs_f64())
+            } else {
+                (None, 0.0)
+            };
+            Ok(BatchItem {
+                name: instance.name().to_string(),
+                sinks: instance.sinks().len(),
+                result,
+                verified,
+                synth_seconds,
+                verify_seconds,
+            })
+        };
+
+        let items: Vec<BatchItem> = if self.batch.verify && self.batch.overlap_verify {
+            // Two-stage: synthesis producers feed the verification
+            // consumers; verification of finished trees overlaps with the
+            // synthesis of later instances.
+            run_two_stage(
+                shards,
+                instances,
+                MergeScratch::new,
+                |scratch, instance| synthesize(scratch, instance),
+                || (),
+                |(), staged, instance| finish(staged, instance),
+            )?
+        } else {
+            // Fused per-shard loop: each shard synthesizes (and, when
+            // enabled, verifies) its own instances.
+            run_parallel_with(shards, instances, MergeScratch::new, |scratch, instance| {
+                finish(synthesize(scratch, instance)?, instance)
+            })?
+        };
+
+        let summary = BatchSummary::fold(&items);
+        Ok(BatchOutput { items, summary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Sink;
+    use cts_geom::Point;
+    use cts_timing::fast_library;
+
+    fn tiny_suite(n: usize) -> Vec<Instance> {
+        (0..n)
+            .map(|k| {
+                let sinks = (0..3 + k % 2)
+                    .map(|i| {
+                        Sink::new(
+                            format!("s{i}"),
+                            Point::new(500.0 * i as f64 + 37.0 * k as f64, 210.0 * k as f64),
+                            22e-15,
+                        )
+                    })
+                    .collect();
+                Instance::new(format!("inst{k}"), sinks)
+            })
+            .collect()
+    }
+
+    fn options() -> CtsOptions {
+        let mut o = CtsOptions::default();
+        o.threads = 1; // batch shards are the parallel axis in these tests
+        o
+    }
+
+    #[test]
+    fn batch_matches_serial_flow() {
+        let tech = Technology::nominal_45nm();
+        let suite = tiny_suite(4);
+        let runner = BatchRunner::new(fast_library(), &tech, options(), BatchOptions::default());
+        let out = runner.run(&suite).unwrap();
+        assert_eq!(out.items.len(), 4);
+
+        let serial = Synthesizer::new(fast_library(), options());
+        for (item, inst) in out.items.iter().zip(&suite) {
+            assert_eq!(item.name, inst.name());
+            let reference = serial.synthesize(inst).unwrap();
+            assert_eq!(item.result.tree, reference.tree);
+            assert_eq!(item.result.report, reference.report);
+            let v = item.verified.as_ref().expect("verification enabled");
+            assert!(v.worst_slew > 0.0);
+        }
+    }
+
+    #[test]
+    fn shard_counts_and_overlap_agree() {
+        let tech = Technology::nominal_45nm();
+        let suite = tiny_suite(5);
+        let mut reference: Option<BatchOutput> = None;
+        for shards in [1usize, 3] {
+            for overlap_verify in [false, true] {
+                let mut batch = BatchOptions::default();
+                batch.shards = shards;
+                batch.overlap_verify = overlap_verify;
+                let runner = BatchRunner::new(fast_library(), &tech, options(), batch);
+                let out = runner.run(&suite).unwrap();
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => {
+                        for (a, b) in r.items.iter().zip(&out.items) {
+                            assert_eq!(a.result.tree, b.result.tree);
+                            assert_eq!(a.verified, b.verified);
+                        }
+                        assert_eq!(r.summary, out.summary);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verification_can_be_skipped() {
+        let tech = Technology::nominal_45nm();
+        let suite = tiny_suite(2);
+        let mut batch = BatchOptions::default();
+        batch.verify = false;
+        let runner = BatchRunner::new(fast_library(), &tech, options(), batch);
+        let out = runner.run(&suite).unwrap();
+        assert!(out.items.iter().all(|i| i.verified.is_none()));
+        // Quality figures fall back to engine estimates.
+        assert!(out.summary.worst_slew > 0.0);
+        assert!(out.summary.max_latency > 0.0);
+    }
+
+    #[test]
+    fn summary_aggregates_levels_and_counts() {
+        let tech = Technology::nominal_45nm();
+        let suite = tiny_suite(3);
+        let mut batch = BatchOptions::default();
+        batch.verify = false;
+        let runner = BatchRunner::new(fast_library(), &tech, options(), batch);
+        let out = runner.run(&suite).unwrap();
+        let s = &out.summary;
+        assert_eq!(s.instances, 3);
+        assert_eq!(s.sinks, out.items.iter().map(|i| i.sinks).sum::<usize>());
+        assert_eq!(
+            s.buffers,
+            out.items.iter().map(|i| i.result.buffers).sum::<usize>()
+        );
+        assert_eq!(s.levels_max, s.level_stats.len());
+        let pairs_direct: usize = out
+            .items
+            .iter()
+            .flat_map(|i| &i.result.level_stats)
+            .map(|ls| ls.pairs)
+            .sum();
+        let pairs_agg: usize = s.level_stats.iter().map(|ls| ls.pairs).sum();
+        assert_eq!(pairs_direct, pairs_agg);
+    }
+
+    #[test]
+    fn first_error_in_instance_order_wins() {
+        let tech = Technology::nominal_45nm();
+        let suite = tiny_suite(3);
+        let mut bad = options();
+        bad.slew_target = 0.0; // fails validation on every instance
+        let runner = BatchRunner::new(fast_library(), &tech, bad, BatchOptions::default());
+        let err = runner.run(&suite).unwrap_err();
+        assert!(matches!(err, CtsError::BadOptions(_)));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let tech = Technology::nominal_45nm();
+        let runner = BatchRunner::new(fast_library(), &tech, options(), BatchOptions::default());
+        let out = runner.run(&[]).unwrap();
+        assert!(out.items.is_empty());
+        assert_eq!(out.summary, BatchSummary::default());
+    }
+}

@@ -21,7 +21,12 @@ use std::collections::HashMap;
 
 /// Result of a timing evaluation: arrivals are measured from the driving
 /// point's input edge (seconds).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A report is also the reusable output buffer of the `*_into` evaluation
+/// variants: hot loops (the merge binary search) keep one around and let
+/// [`TimingEngine::evaluate_subtree_into`] refill it, so the per-call
+/// `sink_arrivals` allocation disappears.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimingReport {
     /// Arrival time at each sink under the evaluated root.
     pub sink_arrivals: Vec<(TreeNodeId, f64)>,
@@ -90,11 +95,29 @@ impl<'a> TimingEngine<'a> {
         source: TreeNodeId,
         source_input_slew: f64,
     ) -> TimingReport {
+        let mut report = TimingReport::default();
+        self.evaluate_into(tree, source, source_input_slew, &mut report);
+        report
+    }
+
+    /// [`TimingEngine::evaluate`] into a caller-owned report, reusing its
+    /// allocations. The previous contents are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a [`NodeKind::Source`] node.
+    pub fn evaluate_into(
+        &self,
+        tree: &ClockTree,
+        source: TreeNodeId,
+        source_input_slew: f64,
+        report: &mut TimingReport,
+    ) {
         let driver = match tree.node(source).kind {
             NodeKind::Source { driver } => driver,
             ref k => panic!("evaluate() needs a source node, got {k:?}"),
         };
-        self.evaluate_subtree(tree, source, driver, source_input_slew)
+        self.evaluate_subtree_into(tree, source, driver, source_input_slew, report);
     }
 
     /// Like [`TimingEngine::evaluate`], but additionally returns the input
@@ -280,13 +303,26 @@ impl<'a> TimingEngine<'a> {
         virtual_driver: BufferId,
         input_slew: f64,
     ) -> TimingReport {
-        let mut report = TimingReport {
-            sink_arrivals: Vec::new(),
-            worst_slew: 0.0,
-            worst_slew_at: None,
-            latency: 0.0,
-            min_arrival: 0.0,
-        };
+        let mut report = TimingReport::default();
+        self.evaluate_subtree_into(tree, root, virtual_driver, input_slew, &mut report);
+        report
+    }
+
+    /// [`TimingEngine::evaluate_subtree`] into a caller-owned report,
+    /// reusing its allocations. The previous contents are discarded.
+    pub fn evaluate_subtree_into(
+        &self,
+        tree: &ClockTree,
+        root: TreeNodeId,
+        virtual_driver: BufferId,
+        input_slew: f64,
+        report: &mut TimingReport,
+    ) {
+        report.sink_arrivals.clear();
+        report.worst_slew = 0.0;
+        report.worst_slew_at = None;
+        report.latency = 0.0;
+        report.min_arrival = 0.0;
         match tree.node(root).kind {
             NodeKind::Sink { .. } => {
                 report.sink_arrivals.push((root, 0.0));
@@ -294,14 +330,14 @@ impl<'a> TimingEngine<'a> {
             }
             NodeKind::Buffer { buffer } => {
                 // Root *is* the driver.
-                self.eval_stage(tree, root, buffer, input_slew, 0.0, &mut report);
+                self.eval_stage(tree, root, buffer, input_slew, 0.0, report);
             }
             NodeKind::Source { driver } => {
-                self.eval_stage(tree, root, driver, input_slew, 0.0, &mut report);
+                self.eval_stage(tree, root, driver, input_slew, 0.0, report);
             }
             NodeKind::Joint => {
                 // Virtual driver feeding the joint's wire tree directly.
-                self.eval_stage(tree, root, virtual_driver, input_slew, 0.0, &mut report);
+                self.eval_stage(tree, root, virtual_driver, input_slew, 0.0, report);
             }
         }
         report.latency = report
@@ -318,7 +354,6 @@ impl<'a> TimingEngine<'a> {
             report.latency = 0.0;
             report.min_arrival = 0.0;
         }
-        report
     }
 
     /// Evaluates the stage whose driver sits at `at` (a buffer/source node,
@@ -603,6 +638,37 @@ mod tests {
         assert_eq!(r.sink_arrivals.len(), 4);
         // Symmetric structure: near-zero skew.
         assert!(r.skew() < 2.0 * PS, "skew {}", r.skew() / PS);
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate_and_reuses_buffers() {
+        let lib = fast_library();
+        let engine = TimingEngine::new(lib);
+        let mut t = ClockTree::new();
+        let a = t.add_sink(0, &sink("a", 0.0, 0.0));
+        let b = t.add_sink(1, &sink("b", 900.0, 0.0));
+        let m = t.add_joint(Point::new(500.0, 0.0));
+        t.attach(m, a, 500.0);
+        t.attach(m, b, 400.0);
+
+        let fresh = engine.evaluate_subtree(&t, m, BufferId(1), 60.0 * PS);
+        // Pre-dirty the reused report so the reset is exercised.
+        let mut reused = TimingReport {
+            sink_arrivals: vec![(a, 99.0)],
+            worst_slew: 42.0,
+            worst_slew_at: Some(b),
+            latency: 7.0,
+            min_arrival: -7.0,
+        };
+        for _ in 0..3 {
+            engine.evaluate_subtree_into(&t, m, BufferId(1), 60.0 * PS, &mut reused);
+            assert_eq!(fresh, reused);
+        }
+
+        let src = t.add_source(m, BufferId(2));
+        let from_source = engine.evaluate(&t, src, 80.0 * PS);
+        engine.evaluate_into(&t, src, 80.0 * PS, &mut reused);
+        assert_eq!(from_source, reused);
     }
 
     #[test]

@@ -2,13 +2,21 @@
 //! generation driving merge-routing until a single tree remains.
 //!
 //! The heavy lifting lives in [`crate::pipeline::SynthesisPipeline`];
-//! [`Synthesizer`] is the stable public entry point around it.
+//! [`Synthesizer`] is the stable public entry point around it. The flow is
+//! split into two explicitly separate stages — [`Synthesizer::synthesize`]
+//! (library-estimated tree construction) and [`Synthesizer::verify`]
+//! (SPICE simulation of the finished netlist) — so callers that process
+//! many instances can overlap one instance's verification with the next
+//! instance's synthesis (see [`crate::batch::BatchRunner`]).
 
 use crate::engine::{TimingEngine, TimingReport};
 use crate::instance::Instance;
+use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::pipeline::{LevelStats, SynthesisPipeline};
 use crate::tree::{ClockTree, TreeNodeId};
+use crate::verify::{verify_tree, VerifiedTiming, VerifyOptions};
+use cts_spice::Technology;
 use cts_timing::DelaySlewLibrary;
 
 /// A synthesized clock tree with engine-estimated quality metrics.
@@ -76,14 +84,49 @@ impl<'a> Synthesizer<'a> {
     /// result is bit-identical for every worker count), deterministic
     /// grafting, and global refinement.
     ///
+    /// The result carries *engine-estimated* timing; the SPICE numbers the
+    /// paper reports come from the separate [`Synthesizer::verify`] stage.
+    /// `synthesize` is a synonym of [`Synthesizer::synthesize_unverified`],
+    /// kept as the short name for the common entry point.
+    ///
     /// # Errors
     ///
     /// [`CtsError::BadOptions`] for invalid options,
     /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
     /// the slew target.
     pub fn synthesize(&self, instance: &Instance) -> Result<CtsResult, CtsError> {
+        self.synthesize_unverified(instance)
+    }
+
+    /// The synthesis stage alone: builds the tree and reports
+    /// library-estimated timing, without touching the SPICE simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] for invalid options,
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target.
+    pub fn synthesize_unverified(&self, instance: &Instance) -> Result<CtsResult, CtsError> {
+        self.synthesize_unverified_with(instance, &mut MergeScratch::new())
+    }
+
+    /// [`Synthesizer::synthesize_unverified`] with caller-provided merge
+    /// scratch, so repeated synthesis calls (a batch shard's instance
+    /// stream) reuse the maze router's allocations and caches. The scratch
+    /// never affects results.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] for invalid options,
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target.
+    pub fn synthesize_unverified_with(
+        &self,
+        instance: &Instance,
+        scratch: &mut MergeScratch,
+    ) -> Result<CtsResult, CtsError> {
         let pipeline = SynthesisPipeline::new(self.lib, &self.options)?;
-        let out = pipeline.run(instance)?;
+        let out = pipeline.run_with(instance, scratch)?;
 
         let engine = TimingEngine::new(self.lib);
         let report = engine.evaluate(&out.tree, out.source, self.options.source_slew);
@@ -100,6 +143,24 @@ impl<'a> Synthesizer<'a> {
             flippings: out.flippings,
             level_stats: out.level_stats,
         })
+    }
+
+    /// The verification stage: SPICE-simulates a synthesized tree and
+    /// measures the paper's reported numbers (worst slew, skew, max
+    /// latency). Separately invokable from synthesis so batch drivers can
+    /// overlap the two stages across instances.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::Verify`] if any stage fails to simulate or a node never
+    /// completes its transition.
+    pub fn verify(
+        &self,
+        result: &CtsResult,
+        tech: &Technology,
+        opts: &VerifyOptions,
+    ) -> Result<VerifiedTiming, CtsError> {
+        verify_tree(&result.tree, result.source, tech, opts)
     }
 }
 
@@ -240,6 +301,40 @@ mod tests {
         let b = synth.synthesize(&inst).unwrap();
         assert_eq!(a.tree, b.tree);
         assert_eq!(a.report.latency, b.report.latency);
+    }
+
+    #[test]
+    fn warm_scratch_does_not_change_results() {
+        // A batch shard drives many instances through one scratch; the
+        // trees must match what fresh-scratch calls produce, bit for bit.
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let mut scratch = crate::merge::MergeScratch::new();
+        for seed in 0..3u64 {
+            let inst = random_instance(8, 3000.0, 2000.0, seed);
+            let warm = synth
+                .synthesize_unverified_with(&inst, &mut scratch)
+                .unwrap();
+            let cold = synth.synthesize(&inst).unwrap();
+            assert_eq!(warm.tree, cold.tree);
+            assert_eq!(warm.report, cold.report);
+            assert_eq!(warm.level_stats, cold.level_stats);
+        }
+    }
+
+    #[test]
+    fn split_stages_match_fused_flow() {
+        use crate::verify::VerifyOptions;
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let inst = random_instance(5, 1500.0, 1500.0, 3);
+        let r = synth.synthesize_unverified(&inst).unwrap();
+        let tech = cts_spice::Technology::nominal_45nm();
+        let v = synth.verify(&r, &tech, &VerifyOptions::default()).unwrap();
+        let direct =
+            crate::verify::verify_tree(&r.tree, r.source, &tech, &VerifyOptions::default())
+                .unwrap();
+        assert_eq!(v.worst_slew, direct.worst_slew);
+        assert_eq!(v.skew, direct.skew);
+        assert_eq!(v.sink_arrivals, direct.sink_arrivals);
     }
 
     #[test]

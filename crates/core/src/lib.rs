@@ -18,6 +18,8 @@
 //!   characterized library;
 //! * [`verify_tree`] — SPICE verification of the synthesized netlist (the
 //!   numbers the paper reports);
+//! * [`BatchRunner`] — sharded multi-instance batching with SPICE
+//!   verification overlapped against later instances' synthesis;
 //! * [`baseline`] — unbuffered zero-skew DME and merge-node-only buffering
 //!   for comparisons and ablations.
 //!
@@ -28,6 +30,7 @@
 
 pub mod balance;
 pub mod baseline;
+pub mod batch;
 mod engine;
 mod flow;
 mod hcorrect;
@@ -40,6 +43,7 @@ pub mod topology;
 mod tree;
 pub mod verify;
 
+pub use batch::{BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary};
 pub use engine::{TimingEngine, TimingReport};
 pub use flow::{CtsResult, Synthesizer};
 pub use hcorrect::{merge_with_correction, merge_with_correction_with, CorrectedMerge};

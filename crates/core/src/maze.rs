@@ -92,7 +92,8 @@ pub struct MazeRouter<'a> {
 }
 
 /// Reusable buffers for [`MazeRouter::route_with`]: per-cell label stores,
-/// the wavefront heap, and the cached per-buffer segment limits.
+/// the wavefront heap, the cached per-buffer segment limits, and the
+/// routing-grid dimension cache.
 ///
 /// A scratch belongs to one (library, options) context — the segment-limit
 /// cache is computed on first use and never invalidated — and to one
@@ -103,7 +104,22 @@ pub struct MazeScratch {
     labels: [Vec<Option<Label>>; 2],
     heap: BinaryHeap<QueueEntry>,
     limits: Vec<f64>,
+    /// Grid dimensions memoized by routed-region size and resolution.
+    /// Merge spans repeat heavily within a topology level (matched pairs
+    /// have similar extents, and H-correction re-routes the same pair
+    /// repeatedly), so a small linear-scan cache hits often.
+    grid_dims: Vec<(GridKey, (u32, u32))>,
 }
+
+/// Cache key of [`MazeScratch::grid_dims`]: the routed region's width and
+/// height bit patterns (exact match, no quantization — the dims are a pure
+/// function of exactly these) and the default resolution in effect.
+type GridKey = (u64, u64, u32);
+
+/// Entries kept in [`MazeScratch::grid_dims`] before the (rarely hit)
+/// wholesale reset; spans within one level cluster tightly, so a handful of
+/// slots covers them.
+const GRID_DIMS_CACHE_CAP: usize = 32;
 
 impl MazeScratch {
     /// Ensures the per-buffer segment-limit cache is filled for `router`
@@ -113,6 +129,33 @@ impl MazeScratch {
             self.limits = router.segment_limits()?;
         }
         Ok(&self.limits)
+    }
+
+    /// [`RoutingGrid::between`] through the dimension cache: the dynamic
+    /// resolution growth is a pure function of the routed region's exact
+    /// width/height ([`RoutingGrid::dims_for_region`]), so cached
+    /// (cols, rows) rebuild a bit-identical grid without re-deriving them.
+    pub(crate) fn grid_between(&mut self, a: Point, b: Point, resolution: u32) -> RoutingGrid {
+        let region = RoutingGrid::region_between(a, b);
+        let key = (
+            region.width().to_bits(),
+            region.height().to_bits(),
+            resolution,
+        );
+        let dims = self
+            .grid_dims
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, dims)| dims);
+        let (cols, rows) = dims.unwrap_or_else(|| {
+            let dims = RoutingGrid::dims_for_region(region, resolution);
+            if self.grid_dims.len() >= GRID_DIMS_CACHE_CAP {
+                self.grid_dims.clear();
+            }
+            self.grid_dims.push((key, dims));
+            dims
+        });
+        RoutingGrid::over_region(region, cols, rows)
     }
 }
 
@@ -422,12 +465,13 @@ impl<'a> MazeRouter<'a> {
         a: &MergeSide,
         b: &MergeSide,
     ) -> Result<MergePlan, CtsError> {
-        let grid = RoutingGrid::between(a.root_point, b.root_point, self.options.grid_resolution);
+        let grid = scratch.grid_between(a.root_point, b.root_point, self.options.grid_resolution);
         scratch.limits(self)?;
         let MazeScratch {
             labels: [la, lb],
             heap,
             limits,
+            ..
         } = scratch;
         self.expand_side_into(&grid, a, limits, la, heap)?;
         self.expand_side_into(&grid, b, limits, lb, heap)?;
@@ -574,6 +618,29 @@ mod tests {
             diff / PS,
             base_diff / PS
         );
+    }
+
+    #[test]
+    fn grid_cache_does_not_change_plans() {
+        // Same-span pairs at different die positions must route to the
+        // same plans whether the grid dims come from the cache or from a
+        // fresh `between` derivation.
+        let lib = fast_library();
+        let opts = options();
+        let router = MazeRouter::new(lib, &opts);
+        let mut warm = MazeScratch::default();
+        let pairs = [
+            (side(0.0, 0.0, 0.0), side(2600.0, 700.0, 0.0)),
+            (side(4000.0, 1000.0, 0.0), side(6600.0, 1700.0, 0.0)), // same span
+            (side(100.0, 50.0, 2.0), side(2700.0, 750.0, 0.0)),     // same span
+        ];
+        for (a, b) in &pairs {
+            let cached = router.route_with(&mut warm, a, b).unwrap();
+            let fresh = router
+                .route_with(&mut MazeScratch::default(), a, b)
+                .unwrap();
+            assert_eq!(cached, fresh);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! (§4.2) — balance, bi-directional maze routing, and binary search.
 
 use crate::balance::Balancer;
-use crate::engine::TimingEngine;
+use crate::engine::{TimingEngine, TimingReport};
 use crate::maze::{MazeRouter, MazeScratch, MergeSide};
 use crate::options::{CtsError, CtsOptions};
 use crate::tree::{ClockTree, NodeKind, TreeNodeId};
@@ -11,7 +11,8 @@ use cts_timing::DelaySlewLibrary;
 /// Reusable per-worker state for [`MergeRouting::merge_pair_with`]: the
 /// maze router's scratch plus merge-level caches that depend only on the
 /// (library, options) pair — the symmetric arm budget and the strongest
-/// buffer id — so repeated merges stop re-deriving them.
+/// buffer id — so repeated merges stop re-deriving them, and a timing
+/// report buffer the binary-search/sizing inner loops evaluate into.
 ///
 /// Like [`MazeScratch`], a value belongs to one (library, options) context.
 #[derive(Debug, Default, Clone)]
@@ -19,6 +20,7 @@ pub struct MergeScratch {
     pub(crate) maze: MazeScratch,
     arm_budget_um: Option<f64>,
     strongest: Option<cts_timing::BufferId>,
+    report: TimingReport,
 }
 
 impl MergeScratch {
@@ -309,7 +311,7 @@ impl<'a> MergeRouting<'a> {
             (arm_budget - self.effective_pending_um(tree, tops[0])).max(1.0),
             (arm_budget - self.effective_pending_um(tree, tops[1])).max(1.0),
         ];
-        let skew = self.binary_search(tree, merge, tops, arm_caps, &engine);
+        let skew = self.binary_search(tree, merge, tops, arm_caps, &engine, &mut scratch.report);
 
         // --- merge-region capping ------------------------------------------
         // Unbuffered regions accumulate across levels (pending wires join at
@@ -338,17 +340,17 @@ impl<'a> MergeRouting<'a> {
             .filter(|&id| matches!(tree.node(id).kind, crate::tree::NodeKind::Buffer { .. }))
             .collect();
         let _ = skew; // the refinement below re-measures on the final root
-        let subtree_skew = |tree: &ClockTree| {
-            engine
-                .evaluate_subtree(
-                    tree,
-                    root,
-                    self.options.virtual_driver,
-                    self.options.slew_target,
-                )
-                .skew()
+        let subtree_skew = |tree: &ClockTree, report: &mut TimingReport| {
+            engine.evaluate_subtree_into(
+                tree,
+                root,
+                self.options.virtual_driver,
+                self.options.slew_target,
+                report,
+            );
+            report.skew()
         };
-        let mut skew_total = subtree_skew(tree);
+        let mut skew_total = subtree_skew(tree, &mut scratch.report);
         for _pass in 0..3 {
             let mut improved = false;
             for &cand in &candidates {
@@ -362,12 +364,14 @@ impl<'a> MergeRouting<'a> {
                         continue;
                     }
                     tree.set_buffer_type(cand, alt);
-                    let rep = engine.evaluate_subtree(
+                    engine.evaluate_subtree_into(
                         tree,
                         root,
                         self.options.virtual_driver,
                         self.options.slew_target,
+                        &mut scratch.report,
                     );
+                    let rep = &scratch.report;
                     // Swaps must preserve the bottom-up invariant that
                     // every stage input slew stays at or under the target —
                     // spending the target-to-limit margin here compounds
@@ -387,20 +391,21 @@ impl<'a> MergeRouting<'a> {
                 break;
             }
             // Re-trim the top wires around the (re-typed) stages.
-            let _ = self.binary_search(tree, merge, tops, arm_caps, &engine);
-            skew_total = subtree_skew(tree);
+            let _ = self.binary_search(tree, merge, tops, arm_caps, &engine, &mut scratch.report);
+            skew_total = subtree_skew(tree, &mut scratch.report);
         }
 
-        let report = engine.evaluate_subtree(
+        engine.evaluate_subtree_into(
             tree,
             root,
             self.options.virtual_driver,
             self.options.slew_target,
+            &mut scratch.report,
         );
         Ok(MergeOutcome {
             merge_node: root,
-            skew_estimate: report.skew(),
-            latency_estimate: report.latency,
+            skew_estimate: scratch.report.skew(),
+            latency_estimate: scratch.report.latency,
             buffers_inserted,
             snake_stages,
         })
@@ -418,29 +423,38 @@ impl<'a> MergeRouting<'a> {
         tops: [TreeNodeId; 2],
         arm_caps: [f64; 2],
         engine: &TimingEngine<'_>,
+        report: &mut TimingReport,
     ) -> f64 {
         let total = tree.node(tops[0]).wire_to_parent_um + tree.node(tops[1]).wire_to_parent_um;
         let v1 = tree.node(tops[0]).location;
         let v2 = tree.node(tops[1]).location;
 
-        let side_sinks = [tree.sinks_under(tops[0]), tree.sinks_under(tops[1])];
-        let diff_at = |tree: &mut ClockTree, r: f64| -> f64 {
+        // Sorted id lists: the per-iteration side maxima then come straight
+        // off the report's arrival list — no arrival map allocation inside
+        // the bisection loop.
+        let mut side_sinks = [tree.sinks_under(tops[0]), tree.sinks_under(tops[1])];
+        side_sinks[0].sort_unstable();
+        side_sinks[1].sort_unstable();
+        let diff_at = |tree: &mut ClockTree, report: &mut TimingReport, r: f64| -> f64 {
             tree.set_wire_to_parent(tops[0], r * total);
             tree.set_wire_to_parent(tops[1], (1.0 - r) * total);
             tree.set_location(merge, v1.lerp(v2, r));
-            let rep = engine.evaluate_subtree(
+            engine.evaluate_subtree_into(
                 tree,
                 merge,
                 self.options.virtual_driver,
                 self.options.slew_target,
+                report,
             );
-            let arr = rep.arrival_map();
-            let max_of = |ids: &[TreeNodeId]| {
-                ids.iter()
-                    .map(|id| arr[id])
-                    .fold(f64::NEG_INFINITY, f64::max)
-            };
-            max_of(&side_sinks[0]) - max_of(&side_sinks[1])
+            let mut side_max = [f64::NEG_INFINITY; 2];
+            for &(id, t) in &report.sink_arrivals {
+                if side_sinks[0].binary_search(&id).is_ok() {
+                    side_max[0] = side_max[0].max(t);
+                } else if side_sinks[1].binary_search(&id).is_ok() {
+                    side_max[1] = side_max[1].max(t);
+                }
+            }
+            side_max[0] - side_max[1]
         };
 
         // diff(r) grows with r (more wire on side 1). Establish a bracket
@@ -460,22 +474,22 @@ impl<'a> MergeRouting<'a> {
             }
         };
         let (mut lo, mut hi) = (r_lo, r_hi);
-        let d_lo = diff_at(tree, lo);
-        let d_hi = diff_at(tree, hi);
+        let d_lo = diff_at(tree, report, lo);
+        let d_hi = diff_at(tree, report, hi);
         if d_lo >= 0.0 {
             // Side 1 slower even with all wire on side 2: stay at lo.
-            let _ = diff_at(tree, lo);
+            let _ = diff_at(tree, report, lo);
             return d_lo.abs();
         }
         if d_hi <= 0.0 {
-            let _ = diff_at(tree, hi);
+            let _ = diff_at(tree, report, hi);
             return d_hi.abs();
         }
         let mut best_r = 0.5;
         let mut best_diff = f64::INFINITY;
         for _ in 0..self.options.binary_search_iters {
             let mid = 0.5 * (lo + hi);
-            let d = diff_at(tree, mid);
+            let d = diff_at(tree, report, mid);
             if d.abs() < best_diff {
                 best_diff = d.abs();
                 best_r = mid;
@@ -489,7 +503,7 @@ impl<'a> MergeRouting<'a> {
                 hi = mid;
             }
         }
-        let final_diff = diff_at(tree, best_r);
+        let final_diff = diff_at(tree, report, best_r);
         final_diff.abs()
     }
 }

@@ -140,6 +140,28 @@ impl<'a> SynthesisPipeline<'a> {
     /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
     /// the slew target.
     pub fn run(&self, instance: &Instance) -> Result<PipelineOutput, CtsError> {
+        self.run_with(instance, &mut MergeScratch::new())
+    }
+
+    /// [`SynthesisPipeline::run`] with caller-provided merge scratch.
+    ///
+    /// On the serial path (`threads <= 1`, or levels with a single pair)
+    /// every merge runs through `scratch`, so a caller synthesizing many
+    /// instances — the batch driver's per-shard workers — reuses the maze
+    /// label stores, grid-dimension cache, and segment-limit cache across
+    /// instances instead of re-deriving them per level. Parallel levels
+    /// hand each pool worker its own scratch, as before. The scratch never
+    /// affects results; it belongs to one (library, options) context.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target.
+    pub fn run_with(
+        &self,
+        instance: &Instance,
+        scratch: &mut MergeScratch,
+    ) -> Result<PipelineOutput, CtsError> {
         let ctx = self.ctx;
         let mut tree = ClockTree::new();
         let mut active: Vec<TreeNodeId> = instance
@@ -156,7 +178,7 @@ impl<'a> SynthesisPipeline<'a> {
         while active.len() > 1 {
             levels += 1;
             let matching = self.match_level(&tree, &active, centroid)?;
-            let stats = self.merge_level(&mut tree, &mut active, &matching, levels)?;
+            let stats = self.merge_level(&mut tree, &mut active, &matching, levels, scratch)?;
             flippings += stats.flippings;
             level_stats.push(stats);
         }
@@ -222,6 +244,7 @@ impl<'a> SynthesisPipeline<'a> {
         active: &mut Vec<TreeNodeId>,
         matching: &Matching,
         level: usize,
+        scratch: &mut MergeScratch,
     ) -> Result<LevelStats, CtsError> {
         let ctx = self.ctx;
         let jobs: Vec<(TreeNodeId, TreeNodeId)> = matching
@@ -233,23 +256,38 @@ impl<'a> SynthesisPipeline<'a> {
         // Stage 2 + 3a: merge-route each pair (with its H-correction) on a
         // detached forest. Workers only read the shared arena during
         // extraction; all mutation happens on the private forest.
+        let merge_one = |scratch: &mut MergeScratch,
+                         tree: &ClockTree,
+                         &(a, b): &(TreeNodeId, TreeNodeId)|
+         -> Result<PairMerge, CtsError> {
+            let (mut forest, map) = tree.extract_forest(&[a, b]);
+            let la = ClockTree::local_id(&map, a);
+            let lb = ClockTree::local_id(&map, b);
+            let out =
+                merge_with_correction_with(ctx.lib, ctx.options, scratch, &mut forest, la, lb)?;
+            Ok(PairMerge {
+                root: out.root,
+                forest,
+                map,
+                flipped: out.flipped,
+                skew_estimate: out.skew_estimate,
+                latency_estimate: out.latency_estimate,
+            })
+        };
         let merged: Vec<PairMerge> = {
             let tree: &ClockTree = tree;
-            run_parallel_with(ctx.threads, &jobs, MergeScratch::new, |scratch, &(a, b)| {
-                let (mut forest, map) = tree.extract_forest(&[a, b]);
-                let la = ClockTree::local_id(&map, a);
-                let lb = ClockTree::local_id(&map, b);
-                let out =
-                    merge_with_correction_with(ctx.lib, ctx.options, scratch, &mut forest, la, lb)?;
-                Ok::<_, CtsError>(PairMerge {
-                    root: out.root,
-                    forest,
-                    map,
-                    flipped: out.flipped,
-                    skew_estimate: out.skew_estimate,
-                    latency_estimate: out.latency_estimate,
-                })
-            })?
+            if ctx.threads <= 1 || jobs.len() <= 1 {
+                // Serial path: run through the caller's scratch, which then
+                // persists across levels (and across the instances a batch
+                // shard processes).
+                jobs.iter()
+                    .map(|job| merge_one(scratch, tree, job))
+                    .collect::<Result<_, _>>()?
+            } else {
+                run_parallel_with(ctx.threads, &jobs, MergeScratch::new, |scratch, job| {
+                    merge_one(scratch, tree, job)
+                })?
+            }
         };
 
         // Stage 3b: graft in pair order — arena layout (and therefore the

@@ -40,7 +40,7 @@ impl Default for VerifyOptions {
 }
 
 /// SPICE-verified timing of a clock tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerifiedTiming {
     /// Largest 10–90 % slew observed at any node of the tree (s).
     pub worst_slew: f64,

@@ -55,9 +55,10 @@ pub use cts_spice as spice;
 pub use cts_timing as timing;
 
 pub use cts_core::{
-    verify_tree, ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats,
-    NodeKind, Sink, SynthesisContext, SynthesisPipeline, Synthesizer, TimingEngine, TimingReport,
-    TreeNodeId, VerifiedTiming, VerifyOptions,
+    verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary, ClockTree,
+    CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats, NodeKind, Sink,
+    SynthesisContext, SynthesisPipeline, Synthesizer, TimingEngine, TimingReport, TreeNodeId,
+    VerifiedTiming, VerifyOptions,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{BufferId, DelaySlewLibrary, Load};

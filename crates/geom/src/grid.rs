@@ -81,17 +81,35 @@ impl RoutingGrid {
     ///
     /// Panics if `r_default` is zero or the points are non-finite.
     pub fn between(a: Point, b: Point, r_default: u32) -> RoutingGrid {
-        assert!(r_default > 0, "grid resolution must be positive");
+        let (cols, rows) = RoutingGrid::dims_between(a, b, r_default);
+        RoutingGrid::between_with_dims(a, b, cols, rows)
+    }
+
+    /// The column/row counts [`RoutingGrid::between`] would pick for this
+    /// pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_default` is zero or the points are non-finite.
+    pub fn dims_between(a: Point, b: Point, r_default: u32) -> (u32, u32) {
         assert!(
             a.is_finite() && b.is_finite(),
             "grid corners must be finite"
         );
-        let bb = Rect::from_corners(a, b);
-        // Degenerate boxes (coincident or axis-aligned points) still need an
-        // area to route in; give them a minimal square around the centroid.
-        let span = bb.longer_dim().max(1.0);
-        let region = bb.expand(0.10 * span);
+        RoutingGrid::dims_for_region(RoutingGrid::region_between(a, b), r_default)
+    }
 
+    /// The dynamic-resolution rule alone: the column/row counts for a
+    /// region of the given dimensions. A pure function of the region's
+    /// **width and height** (exact `f64` values) and `r_default` — which is
+    /// what makes the counts cacheable across the many similar merges of a
+    /// topology level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_default` is zero.
+    pub fn dims_for_region(region: Rect, r_default: u32) -> (u32, u32) {
+        assert!(r_default > 0, "grid resolution must be positive");
         let mut cols = r_default;
         let mut rows = r_default;
         while region.width() / cols as f64 > MAX_CELL_PITCH_UM {
@@ -100,7 +118,40 @@ impl RoutingGrid {
         while region.height() / rows as f64 > MAX_CELL_PITCH_UM {
             rows *= 2;
         }
-        RoutingGrid::over_region(region, cols, rows)
+        (cols, rows)
+    }
+
+    /// [`RoutingGrid::between`] with precomputed column/row counts (from
+    /// [`RoutingGrid::dims_between`], possibly cached by the caller). For
+    /// matching dims the result is identical — bit for bit — to calling
+    /// `between` directly: the region, pitches, and cell centers are the
+    /// same arithmetic either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols`/`rows` is zero or the points are non-finite.
+    pub fn between_with_dims(a: Point, b: Point, cols: u32, rows: u32) -> RoutingGrid {
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "grid corners must be finite"
+        );
+        RoutingGrid::over_region(RoutingGrid::region_between(a, b), cols, rows)
+    }
+
+    /// The routed region between two points: their bounding box expanded by
+    /// 10% of its longer dimension (at least one pitch) so slight detours
+    /// around the box remain representable. Degenerate boxes (coincident or
+    /// axis-aligned points) still need an area to route in and get a
+    /// minimal square around the centroid.
+    ///
+    /// Note for dimension caching: the expanded region's width/height are
+    /// *not* a pure function of the pair's span — the expansion arithmetic
+    /// rounds against the absolute coordinates — so cache keys must use the
+    /// region dimensions themselves, not the raw span.
+    pub fn region_between(a: Point, b: Point) -> Rect {
+        let bb = Rect::from_corners(a, b);
+        let span = bb.longer_dim().max(1.0);
+        bb.expand(0.10 * span)
     }
 
     /// Builds a grid with explicit column/row counts over `region`.
@@ -285,6 +336,30 @@ mod tests {
         for m in n {
             let d = (m.col as i64 - 2).abs() + (m.row as i64 - 2).abs();
             assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn cached_dims_reproduce_between_exactly() {
+        // The grid cache in the maze scratch rebuilds grids from cached
+        // (cols, rows); the rebuilt grid must be bit-identical to a fresh
+        // `between` call for the synthesis flow to stay deterministic.
+        let pairs = [
+            (Point::new(13.5, -7.25), Point::new(913.5, 442.75)),
+            (Point::ORIGIN, Point::new(20_000.0, 500.0)),
+            (Point::new(5.0, 5.0), Point::new(5.0, 5.0)),
+            (Point::new(-300.0, 90.0), Point::new(120.0, 90.0)),
+        ];
+        for (a, b) in pairs {
+            let fresh = RoutingGrid::between(a, b, 45);
+            let (cols, rows) = RoutingGrid::dims_between(a, b, 45);
+            let rebuilt = RoutingGrid::between_with_dims(a, b, cols, rows);
+            assert_eq!(fresh, rebuilt);
+            // `dims_for_region` keyed by the exact region dimensions is the
+            // cacheable decomposition of `between`.
+            let region = RoutingGrid::region_between(a, b);
+            assert_eq!((cols, rows), RoutingGrid::dims_for_region(region, 45));
+            assert_eq!(fresh.region(), region);
         }
     }
 

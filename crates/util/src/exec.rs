@@ -8,7 +8,8 @@
 //! to a plain serial loop.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Available hardware parallelism, with a serial fallback.
 pub fn available_threads() -> usize {
@@ -123,6 +124,181 @@ pub fn run_parallel_with<J: Sync, R: Send, E: Send, S>(
     Ok(out)
 }
 
+/// Two-stage producer/consumer fan-out: every job runs stage 1 (`f1`,
+/// e.g. synthesis) and then stage 2 (`f2`, e.g. SPICE verification) on its
+/// stage-1 output, with stage-2 work of finished jobs overlapping stage-1
+/// work of later jobs on the same worker set.
+///
+/// Guarantees, matching [`run_parallel_with`]:
+///
+/// * **Order-preserving** — `out[i]` is `f2(f1(jobs[i]))`, independent of
+///   scheduling; with one worker (or one job) both stages run fused and
+///   inline on the caller's thread.
+/// * **First-error short-circuit** — the returned `Err` is the one a fused
+///   serial loop would surface: the failing job with the smallest index
+///   among jobs whose predecessors all succeed. On a failure, stage-1
+///   claiming stops for later indices, but *earlier* jobs still complete
+///   both stages (one of them may hold an even earlier error).
+/// * **Per-worker scratch** — each worker owns one `S1` and one `S2` for
+///   every job it processes in that stage.
+///
+/// Scheduling policy: workers prefer draining pending stage-2 work
+/// (smallest job index first) over claiming new stage-1 jobs, which keeps
+/// the number of stage-1 outputs alive at once bounded by the worker count
+/// plus the queue the workers cannot keep up with.
+pub fn run_two_stage<J: Sync, M: Send, R: Send, E: Send, S1, S2>(
+    threads: usize,
+    jobs: &[J],
+    init1: impl Fn() -> S1 + Sync,
+    f1: impl Fn(&mut S1, &J) -> Result<M, E> + Sync,
+    init2: impl Fn() -> S2 + Sync,
+    f2: impl Fn(&mut S2, M, &J) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    const MAX_WORKERS: usize = 1024;
+    let workers = threads.max(1).min(jobs.len().max(1)).min(MAX_WORKERS);
+    if workers <= 1 {
+        // Fused serial loop: stage 2 of job i runs right after its stage 1,
+        // which is the reference behavior every parallel schedule must
+        // reproduce result-for-result.
+        let mut s1 = init1();
+        let mut s2 = init2();
+        return jobs
+            .iter()
+            .map(|j| f1(&mut s1, j).and_then(|m| f2(&mut s2, m, j)))
+            .collect();
+    }
+
+    struct Shared<M, R, E> {
+        /// Stage-1 outputs awaiting stage 2, as (job index, output).
+        ready: Vec<(usize, M)>,
+        /// Jobs fully accounted for (finished stage 2, errored, or skipped
+        /// behind an error). The run ends when this reaches `jobs.len()`.
+        done: usize,
+        results: Vec<Option<Result<R, E>>>,
+    }
+    let shared = Mutex::new(Shared {
+        ready: Vec::new(),
+        done: 0,
+        results: (0..jobs.len()).map(|_| None).collect(),
+    });
+    let wake = Condvar::new();
+    let next = AtomicUsize::new(0);
+    // Smallest job index that has errored so far (`usize::MAX` = none).
+    // Jobs at or behind it are skipped; jobs *before* it still run both
+    // stages, because one of them may surface an even earlier error — the
+    // one the serial loop would have reported.
+    let min_error = AtomicUsize::new(usize::MAX);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut s1 = init1();
+                let mut s2 = init2();
+                loop {
+                    enum Task<M> {
+                        Produce(usize),
+                        Consume(usize, M),
+                    }
+                    let task = {
+                        let mut st = shared.lock().expect("two-stage state poisoned");
+                        if st.done == jobs.len() {
+                            break;
+                        }
+                        // Prefer the oldest finished job's stage 2.
+                        let oldest = st
+                            .ready
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(i, _))| i)
+                            .map(|(pos, _)| pos);
+                        if let Some(pos) = oldest {
+                            let (i, m) = st.ready.swap_remove(pos);
+                            Task::Consume(i, m)
+                        } else {
+                            drop(st);
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i < jobs.len() {
+                                Task::Produce(i)
+                            } else {
+                                // Nothing to claim: wait for stage-1 outputs
+                                // from other workers or for completion. The
+                                // timeout guards against missed wake-ups.
+                                let st = shared.lock().expect("two-stage state poisoned");
+                                if st.done == jobs.len() {
+                                    break;
+                                }
+                                if st.ready.is_empty() {
+                                    let _ = wake
+                                        .wait_timeout(st, Duration::from_millis(20))
+                                        .expect("two-stage state poisoned");
+                                }
+                                continue;
+                            }
+                        }
+                    };
+                    match task {
+                        Task::Produce(i) => {
+                            if i >= min_error.load(Ordering::Relaxed) {
+                                let mut st = shared.lock().expect("two-stage state poisoned");
+                                st.done += 1;
+                                wake.notify_all();
+                                continue;
+                            }
+                            match f1(&mut s1, &jobs[i]) {
+                                Ok(m) => {
+                                    let mut st = shared.lock().expect("two-stage state poisoned");
+                                    st.ready.push((i, m));
+                                    wake.notify_all();
+                                }
+                                Err(e) => {
+                                    min_error.fetch_min(i, Ordering::Relaxed);
+                                    let mut st = shared.lock().expect("two-stage state poisoned");
+                                    st.results[i] = Some(Err(e));
+                                    st.done += 1;
+                                    wake.notify_all();
+                                }
+                            }
+                        }
+                        Task::Consume(i, m) => {
+                            if i > min_error.load(Ordering::Relaxed) {
+                                // Behind a known error: drop the output.
+                                let mut st = shared.lock().expect("two-stage state poisoned");
+                                st.done += 1;
+                                wake.notify_all();
+                                continue;
+                            }
+                            let r = f2(&mut s2, m, &jobs[i]);
+                            if r.is_err() {
+                                min_error.fetch_min(i, Ordering::Relaxed);
+                            }
+                            let mut st = shared.lock().expect("two-stage state poisoned");
+                            st.results[i] = Some(r);
+                            st.done += 1;
+                            wake.notify_all();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let slots = shared
+        .into_inner()
+        .expect("two-stage state poisoned")
+        .results;
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            // All jobs before `min_error` completed both stages, so the
+            // first filled error in index order is the serial loop's error.
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("unfilled slot without a preceding error"),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +384,156 @@ mod tests {
     #[test]
     fn empty_jobs() {
         let out: Vec<u32> = run_parallel(4, &[] as &[u32], |&j| Ok::<_, ()>(j)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn two_stage_preserves_order() {
+        let jobs: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = run_two_stage(
+                threads,
+                &jobs,
+                || (),
+                |(), &j| Ok::<_, ()>(j * 2),
+                || (),
+                |(), m, &j| Ok::<_, ()>(m + j),
+            )
+            .unwrap();
+            assert_eq!(out, jobs.iter().map(|j| j * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn two_stage_overlaps_stages() {
+        // With several workers, some stage-2 call must start before the
+        // last stage-1 call finishes — that is the whole point. Track the
+        // maximum number of stage-1 jobs still pending when any stage-2
+        // job runs.
+        let jobs: Vec<usize> = (0..32).collect();
+        let produced = AtomicUsize::new(0);
+        let overlap_seen = AtomicBool::new(false);
+        run_two_stage(
+            4,
+            &jobs,
+            || (),
+            |(), &j| {
+                std::thread::sleep(Duration::from_micros(200));
+                produced.fetch_add(1, Ordering::Relaxed);
+                Ok::<_, ()>(j)
+            },
+            || (),
+            |(), m, _| {
+                if produced.load(Ordering::Relaxed) < jobs.len() {
+                    overlap_seen.store(true, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                Ok::<_, ()>(m)
+            },
+        )
+        .unwrap();
+        assert!(
+            overlap_seen.load(Ordering::Relaxed),
+            "no stage-2 job ran while stage-1 work remained"
+        );
+    }
+
+    #[test]
+    fn two_stage_first_error_in_job_order_wins() {
+        let jobs: Vec<usize> = (0..64).collect();
+        // Job 20 fails in stage 1, job 10 fails in stage 2: the fused
+        // serial loop would surface job 10's error first.
+        let err = run_two_stage(
+            4,
+            &jobs,
+            || (),
+            |(), &j| if j == 20 { Err(1000 + j) } else { Ok(j) },
+            || (),
+            |(), m, _| if m == 10 { Err(2000 + m) } else { Ok(m) },
+        );
+        assert_eq!(err, Err(2010));
+    }
+
+    #[test]
+    fn two_stage_error_short_circuits_later_jobs() {
+        let jobs: Vec<usize> = (0..10_000).collect();
+        let executed = AtomicUsize::new(0);
+        let err = run_two_stage(
+            4,
+            &jobs,
+            || (),
+            |(), &j| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if j == 3 {
+                    Err(j)
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                    Ok(j)
+                }
+            },
+            || (),
+            |(), m, _| Ok::<_, usize>(m),
+        );
+        assert_eq!(err, Err(3));
+        assert!(
+            executed.load(Ordering::Relaxed) < jobs.len() / 2,
+            "ran {} of {} stage-1 jobs after an early error",
+            executed.load(Ordering::Relaxed),
+            jobs.len()
+        );
+    }
+
+    #[test]
+    fn two_stage_scratch_is_reused_per_stage() {
+        let jobs: Vec<usize> = (0..40).collect();
+        let out = run_two_stage(
+            3,
+            &jobs,
+            Vec::<usize>::new,
+            |scratch, &j| {
+                scratch.push(j);
+                Ok::<_, ()>(scratch.len())
+            },
+            || 0usize,
+            |count, m, _| {
+                *count += 1;
+                Ok::<_, ()>((m, *count))
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 40);
+        // Both scratches grow monotonically per worker.
+        assert!(out.iter().all(|&(a, b)| a >= 1 && b >= 1));
+    }
+
+    #[test]
+    fn two_stage_serial_matches_parallel() {
+        let jobs: Vec<usize> = (0..53).collect();
+        let run = |threads| {
+            run_two_stage(
+                threads,
+                &jobs,
+                || (),
+                |(), &j| Ok::<_, ()>(j * j),
+                || (),
+                |(), m, &j| Ok::<_, ()>(m - j),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn two_stage_empty_jobs() {
+        let out: Vec<u32> = run_two_stage(
+            4,
+            &[] as &[u32],
+            || (),
+            |(), &j| Ok::<_, ()>(j),
+            || (),
+            |(), m, _| Ok::<_, ()>(m),
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 }

@@ -1,9 +1,10 @@
 //! Shared infrastructure for the CTS workspace.
 //!
 //! The single export that matters is [`exec`]: an order-preserving scoped
-//! thread pool used by both the characterization sweeps (`cts-timing`) and
-//! the per-level parallel merge stage of the synthesis pipeline
-//! (`cts-core`). It used to live as a private helper inside
+//! thread pool used by the characterization sweeps (`cts-timing`), the
+//! per-level parallel merge stage of the synthesis pipeline (`cts-core`),
+//! and — through [`exec::run_two_stage`] — the batch driver's overlapped
+//! synthesize/verify execution. It used to live as a private helper inside
 //! `cts_timing::characterize`; promoting it here lets every crate fan out
 //! embarrassingly parallel work without re-inventing the worker loop.
 
@@ -12,4 +13,6 @@
 
 pub mod exec;
 
-pub use exec::{available_threads, resolve_threads, run_parallel, run_parallel_with};
+pub use exec::{
+    available_threads, resolve_threads, run_parallel, run_parallel_with, run_two_stage,
+};

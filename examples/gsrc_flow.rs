@@ -1,24 +1,31 @@
-//! GSRC flow: synthesize one GSRC bookshelf instance end to end and print
-//! a Table 5.1-style row (worst slew / skew / max latency, SPICE-verified).
+//! GSRC flow: synthesize GSRC bookshelf instances through the sharded
+//! batch driver and print Table 5.1-style rows (worst slew / skew / max
+//! latency, SPICE-verified).
 //!
-//! Run with (r1 by default; pass r1..r5):
+//! Run with (r1 by default; pass r1..r5, or `all` for the whole suite):
 //! ```sh
-//! cargo run --release -p cts --example gsrc_flow -- r2
+//! cargo run --release --example gsrc_flow -- r2
+//! cargo run --release --example gsrc_flow -- all
 //! ```
 
-use cts::benchmarks::{generate_gsrc, GsrcBenchmark};
+use cts::benchmarks::{generate_gsrc, gsrc_suite, GsrcBenchmark};
 use cts::spice::units::{NS, PS};
-use cts::{CtsOptions, Synthesizer, Technology, VerifyOptions};
+use cts::{BatchOptions, BatchRunner, CtsOptions, Instance, Technology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "r1".into());
-    let bench = GsrcBenchmark::all()
-        .into_iter()
-        .find(|b| b.name() == which)
-        .ok_or_else(|| format!("unknown GSRC benchmark '{which}' (use r1..r5)"))?;
-
-    let instance = generate_gsrc(bench);
-    println!("instance: {instance}");
+    let suite: Vec<Instance> = if which == "all" {
+        gsrc_suite()
+    } else {
+        let bench = GsrcBenchmark::all()
+            .into_iter()
+            .find(|b| b.name() == which)
+            .ok_or_else(|| format!("unknown GSRC benchmark '{which}' (use r1..r5 or all)"))?;
+        vec![generate_gsrc(bench)]
+    };
+    for instance in &suite {
+        println!("instance: {instance}");
+    }
 
     let tech = Technology::nominal_45nm();
     let library = cts::timing::load_or_characterize(
@@ -26,35 +33,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &tech,
         &cts::timing::CharacterizeConfig::fast(),
     )?;
-    let synth = Synthesizer::new(&library, CtsOptions::default());
-
+    // Even a single instance goes through the batch driver — it is the one
+    // entry point for 1..N instances, and with `all` the suite shards
+    // across the cores with verification overlapped. Multi-instance runs
+    // parallelize on the shard axis (per-instance merge parallelism on top
+    // would oversubscribe the cores); a lone instance keeps the per-level
+    // parallel merges instead.
+    let mut options = CtsOptions::default();
+    if suite.len() > 1 {
+        options.threads = 1;
+    }
+    let runner = BatchRunner::new(&library, &tech, options, BatchOptions::default());
     let t0 = std::time::Instant::now();
-    let result = synth.synthesize(&instance)?;
+    let out = runner.run(&suite)?;
     println!(
-        "synthesized in {:.1} s: {} buffers, {:.1} mm wire, {} levels",
+        "batch of {} synthesized+verified in {:.1} s: {} buffers, {:.1} mm wire",
+        out.summary.instances,
         t0.elapsed().as_secs_f64(),
-        result.buffers,
-        result.wirelength_um / 1000.0,
-        result.levels
+        out.summary.buffers,
+        out.summary.wirelength_um / 1000.0
     );
 
-    let verified = cts::verify_tree(
-        &result.tree,
-        result.source,
-        &tech,
-        &VerifyOptions::default(),
-    )?;
     println!(
         "\n{:<6} {:>8} {:>12} {:>10} {:>14}",
         "bench", "#sinks", "worst slew", "skew", "max latency"
     );
-    println!(
-        "{:<6} {:>8} {:>9.1} ps {:>7.1} ps {:>11.2} ns",
-        bench.name(),
-        instance.sinks().len(),
-        verified.worst_slew / PS,
-        verified.skew / PS,
-        verified.max_latency / NS
-    );
+    for item in &out.items {
+        println!(
+            "{:<6} {:>8} {:>9.1} ps {:>7.1} ps {:>11.2} ns",
+            item.name,
+            item.sinks,
+            item.worst_slew() / PS,
+            item.skew() / PS,
+            item.max_latency() / NS
+        );
+    }
     Ok(())
 }

@@ -1,27 +1,32 @@
-//! ISPD'09 flow: synthesize one ISPD clock-network instance and check the
-//! paper's §5.1 observation that skew stays within ~3 % of max latency.
+//! ISPD'09 flow: synthesize ISPD clock-network instances through the
+//! sharded batch driver and check the paper's §5.1 observation that skew
+//! stays within ~3 % of max latency.
 //!
-//! Run with (f22 by default; pass f11, f12, f21, f22, f31, f32, fnb1):
+//! Run with (f22 by default; pass f11, f12, f21, f22, f31, f32, fnb1, or
+//! `all` for the whole suite):
 //! ```sh
-//! cargo run --release -p cts --example ispd_flow -- f31
+//! cargo run --release --example ispd_flow -- f31
+//! cargo run --release --example ispd_flow -- all
 //! ```
 
-use cts::benchmarks::{generate_ispd, IspdBenchmark};
+use cts::benchmarks::{generate_ispd, ispd_suite, IspdBenchmark};
 use cts::spice::units::{NS, PS};
-use cts::{CtsOptions, Synthesizer, Technology, VerifyOptions};
+use cts::{BatchOptions, BatchRunner, CtsOptions, Instance, Technology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "f22".into());
-    let bench = IspdBenchmark::all()
-        .into_iter()
-        .find(|b| b.name() == which)
-        .ok_or_else(|| format!("unknown ISPD benchmark '{which}'"))?;
-
-    let instance = generate_ispd(bench);
-    println!(
-        "instance: {instance} (die {:.0} mm)",
-        bench.die_um() / 1000.0
-    );
+    let suite: Vec<Instance> = if which == "all" {
+        ispd_suite()
+    } else {
+        let bench = IspdBenchmark::all()
+            .into_iter()
+            .find(|b| b.name() == which)
+            .ok_or_else(|| format!("unknown ISPD benchmark '{which}' (or pass `all`)"))?;
+        vec![generate_ispd(bench)]
+    };
+    for instance in &suite {
+        println!("instance: {instance}");
+    }
 
     let tech = Technology::nominal_45nm();
     let library = cts::timing::load_or_characterize(
@@ -29,28 +34,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &tech,
         &cts::timing::CharacterizeConfig::fast(),
     )?;
-    let synth = Synthesizer::new(&library, CtsOptions::default());
-    let result = synth.synthesize(&instance)?;
-    let verified = cts::verify_tree(
-        &result.tree,
-        result.source,
-        &tech,
-        &VerifyOptions::default(),
-    )?;
+    // Multi-instance runs parallelize on the shard axis; a lone instance
+    // keeps the per-level parallel merges instead.
+    let mut options = CtsOptions::default();
+    if suite.len() > 1 {
+        options.threads = 1;
+    }
+    let runner = BatchRunner::new(&library, &tech, options, BatchOptions::default());
+    let out = runner.run(&suite)?;
 
-    let pct = 100.0 * verified.skew / verified.max_latency;
-    println!(
-        "{}: worst slew {:.1} ps | skew {:.1} ps | latency {:.2} ns | skew/latency {:.1} %",
-        bench.name(),
-        verified.worst_slew / PS,
-        verified.skew / PS,
-        verified.max_latency / NS,
-        pct
-    );
-    if verified.worst_slew <= 100.0 * PS {
-        println!("slew limit honored ✓");
-    } else {
-        println!("slew limit EXCEEDED ✗");
+    for item in &out.items {
+        let pct = 100.0 * item.skew() / item.max_latency();
+        println!(
+            "{}: worst slew {:.1} ps | skew {:.1} ps | latency {:.2} ns | skew/latency {:.1} %",
+            item.name,
+            item.worst_slew() / PS,
+            item.skew() / PS,
+            item.max_latency() / NS,
+            pct
+        );
+        if item.worst_slew() <= 100.0 * PS {
+            println!("slew limit honored ✓");
+        } else {
+            println!("slew limit EXCEEDED ✗");
+        }
     }
     Ok(())
 }

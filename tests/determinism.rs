@@ -2,7 +2,9 @@
 //! serialized artifacts — byte for byte.
 
 use cts::benchmarks::{bookshelf, generate_gsrc, generate_ispd, GsrcBenchmark, IspdBenchmark};
-use cts::{CtsOptions, Synthesizer};
+use cts::{
+    BatchOptions, BatchRunner, CtsOptions, Instance, Synthesizer, Technology, VerifyOptions,
+};
 use cts_timing::fast_library;
 
 #[test]
@@ -72,6 +74,66 @@ fn thread_count_does_not_change_results() {
         .synthesize(&instance)
         .expect("auto-threaded synthesis");
     assert_eq!(a.tree, c.tree);
+}
+
+/// The batch driver's contract: a multi-instance batch produces per-
+/// instance `CtsResult`s byte-identical to serial `Synthesizer::synthesize`
+/// calls — for every shard count and with verification overlap on or off.
+/// Sharding, scratch reuse, and the two-stage scheduling change wall time
+/// only.
+#[test]
+fn batch_shard_count_and_overlap_do_not_change_results() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let suite: Vec<Instance> = vec![
+        cts::benchmarks::generate_custom("b0", 9, 2800.0, 11),
+        cts::benchmarks::generate_custom("b1", 12, 3600.0, 12),
+        cts::benchmarks::generate_scaled_gsrc(GsrcBenchmark::R1, 10),
+    ];
+    let mut options = CtsOptions::default();
+    options.threads = 1;
+
+    // Serial references: the plain per-instance loop the batch must match.
+    let synth = Synthesizer::new(lib, options.clone());
+    let references: Vec<_> = suite
+        .iter()
+        .map(|inst| {
+            let r = synth.synthesize(inst).expect("serial synthesis");
+            let v = cts::verify_tree(&r.tree, r.source, &tech, &VerifyOptions::default())
+                .expect("serial verification");
+            (r, v)
+        })
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        for overlap_verify in [true, false] {
+            let mut batch = BatchOptions::default();
+            batch.shards = shards;
+            batch.overlap_verify = overlap_verify;
+            let runner = BatchRunner::new(lib, &tech, options.clone(), batch);
+            let out = runner
+                .run(&suite)
+                .unwrap_or_else(|e| panic!("batch shards={shards}: {e}"));
+            assert_eq!(out.items.len(), suite.len());
+            for (item, (reference, verified)) in out.items.iter().zip(&references) {
+                let ctxt = format!(
+                    "{} with shards={shards}, overlap_verify={overlap_verify}",
+                    item.name
+                );
+                assert_eq!(item.result.tree, reference.tree, "{ctxt}: tree drift");
+                assert_eq!(item.result.source, reference.source, "{ctxt}");
+                assert_eq!(item.result.report, reference.report, "{ctxt}");
+                assert_eq!(item.result.buffers, reference.buffers, "{ctxt}");
+                assert_eq!(item.result.wirelength_um, reference.wirelength_um, "{ctxt}");
+                assert_eq!(item.result.level_stats, reference.level_stats, "{ctxt}");
+                assert_eq!(
+                    item.verified.as_ref().expect("verification enabled"),
+                    verified,
+                    "{ctxt}: SPICE numbers drift"
+                );
+            }
+        }
+    }
 }
 
 #[test]
