@@ -12,10 +12,8 @@ use cts::spice::units::PS;
 use cts::{CtsOptions, Technology};
 use cts_bench::{full_run_requested, library, print_flow_header, print_flow_row, run_suite};
 
-/// Paper Table 5.1: (bench, sinks, worst slew ps, skew ps, latency ns,
-/// skew of [6], skew of [8], skew of [16]).
-/// One paper row: (bench, sinks, worst slew ps, skew ps, latency ns,
-/// skew of [6], skew of [8], skew of [16]).
+/// One paper row of Table 5.1: (bench, sinks, worst slew ps, skew ps,
+/// latency ns, skew of \[6\], skew of \[8\], skew of \[16\]).
 type PaperRow = (&'static str, usize, f64, f64, f64, f64, f64, f64);
 
 const PAPER: [PaperRow; 5] = [

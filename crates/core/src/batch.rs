@@ -142,7 +142,12 @@ pub struct BatchSummary {
 }
 
 impl BatchSummary {
-    fn fold(items: &[BatchItem]) -> BatchSummary {
+    /// Folds per-instance rows into the suite aggregation. [`BatchRunner`]
+    /// does this for its own output; it is public so consumers that
+    /// *stream* items — the synthesis service's per-request results — can
+    /// produce the same Table 5.1-style summary once their stream is
+    /// collected.
+    pub fn fold(items: &[BatchItem]) -> BatchSummary {
         let mut s = BatchSummary::default();
         for item in items {
             s.instances += 1;
@@ -176,6 +181,17 @@ impl BatchSummary {
         }
         s
     }
+}
+
+/// A finished synthesis stage awaiting its verification stage — the value
+/// that travels between [`BatchRunner::synth_stage`] and
+/// [`BatchRunner::finish_stage`].
+#[derive(Debug, Clone)]
+pub struct StagedSynthesis {
+    /// The synthesized tree and engine-estimated metrics.
+    pub result: CtsResult,
+    /// Wall time the synthesis stage took (s).
+    pub synth_seconds: f64,
 }
 
 /// Output of a batch run: per-instance rows in **input order** plus the
@@ -249,6 +265,66 @@ impl<'a> BatchRunner<'a> {
         &self.batch
     }
 
+    /// The synthesis stage for one instance: builds the tree with the
+    /// shared library (engine-estimated metrics only) and times the stage.
+    ///
+    /// This is the exact stage-1 closure [`BatchRunner::run`] schedules —
+    /// public so the long-running [`crate::service::SynthesisService`] can
+    /// run *the same code* per request, which is what makes service
+    /// results byte-identical to batch and serial results.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] / [`CtsError::SlewUnachievable`] from the
+    /// synthesis flow.
+    pub fn synth_stage(
+        &self,
+        scratch: &mut MergeScratch,
+        instance: &Instance,
+    ) -> Result<StagedSynthesis, CtsError> {
+        let t0 = Instant::now();
+        let result = self.synth.synthesize_unverified_with(instance, scratch)?;
+        Ok(StagedSynthesis {
+            result,
+            synth_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The finishing stage for one instance: SPICE verification (when
+    /// [`BatchOptions::verify`] is on) and row assembly. Stage 2 of the
+    /// overlapped schedule; see [`BatchRunner::synth_stage`].
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::Verify`] if the tree fails to simulate.
+    pub fn finish_stage(
+        &self,
+        staged: StagedSynthesis,
+        instance: &Instance,
+    ) -> Result<BatchItem, CtsError> {
+        let StagedSynthesis {
+            result,
+            synth_seconds,
+        } = staged;
+        let (verified, verify_seconds) = if self.batch.verify {
+            let t0 = Instant::now();
+            let v = self
+                .synth
+                .verify(&result, self.tech, &self.batch.verify_options)?;
+            (Some(v), t0.elapsed().as_secs_f64())
+        } else {
+            (None, 0.0)
+        };
+        Ok(BatchItem {
+            name: instance.name().to_string(),
+            sinks: instance.sinks().len(),
+            result,
+            verified,
+            synth_seconds,
+            verify_seconds,
+        })
+    }
+
     /// Runs the batch and returns per-instance rows (input order) plus the
     /// suite summary.
     ///
@@ -259,35 +335,6 @@ impl<'a> BatchRunner<'a> {
     /// out of synthesis, [`CtsError::Verify`] out of verification.
     pub fn run(&self, instances: &[Instance]) -> Result<BatchOutput, CtsError> {
         let shards = resolve_threads(self.batch.shards);
-        let synthesize = |scratch: &mut MergeScratch,
-                          instance: &Instance|
-         -> Result<(CtsResult, f64), CtsError> {
-            let t0 = Instant::now();
-            let result = self.synth.synthesize_unverified_with(instance, scratch)?;
-            Ok((result, t0.elapsed().as_secs_f64()))
-        };
-        let finish = |(result, synth_seconds): (CtsResult, f64),
-                      instance: &Instance|
-         -> Result<BatchItem, CtsError> {
-            let (verified, verify_seconds) = if self.batch.verify {
-                let t0 = Instant::now();
-                let v = self
-                    .synth
-                    .verify(&result, self.tech, &self.batch.verify_options)?;
-                (Some(v), t0.elapsed().as_secs_f64())
-            } else {
-                (None, 0.0)
-            };
-            Ok(BatchItem {
-                name: instance.name().to_string(),
-                sinks: instance.sinks().len(),
-                result,
-                verified,
-                synth_seconds,
-                verify_seconds,
-            })
-        };
-
         let items: Vec<BatchItem> = if self.batch.verify && self.batch.overlap_verify {
             // Two-stage: synthesis producers feed the verification
             // consumers; verification of finished trees overlaps with the
@@ -296,15 +343,15 @@ impl<'a> BatchRunner<'a> {
                 shards,
                 instances,
                 MergeScratch::new,
-                |scratch, instance| synthesize(scratch, instance),
+                |scratch, instance| self.synth_stage(scratch, instance),
                 || (),
-                |(), staged, instance| finish(staged, instance),
+                |(), staged, instance| self.finish_stage(staged, instance),
             )?
         } else {
             // Fused per-shard loop: each shard synthesizes (and, when
             // enabled, verifies) its own instances.
             run_parallel_with(shards, instances, MergeScratch::new, |scratch, instance| {
-                finish(synthesize(scratch, instance)?, instance)
+                self.finish_stage(self.synth_stage(scratch, instance)?, instance)
             })?
         };
 

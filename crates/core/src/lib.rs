@@ -20,6 +20,11 @@
 //!   numbers the paper reports);
 //! * [`BatchRunner`] — sharded multi-instance batching with SPICE
 //!   verification overlapped against later instances' synthesis;
+//! * [`SynthesisService`] — the long-running front end over the same
+//!   stages: a bounded prioritized request queue, per-request result
+//!   streams with cooperative cancellation, and graceful draining
+//!   shutdown, so many clients share one process and one characterized
+//!   library;
 //! * [`baseline`] — unbuffered zero-skew DME and merge-node-only buffering
 //!   for comparisons and ablations.
 //!
@@ -39,11 +44,12 @@ pub mod maze;
 mod merge;
 mod options;
 pub mod pipeline;
+pub mod service;
 pub mod topology;
 mod tree;
 pub mod verify;
 
-pub use batch::{BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary};
+pub use batch::{BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary, StagedSynthesis};
 pub use engine::{TimingEngine, TimingReport};
 pub use flow::{CtsResult, Synthesizer};
 pub use hcorrect::{merge_with_correction, merge_with_correction_with, CorrectedMerge};
@@ -51,5 +57,9 @@ pub use instance::{Instance, Sink};
 pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
 pub use options::{CtsError, CtsOptions, HCorrection};
 pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
+pub use service::{
+    RequestId, RequestStatus, ServiceError, ServiceOptions, SubmitError, SynthesisRequest,
+    SynthesisResult, SynthesisService, Ticket,
+};
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId};
 pub use verify::{verify_tree, VerifiedTiming, VerifyOptions};

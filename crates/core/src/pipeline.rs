@@ -21,7 +21,7 @@
 //!    deterministic pair order, so the resulting arena is **bit-identical
 //!    for every thread count**.
 //! 4. **Level timing** — per-level statistics ([`LevelStats`]) aggregated
-//!    from the merge outcomes, surfaced on [`CtsResult`].
+//!    from the merge outcomes, surfaced on [`crate::CtsResult`].
 //!
 //! [`crate::Synthesizer::synthesize`] is a thin wrapper over
 //! [`SynthesisPipeline::run`].

@@ -16,8 +16,13 @@
 //!
 //! # Quickstart
 //!
-//! ```no_run
-//! use cts::{CtsOptions, Instance, Sink, Synthesizer};
+//! The flow of `examples/quickstart.rs`, compile-checked and *run* as a
+//! doc-test (`cargo test --doc`): synthesize a small instance, then
+//! SPICE-verify the synthesized netlist — the two stages every workload
+//! in this workspace composes.
+//!
+//! ```
+//! use cts::{CtsOptions, Instance, Sink, Synthesizer, Technology, VerifyOptions};
 //! use cts::geom::Point;
 //!
 //! // Four flip-flops on a 2 mm die.
@@ -29,16 +34,30 @@
 //! ];
 //! let instance = Instance::new("quick", sinks);
 //!
+//! // Characterized delay/slew library (cached on disk after first use).
 //! let library = cts::timing::fast_library();
 //! let synth = Synthesizer::new(library, CtsOptions::default());
 //! let result = synth.synthesize(&instance)?;
-//! println!(
-//!     "{} buffers, skew {:.1} ps",
-//!     result.buffers,
-//!     result.report.skew() / 1e-12
+//! assert_eq!(result.tree.sinks_under(result.source).len(), 4);
+//!
+//! // SPICE-verify the synthesized netlist — the numbers the paper reports.
+//! let tech = Technology::nominal_45nm();
+//! let verified = cts::verify_tree(
+//!     &result.tree,
+//!     result.source,
+//!     &tech,
+//!     &VerifyOptions::default(),
+//! )?;
+//! assert!(
+//!     verified.worst_slew <= synth.options().slew_limit,
+//!     "slew limit must be honored"
 //! );
 //! # Ok::<(), cts::CtsError>(())
 //! ```
+//!
+//! For many instances at once, use [`BatchRunner`]; for a long-running
+//! shared process serving concurrent clients, use [`SynthesisService`]
+//! (see `examples/service_flow.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,9 +75,10 @@ pub use cts_timing as timing;
 
 pub use cts_core::{
     verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary, ClockTree,
-    CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats, NodeKind, Sink,
-    SynthesisContext, SynthesisPipeline, Synthesizer, TimingEngine, TimingReport, TreeNodeId,
-    VerifiedTiming, VerifyOptions,
+    CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats, NodeKind, RequestId,
+    RequestStatus, ServiceError, ServiceOptions, Sink, StagedSynthesis, SubmitError,
+    SynthesisContext, SynthesisPipeline, SynthesisRequest, SynthesisResult, SynthesisService,
+    Synthesizer, Ticket, TimingEngine, TimingReport, TreeNodeId, VerifiedTiming, VerifyOptions,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{BufferId, DelaySlewLibrary, Load};

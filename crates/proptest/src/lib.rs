@@ -141,7 +141,7 @@ pub mod prop {
             VecStrategy { elem, len }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             elem: S,

@@ -8,7 +8,7 @@
 //!   These are what the paper implemented, measured, and found insufficient
 //!   (§3.1); the workspace keeps them for DME-style merge computation and
 //!   for accuracy ablations.
-//! * [`characterize`] — sweeps the Fig. 3.3 (single-wire) and Fig. 3.5
+//! * [`mod@characterize`] — sweeps the Fig. 3.3 (single-wire) and Fig. 3.5
 //!   (branch) circuits on the [`cts_spice`] simulator across input slew and
 //!   wire lengths for every buffer combination.
 //! * [`fit`] — least-squares polynomial surfaces/volumes over the sweep
@@ -99,7 +99,7 @@ fn fast_lib_fingerprint(tech: &Technology, cfg: &CharacterizeConfig) -> u64 {
 /// `target/` directory. The cache honors `CARGO_TARGET_DIR` when set and
 /// falls back to the workspace-relative `target/` otherwise.
 ///
-/// Flows that need the full-resolution library should run [`characterize`]
+/// Flows that need the full-resolution library should run [`fn@characterize`]
 /// with [`CharacterizeConfig::standard`] themselves (the benchmark binaries
 /// cache it on disk).
 ///

@@ -96,7 +96,7 @@ pub struct BranchFns {
 ///
 /// Holds, for every buffer combination, polynomial models of buffer
 /// intrinsic delay, wire delay and wire slew, fitted to simulations of the
-/// Fig. 3.3/3.5 circuits. Build one with [`crate::characterize`] (or load a
+/// Fig. 3.3/3.5 circuits. Build one with [`crate::characterize()`] (or load a
 /// cached one via [`crate::load_library_str`]); query with
 /// [`DelaySlewLibrary::single_wire`] and [`DelaySlewLibrary::branch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -111,7 +111,7 @@ pub struct DelaySlewLibrary {
 }
 
 impl DelaySlewLibrary {
-    /// Assembles a library from fitted parts (used by [`crate::characterize`]
+    /// Assembles a library from fitted parts (used by [`crate::characterize()`]
     /// and the loader).
     ///
     /// # Panics

@@ -299,6 +299,177 @@ pub fn run_two_stage<J: Sync, M: Send, R: Send, E: Send, S1, S2>(
     Ok(out)
 }
 
+/// What a [`run_two_stage_pull`] source hands a worker that asks for work.
+///
+/// The source owns job *ordering*: whatever it yields next is what runs
+/// next, so a priority queue behind the source gives per-job priorities
+/// without the executor knowing about them.
+#[derive(Debug)]
+pub enum Pull<J> {
+    /// A job to run through both stages.
+    Job(J),
+    /// Nothing to hand out right now, but more may arrive. The source
+    /// should park the calling worker briefly (e.g. a condition-variable
+    /// wait with a short timeout) before returning this, so idle workers
+    /// neither spin nor miss stage-2 work queued in the meantime.
+    Pending,
+    /// The source is closed and drained: no job will ever arrive again.
+    /// Must be sticky — once returned, every later call must return it too.
+    Closed,
+}
+
+/// Dynamic-source variant of [`run_two_stage`]: jobs are *pulled* from a
+/// live source (a request queue) instead of claimed from a fixed slice, and
+/// every job carries its own result delivery, so the run keeps going until
+/// the source closes — the execution core of a long-running service.
+///
+/// Differences from the slice-based [`run_two_stage`]:
+///
+/// * **Source-defined order** — jobs run in the order the source yields
+///   them. Priorities live behind [`Pull`]: yield the highest-priority job
+///   first and the executor dispatches it first.
+/// * **Cooperative cancellation** — `cancelled` is checked at each stage
+///   boundary: before stage 1 starts and again before stage 2 starts
+///   (covering jobs whose cancellation landed while stage 1 ran). A job
+///   observed cancelled is handed to `on_cancelled` instead of running
+///   further stages; a job is always finished by exactly one of
+///   `on_cancelled`, a `None` out of `stage1`, or `stage2`.
+/// * **Per-job results** — there is no aggregate `Vec` and no first-error
+///   short-circuit; one job's failure must not stop a service. The stage
+///   closures deliver each job's outcome themselves (`stage1` returns
+///   `None` after delivering an error; `stage2` delivers the final result).
+///
+/// Shared with [`run_two_stage`]: workers prefer draining pending stage-2
+/// work (oldest claim first, which bounds how many stage-1 outputs are
+/// alive at once) over pulling new jobs; each worker owns one `S1` and one
+/// `S2` across every job it touches; with `threads <= 1` everything runs
+/// inline on the caller's thread, giving the fused serial reference
+/// behavior.
+///
+/// Returns when the source reports [`Pull::Closed`] and all pulled jobs
+/// have finished both stages.
+#[allow(clippy::too_many_arguments)] // mirrors run_two_stage's stage layout
+pub fn run_two_stage_pull<J: Send, M: Send, S1, S2>(
+    threads: usize,
+    source: impl Fn() -> Pull<J> + Sync,
+    cancelled: impl Fn(&J) -> bool + Sync,
+    on_cancelled: impl Fn(J) + Sync,
+    init1: impl Fn() -> S1 + Sync,
+    stage1: impl Fn(&mut S1, &J) -> Option<M> + Sync,
+    init2: impl Fn() -> S2 + Sync,
+    stage2: impl Fn(&mut S2, J, M) + Sync,
+) {
+    const MAX_WORKERS: usize = 1024;
+    let workers = threads.clamp(1, MAX_WORKERS);
+
+    struct Shared<J, M> {
+        /// Stage-1 outputs awaiting stage 2, as (claim ordinal, job, out).
+        ready: Vec<(u64, J, M)>,
+        /// Workers currently inside stage 1.
+        producing: usize,
+        /// Claim ordinals, so stage 2 drains oldest-first.
+        next_claim: u64,
+        /// The source reported [`Pull::Closed`].
+        closed: bool,
+    }
+    let shared = Mutex::new(Shared {
+        ready: Vec::new(),
+        producing: 0,
+        next_claim: 0,
+        closed: false,
+    });
+    let wake = Condvar::new();
+
+    let worker = || {
+        let mut s1 = init1();
+        let mut s2 = init2();
+        loop {
+            // Prefer the oldest finished job's stage 2; this is what keeps
+            // the number of live stage-1 outputs bounded near the worker
+            // count when stage 2 is the slower stage.
+            let mut st = shared.lock().expect("two-stage pull state poisoned");
+            let oldest = st
+                .ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(claim, _, _))| claim)
+                .map(|(pos, _)| pos);
+            if let Some(pos) = oldest {
+                let (_, job, m) = st.ready.swap_remove(pos);
+                drop(st);
+                if cancelled(&job) {
+                    on_cancelled(job);
+                } else {
+                    stage2(&mut s2, job, m);
+                }
+                continue;
+            }
+            if st.closed && st.producing == 0 {
+                // Closed, nothing in flight, nothing ready: done.
+                break;
+            }
+            drop(st);
+            match source() {
+                Pull::Job(job) => {
+                    if cancelled(&job) {
+                        on_cancelled(job);
+                        continue;
+                    }
+                    let claim = {
+                        let mut st = shared.lock().expect("two-stage pull state poisoned");
+                        st.producing += 1;
+                        let claim = st.next_claim;
+                        st.next_claim += 1;
+                        claim
+                    };
+                    let out = stage1(&mut s1, &job);
+                    let mut st = shared.lock().expect("two-stage pull state poisoned");
+                    st.producing -= 1;
+                    if let Some(m) = out {
+                        st.ready.push((claim, job, m));
+                    }
+                    drop(st);
+                    wake.notify_all();
+                }
+                Pull::Pending => {
+                    // A well-behaved source parked us already; the extra
+                    // bounded wait here guards against sources that return
+                    // immediately, so an idle worker never busy-spins.
+                    let st = shared.lock().expect("two-stage pull state poisoned");
+                    if st.ready.is_empty() {
+                        let _ = wake
+                            .wait_timeout(st, Duration::from_millis(5))
+                            .expect("two-stage pull state poisoned");
+                    }
+                }
+                Pull::Closed => {
+                    let mut st = shared.lock().expect("two-stage pull state poisoned");
+                    st.closed = true;
+                    if st.producing > 0 && st.ready.is_empty() {
+                        // Other workers are still producing; wait for their
+                        // stage-1 outputs instead of hammering the source.
+                        let _ = wake
+                            .wait_timeout(st, Duration::from_millis(20))
+                            .expect("two-stage pull state poisoned");
+                    }
+                    wake.notify_all();
+                }
+            }
+        }
+        wake.notify_all();
+    };
+
+    if workers <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(worker);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +692,209 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(1), run(7));
+    }
+
+    /// A minimal well-behaved pull source over a fixed job list: yields
+    /// jobs in list order, then `Closed` forever.
+    fn list_source(jobs: Vec<usize>) -> impl Fn() -> Pull<usize> + Sync {
+        let cursor = AtomicUsize::new(0);
+        move || {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            match jobs.get(i) {
+                Some(&j) => Pull::Job(j),
+                None => Pull::Closed,
+            }
+        }
+    }
+
+    #[test]
+    fn pull_runs_every_job_through_both_stages() {
+        for threads in [1, 4] {
+            let done = Mutex::new(Vec::new());
+            run_two_stage_pull(
+                threads,
+                list_source((0..50).collect()),
+                |_| false,
+                |_| panic!("nothing is cancelled"),
+                || (),
+                |(), &j| Some(j * 2),
+                || (),
+                |(), j, m| done.lock().unwrap().push((j, m)),
+            );
+            let mut done = done.into_inner().unwrap();
+            done.sort_unstable();
+            let expect: Vec<_> = (0..50).map(|j| (j, j * 2)).collect();
+            assert_eq!(done, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pull_single_worker_honors_source_order() {
+        // The source owns ordering: with one worker, dispatch order is
+        // exactly the yield order — this is the hook a priority queue
+        // plugs into.
+        let by_priority = vec![9, 2, 7, 0, 4];
+        let order = Mutex::new(Vec::new());
+        run_two_stage_pull(
+            1,
+            list_source(by_priority.clone()),
+            |_| false,
+            |_| {},
+            || (),
+            |(), &j| {
+                order.lock().unwrap().push(j);
+                Some(j)
+            },
+            || (),
+            |(), _, _| {},
+        );
+        assert_eq!(order.into_inner().unwrap(), by_priority);
+    }
+
+    #[test]
+    fn pull_cancelled_before_stage1_never_synthesizes() {
+        // "Queued" cancellation: the flag is set before the job is pulled,
+        // so stage 1 must never run for it.
+        let flags: Vec<AtomicBool> = (0..20).map(|j| AtomicBool::new(j % 3 == 0)).collect();
+        let ran = Mutex::new(Vec::new());
+        let cancelled_jobs = Mutex::new(Vec::new());
+        for threads in [1, 3] {
+            run_two_stage_pull(
+                threads,
+                list_source((0..20).collect()),
+                |&j: &usize| flags[j].load(Ordering::Relaxed),
+                |j| cancelled_jobs.lock().unwrap().push(j),
+                || (),
+                |(), &j| {
+                    ran.lock().unwrap().push(j);
+                    Some(j)
+                },
+                || (),
+                |(), _, _| {},
+            );
+        }
+        assert!(ran.lock().unwrap().iter().all(|&j| j % 3 != 0));
+        let mut c = cancelled_jobs.into_inner().unwrap();
+        c.sort_unstable();
+        // Two runs, each cancelling the same set.
+        let mut expect: Vec<usize> = (0..20).filter(|j| j % 3 == 0).collect();
+        expect = [expect.clone(), expect].concat();
+        expect.sort_unstable();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn pull_cancellation_mid_stage1_skips_stage2() {
+        // "In-flight" cancellation, deterministically: the job cancels
+        // *itself* while stage 1 runs, so by the stage-2 boundary check the
+        // flag is guaranteed set — stage 2 must not run.
+        let flags: Vec<AtomicBool> = (0..10).map(|_| AtomicBool::new(false)).collect();
+        let verified = Mutex::new(Vec::new());
+        let cancelled_jobs = Mutex::new(Vec::new());
+        for threads in [1, 4] {
+            for f in &flags {
+                f.store(false, Ordering::Relaxed);
+            }
+            run_two_stage_pull(
+                threads,
+                list_source((0..10).collect()),
+                |&j: &usize| flags[j].load(Ordering::Relaxed),
+                |j| cancelled_jobs.lock().unwrap().push(j),
+                || (),
+                |(), &j| {
+                    if j == 4 || j == 7 {
+                        flags[j].store(true, Ordering::Relaxed);
+                    }
+                    Some(j)
+                },
+                || (),
+                |(), j, _| verified.lock().unwrap().push(j),
+            );
+            let mut c = std::mem::take(&mut *cancelled_jobs.lock().unwrap());
+            c.sort_unstable();
+            assert_eq!(c, vec![4, 7], "threads={threads}");
+            let mut v = std::mem::take(&mut *verified.lock().unwrap());
+            v.sort_unstable();
+            let expect: Vec<usize> = (0..10).filter(|&j| j != 4 && j != 7).collect();
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pull_stage1_none_ends_the_job() {
+        // A `None` out of stage 1 (the per-job error path: the closure
+        // delivered the error itself) must not reach stage 2.
+        let finished = AtomicUsize::new(0);
+        run_two_stage_pull(
+            3,
+            list_source((0..30).collect()),
+            |_| false,
+            |_| {},
+            || (),
+            |(), &j| if j % 4 == 0 { None } else { Some(j) },
+            || (),
+            |(), j, _| {
+                assert!(j % 4 != 0, "errored job reached stage 2");
+                finished.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            (0..30).filter(|j| j % 4 != 0).count()
+        );
+    }
+
+    #[test]
+    fn pull_waits_through_pending_and_drains_on_close() {
+        // The source dribbles jobs out with Pending gaps, then closes;
+        // every job still completes exactly once.
+        let calls = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        run_two_stage_pull(
+            2,
+            || {
+                let c = calls.fetch_add(1, Ordering::Relaxed);
+                if c < 12 {
+                    if c.is_multiple_of(3) {
+                        Pull::Pending
+                    } else {
+                        Pull::Job(c)
+                    }
+                } else {
+                    Pull::Closed
+                }
+            },
+            |_| false,
+            |_| {},
+            || (),
+            |(), &j| {
+                std::thread::sleep(Duration::from_micros(100));
+                Some(j)
+            },
+            || (),
+            |(), _, _| {
+                completed.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        // Calls 0..12 with c % 3 != 0 were jobs; all of them completed.
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            (0..12).filter(|c| c % 3 != 0).count()
+        );
+    }
+
+    #[test]
+    fn pull_closed_immediately_returns() {
+        run_two_stage_pull(
+            4,
+            || Pull::<usize>::Closed,
+            |_| false,
+            |_| panic!("no jobs"),
+            || (),
+            |(), _: &usize| -> Option<usize> { panic!("no jobs") },
+            || (),
+            |(), _, _: usize| panic!("no jobs"),
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! ```sh
-//! cargo run --release -p cts --example delay_library
+//! cargo run --release --example delay_library
 //! ```
 
 use cts::spice::stages::{single_wire_stage, SingleWireConfig};

@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! ```sh
-//! cargo run --release -p cts --example hstructure_correction
+//! cargo run --release --example hstructure_correction
 //! ```
 
 use cts::benchmarks::generate_custom;

@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! ```sh
-//! cargo run --release -p cts --example maze_demo
+//! cargo run --release --example maze_demo
 //! ```
 
 use cts::core::maze::{MazeRouter, MergeSide};

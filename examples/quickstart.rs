@@ -1,9 +1,12 @@
 //! Quickstart: synthesize and verify a buffered clock tree for a handful
 //! of flip-flops.
 //!
+//! The same flow is the `cts` facade crate's front-page example, where it
+//! runs as a doc-test (`cargo test --doc -p cts`) so it can never rot.
+//!
 //! Run with:
 //! ```sh
-//! cargo run --release -p cts --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use cts::geom::Point;

@@ -3,9 +3,11 @@
 
 use cts::benchmarks::{bookshelf, generate_gsrc, generate_ispd, GsrcBenchmark, IspdBenchmark};
 use cts::{
-    BatchOptions, BatchRunner, CtsOptions, Instance, Synthesizer, Technology, VerifyOptions,
+    BatchOptions, BatchRunner, CtsOptions, Instance, ServiceOptions, SynthesisRequest,
+    SynthesisService, Synthesizer, Technology, VerifyOptions,
 };
 use cts_timing::fast_library;
+use std::sync::Arc;
 
 #[test]
 fn benchmark_generation_is_stable() {
@@ -133,6 +135,84 @@ fn batch_shard_count_and_overlap_do_not_change_results() {
                 );
             }
         }
+    }
+}
+
+/// The service's contract: a request streamed through the long-running
+/// [`SynthesisService`] resolves to results byte-identical to a direct
+/// serial `Synthesizer::synthesize` + `verify_tree` call — for every
+/// worker count. Queueing, priorities, warm per-worker scratch, and the
+/// overlapped verify stage change wall time only.
+#[test]
+fn service_worker_count_does_not_change_results() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let suite: Vec<Instance> = vec![
+        cts::benchmarks::generate_custom("s0", 8, 2600.0, 21),
+        cts::benchmarks::generate_custom("s1", 11, 3400.0, 22),
+        cts::benchmarks::generate_scaled_gsrc(GsrcBenchmark::R1, 12),
+    ];
+    let mut options = CtsOptions::default();
+    options.threads = 1;
+
+    // Serial references: the plain per-instance loop the service must match.
+    let synth = Synthesizer::new(lib, options.clone());
+    let references: Vec<_> = suite
+        .iter()
+        .map(|inst| {
+            let r = synth.synthesize(inst).expect("serial synthesis");
+            let v = cts::verify_tree(&r.tree, r.source, &tech, &VerifyOptions::default())
+                .expect("serial verification");
+            (r, v)
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let mut svc_options = ServiceOptions::default();
+        svc_options.workers = workers;
+        let service = SynthesisService::new(
+            Arc::new(lib.clone()),
+            Arc::new(tech.clone()),
+            options.clone(),
+            svc_options,
+        );
+        let tickets: Vec<_> = suite
+            .iter()
+            .enumerate()
+            .map(|(k, inst)| {
+                // Mixed priorities: scheduling order must not leak into
+                // the results.
+                service
+                    .submit(SynthesisRequest::new(inst.clone()).with_priority(k as i32 % 2))
+                    .expect("service accepts")
+            })
+            .collect();
+        for (ticket, ((reference, verified), inst)) in
+            tickets.into_iter().zip(references.iter().zip(&suite))
+        {
+            let done = ticket
+                .wait()
+                .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+            let ctxt = format!("{} with workers={workers}", inst.name());
+            assert_eq!(done.item.result.tree, reference.tree, "{ctxt}: tree drift");
+            assert_eq!(done.item.result.source, reference.source, "{ctxt}");
+            assert_eq!(done.item.result.report, reference.report, "{ctxt}");
+            assert_eq!(done.item.result.buffers, reference.buffers, "{ctxt}");
+            assert_eq!(
+                done.item.result.wirelength_um, reference.wirelength_um,
+                "{ctxt}"
+            );
+            assert_eq!(
+                done.item.result.level_stats, reference.level_stats,
+                "{ctxt}"
+            );
+            assert_eq!(
+                done.item.verified.as_ref().expect("verification enabled"),
+                verified,
+                "{ctxt}: SPICE numbers drift"
+            );
+        }
+        service.shutdown();
     }
 }
 
