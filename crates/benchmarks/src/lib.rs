@@ -30,6 +30,7 @@ use cts_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// The five GSRC bookshelf BST instances (Table 5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -315,6 +316,125 @@ pub fn reduced_suite(max_sinks: usize) -> Vec<Instance> {
     out
 }
 
+/// Where a suite entry's sinks came from: a real benchmark file on disk,
+/// or the seeded synthetic equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteSource {
+    /// Parsed from this bookshelf file.
+    File(PathBuf),
+    /// Generated by the seeded synthetic equivalent.
+    Synthetic,
+}
+
+/// One instance of a directory-loaded suite, tagged with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteEntry {
+    /// The instance, real or synthetic.
+    pub instance: Instance,
+    /// Where it came from.
+    pub source: SuiteSource,
+}
+
+impl SuiteEntry {
+    /// Whether this entry fell back to the synthetic equivalent.
+    pub fn is_synthetic(&self) -> bool {
+        self.source == SuiteSource::Synthetic
+    }
+}
+
+/// File extensions probed (in order) for a real benchmark file.
+const BOOKSHELF_EXTENSIONS: [&str; 3] = ["bms", "bookshelf", "txt"];
+
+/// Loads `<dir>/<name>.{bms,bookshelf,txt}` through the [`bookshelf`]
+/// parser when such a file exists, otherwise falls back to `synthetic`.
+/// A file that exists but fails to parse is an error, not a fallback —
+/// silently substituting synthetic data for a malformed real benchmark
+/// would corrupt a comparison.
+fn entry_from_dir(
+    dir: &Path,
+    name: &str,
+    synthetic: impl FnOnce() -> Instance,
+) -> Result<SuiteEntry, String> {
+    for ext in BOOKSHELF_EXTENSIONS {
+        let path = dir.join(format!("{name}.{ext}"));
+        if path.is_file() {
+            let instance = bookshelf::read_file(&path)?;
+            return Ok(SuiteEntry {
+                instance,
+                source: SuiteSource::File(path),
+            });
+        }
+    }
+    Ok(SuiteEntry {
+        instance: synthetic(),
+        source: SuiteSource::Synthetic,
+    })
+}
+
+/// The GSRC instance named by `b`, loaded from `dir` when a real
+/// bookshelf file is present ([`bookshelf`] dialect, named `r1.bms` /
+/// `.bookshelf` / `.txt` and so on), else the synthetic equivalent.
+///
+/// # Errors
+///
+/// A file that exists but fails to parse (or read) is reported, not
+/// silently replaced.
+pub fn gsrc_from_dir(b: GsrcBenchmark, dir: impl AsRef<Path>) -> Result<SuiteEntry, String> {
+    entry_from_dir(dir.as_ref(), b.name(), || generate_gsrc(b))
+}
+
+/// The ISPD instance named by `b`, loaded from `dir` when present, else
+/// the synthetic equivalent. Same contract as [`gsrc_from_dir`].
+///
+/// # Errors
+///
+/// A file that exists but fails to parse (or read) is reported.
+pub fn ispd_from_dir(b: IspdBenchmark, dir: impl AsRef<Path>) -> Result<SuiteEntry, String> {
+    entry_from_dir(dir.as_ref(), b.name(), || generate_ispd(b))
+}
+
+/// The GSRC suite (paper order), loading each instance from `dir` when a
+/// real file is present and generating the synthetic equivalent per
+/// missing file.
+///
+/// # Errors
+///
+/// The first file that exists but fails to parse.
+pub fn gsrc_suite_from_dir(dir: impl AsRef<Path>) -> Result<Vec<SuiteEntry>, String> {
+    GsrcBenchmark::all()
+        .into_iter()
+        .map(|b| gsrc_from_dir(b, dir.as_ref()))
+        .collect()
+}
+
+/// The ISPD suite (paper order) from `dir`; same contract as
+/// [`gsrc_suite_from_dir`].
+///
+/// # Errors
+///
+/// The first file that exists but fails to parse.
+pub fn ispd_suite_from_dir(dir: impl AsRef<Path>) -> Result<Vec<SuiteEntry>, String> {
+    IspdBenchmark::all()
+        .into_iter()
+        .map(|b| ispd_from_dir(b, dir.as_ref()))
+        .collect()
+}
+
+/// The full twelve-instance evaluation set ([`full_suite`] order), with
+/// every instance whose real bookshelf file sits in `dir` loaded from
+/// disk and the rest generated synthetically — the ROADMAP's "real
+/// benchmark ingestion" seam. Drop converted GSRC/ISPD files into a
+/// directory and every suite consumer picks them up.
+///
+/// # Errors
+///
+/// The first file that exists but fails to parse.
+pub fn suite_from_dir(dir: impl AsRef<Path>) -> Result<Vec<SuiteEntry>, String> {
+    let mut out = gsrc_suite_from_dir(dir.as_ref())?;
+    out.extend(ispd_suite_from_dir(dir.as_ref())?);
+    Ok(out)
+}
+
 /// Fully custom synthetic instance (uniform + clustered sinks).
 ///
 /// # Panics
@@ -430,6 +550,70 @@ mod tests {
         assert_eq!(inst.name(), "mine");
         let other_seed = generate_custom("mine", 40, 5000.0, 8);
         assert_ne!(inst, other_seed);
+    }
+
+    #[test]
+    fn suite_from_dir_falls_back_per_file() {
+        // One real file (r2) in the directory: that entry loads from disk,
+        // every other entry is the synthetic equivalent.
+        let dir = std::env::temp_dir().join("cts_suite_from_dir_fallback");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let real = generate_custom("r2", 598, 9000.0, 0xbeef);
+        bookshelf::write_file(&real, dir.join("r2.bms")).unwrap();
+
+        let entries = suite_from_dir(&dir).unwrap();
+        assert_eq!(entries.len(), 12);
+        let names: Vec<&str> = entries.iter().map(|e| e.instance.name()).collect();
+        assert_eq!(
+            names,
+            vec!["r1", "r2", "r3", "r4", "r5", "f11", "f12", "f21", "f22", "f31", "f32", "fnb1"]
+        );
+        let r2 = &entries[1];
+        assert_eq!(r2.source, SuiteSource::File(dir.join("r2.bms")));
+        // The loaded instance is the file's, not the synthetic one.
+        assert_ne!(r2.instance, generate_gsrc(GsrcBenchmark::R2));
+        assert_eq!(r2.instance.sinks().len(), 598);
+        for (i, e) in entries.iter().enumerate() {
+            if i != 1 {
+                assert!(
+                    e.is_synthetic(),
+                    "{} should be synthetic",
+                    e.instance.name()
+                );
+            }
+        }
+        // Synthetic entries match the plain generators exactly.
+        assert_eq!(entries[0].instance, generate_gsrc(GsrcBenchmark::R1));
+        assert_eq!(entries[5].instance, generate_ispd(IspdBenchmark::F11));
+    }
+
+    #[test]
+    fn suite_from_dir_with_no_files_is_the_synthetic_suite() {
+        let dir = std::env::temp_dir().join("cts_suite_from_dir_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let entries = suite_from_dir(&dir).unwrap();
+        let instances: Vec<Instance> = entries.into_iter().map(|e| e.instance).collect();
+        assert_eq!(instances, full_suite());
+    }
+
+    #[test]
+    fn malformed_real_file_is_an_error_not_a_fallback() {
+        let dir = std::env::temp_dir().join("cts_suite_from_dir_malformed");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("f11.bms"), "DIE 0 0 10 10\nGARBAGE\n").unwrap();
+        let err = ispd_suite_from_dir(&dir).unwrap_err();
+        assert!(
+            err.contains("GARBAGE") || err.contains("unknown directive"),
+            "{err}"
+        );
+        // And the per-benchmark form reports the same failure.
+        assert!(ispd_from_dir(IspdBenchmark::F11, &dir).is_err());
+        assert!(ispd_from_dir(IspdBenchmark::F12, &dir)
+            .unwrap()
+            .is_synthetic());
     }
 
     #[test]

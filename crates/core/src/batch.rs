@@ -290,6 +290,32 @@ impl<'a> BatchRunner<'a> {
         })
     }
 
+    /// [`BatchRunner::synth_stage`] with a per-instance options override:
+    /// the tree is built with `options` instead of the runner's defaults,
+    /// over the same shared library and scratch. This is how the synthesis
+    /// service honors a request-level [`CtsOptions`] override.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] / [`CtsError::SlewUnachievable`] from the
+    /// synthesis flow.
+    pub fn synth_stage_with_options(
+        &self,
+        scratch: &mut MergeScratch,
+        instance: &Instance,
+        options: CtsOptions,
+    ) -> Result<StagedSynthesis, CtsError> {
+        let t0 = Instant::now();
+        let result = self
+            .synth
+            .with_options(options)
+            .synthesize_unverified_with(instance, scratch)?;
+        Ok(StagedSynthesis {
+            result,
+            synth_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
     /// The finishing stage for one instance: SPICE verification (when
     /// [`BatchOptions::verify`] is on) and row assembly. Stage 2 of the
     /// overlapped schedule; see [`BatchRunner::synth_stage`].

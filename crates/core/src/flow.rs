@@ -77,6 +77,17 @@ impl<'a> Synthesizer<'a> {
         &self.options
     }
 
+    /// A synthesizer over the same library with different options — the
+    /// hook that lets a long-running service honor per-request option
+    /// overrides without re-characterizing anything (the expensive state
+    /// is the library, which is shared by reference).
+    pub fn with_options(&self, options: CtsOptions) -> Synthesizer<'a> {
+        Synthesizer {
+            lib: self.lib,
+            options,
+        }
+    }
+
     /// Synthesizes a buffered clock tree for `instance`.
     ///
     /// Runs the staged [`SynthesisPipeline`]: per-level topology matching,

@@ -58,8 +58,8 @@ pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
 pub use options::{CtsError, CtsOptions, HCorrection};
 pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
 pub use service::{
-    RequestId, RequestStatus, ServiceError, ServiceOptions, SubmitError, SynthesisRequest,
-    SynthesisResult, SynthesisService, Ticket,
+    RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics, ServiceOptions,
+    SubmitError, SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
 };
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId};
 pub use verify::{verify_tree, VerifiedTiming, VerifyOptions};

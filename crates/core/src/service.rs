@@ -26,6 +26,17 @@
 //!   starts, and again between synthesis and verification), so a queued
 //!   request never synthesizes and an in-flight one skips verification.
 //!   A cancelled request resolves to [`ServiceError::Cancelled`].
+//! * **Deadlines** — [`SynthesisRequest::deadline`] bounds how long a
+//!   request may wait: measured from admission and checked at the same
+//!   stage boundaries as cancellation, so a request still queued when its
+//!   deadline passes resolves [`ServiceError::Expired`] without
+//!   synthesizing.
+//! * **Request metadata and overrides** — requests carry an opaque
+//!   [`SynthesisRequest::client_id`] (echoed on the result) and an
+//!   optional per-request [`CtsOptions`] override, validated per request.
+//! * **Metrics** — [`SynthesisService::metrics`] snapshots lock-free
+//!   lifetime counters (admissions, resolutions by kind, queue depth,
+//!   cumulative per-stage wall time) for monitoring front ends.
 //! * **Graceful shutdown** — [`SynthesisService::shutdown`] stops
 //!   admissions, drains every request already admitted (queued and
 //!   in-flight), then joins the workers. Dropping the service does the
@@ -85,7 +96,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Options controlling the service process, orthogonal to the per-request
 /// [`CtsOptions`].
@@ -123,7 +134,9 @@ impl Default for ServiceOptions {
     }
 }
 
-/// One client request: an instance to synthesize, with a priority.
+/// One client request: an instance to synthesize, with scheduling
+/// metadata (priority, deadline, client id) and an optional per-request
+/// options override.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisRequest {
     /// The sink set to build a clock tree for.
@@ -131,20 +144,56 @@ pub struct SynthesisRequest {
     /// Dispatch priority: higher runs sooner; ties run in submission
     /// order. Defaults to `0`.
     pub priority: i32,
+    /// Deadline measured from admission. A request still *queued* when
+    /// its deadline passes resolves [`ServiceError::Expired`] without
+    /// synthesizing; an in-flight one is checked at the same stage
+    /// boundaries as cancellation (so an expired request skips
+    /// verification). `None` (the default) never expires.
+    pub deadline: Option<Duration>,
+    /// Per-request [`CtsOptions`] override. `None` (the default) uses the
+    /// options the service was constructed with. Overrides are validated
+    /// per request; an invalid override fails only its own ticket.
+    pub options: Option<CtsOptions>,
+    /// Opaque client identifier, echoed on [`SynthesisResult::client_id`]
+    /// — request metadata for multi-tenant front ends (the wire protocol
+    /// forwards it verbatim).
+    pub client_id: Option<String>,
 }
 
 impl SynthesisRequest {
-    /// A default-priority request for `instance`.
+    /// A default-priority request for `instance` with no deadline, no
+    /// options override, and no client id.
     pub fn new(instance: Instance) -> SynthesisRequest {
         SynthesisRequest {
             instance,
             priority: 0,
+            deadline: None,
+            options: None,
+            client_id: None,
         }
     }
 
     /// Sets the dispatch priority (builder style).
     pub fn with_priority(mut self, priority: i32) -> SynthesisRequest {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the admission-relative deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> SynthesisRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a per-request options override (builder style).
+    pub fn with_options(mut self, options: CtsOptions) -> SynthesisRequest {
+        self.options = Some(options);
+        self
+    }
+
+    /// Sets the client id echoed on the result (builder style).
+    pub fn with_client_id(mut self, client_id: impl Into<String>) -> SynthesisRequest {
+        self.client_id = Some(client_id.into());
         self
     }
 }
@@ -187,6 +236,8 @@ pub struct SynthesisResult {
     /// service's lifetime — the observable dispatch order (with one
     /// worker, exactly the priority-queue order).
     pub dispatch_order: u64,
+    /// The client id the request carried, echoed verbatim.
+    pub client_id: Option<String>,
     /// The synthesized tree, metrics, and (when enabled) SPICE-verified
     /// timing — byte-identical to what a serial
     /// [`crate::flow::Synthesizer::synthesize`] call plus
@@ -201,6 +252,10 @@ pub struct SynthesisResult {
 pub enum ServiceError {
     /// The request was cancelled before it completed.
     Cancelled,
+    /// The request's [`SynthesisRequest::deadline`] passed before it
+    /// completed. An explicit cancel takes precedence: a request both
+    /// cancelled and expired resolves [`ServiceError::Cancelled`].
+    Expired,
     /// Synthesis or verification failed.
     Synthesis(CtsError),
     /// The service engine went away without resolving the request (it
@@ -212,6 +267,7 @@ impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::Cancelled => write!(f, "request cancelled"),
+            ServiceError::Expired => write!(f, "request deadline expired"),
             ServiceError::Synthesis(e) => write!(f, "request failed: {e}"),
             ServiceError::Disconnected => write!(f, "service engine disconnected"),
         }
@@ -251,10 +307,102 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Lock-free lifetime counters, shared between the service handle (for
+/// snapshots) and the engine closures (for increments).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    synth_nanos: AtomicU64,
+    verify_nanos: AtomicU64,
+}
+
+impl Counters {
+    fn add_nanos(cell: &AtomicU64, seconds: f64) {
+        // Saturating accumulation in whole nanoseconds; 2^64 ns ≈ 584
+        // years of cumulative stage time, so saturation is theoretical.
+        let ns = (seconds * 1e9).max(0.0).min(u64::MAX as f64) as u64;
+        cell.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the service's lifetime counters — the
+/// payload of [`SynthesisService::metrics`] and of the wire protocol's
+/// `metrics` op.
+///
+/// Counter semantics: `submitted` counts admissions;
+/// `completed + cancelled + expired + failed` counts resolutions; the
+/// difference that is not in `queue_depth` is currently in flight. The
+/// snapshot is assembled from independent relaxed atomics, so during
+/// concurrent activity the counters may be mutually inconsistent by a
+/// request or two; each counter is individually exact.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceMetrics {
+    /// Requests admitted over the service lifetime.
+    pub submitted: u64,
+    /// Requests that resolved with a result.
+    pub completed: u64,
+    /// Requests that resolved [`ServiceError::Cancelled`].
+    pub cancelled: u64,
+    /// Requests that resolved [`ServiceError::Expired`].
+    pub expired: u64,
+    /// Requests that resolved [`ServiceError::Synthesis`].
+    pub failed: u64,
+    /// Requests admitted but not yet dispatched, at snapshot time.
+    pub queue_depth: usize,
+    /// Cumulative wall time spent in the synthesis stage (s), summed
+    /// across workers.
+    pub synth_seconds: f64,
+    /// Cumulative wall time spent in the verification stage (s), summed
+    /// across workers.
+    pub verify_seconds: f64,
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted {} | completed {} | cancelled {} | expired {} | failed {} | \
+             queued {} | synth {:.3} s | verify {:.3} s",
+            self.submitted,
+            self.completed,
+            self.cancelled,
+            self.expired,
+            self.failed,
+            self.queue_depth,
+            self.synth_seconds,
+            self.verify_seconds
+        )
+    }
+}
+
 /// State shared between a [`Ticket`] and the request's queue entry.
 struct ReqShared {
     cancelled: AtomicBool,
     status: AtomicU8,
+}
+
+/// Flags a request for cooperative cancellation and nudges parked
+/// workers — the common implementation behind [`Ticket::cancel`] and
+/// [`RequestHandle::cancel`].
+fn cancel_request(shared: &ReqShared, queue: &Weak<ServiceQueue>) {
+    shared.cancelled.store(true, Ordering::Release);
+    // Wake parked workers so the cancellation resolves promptly even
+    // on an idle or paused service.
+    if let Some(queue) = queue.upgrade() {
+        queue.avail.notify_all();
+    }
+}
+
+fn status_of(shared: &ReqShared) -> RequestStatus {
+    match shared.status.load(Ordering::Acquire) {
+        ST_QUEUED => RequestStatus::Queued,
+        ST_IN_FLIGHT => RequestStatus::InFlight,
+        _ => RequestStatus::Done,
+    }
 }
 
 /// The handle a submission returns: one request's result stream plus its
@@ -283,11 +431,7 @@ impl Ticket {
 
     /// Where the request currently is: queued, in flight, or done.
     pub fn status(&self) -> RequestStatus {
-        match self.shared.status.load(Ordering::Acquire) {
-            ST_QUEUED => RequestStatus::Queued,
-            ST_IN_FLIGHT => RequestStatus::InFlight,
-            _ => RequestStatus::Done,
-        }
+        status_of(&self.shared)
     }
 
     /// Requests cooperative cancellation. The flag is checked at stage
@@ -297,11 +441,19 @@ impl Ticket {
     /// then resolves cancelled instead of continuing. Cancelling a
     /// finished request is a no-op — the result already streamed.
     pub fn cancel(&self) {
-        self.shared.cancelled.store(true, Ordering::Release);
-        // Wake parked workers so the cancellation resolves promptly even
-        // on an idle or paused service.
-        if let Some(queue) = self.queue.upgrade() {
-            queue.avail.notify_all();
+        cancel_request(&self.shared, &self.queue);
+    }
+
+    /// A detachable control handle for this request: cancel and status
+    /// without the result stream. The ticket can then move to whatever
+    /// thread waits the result (a completion pump) while the handle stays
+    /// behind to serve `cancel`/`status` ops — the seam the network
+    /// front end is built on.
+    pub fn handle(&self) -> RequestHandle {
+        RequestHandle {
+            id: self.id,
+            shared: Arc::clone(&self.shared),
+            queue: Weak::clone(&self.queue),
         }
     }
 
@@ -338,6 +490,43 @@ impl fmt::Debug for Ticket {
     }
 }
 
+/// Cancel/status controls for one request, detached from its result
+/// stream ([`Ticket::handle`]). Clone-cheap, `Send + Sync`; holding one
+/// never keeps a dropped service alive.
+#[derive(Clone)]
+pub struct RequestHandle {
+    id: RequestId,
+    shared: Arc<ReqShared>,
+    queue: Weak<ServiceQueue>,
+}
+
+impl RequestHandle {
+    /// The request's id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Where the request currently is: queued, in flight, or done.
+    pub fn status(&self) -> RequestStatus {
+        status_of(&self.shared)
+    }
+
+    /// Requests cooperative cancellation; same semantics as
+    /// [`Ticket::cancel`].
+    pub fn cancel(&self) {
+        cancel_request(&self.shared, &self.queue);
+    }
+}
+
+impl fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("id", &self.id)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
 /// An admitted request travelling through the executor. The result sender
 /// lives here — on the engine side only — so if the engine dies, the
 /// channel disconnects and the ticket observes it instead of blocking on
@@ -346,11 +535,34 @@ struct Job {
     id: RequestId,
     priority: i32,
     instance: Instance,
+    /// Absolute expiry instant (admission + deadline), when set.
+    expires_at: Option<Instant>,
+    /// Per-request options override.
+    options: Option<CtsOptions>,
+    client_id: Option<String>,
     shared: Arc<ReqShared>,
     tx: Sender<Result<SynthesisResult, ServiceError>>,
 }
 
 impl Job {
+    /// Whether the job must stop at the next stage boundary: explicitly
+    /// cancelled, or past its deadline. Checked by the executor before
+    /// each stage (and by the paused-queue sweep), so an expired queued
+    /// request never synthesizes.
+    fn aborted(&self) -> bool {
+        self.shared.cancelled.load(Ordering::Acquire)
+            || self.expires_at.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// The terminal error an aborted job resolves to: an explicit cancel
+    /// wins over expiry.
+    fn abort_error(&self) -> ServiceError {
+        if self.shared.cancelled.load(Ordering::Acquire) {
+            ServiceError::Cancelled
+        } else {
+            ServiceError::Expired
+        }
+    }
     /// Resolves the request: marks it done and streams the outcome to the
     /// ticket. Exactly one terminal call per request (the executor
     /// guarantees one of stage 2 / stage-1 error / cancellation fires).
@@ -422,21 +634,17 @@ impl ServiceQueue {
             if inner.shutting_down {
                 return Pull::Closed;
             }
-        } else if inner
-            .heap
-            .iter()
-            .any(|qj| qj.0.shared.cancelled.load(Ordering::Acquire))
-        {
-            // Even while paused, a cancelled queued request must resolve —
-            // it dispatches no work, and its client may be blocked in
-            // `wait`. BinaryHeap has no targeted removal, so rebuild the
-            // (capacity-bounded) heap without one cancelled entry and hand
-            // that job out; the executor's cancel check routes it straight
-            // to delivery.
+        } else if inner.heap.iter().any(|qj| qj.0.aborted()) {
+            // Even while paused, a cancelled (or deadline-expired) queued
+            // request must resolve — it dispatches no work, and its client
+            // may be blocked in `wait`. BinaryHeap has no targeted
+            // removal, so rebuild the (capacity-bounded) heap without one
+            // aborted entry and hand that job out; the executor's abort
+            // check routes it straight to delivery.
             let mut jobs = std::mem::take(&mut inner.heap).into_vec();
             let pos = jobs
                 .iter()
-                .position(|qj| qj.0.shared.cancelled.load(Ordering::Acquire))
+                .position(|qj| qj.0.aborted())
                 .expect("checked above");
             let QueuedJob(job) = jobs.swap_remove(pos);
             inner.heap = jobs.into();
@@ -465,6 +673,8 @@ pub struct SynthesisService {
     queue: Arc<ServiceQueue>,
     engine: Mutex<Option<JoinHandle<()>>>,
     workers: usize,
+    counters: Arc<Counters>,
+    options: CtsOptions,
 }
 
 impl SynthesisService {
@@ -499,12 +709,16 @@ impl SynthesisService {
             avail: Condvar::new(),
             capacity,
         });
+        let counters = Arc::new(Counters::default());
+        let base_options = options.clone();
         let engine_queue = Arc::clone(&queue);
+        let engine_counters = Arc::clone(&counters);
         let engine = std::thread::Builder::new()
             .name("cts-service-engine".into())
             .spawn(move || {
                 engine_loop(
                     engine_queue,
+                    engine_counters,
                     lib,
                     tech,
                     options,
@@ -518,6 +732,32 @@ impl SynthesisService {
             queue,
             engine: Mutex::new(Some(engine)),
             workers,
+            counters,
+            options: base_options,
+        }
+    }
+
+    /// The base [`CtsOptions`] every request without an override runs
+    /// with — what a front end patches per-request overrides onto.
+    pub fn options(&self) -> &CtsOptions {
+        &self.options
+    }
+
+    /// A point-in-time snapshot of the lifetime counters: admissions,
+    /// resolutions by kind, current queue depth, and cumulative per-stage
+    /// wall time. Lock-free on the counter side (the queue depth takes
+    /// the queue lock briefly); safe to poll from a monitoring thread.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let c = &self.counters;
+        ServiceMetrics {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            queue_depth: self.pending(),
+            synth_seconds: c.synth_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            verify_seconds: c.verify_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
 
@@ -564,6 +804,10 @@ impl SynthesisService {
     /// [`SubmitError::ShuttingDown`] (with the request handed back) once
     /// [`SynthesisService::shutdown`] has begun — including for callers
     /// that were blocked waiting for space when shutdown started.
+    // Handing the full request back on the (cold) rejection path is the
+    // API's point — callers retry or requeue it; a Box would only move
+    // the allocation onto the hot accept path.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: SynthesisRequest) -> Result<Ticket, SubmitError> {
         let mut inner = self.queue.inner.lock().expect("service queue poisoned");
         loop {
@@ -588,6 +832,7 @@ impl SynthesisService {
     /// [`SubmitError::WouldBlock`] when the queue is at capacity,
     /// [`SubmitError::ShuttingDown`] once shutdown has begun; both hand
     /// the request back.
+    #[allow(clippy::result_large_err)] // rejection hands the request back; see submit
     pub fn try_submit(&self, request: SynthesisRequest) -> Result<Ticket, SubmitError> {
         let mut inner = self.queue.inner.lock().expect("service queue poisoned");
         if inner.shutting_down {
@@ -607,10 +852,15 @@ impl SynthesisService {
             cancelled: AtomicBool::new(false),
             status: AtomicU8::new(ST_QUEUED),
         });
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         inner.heap.push(QueuedJob(Job {
             id,
             priority: request.priority,
             instance: request.instance,
+            // The deadline clock starts at admission, not dispatch.
+            expires_at: request.deadline.map(|d| Instant::now() + d),
+            options: request.options,
+            client_id: request.client_id,
             shared: Arc::clone(&shared),
             tx,
         }));
@@ -642,9 +892,24 @@ impl SynthesisService {
         // caller returns only once all admitted requests have resolved.
         let mut handle = self.engine.lock().expect("engine handle poisoned");
         if let Some(handle) = handle.take() {
-            // A panicked engine already dropped the result senders, which
-            // resolves outstanding tickets to `Disconnected`.
+            // A panicked engine already dropped the senders of dispatched
+            // jobs, resolving those tickets to `Disconnected`.
             let _ = handle.join();
+        }
+        // Still-queued jobs, however, hold their senders *inside this
+        // queue* — a panicked engine never pops them, and a healthy drain
+        // leaves none. Resolve whatever remains so no ticket waits on a
+        // request nothing will ever run.
+        let leftovers = std::mem::take(
+            &mut self
+                .queue
+                .inner
+                .lock()
+                .expect("service queue poisoned")
+                .heap,
+        );
+        for QueuedJob(job) in leftovers.into_vec() {
+            job.deliver(Err(ServiceError::Disconnected));
         }
     }
 }
@@ -667,8 +932,10 @@ impl fmt::Debug for SynthesisService {
 
 /// The engine: owns the shared library for the process lifetime and runs
 /// the worker set over the pull source until shutdown drains the queue.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors ServiceOptions
 fn engine_loop(
     queue: Arc<ServiceQueue>,
+    counters: Arc<Counters>,
     lib: Arc<DelaySlewLibrary>,
     tech: Arc<Technology>,
     options: CtsOptions,
@@ -687,15 +954,30 @@ fn engine_loop(
     run_two_stage_pull(
         workers,
         || queue.pull(),
-        |job: &Job| job.shared.cancelled.load(Ordering::Acquire),
-        |job: Job| job.deliver(Err(ServiceError::Cancelled)),
+        |job: &Job| job.aborted(),
+        |job: Job| {
+            let err = job.abort_error();
+            match err {
+                ServiceError::Cancelled => counters.cancelled.fetch_add(1, Ordering::Relaxed),
+                _ => counters.expired.fetch_add(1, Ordering::Relaxed),
+            };
+            job.deliver(Err(err));
+        },
         MergeScratch::new,
         |scratch, job: &Job| {
             job.shared.status.store(ST_IN_FLIGHT, Ordering::Release);
             let order = dispatch.fetch_add(1, Ordering::Relaxed);
-            match runner.synth_stage(scratch, &job.instance) {
-                Ok(staged) => Some((staged, order)),
+            let staged = match job.options.clone() {
+                None => runner.synth_stage(scratch, &job.instance),
+                Some(o) => runner.synth_stage_with_options(scratch, &job.instance, o),
+            };
+            match staged {
+                Ok(staged) => {
+                    Counters::add_nanos(&counters.synth_nanos, staged.synth_seconds);
+                    Some((staged, order))
+                }
                 Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
                     job.deliver(Err(ServiceError::Synthesis(e)));
                     None
                 }
@@ -704,13 +986,21 @@ fn engine_loop(
         || (),
         |(), job: Job, (staged, order): (StagedSynthesis, u64)| {
             let outcome = match runner.finish_stage(staged, &job.instance) {
-                Ok(item) => Ok(SynthesisResult {
-                    id: job.id,
-                    priority: job.priority,
-                    dispatch_order: order,
-                    item,
-                }),
-                Err(e) => Err(ServiceError::Synthesis(e)),
+                Ok(item) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    Counters::add_nanos(&counters.verify_nanos, item.verify_seconds);
+                    Ok(SynthesisResult {
+                        id: job.id,
+                        priority: job.priority,
+                        dispatch_order: order,
+                        client_id: job.client_id.clone(),
+                        item,
+                    })
+                }
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Synthesis(e))
+                }
             };
             job.deliver(outcome);
         },
@@ -972,6 +1262,151 @@ mod tests {
             .unwrap();
         drop(svc); // drains, joins; must not hang
         assert!(t.wait().is_ok(), "admitted work resolves through drop");
+    }
+
+    #[test]
+    fn expired_queued_request_never_dispatches() {
+        // Paused service: the request sits queued while its (already
+        // elapsed) deadline passes; it must resolve Expired without a
+        // worker ever synthesizing it — even though the service stays
+        // paused throughout.
+        let svc = service(1, 8, true, false);
+        let t = svc
+            .submit(SynthesisRequest::new(tiny("doomed", 3, 800.0)).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert!(
+            matches!(t.wait(), Err(ServiceError::Expired)),
+            "zero deadline expires in the queue"
+        );
+        let m = svc.metrics();
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.queue_depth, 0, "the expired entry freed its slot");
+        // The service keeps serving afterwards.
+        svc.resume();
+        let ok = svc
+            .submit(SynthesisRequest::new(tiny("alive", 3, 800.0)))
+            .unwrap();
+        let done = ok.wait().expect("undeadlined request completes");
+        // The expired request never took a dispatch ordinal.
+        assert_eq!(done.dispatch_order, 0);
+    }
+
+    #[test]
+    fn generous_deadline_completes_normally() {
+        let svc = service(1, 8, false, false);
+        let t = svc
+            .submit(
+                SynthesisRequest::new(tiny("relaxed", 3, 900.0))
+                    .with_deadline(Duration::from_secs(600)),
+            )
+            .unwrap();
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn cancel_wins_over_expiry() {
+        // A request both cancelled and past its deadline resolves
+        // Cancelled — the explicit signal wins.
+        let svc = service(1, 8, true, false);
+        let t = svc
+            .submit(SynthesisRequest::new(tiny("both", 3, 800.0)).with_deadline(Duration::ZERO))
+            .unwrap();
+        t.cancel();
+        assert!(matches!(t.wait(), Err(ServiceError::Cancelled)));
+        let m = svc.metrics();
+        assert_eq!((m.cancelled, m.expired), (1, 0));
+    }
+
+    #[test]
+    fn metrics_count_every_resolution_kind() {
+        let svc = service(1, 16, true, false);
+        let ok = svc
+            .submit(SynthesisRequest::new(tiny("ok", 3, 900.0)))
+            .unwrap();
+        let dead = svc
+            .submit(SynthesisRequest::new(tiny("dead", 3, 900.0)).with_deadline(Duration::ZERO))
+            .unwrap();
+        let cut = svc
+            .submit(SynthesisRequest::new(tiny("cut", 3, 900.0)))
+            .unwrap();
+        cut.cancel();
+        let mut bad = options();
+        bad.slew_target = 0.0;
+        let broken = svc
+            .submit(SynthesisRequest::new(tiny("broken", 3, 900.0)).with_options(bad))
+            .unwrap();
+        svc.resume();
+        assert!(ok.wait().is_ok());
+        assert!(matches!(dead.wait(), Err(ServiceError::Expired)));
+        assert!(matches!(cut.wait(), Err(ServiceError::Cancelled)));
+        assert!(matches!(broken.wait(), Err(ServiceError::Synthesis(_))));
+        let m = svc.metrics();
+        assert_eq!(m.submitted, 4);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.queue_depth, 0);
+        assert!(
+            m.synth_seconds > 0.0,
+            "the completed request accumulated synthesis time"
+        );
+    }
+
+    #[test]
+    fn per_request_options_override_matches_direct_synthesis() {
+        // The service default would produce one tree; the override another
+        // — the override's result must match a direct Synthesizer carrying
+        // the same options, and the default path must stay untouched.
+        let mut coarse = options();
+        coarse.grid_resolution = 15;
+        let svc = service(1, 8, false, false);
+        let inst = tiny("over", 5, 2200.0);
+        let overridden = svc
+            .submit(SynthesisRequest::new(inst.clone()).with_options(coarse.clone()))
+            .unwrap();
+        let default = svc.submit(SynthesisRequest::new(inst.clone())).unwrap();
+        let overridden = overridden.wait().expect("override synthesizes");
+        let default = default.wait().expect("default synthesizes");
+
+        let want_over = Synthesizer::new(fast_library(), coarse)
+            .synthesize(&inst)
+            .unwrap();
+        let want_default = Synthesizer::new(fast_library(), options())
+            .synthesize(&inst)
+            .unwrap();
+        assert_eq!(overridden.item.result.tree, want_over.tree);
+        assert_eq!(default.item.result.tree, want_default.tree);
+    }
+
+    #[test]
+    fn client_id_is_echoed_on_the_result() {
+        let svc = service(1, 4, false, false);
+        let t = svc
+            .submit(
+                SynthesisRequest::new(tiny("tagged", 3, 800.0)).with_client_id("tenant-7/conn-3"),
+            )
+            .unwrap();
+        let done = t.wait().unwrap();
+        assert_eq!(done.client_id.as_deref(), Some("tenant-7/conn-3"));
+    }
+
+    #[test]
+    fn request_handle_controls_without_the_ticket() {
+        // The handle cancels and reports status while the ticket itself is
+        // parked elsewhere (a completion pump) — the network front end's
+        // split.
+        let svc = service(1, 8, true, false);
+        let ticket = svc
+            .submit(SynthesisRequest::new(tiny("remote", 3, 800.0)))
+            .unwrap();
+        let handle = ticket.handle();
+        assert_eq!(handle.id(), ticket.id());
+        assert_eq!(handle.status(), RequestStatus::Queued);
+        handle.cancel();
+        assert!(matches!(ticket.wait(), Err(ServiceError::Cancelled)));
+        assert_eq!(handle.status(), RequestStatus::Done);
     }
 
     #[test]

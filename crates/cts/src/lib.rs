@@ -11,6 +11,7 @@
 //! | timing | [`timing`] | Elmore/D2M baselines, characterization, delay/slew library |
 //! | synthesis | [`core`] | topology generation, merge-routing, H-corrections, verification |
 //! | workloads | [`benchmarks`] | GSRC r1–r5, ISPD'09 f11–fnb1, bookshelf IO |
+//! | network | [`net`] | JSON-over-TCP front end: `cts-serve` server, blocking client |
 //!
 //! The most common types are re-exported at the top level.
 //!
@@ -57,7 +58,9 @@
 //!
 //! For many instances at once, use [`BatchRunner`]; for a long-running
 //! shared process serving concurrent clients, use [`SynthesisService`]
-//! (see `examples/service_flow.rs`).
+//! (see `examples/service_flow.rs`); to drive that process over TCP —
+//! from other processes or non-Rust clients — use [`net`]
+//! (`examples/remote_flow.rs` and `docs/PROTOCOL.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +71,8 @@ pub use cts_benchmarks as benchmarks;
 pub use cts_core as core;
 /// Manhattan geometry substrate (re-export of `cts-geom`).
 pub use cts_geom as geom;
+/// The JSON-over-TCP service front end (re-export of `cts-net`).
+pub use cts_net as net;
 /// Circuit simulation substrate (re-export of `cts-spice`).
 pub use cts_spice as spice;
 /// Delay/slew modeling (re-export of `cts-timing`).
@@ -75,10 +80,11 @@ pub use cts_timing as timing;
 
 pub use cts_core::{
     verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary, ClockTree,
-    CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats, NodeKind, RequestId,
-    RequestStatus, ServiceError, ServiceOptions, Sink, StagedSynthesis, SubmitError,
-    SynthesisContext, SynthesisPipeline, SynthesisRequest, SynthesisResult, SynthesisService,
-    Synthesizer, Ticket, TimingEngine, TimingReport, TreeNodeId, VerifiedTiming, VerifyOptions,
+    CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats, NodeKind, RequestHandle,
+    RequestId, RequestStatus, ServiceError, ServiceMetrics, ServiceOptions, Sink, StagedSynthesis,
+    SubmitError, SynthesisContext, SynthesisPipeline, SynthesisRequest, SynthesisResult,
+    SynthesisService, Synthesizer, Ticket, TimingEngine, TimingReport, TreeNodeId, VerifiedTiming,
+    VerifyOptions,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{BufferId, DelaySlewLibrary, Load};

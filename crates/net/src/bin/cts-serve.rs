@@ -1,0 +1,107 @@
+//! `cts-serve` — the standalone synthesis server: one characterized
+//! library, one [`cts_core::SynthesisService`], a JSON-over-TCP front
+//! end (`docs/PROTOCOL.md`).
+//!
+//! ```sh
+//! cts-serve [--addr 127.0.0.1:4415] [--workers N] [--queue N]
+//!           [--threads N] [--no-verify]
+//! ```
+//!
+//! The process runs until a client sends the `shutdown` op; the service
+//! then drains (every admitted request resolves and streams its result)
+//! and the final metrics are printed.
+
+use cts_core::{CtsOptions, ServiceOptions, SynthesisService};
+use cts_net::Server;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    threads: usize,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:4415".into(),
+        workers: 0,
+        queue: 64,
+        threads: 1,
+        verify: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--no-verify" => args.verify = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: cts-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--threads N] [--no-verify]\n\
+                     --addr      listen address (default 127.0.0.1:4415; port 0 = ephemeral)\n\
+                     --workers   service worker shards, 0 = every core (default 0)\n\
+                     --queue     submission queue bound, 0 = unbounded (default 64)\n\
+                     --threads   per-request merge threads (default 1: the\n\
+                     \u{20}           worker shards are the parallel axis)\n\
+                     --no-verify skip SPICE verification (engine estimates only)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()?;
+
+    eprintln!("characterizing (or loading) the delay/slew library…");
+    let library = cts_timing::fast_library().clone();
+    let tech = cts_spice::Technology::nominal_45nm();
+
+    let mut options = CtsOptions::default();
+    options.threads = args.threads;
+    let mut svc_options = ServiceOptions::default();
+    svc_options.workers = args.workers;
+    svc_options.queue_capacity = args.queue;
+    svc_options.verify = args.verify;
+    let service = Arc::new(SynthesisService::new(
+        Arc::new(library),
+        Arc::new(tech),
+        options,
+        svc_options,
+    ));
+
+    let server = Server::bind(&args.addr, Arc::clone(&service))?;
+    eprintln!(
+        "cts-serve listening on {} ({} workers, queue {}, verify {})",
+        server.local_addr(),
+        service.workers(),
+        args.queue,
+        args.verify
+    );
+    server.run()?;
+
+    // The service drained before run() returned; the counters are final.
+    eprintln!("cts-serve stopped; final metrics: {}", service.metrics());
+    Ok(())
+}

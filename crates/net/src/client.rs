@@ -1,0 +1,313 @@
+//! A blocking Rust client for the wire protocol.
+//!
+//! [`Client`] owns one connection: it performs the `hello` handshake at
+//! connect, correlates replies by `seq`, and stashes result events that
+//! arrive while it is waiting for something else — so any submit/wait
+//! interleaving works, including submitting many requests before waiting
+//! any ([`Client::wait_result`] returns them in whatever order the
+//! server resolved them).
+//!
+//! The client is deliberately synchronous and single-threaded: one
+//! conversation per connection. Concurrency comes from opening more
+//! connections (see `examples/remote_flow.rs`, which runs several client
+//! threads against one server).
+
+use crate::frame::{read_frame, write_frame};
+use crate::json::Json;
+use crate::proto::{
+    decode_event, decode_response, encode_request, is_event, ErrorCode, MetricsReply, OptionsPatch,
+    Outcome, Request, Response, PROTOCOL_VERSION,
+};
+use cts_core::{Instance, RequestStatus};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed (connect, read, write, disconnect).
+    Io(io::Error),
+    /// The server sent something the protocol does not allow.
+    Protocol(String),
+    /// The server answered with a structured error reply.
+    Remote {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+/// What the server said about itself in the `hello` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerInfo {
+    /// Protocol version the server speaks.
+    pub version: u64,
+    /// Server software identifier.
+    pub server: String,
+    /// The service's worker count.
+    pub workers: u64,
+}
+
+/// Submission knobs, all defaulted — `SubmitParams::default()` is a
+/// plain priority-0 submission.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubmitParams {
+    /// Dispatch priority (higher first).
+    pub priority: i32,
+    /// Deadline in milliseconds from admission.
+    pub deadline_ms: Option<u64>,
+    /// Per-request options overrides.
+    pub options: OptionsPatch,
+    /// Client id echoed on the result (defaults to the connection's
+    /// `hello` client id).
+    pub client_id: Option<String>,
+}
+
+/// One blocking protocol connection. See the module docs.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_seq: u64,
+    /// Result events that arrived while waiting for something else.
+    stashed: HashMap<u64, Outcome>,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Connects and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server rejecting the protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        Client::connect_as(addr, None)
+    }
+
+    /// [`Client::connect`] with a client id, which the server attaches
+    /// to this connection's submissions by default.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server rejecting the protocol version.
+    pub fn connect_as(
+        addr: impl ToSocketAddrs,
+        client_id: Option<&str>,
+    ) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            writer: stream,
+            reader,
+            next_seq: 0,
+            stashed: HashMap::new(),
+            info: ServerInfo {
+                version: 0,
+                server: String::new(),
+                workers: 0,
+            },
+        };
+        let reply = client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            client_id: client_id.map(str::to_string),
+        })?;
+        match reply {
+            Response::Hello {
+                version,
+                server,
+                workers,
+            } => {
+                client.info = ServerInfo {
+                    version,
+                    server,
+                    workers,
+                };
+                Ok(client)
+            }
+            other => Err(unexpected("hello reply", &other)),
+        }
+    }
+
+    /// What the server reported at handshake.
+    pub fn server(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Submits an instance; returns the service-assigned request id. The
+    /// result arrives later — fetch it with [`Client::wait_result`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a structured rejection (draining
+    /// server, invalid spec).
+    pub fn submit(&mut self, instance: &Instance, params: &SubmitParams) -> Result<u64, NetError> {
+        let reply = self.call(&Request::Submit {
+            instance: instance.clone(),
+            options: params.options.clone(),
+            priority: params.priority,
+            deadline_ms: params.deadline_ms,
+            client_id: params.client_id.clone(),
+        })?;
+        match reply {
+            Response::Submitted { id } => Ok(id),
+            other => Err(unexpected("submit reply", &other)),
+        }
+    }
+
+    /// Blocks until request `id` resolves and returns its outcome
+    /// (completed stats, cancelled, expired, or failed). Events for
+    /// *other* requests that arrive meanwhile are stashed for their own
+    /// `wait_result` calls.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures (a lost connection rejects every
+    /// outstanding wait).
+    pub fn wait_result(&mut self, id: u64) -> Result<Outcome, NetError> {
+        if let Some(outcome) = self.stashed.remove(&id) {
+            return Ok(outcome);
+        }
+        loop {
+            let frame = self.read()?;
+            if is_event(&frame) {
+                let event = decode_event(&frame).map_err(NetError::Protocol)?;
+                if event.id == id {
+                    return Ok(event.outcome);
+                }
+                self.stashed.insert(event.id, event.outcome);
+            } else {
+                return Err(NetError::Protocol(
+                    "unsolicited reply while waiting for a result event".into(),
+                ));
+            }
+        }
+    }
+
+    /// Asks where request `id` currently is.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or `unknown_id`.
+    pub fn status(&mut self, id: u64) -> Result<RequestStatus, NetError> {
+        match self.call(&Request::Status { id })? {
+            Response::Status { state, .. } => Ok(state),
+            other => Err(unexpected("status reply", &other)),
+        }
+    }
+
+    /// Requests cooperative cancellation of `id`. The terminal outcome
+    /// (usually [`Outcome::Cancelled`], or the result if it won the
+    /// race) still arrives as an event.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or `unknown_id`.
+    pub fn cancel(&mut self, id: u64) -> Result<(), NetError> {
+        match self.call(&Request::Cancel { id })? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Err(unexpected("cancel reply", &other)),
+        }
+    }
+
+    /// Snapshots the server's service metrics.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn metrics(&mut self) -> Result<MetricsReply, NetError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(unexpected("metrics reply", &other)),
+        }
+    }
+
+    /// Asks the server to drain and stop. Blocks until the server
+    /// confirms — by then every admitted request has resolved and
+    /// streamed its event (wait your own results first, or they arrive
+    /// interleaved before the confirmation and are stashed).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown reply", &other)),
+        }
+    }
+
+    /// Sends `request` and reads until its reply arrives, stashing any
+    /// events that come first. A structured error reply becomes
+    /// [`NetError::Remote`].
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        write_frame(&mut self.writer, &encode_request(seq, request))?;
+        self.writer.flush()?;
+        loop {
+            let frame = self.read()?;
+            if is_event(&frame) {
+                let event = decode_event(&frame).map_err(NetError::Protocol)?;
+                self.stashed.insert(event.id, event.outcome);
+                continue;
+            }
+            let (reply_seq, response) = decode_response(&frame).map_err(NetError::Protocol)?;
+            if reply_seq != Some(seq) {
+                return Err(NetError::Protocol(format!(
+                    "reply seq {reply_seq:?} does not match request seq {seq}"
+                )));
+            }
+            return match response {
+                Response::Error { code, message } => Err(NetError::Remote { code, message }),
+                ok => Ok(ok),
+            };
+        }
+    }
+
+    /// Reads one well-formed frame; EOF and malformed server output are
+    /// both errors here (the client has no error-reply channel).
+    fn read(&mut self) -> Result<Json, NetError> {
+        match read_frame(&mut self.reader)? {
+            None => Err(NetError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Some(Ok(frame)) => Ok(frame),
+            Some(Err(e)) => Err(NetError::Protocol(format!("unparseable server frame: {e}"))),
+        }
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("server", &self.info.server)
+            .field("next_seq", &self.next_seq)
+            .field("stashed_results", &self.stashed.len())
+            .finish()
+    }
+}
+
+fn unexpected(context: &str, got: &Response) -> NetError {
+    NetError::Protocol(format!("unexpected {context}: {got:?}"))
+}

@@ -1,0 +1,162 @@
+//! Newline-delimited JSON framing.
+//!
+//! One frame = one JSON value serialized on one line, terminated by
+//! `\n`. The serializer in [`crate::json`] never emits a raw newline
+//! (strings escape them), so the delimiter is unambiguous and a reader
+//! can always resynchronize at the next `\n` — which is what lets a
+//! server answer a malformed frame with an error *reply* instead of
+//! dropping the connection.
+//!
+//! The error taxonomy mirrors that: [`read_frame`] separates
+//! *recoverable* frame problems (unparseable JSON on an intact line —
+//! returned as `Ok(Some(Err(_)))`) from *fatal* transport problems (I/O
+//! errors, non-UTF-8 bytes, or a frame above [`MAX_FRAME_BYTES`], where
+//! no resynchronization point is known — returned as `Err(_)`).
+
+use crate::json::{Json, JsonError};
+use std::io::{self, BufRead, Read, Write};
+
+/// Upper bound on one frame's byte length (including the newline). A
+/// frame larger than this is a fatal framing error: the reader refuses to
+/// buffer it, and with the line boundary unknown the stream cannot be
+/// resynchronized. 8 MiB fits instances of ~10⁵ sinks with slack.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Reads one frame.
+///
+/// * `Ok(None)` — clean end of stream (EOF at a frame boundary).
+/// * `Ok(Some(Ok(json)))` — a well-formed frame.
+/// * `Ok(Some(Err(e)))` — the line was intact but is not valid JSON; the
+///   stream is still synchronized and the caller may keep reading (after,
+///   say, sending an error reply).
+///
+/// # Errors
+///
+/// Fatal transport problems: underlying I/O errors, a frame exceeding
+/// [`MAX_FRAME_BYTES`], or non-UTF-8 frame bytes.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Result<Json, JsonError>>> {
+    let mut buf = Vec::new();
+    let n = r
+        .by_ref()
+        .take(MAX_FRAME_BYTES as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop(); // tolerate CRLF from line-mode tools (netcat, telnet)
+        }
+    } else if buf.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+        ));
+    }
+    // else: EOF terminated the final frame instead of '\n'; parse it as-is.
+    let text = std::str::from_utf8(&buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))?;
+    Ok(Some(Json::parse(text)))
+}
+
+/// Writes one frame: the compact serialization of `json` plus `\n`.
+/// Does not flush — callers batching frames flush once.
+///
+/// # Errors
+///
+/// The underlying I/O error.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let mut line = json.to_string();
+    line.push('\n');
+    w.write_all(line.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(bytes: &[u8]) -> Vec<io::Result<Option<Result<Json, JsonError>>>> {
+        let mut r = BufReader::new(bytes);
+        let mut out = Vec::new();
+        loop {
+            let item = read_frame(&mut r);
+            let stop = matches!(item, Ok(None) | Err(_));
+            out.push(item);
+            if stop {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let values = vec![
+            Json::obj(vec![("op", Json::str("hello"))]),
+            Json::arr(vec![Json::Num(1.0), Json::str("line\nbreak")]),
+            Json::Null,
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            write_frame(&mut buf, v).unwrap();
+        }
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 3);
+        let mut r = BufReader::new(buf.as_slice());
+        for v in &values {
+            let got = read_frame(&mut r).unwrap().unwrap().unwrap();
+            assert_eq!(&got, v);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_line_is_recoverable() {
+        let frames = read_all(b"{\"ok\":1}\nnot json\n42\n");
+        assert_eq!(frames.len(), 4);
+        assert!(matches!(&frames[0], Ok(Some(Ok(_)))));
+        assert!(
+            matches!(&frames[1], Ok(Some(Err(_)))),
+            "bad JSON, stream intact"
+        );
+        // The stream resynchronized at the next newline.
+        assert!(matches!(&frames[2], Ok(Some(Ok(Json::Num(n)))) if *n == 42.0));
+        assert!(matches!(&frames[3], Ok(None)));
+    }
+
+    #[test]
+    fn empty_line_is_recoverable_garbage() {
+        let frames = read_all(b"\n1\n");
+        assert!(matches!(&frames[0], Ok(Some(Err(_)))));
+        assert!(matches!(&frames[1], Ok(Some(Ok(_)))));
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        let frames = read_all(b"{\"a\":1}\r\n");
+        assert!(matches!(&frames[0], Ok(Some(Ok(_)))));
+    }
+
+    #[test]
+    fn final_frame_without_newline_parses() {
+        let frames = read_all(b"7");
+        assert!(matches!(&frames[0], Ok(Some(Ok(Json::Num(n)))) if *n == 7.0));
+        assert!(matches!(&frames[1], Ok(None)));
+    }
+
+    #[test]
+    fn oversized_frame_is_fatal() {
+        let mut big = vec![b'['; MAX_FRAME_BYTES + 10];
+        big.push(b'\n');
+        let mut r = BufReader::new(big.as_slice());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn non_utf8_frame_is_fatal() {
+        let mut r = BufReader::new(&b"\xff\xfe\n"[..]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,656 @@
+//! A minimal JSON value: parse, serialize, build, inspect.
+//!
+//! The build environment is offline, so there is no `serde_json`; this
+//! module implements the subset of JSON the wire protocol needs — which
+//! is all of JSON's *data model*, hand-rolled small:
+//!
+//! * [`Json::parse`] — a recursive-descent parser with precise byte
+//!   offsets in errors, full string escapes (including `\uXXXX`
+//!   surrogate pairs), strict number grammar, a nesting-depth limit, and
+//!   rejection of trailing input.
+//! * [`fmt::Display`] — compact single-line serialization (never emits a
+//!   raw newline, which is what makes newline framing sound); numbers
+//!   round-trip exactly (Rust's shortest-representation float printing),
+//!   integers print without a fraction.
+//! * Builders ([`Json::obj`], [`Json::str`], …) and accessors
+//!   ([`Json::get`], [`Json::as_f64`], …) so protocol code reads
+//!   declaratively.
+//!
+//! Objects preserve insertion order (they are association lists, not
+//! maps): serialized protocol frames are deterministic, which the
+//! round-trip property tests rely on. [`Json::get`] returns the first
+//! match; duplicate keys are tolerated on input (last writer does *not*
+//! win — the first does) and never produced by this module.
+
+use std::fmt;
+
+/// Maximum nesting depth [`Json::parse`] accepts. Deeper input is
+/// rejected rather than risking a stack overflow on hostile frames.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. JSON has one number type; `f64` holds every integer the
+    /// protocol uses exactly (ids stay below 2^53). Non-finite values
+    /// cannot be parsed and serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: an insertion-ordered association list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value.
+    pub fn num(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array value.
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// First value under `key`, if this is an object that has one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer small
+    /// enough to be exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if it is an integer small enough to be
+    /// exact.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field slice, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Parses one JSON value from `text`, rejecting trailing non-space
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first problem: syntax
+    /// errors, unescaped control characters, lone surrogates, numbers
+    /// outside `f64`'s finite range, nesting beyond [`MAX_DEPTH`], or
+    /// trailing input.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing input after the value"));
+        }
+        Ok(value)
+    }
+}
+
+/// A parse failure: where and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run = self.pos; // start of the current unescaped run
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.run_str(run)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.run_str(run)?);
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    run = self.pos;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err(format!("unescaped control byte 0x{b:02x} in string")))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// The raw (escape-free) slice from `run` to the cursor; always valid
+    /// UTF-8 because the input is `&str` and runs break at ASCII bytes.
+    fn run_str(&self, run: usize) -> Result<&'a str, JsonError> {
+        std::str::from_utf8(&self.bytes[run..self.pos])
+            .map_err(|_| self.err("string run is not UTF-8"))
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = match self.peek() {
+            None => return Err(self.err("unterminated escape")),
+            Some(b'"') => '"',
+            Some(b'\\') => '\\',
+            Some(b'/') => '/',
+            Some(b'b') => '\u{0008}',
+            Some(b'f') => '\u{000c}',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            Some(b't') => '\t',
+            Some(b'u') => {
+                self.pos += 1;
+                return self.unicode_escape();
+            }
+            Some(other) => return Err(self.err(format!("invalid escape '\\{}'", other as char))),
+        };
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("non-hex in \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        let code = match first {
+            0xD800..=0xDBFF => {
+                // High surrogate: a low surrogate escape must follow.
+                if self.bytes[self.pos..].starts_with(b"\\u") {
+                    self.pos += 2;
+                    let low = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&low) {
+                        return Err(self.err("high surrogate not followed by a low surrogate"));
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    return Err(self.err("lone high surrogate"));
+                }
+            }
+            0xDC00..=0xDFFF => return Err(self.err("lone low surrogate")),
+            c => c,
+        };
+        char::from_u32(code).ok_or_else(|| self.err("escape is not a scalar value"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            self.digits();
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number grammar is ASCII");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("unparseable number '{text}'")))?;
+        if !n.is_finite() {
+            return Err(self.err(format!("number '{text}' overflows f64")));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Num(n) => write_number(f, *n),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    item.fmt(f)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    value.fmt(f)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_number(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; `null` is the conventional lossy
+        // mapping. The parser never produces non-finite numbers, so
+        // round-tripping anything parseable is exact.
+        return f.write_str("null");
+    }
+    if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
+        // Exact integer: print without a fraction ("3", not "3.0" —
+        // Display for f64 would print "3" anyway, but going through i64
+        // also normalizes -0.0 to 0).
+        return write!(f, "{}", n as i64);
+    }
+    // Rust's float Display prints the shortest string that parses back to
+    // the same bits, and never uses exponent notation — both valid JSON
+    // and exactly round-trippable.
+    write!(f, "{n}")
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{0008}' => f.write_str("\\b")?,
+            '\u{000c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_str(c.encode_utf8(&mut [0u8; 4]))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.to_string()).expect("serialized JSON reparses")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-0.0),
+            Json::Num(3.0),
+            Json::Num(-17.25),
+            Json::Num(1.0e300),
+            Json::Num(5e-324), // smallest subnormal
+            Json::Num(f64::MAX),
+            Json::str(""),
+            Json::str("plain"),
+            Json::str("esc \" \\ \n \r \t \u{0008} \u{000c} \u{0001}"),
+            Json::str("unicode: π 💡 \u{10FFFF}"),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(Json::Num(-7.0).to_string(), "-7");
+        assert_eq!(Json::Num(-0.0).to_string(), "0");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn containers_roundtrip_and_preserve_order() {
+        let v = Json::obj(vec![
+            ("b", Json::arr(vec![Json::Num(1.0), Json::Null])),
+            ("a", Json::obj(vec![("nested", Json::Bool(false))])),
+            ("", Json::str("empty key")),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        assert_eq!(
+            v.to_string(),
+            r#"{"b":[1,null],"a":{"nested":false},"":"empty key"}"#
+        );
+    }
+
+    #[test]
+    fn parses_standard_syntax() {
+        let v = Json::parse(
+            " { \"k\" : [ 1 , 2.5e1 , -3 ] , \"s\" : \"a\\u0041\\ud83d\\ude00b\" , \"n\" : null } ",
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("k").unwrap().as_arr().unwrap(),
+            &[Json::Num(1.0), Json::Num(25.0), Json::Num(-3.0)]
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("aA😀b"));
+        assert!(v.get("n").unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "tru",
+            "nul",
+            "+1",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "1e+",
+            "--1",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",        // lone high surrogate
+            "\"\\udc00\"",        // lone low surrogate
+            "\"\\ud800\\u0041\"", // high surrogate + non-surrogate
+            "\u{0007}",
+            "1 2",
+            "[1] trailing",
+            "1e999", // overflows f64
+            "nan",
+            "Infinity",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unescaped_control_in_string() {
+        assert!(Json::parse("\"a\u{0000}b\"").is_err());
+        assert!(Json::parse("\"a\nb\"").is_err());
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"n":7,"f":2.5,"neg":-3,"s":"x","b":true,"a":[],"o":{}}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(7));
+        assert_eq!(v.get("neg").unwrap().as_i64(), Some(-3));
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert!(v.get("a").unwrap().as_arr().unwrap().is_empty());
+        assert!(v.get("o").unwrap().as_obj().unwrap().is_empty());
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("n").is_none());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = Json::parse(r#"{"ok": bogus}"#).unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+}

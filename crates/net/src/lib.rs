@@ -1,0 +1,74 @@
+//! `cts-net` — the JSON-over-TCP network front end for the long-running
+//! synthesis service, so non-Rust clients (and Rust clients in other
+//! processes) can drive one shared, characterized-library
+//! [`cts_core::SynthesisService`].
+//!
+//! Three layers, bottom up — all std-only (the build environment is
+//! offline; there is no serde or tokio here, and none is needed):
+//!
+//! 1. **[`json`] + [`frame`]** — a hand-rolled minimal JSON value
+//!    (parse/serialize with full escaping, strict numbers, depth limits)
+//!    and a newline-delimited framing codec that distinguishes
+//!    recoverable malformed frames from fatal transport failures.
+//! 2. **[`proto`]** — the versioned request/response protocol: `hello`,
+//!    `submit` (instance spec + options subset + priority + deadline +
+//!    client id), `status`, `cancel`, `metrics`, `shutdown`, structured
+//!    error replies, and pushed `result` events carrying the full
+//!    per-request stats. Spec and transcripts: `docs/PROTOCOL.md`.
+//! 3. **[`server`] + [`client`]** — a threaded TCP server (one
+//!    reader/writer/completion-pump thread trio per connection, graceful
+//!    drain on the `shutdown` op) around one [`cts_core::SynthesisService`],
+//!    and a blocking [`Client`]. The `cts-serve` binary wraps the server
+//!    for standalone deployment.
+//!
+//! # Example
+//!
+//! An in-process server on an ephemeral port and a client driving it —
+//! the shape of `examples/remote_flow.rs`:
+//!
+//! ```no_run
+//! use cts_core::{CtsOptions, Instance, ServiceOptions, Sink, SynthesisService};
+//! use cts_geom::Point;
+//! use cts_net::{Client, Outcome, Server, SubmitParams};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(SynthesisService::new(
+//!     Arc::new(cts_timing::fast_library().clone()),
+//!     Arc::new(cts_spice::Technology::nominal_45nm()),
+//!     CtsOptions::default(),
+//!     ServiceOptions::default(),
+//! ));
+//! let server = Server::bind("127.0.0.1:0", Arc::clone(&service))?;
+//! let addr = server.local_addr();
+//! let running = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let sinks = (0..4)
+//!     .map(|i| Sink::new(format!("ff{i}"), Point::new(700.0 * i as f64, 0.0), 25e-15))
+//!     .collect();
+//! let id = client.submit(&Instance::new("remote", sinks), &SubmitParams::default())?;
+//! match client.wait_result(id)? {
+//!     Outcome::Completed(result) => println!("skew: {} s", result.estimate.skew),
+//!     other => println!("request resolved {other:?}"),
+//! }
+//! client.shutdown()?; // drain + stop; server.run() returns
+//! running.join().unwrap()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, NetError, ServerInfo, SubmitParams};
+pub use json::{Json, JsonError};
+pub use proto::{
+    ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteResult, ResultEvent, TimingStats,
+    PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerHandle};

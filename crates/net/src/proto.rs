@@ -1,0 +1,1276 @@
+//! The versioned request/response protocol spoken over the framing.
+//!
+//! Message taxonomy (see `docs/PROTOCOL.md` for the wire-level spec and
+//! transcripts):
+//!
+//! * **Requests** ([`Request`]) — client → server, each carrying a
+//!   client-chosen `seq` echoed on its reply: `hello`, `submit`,
+//!   `status`, `cancel`, `metrics`, `shutdown`.
+//! * **Replies** ([`Response`]) — server → client, exactly one per
+//!   request, `"seq"`-correlated; errors are structured
+//!   ([`Response::Error`] with an [`ErrorCode`]) and never kill the
+//!   connection unless the transport itself is broken.
+//! * **Events** ([`ResultEvent`]) — server → client, pushed (not
+//!   replied) when a submitted request resolves; marked
+//!   `"event":true` and correlated by request id, not `seq`.
+//!
+//! Everything here is plain data + conversions to/from [`Json`]; no I/O.
+
+use crate::json::Json;
+use cts_core::{
+    CtsOptions, HCorrection, Instance, RequestStatus, ServiceError, ServiceMetrics, Sink,
+    SynthesisResult,
+};
+use cts_geom::{Point, Rect};
+use std::fmt;
+
+/// The protocol version this crate speaks. A server rejects a `hello`
+/// carrying a different version with [`ErrorCode::UnsupportedVersion`];
+/// see `docs/PROTOCOL.md` for the compatibility rules.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Structured error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON (reply to an undecodable frame;
+    /// `seq` is null).
+    BadJson,
+    /// The frame was JSON but not a valid request (unknown op, missing
+    /// or mistyped field, invalid instance spec).
+    BadRequest,
+    /// `hello` named a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// `status`/`cancel` named a request id this connection never
+    /// submitted.
+    UnknownId,
+    /// The service is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownId => "unknown_id",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses the wire spelling. (Named `from_wire`, not `from_str`, to
+    /// avoid colliding with the `FromStr` trait method.)
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_json" => ErrorCode::BadJson,
+            "bad_request" => ErrorCode::BadRequest,
+            "unsupported_version" => ErrorCode::UnsupportedVersion,
+            "unknown_id" => ErrorCode::UnknownId,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A decode failure, mapped to the error reply the server should send.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// The structured code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl DecodeError {
+    fn bad(message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Instance spec
+
+/// Serializes an instance as the protocol's instance spec:
+/// `{"name", "die":[x0,y0,x1,y1], "sinks":[{"name","x","y","cap_f"},…]}`
+/// with coordinates in µm and capacitance in **farads**. Unlike the
+/// bookshelf dialect's fF column, the wire carries farads directly: a
+/// unit conversion is two float roundings, and the protocol's contract
+/// is that instances (and therefore results) cross the socket
+/// byte-identically.
+pub fn instance_to_json(instance: &Instance) -> Json {
+    let die = instance.die();
+    Json::obj(vec![
+        ("name", Json::str(instance.name())),
+        (
+            "die",
+            Json::arr(vec![
+                Json::num(die.lo().x),
+                Json::num(die.lo().y),
+                Json::num(die.hi().x),
+                Json::num(die.hi().y),
+            ]),
+        ),
+        (
+            "sinks",
+            Json::arr(
+                instance
+                    .sinks()
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::str(&s.name)),
+                            ("x", Json::num(s.location.x)),
+                            ("y", Json::num(s.location.y)),
+                            ("cap_f", Json::num(s.cap)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses an instance spec, validating everything `Instance`'s
+/// constructors would otherwise panic on: at least one sink, finite
+/// coordinates, non-negative finite capacitance, and (when a die is
+/// given) every sink inside it. `die` is optional — absent, the die is
+/// the sink bounding box.
+///
+/// # Errors
+///
+/// [`ErrorCode::BadRequest`] with a description of the first problem.
+pub fn instance_from_json(j: &Json) -> Result<Instance, DecodeError> {
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| DecodeError::bad("instance needs a string 'name'"))?;
+    let sinks_json = j
+        .get("sinks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| DecodeError::bad("instance needs a 'sinks' array"))?;
+    if sinks_json.is_empty() {
+        return Err(DecodeError::bad("instance needs at least one sink"));
+    }
+    let mut sinks = Vec::with_capacity(sinks_json.len());
+    for (i, s) in sinks_json.iter().enumerate() {
+        let field = |key: &str| {
+            s.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| DecodeError::bad(format!("sink {i} needs a number '{key}'")))
+        };
+        let sname = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| DecodeError::bad(format!("sink {i} needs a string 'name'")))?;
+        let (x, y, cap) = (field("x")?, field("y")?, field("cap_f")?);
+        if !(x.is_finite() && y.is_finite()) {
+            return Err(DecodeError::bad(format!("sink {i} location is not finite")));
+        }
+        if !(cap >= 0.0 && cap.is_finite()) {
+            return Err(DecodeError::bad(format!(
+                "sink {i} capacitance {cap} F is invalid"
+            )));
+        }
+        sinks.push(Sink::new(sname, Point::new(x, y), cap));
+    }
+    match j.get("die") {
+        None | Some(Json::Null) => Ok(Instance::new(name, sinks)),
+        Some(die) => {
+            let corners = die
+                .as_arr()
+                .filter(|a| a.len() == 4)
+                .and_then(|a| a.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>())
+                .filter(|c| c.iter().all(|v| v.is_finite()))
+                .ok_or_else(|| {
+                    DecodeError::bad("'die' must be [x0, y0, x1, y1] with finite numbers")
+                })?;
+            let rect = Rect::from_corners(
+                Point::new(corners[0], corners[1]),
+                Point::new(corners[2], corners[3]),
+            );
+            for s in &sinks {
+                if !rect.contains(s.location) {
+                    return Err(DecodeError::bad(format!(
+                        "sink {} lies outside the die",
+                        s.name
+                    )));
+                }
+            }
+            Ok(Instance::with_die(name, sinks, rect))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options patch
+
+/// The `submit` op's [`CtsOptions`] subset: every field optional, applied
+/// over the server's base options. Times travel in picoseconds on the
+/// wire (`slew_*_ps`), matching how the paper quotes them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptionsPatch {
+    /// Overrides [`CtsOptions::slew_limit`] (ps).
+    pub slew_limit_ps: Option<f64>,
+    /// Overrides [`CtsOptions::slew_target`] (ps).
+    pub slew_target_ps: Option<f64>,
+    /// Overrides [`CtsOptions::grid_resolution`].
+    pub grid_resolution: Option<u32>,
+    /// Overrides [`CtsOptions::h_correction`].
+    pub h_correction: Option<HCorrection>,
+    /// Overrides [`CtsOptions::threads`] (per-request merge parallelism).
+    pub threads: Option<usize>,
+}
+
+impl OptionsPatch {
+    /// Whether no field is set (the request runs on the server's base
+    /// options, with no per-request override object allocated).
+    pub fn is_empty(&self) -> bool {
+        *self == OptionsPatch::default()
+    }
+
+    /// The patched options: `base` with every set field replaced.
+    pub fn apply(&self, base: &CtsOptions) -> CtsOptions {
+        let mut o = base.clone();
+        if let Some(ps) = self.slew_limit_ps {
+            o.slew_limit = ps * 1e-12;
+        }
+        if let Some(ps) = self.slew_target_ps {
+            o.slew_target = ps * 1e-12;
+        }
+        if let Some(r) = self.grid_resolution {
+            o.grid_resolution = r;
+        }
+        if let Some(h) = self.h_correction {
+            o.h_correction = h;
+        }
+        if let Some(t) = self.threads {
+            o.threads = t;
+        }
+        o
+    }
+
+    /// Serializes only the set fields.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(v) = self.slew_limit_ps {
+            fields.push(("slew_limit_ps", Json::num(v)));
+        }
+        if let Some(v) = self.slew_target_ps {
+            fields.push(("slew_target_ps", Json::num(v)));
+        }
+        if let Some(v) = self.grid_resolution {
+            fields.push(("grid_resolution", Json::num(v as f64)));
+        }
+        if let Some(h) = self.h_correction {
+            let s = match h {
+                HCorrection::Off => "off",
+                HCorrection::ReEstimate => "re_estimate",
+                HCorrection::Correct => "correct",
+            };
+            fields.push(("h_correction", Json::str(s)));
+        }
+        if let Some(t) = self.threads {
+            fields.push(("threads", Json::num(t as f64)));
+        }
+        Json::obj(fields)
+    }
+
+    /// Parses a patch object; unknown keys are rejected so a typo fails
+    /// loudly instead of silently running on defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`] naming the offending key.
+    pub fn from_json(j: &Json) -> Result<OptionsPatch, DecodeError> {
+        let fields = j
+            .as_obj()
+            .ok_or_else(|| DecodeError::bad("'options' must be an object"))?;
+        let mut patch = OptionsPatch::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "slew_limit_ps" => {
+                    patch.slew_limit_ps = Some(
+                        value
+                            .as_f64()
+                            .ok_or_else(|| DecodeError::bad("'slew_limit_ps' must be a number"))?,
+                    )
+                }
+                "slew_target_ps" => {
+                    patch.slew_target_ps = Some(
+                        value
+                            .as_f64()
+                            .ok_or_else(|| DecodeError::bad("'slew_target_ps' must be a number"))?,
+                    )
+                }
+                "grid_resolution" => {
+                    let n = value
+                        .as_u64()
+                        .filter(|&n| n <= u32::MAX as u64)
+                        .ok_or_else(|| {
+                            DecodeError::bad("'grid_resolution' must be a small integer")
+                        })?;
+                    patch.grid_resolution = Some(n as u32);
+                }
+                "h_correction" => {
+                    patch.h_correction =
+                        Some(match value.as_str() {
+                            Some("off") => HCorrection::Off,
+                            Some("re_estimate") => HCorrection::ReEstimate,
+                            Some("correct") => HCorrection::Correct,
+                            _ => return Err(DecodeError::bad(
+                                "'h_correction' must be \"off\", \"re_estimate\", or \"correct\"",
+                            )),
+                        })
+                }
+                "threads" => {
+                    let n = value
+                        .as_u64()
+                        .ok_or_else(|| DecodeError::bad("'threads' must be an integer"))?;
+                    patch.threads = Some(n as usize);
+                }
+                other => return Err(DecodeError::bad(format!("unknown options key '{other}'"))),
+            }
+        }
+        Ok(patch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+/// A client request (the `seq` correlation id travels alongside, not
+/// inside, so the enum stays pure payload).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake; servers reject unknown versions.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u64,
+        /// Optional client identifier (diagnostics; also the default
+        /// `client_id` for this connection's submissions).
+        client_id: Option<String>,
+    },
+    /// Submit one instance for synthesis.
+    Submit {
+        /// The instance spec.
+        instance: Instance,
+        /// Per-request options overrides (empty = server defaults).
+        options: OptionsPatch,
+        /// Dispatch priority (higher first; ties in admission order).
+        priority: i32,
+        /// Deadline in milliseconds from admission; absent = none.
+        deadline_ms: Option<u64>,
+        /// Client id echoed on the result event.
+        client_id: Option<String>,
+    },
+    /// Where is request `id` (queued / in_flight / done)?
+    Status {
+        /// A request id this connection submitted.
+        id: u64,
+    },
+    /// Cooperatively cancel request `id`.
+    Cancel {
+        /// A request id this connection submitted.
+        id: u64,
+    },
+    /// Snapshot the service counters.
+    Metrics,
+    /// Drain the service and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire op name.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Submit { .. } => "submit",
+            Request::Status { .. } => "status",
+            Request::Cancel { .. } => "cancel",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Serializes a request frame: the op payload plus its `seq`.
+pub fn encode_request(seq: u64, request: &Request) -> Json {
+    let mut fields = vec![
+        ("op", Json::str(request.op())),
+        ("seq", Json::num(seq as f64)),
+    ];
+    match request {
+        Request::Hello { version, client_id } => {
+            fields.push(("version", Json::num(*version as f64)));
+            if let Some(c) = client_id {
+                fields.push(("client_id", Json::str(c)));
+            }
+        }
+        Request::Submit {
+            instance,
+            options,
+            priority,
+            deadline_ms,
+            client_id,
+        } => {
+            fields.push(("instance", instance_to_json(instance)));
+            if !options.is_empty() {
+                fields.push(("options", options.to_json()));
+            }
+            if *priority != 0 {
+                fields.push(("priority", Json::num(*priority as f64)));
+            }
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms", Json::num(*ms as f64)));
+            }
+            if let Some(c) = client_id {
+                fields.push(("client_id", Json::str(c)));
+            }
+        }
+        Request::Status { id } | Request::Cancel { id } => {
+            fields.push(("id", Json::num(*id as f64)));
+        }
+        Request::Metrics | Request::Shutdown => {}
+    }
+    Json::obj(fields)
+}
+
+/// Decodes a request frame into `(seq, request)`.
+///
+/// # Errors
+///
+/// [`ErrorCode::BadRequest`] for a missing/unknown op, missing `seq`, or
+/// any malformed field.
+pub fn decode_request(j: &Json) -> Result<(u64, Request), DecodeError> {
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| DecodeError::bad("frame needs a string 'op'"))?;
+    let seq = j
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| DecodeError::bad("frame needs an integer 'seq'"))?;
+    let opt_str = |key: &str| -> Result<Option<String>, DecodeError> {
+        match j.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| DecodeError::bad(format!("'{key}' must be a string"))),
+        }
+    };
+    let need_id = || {
+        j.get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| DecodeError::bad("op needs an integer 'id'"))
+    };
+    let request = match op {
+        "hello" => Request::Hello {
+            version: j
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| DecodeError::bad("hello needs an integer 'version'"))?,
+            client_id: opt_str("client_id")?,
+        },
+        "submit" => {
+            let instance = instance_from_json(
+                j.get("instance")
+                    .ok_or_else(|| DecodeError::bad("submit needs an 'instance'"))?,
+            )?;
+            let options = match j.get("options") {
+                None | Some(Json::Null) => OptionsPatch::default(),
+                Some(o) => OptionsPatch::from_json(o)?,
+            };
+            let priority = match j.get("priority") {
+                None | Some(Json::Null) => 0,
+                Some(p) => p
+                    .as_i64()
+                    .filter(|p| i32::try_from(*p).is_ok())
+                    .ok_or_else(|| DecodeError::bad("'priority' must be a 32-bit integer"))?
+                    as i32,
+            };
+            let deadline_ms = match j.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(d.as_u64().ok_or_else(|| {
+                    DecodeError::bad("'deadline_ms' must be a non-negative integer")
+                })?),
+            };
+            Request::Submit {
+                instance,
+                options,
+                priority,
+                deadline_ms,
+                client_id: opt_str("client_id")?,
+            }
+        }
+        "status" => Request::Status { id: need_id()? },
+        "cancel" => Request::Cancel { id: need_id()? },
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        other => return Err(DecodeError::bad(format!("unknown op '{other}'"))),
+    };
+    Ok((seq, request))
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+
+/// The `metrics` reply payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsReply {
+    /// The service counter snapshot.
+    pub metrics: ServiceMetrics,
+    /// The service's worker count.
+    pub workers: u64,
+}
+
+/// A server reply — exactly one per request, correlated by `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to `hello`.
+    Hello {
+        /// The protocol version the server speaks.
+        version: u64,
+        /// Server software identifier (e.g. `cts-serve/0.1.0`).
+        server: String,
+        /// The service's worker count.
+        workers: u64,
+    },
+    /// Reply to `submit`: the request was admitted under this id.
+    Submitted {
+        /// The service-assigned request id.
+        id: u64,
+    },
+    /// Reply to `status`.
+    Status {
+        /// The queried id.
+        id: u64,
+        /// Where the request is.
+        state: RequestStatus,
+    },
+    /// Reply to `cancel` (cancellation is cooperative: the terminal
+    /// outcome still arrives as a result event).
+    Cancelled {
+        /// The cancelled id.
+        id: u64,
+    },
+    /// Reply to `metrics`.
+    Metrics(MetricsReply),
+    /// Reply to `shutdown`, sent after the service has drained.
+    ShuttingDown,
+    /// Structured failure of the correlated request.
+    Error {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn status_str(s: RequestStatus) -> &'static str {
+    match s {
+        RequestStatus::Queued => "queued",
+        RequestStatus::InFlight => "in_flight",
+        RequestStatus::Done => "done",
+    }
+}
+
+fn status_from_str(s: &str) -> Option<RequestStatus> {
+    Some(match s {
+        "queued" => RequestStatus::Queued,
+        "in_flight" => RequestStatus::InFlight,
+        "done" => RequestStatus::Done,
+        _ => return None,
+    })
+}
+
+/// Serializes a reply frame. `seq` is `None` only for errors answering a
+/// frame whose `seq` could not be decoded (serialized as `"seq":null`).
+pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
+    let seq_json = match seq {
+        Some(s) => Json::num(s as f64),
+        None => Json::Null,
+    };
+    match response {
+        Response::Error { code, message } => Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("seq", seq_json),
+            (
+                "error",
+                Json::obj(vec![
+                    ("code", Json::str(code.as_str())),
+                    ("message", Json::str(message.clone())),
+                ]),
+            ),
+        ]),
+        ok => {
+            let mut fields = vec![("ok", Json::Bool(true)), ("seq", seq_json)];
+            match ok {
+                Response::Hello {
+                    version,
+                    server,
+                    workers,
+                } => {
+                    fields.push(("op", Json::str("hello")));
+                    fields.push(("version", Json::num(*version as f64)));
+                    fields.push(("server", Json::str(server.clone())));
+                    fields.push(("workers", Json::num(*workers as f64)));
+                }
+                Response::Submitted { id } => {
+                    fields.push(("op", Json::str("submit")));
+                    fields.push(("id", Json::num(*id as f64)));
+                }
+                Response::Status { id, state } => {
+                    fields.push(("op", Json::str("status")));
+                    fields.push(("id", Json::num(*id as f64)));
+                    fields.push(("state", Json::str(status_str(*state))));
+                }
+                Response::Cancelled { id } => {
+                    fields.push(("op", Json::str("cancel")));
+                    fields.push(("id", Json::num(*id as f64)));
+                }
+                Response::Metrics(m) => {
+                    fields.push(("op", Json::str("metrics")));
+                    fields.push(("workers", Json::num(m.workers as f64)));
+                    let s = &m.metrics;
+                    fields.push((
+                        "metrics",
+                        Json::obj(vec![
+                            ("submitted", Json::num(s.submitted as f64)),
+                            ("completed", Json::num(s.completed as f64)),
+                            ("cancelled", Json::num(s.cancelled as f64)),
+                            ("expired", Json::num(s.expired as f64)),
+                            ("failed", Json::num(s.failed as f64)),
+                            ("queue_depth", Json::num(s.queue_depth as f64)),
+                            ("synth_seconds", Json::num(s.synth_seconds)),
+                            ("verify_seconds", Json::num(s.verify_seconds)),
+                        ]),
+                    ));
+                }
+                Response::ShuttingDown => {
+                    fields.push(("op", Json::str("shutdown")));
+                }
+                Response::Error { .. } => unreachable!("handled above"),
+            }
+            Json::obj(fields)
+        }
+    }
+}
+
+/// Decodes a reply frame into `(seq, response)` — the client side.
+///
+/// # Errors
+///
+/// A description of the malformation (client-side this is a protocol
+/// error; there is no one to send a structured reply to).
+pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
+    let seq = match j.get("seq") {
+        Some(Json::Null) | None => None,
+        Some(s) => Some(s.as_u64().ok_or("reply 'seq' must be an integer or null")?),
+    };
+    let ok = j
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("reply needs 'ok'")?;
+    if !ok {
+        let err = j.get("error").ok_or("error reply needs 'error'")?;
+        let code_str = err
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or("error needs a string 'code'")?;
+        let code = ErrorCode::from_wire(code_str)
+            .ok_or_else(|| format!("unknown error code '{code_str}'"))?;
+        let message = err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        return Ok((seq, Response::Error { code, message }));
+    }
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("reply needs a string 'op'")?;
+    let need_id = || j.get("id").and_then(Json::as_u64).ok_or("reply needs 'id'");
+    let response = match op {
+        "hello" => Response::Hello {
+            version: j
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or("hello reply needs 'version'")?,
+            server: j
+                .get("server")
+                .and_then(Json::as_str)
+                .ok_or("hello reply needs 'server'")?
+                .to_string(),
+            workers: j
+                .get("workers")
+                .and_then(Json::as_u64)
+                .ok_or("hello reply needs 'workers'")?,
+        },
+        "submit" => Response::Submitted { id: need_id()? },
+        "status" => Response::Status {
+            id: need_id()?,
+            state: j
+                .get("state")
+                .and_then(Json::as_str)
+                .and_then(status_from_str)
+                .ok_or("status reply needs a valid 'state'")?,
+        },
+        "cancel" => Response::Cancelled { id: need_id()? },
+        "metrics" => {
+            let workers = j
+                .get("workers")
+                .and_then(Json::as_u64)
+                .ok_or("metrics reply needs 'workers'")?;
+            let m = j.get("metrics").ok_or("metrics reply needs 'metrics'")?;
+            let count = |key: &str| {
+                m.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or("bad metrics counter")
+            };
+            let seconds = |key: &str| {
+                m.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or("bad metrics seconds")
+            };
+            Response::Metrics(MetricsReply {
+                workers,
+                metrics: ServiceMetrics {
+                    submitted: count("submitted")?,
+                    completed: count("completed")?,
+                    cancelled: count("cancelled")?,
+                    expired: count("expired")?,
+                    failed: count("failed")?,
+                    queue_depth: count("queue_depth")? as usize,
+                    synth_seconds: seconds("synth_seconds")?,
+                    verify_seconds: seconds("verify_seconds")?,
+                },
+            })
+        }
+        "shutdown" => Response::ShuttingDown,
+        other => return Err(format!("unknown reply op '{other}'")),
+    };
+    Ok((seq, response))
+}
+
+// ---------------------------------------------------------------------------
+// Result events
+
+/// SPICE-or-estimate timing numbers of one result (s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingStats {
+    /// Worst 10–90 % slew (s).
+    pub worst_slew: f64,
+    /// Skew: max − min sink arrival (s).
+    pub skew: f64,
+    /// Max source-to-sink latency (s).
+    pub latency: f64,
+}
+
+/// The stats a completed request streams back — the full
+/// [`SynthesisResult`] summary minus the tree geometry (trees stay on
+/// the server; clients consume numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteResult {
+    /// The service-assigned request id.
+    pub id: u64,
+    /// Instance name, echoed.
+    pub name: String,
+    /// Priority the request ran at.
+    pub priority: i32,
+    /// Dispatch ordinal across the service lifetime.
+    pub dispatch_order: u64,
+    /// Client id echoed from the submission.
+    pub client_id: Option<String>,
+    /// Sink count.
+    pub sinks: u64,
+    /// Topology levels built.
+    pub levels: u64,
+    /// Buffers inserted.
+    pub buffers: u64,
+    /// Routed wirelength (µm).
+    pub wirelength_um: f64,
+    /// Wall time of the synthesis stage (s).
+    pub synth_seconds: f64,
+    /// Wall time of the verification stage (s); 0 when skipped.
+    pub verify_seconds: f64,
+    /// Engine-estimated timing.
+    pub estimate: TimingStats,
+    /// SPICE-verified timing, when the server verifies.
+    pub verified: Option<TimingStats>,
+}
+
+impl RemoteResult {
+    /// Builds the wire stats from a service result.
+    pub fn from_service(r: &SynthesisResult) -> RemoteResult {
+        RemoteResult {
+            id: r.id.0,
+            name: r.item.name.clone(),
+            priority: r.priority,
+            dispatch_order: r.dispatch_order,
+            client_id: r.client_id.clone(),
+            sinks: r.item.sinks as u64,
+            levels: r.item.result.levels as u64,
+            buffers: r.item.result.buffers as u64,
+            wirelength_um: r.item.result.wirelength_um,
+            synth_seconds: r.item.synth_seconds,
+            verify_seconds: r.item.verify_seconds,
+            estimate: TimingStats {
+                worst_slew: r.item.result.report.worst_slew,
+                skew: r.item.result.report.skew(),
+                latency: r.item.result.report.latency,
+            },
+            verified: r.item.verified.as_ref().map(|v| TimingStats {
+                worst_slew: v.worst_slew,
+                skew: v.skew,
+                latency: v.max_latency,
+            }),
+        }
+    }
+}
+
+/// How a request resolved, as carried by a result event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Synthesis (and verification, when enabled) finished.
+    Completed(Box<RemoteResult>),
+    /// The request was cancelled.
+    Cancelled,
+    /// The request's deadline passed first.
+    Expired,
+    /// Synthesis or verification failed.
+    Failed {
+        /// The failure description.
+        error: String,
+    },
+}
+
+impl Outcome {
+    /// Maps a service-side outcome onto the wire taxonomy.
+    pub fn from_service(outcome: &Result<SynthesisResult, ServiceError>) -> Outcome {
+        match outcome {
+            Ok(r) => Outcome::Completed(Box::new(RemoteResult::from_service(r))),
+            Err(ServiceError::Cancelled) => Outcome::Cancelled,
+            Err(ServiceError::Expired) => Outcome::Expired,
+            Err(e) => Outcome::Failed {
+                error: e.to_string(),
+            },
+        }
+    }
+}
+
+/// A pushed (unsolicited) server → client message: request `id` resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultEvent {
+    /// The resolved request id.
+    pub id: u64,
+    /// How it resolved.
+    pub outcome: Outcome,
+}
+
+/// Whether a decoded frame is an event (vs a reply). Clients route on
+/// this before seq-matching.
+pub fn is_event(j: &Json) -> bool {
+    j.get("event").and_then(Json::as_bool) == Some(true)
+}
+
+fn timing_to_json(t: &TimingStats) -> Json {
+    Json::obj(vec![
+        ("worst_slew", Json::num(t.worst_slew)),
+        ("skew", Json::num(t.skew)),
+        ("latency", Json::num(t.latency)),
+    ])
+}
+
+fn timing_from_json(j: &Json) -> Result<TimingStats, String> {
+    let f = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("timing stats need a number '{key}'"))
+    };
+    Ok(TimingStats {
+        worst_slew: f("worst_slew")?,
+        skew: f("skew")?,
+        latency: f("latency")?,
+    })
+}
+
+/// Serializes a result event frame.
+pub fn encode_event(event: &ResultEvent) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("result")),
+        ("event", Json::Bool(true)),
+        ("id", Json::num(event.id as f64)),
+    ];
+    match &event.outcome {
+        Outcome::Completed(r) => {
+            fields.push(("outcome", Json::str("completed")));
+            let mut res = vec![
+                ("name", Json::str(&r.name)),
+                ("priority", Json::num(r.priority as f64)),
+                ("dispatch_order", Json::num(r.dispatch_order as f64)),
+                ("sinks", Json::num(r.sinks as f64)),
+                ("levels", Json::num(r.levels as f64)),
+                ("buffers", Json::num(r.buffers as f64)),
+                ("wirelength_um", Json::num(r.wirelength_um)),
+                ("synth_seconds", Json::num(r.synth_seconds)),
+                ("verify_seconds", Json::num(r.verify_seconds)),
+                ("estimate", timing_to_json(&r.estimate)),
+                (
+                    "verified",
+                    r.verified.as_ref().map_or(Json::Null, timing_to_json),
+                ),
+            ];
+            if let Some(c) = &r.client_id {
+                res.insert(1, ("client_id", Json::str(c)));
+            }
+            fields.push((
+                "result",
+                Json::Obj(res.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+            ));
+        }
+        Outcome::Cancelled => fields.push(("outcome", Json::str("cancelled"))),
+        Outcome::Expired => fields.push(("outcome", Json::str("expired"))),
+        Outcome::Failed { error } => {
+            fields.push(("outcome", Json::str("failed")));
+            fields.push(("error", Json::str(error)));
+        }
+    }
+    Json::obj(fields)
+}
+
+/// Decodes a result event frame.
+///
+/// # Errors
+///
+/// A description of the malformation.
+pub fn decode_event(j: &Json) -> Result<ResultEvent, String> {
+    if !is_event(j) {
+        return Err("not an event frame".into());
+    }
+    let id = j
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("event needs 'id'")?;
+    let outcome = match j.get("outcome").and_then(Json::as_str) {
+        Some("completed") => {
+            let r = j.get("result").ok_or("completed event needs 'result'")?;
+            let num = |key: &str| {
+                r.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("result needs a number '{key}'"))
+            };
+            let int = |key: &str| {
+                r.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("result needs an integer '{key}'"))
+            };
+            Outcome::Completed(Box::new(RemoteResult {
+                id,
+                name: r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("result needs 'name'")?
+                    .to_string(),
+                priority: r
+                    .get("priority")
+                    .and_then(Json::as_i64)
+                    .ok_or("result needs 'priority'")? as i32,
+                dispatch_order: int("dispatch_order")?,
+                client_id: r
+                    .get("client_id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                sinks: int("sinks")?,
+                levels: int("levels")?,
+                buffers: int("buffers")?,
+                wirelength_um: num("wirelength_um")?,
+                synth_seconds: num("synth_seconds")?,
+                verify_seconds: num("verify_seconds")?,
+                estimate: timing_from_json(r.get("estimate").ok_or("result needs 'estimate'")?)?,
+                verified: match r.get("verified") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(timing_from_json(v)?),
+                },
+            }))
+        }
+        Some("cancelled") => Outcome::Cancelled,
+        Some("expired") => Outcome::Expired,
+        Some("failed") => Outcome::Failed {
+            error: j
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        _ => return Err("event needs a valid 'outcome'".into()),
+    };
+    Ok(ResultEvent { id, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_geom::Point;
+
+    fn spec_instance() -> Instance {
+        Instance::with_die(
+            "t",
+            vec![
+                Sink::new("a", Point::new(10.0, 20.0), 25e-15),
+                Sink::new("b", Point::new(90.5, 40.0), 30e-15),
+            ],
+            Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+        )
+    }
+
+    #[test]
+    fn instance_spec_roundtrips_exactly() {
+        let inst = spec_instance();
+        let back = instance_from_json(&instance_to_json(&inst)).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn instance_spec_without_die_uses_bounding_box() {
+        let j = Json::parse(
+            r#"{"name":"x","sinks":[{"name":"s","x":1,"y":2,"cap_f":10e-15},
+                                     {"name":"t","x":5,"y":9,"cap_f":12e-15}]}"#,
+        )
+        .unwrap();
+        let inst = instance_from_json(&j).unwrap();
+        assert_eq!(inst.die().width(), 4.0);
+        assert_eq!(inst.die().height(), 7.0);
+    }
+
+    #[test]
+    fn instance_spec_rejects_bad_input() {
+        for bad in [
+            r#"{"sinks":[{"name":"s","x":1,"y":2,"cap_f":10e-15}]}"#, // no name
+            r#"{"name":"x","sinks":[]}"#,                             // no sinks
+            r#"{"name":"x"}"#,                                        // missing sinks
+            r#"{"name":"x","sinks":[{"name":"s","x":1,"y":2}]}"#,     // no cap
+            r#"{"name":"x","sinks":[{"name":"s","x":1,"y":2,"cap_f":-3e-15}]}"#,
+            r#"{"name":"x","die":[0,0,1],"sinks":[{"name":"s","x":0,"y":0,"cap_f":1e-15}]}"#,
+            r#"{"name":"x","die":[0,0,1,1],"sinks":[{"name":"s","x":5,"y":0,"cap_f":1e-15}]}"#,
+        ] {
+            let j = Json::parse(bad).unwrap();
+            let err = instance_from_json(&j).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn options_patch_roundtrips_and_applies() {
+        let patch = OptionsPatch {
+            slew_limit_ps: Some(120.0),
+            slew_target_ps: Some(90.0),
+            grid_resolution: Some(31),
+            h_correction: Some(HCorrection::Correct),
+            threads: Some(2),
+        };
+        let back = OptionsPatch::from_json(&patch.to_json()).unwrap();
+        assert_eq!(back, patch);
+
+        let base = CtsOptions::default();
+        let applied = patch.apply(&base);
+        assert!((applied.slew_limit - 120e-12).abs() < 1e-18);
+        assert!((applied.slew_target - 90e-12).abs() < 1e-18);
+        assert_eq!(applied.grid_resolution, 31);
+        assert_eq!(applied.h_correction, HCorrection::Correct);
+        assert_eq!(applied.threads, 2);
+        // Unset fields stay at base values.
+        assert_eq!(applied.cost_alpha, base.cost_alpha);
+
+        assert!(OptionsPatch::default().is_empty());
+        assert!(!patch.is_empty());
+    }
+
+    #[test]
+    fn options_patch_rejects_unknown_keys() {
+        let j = Json::parse(r#"{"slew_limit":100}"#).unwrap();
+        let err = OptionsPatch::from_json(&j).unwrap_err();
+        assert!(err.message.contains("slew_limit"), "{err}");
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                client_id: Some("tester".into()),
+            },
+            Request::Submit {
+                instance: spec_instance(),
+                options: OptionsPatch {
+                    grid_resolution: Some(21),
+                    ..OptionsPatch::default()
+                },
+                priority: -4,
+                deadline_ms: Some(1500),
+                client_id: Some("c0".into()),
+            },
+            Request::Submit {
+                instance: spec_instance(),
+                options: OptionsPatch::default(),
+                priority: 0,
+                deadline_ms: None,
+                client_id: None,
+            },
+            Request::Status { id: 7 },
+            Request::Cancel { id: 9 },
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for (i, req) in requests.iter().enumerate() {
+            let frame = encode_request(i as u64, req);
+            // Through text, as on the wire.
+            let reparsed = Json::parse(&frame.to_string()).unwrap();
+            let (seq, back) = decode_request(&reparsed).unwrap();
+            assert_eq!(seq, i as u64);
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = vec![
+            (
+                Some(0),
+                Response::Hello {
+                    version: 1,
+                    server: "cts-serve/0.1.0".into(),
+                    workers: 4,
+                },
+            ),
+            (Some(1), Response::Submitted { id: 3 }),
+            (
+                Some(2),
+                Response::Status {
+                    id: 3,
+                    state: RequestStatus::InFlight,
+                },
+            ),
+            (Some(3), Response::Cancelled { id: 3 }),
+            (
+                Some(4),
+                Response::Metrics(MetricsReply {
+                    workers: 2,
+                    metrics: ServiceMetrics {
+                        submitted: 10,
+                        completed: 7,
+                        cancelled: 1,
+                        expired: 1,
+                        failed: 1,
+                        queue_depth: 0,
+                        synth_seconds: 1.25,
+                        verify_seconds: 0.5,
+                    },
+                }),
+            ),
+            (Some(5), Response::ShuttingDown),
+            (
+                None,
+                Response::Error {
+                    code: ErrorCode::BadJson,
+                    message: "unparseable".into(),
+                },
+            ),
+        ];
+        for (seq, resp) in &responses {
+            let frame = encode_response(*seq, resp);
+            let reparsed = Json::parse(&frame.to_string()).unwrap();
+            assert!(!is_event(&reparsed));
+            let (got_seq, back) = decode_response(&reparsed).unwrap();
+            assert_eq!(&got_seq, seq);
+            assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let events = vec![
+            ResultEvent {
+                id: 5,
+                outcome: Outcome::Completed(Box::new(RemoteResult {
+                    id: 5,
+                    name: "r1".into(),
+                    priority: 2,
+                    dispatch_order: 11,
+                    client_id: Some("tenant".into()),
+                    sinks: 267,
+                    levels: 9,
+                    buffers: 120,
+                    wirelength_um: 12_345.625,
+                    synth_seconds: 2.5,
+                    verify_seconds: 1.25,
+                    estimate: TimingStats {
+                        worst_slew: 81.5e-12,
+                        skew: 3.25e-12,
+                        latency: 1.75e-9,
+                    },
+                    verified: Some(TimingStats {
+                        worst_slew: 83.0e-12,
+                        skew: 4.0e-12,
+                        latency: 1.8e-9,
+                    }),
+                })),
+            },
+            ResultEvent {
+                id: 6,
+                outcome: Outcome::Cancelled,
+            },
+            ResultEvent {
+                id: 7,
+                outcome: Outcome::Expired,
+            },
+            ResultEvent {
+                id: 8,
+                outcome: Outcome::Failed {
+                    error: "slew target unachievable".into(),
+                },
+            },
+        ];
+        for ev in &events {
+            let frame = encode_event(ev);
+            let reparsed = Json::parse(&frame.to_string()).unwrap();
+            assert!(is_event(&reparsed));
+            let back = decode_event(&reparsed).unwrap();
+            assert_eq!(&back, ev);
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownId,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire("nope"), None);
+    }
+}

@@ -1,0 +1,485 @@
+//! The threaded TCP server: one [`SynthesisService`] behind the wire
+//! protocol.
+//!
+//! Thread shape, per connection:
+//!
+//! * a **reader** (the connection thread itself) — decodes request
+//!   frames, performs the op against the shared service, and queues the
+//!   reply. A malformed frame gets a structured error reply and the
+//!   connection keeps going; only transport failures (I/O error,
+//!   oversized frame) end it.
+//! * a **writer** — owns the socket's write half and serializes frames
+//!   from an mpsc channel, so replies (reader) and result events (pump)
+//!   interleave without tearing.
+//! * a **completion pump** — owns the connection's outstanding
+//!   [`Ticket`]s in a [`cts_util::CompletionPump`], sweeps them between
+//!   control messages, and pushes a result event as each resolves. When
+//!   the reader goes away (client disconnect), the pump flushes what
+//!   already resolved and **cancels every still-pending ticket** — a
+//!   dead client's queued work never occupies the service.
+//!
+//! Server lifecycle: [`Server::run`] accepts until a `shutdown` op (or
+//! [`ServerHandle::shutdown`]) arrives, then drains the service
+//! ([`SynthesisService::shutdown`] — every admitted request resolves and
+//! streams its event), replies to the shutdown op, closes the listener
+//! and every connection, joins the threads, and returns.
+
+use crate::frame::{read_frame, write_frame};
+use crate::json::Json;
+use crate::proto::{
+    decode_request, encode_event, encode_response, DecodeError, ErrorCode, MetricsReply, Outcome,
+    Request, Response, ResultEvent, PROTOCOL_VERSION,
+};
+use cts_core::{
+    RequestHandle, ServiceError, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService,
+    Ticket,
+};
+use cts_util::{CompletionPump, PollPending};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The server identification string sent in `hello` replies.
+fn server_ident() -> String {
+    format!("cts-serve/{}", env!("CARGO_PKG_VERSION"))
+}
+
+/// Shared server state: the service plus what shutdown needs to reach.
+struct ServerCtx {
+    service: Arc<SynthesisService>,
+    addr: SocketAddr,
+    shutting_down: AtomicBool,
+    /// Write halves of live connections, for forced teardown at
+    /// shutdown; keyed by connection ordinal.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ServerCtx {
+    /// Drains the service (blocking until every admitted request has
+    /// resolved — their result events stream to clients meanwhile).
+    /// Idempotent.
+    fn drain(&self) {
+        self.service.shutdown();
+    }
+
+    /// Stops the accept loop and winds down every live connection. Only
+    /// the *read* halves are shut: each reader observes EOF and exits,
+    /// while its connection teardown still flushes pending result events
+    /// and replies over the intact write half before the socket drops —
+    /// no frame queued before shutdown is ever lost. Safe to call more
+    /// than once.
+    fn stop(&self) {
+        {
+            // The flag flips under the registry lock, and the accept loop
+            // registers + re-checks under the same lock — so every
+            // connection is wound down by exactly one side: either it is
+            // in the registry when this loop runs, or its registration
+            // observes the flag and shuts itself. Without this pairing, a
+            // connection accepted concurrently with stop() could miss
+            // both and leave run() joining a reader that never wakes.
+            let conns = self.conns.lock().expect("connection registry poisoned");
+            self.shutting_down.store(true, Ordering::Release);
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A shutdown control detached from the blocked [`Server::run`] call —
+/// for embedding the server in-process (tests, `examples/remote_flow`).
+/// The wire protocol's `shutdown` op does the same thing.
+#[derive(Clone)]
+pub struct ServerHandle {
+    ctx: Arc<ServerCtx>,
+}
+
+impl ServerHandle {
+    /// Drains the service, then stops the accept loop and closes every
+    /// connection; [`Server::run`] returns once the teardown finishes.
+    pub fn shutdown(&self) {
+        self.ctx.drain();
+        self.ctx.stop();
+    }
+
+    /// The address the server listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+}
+
+/// The JSON-over-TCP front end around one shared [`SynthesisService`].
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+}
+
+impl Server {
+    /// Wraps an already-bound listener around `service`. Binding
+    /// externally is what lets callers use an ephemeral port
+    /// (`127.0.0.1:0`) and read it back before the server runs.
+    ///
+    /// # Errors
+    ///
+    /// The listener must report its local address.
+    pub fn new(service: Arc<SynthesisService>, listener: TcpListener) -> io::Result<Server> {
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            ctx: Arc::new(ServerCtx {
+                service,
+                addr,
+                shutting_down: AtomicBool::new(false),
+                conns: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// Binds `addr` and wraps it; see [`Server::new`].
+    ///
+    /// # Errors
+    ///
+    /// The bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<SynthesisService>) -> io::Result<Server> {
+        Server::new(service, TcpListener::bind(addr)?)
+    }
+
+    /// The address the server listens on (the resolved port when bound
+    /// to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// A detached shutdown control.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+
+    /// Serves connections until shutdown (wire `shutdown` op or
+    /// [`ServerHandle::shutdown`]), then joins every connection thread
+    /// and returns. The service is drained by then: every admitted
+    /// request resolved and streamed its event.
+    ///
+    /// # Errors
+    ///
+    /// A fatal `accept` failure (address-level, not per-connection).
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::new();
+        let mut conn_id: u64 = 0;
+        loop {
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    if self.ctx.shutting_down.load(Ordering::Acquire) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            };
+            let id = conn_id;
+            conn_id += 1;
+            {
+                // Register, then re-check the flag under the same lock
+                // stop() flips it under: a racing stop() either sees this
+                // entry in the registry or the re-check sees its flag and
+                // winds the connection down here. See ServerCtx::stop.
+                let mut conns = self.ctx.conns.lock().expect("connection registry poisoned");
+                if self.ctx.shutting_down.load(Ordering::Acquire) {
+                    // The wake-up connection (or a late client): refuse.
+                    drop(conns);
+                    drop(stream);
+                    break;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    conns.insert(id, clone);
+                }
+            }
+            let ctx = Arc::clone(&self.ctx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cts-net-conn-{id}"))
+                    .spawn(move || {
+                        serve_connection(&ctx, stream);
+                        ctx.conns
+                            .lock()
+                            .expect("connection registry poisoned")
+                            .remove(&id);
+                    })
+                    .expect("spawning a connection thread"),
+            );
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// A ticket adapted to the completion pump.
+struct PendingTicket(Ticket);
+
+impl PollPending for PendingTicket {
+    type Output = Result<SynthesisResult, ServiceError>;
+    fn poll_pending(&mut self) -> Option<Self::Output> {
+        self.0.try_wait()
+    }
+}
+
+/// Messages from the reader to the connection's completion pump.
+enum PumpMsg {
+    /// Track a freshly submitted ticket.
+    Track(u64, Ticket),
+}
+
+/// How often the pump sweeps its pending set when no control message
+/// arrives. Bounds result-event latency; sweeps are cheap `try_recv`s.
+const PUMP_SWEEP: Duration = Duration::from_millis(2);
+
+fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>) {
+    let mut pump: CompletionPump<u64, PendingTicket> = CompletionPump::new();
+    loop {
+        match rx.recv_timeout(PUMP_SWEEP) {
+            Ok(PumpMsg::Track(id, ticket)) => pump.push(id, PendingTicket(ticket)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        for (id, outcome) in pump.poll_completed() {
+            let event = ResultEvent {
+                id,
+                outcome: Outcome::from_service(&outcome),
+            };
+            if wtx.send(encode_event(&event)).is_err() {
+                // Writer gone: nothing can reach the client anymore.
+                break;
+            }
+        }
+    }
+    // Reader gone (disconnect or shutdown). Flush what has already
+    // resolved — the writer may still drain it — then cancel the rest:
+    // a disconnected client's pending work must not keep burning the
+    // service ("client disconnect mid-request → ticket cancelled").
+    for (id, outcome) in pump.poll_completed() {
+        let event = ResultEvent {
+            id,
+            outcome: Outcome::from_service(&outcome),
+        };
+        let _ = wtx.send(encode_event(&event));
+    }
+    for (_, PendingTicket(ticket)) in pump.drain_pending() {
+        ticket.cancel();
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Json>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(frame) = rx.recv() {
+        if write_frame(&mut w, &frame)
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            // Connection dead; drain silently so senders never block.
+            for _ in rx.iter() {}
+            return;
+        }
+    }
+}
+
+/// Per-connection request state the reader keeps.
+/// Handle-map size that triggers a prune of resolved entries, so a
+/// long-lived connection streaming unbounded submissions does not grow
+/// the reader's memory without bound.
+const HANDLE_PRUNE_THRESHOLD: usize = 1024;
+
+struct ConnState {
+    /// Handles of this connection's requests, for `status`/`cancel` (the
+    /// tickets themselves live in the pump). Pruned of resolved entries
+    /// once it grows past [`HANDLE_PRUNE_THRESHOLD`]: the protocol lets
+    /// the server forget an id after its result event, so `status`/
+    /// `cancel` on a long-resolved id may answer `unknown_id`.
+    handles: HashMap<u64, RequestHandle>,
+    /// Default client id from `hello`, used when a submit has none.
+    client_id: Option<String>,
+}
+
+impl ConnState {
+    fn remember(&mut self, id: u64, handle: RequestHandle) {
+        if self.handles.len() >= HANDLE_PRUNE_THRESHOLD {
+            self.handles
+                .retain(|_, h| h.status() != cts_core::RequestStatus::Done);
+        }
+        self.handles.insert(id, handle);
+    }
+}
+
+fn serve_connection(ctx: &ServerCtx, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (wtx, wrx) = channel::<Json>();
+    let writer = std::thread::Builder::new()
+        .name("cts-net-writer".into())
+        .spawn(move || writer_loop(write_half, wrx))
+        .expect("spawning a writer thread");
+    let (ptx, prx) = channel::<PumpMsg>();
+    let pump_wtx = wtx.clone();
+    let pump = std::thread::Builder::new()
+        .name("cts-net-pump".into())
+        .spawn(move || pump_loop(prx, pump_wtx))
+        .expect("spawning a pump thread");
+
+    let mut state = ConnState {
+        handles: HashMap::new(),
+        client_id: None,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Err(_) | Ok(None) => break, // transport over
+            Ok(Some(Err(json_err))) => {
+                // Malformed JSON on an intact line: structured error
+                // reply, connection survives.
+                let reply = Response::Error {
+                    code: ErrorCode::BadJson,
+                    message: json_err.to_string(),
+                };
+                if wtx.send(encode_response(None, &reply)).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Ok(frame))) => {
+                let stop = handle_frame(ctx, &mut state, &frame, &wtx, &ptx);
+                if stop {
+                    break;
+                }
+            }
+        }
+    }
+    // Teardown: dropping the pump sender makes the pump flush resolved
+    // results and cancel pending ones; dropping the writer sender (after
+    // the pump's) lets the writer drain every queued frame first.
+    drop(ptx);
+    let _ = pump.join();
+    drop(wtx);
+    let _ = writer.join();
+}
+
+/// Handles one decoded frame; returns `true` when the connection should
+/// close (after a `shutdown` op).
+fn handle_frame(
+    ctx: &ServerCtx,
+    state: &mut ConnState,
+    frame: &Json,
+    wtx: &Sender<Json>,
+    ptx: &Sender<PumpMsg>,
+) -> bool {
+    // `seq` is extracted even when decoding fails, so error replies
+    // correlate whenever the client gave us anything to correlate with.
+    let seq = frame.get("seq").and_then(Json::as_u64);
+    let (seq, request) = match decode_request(frame) {
+        Ok(decoded) => decoded,
+        Err(DecodeError { code, message }) => {
+            let _ = wtx.send(encode_response(seq, &Response::Error { code, message }));
+            return false;
+        }
+    };
+    let reply = match request {
+        Request::Hello { version, client_id } => {
+            if version != PROTOCOL_VERSION {
+                Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!(
+                        "server speaks version {PROTOCOL_VERSION}, client asked for {version}"
+                    ),
+                }
+            } else {
+                state.client_id = client_id;
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    server: server_ident(),
+                    workers: ctx.service.workers() as u64,
+                }
+            }
+        }
+        Request::Submit {
+            instance,
+            options,
+            priority,
+            deadline_ms,
+            client_id,
+        } => {
+            let mut req = SynthesisRequest::new(instance).with_priority(priority);
+            if let Some(ms) = deadline_ms {
+                req = req.with_deadline(Duration::from_millis(ms));
+            }
+            if !options.is_empty() {
+                req = req.with_options(options.apply(ctx.service.options()));
+            }
+            if let Some(c) = client_id.or_else(|| state.client_id.clone()) {
+                req = req.with_client_id(c);
+            }
+            // Blocking submit: a full queue back-pressures this
+            // connection's reader (the client sees its next reply delayed
+            // — flow control, not failure).
+            match ctx.service.submit(req) {
+                Ok(ticket) => {
+                    let id = ticket.id().0;
+                    state.remember(id, ticket.handle());
+                    // The pump cannot be gone while the reader lives.
+                    let _ = ptx.send(PumpMsg::Track(id, ticket));
+                    Response::Submitted { id }
+                }
+                Err(SubmitError::ShuttingDown(_)) => Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service is draining; no new work admitted".into(),
+                },
+                Err(e @ SubmitError::WouldBlock(_)) => {
+                    unreachable!("blocking submit cannot report back-pressure: {e}")
+                }
+            }
+        }
+        Request::Status { id } => match state.handles.get(&id) {
+            Some(handle) => Response::Status {
+                id,
+                state: handle.status(),
+            },
+            None => unknown_id(id),
+        },
+        Request::Cancel { id } => match state.handles.get(&id) {
+            Some(handle) => {
+                handle.cancel();
+                Response::Cancelled { id }
+            }
+            None => unknown_id(id),
+        },
+        Request::Metrics => Response::Metrics(MetricsReply {
+            metrics: ctx.service.metrics(),
+            workers: ctx.service.workers() as u64,
+        }),
+        Request::Shutdown => {
+            // Drain first: every admitted request (this connection's and
+            // everyone else's) resolves and streams its event before the
+            // shutdown reply confirms completion.
+            ctx.drain();
+            let _ = wtx.send(encode_response(Some(seq), &Response::ShuttingDown));
+            ctx.stop();
+            return true;
+        }
+    };
+    let _ = wtx.send(encode_response(Some(seq), &reply));
+    false
+}
+
+fn unknown_id(id: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownId,
+        message: format!("request {id} was not submitted on this connection"),
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the hand-rolled JSON module: serialize → parse is
+//! the identity for every representable value, string escaping is
+//! lossless for arbitrary (control/unicode) content, and garbage input
+//! is rejected or at least never panics.
+
+use cts_net::{Json, JsonError};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Strategy for arbitrary text including controls, quotes, backslashes,
+/// multi-byte code points, and astral-plane characters.
+fn wild_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x11_0000, 0..24).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32) // skips the surrogate gap
+            .collect()
+    })
+}
+
+/// Recursive random JSON value. The proptest shim's `Strategy` is just a
+/// sampling trait, so a hand-rolled recursive strategy plugs straight in.
+struct JsonValue {
+    depth: usize,
+}
+
+impl Strategy for JsonValue {
+    type Value = Json;
+    fn sample(&self, rng: &mut proptest::TestRng) -> Json {
+        sample_json(rng, self.depth)
+    }
+}
+
+fn sample_json(rng: &mut proptest::TestRng, depth: usize) -> Json {
+    // Leaves only at depth 0; containers shrink as depth runs out.
+    let kind_max = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..kind_max) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => sample_number(rng),
+        3 => Json::Str(sample_string(rng)),
+        4 => {
+            let n = rng.gen_range(0..4);
+            Json::Arr((0..n).map(|_| sample_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4);
+            Json::Obj(
+                (0..n)
+                    .map(|_| (sample_string(rng), sample_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn sample_number(rng: &mut proptest::TestRng) -> Json {
+    match rng.gen_range(0..4) {
+        // Exact integers, including the 2^53 boundary region.
+        0 => Json::Num(rng.gen_range(-9.007e15..9.007e15f64).trunc()),
+        1 => Json::Num(rng.gen_range(-1000..1000) as f64),
+        // Fractions across many magnitudes.
+        2 => {
+            let mantissa = rng.gen_range(-1.0..1.0f64);
+            let exp = rng.gen_range(-200..200);
+            Json::Num(mantissa * 10f64.powi(exp))
+        }
+        _ => Json::Num(rng.gen_range(-1.0..1.0f64)),
+    }
+}
+
+fn sample_string(rng: &mut proptest::TestRng) -> String {
+    let n = rng.gen_range(0..12);
+    (0..n)
+        .filter_map(|_| char::from_u32(rng.gen_range(0u32..0x11_0000)))
+        .collect()
+}
+
+/// ASCII-heavy soup that is *almost* JSON-shaped, to probe the parser's
+/// rejection paths rather than instantly failing on byte one.
+fn json_soup() -> impl Strategy<Value = String> {
+    let alphabet: Vec<char> = "{}[]\",:0123456789.eE+-truefalsnu \\ \t".chars().collect();
+    prop::collection::vec(0usize..36, 0..40).prop_map(move |idx| {
+        idx.into_iter()
+            .map(|i| alphabet[i % alphabet.len()])
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn value_roundtrips_through_text(v in JsonValue { depth: 3 }) {
+        let text = v.to_string();
+        prop_assert!(!text.contains('\n'), "serialization must be newline-free: {text:?}");
+        let back = Json::parse(&text).expect("serialized JSON must reparse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escaping_is_lossless(s in wild_string()) {
+        let v = Json::Str(s.clone());
+        let back = Json::parse(&v.to_string()).expect("escaped string must reparse");
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn serialization_is_idempotent(v in JsonValue { depth: 3 }) {
+        let once = v.to_string();
+        let twice = Json::parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn garbage_never_panics_and_errors_carry_offsets(soup in json_soup()) {
+        match Json::parse(&soup) {
+            Ok(v) => {
+                // Accidentally valid JSON: must round-trip like any value.
+                prop_assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+            }
+            Err(JsonError { offset, .. }) => {
+                prop_assert!(offset <= soup.len());
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_json_are_rejected(v in JsonValue { depth: 2 }, cut in 0.0..1.0f64) {
+        let text = v.to_string();
+        // Cut strictly inside the serialization, at a char boundary.
+        let mut at = ((text.len() as f64) * cut) as usize;
+        while at > 0 && !text.is_char_boundary(at) {
+            at -= 1;
+        }
+        prop_assume!(at > 0 && at < text.len());
+        let prefix = &text[..at];
+        // A strict prefix of a valid value is itself invalid unless the
+        // value was a number (prefixes of numbers can be numbers) or the
+        // cut lands exactly after a complete nested number token; for
+        // containers/strings the prefix is always invalid.
+        match &v {
+            Json::Num(_) => {} // "12|3" parses; nothing to assert
+            _ => prop_assert!(
+                Json::parse(prefix).is_err(),
+                "accepted truncation {prefix:?} of {text:?}"
+            ),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Protocol-level integration tests: a real server on an ephemeral port,
+//! driven by the [`Client`] and by raw frames, with the failure paths the
+//! wire spec promises — malformed frames answered without killing the
+//! connection, disconnects cancelling in-flight work, deadlines expiring
+//! queued work before it ever dispatches.
+
+use cts_core::{CtsOptions, Instance, RequestStatus, ServiceOptions, Sink, SynthesisService};
+use cts_geom::Point;
+use cts_net::frame::{read_frame, write_frame};
+use cts_net::{Client, ErrorCode, Json, NetError, Outcome, Server, ServerHandle, SubmitParams};
+use cts_spice::Technology;
+use cts_timing::fast_library;
+use cts_util::wait_with_deadline;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct TestServer {
+    addr: SocketAddr,
+    service: Arc<SynthesisService>,
+    handle: ServerHandle,
+    running: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    /// One worker, no SPICE verification (speed), optionally paused so
+    /// queued-state scenarios are deterministic.
+    fn start(paused: bool) -> TestServer {
+        let mut cts = CtsOptions::default();
+        cts.threads = 1;
+        let mut svc = ServiceOptions::default();
+        svc.workers = 1;
+        svc.verify = false;
+        svc.start_paused = paused;
+        let service = Arc::new(SynthesisService::new(
+            Arc::new(fast_library().clone()),
+            Arc::new(Technology::nominal_45nm()),
+            cts,
+            svc,
+        ));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("ephemeral bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let running = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            service,
+            handle,
+            running: Some(running),
+        }
+    }
+
+    fn stop(mut self) {
+        self.handle.shutdown();
+        self.running
+            .take()
+            .expect("server thread")
+            .join()
+            .expect("server thread panicked")
+            .expect("server run failed");
+    }
+}
+
+fn tiny(name: &str, n: usize) -> Instance {
+    let sinks = (0..n)
+        .map(|i| {
+            Sink::new(
+                format!("s{i}"),
+                Point::new(
+                    650.0 * ((i * 7 + 3) % n) as f64,
+                    420.0 * ((i * 5 + 1) % n) as f64,
+                ),
+                22e-15,
+            )
+        })
+        .collect();
+    Instance::new(name, sinks)
+}
+
+#[test]
+fn happy_path_submit_wait_status_metrics() {
+    let ts = TestServer::start(false);
+    let mut client = Client::connect_as(ts.addr, Some("it-tests")).unwrap();
+    assert_eq!(client.server().version, cts_net::PROTOCOL_VERSION);
+    assert_eq!(client.server().workers, 1);
+
+    let id = client
+        .submit(&tiny("happy", 4), &SubmitParams::default())
+        .unwrap();
+    match client.wait_result(id).unwrap() {
+        Outcome::Completed(result) => {
+            assert_eq!(result.id, id);
+            assert_eq!(result.name, "happy");
+            assert_eq!(result.sinks, 4);
+            assert_eq!(result.client_id.as_deref(), Some("it-tests"));
+            assert!(result.estimate.latency > 0.0);
+            assert!(result.verified.is_none(), "verification is off");
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    assert_eq!(client.status(id).unwrap(), RequestStatus::Done);
+    let m = client.metrics().unwrap();
+    assert_eq!(m.metrics.completed, 1);
+    assert_eq!(m.metrics.submitted, 1);
+    assert!(m.metrics.synth_seconds > 0.0);
+    ts.stop();
+}
+
+#[test]
+fn malformed_frame_gets_error_reply_without_killing_the_connection() {
+    let ts = TestServer::start(false);
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Garbage line: a structured bad_json error with a null seq.
+    writer.write_all(b"this is not json {{{\n").unwrap();
+    writer.flush().unwrap();
+    let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(reply.get("seq").unwrap().is_null());
+    assert_eq!(
+        reply
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("bad_json")
+    );
+
+    // Valid JSON that is not a valid request: bad_request, seq echoed.
+    write_frame(
+        &mut writer,
+        &Json::obj(vec![
+            ("op", Json::str("frobnicate")),
+            ("seq", Json::num(7.0)),
+        ]),
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("seq").and_then(Json::as_u64), Some(7));
+    assert_eq!(
+        reply
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    // The connection survived both: a metrics op still answers.
+    write_frame(
+        &mut writer,
+        &Json::obj(vec![("op", Json::str("metrics")), ("seq", Json::num(8.0))]),
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("seq").and_then(Json::as_u64), Some(8));
+    ts.stop();
+}
+
+#[test]
+fn hello_with_wrong_version_is_rejected() {
+    let ts = TestServer::start(false);
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &Json::obj(vec![
+            ("op", Json::str("hello")),
+            ("seq", Json::num(0.0)),
+            ("version", Json::num(99.0)),
+        ]),
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+    assert_eq!(
+        reply
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("unsupported_version")
+    );
+    ts.stop();
+}
+
+#[test]
+fn status_and_cancel_of_unknown_ids_are_structured_errors() {
+    let ts = TestServer::start(false);
+    let mut client = Client::connect(ts.addr).unwrap();
+    match client.status(12345) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown_id, got {other:?}"),
+    }
+    match client.cancel(12345) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown_id, got {other:?}"),
+    }
+    ts.stop();
+}
+
+#[test]
+fn cancel_over_the_wire_resolves_cancelled() {
+    // Paused service: the request is still queued when the cancel lands,
+    // so the outcome is deterministic.
+    let ts = TestServer::start(true);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let id = client
+        .submit(&tiny("cut", 4), &SubmitParams::default())
+        .unwrap();
+    assert_eq!(client.status(id).unwrap(), RequestStatus::Queued);
+    client.cancel(id).unwrap();
+    assert!(matches!(
+        client.wait_result(id).unwrap(),
+        Outcome::Cancelled
+    ));
+    let m = client.metrics().unwrap();
+    assert_eq!(m.metrics.cancelled, 1);
+    assert_eq!(m.metrics.completed, 0);
+    ts.stop();
+}
+
+#[test]
+fn client_disconnect_mid_request_cancels_the_ticket() {
+    // Paused service: the submitted request cannot start, so the
+    // disconnect happens strictly "mid-request".
+    let ts = TestServer::start(true);
+    {
+        let mut client = Client::connect(ts.addr).unwrap();
+        let _id = client
+            .submit(&tiny("orphan", 4), &SubmitParams::default())
+            .unwrap();
+        assert_eq!(ts.service.metrics().submitted, 1);
+        // Drop the connection with the request still queued.
+    }
+    // The connection teardown cancels the orphaned ticket; the queued
+    // request resolves cancelled (even though the service stays paused)
+    // and frees its slot.
+    let cancelled = wait_with_deadline(Duration::from_secs(10), Duration::from_millis(5), || {
+        (ts.service.metrics().cancelled == 1).then_some(())
+    });
+    assert!(cancelled.is_some(), "orphaned request was not cancelled");
+    assert_eq!(ts.service.pending(), 0);
+    assert_eq!(ts.service.metrics().completed, 0, "it never ran");
+    ts.stop();
+}
+
+#[test]
+fn deadline_expired_queued_request_never_dispatches() {
+    // Paused service + 1 ms deadline: the deadline passes while queued;
+    // the request must resolve `expired` without ever synthesizing.
+    let ts = TestServer::start(true);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let params = SubmitParams {
+        deadline_ms: Some(1),
+        ..SubmitParams::default()
+    };
+    let id = client.submit(&tiny("doomed", 4), &params).unwrap();
+    assert!(matches!(client.wait_result(id).unwrap(), Outcome::Expired));
+    let m = client.metrics().unwrap();
+    assert_eq!(m.metrics.expired, 1);
+    assert_eq!(m.metrics.completed, 0);
+    assert_eq!(m.metrics.queue_depth, 0);
+    assert_eq!(
+        m.metrics.synth_seconds, 0.0,
+        "no synthesis stage ever ran for the expired request"
+    );
+    ts.stop();
+}
+
+#[test]
+fn shutdown_op_drains_and_stops_the_server() {
+    let ts = TestServer::start(false);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let id = client
+        .submit(&tiny("draining", 4), &SubmitParams::default())
+        .unwrap();
+    // Shutdown without waiting the result first: the drain resolves the
+    // request, its event is stashed, and the confirmation arrives after.
+    client.shutdown().unwrap();
+    assert!(matches!(
+        client.wait_result(id).unwrap(),
+        Outcome::Completed(_)
+    ));
+    // The server's run() loop exits on its own now.
+    let mut ts = ts;
+    ts.running
+        .take()
+        .unwrap()
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    // New connections are refused (accept loop gone).
+    assert!(
+        Client::connect(ts.addr).is_err(),
+        "server kept accepting after shutdown"
+    );
+}

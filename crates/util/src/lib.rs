@@ -15,9 +15,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//!
+//! [`pump`] holds the other service-front-end primitive: a
+//! [`pump::CompletionPump`] that resolves a dynamic set of pending
+//! handles (service tickets, a network connection's in-flight requests)
+//! by polling sweeps, plus the [`pump::wait_with_deadline`] single-handle
+//! helper.
+
 pub mod exec;
+pub mod pump;
 
 pub use exec::{
     available_threads, resolve_threads, run_parallel, run_parallel_with, run_two_stage,
     run_two_stage_pull, Pull,
 };
+pub use pump::{wait_with_deadline, CompletionPump, PollPending};

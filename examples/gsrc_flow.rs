@@ -2,26 +2,47 @@
 //! batch driver and print Table 5.1-style rows (worst slew / skew / max
 //! latency, SPICE-verified).
 //!
-//! Run with (r1 by default; pass r1..r5, or `all` for the whole suite):
+//! Run with (r1 by default; pass r1..r5, or `all` for the whole suite;
+//! an optional second argument names a directory of real bookshelf
+//! files — any `r<i>.bms` present is loaded instead of the synthetic
+//! equivalent):
 //! ```sh
 //! cargo run --release --example gsrc_flow -- r2
 //! cargo run --release --example gsrc_flow -- all
+//! cargo run --release --example gsrc_flow -- all /path/to/gsrc/files
 //! ```
 
-use cts::benchmarks::{generate_gsrc, gsrc_suite, GsrcBenchmark};
+use cts::benchmarks::{generate_gsrc, gsrc_from_dir, GsrcBenchmark, SuiteSource};
 use cts::spice::units::{NS, PS};
 use cts::{BatchOptions, BatchRunner, CtsOptions, Instance, Technology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "r1".into());
-    let suite: Vec<Instance> = if which == "all" {
-        gsrc_suite()
+    let dir = std::env::args().nth(2);
+    let selected: Vec<GsrcBenchmark> = if which == "all" {
+        GsrcBenchmark::all().to_vec()
     } else {
         let bench = GsrcBenchmark::all()
             .into_iter()
             .find(|b| b.name() == which)
             .ok_or_else(|| format!("unknown GSRC benchmark '{which}' (use r1..r5 or all)"))?;
-        vec![generate_gsrc(bench)]
+        vec![bench]
+    };
+    let suite: Vec<Instance> = match &dir {
+        // Real benchmark ingestion: load any converted bookshelf file in
+        // the directory, fall back per file to the synthetic equivalent.
+        Some(dir) => selected
+            .iter()
+            .map(|&b| {
+                let entry = gsrc_from_dir(b, dir)?;
+                match &entry.source {
+                    SuiteSource::File(path) => println!("{}: loaded {}", b, path.display()),
+                    SuiteSource::Synthetic => println!("{b}: no file in {dir}, synthetic"),
+                }
+                Ok(entry.instance)
+            })
+            .collect::<Result<_, String>>()?,
+        None => selected.iter().map(|&b| generate_gsrc(b)).collect(),
     };
     for instance in &suite {
         println!("instance: {instance}");

@@ -3,26 +3,45 @@
 //! stays within ~3 % of max latency.
 //!
 //! Run with (f22 by default; pass f11, f12, f21, f22, f31, f32, fnb1, or
-//! `all` for the whole suite):
+//! `all` for the whole suite; an optional second argument names a
+//! directory of real bookshelf files — any `<name>.bms` present is
+//! loaded instead of the synthetic equivalent):
 //! ```sh
 //! cargo run --release --example ispd_flow -- f31
 //! cargo run --release --example ispd_flow -- all
+//! cargo run --release --example ispd_flow -- all /path/to/ispd/files
 //! ```
 
-use cts::benchmarks::{generate_ispd, ispd_suite, IspdBenchmark};
+use cts::benchmarks::{generate_ispd, ispd_from_dir, IspdBenchmark, SuiteSource};
 use cts::spice::units::{NS, PS};
 use cts::{BatchOptions, BatchRunner, CtsOptions, Instance, Technology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "f22".into());
-    let suite: Vec<Instance> = if which == "all" {
-        ispd_suite()
+    let dir = std::env::args().nth(2);
+    let selected: Vec<IspdBenchmark> = if which == "all" {
+        IspdBenchmark::all().to_vec()
     } else {
         let bench = IspdBenchmark::all()
             .into_iter()
             .find(|b| b.name() == which)
             .ok_or_else(|| format!("unknown ISPD benchmark '{which}' (or pass `all`)"))?;
-        vec![generate_ispd(bench)]
+        vec![bench]
+    };
+    let suite: Vec<Instance> = match &dir {
+        // Real benchmark ingestion with per-file synthetic fallback.
+        Some(dir) => selected
+            .iter()
+            .map(|&b| {
+                let entry = ispd_from_dir(b, dir)?;
+                match &entry.source {
+                    SuiteSource::File(path) => println!("{}: loaded {}", b, path.display()),
+                    SuiteSource::Synthetic => println!("{b}: no file in {dir}, synthetic"),
+                }
+                Ok(entry.instance)
+            })
+            .collect::<Result<_, String>>()?,
+        None => selected.iter().map(|&b| generate_ispd(b)).collect(),
     };
     for instance in &suite {
         println!("instance: {instance}");

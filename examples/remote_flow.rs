@@ -1,0 +1,193 @@
+//! Remote flow: the `cts-net` walkthrough — an in-process TCP server on
+//! an ephemeral port wrapping one `SynthesisService`, driven by N
+//! concurrent protocol clients submitting prioritized requests, with the
+//! returned stats asserted **byte-identical** to a serial `synthesize` +
+//! `verify_tree` of the same instances, and a final `metrics` reply
+//! checked against the completed request count.
+//!
+//! This is the end-to-end smoke test CI runs on every push (small
+//! instances; the point is exercising the wire path, not benchmark
+//! scale).
+//!
+//! ```sh
+//! cargo run --release --example remote_flow            # 2 clients × 2 requests
+//! cargo run --release --example remote_flow -- 3 2     # clients, requests each
+//! ```
+
+use cts::benchmarks::generate_custom;
+use cts::net::{Client, Outcome, RemoteResult, Server, SubmitParams};
+use cts::spice::units::{NS, PS};
+use cts::{
+    verify_tree, CtsOptions, ServiceOptions, SynthesisService, Synthesizer, Technology,
+    VerifyOptions,
+};
+use std::sync::{Arc, Mutex};
+
+fn instance_for(client: usize, k: usize) -> cts::Instance {
+    generate_custom(
+        &format!("c{client}r{k}"),
+        6 + (client + k) % 4,
+        2200.0,
+        0x4e7 + (client * 29 + k) as u64,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(2);
+    let per_client: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(2);
+
+    let tech = Technology::nominal_45nm();
+    let library = cts::timing::load_or_characterize(
+        "target/ctslib_fast.v1.txt",
+        &tech,
+        &cts::timing::CharacterizeConfig::fast(),
+    )?;
+
+    let mut options = CtsOptions::default();
+    options.threads = 1; // service workers are the parallel axis
+    let mut svc_options = ServiceOptions::default();
+    svc_options.workers = 0; // every core
+    let service = Arc::new(SynthesisService::new(
+        Arc::new(library.clone()),
+        Arc::new(tech.clone()),
+        options.clone(),
+        svc_options,
+    ));
+
+    // Ephemeral port: bind 127.0.0.1:0, read the resolved address back,
+    // run the server on its own thread.
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service))?;
+    let addr = server.local_addr();
+    let running = std::thread::spawn(move || server.run());
+    println!(
+        "cts-net server on {addr} ({} workers); {clients} clients x {per_client} requests\n",
+        service.workers()
+    );
+
+    // Every client is its own thread with its own TCP connection —
+    // concurrent connections multiplexing one service is the point.
+    let results: Mutex<Vec<RemoteResult>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client_idx in 0..clients {
+            let results = &results;
+            scope.spawn(move || {
+                let mut client = Client::connect_as(addr, Some(&format!("client-{client_idx}")))
+                    .expect("connect");
+                // Submit everything first (mixed priorities), then wait —
+                // exercising the stash path for out-of-order completions.
+                let ids: Vec<u64> = (0..per_client)
+                    .map(|k| {
+                        let params = SubmitParams {
+                            priority: client_idx as i32,
+                            ..SubmitParams::default()
+                        };
+                        client
+                            .submit(&instance_for(client_idx, k), &params)
+                            .expect("submit")
+                    })
+                    .collect();
+                for id in ids {
+                    match client.wait_result(id).expect("wait_result") {
+                        Outcome::Completed(result) => results.lock().unwrap().push(*result),
+                        other => panic!("request {id} did not complete: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|r| r.id);
+    println!(
+        "{:<8} {:>10} {:>4} {:>7} {:>12} {:>10} {:>13}",
+        "request", "client", "prio", "#sinks", "worst slew", "skew", "max latency"
+    );
+    for r in &results {
+        let v = r.verified.as_ref().expect("server verifies");
+        println!(
+            "{:<8} {:>10} {:>4} {:>7} {:>9.1} ps {:>7.1} ps {:>10.2} ns",
+            r.name,
+            r.client_id.as_deref().unwrap_or("-"),
+            r.priority,
+            r.sinks,
+            v.worst_slew / PS,
+            v.skew / PS,
+            v.latency / NS,
+        );
+    }
+
+    // The wire contract: every stat that crossed the socket is
+    // byte-identical (f64 round-trips exactly through the JSON codec) to
+    // a serial synthesize + verify_tree of the same instance.
+    let serial = Synthesizer::new(&library, options);
+    for r in &results {
+        let (client_idx, k) = parse_name(&r.name);
+        let instance = instance_for(client_idx, k);
+        let reference = serial.synthesize(&instance)?;
+        let reference_verified = verify_tree(
+            &reference.tree,
+            reference.source,
+            &tech,
+            &VerifyOptions::default(),
+        )?;
+        assert_eq!(r.sinks as usize, instance.sinks().len());
+        assert_eq!(
+            r.levels as usize, reference.levels,
+            "{}: levels drift",
+            r.name
+        );
+        assert_eq!(
+            r.buffers as usize, reference.buffers,
+            "{}: buffers drift",
+            r.name
+        );
+        assert_eq!(
+            r.wirelength_um, reference.wirelength_um,
+            "{}: wirelength drift",
+            r.name
+        );
+        assert_eq!(r.estimate.worst_slew, reference.report.worst_slew);
+        assert_eq!(r.estimate.skew, reference.report.skew());
+        assert_eq!(r.estimate.latency, reference.report.latency);
+        let v = r.verified.as_ref().expect("server verifies");
+        assert_eq!(
+            v.worst_slew, reference_verified.worst_slew,
+            "{}: slew drift",
+            r.name
+        );
+        assert_eq!(v.skew, reference_verified.skew, "{}: skew drift", r.name);
+        assert_eq!(
+            v.latency, reference_verified.max_latency,
+            "{}: latency drift",
+            r.name
+        );
+    }
+    println!("\ndeterminism: remote stats identical to serial synthesize + verify_tree ✓");
+
+    // A fresh client reads the final metrics and shuts the server down
+    // over the wire; the reply must account for every completed request.
+    let mut admin = Client::connect(addr)?;
+    let m = admin.metrics()?;
+    assert_eq!(m.metrics.completed, (clients * per_client) as u64);
+    assert_eq!(m.metrics.submitted, m.metrics.completed);
+    assert_eq!(m.metrics.queue_depth, 0);
+    println!(
+        "metrics: {} completed over {} workers, {:.2} s synth / {:.2} s verify cumulative",
+        m.metrics.completed, m.workers, m.metrics.synth_seconds, m.metrics.verify_seconds
+    );
+    admin.shutdown()?;
+    running.join().expect("server thread")?;
+    println!("server drained and stopped ✓");
+    Ok(())
+}
+
+/// Recovers (client, request) indices from a `c<i>r<k>` request name.
+fn parse_name(name: &str) -> (usize, usize) {
+    let rest = name.strip_prefix('c').expect("request name");
+    let (c, k) = rest.split_once('r').expect("request name");
+    (
+        c.parse().expect("client index"),
+        k.parse().expect("request index"),
+    )
+}
