@@ -58,8 +58,8 @@ pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
 pub use options::{CtsError, CtsOptions, HCorrection};
 pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
 pub use service::{
-    RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics, ServiceOptions,
-    SubmitError, SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
+    BatchSubmitError, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,
+    ServiceOptions, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
 };
-pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId};
+pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId, TreeStructureError};
 pub use verify::{verify_tree, VerifiedTiming, VerifyOptions};

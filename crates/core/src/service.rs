@@ -17,6 +17,11 @@
 //!   behind, [`SynthesisService::submit`] blocks until space frees, and
 //!   [`SynthesisService::try_submit`] returns
 //!   [`SubmitError::WouldBlock`] with the request handed back.
+//! * **Batch admission** — [`SynthesisService::submit_batch`] admits a
+//!   whole request list atomically under one queue lock: all-or-nothing
+//!   against the capacity bound, consecutive ids in batch order, no
+//!   interleaving with other submitters. One paper-style suite sweep,
+//!   one admission.
 //! * **Priorities** — higher [`SynthesisRequest::priority`] dispatches
 //!   first; ties dispatch in submission order. Ordering lives in the
 //!   service's priority queue and reaches the workers through the pull
@@ -306,6 +311,50 @@ impl fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why a *batch* submission was not admitted. Batch admission is
+/// all-or-nothing: on any error the entire batch is handed back in
+/// submission order and **no** entry was admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchSubmitError {
+    /// The batch has more entries than the queue's total capacity, so it
+    /// could never be admitted atomically — not even against an empty
+    /// queue. Split it or raise [`ServiceOptions::queue_capacity`].
+    TooLarge(Vec<SynthesisRequest>),
+    /// The queue lacks room for the whole batch right now
+    /// ([`SynthesisService::try_submit_batch`] only; the blocking
+    /// [`SynthesisService::submit_batch`] waits for space instead).
+    WouldBlock(Vec<SynthesisRequest>),
+    /// The service is shutting down and admits nothing new.
+    ShuttingDown(Vec<SynthesisRequest>),
+}
+
+impl BatchSubmitError {
+    /// The rejected batch, handed back intact and in order.
+    pub fn into_requests(self) -> Vec<SynthesisRequest> {
+        match self {
+            BatchSubmitError::TooLarge(r)
+            | BatchSubmitError::WouldBlock(r)
+            | BatchSubmitError::ShuttingDown(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for BatchSubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchSubmitError::TooLarge(r) => {
+                write!(f, "batch of {} exceeds the queue capacity", r.len())
+            }
+            BatchSubmitError::WouldBlock(_) => {
+                write!(f, "submission queue lacks room for the whole batch")
+            }
+            BatchSubmitError::ShuttingDown(_) => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for BatchSubmitError {}
 
 /// Lock-free lifetime counters, shared between the service handle (for
 /// snapshots) and the engine closures (for increments).
@@ -628,7 +677,12 @@ impl ServiceQueue {
         // whatever a client does with the pause control.
         if inner.shutting_down || !inner.paused {
             if let Some(QueuedJob(job)) = inner.heap.pop() {
-                self.space.notify_one();
+                // notify_all, not notify_one: batch submitters need room
+                // for their *whole* batch, so a single freed slot may wake
+                // a waiter that cannot proceed yet — which would consume
+                // the only wakeup while a one-slot submitter keeps
+                // sleeping next to a free slot.
+                self.space.notify_all();
                 return Pull::Job(job);
             }
             if inner.shutting_down {
@@ -648,7 +702,7 @@ impl ServiceQueue {
                 .expect("checked above");
             let QueuedJob(job) = jobs.swap_remove(pos);
             inner.heap = jobs.into();
-            self.space.notify_one();
+            self.space.notify_all(); // see above: waiters need unequal slot counts
             return Pull::Job(job);
         }
         // Nothing dispatchable right now (empty or paused): park until
@@ -842,6 +896,87 @@ impl SynthesisService {
         } else {
             Ok(self.admit(&mut inner, request))
         }
+    }
+
+    /// Admits a whole batch atomically, blocking while the bounded queue
+    /// lacks room for **all** of it. All-or-nothing: either every entry
+    /// is admitted — under one queue lock, so the returned tickets carry
+    /// consecutive ids in batch order and no other submission interleaves
+    /// — or none is and the batch comes back in the error. This is the
+    /// seam the wire protocol's `submit_batch` op sits on: a
+    /// paper-style suite sweep is one admission, one round trip.
+    ///
+    /// An empty batch admits nothing and returns an empty ticket list.
+    ///
+    /// Fairness caveat: freed slots are not *reserved* for a waiting
+    /// batch — under sustained contention, single submitters can keep
+    /// claiming slots before the contiguous room a large batch needs
+    /// ever accumulates, delaying it indefinitely. Size batches well
+    /// under [`ServiceOptions::queue_capacity`] (or use
+    /// [`SynthesisService::try_submit_batch`] and retry/split) when
+    /// other clients are submitting concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchSubmitError::TooLarge`] when the batch exceeds the queue's
+    /// total capacity (it could never be admitted atomically);
+    /// [`BatchSubmitError::ShuttingDown`] once shutdown has begun. Both
+    /// hand the batch back.
+    pub fn submit_batch(
+        &self,
+        requests: Vec<SynthesisRequest>,
+    ) -> Result<Vec<Ticket>, BatchSubmitError> {
+        if requests.len() > self.queue.capacity {
+            return Err(BatchSubmitError::TooLarge(requests));
+        }
+        let mut inner = self.queue.inner.lock().expect("service queue poisoned");
+        loop {
+            if inner.shutting_down {
+                return Err(BatchSubmitError::ShuttingDown(requests));
+            }
+            if self.queue.capacity - inner.heap.len() >= requests.len() {
+                return Ok(self.admit_all(&mut inner, requests));
+            }
+            inner = self
+                .queue
+                .space
+                .wait(inner)
+                .expect("service queue poisoned");
+        }
+    }
+
+    /// Admits a whole batch atomically without blocking; same
+    /// all-or-nothing semantics as [`SynthesisService::submit_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`BatchSubmitError::WouldBlock`] when the queue lacks room for the
+    /// whole batch right now (even if some entries would fit — partial
+    /// admission never happens), plus the
+    /// [`SynthesisService::submit_batch`] errors; all hand the batch
+    /// back.
+    pub fn try_submit_batch(
+        &self,
+        requests: Vec<SynthesisRequest>,
+    ) -> Result<Vec<Ticket>, BatchSubmitError> {
+        if requests.len() > self.queue.capacity {
+            return Err(BatchSubmitError::TooLarge(requests));
+        }
+        let mut inner = self.queue.inner.lock().expect("service queue poisoned");
+        if inner.shutting_down {
+            Err(BatchSubmitError::ShuttingDown(requests))
+        } else if self.queue.capacity - inner.heap.len() < requests.len() {
+            Err(BatchSubmitError::WouldBlock(requests))
+        } else {
+            Ok(self.admit_all(&mut inner, requests))
+        }
+    }
+
+    fn admit_all(&self, inner: &mut QueueInner, requests: Vec<SynthesisRequest>) -> Vec<Ticket> {
+        requests
+            .into_iter()
+            .map(|request| self.admit(inner, request))
+            .collect()
     }
 
     fn admit(&self, inner: &mut QueueInner, request: SynthesisRequest) -> Ticket {
@@ -1407,6 +1542,113 @@ mod tests {
         handle.cancel();
         assert!(matches!(ticket.wait(), Err(ServiceError::Cancelled)));
         assert_eq!(handle.status(), RequestStatus::Done);
+    }
+
+    #[test]
+    fn submit_batch_admits_atomically_with_consecutive_ids() {
+        let svc = service(1, 16, true, false);
+        // A single submission first, so the batch ids start offset.
+        let solo = svc
+            .submit(SynthesisRequest::new(tiny("solo", 3, 800.0)))
+            .unwrap();
+        let batch: Vec<SynthesisRequest> = (0..3)
+            .map(|k| SynthesisRequest::new(tiny(&format!("b{k}"), 3, 900.0 + 50.0 * k as f64)))
+            .collect();
+        let tickets = svc.submit_batch(batch).expect("batch admits");
+        let ids: Vec<u64> = tickets.iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![1, 2, 3], "consecutive ids in batch order");
+        svc.resume();
+        for (k, t) in tickets.into_iter().enumerate() {
+            let done = t.wait().expect("batch entry completes");
+            assert_eq!(done.item.name, format!("b{k}"));
+        }
+        assert!(solo.wait().is_ok());
+        assert_eq!(svc.metrics().submitted, 4);
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing_against_capacity() {
+        let svc = service(1, 4, true, false);
+        let held = svc
+            .submit(SynthesisRequest::new(tiny("held", 3, 800.0)))
+            .unwrap();
+        // 3 free slots; a 4-entry batch must not partially admit.
+        let batch: Vec<SynthesisRequest> = (0..4)
+            .map(|k| SynthesisRequest::new(tiny(&format!("n{k}"), 3, 900.0)))
+            .collect();
+        match svc.try_submit_batch(batch) {
+            Err(BatchSubmitError::WouldBlock(back)) => {
+                assert_eq!(back.len(), 4, "whole batch handed back");
+                assert_eq!(svc.pending(), 1, "nothing was admitted");
+                // The same batch fits once a slot frees.
+                held.cancel();
+                assert!(matches!(held.wait(), Err(ServiceError::Cancelled)));
+                let tickets = svc.try_submit_batch(back).expect("now fits");
+                assert_eq!(tickets.len(), 4);
+            }
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+        // A batch larger than the total capacity can never be admitted.
+        let oversized: Vec<SynthesisRequest> = (0..5)
+            .map(|_| SynthesisRequest::new(tiny("x", 3, 900.0)))
+            .collect();
+        match svc.submit_batch(oversized) {
+            Err(BatchSubmitError::TooLarge(back)) => assert_eq!(back.len(), 5),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn blocking_batch_submit_waits_for_room_then_admits() {
+        let svc = service(1, 2, true, false);
+        let a = svc
+            .submit(SynthesisRequest::new(tiny("a", 3, 800.0)))
+            .unwrap();
+        let b = svc
+            .submit(SynthesisRequest::new(tiny("b", 3, 850.0)))
+            .unwrap();
+        let batch: Vec<SynthesisRequest> = (0..2)
+            .map(|k| SynthesisRequest::new(tiny(&format!("w{k}"), 3, 900.0)))
+            .collect();
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| {
+                let tickets = svc.submit_batch(batch).expect("admits once room frees");
+                tickets
+                    .into_iter()
+                    .map(|t| t.wait())
+                    .collect::<Result<Vec<_>, _>>()
+            });
+            svc.resume(); // drain a and b, freeing both slots
+            assert!(a.wait().is_ok());
+            assert!(b.wait().is_ok());
+            let results = blocked
+                .join()
+                .expect("submitter thread")
+                .expect("batch ran");
+            assert_eq!(results.len(), 2);
+        });
+    }
+
+    #[test]
+    fn batch_submit_rejected_after_shutdown() {
+        let svc = service(1, 8, false, false);
+        svc.shutdown();
+        let batch = vec![SynthesisRequest::new(tiny("late", 3, 800.0))];
+        match svc.submit_batch(batch) {
+            Err(BatchSubmitError::ShuttingDown(back)) => assert_eq!(back.len(), 1),
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_admits_nothing() {
+        let svc = service(1, 4, false, false);
+        let tickets = svc
+            .submit_batch(Vec::new())
+            .expect("empty batch is a no-op");
+        assert!(tickets.is_empty());
+        assert_eq!(svc.metrics().submitted, 0);
     }
 
     #[test]

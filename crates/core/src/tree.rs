@@ -25,6 +25,15 @@ impl TreeNodeId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// The id of the node at `index` — the inverse of
+    /// [`TreeNodeId::index`], for deserializers rebuilding an arena from
+    /// a wire or file representation. An out-of-range id is not itself an
+    /// error; every arena method validates on use, and
+    /// [`ClockTree::from_nodes`] rejects dangling links up front.
+    pub fn from_index(index: usize) -> TreeNodeId {
+        TreeNodeId(index)
+    }
 }
 
 impl fmt::Display for TreeNodeId {
@@ -78,6 +87,20 @@ pub struct TreeNode {
 pub struct ClockTree {
     nodes: Vec<TreeNode>,
 }
+
+/// Why [`ClockTree::from_nodes`] rejected a node list: a description of
+/// the first structural violation (dangling link, arity overflow,
+/// inconsistent parent/child pointers, non-finite geometry, or a cycle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStructureError(String);
+
+impl fmt::Display for TreeStructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed tree: {}", self.0)
+    }
+}
+
+impl std::error::Error for TreeStructureError {}
 
 impl ClockTree {
     /// Creates an empty arena.
@@ -197,6 +220,110 @@ impl ClockTree {
     /// Panics if `id` is out of range.
     pub fn node(&self, id: TreeNodeId) -> &TreeNode {
         &self.nodes[id.0]
+    }
+
+    /// The whole arena in id order — the export walk serializers iterate
+    /// (node `i` is the one [`ClockTree::node`] returns for the id with
+    /// index `i`). Together with [`ClockTree::from_nodes`] this is the
+    /// round-trip seam: `from_nodes(tree.nodes().to_vec())` rebuilds a
+    /// tree equal to `tree`, field for field.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Rebuilds an arena from raw nodes (a deserialized wire or file
+    /// representation), validating every structural invariant the mutator
+    /// API would otherwise have enforced: links in range, parent/child
+    /// pointers mutually consistent (including child order multiplicity),
+    /// arity limits, finite locations and non-negative finite
+    /// wirelengths/capacitances, roots carrying zero parent wire, and no
+    /// cycles. The node list is stored verbatim, so a valid rebuild is
+    /// bit-identical to the exported arena — nothing is renumbered.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeStructureError`] describing the first violation.
+    pub fn from_nodes(nodes: Vec<TreeNode>) -> Result<ClockTree, TreeStructureError> {
+        let total = nodes.len();
+        let fail = |msg: String| Err(TreeStructureError(msg));
+        for (i, n) in nodes.iter().enumerate() {
+            if !n.location.is_finite() {
+                return fail(format!("node {i} location is not finite"));
+            }
+            if !(n.wire_to_parent_um >= 0.0 && n.wire_to_parent_um.is_finite()) {
+                return fail(format!(
+                    "node {i} parent wire {} is invalid",
+                    n.wire_to_parent_um
+                ));
+            }
+            if let NodeKind::Sink { cap, .. } = n.kind {
+                if !(cap >= 0.0 && cap.is_finite()) {
+                    return fail(format!("sink node {i} capacitance {cap} F is invalid"));
+                }
+            }
+            let max_children = match n.kind {
+                NodeKind::Sink { .. } => 0,
+                NodeKind::Buffer { .. } | NodeKind::Source { .. } => 1,
+                NodeKind::Joint => 2,
+            };
+            if n.children.len() > max_children {
+                return fail(format!(
+                    "node {i} has {} children (max {max_children})",
+                    n.children.len()
+                ));
+            }
+            match n.parent {
+                Some(p) if p.0 >= total => {
+                    return fail(format!("node {i} parent {} is out of range", p.0))
+                }
+                Some(p) if p.0 == i => return fail(format!("node {i} is its own parent")),
+                None if n.wire_to_parent_um != 0.0 => {
+                    return fail(format!("root node {i} carries a parent wire"))
+                }
+                _ => {}
+            }
+            if let Some(&c) = n.children.iter().find(|c| c.0 >= total) {
+                return fail(format!("node {i} child {} is out of range", c.0));
+            }
+        }
+        // Mutual link consistency: every child points back, and every
+        // parented node appears exactly once in its parent's child list.
+        for (i, n) in nodes.iter().enumerate() {
+            for &c in &n.children {
+                if nodes[c.0].parent != Some(TreeNodeId(i)) {
+                    return fail(format!("child {} does not point back to {i}", c.0));
+                }
+            }
+            if let Some(p) = n.parent {
+                let listed = nodes[p.0].children.iter().filter(|c| c.0 == i).count();
+                if listed != 1 {
+                    return fail(format!(
+                        "node {i} appears {listed} times in parent {}'s children",
+                        p.0
+                    ));
+                }
+            }
+        }
+        // With links mutually consistent, any node not reachable from a
+        // root sits on a parent cycle.
+        let mut seen = vec![false; total];
+        let mut stack: Vec<usize> = (0..total).filter(|&i| nodes[i].parent.is_none()).collect();
+        let mut reached = 0usize;
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            reached += 1;
+            stack.extend(nodes[i].children.iter().map(|c| c.0));
+        }
+        if reached != total {
+            return fail(format!(
+                "{} nodes are unreachable from any root (parent cycle)",
+                total - reached
+            ));
+        }
+        Ok(ClockTree { nodes })
     }
 
     /// Sets a node's location (binary search moves merge joints).
@@ -652,5 +779,73 @@ mod tests {
     fn extract_rejects_overlapping_roots() {
         let (t, a, _b, m) = two_sink_tree();
         let _ = t.extract_forest(&[m, a]);
+    }
+
+    #[test]
+    fn from_nodes_roundtrips_bit_for_bit() {
+        let (mut t, _a, _b, m) = two_sink_tree();
+        let buf = t.add_buffer(Point::new(100.0, 40.0), BufferId(1));
+        t.attach(buf, m, 40.0);
+        let src = t.add_source(buf, BufferId(2));
+        let back = ClockTree::from_nodes(t.nodes().to_vec()).expect("valid export");
+        assert_eq!(back, t);
+        assert_eq!(back.validate_under(src), t.validate_under(src));
+    }
+
+    #[test]
+    fn from_nodes_rejects_structural_violations() {
+        let (t, a, _b, m) = two_sink_tree();
+        let good = t.nodes().to_vec();
+
+        // Dangling parent link.
+        let mut bad = good.clone();
+        bad[a.index()].parent = Some(TreeNodeId(99));
+        assert!(ClockTree::from_nodes(bad).is_err());
+
+        // Child that does not point back.
+        let mut bad = good.clone();
+        bad[a.index()].parent = None;
+        bad[a.index()].wire_to_parent_um = 0.0;
+        assert!(ClockTree::from_nodes(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("point back"));
+
+        // Sink with children (arity).
+        let mut bad = good.clone();
+        bad[a.index()].children = vec![m];
+        assert!(ClockTree::from_nodes(bad).is_err());
+
+        // Root carrying a parent wire.
+        let mut bad = good.clone();
+        bad[m.index()].wire_to_parent_um = 7.0;
+        assert!(ClockTree::from_nodes(bad).is_err());
+
+        // Non-finite geometry.
+        let mut bad = good.clone();
+        bad[a.index()].wire_to_parent_um = f64::NAN;
+        assert!(ClockTree::from_nodes(bad).is_err());
+
+        // A two-joint parent cycle detached from the real tree.
+        let mut bad = good.clone();
+        let i = bad.len();
+        bad.push(TreeNode {
+            kind: NodeKind::Joint,
+            location: Point::new(1.0, 1.0),
+            parent: Some(TreeNodeId(i + 1)),
+            wire_to_parent_um: 1.0,
+            children: vec![TreeNodeId(i + 1)],
+        });
+        bad.push(TreeNode {
+            kind: NodeKind::Joint,
+            location: Point::new(2.0, 2.0),
+            parent: Some(TreeNodeId(i)),
+            wire_to_parent_um: 1.0,
+            children: vec![TreeNodeId(i)],
+        });
+        assert!(ClockTree::from_nodes(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("cycle"));
     }
 }

@@ -11,6 +11,13 @@
 //! filter as their first non-flag argument and ignore `--bench` (which
 //! cargo passes). `cargo test --benches` compiles these binaries in test
 //! mode; the harness detects `--test` and exits quickly.
+//!
+//! Machine-readable summaries: when `CTS_BENCH_JSON` names a file, every
+//! measurement additionally appends one summary object to a JSON array
+//! in that file (created on first use, extended in place afterwards —
+//! several bench groups and binaries can share one artifact). CI points
+//! it at `BENCH_ci.json` and uploads the result, so the perf trajectory
+//! has data points instead of scrollback.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -215,6 +222,64 @@ impl Bencher {
             s.per_iter.len(),
             s.iters_per_sample
         );
+        if let Ok(path) = std::env::var("CTS_BENCH_JSON") {
+            if !path.is_empty() {
+                let entry = summary_json(id, median, mean, s.per_iter.len(), s.iters_per_sample);
+                if let Err(e) = append_json_entry(std::path::Path::new(&path), &entry) {
+                    eprintln!("warning: could not append bench summary to {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// One measurement as a JSON object (times in integer nanoseconds —
+/// exact, locale-proof, and trivially diffable between CI runs).
+fn summary_json(id: &str, median: Duration, mean: Duration, samples: usize, iters: u64) -> String {
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{},\"mean_ns\":{},\"samples\":{samples},\"iters_per_sample\":{iters}}}",
+        median.as_nanos(),
+        mean.as_nanos()
+    )
+}
+
+/// Appends `entry` to the JSON array in `path`, creating `[entry]` when
+/// the file is missing or empty. The array is extended textually (the
+/// closing bracket is cut and rewritten) so several bench binaries can
+/// accumulate into one artifact without a JSON parser in the harness.
+fn append_json_entry(path: &std::path::Path, entry: &str) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .truncate(false)
+        .open(path)?;
+    let mut contents = String::new();
+    file.read_to_string(&mut contents)?;
+    let trimmed = contents.trim_end();
+    if trimmed.is_empty() {
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        write!(file, "[\n{entry}\n]\n")
+    } else {
+        let cut = trimmed.rfind(']').ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "existing bench summary file is not a JSON array",
+            )
+        })?;
+        file.set_len(cut as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        write!(file, ",\n{entry}\n]\n")
     }
 }
 
@@ -271,6 +336,36 @@ mod tests {
             b.iter(|| black_box(n) * 3)
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_summaries_accumulate_into_one_array() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cts_bench_json_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let a = summary_json(
+            "grp/one",
+            Duration::from_nanos(1500),
+            Duration::from_nanos(1600),
+            3,
+            7,
+        );
+        let b = summary_json(
+            "grp/t\"wo\\",
+            Duration::from_micros(2),
+            Duration::from_micros(2),
+            2,
+            1,
+        );
+        append_json_entry(&path, &a).unwrap();
+        append_json_entry(&path, &b).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            contents,
+            "[\n{\"id\":\"grp/one\",\"median_ns\":1500,\"mean_ns\":1600,\"samples\":3,\"iters_per_sample\":7}\n,\n\
+             {\"id\":\"grp/t\\\"wo\\\\\",\"median_ns\":2000,\"mean_ns\":2000,\"samples\":2,\"iters_per_sample\":1}\n]\n"
+        );
     }
 
     #[test]

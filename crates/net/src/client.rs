@@ -15,10 +15,11 @@
 use crate::frame::{read_frame, write_frame};
 use crate::json::Json;
 use crate::proto::{
-    decode_event, decode_response, encode_request, is_event, ErrorCode, MetricsReply, OptionsPatch,
-    Outcome, Request, Response, PROTOCOL_VERSION,
+    decode_event, decode_response, decode_tree_event, encode_request, event_op, is_event,
+    BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteTree, Request, Response,
+    TreeEvent, TreeInfo, PROTOCOL_VERSION,
 };
-use cts_core::{Instance, RequestStatus};
+use cts_core::{ClockTree, Instance, RequestStatus, TreeNode, TreeNodeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufReader, Write};
@@ -90,6 +91,9 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     next_seq: u64,
     /// Result events that arrived while waiting for something else.
+    /// Stashed **by id unconditionally** — including ids this client has
+    /// not yet learned about, because a batch reply can race the first
+    /// pushed event of one of its own requests.
     stashed: HashMap<u64, Outcome>,
     info: ServerInfo,
 }
@@ -174,6 +178,42 @@ impl Client {
         }
     }
 
+    /// Submits many instances in **one frame**, admitted atomically into
+    /// the service (all-or-nothing against queue capacity). Returns the
+    /// service-assigned request ids, one per entry in entry order. The
+    /// results arrive later, each as its own event — fetch them with
+    /// [`Client::wait_result`], in any order.
+    ///
+    /// `options` is the [`OptionsPatch`] shared by every entry;
+    /// scheduling knobs (priority, deadline, client id) travel per entry
+    /// on the [`BatchEntry`]. An empty batch returns `Ok(vec![])`
+    /// without touching the wire — matching
+    /// `SynthesisService::submit_batch`'s no-op semantics (the wire op
+    /// itself requires at least one entry).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a structured rejection: a batch
+    /// larger than the server queue's total capacity is `bad_request`
+    /// (nothing was admitted), a draining server is `shutting_down`.
+    pub fn submit_batch(
+        &mut self,
+        entries: Vec<BatchEntry>,
+        options: &OptionsPatch,
+    ) -> Result<Vec<u64>, NetError> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reply = self.call(&Request::SubmitBatch {
+            entries,
+            options: options.clone(),
+        })?;
+        match reply {
+            Response::BatchSubmitted { ids } => Ok(ids),
+            other => Err(unexpected("submit_batch reply", &other)),
+        }
+    }
+
     /// Blocks until request `id` resolves and returns its outcome
     /// (completed stats, cancelled, expired, or failed). Events for
     /// *other* requests that arrive meanwhile are stashed for their own
@@ -184,21 +224,141 @@ impl Client {
     /// Transport/protocol failures (a lost connection rejects every
     /// outstanding wait).
     pub fn wait_result(&mut self, id: u64) -> Result<Outcome, NetError> {
-        if let Some(outcome) = self.stashed.remove(&id) {
-            return Ok(outcome);
-        }
         loop {
+            if let Some(outcome) = self.stashed.remove(&id) {
+                return Ok(outcome);
+            }
             let frame = self.read()?;
             if is_event(&frame) {
-                let event = decode_event(&frame).map_err(NetError::Protocol)?;
-                if event.id == id {
-                    return Ok(event.outcome);
-                }
-                self.stashed.insert(event.id, event.outcome);
+                self.stash_event(&frame)?;
             } else {
                 return Err(NetError::Protocol(
                     "unsolicited reply while waiting for a result event".into(),
                 ));
+            }
+        }
+    }
+
+    /// Fetches the full routed tree geometry of a completed request:
+    /// every node with exact-µm coordinates, buffer insertions with
+    /// their library cell ids, the routed wire length of every segment,
+    /// and the per-level synthesis statistics — rebuilt into a
+    /// [`ClockTree`] **bit-identical** to the one the server synthesized
+    /// in process.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures — including a stream truncated mid-geometry,
+    /// which surfaces as an error rather than a silently partial tree —
+    /// protocol violations (chunk gaps, short streams, structurally
+    /// invalid nodes), or `unknown_id` when the server no longer retains
+    /// (or never completed) the request.
+    pub fn fetch_tree(&mut self, id: u64) -> Result<RemoteTree, NetError> {
+        self.fetch_tree_chunked(id, None)
+    }
+
+    /// [`Client::fetch_tree`] with an explicit chunk size (nodes per
+    /// `tree` event); `None` uses the server default.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::fetch_tree`].
+    pub fn fetch_tree_chunked(
+        &mut self,
+        id: u64,
+        chunk: Option<u64>,
+    ) -> Result<RemoteTree, NetError> {
+        let header = match self.call(&Request::FetchTree { id, chunk })? {
+            Response::TreeHeader(h) => h,
+            other => return Err(unexpected("fetch_tree reply", &other)),
+        };
+        if header.id != id {
+            return Err(NetError::Protocol(format!(
+                "fetch_tree reply names id {}, asked for {id}",
+                header.id
+            )));
+        }
+        self.collect_tree(&header)
+    }
+
+    /// Consumes the chunked `tree` events following a stream header and
+    /// rebuilds the routed tree. Result events that interleave are
+    /// stashed; `tree` events for *other* ids cannot belong to a live
+    /// stream (this synchronous client runs at most one at a time —
+    /// they are stale leftovers of an earlier failed fetch) and are
+    /// discarded, so a failed stream never poisons a later retry.
+    fn collect_tree(&mut self, header: &TreeInfo) -> Result<RemoteTree, NetError> {
+        // `header.nodes` is server-supplied: cap the preallocation so a
+        // buggy or hostile peer cannot panic/abort this process with an
+        // absurd claim — the vector grows normally past the hint, and a
+        // short stream is caught against the header before the rebuild.
+        let mut nodes: Vec<TreeNode> =
+            Vec::with_capacity(usize::try_from(header.nodes).unwrap_or(0).min(1 << 16));
+        let mut next_chunk = 0u64;
+        loop {
+            // A truncated stream fails here with a transport error (EOF
+            // mid-stream) — never a partial tree.
+            let frame = self.read()?;
+            if !is_event(&frame) {
+                return Err(NetError::Protocol(
+                    "unsolicited reply inside a tree stream".into(),
+                ));
+            }
+            if event_op(&frame) != Some("tree") {
+                self.stash_event(&frame)?;
+                continue;
+            }
+            let event = decode_tree_event(&frame).map_err(NetError::Protocol)?;
+            if event.id() != header.id {
+                continue; // stale frames of an earlier failed stream
+            }
+            match event {
+                TreeEvent::Chunk(c) => {
+                    if c.chunk != next_chunk || c.chunk >= header.chunks {
+                        return Err(NetError::Protocol(format!(
+                            "tree chunk {} arrived out of order (expected {next_chunk} of {})",
+                            c.chunk, header.chunks
+                        )));
+                    }
+                    // Enforce the header's budget per chunk, not just at
+                    // the terminal frame — a server streaming more nodes
+                    // than it announced must not grow this vector
+                    // without bound.
+                    if (nodes.len() + c.nodes.len()) as u64 > header.nodes {
+                        return Err(NetError::Protocol(format!(
+                            "tree stream overran its header: more than {} nodes",
+                            header.nodes
+                        )));
+                    }
+                    next_chunk += 1;
+                    nodes.extend(c.nodes);
+                }
+                TreeEvent::Done(done) => {
+                    if next_chunk != header.chunks || nodes.len() as u64 != header.nodes {
+                        return Err(NetError::Protocol(format!(
+                            "tree stream ended short: {} of {} nodes in {} of {} chunks",
+                            nodes.len(),
+                            header.nodes,
+                            next_chunk,
+                            header.chunks
+                        )));
+                    }
+                    if header.source >= header.nodes {
+                        return Err(NetError::Protocol(format!(
+                            "tree source {} is outside the {}-node arena",
+                            header.source, header.nodes
+                        )));
+                    }
+                    let tree = ClockTree::from_nodes(nodes)
+                        .map_err(|e| NetError::Protocol(e.to_string()))?;
+                    return Ok(RemoteTree {
+                        id: header.id,
+                        name: header.name.clone(),
+                        tree,
+                        source: TreeNodeId::from_index(header.source as usize),
+                        level_stats: done.level_stats,
+                    });
+                }
             }
         }
     }
@@ -256,6 +416,25 @@ impl Client {
         }
     }
 
+    /// Routes one pushed event frame. Result events are stashed by id
+    /// **unconditionally** — the id may belong to a submission whose
+    /// reply this client has not even read yet (a batch reply racing its
+    /// first pushed event); dropping such an event would lose the
+    /// request's only terminal outcome. `tree` events seen here are
+    /// decoded (malformed frames still fail loudly) but then discarded:
+    /// a live stream is consumed entirely inside `collect_tree`, so any
+    /// tree frame reaching this point is a stale leftover of a fetch
+    /// that already failed — retaining it would only poison a retry.
+    fn stash_event(&mut self, frame: &Json) -> Result<(), NetError> {
+        if event_op(frame) == Some("tree") {
+            decode_tree_event(frame).map_err(NetError::Protocol)?;
+        } else {
+            let event = decode_event(frame).map_err(NetError::Protocol)?;
+            self.stashed.insert(event.id, event.outcome);
+        }
+        Ok(())
+    }
+
     /// Sends `request` and reads until its reply arrives, stashing any
     /// events that come first. A structured error reply becomes
     /// [`NetError::Remote`].
@@ -267,8 +446,7 @@ impl Client {
         loop {
             let frame = self.read()?;
             if is_event(&frame) {
-                let event = decode_event(&frame).map_err(NetError::Protocol)?;
-                self.stashed.insert(event.id, event.outcome);
+                self.stash_event(&frame)?;
                 continue;
             }
             let (reply_seq, response) = decode_response(&frame).map_err(NetError::Protocol)?;

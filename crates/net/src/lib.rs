@@ -12,9 +12,12 @@
 //!    recoverable malformed frames from fatal transport failures.
 //! 2. **[`proto`]** — the versioned request/response protocol: `hello`,
 //!    `submit` (instance spec + options subset + priority + deadline +
-//!    client id), `status`, `cancel`, `metrics`, `shutdown`, structured
-//!    error replies, and pushed `result` events carrying the full
-//!    per-request stats. Spec and transcripts: `docs/PROTOCOL.md`.
+//!    client id), `submit_batch` (N instances in one frame, admitted
+//!    atomically), `fetch_tree` (the routed tree geometry of a completed
+//!    request, streamed as chunked `tree` events), `status`, `cancel`,
+//!    `metrics`, `shutdown`, structured error replies, and pushed
+//!    `result` events carrying the full per-request stats. Spec and
+//!    transcripts: `docs/PROTOCOL.md`.
 //! 3. **[`server`] + [`client`]** — a threaded TCP server (one
 //!    reader/writer/completion-pump thread trio per connection, graceful
 //!    drain on the `shutdown` op) around one [`cts_core::SynthesisService`],
@@ -68,7 +71,8 @@ pub mod server;
 pub use client::{Client, NetError, ServerInfo, SubmitParams};
 pub use json::{Json, JsonError};
 pub use proto::{
-    ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteResult, ResultEvent, TimingStats,
-    PROTOCOL_VERSION,
+    BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteResult, RemoteTree,
+    ResultEvent, TimingStats, TreeChunkEvent, TreeDoneEvent, TreeEvent, TreeInfo,
+    DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerHandle};

@@ -18,16 +18,36 @@
 
 use crate::json::Json;
 use cts_core::{
-    CtsOptions, HCorrection, Instance, RequestStatus, ServiceError, ServiceMetrics, Sink,
-    SynthesisResult,
+    ClockTree, CtsOptions, HCorrection, Instance, LevelStats, NodeKind, RequestStatus,
+    ServiceError, ServiceMetrics, Sink, SynthesisResult, TreeNode, TreeNodeId,
 };
 use cts_geom::{Point, Rect};
+use cts_timing::BufferId;
 use std::fmt;
 
 /// The protocol version this crate speaks. A server rejects a `hello`
 /// carrying a different version with [`ErrorCode::UnsupportedVersion`];
 /// see `docs/PROTOCOL.md` for the compatibility rules.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version **2** added batch-frame submission (`submit_batch`) and
+/// routed-geometry streaming (`fetch_tree` + chunked `tree` events) —
+/// a shape change to the event taxonomy (events are no longer all
+/// `result` frames), so v1 clients are rejected at `hello` rather than
+/// left hanging on frames they cannot route.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Default node count per `tree` chunk event when `fetch_tree` does not
+/// set one. At ~120 bytes a node this keeps chunk frames around 60 KiB —
+/// far under the 8 MiB frame cap, large enough that even ISPD-scale
+/// trees stream in a few dozen frames.
+pub const DEFAULT_TREE_CHUNK: usize = 512;
+
+/// Upper bound the server clamps a requested `fetch_tree` chunk size
+/// to. 8192 nodes × ~150 bytes of JSON ≈ 1.2 MiB per frame — safely
+/// under the 8 MiB frame cap that the *reader* side treats as a fatal
+/// transport error, so no legal chunk request can produce a frame the
+/// client must kill the connection over.
+pub const MAX_TREE_CHUNK: usize = 8192;
 
 /// Structured error codes carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -354,7 +374,367 @@ impl OptionsPatch {
 }
 
 // ---------------------------------------------------------------------------
+// Routed tree geometry
+
+/// Serializes one tree node as its wire object. The node's id is its
+/// position in the streamed sequence (ids are dense arena indices), so
+/// only the links are explicit: `parent` (omitted for roots) and the
+/// `children` array, whose **order** is preserved — child order is part
+/// of the arena's identity and byte-identical round-trips depend on it.
+fn tree_node_to_json(node: &TreeNode) -> Json {
+    let mut fields = Vec::with_capacity(8);
+    match node.kind {
+        NodeKind::Source { driver } => {
+            fields.push(("kind", Json::str("source")));
+            fields.push(("driver", Json::num(driver.0 as f64)));
+        }
+        NodeKind::Sink { index, cap } => {
+            fields.push(("kind", Json::str("sink")));
+            fields.push(("index", Json::num(index as f64)));
+            fields.push(("cap_f", Json::num(cap)));
+        }
+        NodeKind::Joint => fields.push(("kind", Json::str("joint"))),
+        NodeKind::Buffer { buffer } => {
+            fields.push(("kind", Json::str("buffer")));
+            fields.push(("cell", Json::num(buffer.0 as f64)));
+        }
+    }
+    fields.push(("x", Json::num(node.location.x)));
+    fields.push(("y", Json::num(node.location.y)));
+    if let Some(p) = node.parent {
+        fields.push(("parent", Json::num(p.index() as f64)));
+        fields.push(("wire_um", Json::num(node.wire_to_parent_um)));
+    }
+    fields.push((
+        "children",
+        Json::arr(
+            node.children
+                .iter()
+                .map(|c| Json::num(c.index() as f64))
+                .collect(),
+        ),
+    ));
+    Json::obj(fields)
+}
+
+/// Parses one tree node. Link targets are taken verbatim (as indices
+/// into the full streamed sequence); structural validation happens once,
+/// over the whole tree, in [`ClockTree::from_nodes`].
+fn tree_node_from_json(j: &Json) -> Result<TreeNode, String> {
+    let idx = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("tree node needs an integer '{key}'"))
+    };
+    let num = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("tree node needs a number '{key}'"))
+    };
+    let kind = match j.get("kind").and_then(Json::as_str) {
+        Some("source") => NodeKind::Source {
+            driver: BufferId(idx("driver")?),
+        },
+        Some("sink") => NodeKind::Sink {
+            index: idx("index")?,
+            cap: num("cap_f")?,
+        },
+        Some("joint") => NodeKind::Joint,
+        Some("buffer") => NodeKind::Buffer {
+            buffer: BufferId(idx("cell")?),
+        },
+        _ => return Err("tree node needs a valid 'kind'".into()),
+    };
+    let parent = match j.get("parent") {
+        None | Some(Json::Null) => None,
+        Some(p) => Some(TreeNodeId::from_index(
+            p.as_u64().ok_or("'parent' must be an integer")? as usize,
+        )),
+    };
+    let wire_to_parent_um = if parent.is_some() {
+        num("wire_um")?
+    } else {
+        0.0
+    };
+    let children = j
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or("tree node needs a 'children' array")?
+        .iter()
+        .map(|c| c.as_u64().map(|n| TreeNodeId::from_index(n as usize)))
+        .collect::<Option<Vec<_>>>()
+        .ok_or("'children' must be integers")?;
+    Ok(TreeNode {
+        kind,
+        location: Point::new(num("x")?, num("y")?),
+        parent,
+        wire_to_parent_um,
+        children,
+    })
+}
+
+fn level_stats_to_json(s: &LevelStats) -> Json {
+    Json::obj(vec![
+        ("level", Json::num(s.level as f64)),
+        ("pairs", Json::num(s.pairs as f64)),
+        ("seed_promoted", Json::Bool(s.seed_promoted)),
+        ("flippings", Json::num(s.flippings as f64)),
+        ("buffers_inserted", Json::num(s.buffers_inserted as f64)),
+        ("worst_skew_estimate", Json::num(s.worst_skew_estimate)),
+        ("max_latency_estimate", Json::num(s.max_latency_estimate)),
+    ])
+}
+
+fn level_stats_from_json(j: &Json) -> Result<LevelStats, String> {
+    let int = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("level stats need an integer '{key}'"))
+    };
+    let num = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("level stats need a number '{key}'"))
+    };
+    Ok(LevelStats {
+        level: int("level")?,
+        pairs: int("pairs")?,
+        seed_promoted: j
+            .get("seed_promoted")
+            .and_then(Json::as_bool)
+            .ok_or("level stats need a boolean 'seed_promoted'")?,
+        flippings: int("flippings")?,
+        buffers_inserted: int("buffers_inserted")?,
+        worst_skew_estimate: num("worst_skew_estimate")?,
+        max_latency_estimate: num("max_latency_estimate")?,
+    })
+}
+
+/// The `fetch_tree` reply payload: what is about to be streamed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeInfo {
+    /// The request whose tree follows.
+    pub id: u64,
+    /// Instance name, echoed.
+    pub name: String,
+    /// Total node count about to stream.
+    pub nodes: u64,
+    /// Number of `tree` chunk events that will carry them.
+    pub chunks: u64,
+    /// Arena index of the source (root) node.
+    pub source: u64,
+}
+
+/// One `tree` chunk event: a consecutive run of arena nodes. Chunk `k`
+/// carries nodes `[k*chunk_size, ...)` in arena order; the client
+/// concatenates chunks in sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeChunkEvent {
+    /// The request id the stream answers.
+    pub id: u64,
+    /// Zero-based chunk ordinal (consecutive; a gap is a protocol error).
+    pub chunk: u64,
+    /// This chunk's nodes, in arena order.
+    pub nodes: Vec<TreeNode>,
+}
+
+/// The terminal `tree` event: closes the stream and carries the
+/// per-level statistics of the synthesis that built the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeDoneEvent {
+    /// The request id the stream answers.
+    pub id: u64,
+    /// Per-level pipeline statistics, in level order.
+    pub level_stats: Vec<LevelStats>,
+}
+
+/// A decoded `tree` event frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeEvent {
+    /// A chunk of nodes.
+    Chunk(TreeChunkEvent),
+    /// The terminal frame.
+    Done(TreeDoneEvent),
+}
+
+impl TreeEvent {
+    /// The request id the event belongs to.
+    pub fn id(&self) -> u64 {
+        match self {
+            TreeEvent::Chunk(c) => c.id,
+            TreeEvent::Done(d) => d.id,
+        }
+    }
+}
+
+/// Serializes a `tree` chunk event frame.
+pub fn encode_tree_chunk(event: &TreeChunkEvent) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("tree")),
+        ("event", Json::Bool(true)),
+        ("id", Json::num(event.id as f64)),
+        ("chunk", Json::num(event.chunk as f64)),
+        (
+            "nodes",
+            Json::arr(event.nodes.iter().map(tree_node_to_json).collect()),
+        ),
+    ])
+}
+
+/// Serializes the terminal `tree` event frame.
+pub fn encode_tree_done(event: &TreeDoneEvent) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("tree")),
+        ("event", Json::Bool(true)),
+        ("id", Json::num(event.id as f64)),
+        ("done", Json::Bool(true)),
+        (
+            "levels",
+            Json::arr(event.level_stats.iter().map(level_stats_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decodes a `tree` event frame (chunk or terminal).
+///
+/// # Errors
+///
+/// A description of the malformation.
+pub fn decode_tree_event(j: &Json) -> Result<TreeEvent, String> {
+    if !is_event(j) || event_op(j) != Some("tree") {
+        return Err("not a tree event frame".into());
+    }
+    let id = j
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("tree event needs 'id'")?;
+    if j.get("done").and_then(Json::as_bool) == Some(true) {
+        let level_stats = j
+            .get("levels")
+            .and_then(Json::as_arr)
+            .ok_or("terminal tree event needs 'levels'")?
+            .iter()
+            .map(level_stats_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(TreeEvent::Done(TreeDoneEvent { id, level_stats }));
+    }
+    let chunk = j
+        .get("chunk")
+        .and_then(Json::as_u64)
+        .ok_or("tree chunk event needs 'chunk'")?;
+    let nodes = j
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or("tree chunk event needs 'nodes'")?
+        .iter()
+        .map(tree_node_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TreeEvent::Chunk(TreeChunkEvent { id, chunk, nodes }))
+}
+
+/// A routed tree fetched over the wire, rebuilt into the same in-process
+/// representation the synthesizer produced. The protocol contract is
+/// that this is **bit-identical** to the server-side
+/// [`cts_core::CtsResult`] fields it mirrors: every node coordinate,
+/// buffer cell id, wire segment length, and level statistic survives the
+/// shortest-roundtrip JSON unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteTree {
+    /// The request the tree answers.
+    pub id: u64,
+    /// Instance name, echoed.
+    pub name: String,
+    /// The rebuilt routed tree.
+    pub tree: ClockTree,
+    /// The source (root) node.
+    pub source: TreeNodeId,
+    /// Per-level pipeline statistics.
+    pub level_stats: Vec<LevelStats>,
+}
+
+// ---------------------------------------------------------------------------
 // Requests
+
+/// One entry of a `submit_batch` frame: an instance plus its per-entry
+/// scheduling overrides (the [`OptionsPatch`] is shared batch-wide).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntry {
+    /// The instance spec.
+    pub instance: Instance,
+    /// Dispatch priority (higher first; ties in admission order).
+    pub priority: i32,
+    /// Deadline in milliseconds from admission; absent = none.
+    pub deadline_ms: Option<u64>,
+    /// Client id echoed on the result event (defaults to the
+    /// connection's `hello` client id).
+    pub client_id: Option<String>,
+}
+
+impl BatchEntry {
+    /// A default-priority, no-deadline entry for `instance`.
+    pub fn new(instance: Instance) -> BatchEntry {
+        BatchEntry {
+            instance,
+            priority: 0,
+            deadline_ms: None,
+            client_id: None,
+        }
+    }
+}
+
+fn batch_entry_to_json(entry: &BatchEntry) -> Json {
+    let mut fields = vec![("instance", instance_to_json(&entry.instance))];
+    if entry.priority != 0 {
+        fields.push(("priority", Json::num(entry.priority as f64)));
+    }
+    if let Some(ms) = entry.deadline_ms {
+        fields.push(("deadline_ms", Json::num(ms as f64)));
+    }
+    if let Some(c) = &entry.client_id {
+        fields.push(("client_id", Json::str(c)));
+    }
+    Json::obj(fields)
+}
+
+fn batch_entry_from_json(j: &Json) -> Result<BatchEntry, DecodeError> {
+    let instance = instance_from_json(
+        j.get("instance")
+            .ok_or_else(|| DecodeError::bad("batch entry needs an 'instance'"))?,
+    )?;
+    let priority = match j.get("priority") {
+        None | Some(Json::Null) => 0,
+        Some(p) => p
+            .as_i64()
+            .filter(|p| i32::try_from(*p).is_ok())
+            .ok_or_else(|| DecodeError::bad("'priority' must be a 32-bit integer"))?
+            as i32,
+    };
+    let deadline_ms = match j.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or_else(|| DecodeError::bad("'deadline_ms' must be a non-negative integer"))?,
+        ),
+    };
+    let client_id = match j.get("client_id") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(
+            c.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| DecodeError::bad("'client_id' must be a string"))?,
+        ),
+    };
+    Ok(BatchEntry {
+        instance,
+        priority,
+        deadline_ms,
+        client_id,
+    })
+}
 
 /// A client request (the `seq` correlation id travels alongside, not
 /// inside, so the enum stays pure payload).
@@ -381,6 +761,26 @@ pub enum Request {
         /// Client id echoed on the result event.
         client_id: Option<String>,
     },
+    /// Submit many instances in one frame, admitted atomically into the
+    /// service (all-or-nothing against queue capacity): one round trip
+    /// for a whole sweep.
+    SubmitBatch {
+        /// The batch entries, in submission order.
+        entries: Vec<BatchEntry>,
+        /// Options overrides shared by every entry (empty = server
+        /// defaults).
+        options: OptionsPatch,
+    },
+    /// Stream the routed tree geometry of a completed request as chunked
+    /// `tree` events plus a terminal frame.
+    FetchTree {
+        /// A request id this connection submitted, already resolved
+        /// `completed`.
+        id: u64,
+        /// Maximum nodes per chunk event; `None` uses
+        /// [`DEFAULT_TREE_CHUNK`].
+        chunk: Option<u64>,
+    },
     /// Where is request `id` (queued / in_flight / done)?
     Status {
         /// A request id this connection submitted.
@@ -403,6 +803,8 @@ impl Request {
         match self {
             Request::Hello { .. } => "hello",
             Request::Submit { .. } => "submit",
+            Request::SubmitBatch { .. } => "submit_batch",
+            Request::FetchTree { .. } => "fetch_tree",
             Request::Status { .. } => "status",
             Request::Cancel { .. } => "cancel",
             Request::Metrics => "metrics",
@@ -443,6 +845,21 @@ pub fn encode_request(seq: u64, request: &Request) -> Json {
             }
             if let Some(c) = client_id {
                 fields.push(("client_id", Json::str(c)));
+            }
+        }
+        Request::SubmitBatch { entries, options } => {
+            fields.push((
+                "entries",
+                Json::arr(entries.iter().map(batch_entry_to_json).collect()),
+            ));
+            if !options.is_empty() {
+                fields.push(("options", options.to_json()));
+            }
+        }
+        Request::FetchTree { id, chunk } => {
+            fields.push(("id", Json::num(*id as f64)));
+            if let Some(c) = chunk {
+                fields.push(("chunk", Json::num(*c as f64)));
             }
         }
         Request::Status { id } | Request::Cancel { id } => {
@@ -521,6 +938,38 @@ pub fn decode_request(j: &Json) -> Result<(u64, Request), DecodeError> {
                 client_id: opt_str("client_id")?,
             }
         }
+        "submit_batch" => {
+            let entries_json = j
+                .get("entries")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| DecodeError::bad("submit_batch needs an 'entries' array"))?;
+            if entries_json.is_empty() {
+                return Err(DecodeError::bad("submit_batch needs at least one entry"));
+            }
+            let entries = entries_json
+                .iter()
+                .map(batch_entry_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let options = match j.get("options") {
+                None | Some(Json::Null) => OptionsPatch::default(),
+                Some(o) => OptionsPatch::from_json(o)?,
+            };
+            Request::SubmitBatch { entries, options }
+        }
+        "fetch_tree" => {
+            let chunk = match j.get("chunk") {
+                None | Some(Json::Null) => None,
+                Some(c) => Some(
+                    c.as_u64()
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| DecodeError::bad("'chunk' must be a positive integer"))?,
+                ),
+            };
+            Request::FetchTree {
+                id: need_id()?,
+                chunk,
+            }
+        }
         "status" => Request::Status { id: need_id()? },
         "cancel" => Request::Cancel { id: need_id()? },
         "metrics" => Request::Metrics,
@@ -559,6 +1008,15 @@ pub enum Response {
         /// The service-assigned request id.
         id: u64,
     },
+    /// Reply to `submit_batch`: every entry was admitted atomically; the
+    /// ids map entry order to service-assigned request ids.
+    BatchSubmitted {
+        /// One id per batch entry, in entry order.
+        ids: Vec<u64>,
+    },
+    /// Reply to `fetch_tree`: the stream header. The chunked `tree`
+    /// events (and their terminal frame) follow.
+    TreeHeader(TreeInfo),
     /// Reply to `status`.
     Status {
         /// The queried id.
@@ -637,6 +1095,21 @@ pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
                 Response::Submitted { id } => {
                     fields.push(("op", Json::str("submit")));
                     fields.push(("id", Json::num(*id as f64)));
+                }
+                Response::BatchSubmitted { ids } => {
+                    fields.push(("op", Json::str("submit_batch")));
+                    fields.push((
+                        "ids",
+                        Json::arr(ids.iter().map(|&id| Json::num(id as f64)).collect()),
+                    ));
+                }
+                Response::TreeHeader(info) => {
+                    fields.push(("op", Json::str("fetch_tree")));
+                    fields.push(("id", Json::num(info.id as f64)));
+                    fields.push(("name", Json::str(&info.name)));
+                    fields.push(("nodes", Json::num(info.nodes as f64)));
+                    fields.push(("chunks", Json::num(info.chunks as f64)));
+                    fields.push(("source", Json::num(info.source as f64)));
                 }
                 Response::Status { id, state } => {
                     fields.push(("op", Json::str("status")));
@@ -727,6 +1200,34 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                 .ok_or("hello reply needs 'workers'")?,
         },
         "submit" => Response::Submitted { id: need_id()? },
+        "submit_batch" => Response::BatchSubmitted {
+            ids: j
+                .get("ids")
+                .and_then(Json::as_arr)
+                .ok_or("submit_batch reply needs 'ids'")?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()
+                .ok_or("submit_batch 'ids' must be integers")?,
+        },
+        "fetch_tree" => {
+            let int = |key: &str| {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("fetch_tree reply needs '{key}'"))
+            };
+            Response::TreeHeader(TreeInfo {
+                id: int("id")?,
+                name: j
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("fetch_tree reply needs 'name'")?
+                    .to_string(),
+                nodes: int("nodes")?,
+                chunks: int("chunks")?,
+                source: int("source")?,
+            })
+        }
         "status" => Response::Status {
             id: need_id()?,
             state: j
@@ -891,6 +1392,13 @@ pub struct ResultEvent {
 /// this before seq-matching.
 pub fn is_event(j: &Json) -> bool {
     j.get("event").and_then(Json::as_bool) == Some(true)
+}
+
+/// The op of an event frame (`"result"` for terminal request outcomes,
+/// `"tree"` for geometry stream frames) — the second routing key, after
+/// [`is_event`].
+pub fn event_op(j: &Json) -> Option<&str> {
+    j.get("op").and_then(Json::as_str)
 }
 
 fn timing_to_json(t: &TimingStats) -> Json {
@@ -1137,6 +1645,29 @@ mod tests {
                 deadline_ms: None,
                 client_id: None,
             },
+            Request::SubmitBatch {
+                entries: vec![
+                    BatchEntry {
+                        instance: spec_instance(),
+                        priority: 3,
+                        deadline_ms: Some(750),
+                        client_id: Some("sweep".into()),
+                    },
+                    BatchEntry::new(spec_instance()),
+                ],
+                options: OptionsPatch {
+                    h_correction: Some(HCorrection::ReEstimate),
+                    ..OptionsPatch::default()
+                },
+            },
+            Request::FetchTree {
+                id: 12,
+                chunk: Some(64),
+            },
+            Request::FetchTree {
+                id: 13,
+                chunk: None,
+            },
             Request::Status { id: 7 },
             Request::Cancel { id: 9 },
             Request::Metrics,
@@ -1164,6 +1695,17 @@ mod tests {
                 },
             ),
             (Some(1), Response::Submitted { id: 3 }),
+            (Some(6), Response::BatchSubmitted { ids: vec![4, 5, 6] }),
+            (
+                Some(7),
+                Response::TreeHeader(TreeInfo {
+                    id: 4,
+                    name: "blk".into(),
+                    nodes: 57,
+                    chunks: 2,
+                    source: 56,
+                }),
+            ),
             (
                 Some(2),
                 Response::Status {
@@ -1257,6 +1799,62 @@ mod tests {
             assert!(is_event(&reparsed));
             let back = decode_event(&reparsed).unwrap();
             assert_eq!(&back, ev);
+        }
+    }
+
+    #[test]
+    fn tree_events_roundtrip_bit_for_bit() {
+        // A small but kind-complete tree: sink, buffer, joint, source.
+        let mut tree = ClockTree::new();
+        let a = tree.add_sink(0, &Sink::new("a", Point::new(0.0, 0.0), 25e-15));
+        let b = tree.add_sink(1, &Sink::new("b", Point::new(200.125, 0.0), 30e-15));
+        let buf = tree.add_buffer(Point::new(50.5, 0.0), BufferId(1));
+        tree.attach(buf, a, 50.5);
+        let m = tree.add_joint(Point::new(100.0, 0.0));
+        tree.attach(m, buf, 49.5);
+        tree.attach(m, b, 101.0 + 2.0f64.powi(-40)); // exercise exact float carry
+        let src = tree.add_source(m, BufferId(2));
+
+        // Stream in 2-node chunks, rebuild, compare field for field.
+        let nodes = tree.nodes();
+        let mut rebuilt: Vec<TreeNode> = Vec::new();
+        for (k, chunk) in nodes.chunks(2).enumerate() {
+            let ev = TreeChunkEvent {
+                id: 9,
+                chunk: k as u64,
+                nodes: chunk.to_vec(),
+            };
+            let frame = Json::parse(&encode_tree_chunk(&ev).to_string()).unwrap();
+            assert!(is_event(&frame));
+            assert_eq!(event_op(&frame), Some("tree"));
+            match decode_tree_event(&frame).unwrap() {
+                TreeEvent::Chunk(back) => {
+                    assert_eq!(back, ev);
+                    rebuilt.extend(back.nodes);
+                }
+                TreeEvent::Done(_) => panic!("chunk decoded as terminal"),
+            }
+        }
+        let back = ClockTree::from_nodes(rebuilt).expect("streamed tree is valid");
+        assert_eq!(back, tree, "geometry must round-trip bit-for-bit");
+        assert_eq!(back.node(src).kind, tree.node(src).kind);
+
+        let done = TreeDoneEvent {
+            id: 9,
+            level_stats: vec![LevelStats {
+                level: 1,
+                pairs: 1,
+                seed_promoted: false,
+                flippings: 0,
+                buffers_inserted: 1,
+                worst_skew_estimate: 3.25e-12,
+                max_latency_estimate: 1.75e-9,
+            }],
+        };
+        let frame = Json::parse(&encode_tree_done(&done).to_string()).unwrap();
+        match decode_tree_event(&frame).unwrap() {
+            TreeEvent::Done(back) => assert_eq!(back, done),
+            TreeEvent::Chunk(_) => panic!("terminal decoded as chunk"),
         }
     }
 

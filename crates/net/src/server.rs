@@ -27,15 +27,17 @@
 use crate::frame::{read_frame, write_frame};
 use crate::json::Json;
 use crate::proto::{
-    decode_request, encode_event, encode_response, DecodeError, ErrorCode, MetricsReply, Outcome,
-    Request, Response, ResultEvent, PROTOCOL_VERSION,
+    decode_request, encode_event, encode_response, encode_tree_chunk, encode_tree_done,
+    DecodeError, ErrorCode, MetricsReply, Outcome, Request, Response, ResultEvent, TreeChunkEvent,
+    TreeDoneEvent, TreeInfo, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
 };
 use cts_core::{
-    RequestHandle, ServiceError, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService,
-    Ticket,
+    BatchSubmitError, RequestHandle, ServiceError, SubmitError, SynthesisRequest, SynthesisResult,
+    SynthesisService, Ticket,
 };
 use cts_util::{CompletionPump, PollPending};
 use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -243,7 +245,100 @@ enum PumpMsg {
 /// arrives. Bounds result-event latency; sweeps are cheap `try_recv`s.
 const PUMP_SWEEP: Duration = Duration::from_millis(2);
 
-fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>) {
+/// How many completed results a connection retains for `fetch_tree`.
+/// Bounded FIFO: once full, streaming the geometry of the oldest
+/// completion stops being possible (`unknown_id`), which the protocol
+/// documents — a client wanting the tree fetches it promptly.
+const TREE_CACHE_CAP: usize = 64;
+
+/// Companion bound in *nodes* across all retained trees, because entry
+/// count alone is no memory bound at ISPD scale (~10⁵ nodes/tree). At
+/// ~150 bytes a node this caps a connection's retained geometry around
+/// 80 MB even if every completion is huge; eviction stays oldest-first.
+const TREE_CACHE_NODE_CAP: usize = 512 * 1024;
+
+/// Exactly what `fetch_tree` serves and nothing more — the result's
+/// stats were already streamed in its event and are not retained, so a
+/// connection pays for precisely the geometry it could still ask for.
+struct RetainedTree {
+    name: String,
+    tree: cts_core::ClockTree,
+    source: cts_core::TreeNodeId,
+    level_stats: Vec<cts_core::LevelStats>,
+}
+
+/// Completed results retained per connection so a later `fetch_tree` can
+/// stream the routed geometry. The pump inserts as requests complete;
+/// the reader looks up on `fetch_tree`. Bounded by [`TREE_CACHE_CAP`]
+/// (oldest evicted first).
+#[derive(Default)]
+struct TreeCache {
+    map: HashMap<u64, RetainedTree>,
+    order: VecDeque<u64>,
+    /// Node total across every retained tree, against
+    /// [`TREE_CACHE_NODE_CAP`].
+    nodes: usize,
+}
+
+impl TreeCache {
+    fn insert(&mut self, id: u64, retained: RetainedTree) {
+        let incoming = retained.tree.len();
+        while self.map.len() >= TREE_CACHE_CAP
+            || (self.nodes + incoming > TREE_CACHE_NODE_CAP && !self.map.is_empty())
+        {
+            match self.order.pop_front() {
+                Some(old) => {
+                    if let Some(evicted) = self.map.remove(&old) {
+                        self.nodes -= evicted.tree.len();
+                    }
+                }
+                None => break,
+            }
+        }
+        if let Some(previous) = self.map.insert(id, retained) {
+            // Request ids are unique per service, so a same-id overwrite
+            // cannot happen; keep the accounting correct regardless.
+            self.nodes -= previous.tree.len();
+        } else {
+            self.order.push_back(id);
+        }
+        self.nodes += incoming;
+    }
+
+    fn get(&self, id: u64) -> Option<&RetainedTree> {
+        self.map.get(&id)
+    }
+}
+
+/// Encodes one resolution: parks a completed result's geometry in the
+/// tree cache (for later `fetch_tree` streaming), then returns its
+/// result event.
+fn resolve_event(
+    trees: &Mutex<TreeCache>,
+    id: u64,
+    outcome: Result<SynthesisResult, ServiceError>,
+) -> Json {
+    let event = ResultEvent {
+        id,
+        outcome: Outcome::from_service(&outcome),
+    };
+    let frame = encode_event(&event);
+    if let Ok(result) = outcome {
+        let retained = RetainedTree {
+            name: result.item.name,
+            tree: result.item.result.tree,
+            source: result.item.result.source,
+            level_stats: result.item.result.level_stats,
+        };
+        trees
+            .lock()
+            .expect("tree cache poisoned")
+            .insert(id, retained);
+    }
+    frame
+}
+
+fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>, trees: Arc<Mutex<TreeCache>>) {
     let mut pump: CompletionPump<u64, PendingTicket> = CompletionPump::new();
     loop {
         match rx.recv_timeout(PUMP_SWEEP) {
@@ -252,11 +347,7 @@ fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>) {
             Err(RecvTimeoutError::Disconnected) => break,
         }
         for (id, outcome) in pump.poll_completed() {
-            let event = ResultEvent {
-                id,
-                outcome: Outcome::from_service(&outcome),
-            };
-            if wtx.send(encode_event(&event)).is_err() {
+            if wtx.send(resolve_event(&trees, id, outcome)).is_err() {
                 // Writer gone: nothing can reach the client anymore.
                 break;
             }
@@ -267,11 +358,7 @@ fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>) {
     // a disconnected client's pending work must not keep burning the
     // service ("client disconnect mid-request → ticket cancelled").
     for (id, outcome) in pump.poll_completed() {
-        let event = ResultEvent {
-            id,
-            outcome: Outcome::from_service(&outcome),
-        };
-        let _ = wtx.send(encode_event(&event));
+        let _ = wtx.send(resolve_event(&trees, id, outcome));
     }
     for (_, PendingTicket(ticket)) in pump.drain_pending() {
         ticket.cancel();
@@ -307,6 +394,9 @@ struct ConnState {
     handles: HashMap<u64, RequestHandle>,
     /// Default client id from `hello`, used when a submit has none.
     client_id: Option<String>,
+    /// Completed results retained for `fetch_tree` (shared with the
+    /// pump, which fills it).
+    trees: Arc<Mutex<TreeCache>>,
 }
 
 impl ConnState {
@@ -330,14 +420,17 @@ fn serve_connection(ctx: &ServerCtx, stream: TcpStream) {
         .expect("spawning a writer thread");
     let (ptx, prx) = channel::<PumpMsg>();
     let pump_wtx = wtx.clone();
+    let trees = Arc::new(Mutex::new(TreeCache::default()));
+    let pump_trees = Arc::clone(&trees);
     let pump = std::thread::Builder::new()
         .name("cts-net-pump".into())
-        .spawn(move || pump_loop(prx, pump_wtx))
+        .spawn(move || pump_loop(prx, pump_wtx, pump_trees))
         .expect("spawning a pump thread");
 
     let mut state = ConnState {
         handles: HashMap::new(),
         client_id: None,
+        trees,
     };
     let mut reader = BufReader::new(stream);
     loop {
@@ -443,6 +536,112 @@ fn handle_frame(
                 Err(e @ SubmitError::WouldBlock(_)) => {
                     unreachable!("blocking submit cannot report back-pressure: {e}")
                 }
+            }
+        }
+        Request::SubmitBatch { entries, options } => {
+            // The shared patch is applied once; every entry runs the same
+            // patched options (per-entry scheduling stays individual).
+            let patched = (!options.is_empty()).then(|| options.apply(ctx.service.options()));
+            let requests: Vec<SynthesisRequest> = entries
+                .into_iter()
+                .map(|entry| {
+                    let mut req =
+                        SynthesisRequest::new(entry.instance).with_priority(entry.priority);
+                    if let Some(ms) = entry.deadline_ms {
+                        req = req.with_deadline(Duration::from_millis(ms));
+                    }
+                    if let Some(o) = &patched {
+                        req = req.with_options(o.clone());
+                    }
+                    if let Some(c) = entry.client_id.or_else(|| state.client_id.clone()) {
+                        req = req.with_client_id(c);
+                    }
+                    req
+                })
+                .collect();
+            // Blocking, atomic: either every entry is admitted under one
+            // queue lock (consecutive ids, nothing interleaves) or none
+            // is. A full queue back-pressures this reader, like `submit`.
+            match ctx.service.submit_batch(requests) {
+                Ok(tickets) => {
+                    let ids: Vec<u64> = tickets.iter().map(|t| t.id().0).collect();
+                    for ticket in tickets {
+                        let id = ticket.id().0;
+                        state.remember(id, ticket.handle());
+                        let _ = ptx.send(PumpMsg::Track(id, ticket));
+                    }
+                    Response::BatchSubmitted { ids }
+                }
+                Err(e @ BatchSubmitError::TooLarge(_)) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                },
+                Err(BatchSubmitError::ShuttingDown(_)) => Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service is draining; no new work admitted".into(),
+                },
+                Err(e @ BatchSubmitError::WouldBlock(_)) => {
+                    unreachable!("blocking batch submit cannot report back-pressure: {e}")
+                }
+            }
+        }
+        Request::FetchTree { id, chunk } => {
+            // Snapshot the tree under the cache lock (held only for the
+            // clone, so the pump — which inserts completions under the
+            // same lock — is never stalled behind a large serialization),
+            // then encode and send the stream frame by frame: header
+            // reply, chunk events, terminal event. Only one chunk's JSON
+            // is in flight at a time on this side of the writer queue.
+            let snapshot = {
+                let trees = state.trees.lock().expect("tree cache poisoned");
+                trees.get(id).map(|retained| {
+                    (
+                        retained.name.clone(),
+                        retained.tree.clone(),
+                        retained.source,
+                        retained.level_stats.clone(),
+                    )
+                })
+            };
+            match snapshot {
+                Some((name, tree, source, level_stats)) => {
+                    // Clamp: decode already rejects 0, and anything above
+                    // MAX_TREE_CHUNK could serialize past the reader-side
+                    // 8 MiB frame cap — a fatal transport error for the
+                    // requesting client, which a size request must never
+                    // cause.
+                    let chunk_size = chunk
+                        .map_or(DEFAULT_TREE_CHUNK, |c| c as usize)
+                        .min(MAX_TREE_CHUNK);
+                    let nodes = tree.nodes();
+                    let header = Response::TreeHeader(TreeInfo {
+                        id,
+                        name,
+                        nodes: nodes.len() as u64,
+                        chunks: nodes.len().div_ceil(chunk_size) as u64,
+                        source: source.index() as u64,
+                    });
+                    let send = |frame: Json| wtx.send(frame).is_ok();
+                    if send(encode_response(Some(seq), &header)) {
+                        for (k, run) in nodes.chunks(chunk_size).enumerate() {
+                            if !send(encode_tree_chunk(&TreeChunkEvent {
+                                id,
+                                chunk: k as u64,
+                                nodes: run.to_vec(),
+                            })) {
+                                break;
+                            }
+                        }
+                        let _ = send(encode_tree_done(&TreeDoneEvent { id, level_stats }));
+                    }
+                    return false;
+                }
+                None => Response::Error {
+                    code: ErrorCode::UnknownId,
+                    message: format!(
+                        "no completed result retained for request {id} on this connection"
+                    ),
+                },
             }
         }
         Request::Status { id } => match state.handles.get(&id) {

@@ -4,10 +4,17 @@
 //! connection, disconnects cancelling in-flight work, deadlines expiring
 //! queued work before it ever dispatches.
 
-use cts_core::{CtsOptions, Instance, RequestStatus, ServiceOptions, Sink, SynthesisService};
+use cts_core::{
+    CtsOptions, Instance, NodeKind, RequestStatus, ServiceOptions, Sink, SynthesisService,
+    Synthesizer, TreeNode,
+};
 use cts_geom::Point;
 use cts_net::frame::{read_frame, write_frame};
-use cts_net::{Client, ErrorCode, Json, NetError, Outcome, Server, ServerHandle, SubmitParams};
+use cts_net::proto::{encode_response, encode_tree_chunk, Response, TreeChunkEvent, TreeInfo};
+use cts_net::{
+    BatchEntry, Client, ErrorCode, Json, NetError, OptionsPatch, Outcome, Server, ServerHandle,
+    SubmitParams,
+};
 use cts_spice::Technology;
 use cts_timing::fast_library;
 use cts_util::wait_with_deadline;
@@ -28,12 +35,19 @@ impl TestServer {
     /// One worker, no SPICE verification (speed), optionally paused so
     /// queued-state scenarios are deterministic.
     fn start(paused: bool) -> TestServer {
+        TestServer::start_with(paused, ServiceOptions::default().queue_capacity)
+    }
+
+    /// [`TestServer::start`] with an explicit queue capacity, for batch
+    /// all-or-nothing scenarios.
+    fn start_with(paused: bool, capacity: usize) -> TestServer {
         let mut cts = CtsOptions::default();
         cts.threads = 1;
         let mut svc = ServiceOptions::default();
         svc.workers = 1;
         svc.verify = false;
         svc.start_paused = paused;
+        svc.queue_capacity = capacity;
         let service = Arc::new(SynthesisService::new(
             Arc::new(fast_library().clone()),
             Arc::new(Technology::nominal_45nm()),
@@ -275,6 +289,256 @@ fn deadline_expired_queued_request_never_dispatches() {
         "no synthesis stage ever ran for the expired request"
     );
     ts.stop();
+}
+
+#[test]
+fn submit_batch_admits_all_entries_and_streams_each_result() {
+    let ts = TestServer::start(false);
+    let mut client = Client::connect_as(ts.addr, Some("batcher")).unwrap();
+    let entries: Vec<BatchEntry> = (0..3)
+        .map(|k| BatchEntry::new(tiny(&format!("batch{k}"), 4 + k)))
+        .collect();
+    let ids = client
+        .submit_batch(entries, &OptionsPatch::default())
+        .unwrap();
+    assert_eq!(ids.len(), 3);
+    assert!(
+        ids.windows(2).all(|w| w[1] == w[0] + 1),
+        "atomic admission hands out consecutive ids: {ids:?}"
+    );
+    // Wait out of order: the stash covers any interleaving.
+    for (k, &id) in ids.iter().enumerate().rev() {
+        match client.wait_result(id).unwrap() {
+            Outcome::Completed(result) => {
+                assert_eq!(result.name, format!("batch{k}"));
+                assert_eq!(result.sinks as usize, 4 + k);
+                assert_eq!(result.client_id.as_deref(), Some("batcher"));
+            }
+            other => panic!("batch entry {k} did not complete: {other:?}"),
+        }
+    }
+    let m = client.metrics().unwrap();
+    assert_eq!(m.metrics.submitted, 3);
+    assert_eq!(m.metrics.completed, 3);
+    ts.stop();
+}
+
+#[test]
+fn oversized_batch_is_rejected_whole() {
+    // Capacity 2: a 3-entry batch can never be admitted atomically.
+    let ts = TestServer::start_with(true, 2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let entries: Vec<BatchEntry> = (0..3)
+        .map(|k| BatchEntry::new(tiny(&format!("big{k}"), 4)))
+        .collect();
+    match client.submit_batch(entries, &OptionsPatch::default()) {
+        Err(NetError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("batch of 3"), "{message}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    // Nothing was admitted — all-or-nothing.
+    assert_eq!(ts.service.metrics().submitted, 0);
+    assert_eq!(ts.service.pending(), 0);
+    // A batch that fits still goes through on the same connection.
+    let ids = client
+        .submit_batch(
+            vec![BatchEntry::new(tiny("fits", 4))],
+            &OptionsPatch::default(),
+        )
+        .unwrap();
+    assert_eq!(ids.len(), 1);
+    ts.stop();
+}
+
+#[test]
+fn result_events_racing_the_next_reply_are_stashed_by_id() {
+    // Regression: a pushed result event can hit the socket before the
+    // client has read the reply that would have told it the id exists
+    // (a batch reply racing its first event, or — as forced here — the
+    // events all arriving while an unrelated `metrics` call is in
+    // flight). The client must stash by id unconditionally.
+    let ts = TestServer::start(false);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let entries: Vec<BatchEntry> = (0..3)
+        .map(|k| BatchEntry::new(tiny(&format!("race{k}"), 4)))
+        .collect();
+    let ids = client
+        .submit_batch(entries, &OptionsPatch::default())
+        .unwrap();
+    // Let every result event reach the socket before the client reads
+    // another frame.
+    let done = wait_with_deadline(Duration::from_secs(60), Duration::from_millis(5), || {
+        (ts.service.metrics().completed == 3).then_some(())
+    });
+    assert!(done.is_some(), "batch never completed server-side");
+    // This call must read (and stash) the three events before its reply.
+    let m = client.metrics().unwrap();
+    assert_eq!(m.metrics.completed, 3);
+    for &id in &ids {
+        match client.wait_result(id) {
+            Ok(Outcome::Completed(_)) => {}
+            other => panic!("event for {id} was dropped instead of stashed: {other:?}"),
+        }
+    }
+    ts.stop();
+}
+
+#[test]
+fn fetch_tree_roundtrips_the_routed_geometry_bit_for_bit() {
+    let ts = TestServer::start(false);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let inst = tiny("geom", 7);
+    let id = client.submit(&inst, &SubmitParams::default()).unwrap();
+    assert!(matches!(
+        client.wait_result(id).unwrap(),
+        Outcome::Completed(_)
+    ));
+
+    let remote = client.fetch_tree(id).unwrap();
+    // The reference: the same instance through the same code path the
+    // server ran (identical options), entirely in process.
+    let mut options = CtsOptions::default();
+    options.threads = 1;
+    let reference = Synthesizer::new(fast_library(), options)
+        .synthesize(&inst)
+        .unwrap();
+    assert_eq!(remote.name, "geom");
+    assert_eq!(
+        remote.tree, reference.tree,
+        "wire geometry must be bit-identical to the in-process tree"
+    );
+    assert_eq!(remote.source, reference.source);
+    assert_eq!(remote.level_stats, reference.level_stats);
+
+    // A forced tiny chunk size exercises the multi-chunk path and must
+    // rebuild the identical tree.
+    let chunked = client.fetch_tree_chunked(id, Some(3)).unwrap();
+    assert_eq!(chunked, remote);
+
+    // An absurd chunk request is clamped server-side (a frame larger
+    // than the 8 MiB cap would be a fatal transport error for *us*) —
+    // the stream still arrives and rebuilds identically. (Exactly
+    // representable as a JSON number, unlike u64::MAX.)
+    let clamped = client.fetch_tree_chunked(id, Some(1_000_000)).unwrap();
+    assert_eq!(clamped, remote);
+    ts.stop();
+}
+
+#[test]
+fn fetch_tree_of_unresolved_or_unknown_ids_is_unknown_id() {
+    let ts = TestServer::start(true);
+    let mut client = Client::connect(ts.addr).unwrap();
+    // Never submitted.
+    match client.fetch_tree(777) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown_id, got {other:?}"),
+    }
+    // Submitted but still queued (paused server): no tree to stream yet.
+    let id = client
+        .submit(&tiny("pending", 4), &SubmitParams::default())
+        .unwrap();
+    match client.fetch_tree(id) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown_id, got {other:?}"),
+    }
+    ts.stop();
+}
+
+#[test]
+fn hello_v1_is_rejected_with_unsupported_version_not_a_hang() {
+    // The v2 compatibility guarantee: a v1 client learns it is obsolete
+    // from a structured error at handshake — it is never left waiting on
+    // frames it cannot route.
+    let ts = TestServer::start(false);
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &Json::obj(vec![
+            ("op", Json::str("hello")),
+            ("seq", Json::num(0.0)),
+            ("version", Json::num(1.0)),
+        ]),
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("seq").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        reply
+            .get("error")
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("unsupported_version")
+    );
+    ts.stop();
+}
+
+#[test]
+fn truncated_tree_stream_is_a_transport_error_not_a_partial_tree() {
+    // A hand-rolled fake server: answers the handshake, then replies to
+    // `fetch_tree` with a header promising 4 nodes in 2 chunks, streams
+    // one chunk, and drops the connection mid-stream.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // hello
+        let hello = read_frame(&mut reader).unwrap().unwrap().unwrap();
+        let seq = hello.get("seq").and_then(Json::as_u64);
+        let reply = encode_response(
+            seq,
+            &Response::Hello {
+                version: cts_net::PROTOCOL_VERSION,
+                server: "fake/0".into(),
+                workers: 1,
+            },
+        );
+        write_frame(&mut writer, &reply).unwrap();
+        writer.flush().unwrap();
+        // fetch_tree → header + one of two chunks, then hang up.
+        let fetch = read_frame(&mut reader).unwrap().unwrap().unwrap();
+        let seq = fetch.get("seq").and_then(Json::as_u64);
+        let header = encode_response(
+            seq,
+            &Response::TreeHeader(TreeInfo {
+                id: 0,
+                name: "cut".into(),
+                nodes: 4,
+                chunks: 2,
+                source: 3,
+            }),
+        );
+        write_frame(&mut writer, &header).unwrap();
+        let joint = |x: f64| TreeNode {
+            kind: NodeKind::Joint,
+            location: Point::new(x, 0.0),
+            parent: None,
+            wire_to_parent_um: 0.0,
+            children: Vec::new(),
+        };
+        let chunk = encode_tree_chunk(&TreeChunkEvent {
+            id: 0,
+            chunk: 0,
+            nodes: vec![joint(0.0), joint(1.0)],
+        });
+        write_frame(&mut writer, &chunk).unwrap();
+        writer.flush().unwrap();
+        // Drop both halves: the stream ends mid-geometry.
+    });
+    let mut client = Client::connect(addr).unwrap();
+    match client.fetch_tree(0) {
+        Err(NetError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    fake.join().unwrap();
 }
 
 #[test]

@@ -5,6 +5,13 @@
 //! `verify_tree` of the same instances, and a final `metrics` reply
 //! checked against the completed request count.
 //!
+//! The second act exercises protocol v2's batch + geometry path: one
+//! `submit_batch` frame of N instances must return stats byte-identical
+//! to N serial `submit`s of the same instances, and a `fetch_tree` of
+//! each result must round-trip the routed tree — every node coordinate,
+//! buffer cell id, and wire segment — **bit-for-bit** against the
+//! in-process synthesis.
+//!
 //! This is the end-to-end smoke test CI runs on every push (small
 //! instances; the point is exercising the wire path, not benchmark
 //! scale).
@@ -15,7 +22,7 @@
 //! ```
 
 use cts::benchmarks::generate_custom;
-use cts::net::{Client, Outcome, RemoteResult, Server, SubmitParams};
+use cts::net::{BatchEntry, Client, OptionsPatch, Outcome, RemoteResult, Server, SubmitParams};
 use cts::spice::units::{NS, PS};
 use cts::{
     verify_tree, CtsOptions, ServiceOptions, SynthesisService, Synthesizer, Technology,
@@ -165,11 +172,103 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\ndeterminism: remote stats identical to serial synthesize + verify_tree ✓");
 
+    // ---- Act two: batch-frame submission + routed-geometry streaming.
+    //
+    // One submit_batch frame of N instances vs N serial submits of the
+    // same instances on a second connection: every stat that crosses the
+    // wire must be byte-identical, and the admission must be atomic
+    // (consecutive ids).
+    // Cap at 64: the server retains completed results for fetch_tree in
+    // a per-connection FIFO of that size (docs/PROTOCOL.md), so a larger
+    // batch would see its earliest trees evicted before the fetch loop.
+    let batch_n = (clients * per_client).clamp(2, 64);
+    let batch_instances: Vec<cts::Instance> = (0..batch_n)
+        .map(|k| generate_custom(&format!("bat{k}"), 5 + k % 4, 2400.0, 0xba7c + k as u64))
+        .collect();
+    let mut batcher = Client::connect_as(addr, Some("batcher"))?;
+    let mut serial_submitter = Client::connect_as(addr, Some("serial"))?;
+    let batch_ids = batcher.submit_batch(
+        batch_instances
+            .iter()
+            .map(|i| BatchEntry::new(i.clone()))
+            .collect(),
+        &OptionsPatch::default(),
+    )?;
+    assert_eq!(batch_ids.len(), batch_n);
+    assert!(
+        batch_ids.windows(2).all(|w| w[1] == w[0] + 1),
+        "atomic batch admission must hand out consecutive ids: {batch_ids:?}"
+    );
+    let serial_ids: Vec<u64> = batch_instances
+        .iter()
+        .map(|i| serial_submitter.submit(i, &SubmitParams::default()))
+        .collect::<Result<_, _>>()?;
+
+    let completed = |outcome: Outcome, what: &str| -> RemoteResult {
+        match outcome {
+            Outcome::Completed(result) => *result,
+            other => panic!("{what} did not complete: {other:?}"),
+        }
+    };
+    for (k, (&bid, &sid)) in batch_ids.iter().zip(&serial_ids).enumerate() {
+        let b = completed(batcher.wait_result(bid)?, "batch entry");
+        let s = completed(serial_submitter.wait_result(sid)?, "serial submit");
+        // Scheduling metadata (ids, dispatch order, wall times) differs
+        // by construction; every synthesis stat must agree bytewise.
+        assert_eq!(b.name, s.name, "entry {k}");
+        assert_eq!(b.sinks, s.sinks);
+        assert_eq!(b.levels, s.levels, "{}: levels drift", b.name);
+        assert_eq!(b.buffers, s.buffers, "{}: buffers drift", b.name);
+        assert_eq!(
+            b.wirelength_um, s.wirelength_um,
+            "{}: wirelength drift",
+            b.name
+        );
+        assert_eq!(b.estimate, s.estimate, "{}: estimate drift", b.name);
+        assert_eq!(b.verified, s.verified, "{}: verified drift", b.name);
+    }
+    println!(
+        "submit_batch: one frame of {batch_n} == {batch_n} serial submits, stats byte-identical ✓"
+    );
+
+    // fetch_tree of every batch result: the streamed geometry must
+    // rebuild the exact in-process tree — node for node, bit for bit.
+    for (k, &bid) in batch_ids.iter().enumerate() {
+        let remote = batcher.fetch_tree(bid)?;
+        let reference = serial.synthesize(&batch_instances[k])?;
+        assert_eq!(remote.name, format!("bat{k}"));
+        assert_eq!(
+            remote.tree, reference.tree,
+            "{}: routed geometry drift",
+            remote.name
+        );
+        assert_eq!(
+            remote.source, reference.source,
+            "{}: source drift",
+            remote.name
+        );
+        assert_eq!(
+            remote.level_stats, reference.level_stats,
+            "{}: level stats drift",
+            remote.name
+        );
+        assert_eq!(
+            remote.tree.sinks_under(remote.source).len(),
+            batch_instances[k].sinks().len()
+        );
+    }
+    println!(
+        "fetch_tree: routed geometry of {batch_n} trees bit-identical to in-process synthesis ✓"
+    );
+
     // A fresh client reads the final metrics and shuts the server down
     // over the wire; the reply must account for every completed request.
     let mut admin = Client::connect(addr)?;
     let m = admin.metrics()?;
-    assert_eq!(m.metrics.completed, (clients * per_client) as u64);
+    assert_eq!(
+        m.metrics.completed,
+        (clients * per_client + 2 * batch_n) as u64
+    );
     assert_eq!(m.metrics.submitted, m.metrics.completed);
     assert_eq!(m.metrics.queue_depth, 0);
     println!(
