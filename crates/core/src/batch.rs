@@ -34,7 +34,7 @@ use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::pipeline::LevelStats;
-use crate::verify::{VerifiedTiming, VerifyOptions};
+use crate::verify::{VerifiedTiming, Verifier, VerifyOptions};
 use cts_spice::Technology;
 use cts_timing::DelaySlewLibrary;
 use cts_util::{resolve_threads, run_parallel_with, run_two_stage};
@@ -328,15 +328,34 @@ impl<'a> BatchRunner<'a> {
         staged: StagedSynthesis,
         instance: &Instance,
     ) -> Result<BatchItem, CtsError> {
+        self.finish_stage_with(&mut Verifier::new(), staged, instance)
+    }
+
+    /// [`BatchRunner::finish_stage`] through a caller-provided
+    /// [`Verifier`], so one worker's stream of verifications shares solve
+    /// plans and stage records. The verifier never affects results (warm
+    /// and cold verification are bit-identical); it only removes repeated
+    /// symbolic work. This is the stage-2 closure [`BatchRunner::run`]
+    /// schedules with one verifier per worker.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::Verify`] if the tree fails to simulate.
+    pub fn finish_stage_with(
+        &self,
+        verifier: &mut Verifier,
+        staged: StagedSynthesis,
+        instance: &Instance,
+    ) -> Result<BatchItem, CtsError> {
         let StagedSynthesis {
             result,
             synth_seconds,
         } = staged;
         let (verified, verify_seconds) = if self.batch.verify {
             let t0 = Instant::now();
-            let v = self
-                .synth
-                .verify(&result, self.tech, &self.batch.verify_options)?;
+            let v =
+                self.synth
+                    .verify_with(&result, self.tech, &self.batch.verify_options, verifier)?;
             (Some(v), t0.elapsed().as_secs_f64())
         } else {
             (None, 0.0)
@@ -370,15 +389,21 @@ impl<'a> BatchRunner<'a> {
                 instances,
                 MergeScratch::new,
                 |scratch, instance| self.synth_stage(scratch, instance),
-                || (),
-                |(), staged, instance| self.finish_stage(staged, instance),
+                Verifier::new,
+                |verifier, staged, instance| self.finish_stage_with(verifier, staged, instance),
             )?
         } else {
             // Fused per-shard loop: each shard synthesizes (and, when
-            // enabled, verifies) its own instances.
-            run_parallel_with(shards, instances, MergeScratch::new, |scratch, instance| {
-                self.finish_stage(self.synth_stage(scratch, instance)?, instance)
-            })?
+            // enabled, verifies) its own instances, reusing one scratch and
+            // one verifier for the shard's whole stream.
+            run_parallel_with(
+                shards,
+                instances,
+                || (MergeScratch::new(), Verifier::new()),
+                |(scratch, verifier), instance| {
+                    self.finish_stage_with(verifier, self.synth_stage(scratch, instance)?, instance)
+                },
+            )?
         };
 
         let summary = BatchSummary::fold(&items);

@@ -15,7 +15,7 @@ use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::pipeline::{LevelStats, SynthesisPipeline};
 use crate::tree::{ClockTree, TreeNodeId};
-use crate::verify::{verify_tree, VerifiedTiming, VerifyOptions};
+use crate::verify::{verify_tree, VerifiedTiming, Verifier, VerifyOptions};
 use cts_spice::Technology;
 use cts_timing::DelaySlewLibrary;
 
@@ -172,6 +172,25 @@ impl<'a> Synthesizer<'a> {
         opts: &VerifyOptions,
     ) -> Result<VerifiedTiming, CtsError> {
         verify_tree(&result.tree, result.source, tech, opts)
+    }
+
+    /// [`Synthesizer::verify`] through a caller-provided [`Verifier`], so
+    /// repeated verification (a batch shard's instance stream, a service
+    /// worker's lifetime) reuses solve plans across stages and replays
+    /// unchanged stages outright. The verifier never affects results —
+    /// warm and cold verification are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Synthesizer::verify`].
+    pub fn verify_with(
+        &self,
+        result: &CtsResult,
+        tech: &Technology,
+        opts: &VerifyOptions,
+        verifier: &mut Verifier,
+    ) -> Result<VerifiedTiming, CtsError> {
+        verifier.verify(&result.tree, result.source, tech, opts)
     }
 }
 

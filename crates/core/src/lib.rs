@@ -62,4 +62,4 @@ pub use service::{
     ServiceOptions, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
 };
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId, TreeStructureError};
-pub use verify::{verify_tree, VerifiedTiming, VerifyOptions};
+pub use verify::{verify_tree, VerifiedTiming, Verifier, VerifyOptions, VerifyStats};

@@ -90,7 +90,7 @@ use crate::batch::{BatchItem, BatchOptions, BatchRunner, StagedSynthesis};
 use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
-use crate::verify::VerifyOptions;
+use crate::verify::{Verifier, VerifyOptions, VerifyStats};
 use cts_spice::Technology;
 use cts_timing::DelaySlewLibrary;
 use cts_util::{resolve_threads, run_two_stage_pull, Pull};
@@ -367,6 +367,10 @@ struct Counters {
     failed: AtomicU64,
     synth_nanos: AtomicU64,
     verify_nanos: AtomicU64,
+    stages_simulated: AtomicU64,
+    stages_reused: AtomicU64,
+    symbolic_hits: AtomicU64,
+    symbolic_misses: AtomicU64,
 }
 
 impl Counters {
@@ -375,6 +379,25 @@ impl Counters {
         // years of cumulative stage time, so saturation is theoretical.
         let ns = (seconds * 1e9).max(0.0).min(u64::MAX as f64) as u64;
         cell.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulates a worker verifier's counter growth since the last
+    /// flush. Verifier counters are monotone, so the delta against the
+    /// previous snapshot is exactly the new work.
+    fn flush_verify_stats(&self, now: VerifyStats, flushed: &mut VerifyStats) {
+        self.stages_simulated.fetch_add(
+            now.stages_simulated - flushed.stages_simulated,
+            Ordering::Relaxed,
+        );
+        self.stages_reused
+            .fetch_add(now.stages_reused - flushed.stages_reused, Ordering::Relaxed);
+        self.symbolic_hits
+            .fetch_add(now.symbolic_hits - flushed.symbolic_hits, Ordering::Relaxed);
+        self.symbolic_misses.fetch_add(
+            now.symbolic_misses - flushed.symbolic_misses,
+            Ordering::Relaxed,
+        );
+        *flushed = now;
     }
 }
 
@@ -408,6 +431,17 @@ pub struct ServiceMetrics {
     /// Cumulative wall time spent in the verification stage (s), summed
     /// across workers.
     pub verify_seconds: f64,
+    /// Verification stages that were assembled, stamped and
+    /// transient-simulated, summed across workers.
+    pub stages_simulated: u64,
+    /// Verification stages replayed from the workers' incremental stage
+    /// caches without simulating.
+    pub stages_reused: u64,
+    /// Simulations that reused a cached solve plan (symbolic
+    /// factorization / elimination order).
+    pub symbolic_hits: u64,
+    /// Simulations that had to build a solve plan from scratch.
+    pub symbolic_misses: u64,
 }
 
 impl fmt::Display for ServiceMetrics {
@@ -415,7 +449,8 @@ impl fmt::Display for ServiceMetrics {
         write!(
             f,
             "submitted {} | completed {} | cancelled {} | expired {} | failed {} | \
-             queued {} | synth {:.3} s | verify {:.3} s",
+             queued {} | synth {:.3} s | verify {:.3} s | stages {} sim / {} reused | \
+             symbolic {} hit / {} miss",
             self.submitted,
             self.completed,
             self.cancelled,
@@ -423,7 +458,11 @@ impl fmt::Display for ServiceMetrics {
             self.failed,
             self.queue_depth,
             self.synth_seconds,
-            self.verify_seconds
+            self.verify_seconds,
+            self.stages_simulated,
+            self.stages_reused,
+            self.symbolic_hits,
+            self.symbolic_misses
         )
     }
 }
@@ -812,6 +851,10 @@ impl SynthesisService {
             queue_depth: self.pending(),
             synth_seconds: c.synth_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             verify_seconds: c.verify_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            stages_simulated: c.stages_simulated.load(Ordering::Relaxed),
+            stages_reused: c.stages_reused.load(Ordering::Relaxed),
+            symbolic_hits: c.symbolic_hits.load(Ordering::Relaxed),
+            symbolic_misses: c.symbolic_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -1118,9 +1161,15 @@ fn engine_loop(
                 }
             }
         },
-        || (),
-        |(), job: Job, (staged, order): (StagedSynthesis, u64)| {
-            let outcome = match runner.finish_stage(staged, &job.instance) {
+        // Each finishing worker keeps a long-lived verifier, so solve
+        // plans and unchanged stages are shared across every request it
+        // verifies; the paired snapshot tracks what was last flushed into
+        // the service counters.
+        || (Verifier::new(), VerifyStats::default()),
+        |(verifier, flushed): &mut (Verifier, VerifyStats),
+         job: Job,
+         (staged, order): (StagedSynthesis, u64)| {
+            let outcome = match runner.finish_stage_with(verifier, staged, &job.instance) {
                 Ok(item) => {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
                     Counters::add_nanos(&counters.verify_nanos, item.verify_seconds);
@@ -1137,6 +1186,7 @@ fn engine_loop(
                     Err(ServiceError::Synthesis(e))
                 }
             };
+            counters.flush_verify_stats(verifier.stats(), flushed);
             job.deliver(outcome);
         },
     );
@@ -1487,6 +1537,43 @@ mod tests {
             m.synth_seconds > 0.0,
             "the completed request accumulated synthesis time"
         );
+    }
+
+    #[test]
+    fn metrics_expose_verify_cache_counters() {
+        // One worker, verification on: the first request simulates every
+        // stage of its tree; an identical second request resolves on the
+        // same worker's warm Verifier, so each of its stages is served
+        // from the stage cache and no stage is re-simulated.
+        let svc = service(1, 8, false, true);
+        let inst = tiny("cached", 5, 1400.0);
+        svc.submit(SynthesisRequest::new(inst.clone()))
+            .unwrap()
+            .wait()
+            .expect("first verify");
+        let cold = svc.metrics();
+        assert!(cold.stages_simulated > 0, "first verify simulates stages");
+        assert_eq!(cold.stages_reused, 0);
+        assert!(
+            cold.symbolic_misses > 0,
+            "first verify plans at least one circuit topology"
+        );
+
+        svc.submit(SynthesisRequest::new(inst))
+            .unwrap()
+            .wait()
+            .expect("second verify");
+        let warm = svc.metrics();
+        assert_eq!(
+            warm.stages_simulated, cold.stages_simulated,
+            "an identical tree re-simulates nothing"
+        );
+        assert_eq!(warm.stages_reused, cold.stages_simulated);
+        assert_eq!(
+            warm.symbolic_misses, cold.symbolic_misses,
+            "plan cache already holds every topology"
+        );
+        svc.shutdown();
     }
 
     #[test]

@@ -10,12 +10,28 @@
 //! Stage decomposition is exact for our device model: a CMOS gate loads its
 //! input purely capacitively, so cutting at buffer inputs and carrying the
 //! full input waveform forward loses nothing.
+//!
+//! # Incremental re-verification
+//!
+//! The stage cut also makes verification *incremental*. A stage's simulated
+//! output depends on exactly two things: the stage's own netlist (driver
+//! buffer, downstream wires/caps up to the next buffer inputs) and its
+//! input waveform — which is itself fully determined by the chain of stages
+//! above it. [`Verifier`] keys every stage by a fingerprint chaining those
+//! two, caches each stage's measurements and output waveforms, and on
+//! re-verification re-simulates only stages whose key changed: edit one
+//! wire and exactly the stage containing it (plus its downstream cone,
+//! whose input waveforms change) re-runs; every other stage replays from
+//! the cache. Cached and fresh results are bit-identical — the cache stores
+//! the exact waveform objects the fresh path would propagate.
 
 use crate::options::CtsError;
 use crate::tree::{ClockTree, NodeKind, TreeNodeId};
 use cts_spice::units::{NS, PS};
-use cts_spice::{simulate, Circuit, NodeId, SimOptions, Technology, Waveform};
-use std::collections::VecDeque;
+use cts_spice::{
+    simulate_observed_with, Circuit, NodeId, SimOptions, SolverContext, Technology, Waveform,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Options for tree verification.
 #[derive(Debug, Clone)]
@@ -52,8 +68,417 @@ pub struct VerifiedTiming {
     pub sink_arrivals: Vec<(TreeNodeId, f64)>,
 }
 
+/// Counters describing how much work verification actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Stages that were assembled, stamped and transient-simulated.
+    pub stages_simulated: u64,
+    /// Stages replayed from the incremental cache without simulating.
+    pub stages_reused: u64,
+    /// Simulations that reused a cached solve plan (symbolic
+    /// factorization / elimination order) from the solver context.
+    pub symbolic_hits: u64,
+    /// Simulations that had to build a solve plan.
+    pub symbolic_misses: u64,
+}
+
+/// Bound on cached stage records. Each record holds the stage's output
+/// waveforms, so this also bounds cache memory.
+const STAGE_CACHE_CAP: usize = 4096;
+
+/// Per-load cached data: the 50 % crossing, and for buffer loads the
+/// re-base time and the exact shifted waveform handed to the next stage.
+#[derive(Clone)]
+struct LoadRec {
+    t50: f64,
+    t_base: f64,
+    wave: Option<Waveform>,
+}
+
+struct StageRecord {
+    worst_slew: f64,
+    t50_in: f64,
+    loads: Vec<LoadRec>,
+}
+
+/// Dual-stream FNV-1a producing a 128-bit key (as two u64 halves) — the
+/// same construction the spice crate uses for topology fingerprints.
+struct Fnv2 {
+    h1: u64,
+    h2: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Fnv2 {
+        Fnv2 {
+            h1: 0xcbf2_9ce4_8422_2325,
+            h2: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn word(&mut self, word: u64) {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            let byte = (word >> shift) as u8;
+            self.h1 = (self.h1 ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+            self.h2 = (self.h2 ^ byte.rotate_left(3) as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.h1 = (self.h1 ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+            self.h2 = (self.h2 ^ byte.rotate_left(3) as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn key(&mut self, key: (u64, u64)) {
+        self.word(key.0);
+        self.word(key.1);
+    }
+
+    fn finish(&self) -> (u64, u64) {
+        (self.h1, self.h2)
+    }
+}
+
+/// Incremental, cache-carrying tree verifier.
+///
+/// A `Verifier` owns two caches that survive across [`Verifier::verify`]
+/// calls:
+///
+/// * a [`SolverContext`] of solve plans (partition, elimination order,
+///   symbolic factorization), reused whenever any two stage circuits share
+///   a topology — within one tree, across repeated verifies, and across
+///   *different* trees of the same design;
+/// * a stage cache keyed by a fingerprint chaining each stage's netlist
+///   content with its input-waveform lineage, letting re-verification of
+///   an edited tree skip every stage the edit cannot affect.
+///
+/// Results are bit-identical whether a stage is simulated or replayed:
+/// `Verifier::new().verify(...)` equals [`verify_tree`] exactly, and
+/// re-verifying an unchanged tree returns the identical `VerifiedTiming`
+/// while simulating zero stages. The per-verifier counters ([`VerifyStats`])
+/// expose how much work was skipped.
+///
+/// Verifiers are intended to be long-lived and per-worker (they are `Send`
+/// but not `Sync`).
+#[derive(Default)]
+pub struct Verifier {
+    ctx: SolverContext,
+    cache: HashMap<(u64, u64), StageRecord>,
+    stages_simulated: u64,
+    stages_reused: u64,
+}
+
+impl Verifier {
+    /// Creates a verifier with empty caches.
+    pub fn new() -> Verifier {
+        Verifier::default()
+    }
+
+    /// Work counters accumulated over this verifier's lifetime.
+    pub fn stats(&self) -> VerifyStats {
+        VerifyStats {
+            stages_simulated: self.stages_simulated,
+            stages_reused: self.stages_reused,
+            symbolic_hits: self.ctx.symbolic_hits(),
+            symbolic_misses: self.ctx.symbolic_misses(),
+        }
+    }
+
+    /// Drops all cached state (stage records and solve plans). Counters
+    /// are kept.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.ctx.clear();
+    }
+
+    /// Drops cached stage records but keeps solver plans — every stage
+    /// re-stamps and re-solves, but through warm symbolic factorizations.
+    pub fn clear_stage_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Simulates the tree stage by stage, replaying cached stages whose
+    /// netlist and input lineage are unchanged since a previous call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`verify_tree`].
+    pub fn verify(
+        &mut self,
+        tree: &ClockTree,
+        source: TreeNodeId,
+        tech: &Technology,
+        opts: &VerifyOptions,
+    ) -> Result<VerifiedTiming, CtsError> {
+        let driver = match tree.node(source).kind {
+            NodeKind::Source { driver } => driver,
+            ref k => {
+                return Err(CtsError::Verify(format!(
+                    "verification must start at a source node, got {k:?}"
+                )))
+            }
+        };
+        let vdd = tech.vdd();
+        let buffers = tech.buffer_library();
+
+        // Root of the stage-key chain: everything global that shapes stage
+        // simulations — technology (devices, wire parasitics, buffer
+        // library) and the simulation/stimulus options.
+        let ctx_key = {
+            let mut f = Fnv2::new();
+            f.bytes(format!("{tech:?}").as_bytes());
+            f.word(opts.input_slew.to_bits());
+            f.word(opts.stage_window.to_bits());
+            f.word(opts.dt.to_bits());
+            f.finish()
+        };
+
+        // Work queue of stages: (tree node of the driving buffer, its input
+        // waveform in local time, global time offset of local t = 0, key of
+        // the input-waveform lineage).
+        struct StageJob {
+            node: TreeNodeId,
+            driver: cts_timing::BufferId,
+            wave: Waveform,
+            offset: f64,
+            input_key: (u64, u64),
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(StageJob {
+            node: source,
+            driver,
+            wave: Waveform::rising_ramp_10_90(100.0 * PS, opts.input_slew, vdd),
+            offset: -100.0 * PS, // measure latency from the source edge start
+            input_key: ctx_key,
+        });
+
+        let mut worst_slew: f64 = 0.0;
+        let mut sink_arrivals = Vec::new();
+        let mut stages = 0usize;
+        let mut touched: HashSet<(u64, u64)> = HashSet::new();
+        // Global 50 % time of the source input edge; arrivals are measured
+        // relative to it (the paper's source-to-sink delay).
+        let mut source_edge: Option<f64> = None;
+
+        while let Some(job) = queue.pop_front() {
+            stages += 1;
+            if stages > 4 * tree.len() + 16 {
+                return Err(CtsError::Verify("stage queue runaway".into()));
+            }
+
+            // Build the stage circuit: driver buffer + downstream wire tree
+            // up to the next buffer inputs / sinks. The same walk feeds the
+            // stage fingerprint, so cached replay sees loads in the exact
+            // order simulation would produce them.
+            let mut key = Fnv2::new();
+            key.key(job.input_key);
+            key.word(job.driver.0 as u64);
+            let mut c = Circuit::new(tech);
+            let cin = c.add_node("stage_in");
+            let cout = c.add_node("stage_out");
+            let btype = &buffers[job.driver.0];
+            c.add_buffer(cin, cout, btype);
+            c.drive(cin, job.wave.clone());
+
+            // Walk the tree below the driver, mirroring it into the circuit.
+            // `loads` collects (tree node, circuit node) for buffers/sinks.
+            let mut loads: Vec<(TreeNodeId, NodeId, bool)> = Vec::new(); // bool: is_buffer
+            let mut measured: Vec<NodeId> = vec![cout];
+            let mut stack: Vec<(TreeNodeId, NodeId)> = tree
+                .node(job.node)
+                .children
+                .iter()
+                .map(|&ch| (ch, cout))
+                .collect();
+            key.word(stack.len() as u64);
+            while let Some((tnode, upstream)) = stack.pop() {
+                let cnode = c.add_node(format!("{tnode}"));
+                measured.push(cnode);
+                let len = tree.node(tnode).wire_to_parent_um;
+                key.word(len.to_bits());
+                if len >= 0.5 {
+                    c.add_wire(upstream, cnode, len, tech.wire());
+                } else {
+                    // Co-located attachment: a tiny series resistance keeps
+                    // the two circuit nodes distinct without parasitics.
+                    c.add_resistor(upstream, cnode, 1e-3);
+                }
+                match tree.node(tnode).kind {
+                    NodeKind::Sink { cap, .. } => {
+                        key.word(1);
+                        key.word(cap.to_bits());
+                        c.add_cap(cnode, cap);
+                        loads.push((tnode, cnode, false));
+                    }
+                    NodeKind::Buffer { buffer } => {
+                        key.word(2);
+                        key.word(buffer.0 as u64);
+                        // The next stage's gate: purely capacitive here.
+                        c.add_cap(cnode, buffers[buffer.0].input_cap(tech));
+                        loads.push((tnode, cnode, true));
+                    }
+                    NodeKind::Joint => {
+                        key.word(3);
+                        key.word(tree.node(tnode).children.len() as u64);
+                        stack.extend(tree.node(tnode).children.iter().map(|&ch| (ch, cnode)));
+                    }
+                    NodeKind::Source { .. } => {
+                        return Err(CtsError::Verify("source below a driver".into()))
+                    }
+                }
+            }
+            let stage_key = key.finish();
+            touched.insert(stage_key);
+
+            // Cached replay: the stage's netlist and input lineage are
+            // unchanged, so its simulated outputs are too.
+            let hit = match self.cache.get(&stage_key) {
+                Some(r)
+                    if r.loads.len() == loads.len()
+                        && r.loads
+                            .iter()
+                            .zip(&loads)
+                            .all(|(lr, &(_, _, buf))| lr.wave.is_some() == buf) =>
+                {
+                    Some((r.worst_slew, r.t50_in, r.loads.clone()))
+                }
+                _ => None,
+            };
+
+            let (stage_worst, t50_in, load_recs) = if let Some(hit) = hit {
+                self.stages_reused += 1;
+                hit
+            } else {
+                self.stages_simulated += 1;
+                let sim_opts = {
+                    let mut o = SimOptions::default_for(opts.stage_window);
+                    o.dt = opts.dt;
+                    o
+                };
+                let res = simulate_observed_with(&mut self.ctx, &c, &sim_opts, &measured)
+                    .map_err(|e| CtsError::Verify(format!("stage at {}: {e}", job.node)))?;
+
+                // Worst slew across every tree-visible node in this stage.
+                let mut stage_worst: f64 = 0.0;
+                for &n in &measured {
+                    let w = res.waveform(n);
+                    let slew = w.slew_10_90(vdd).ok_or_else(|| {
+                        CtsError::Verify(format!(
+                            "node {} never completed its transition (stage at {})",
+                            c.node_name(n),
+                            job.node
+                        ))
+                    })?;
+                    stage_worst = stage_worst.max(slew);
+                }
+
+                // The stage's reference edge: driver input's 50 % crossing.
+                let t50_in = job
+                    .wave
+                    .t50(vdd)
+                    .ok_or_else(|| CtsError::Verify("driver input has no edge".into()))?;
+
+                let mut load_recs = Vec::with_capacity(loads.len());
+                for &(tnode, cnode, is_buffer) in &loads {
+                    let w = res.waveform(cnode);
+                    let t50 = w.t50(vdd).ok_or_else(|| {
+                        CtsError::Verify(format!("load {tnode} never crossed 50%"))
+                    })?;
+                    if is_buffer {
+                        // Re-base the waveform so the edge sits near the
+                        // start of the next window; the cut time is carried
+                        // into the offset when the job is queued below.
+                        let t_base = (t50 - 300.0 * PS).max(0.0);
+                        load_recs.push(LoadRec {
+                            t50,
+                            t_base,
+                            wave: Some(w.shifted(-t_base)),
+                        });
+                    } else {
+                        load_recs.push(LoadRec {
+                            t50,
+                            t_base: 0.0,
+                            wave: None,
+                        });
+                    }
+                }
+                self.cache.insert(
+                    stage_key,
+                    StageRecord {
+                        worst_slew: stage_worst,
+                        t50_in,
+                        loads: load_recs.clone(),
+                    },
+                );
+                (stage_worst, t50_in, load_recs)
+            };
+
+            worst_slew = worst_slew.max(stage_worst);
+            if source_edge.is_none() {
+                source_edge = Some(job.offset + t50_in);
+            }
+            let t_source = source_edge.expect("set on first stage");
+
+            for (ordinal, (&(tnode, _, is_buffer), lr)) in loads.iter().zip(&load_recs).enumerate()
+            {
+                if is_buffer {
+                    let next_driver = match tree.node(tnode).kind {
+                        NodeKind::Buffer { buffer } => buffer,
+                        _ => unreachable!(),
+                    };
+                    let input_key = {
+                        let mut f = Fnv2::new();
+                        f.key(stage_key);
+                        f.word(ordinal as u64);
+                        f.finish()
+                    };
+                    queue.push_back(StageJob {
+                        node: tnode,
+                        driver: next_driver,
+                        wave: lr.wave.clone().expect("buffer load has a waveform"),
+                        offset: job.offset + lr.t_base,
+                        input_key,
+                    });
+                } else {
+                    sink_arrivals.push((tnode, job.offset + lr.t50 - t_source));
+                }
+            }
+        }
+
+        // Evict stages not touched by this verify once the cache outgrows
+        // its cap (records hold waveforms, so the cap bounds memory too).
+        if self.cache.len() > STAGE_CACHE_CAP {
+            self.cache.retain(|k, _| touched.contains(k));
+        }
+
+        if sink_arrivals.is_empty() {
+            return Err(CtsError::Verify("tree has no sinks".into()));
+        }
+        let max_latency = sink_arrivals
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_arrival = sink_arrivals
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+
+        Ok(VerifiedTiming {
+            worst_slew,
+            skew: max_latency - min_arrival,
+            max_latency,
+            sink_arrivals,
+        })
+    }
+}
+
 /// Simulates the synthesized tree and measures worst slew, skew and
 /// latency — the paper's Table 5.1/5.2 columns.
+///
+/// Each call starts from cold caches; use a persistent [`Verifier`] to
+/// amortize solve plans and reuse unchanged stages across calls.
 ///
 /// # Errors
 ///
@@ -66,170 +491,7 @@ pub fn verify_tree(
     tech: &Technology,
     opts: &VerifyOptions,
 ) -> Result<VerifiedTiming, CtsError> {
-    let driver = match tree.node(source).kind {
-        NodeKind::Source { driver } => driver,
-        ref k => {
-            return Err(CtsError::Verify(format!(
-                "verification must start at a source node, got {k:?}"
-            )))
-        }
-    };
-    let vdd = tech.vdd();
-    let buffers = tech.buffer_library();
-
-    // Work queue of stages: (tree node of the driving buffer, its input
-    // waveform in local time, global time offset of local t = 0).
-    struct StageJob {
-        node: TreeNodeId,
-        driver: cts_timing::BufferId,
-        wave: Waveform,
-        offset: f64,
-    }
-    let mut queue = VecDeque::new();
-    queue.push_back(StageJob {
-        node: source,
-        driver,
-        wave: Waveform::rising_ramp_10_90(100.0 * PS, opts.input_slew, vdd),
-        offset: -100.0 * PS, // measure latency from the source edge start
-    });
-
-    let mut worst_slew: f64 = 0.0;
-    let mut sink_arrivals = Vec::new();
-    let mut stages = 0usize;
-    // Global 50 % time of the source input edge; arrivals are measured
-    // relative to it (the paper's source-to-sink delay).
-    let mut source_edge: Option<f64> = None;
-
-    while let Some(job) = queue.pop_front() {
-        stages += 1;
-        if stages > 4 * tree.len() + 16 {
-            return Err(CtsError::Verify("stage queue runaway".into()));
-        }
-
-        // Build the stage circuit: driver buffer + downstream wire tree up
-        // to the next buffer inputs / sinks.
-        let mut c = Circuit::new(tech);
-        let cin = c.add_node("stage_in");
-        let cout = c.add_node("stage_out");
-        let btype = &buffers[job.driver.0];
-        c.add_buffer(cin, cout, btype);
-        c.drive(cin, job.wave.clone());
-
-        // Walk the tree below the driver, mirroring it into the circuit.
-        // `loads` collects (tree node, circuit node) for buffers and sinks.
-        let mut loads: Vec<(TreeNodeId, NodeId, bool)> = Vec::new(); // bool: is_buffer
-        let mut measured: Vec<NodeId> = vec![cout];
-        let mut stack: Vec<(TreeNodeId, NodeId)> = tree
-            .node(job.node)
-            .children
-            .iter()
-            .map(|&ch| (ch, cout))
-            .collect();
-        while let Some((tnode, upstream)) = stack.pop() {
-            let cnode = c.add_node(format!("{tnode}"));
-            measured.push(cnode);
-            let len = tree.node(tnode).wire_to_parent_um;
-            if len >= 0.5 {
-                c.add_wire(upstream, cnode, len, tech.wire());
-            } else {
-                // Co-located attachment: a tiny series resistance keeps the
-                // two circuit nodes distinct without adding parasitics.
-                c.add_resistor(upstream, cnode, 1e-3);
-            }
-            match tree.node(tnode).kind {
-                NodeKind::Sink { cap, .. } => {
-                    c.add_cap(cnode, cap);
-                    loads.push((tnode, cnode, false));
-                }
-                NodeKind::Buffer { buffer } => {
-                    // The next stage's gate: purely capacitive here.
-                    c.add_cap(cnode, buffers[buffer.0].input_cap(tech));
-                    loads.push((tnode, cnode, true));
-                }
-                NodeKind::Joint => {
-                    stack.extend(tree.node(tnode).children.iter().map(|&ch| (ch, cnode)));
-                }
-                NodeKind::Source { .. } => {
-                    return Err(CtsError::Verify("source below a driver".into()))
-                }
-            }
-        }
-
-        let sim_opts = {
-            let mut o = SimOptions::default_for(opts.stage_window);
-            o.dt = opts.dt;
-            o
-        };
-        let res = simulate(&c, &sim_opts)
-            .map_err(|e| CtsError::Verify(format!("stage at {}: {e}", job.node)))?;
-
-        // Worst slew across every tree-visible node in this stage.
-        for &n in &measured {
-            let w = res.waveform(n);
-            let slew = w.slew_10_90(vdd).ok_or_else(|| {
-                CtsError::Verify(format!(
-                    "node {} never completed its transition (stage at {})",
-                    c.node_name(n),
-                    job.node
-                ))
-            })?;
-            worst_slew = worst_slew.max(slew);
-        }
-
-        // The stage's reference edge: the driver input's 50 % crossing.
-        let t50_in = job
-            .wave
-            .t50(vdd)
-            .ok_or_else(|| CtsError::Verify("driver input has no edge".into()))?;
-        if source_edge.is_none() {
-            source_edge = Some(job.offset + t50_in);
-        }
-        let t_source = source_edge.expect("set on first stage");
-
-        for (tnode, cnode, is_buffer) in loads {
-            let w = res.waveform(cnode);
-            let t50 = w
-                .t50(vdd)
-                .ok_or_else(|| CtsError::Verify(format!("load {tnode} never crossed 50%")))?;
-            if is_buffer {
-                let next_driver = match tree.node(tnode).kind {
-                    NodeKind::Buffer { buffer } => buffer,
-                    _ => unreachable!(),
-                };
-                // Re-base the waveform so the edge sits near the start of
-                // the next window, and carry the cut time into the offset.
-                let t_base = (t50 - 300.0 * PS).max(0.0);
-                let shifted = w.shifted(-t_base);
-                queue.push_back(StageJob {
-                    node: tnode,
-                    driver: next_driver,
-                    wave: shifted,
-                    offset: job.offset + t_base,
-                });
-            } else {
-                sink_arrivals.push((tnode, job.offset + t50 - t_source));
-            }
-        }
-    }
-
-    if sink_arrivals.is_empty() {
-        return Err(CtsError::Verify("tree has no sinks".into()));
-    }
-    let max_latency = sink_arrivals
-        .iter()
-        .map(|&(_, t)| t)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let min_arrival = sink_arrivals
-        .iter()
-        .map(|&(_, t)| t)
-        .fold(f64::INFINITY, f64::min);
-
-    Ok(VerifiedTiming {
-        worst_slew,
-        skew: max_latency - min_arrival,
-        max_latency,
-        sink_arrivals,
-    })
+    Verifier::new().verify(tree, source, tech, opts)
 }
 
 #[cfg(test)]
@@ -310,5 +572,89 @@ mod tests {
         let a = t.add_sink(0, &Sink::new("a", Point::new(0.0, 0.0), 20e-15));
         let err = verify_tree(&t, a, &tech(), &VerifyOptions::default()).unwrap_err();
         assert!(matches!(err, CtsError::Verify(_)));
+    }
+
+    fn synthesized_tree() -> (crate::flow::CtsResult, Technology) {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let sinks = vec![
+            Sink::new("a", Point::new(0.0, 0.0), 25e-15),
+            Sink::new("b", Point::new(2500.0, 200.0), 25e-15),
+            Sink::new("c", Point::new(300.0, 2200.0), 25e-15),
+            Sink::new("d", Point::new(2400.0, 2500.0), 25e-15),
+            Sink::new("e", Point::new(1200.0, 1200.0), 25e-15),
+        ];
+        let r = synth.synthesize(&Instance::new("five", sinks)).unwrap();
+        (r, tech())
+    }
+
+    #[test]
+    fn warm_verifier_is_bit_identical_to_cold() {
+        let (r, t) = synthesized_tree();
+        let opts = VerifyOptions::default();
+        let cold = verify_tree(&r.tree, r.source, &t, &opts).unwrap();
+        let mut v = Verifier::new();
+        let first = v.verify(&r.tree, r.source, &t, &opts).unwrap();
+        let second = v.verify(&r.tree, r.source, &t, &opts).unwrap();
+        assert_eq!(cold, first, "fresh verifier must match verify_tree");
+        assert_eq!(cold, second, "cached replay must be bit-identical");
+        let stats = v.stats();
+        assert!(stats.stages_simulated > 0);
+        assert_eq!(
+            stats.stages_reused, stats.stages_simulated,
+            "second verify must replay every stage from cache"
+        );
+    }
+
+    #[test]
+    fn incremental_reverify_resimulates_only_touched_stages() {
+        let (mut r, t) = synthesized_tree();
+        let opts = VerifyOptions::default();
+        let mut v = Verifier::new();
+        v.verify(&r.tree, r.source, &t, &opts).unwrap();
+        let base = v.stats();
+
+        // Nudge one sink's wire: exactly the one stage whose netlist
+        // contains that wire must re-simulate (a sink is a stage leaf, so
+        // no downstream cone).
+        let sink = r
+            .tree
+            .ids()
+            .find(|&id| matches!(r.tree.node(id).kind, NodeKind::Sink { .. }))
+            .unwrap();
+        let old_len = r.tree.node(sink).wire_to_parent_um;
+        r.tree.set_wire_to_parent(sink, old_len + 1.0);
+        v.verify(&r.tree, r.source, &t, &opts).unwrap();
+        let after_edit = v.stats();
+        assert_eq!(
+            after_edit.stages_simulated - base.stages_simulated,
+            1,
+            "one edited stage must re-simulate"
+        );
+
+        // Revert: the original record is still cached, so nothing at all
+        // re-simulates.
+        r.tree.set_wire_to_parent(sink, old_len);
+        let reverted = v.verify(&r.tree, r.source, &t, &opts).unwrap();
+        assert_eq!(
+            v.stats().stages_simulated,
+            after_edit.stages_simulated,
+            "reverting must be a full cache replay"
+        );
+        let fresh = verify_tree(&r.tree, r.source, &t, &opts).unwrap();
+        assert_eq!(reverted, fresh, "replayed result must match cold verify");
+    }
+
+    #[test]
+    fn solver_plans_are_shared_across_stages() {
+        let (r, t) = synthesized_tree();
+        let mut v = Verifier::new();
+        v.verify(&r.tree, r.source, &t, &VerifyOptions::default())
+            .unwrap();
+        let stats = v.stats();
+        assert_eq!(
+            stats.symbolic_hits + stats.symbolic_misses,
+            stats.stages_simulated,
+            "every simulated stage consults the plan cache"
+        );
     }
 }

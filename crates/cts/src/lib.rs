@@ -84,7 +84,7 @@ pub use cts_core::{
     RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics, ServiceOptions, Sink,
     StagedSynthesis, SubmitError, SynthesisContext, SynthesisPipeline, SynthesisRequest,
     SynthesisResult, SynthesisService, Synthesizer, Ticket, TimingEngine, TimingReport, TreeNode,
-    TreeNodeId, TreeStructureError, VerifiedTiming, VerifyOptions,
+    TreeNodeId, TreeStructureError, VerifiedTiming, Verifier, VerifyOptions, VerifyStats,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{BufferId, DelaySlewLibrary, Load};

@@ -1135,6 +1135,10 @@ pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
                             ("queue_depth", Json::num(s.queue_depth as f64)),
                             ("synth_seconds", Json::num(s.synth_seconds)),
                             ("verify_seconds", Json::num(s.verify_seconds)),
+                            ("stages_simulated", Json::num(s.stages_simulated as f64)),
+                            ("stages_reused", Json::num(s.stages_reused as f64)),
+                            ("symbolic_hits", Json::num(s.symbolic_hits as f64)),
+                            ("symbolic_misses", Json::num(s.symbolic_misses as f64)),
                         ]),
                     ));
                 }
@@ -1253,6 +1257,9 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                     .and_then(Json::as_f64)
                     .ok_or("bad metrics seconds")
             };
+            // Verify-cache counters arrived after the v1 frames; default
+            // to zero when talking to an older server.
+            let opt_count = |key: &str| m.get(key).and_then(Json::as_u64).unwrap_or(0);
             Response::Metrics(MetricsReply {
                 workers,
                 metrics: ServiceMetrics {
@@ -1264,6 +1271,10 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                     queue_depth: count("queue_depth")? as usize,
                     synth_seconds: seconds("synth_seconds")?,
                     verify_seconds: seconds("verify_seconds")?,
+                    stages_simulated: opt_count("stages_simulated"),
+                    stages_reused: opt_count("stages_reused"),
+                    symbolic_hits: opt_count("symbolic_hits"),
+                    symbolic_misses: opt_count("symbolic_misses"),
                 },
             })
         }
@@ -1684,6 +1695,24 @@ mod tests {
     }
 
     #[test]
+    fn metrics_reply_without_verify_counters_parses_as_zero() {
+        // A pre-counter server omits the verify-cache fields; the client
+        // must default them to 0, not reject the frame.
+        let frame = r#"{"ok":true,"seq":4,"op":"metrics","workers":2,"metrics":{"submitted":10,"completed":7,"cancelled":1,"expired":1,"failed":1,"queue_depth":0,"synth_seconds":1.25,"verify_seconds":0.5}}"#;
+        let j = Json::parse(frame).unwrap();
+        let (seq, resp) = decode_response(&j).unwrap();
+        assert_eq!(seq, Some(4));
+        let Response::Metrics(reply) = resp else {
+            panic!("expected a metrics reply, got {resp:?}");
+        };
+        assert_eq!(reply.metrics.submitted, 10);
+        assert_eq!(reply.metrics.stages_simulated, 0);
+        assert_eq!(reply.metrics.stages_reused, 0);
+        assert_eq!(reply.metrics.symbolic_hits, 0);
+        assert_eq!(reply.metrics.symbolic_misses, 0);
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let responses = vec![
             (
@@ -1727,6 +1756,10 @@ mod tests {
                         queue_depth: 0,
                         synth_seconds: 1.25,
                         verify_seconds: 0.5,
+                        stages_simulated: 42,
+                        stages_reused: 18,
+                        symbolic_hits: 40,
+                        symbolic_misses: 2,
                     },
                 }),
             ),

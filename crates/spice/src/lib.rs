@@ -10,8 +10,10 @@
 //!   CMOS inverters/buffers and piecewise-linear voltage sources,
 //! * [`simulate`] — backward-Euler / trapezoidal transient analysis with
 //!   Newton iteration on the nonlinear devices, using an O(n) solver on
-//!   tree-structured resistive components (with a dense-LU fallback for
-//!   meshes),
+//!   tree-structured resistive components and a sparse LDLᵀ factorization
+//!   ([`sparse`]) for meshes; [`simulate_with`] reuses solve plans
+//!   (partition, elimination order, symbolic factorization) across runs
+//!   through a [`SolverContext`],
 //! * [`Waveform`] — sampled waveforms with the measurements CTS needs:
 //!   50 % crossing delay and 10–90 % slew,
 //! * [`Technology`] / [`BufferType`] — a 45 nm-flavoured behavioural device
@@ -62,6 +64,7 @@ mod circuit;
 mod device;
 mod error;
 mod solver;
+pub mod sparse;
 pub mod stages;
 pub mod units;
 mod waveform;
@@ -69,5 +72,8 @@ mod waveform;
 pub use circuit::{Circuit, NodeId, WireParams};
 pub use device::{BufferType, Technology};
 pub use error::SimError;
-pub use solver::{simulate, Integrator, SimOptions, TransientResult};
+pub use solver::{
+    simulate, simulate_observed_with, simulate_with, GeneralSolver, Integrator, SimOptions,
+    SolverContext, TransientResult,
+};
 pub use waveform::Waveform;

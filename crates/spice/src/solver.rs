@@ -1,5 +1,5 @@
 //! Transient analysis: staged Newton solves over tree-structured resistive
-//! components.
+//! components, with cached solve plans and sparse factorization.
 //!
 //! CTS circuits are feed-forward: resistive (wire) components are RC trees,
 //! and the only couplings between them are unilateral CMOS gates (a gate
@@ -8,8 +8,10 @@
 //!
 //! 1. Nodes are partitioned into *components* — connected subgraphs of the
 //!    resistor graph. Components that are trees (the normal case) are solved
-//!    in O(n) by leaf-to-root elimination; anything else falls back to dense
-//!    LU.
+//!    in O(n) by leaf-to-root elimination; anything else is solved by a
+//!    sparse `L D Lᵀ` factorization with a fill-reducing ordering (see
+//!    [`crate::sparse`]), with the historical dense-LU path kept behind
+//!    [`GeneralSolver::DenseLu`] as an exactness/ablation flag.
 //! 2. Components are ordered topologically along inverter input→output
 //!    dependencies and solved in that order at every timestep, so each
 //!    gate's input waveform is already known when its output component is
@@ -17,11 +19,30 @@
 //! 3. Within a component, Newton iteration handles the square-law driver
 //!    nonlinearity; the linear part (wire G, cap companion models) stays
 //!    fixed across iterations.
+//!
+//! The partition, elimination orders and symbolic factorizations depend
+//! only on circuit *topology*, not on element values, so they are computed
+//! once per topology and cached in a [`SolverContext`] keyed by
+//! [`Circuit::topology_fingerprint`]. Repeated simulations of the same
+//! circuit family — a characterization sweep, repeated verification of a
+//! clock tree — reuse the plan and only re-stamp numeric values.
+//!
+//! For tree components whose nonlinear drivers all sit at the elimination
+//! root (every circuit the synthesis flow builds has this shape: a buffer
+//! output feeding an RC tree), the constant part of the elimination is
+//! hoisted out of the Newton loop: the matrix diagonal is eliminated once
+//! per transient phase and the right-hand side once per timestep, leaving
+//! only a root-diagonal update and the back-substitution per iteration.
+//! The hoisted path performs the *same floating-point operations in the
+//! same order* as the straightforward per-iteration elimination, so its
+//! results are bit-identical.
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SimError;
+use crate::sparse::{NumericLdl, SymbolicLdl};
 use crate::units::PS;
 use crate::waveform::Waveform;
+use std::collections::HashMap;
 
 /// Time integration scheme for the transient solver.
 ///
@@ -39,6 +60,21 @@ pub enum Integrator {
     Trapezoidal,
 }
 
+/// How non-tree ("general") resistive components are solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeneralSolver {
+    /// Sparse `L D Lᵀ` with a fill-reducing ordering and a cached symbolic
+    /// pattern (the default). Results agree with [`GeneralSolver::DenseLu`]
+    /// to solver tolerance (enforced by property tests) but are not
+    /// bit-identical to it.
+    #[default]
+    SparseLdl,
+    /// Dense LU with partial pivoting — the historical fallback, kept as
+    /// the exactness flag: it reproduces pre-sparse results bit-for-bit
+    /// and anchors the sparse-vs-dense property tests.
+    DenseLu,
+}
+
 /// Options controlling a transient run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {
@@ -52,6 +88,9 @@ pub struct SimOptions {
     pub newton_tol: f64,
     /// Maximum Newton iterations per component per timestep.
     pub max_newton: usize,
+    /// Solver for non-tree resistive components. Tree components (the
+    /// normal case) always use the O(n) elimination and are unaffected.
+    pub general_solver: GeneralSolver,
 }
 
 impl SimOptions {
@@ -64,6 +103,7 @@ impl SimOptions {
             integrator: Integrator::default(),
             newton_tol: 1e-6,
             max_newton: 60,
+            general_solver: GeneralSolver::default(),
         }
     }
 
@@ -89,12 +129,16 @@ impl SimOptions {
     }
 }
 
-/// Result of a transient run: sampled voltages for every node.
+/// Result of a transient run: sampled voltages for the observed nodes
+/// (every node for [`simulate`]/[`simulate_with`]; the requested subset
+/// for [`simulate_observed_with`]).
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
-    /// `volts[node][step]`
+    /// One row per observed node, `volts[row][step]`.
     volts: Vec<Vec<f64>>,
+    /// Row per global node index; `u32::MAX` for unobserved nodes.
+    row_of: Vec<u32>,
 }
 
 impl TransientResult {
@@ -107,18 +151,23 @@ impl TransientResult {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range or was not observed in this run.
     pub fn samples(&self, node: NodeId) -> &[f64] {
-        &self.volts[node.index()]
+        let row = self.row_of[node.index()];
+        assert!(
+            row != u32::MAX,
+            "node {node} was not among the observed nodes of this simulation"
+        );
+        &self.volts[row as usize]
     }
 
     /// The waveform observed at a node.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range or was not observed in this run.
     pub fn waveform(&self, node: NodeId) -> Waveform {
-        Waveform::from_samples(self.times.clone(), self.volts[node.index()].clone())
+        Waveform::from_samples(self.times.clone(), self.samples(node).to_vec())
     }
 }
 
@@ -131,51 +180,163 @@ const DIRICHLET_PENALTY: f64 = 1e9;
 /// iteration to keep the square-law model from overshooting.
 const MAX_NEWTON_STEP_V: f64 = 0.4;
 
-enum ComponentKind {
+/// Plans cached per [`SolverContext`] before the cache is reset. Plans are
+/// small (topology-sized), so this mainly bounds pathological workloads
+/// that stream unique topologies through one context.
+const PLAN_CACHE_CAP: usize = 512;
+
+/// Where a gate reads its input voltage from.
+enum DriverInput {
+    /// Input node lies in the same component: read the current Newton
+    /// iterate.
+    Local(usize),
+    /// Input node lies upstream: read the committed global solution.
+    Global(usize),
+}
+
+struct PlanDriver {
+    input: DriverInput,
+    out_local: usize,
+    /// Index into `circuit.inverters` (the size is re-read at stamp time).
+    inv_idx: usize,
+}
+
+enum PlanKind {
     /// Tree component: `order` is a leaf-first elimination order over local
-    /// indices; `parent[i]`/`g_par[i]` give each local node's parent and the
-    /// conductance of the connecting resistor (root has no parent).
+    /// indices; `parent[i]`/`res_idx[i]` give each local node's parent and
+    /// the index of the connecting resistor (root has no parent).
     Tree {
         order: Vec<usize>,
         parent: Vec<Option<usize>>,
-        g_par: Vec<f64>,
+        res_idx: Vec<usize>,
     },
-    /// General component solved by dense LU: local resistor list
-    /// `(local_a, local_b, conductance)`.
-    Dense { edges: Vec<(usize, usize, f64)> },
+    /// General component: local resistor list `(local_a, local_b,
+    /// resistor index)` plus the symbolic factorization of its pattern.
+    General {
+        edges: Vec<(usize, usize, usize)>,
+        sym: SymbolicLdl,
+    },
 }
 
-struct Component {
+struct PlanComp {
     /// Global node index per local index.
     nodes: Vec<usize>,
-    /// Local index per global node (only valid for members).
-    kind: ComponentKind,
-    /// Inverters whose *output* lies in this component:
-    /// `(input global, output local, size)`.
-    drivers: Vec<(usize, usize, f64)>,
+    kind: PlanKind,
+    drivers: Vec<PlanDriver>,
     /// Local indices of driven (source) nodes, with source table index.
     dirichlet: Vec<(usize, usize)>,
+    /// Tree component whose drivers (if any) all sit at the elimination
+    /// root: eligible for the hoisted-factorization transient path.
+    fast: bool,
 }
 
-struct Partition {
-    components: Vec<Component>,
+/// A cached solve plan: everything about a circuit that depends only on
+/// its topology.
+struct Plan {
+    n: usize,
+    res_count: usize,
+    inv_count: usize,
+    src_count: usize,
+    components: Vec<PlanComp>,
     /// Topological order over `components`.
     topo: Vec<usize>,
 }
 
-fn partition(circuit: &Circuit) -> Result<Partition, SimError> {
+impl Plan {
+    /// Cheap structural sanity check guarding against fingerprint
+    /// collisions (the fingerprint is already 128 bits wide; this catches
+    /// the remaining astronomically-unlikely case loudly instead of
+    /// corrupting results).
+    fn matches(&self, circuit: &Circuit) -> bool {
+        self.n == circuit.node_count()
+            && self.res_count == circuit.resistors.len()
+            && self.inv_count == circuit.inverters.len()
+            && self.src_count == circuit.sources.len()
+    }
+}
+
+/// Reusable solver state: a cache of solve plans (partition, elimination
+/// orders, symbolic factorizations) keyed by circuit topology fingerprint.
+///
+/// Simulating through a context with [`simulate_with`] or
+/// [`simulate_observed_with`] reuses the plan whenever the same circuit
+/// *topology* recurs — element values are re-stamped on every run, so
+/// plan reuse never changes results. A characterization sweep or a
+/// repeated tree verification hits the cache on all but the first
+/// simulation of each topology family.
+///
+/// Contexts are cheap to create and intended to be thread-local (one per
+/// worker); they are `Send` but not `Sync`.
+#[derive(Default)]
+pub struct SolverContext {
+    plans: HashMap<(u64, u64), Plan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SolverContext {
+    /// Creates an empty context.
+    pub fn new() -> SolverContext {
+        SolverContext::default()
+    }
+
+    /// Number of simulations that reused a cached plan (symbolic
+    /// factorization hits).
+    pub fn symbolic_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of simulations that had to build a plan (symbolic
+    /// factorization misses).
+    pub fn symbolic_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Drops all cached plans (counters are kept).
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+
+    fn plan_for(&mut self, circuit: &Circuit) -> Result<&Plan, SimError> {
+        let key = split_fingerprint(circuit.topology_fingerprint());
+        let reuse = matches!(self.plans.get(&key), Some(p) if p.matches(circuit));
+        if reuse {
+            self.hits += 1;
+        } else {
+            if self.plans.len() >= PLAN_CACHE_CAP && !self.plans.contains_key(&key) {
+                self.plans.clear();
+            }
+            let plan = build_plan(circuit)?;
+            self.plans.insert(key, plan);
+            self.misses += 1;
+        }
+        Ok(self.plans.get(&key).expect("plan just ensured"))
+    }
+}
+
+fn split_fingerprint(fp: u128) -> (u64, u64) {
+    ((fp >> 64) as u64, fp as u64)
+}
+
+fn build_plan(circuit: &Circuit) -> Result<Plan, SimError> {
     let n = circuit.node_count();
     if n == 0 {
         return Err(SimError::EmptyCircuit);
     }
 
-    // Connected components of the resistor graph.
-    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for r in &circuit.resistors {
+    // Connected components of the resistor graph. Adjacency carries the
+    // resistor index; conductances are re-derived from the circuit at
+    // stamp time so a cached plan never embeds element values.
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (ri, r) in circuit.resistors.iter().enumerate() {
         let (a, b) = (r.a.index(), r.b.index());
-        let g = 1.0 / r.ohms;
-        adj[a].push((b, g));
-        adj[b].push((a, g));
+        adj[a].push((b, ri));
+        adj[b].push((a, ri));
     }
 
     let mut comp_of = vec![usize::MAX; n];
@@ -189,61 +350,61 @@ fn partition(circuit: &Circuit) -> Result<Partition, SimError> {
         let mut nodes = vec![start];
         comp_of[start] = cid;
         let mut parent_global: Vec<Option<usize>> = vec![None];
-        let mut g_par: Vec<f64> = vec![0.0];
-        let mut is_tree = true;
+        let mut parent_res: Vec<usize> = vec![usize::MAX];
         let mut edge_count = 0usize;
         let mut head = 0;
         while head < nodes.len() {
             let u = nodes[head];
-            for &(v, g) in &adj[u] {
+            for &(v, ri) in &adj[u] {
                 edge_count += 1;
                 if comp_of[v] == usize::MAX {
                     comp_of[v] = cid;
                     nodes.push(v);
                     parent_global.push(Some(u));
-                    g_par.push(g);
+                    parent_res.push(ri);
                 }
             }
             head += 1;
         }
         // Each resistor was counted twice (both directions).
-        if edge_count / 2 != nodes.len() - 1 {
-            is_tree = false;
-        }
+        let is_tree = edge_count / 2 == nodes.len() - 1;
 
-        let local_of = |global: usize, nodes: &[usize]| -> usize {
-            nodes.iter().position(|&g| g == global).expect("member")
-        };
+        let mut local = HashMap::with_capacity(nodes.len());
+        for (li, &g) in nodes.iter().enumerate() {
+            local.insert(g, li);
+        }
 
         let kind = if is_tree {
             // BFS order has parents before children; reverse for leaf-first.
             let mut order: Vec<usize> = (0..nodes.len()).collect();
             order.reverse();
-            let parent = parent_global
-                .iter()
-                .map(|p| p.map(|g| local_of(g, &nodes)))
-                .collect();
-            ComponentKind::Tree {
+            let parent = parent_global.iter().map(|p| p.map(|g| local[&g])).collect();
+            PlanKind::Tree {
                 order,
                 parent,
-                g_par,
+                res_idx: parent_res,
             }
         } else {
             let mut edges = Vec::new();
-            for r in &circuit.resistors {
+            for (ri, r) in circuit.resistors.iter().enumerate() {
                 let (a, b) = (r.a.index(), r.b.index());
                 if comp_of[a] == cid {
-                    edges.push((local_of(a, &nodes), local_of(b, &nodes), 1.0 / r.ohms));
+                    edges.push((local[&a], local[&b], ri));
                 }
             }
-            ComponentKind::Dense { edges }
+            let sym = SymbolicLdl::analyze(
+                nodes.len(),
+                &edges.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+            );
+            PlanKind::General { edges, sym }
         };
 
-        components.push(Component {
+        components.push(PlanComp {
             nodes,
             kind,
             drivers: Vec::new(),
             dirichlet: Vec::new(),
+            fast: false,
         });
     }
 
@@ -255,16 +416,28 @@ fn partition(circuit: &Circuit) -> Result<Partition, SimError> {
         }
     }
 
-    for inv in &circuit.inverters {
+    for (inv_idx, inv) in circuit.inverters.iter().enumerate() {
         let out = inv.output.index();
+        let input_global = inv.input.index();
         let cid = comp_of[out];
-        components[cid]
-            .drivers
-            .push((inv.input.index(), local_of[out], inv.size));
+        let input = if comp_of[input_global] == cid {
+            DriverInput::Local(local_of[input_global])
+        } else {
+            DriverInput::Global(input_global)
+        };
+        components[cid].drivers.push(PlanDriver {
+            input,
+            out_local: local_of[out],
+            inv_idx,
+        });
     }
     for (si, (node, _)) in circuit.sources.iter().enumerate() {
         let g = node.index();
         components[comp_of[g]].dirichlet.push((local_of[g], si));
+    }
+    for comp in &mut components {
+        comp.fast = matches!(comp.kind, PlanKind::Tree { .. })
+            && comp.drivers.iter().all(|d| d.out_local == 0);
     }
 
     // Topological order over inverter dependencies (Kahn's algorithm).
@@ -272,9 +445,9 @@ fn partition(circuit: &Circuit) -> Result<Partition, SimError> {
     let mut indeg = vec![0usize; m];
     let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); m];
     for (cid, comp) in components.iter().enumerate() {
-        for &(input_global, _, _) in &comp.drivers {
-            let from = comp_of[input_global];
-            if from != cid {
+        for d in &comp.drivers {
+            if let DriverInput::Global(input_global) = d.input {
+                let from = comp_of[input_global];
                 out_edges[from].push(cid);
                 indeg[cid] += 1;
             }
@@ -295,7 +468,14 @@ fn partition(circuit: &Circuit) -> Result<Partition, SimError> {
         return Err(SimError::FeedbackLoop);
     }
 
-    Ok(Partition { components, topo })
+    Ok(Plan {
+        n,
+        res_count: circuit.resistors.len(),
+        inv_count: circuit.inverters.len(),
+        src_count: circuit.sources.len(),
+        components,
+        topo,
+    })
 }
 
 /// Solves `A x = rhs` where `A` is the tree matrix with diagonal `diag` and
@@ -372,17 +552,127 @@ fn solve_dense(a: &mut [f64], n: usize, rhs: &mut [f64]) -> bool {
     true
 }
 
-/// Per-component scratch buffers reused across timesteps.
-struct Scratch {
-    diag_const: Vec<f64>,
+/// Per-component numeric state for one run: stamped values, the hoisted
+/// transient-phase factorization, and scratch buffers.
+struct CompState {
+    /// Constant per-node linear conductance: gmin + resistor incidences.
+    diag_base: Vec<f64>,
+    /// Trees: conductance to parent (`0.0` at the root).
+    g_par: Vec<f64>,
+    /// Generals: conductance per plan edge.
+    g_edge: Vec<f64>,
+    /// Transient capacitor companion term `cap_scale * C / dt` per local
+    /// node (fast components only).
+    coh: Vec<f64>,
+    /// Fast path: eliminated transient diagonal. For components with
+    /// drivers, `ediag[0]` holds the pre-elimination prefix (base + coh
+    /// [+ penalty]) — the root is finished per Newton iteration.
+    ediag: Vec<f64>,
+    /// Fast path: elimination factor `g_par[i] / ediag[i]` per non-root.
+    factor: Vec<f64>,
+    /// Fast path with drivers: children of the root in elimination order,
+    /// whose diagonal/rhs contributions are applied per iteration (after
+    /// the driver stamp, matching the straightforward operation order).
+    root_kids: Vec<usize>,
     diag: Vec<f64>,
     rhs: Vec<f64>,
     v_iter: Vec<f64>,
     v_next: Vec<f64>,
     dense: Vec<f64>,
+    num: NumericLdl,
 }
 
-/// Runs transient analysis on a circuit.
+fn build_state(comp: &PlanComp, circuit: &Circuit, cap_scale: f64, dt: f64) -> CompState {
+    let gmin = circuit.tech().gmin();
+    let cn = comp.nodes.len();
+    let mut diag_base = vec![gmin; cn];
+    let mut g_par = Vec::new();
+    let mut g_edge = Vec::new();
+    match &comp.kind {
+        PlanKind::Tree {
+            parent, res_idx, ..
+        } => {
+            g_par = vec![0.0; cn];
+            for i in 0..cn {
+                if parent[i].is_some() {
+                    g_par[i] = 1.0 / circuit.resistors[res_idx[i]].ohms;
+                }
+            }
+            for i in 0..cn {
+                if let Some(p) = parent[i] {
+                    diag_base[i] += g_par[i];
+                    diag_base[p] += g_par[i];
+                }
+            }
+        }
+        PlanKind::General { edges, .. } => {
+            g_edge = edges
+                .iter()
+                .map(|&(_, _, ri)| 1.0 / circuit.resistors[ri].ohms)
+                .collect();
+            for (&(a, b, _), &g) in edges.iter().zip(&g_edge) {
+                diag_base[a] += g;
+                diag_base[b] += g;
+            }
+        }
+    }
+
+    let mut s = CompState {
+        diag_base,
+        g_par,
+        g_edge,
+        coh: Vec::new(),
+        ediag: Vec::new(),
+        factor: Vec::new(),
+        root_kids: Vec::new(),
+        diag: vec![0.0; cn],
+        rhs: vec![0.0; cn],
+        v_iter: vec![0.0; cn],
+        v_next: vec![0.0; cn],
+        dense: Vec::new(),
+        num: NumericLdl::default(),
+    };
+
+    if comp.fast {
+        // Hoist the transient-phase matrix factorization: the diagonal and
+        // the elimination factors are iteration- and step-invariant, so
+        // compute them once. Operation order mirrors the per-iteration
+        // assembly exactly (base + companion term, then the Dirichlet
+        // penalty, then leaf-first elimination), keeping results
+        // bit-identical to the unhoisted solve.
+        let (order, parent) = match &comp.kind {
+            PlanKind::Tree { order, parent, .. } => (order, parent),
+            PlanKind::General { .. } => unreachable!("fast implies tree"),
+        };
+        s.coh = comp
+            .nodes
+            .iter()
+            .map(|&g| cap_scale * circuit.node_cap[g] / dt)
+            .collect();
+        s.ediag = (0..cn).map(|li| s.diag_base[li] + s.coh[li]).collect();
+        for &(li, _) in &comp.dirichlet {
+            s.ediag[li] += DIRICHLET_PENALTY;
+        }
+        s.factor = vec![0.0; cn];
+        let defer_root = !comp.drivers.is_empty();
+        for &i in order {
+            if let Some(p) = parent[i] {
+                s.factor[i] = s.g_par[i] / s.ediag[i];
+                if p == 0 && defer_root {
+                    // The driver stamp must hit the root diagonal before
+                    // the children's elimination terms; defer them to the
+                    // per-iteration root update.
+                    s.root_kids.push(i);
+                } else {
+                    s.ediag[p] -= s.g_par[i] * s.factor[i];
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Runs transient analysis on a circuit, recording every node.
 ///
 /// The circuit's source waveforms define all stimulus; every node starts at
 /// its DC operating point for the sources' `t = 0` values.
@@ -393,51 +683,77 @@ struct Scratch {
 /// between gate stages, or numerical failure (divergence, non-finite
 /// solutions).
 pub fn simulate(circuit: &Circuit, opts: &SimOptions) -> Result<TransientResult, SimError> {
+    simulate_with(&mut SolverContext::new(), circuit, opts)
+}
+
+/// [`simulate`], reusing cached solve plans from `ctx`.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_with(
+    ctx: &mut SolverContext,
+    circuit: &Circuit,
+    opts: &SimOptions,
+) -> Result<TransientResult, SimError> {
+    let all: Vec<NodeId> = (0..circuit.node_count() as u32).map(NodeId).collect();
+    simulate_observed_with(ctx, circuit, opts, &all)
+}
+
+/// [`simulate`], reusing cached solve plans from `ctx` and recording only
+/// the `observed` nodes — the full circuit is still solved identically,
+/// but the result stores (and allocates) waveforms only for the requested
+/// nodes. Duplicate entries are recorded once.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+///
+/// # Panics
+///
+/// Panics if an observed node is out of range for the circuit.
+pub fn simulate_observed_with(
+    ctx: &mut SolverContext,
+    circuit: &Circuit,
+    opts: &SimOptions,
+    observed: &[NodeId],
+) -> Result<TransientResult, SimError> {
     opts.validate()?;
-    let part = partition(circuit)?;
+    let plan = ctx.plan_for(circuit)?;
+    run(plan, circuit, opts, observed)
+}
+
+fn run(
+    plan: &Plan,
+    circuit: &Circuit,
+    opts: &SimOptions,
+    observed: &[NodeId],
+) -> Result<TransientResult, SimError> {
     let n = circuit.node_count();
-    let tech = circuit.tech();
-    let gmin = tech.gmin();
+    let mut row_of = vec![u32::MAX; n];
+    let mut obs_globals = Vec::with_capacity(observed.len());
+    for &id in observed {
+        let g = id.index();
+        assert!(g < n, "observed node {id} is out of range");
+        if row_of[g] == u32::MAX {
+            row_of[g] = obs_globals.len() as u32;
+            obs_globals.push(g);
+        }
+    }
 
     let steps = (opts.t_stop / opts.dt).ceil() as usize;
     let mut times = Vec::with_capacity(steps + 1);
-    let mut volts: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n];
+    let mut volts: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); obs_globals.len()];
 
-    // Constant per-node linear conductance (gmin + resistor incidences) is
-    // folded into diag_const per component below. Capacitance companion
-    // terms are added per step (they depend only on dt, which is fixed, but
-    // keeping them separate keeps DC and transient assembly uniform).
-    let mut scratch: Vec<Scratch> = part
+    let (cap_scale, use_hist) = match opts.integrator {
+        Integrator::BackwardEuler => (1.0, false),
+        Integrator::Trapezoidal => (2.0, true),
+    };
+
+    let mut state: Vec<CompState> = plan
         .components
         .iter()
-        .map(|comp| {
-            let cn = comp.nodes.len();
-            let mut diag_const = vec![gmin; cn];
-            match &comp.kind {
-                ComponentKind::Tree { parent, g_par, .. } => {
-                    for i in 0..cn {
-                        if let Some(p) = parent[i] {
-                            diag_const[i] += g_par[i];
-                            diag_const[p] += g_par[i];
-                        }
-                    }
-                }
-                ComponentKind::Dense { edges } => {
-                    for &(a, b, g) in edges {
-                        diag_const[a] += g;
-                        diag_const[b] += g;
-                    }
-                }
-            }
-            Scratch {
-                diag_const,
-                diag: vec![0.0; cn],
-                rhs: vec![0.0; cn],
-                v_iter: vec![0.0; cn],
-                v_next: vec![0.0; cn],
-                dense: Vec::new(),
-            }
-        })
+        .map(|comp| build_state(comp, circuit, cap_scale, opts.dt))
         .collect();
 
     let mut v_now = vec![0.0f64; n];
@@ -446,13 +762,15 @@ pub fn simulate(circuit: &Circuit, opts: &SimOptions) -> Result<TransientResult,
     let mut i_hist = vec![0.0f64; n];
 
     // --- DC operating point at t = 0 -------------------------------------
-    for &cid in &part.topo {
-        let comp = &part.components[cid];
-        let s = &mut scratch[cid];
+    // DC runs once; it always takes the straightforward per-iteration
+    // assembly (the hoisted factorization is transient-phase only).
+    for &cid in &plan.topo {
+        let comp = &plan.components[cid];
+        let s = &mut state[cid];
         for (li, &g) in comp.nodes.iter().enumerate() {
             s.v_iter[li] = v_now[g]; // zero; refined by Newton below
         }
-        newton_solve(
+        newton_generic(
             circuit, comp, s, &v_now, /*cap_scale=*/ 0.0, opts.dt, 0.0, None, opts, 400,
         )
         .map_err(|e| promote_divergence(e, 0.0, circuit, comp))?;
@@ -460,38 +778,37 @@ pub fn simulate(circuit: &Circuit, opts: &SimOptions) -> Result<TransientResult,
             v_now[g] = s.v_iter[li];
         }
     }
-    record_step(&mut times, &mut volts, 0.0, &v_now);
+    record_step(&mut times, &mut volts, &obs_globals, 0.0, &v_now);
     update_current_history(circuit, &v_now, &mut i_hist);
 
     // --- time stepping ----------------------------------------------------
-    let (cap_scale, use_hist) = match opts.integrator {
-        Integrator::BackwardEuler => (1.0, false),
-        Integrator::Trapezoidal => (2.0, true),
-    };
-
     let mut v_prev = v_now.clone();
     for step in 1..=steps {
         let t = step as f64 * opts.dt;
         v_prev.copy_from_slice(&v_now);
-        for &cid in &part.topo {
-            let comp = &part.components[cid];
-            let s = &mut scratch[cid];
+        for &cid in &plan.topo {
+            let comp = &plan.components[cid];
+            let s = &mut state[cid];
             for (li, &g) in comp.nodes.iter().enumerate() {
                 s.v_iter[li] = v_prev[g];
             }
             let hist = use_hist.then_some(&i_hist[..]);
-            newton_solve(
-                circuit,
-                comp,
-                s,
-                &v_now,
-                cap_scale,
-                opts.dt,
-                t,
-                hist,
-                opts,
-                opts.max_newton,
-            )
+            if comp.fast {
+                newton_fast_tree(circuit, comp, s, &v_now, t, hist, opts)
+            } else {
+                newton_generic(
+                    circuit,
+                    comp,
+                    s,
+                    &v_now,
+                    cap_scale,
+                    opts.dt,
+                    t,
+                    hist,
+                    opts,
+                    opts.max_newton,
+                )
+            }
             .map_err(|e| promote_divergence(e, t, circuit, comp))?;
             for (li, &g) in comp.nodes.iter().enumerate() {
                 v_now[g] = s.v_iter[li];
@@ -500,20 +817,24 @@ pub fn simulate(circuit: &Circuit, opts: &SimOptions) -> Result<TransientResult,
         if v_now.iter().any(|v| !v.is_finite()) {
             return Err(SimError::NonFiniteSolution { t });
         }
-        record_step(&mut times, &mut volts, t, &v_now);
+        record_step(&mut times, &mut volts, &obs_globals, t, &v_now);
         if use_hist {
             update_current_history(circuit, &v_now, &mut i_hist);
         }
     }
 
-    Ok(TransientResult { times, volts })
+    Ok(TransientResult {
+        times,
+        volts,
+        row_of,
+    })
 }
 
-/// Marker error used inside `newton_solve`; promoted to a full
+/// Marker error used inside the Newton solvers; promoted to a full
 /// `SimError::NewtonDiverged` with node context by the caller.
 struct Diverged;
 
-fn promote_divergence(_: Diverged, t: f64, circuit: &Circuit, comp: &Component) -> SimError {
+fn promote_divergence(_: Diverged, t: f64, circuit: &Circuit, comp: &PlanComp) -> SimError {
     let node = comp
         .nodes
         .first()
@@ -522,14 +843,126 @@ fn promote_divergence(_: Diverged, t: f64, circuit: &Circuit, comp: &Component) 
     SimError::NewtonDiverged { t, node }
 }
 
-/// Newton iteration on one component at one timestep (or DC when
-/// `cap_scale == 0`). On entry `s.v_iter` holds the initial guess (previous
-/// step); on success it holds the converged solution.
-#[allow(clippy::too_many_arguments)]
-fn newton_solve(
+/// Reads a gate's input voltage: downstream components read
+/// already-committed values; same-component inputs read the current
+/// iterate.
+fn driver_v_in(input: &DriverInput, v_iter: &[f64], v_global: &[f64]) -> f64 {
+    match *input {
+        DriverInput::Local(li) => v_iter[li],
+        DriverInput::Global(g) => v_global[g],
+    }
+}
+
+/// One transient timestep of a fast tree component (drivers, if any, all
+/// at the elimination root): the diagonal was eliminated once per phase
+/// (`build_state`), the right-hand side is eliminated once here, and each
+/// Newton iteration only re-stamps the root and back-substitutes. The
+/// operation sequence matches `newton_generic` + `solve_tree` exactly, so
+/// the two paths produce bit-identical voltages.
+fn newton_fast_tree(
     circuit: &Circuit,
-    comp: &Component,
-    s: &mut Scratch,
+    comp: &PlanComp,
+    s: &mut CompState,
+    v_global: &[f64],
+    t: f64,
+    i_hist: Option<&[f64]>,
+    opts: &SimOptions,
+) -> Result<(), Diverged> {
+    let tech = circuit.tech();
+    let cn = comp.nodes.len();
+    let (order, parent) = match &comp.kind {
+        PlanKind::Tree { order, parent, .. } => (order, parent),
+        PlanKind::General { .. } => unreachable!("fast implies tree"),
+    };
+    let linear = comp.drivers.is_empty();
+
+    // Per-step right-hand side: companion currents, history, sources.
+    for li in 0..cn {
+        let g = comp.nodes[li];
+        s.rhs[li] = s.coh[li] * v_global[g];
+        if let Some(hist) = i_hist {
+            s.rhs[li] += hist[g];
+        }
+    }
+    for &(li, si) in &comp.dirichlet {
+        let v_forced = circuit.sources[si].1.value_at(t);
+        s.rhs[li] += DIRICHLET_PENALTY * v_forced;
+    }
+    // Leaf-first rhs elimination with the cached factors. With drivers
+    // present, contributions into the root are deferred to the iteration
+    // loop so they land after the driver stamp (matching the
+    // straightforward assembly order).
+    for &i in order {
+        if let Some(p) = parent[i] {
+            if p == 0 && !linear {
+                continue;
+            }
+            s.rhs[p] += s.factor[i] * s.rhs[i];
+        }
+    }
+
+    for _iter in 0..opts.max_newton {
+        // Finish the root: driver linearization, then the deferred child
+        // elimination terms (iteration-invariant values, applied per
+        // iteration to preserve the exact operation order).
+        let mut d0 = s.ediag[0];
+        let mut r0 = s.rhs[0];
+        for d in &comp.drivers {
+            let v_in = driver_v_in(&d.input, &s.v_iter, v_global);
+            let v_out = s.v_iter[d.out_local];
+            let (i, didv) = tech.inverter_current(circuit.inverters[d.inv_idx].size, v_in, v_out);
+            // Linearize: i(v) ~ i0 + didv (v - v0); didv <= 0 strengthens
+            // the diagonal.
+            d0 -= didv;
+            r0 += i - didv * v_out;
+        }
+        if !linear {
+            for &c in &s.root_kids {
+                d0 -= s.g_par[c] * s.factor[c];
+                r0 += s.factor[c] * s.rhs[c];
+            }
+        }
+
+        // Root-to-leaf back-substitution.
+        for &i in order.iter().rev() {
+            match parent[i] {
+                None => s.v_next[i] = r0 / d0,
+                Some(p) => s.v_next[i] = (s.rhs[i] + s.g_par[i] * s.v_next[p]) / s.ediag[i],
+            }
+        }
+
+        // Damped update + convergence check.
+        let mut worst: f64 = 0.0;
+        for li in 0..cn {
+            worst = worst.max((s.v_next[li] - s.v_iter[li]).abs());
+        }
+        if !worst.is_finite() {
+            return Err(Diverged);
+        }
+        let scale = if worst > MAX_NEWTON_STEP_V {
+            MAX_NEWTON_STEP_V / worst
+        } else {
+            1.0
+        };
+        for li in 0..cn {
+            s.v_iter[li] += (s.v_next[li] - s.v_iter[li]) * scale;
+        }
+        if linear || worst < opts.newton_tol {
+            return Ok(());
+        }
+    }
+    Err(Diverged)
+}
+
+/// Newton iteration on one component at one timestep (or DC when
+/// `cap_scale == 0`), assembling the full system every iteration. On entry
+/// `s.v_iter` holds the initial guess (previous step); on success it holds
+/// the converged solution.
+#[allow(clippy::too_many_arguments)]
+fn newton_generic(
+    circuit: &Circuit,
+    comp: &PlanComp,
+    s: &mut CompState,
     v_global: &[f64],
     cap_scale: f64,
     dt: f64,
@@ -547,10 +980,9 @@ fn newton_solve(
         for li in 0..cn {
             let g = comp.nodes[li];
             let c_over_h = cap_scale * circuit.node_cap[g] / dt;
-            s.diag[li] = s.diag_const[li] + c_over_h;
-            // v_global still holds the previous timestep value for nodes in
-            // this component (committed only after convergence)... except we
-            // need v_prev explicitly: we stash it via closure below.
+            s.diag[li] = s.diag_base[li] + c_over_h;
+            // `v_global` still holds the previous timestep value for nodes
+            // in this component (committed only after convergence).
             s.rhs[li] = c_over_h * v_global[g];
             if let Some(hist) = i_hist {
                 s.rhs[li] += hist[g];
@@ -561,46 +993,45 @@ fn newton_solve(
             s.diag[li] += DIRICHLET_PENALTY;
             s.rhs[li] += DIRICHLET_PENALTY * v_forced;
         }
-        for &(input_global, out_local, size) in &comp.drivers {
-            // Gate input: downstream components read already-committed
-            // values; same-component inputs read the current iterate.
-            let v_in = match comp.nodes.iter().position(|&g| g == input_global) {
-                Some(li) => s.v_iter[li],
-                None => v_global[input_global],
-            };
-            let v_out = s.v_iter[out_local];
-            let (i, didv) = tech.inverter_current(size, v_in, v_out);
+        for d in &comp.drivers {
+            let v_in = driver_v_in(&d.input, &s.v_iter, v_global);
+            let v_out = s.v_iter[d.out_local];
+            let (i, didv) = tech.inverter_current(circuit.inverters[d.inv_idx].size, v_in, v_out);
             // Linearize: i(v) ~ i0 + didv (v - v0); didv <= 0 strengthens
             // the diagonal.
-            s.diag[out_local] -= didv;
-            s.rhs[out_local] += i - didv * v_out;
+            s.diag[d.out_local] -= didv;
+            s.rhs[d.out_local] += i - didv * v_out;
         }
 
         // Solve the linearized system.
         match &comp.kind {
-            ComponentKind::Tree {
-                order,
-                parent,
-                g_par,
-            } => {
+            PlanKind::Tree { order, parent, .. } => {
                 let (diag, rhs) = (&mut s.diag, &mut s.rhs);
-                solve_tree(order, parent, g_par, diag, rhs, &mut s.v_next);
+                solve_tree(order, parent, &s.g_par, diag, rhs, &mut s.v_next);
             }
-            ComponentKind::Dense { edges } => {
-                s.dense.clear();
-                s.dense.resize(cn * cn, 0.0);
-                for li in 0..cn {
-                    s.dense[li * cn + li] = s.diag[li];
+            PlanKind::General { edges, sym } => match opts.general_solver {
+                GeneralSolver::SparseLdl => {
+                    if !sym.factor_into(&s.diag, &s.g_edge, &mut s.num) {
+                        return Err(Diverged);
+                    }
+                    sym.solve_into(&mut s.num, &s.rhs, &mut s.v_next);
                 }
-                for &(a, b, g) in edges {
-                    s.dense[a * cn + b] -= g;
-                    s.dense[b * cn + a] -= g;
+                GeneralSolver::DenseLu => {
+                    s.dense.clear();
+                    s.dense.resize(cn * cn, 0.0);
+                    for li in 0..cn {
+                        s.dense[li * cn + li] = s.diag[li];
+                    }
+                    for (&(a, b, _), &g) in edges.iter().zip(&s.g_edge) {
+                        s.dense[a * cn + b] -= g;
+                        s.dense[b * cn + a] -= g;
+                    }
+                    s.v_next.copy_from_slice(&s.rhs);
+                    if !solve_dense(&mut s.dense, cn, &mut s.v_next) {
+                        return Err(Diverged);
+                    }
                 }
-                s.v_next.copy_from_slice(&s.rhs);
-                if !solve_dense(&mut s.dense, cn, &mut s.v_next) {
-                    return Err(Diverged);
-                }
-            }
+            },
         }
 
         // Damped update + convergence check.
@@ -652,10 +1083,10 @@ fn update_current_history(circuit: &Circuit, v: &[f64], i_hist: &mut [f64]) {
     }
 }
 
-fn record_step(times: &mut Vec<f64>, volts: &mut [Vec<f64>], t: f64, v: &[f64]) {
+fn record_step(times: &mut Vec<f64>, volts: &mut [Vec<f64>], obs: &[usize], t: f64, v: &[f64]) {
     times.push(t);
-    for (col, &val) in v.iter().enumerate() {
-        volts[col].push(val);
+    for (row, &g) in obs.iter().enumerate() {
+        volts[row].push(v[g]);
     }
 }
 
@@ -742,17 +1173,21 @@ mod tests {
             src,
             Waveform::from_samples(vec![0.0, 1.0 * FS], vec![0.0, 1.0]),
         );
-        let res = simulate(&c, &SimOptions::default_for(1.0 * NS)).unwrap();
-        let w = res.waveform(out);
-        // tau = 1 kΩ * 100 fF = 100 ps; t50 = tau ln 2.
-        let t50 = w.first_crossing(0.5, true).unwrap();
-        let expect = 100.0 * PS * std::f64::consts::LN_2;
-        assert!(
-            (t50 - expect).abs() < 2.0 * PS,
-            "t50 = {} ps, expected {} ps",
-            t50 / PS,
-            expect / PS
-        );
+        for solver in [GeneralSolver::SparseLdl, GeneralSolver::DenseLu] {
+            let mut opts = SimOptions::default_for(1.0 * NS);
+            opts.general_solver = solver;
+            let res = simulate(&c, &opts).unwrap();
+            let w = res.waveform(out);
+            // tau = 1 kΩ * 100 fF = 100 ps; t50 = tau ln 2.
+            let t50 = w.first_crossing(0.5, true).unwrap();
+            let expect = 100.0 * PS * std::f64::consts::LN_2;
+            assert!(
+                (t50 - expect).abs() < 2.0 * PS,
+                "{solver:?}: t50 = {} ps, expected {} ps",
+                t50 / PS,
+                expect / PS
+            );
+        }
     }
 
     #[test]
@@ -887,5 +1322,229 @@ mod tests {
         let res = simulate(&c, &SimOptions::default_for(100.0 * PS)).unwrap();
         assert!(res.waveform(b).value_at(0.0) > 0.95 * t.vdd());
         assert!(res.waveform(d).value_at(0.0) < 0.05 * t.vdd());
+    }
+
+    /// A buffer + wire circuit where the driver output is *not* the BFS
+    /// root of its resistive component: the generic transient path must
+    /// still produce the same physics as the fast-path layout.
+    #[test]
+    fn off_root_driver_takes_generic_path_and_matches() {
+        let t = tech();
+        // Fast layout: driver output created first (root).
+        let mut fast = Circuit::new(&t);
+        let vin = fast.add_node("in");
+        let out = fast.add_node("out");
+        let far = fast.add_node("far");
+        fast.add_wire(out, far, 300.0, t.wire());
+        fast.add_inverter(vin, out, 10.0);
+        fast.drive(
+            vin,
+            Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()),
+        );
+        // Off-root layout: an extra leading node makes BFS start elsewhere.
+        let mut slow = Circuit::new(&t);
+        let far2 = slow.add_node("far");
+        let vin2 = slow.add_node("in");
+        let out2 = slow.add_node("out");
+        slow.add_wire(out2, far2, 300.0, t.wire());
+        slow.add_inverter(vin2, out2, 10.0);
+        slow.drive(
+            vin2,
+            Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()),
+        );
+
+        let opts = SimOptions::default_for(1.0 * NS);
+        let wf = simulate(&fast, &opts).unwrap().waveform(far);
+        let ws = simulate(&slow, &opts).unwrap().waveform(far2);
+        let df = wf.t50(t.vdd()).unwrap();
+        let ds = ws.t50(t.vdd()).unwrap();
+        assert!(
+            (df - ds).abs() < 0.01 * PS,
+            "fast and generic paths disagree: {} vs {} ps",
+            df / PS,
+            ds / PS
+        );
+    }
+
+    #[test]
+    fn context_reuses_plans_across_value_changes() {
+        let t = tech();
+        let mut ctx = SolverContext::new();
+        let mut waves = Vec::new();
+        for &len in &[400.0, 400.0, 400.0] {
+            let mut c = Circuit::new(&t);
+            let vin = c.add_node("in");
+            let out = c.add_node("out");
+            c.add_buffer(vin, out, &t.buffer_library()[1]);
+            let far = c.add_node("far");
+            c.add_wire(out, far, len, t.wire());
+            c.drive(
+                vin,
+                Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()),
+            );
+            let res = simulate_with(&mut ctx, &c, &SimOptions::default_for(1.0 * NS)).unwrap();
+            waves.push(res.waveform(far));
+        }
+        assert_eq!(ctx.symbolic_misses(), 1, "one topology family");
+        assert_eq!(ctx.symbolic_hits(), 2);
+        // Identical circuits through a shared plan give identical samples.
+        assert_eq!(waves[0].values(), waves[1].values());
+    }
+
+    #[test]
+    fn observed_subset_matches_full_recording() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let vin = c.add_node("in");
+        let out = c.add_node("out");
+        c.add_buffer(vin, out, &t.buffer_library()[0]);
+        let far = c.add_node("far");
+        c.add_wire(out, far, 900.0, t.wire());
+        c.drive(
+            vin,
+            Waveform::rising_ramp_10_90(50.0 * PS, 80.0 * PS, t.vdd()),
+        );
+        let opts = SimOptions::default_for(1.0 * NS);
+        let full = simulate(&c, &opts).unwrap();
+        let mut ctx = SolverContext::new();
+        let obs = simulate_observed_with(&mut ctx, &c, &opts, &[far, vin]).unwrap();
+        assert_eq!(
+            full.samples(far),
+            obs.samples(far),
+            "recording must not change the solve"
+        );
+        assert_eq!(full.samples(vin), obs.samples(vin));
+    }
+
+    #[test]
+    #[should_panic(expected = "not among the observed nodes")]
+    fn unobserved_node_panics() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        c.add_resistor(a, b, 100.0);
+        c.add_cap(b, 10.0 * FF);
+        c.drive(a, Waveform::constant(1.0));
+        let mut ctx = SolverContext::new();
+        let res = simulate_observed_with(&mut ctx, &c, &SimOptions::default_for(10.0 * PS), &[a])
+            .unwrap();
+        let _ = res.samples(b);
+    }
+
+    #[test]
+    fn dense_lu_rejects_singular_matrix() {
+        // Rank-1 2x2: both rows identical.
+        let mut a = vec![1.0, 1.0, 1.0, 1.0];
+        let mut rhs = vec![1.0, 2.0];
+        assert!(
+            !solve_dense(&mut a, 2, &mut rhs),
+            "singular must be rejected"
+        );
+
+        // Exactly-zero matrix.
+        let mut z = vec![0.0; 9];
+        let mut rhs = vec![1.0, 0.0, 0.0];
+        assert!(!solve_dense(&mut z, 3, &mut rhs));
+
+        // Sanity: a well-posed system still solves.
+        let mut a = vec![4.0, 1.0, 1.0, 3.0];
+        let mut rhs = vec![9.0, 7.0];
+        assert!(solve_dense(&mut a, 2, &mut rhs));
+        assert!((rhs[0] - 20.0 / 11.0).abs() < 1e-12 && (rhs[1] - 19.0 / 11.0).abs() < 1e-12);
+    }
+
+    /// Partition boundary: a chain is a tree; adding one parallel resistor
+    /// between an existing pair tips that component into the general
+    /// (matrix) path even though the node count alone still looks tree-like.
+    #[test]
+    fn parallel_edge_tips_component_into_general_path() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        let d = c.add_node("d");
+        c.add_resistor(a, b, 500.0);
+        c.add_resistor(b, d, 500.0);
+        c.add_cap(d, 20.0 * FF);
+        c.drive(a, Waveform::constant(1.0));
+        let plan = build_plan(&c).unwrap();
+        assert_eq!(plan.components.len(), 1);
+        assert!(
+            matches!(plan.components[0].kind, PlanKind::Tree { .. }),
+            "a chain partitions as a tree"
+        );
+
+        // Same nodes, one more resistor in parallel with an existing one:
+        // edges (3) now exceed nodes - 1 (2), so the component is general.
+        c.add_resistor(a, b, 500.0);
+        let plan = build_plan(&c).unwrap();
+        assert_eq!(plan.components.len(), 1);
+        assert!(
+            matches!(plan.components[0].kind, PlanKind::General { .. }),
+            "a parallel edge forces the matrix path"
+        );
+    }
+
+    /// Partition boundary: the smallest cycle (a resistor triangle) goes
+    /// general; a disconnected circuit mixing a tree chain with that
+    /// triangle partitions into one component of each kind, and both
+    /// general backends agree with each other on the solution.
+    #[test]
+    fn disconnected_tree_and_mesh_components_partition_independently() {
+        let t = tech();
+        let mut c = Circuit::new(&t);
+        // Component 1: driven two-node chain (tree).
+        let src = c.add_node("src");
+        let leaf = c.add_node("leaf");
+        c.add_resistor(src, leaf, 1000.0);
+        c.add_cap(leaf, 50.0 * FF);
+        c.drive(
+            src,
+            Waveform::from_samples(vec![0.0, 1.0 * FS], vec![0.0, 1.0]),
+        );
+        // Component 2: driven resistor triangle (mesh).
+        let ta = c.add_node("ta");
+        let tb = c.add_node("tb");
+        let tc = c.add_node("tc");
+        c.add_resistor(ta, tb, 800.0);
+        c.add_resistor(tb, tc, 800.0);
+        c.add_resistor(tc, ta, 800.0);
+        c.add_cap(tc, 30.0 * FF);
+        c.drive(
+            ta,
+            Waveform::from_samples(vec![0.0, 1.0 * FS], vec![0.0, 1.0]),
+        );
+
+        let plan = build_plan(&c).unwrap();
+        assert_eq!(plan.components.len(), 2, "two electrical components");
+        let kinds: Vec<bool> = plan
+            .components
+            .iter()
+            .map(|comp| matches!(comp.kind, PlanKind::Tree { .. }))
+            .collect();
+        assert!(
+            kinds.iter().filter(|&&is_tree| is_tree).count() == 1 && kinds.len() == 2,
+            "exactly one tree and one general component, got {kinds:?}"
+        );
+
+        // Both general-solver backends handle the mixed plan identically
+        // (the tree component never touches the matrix backend).
+        let mut sparse_opts = SimOptions::default_for(1.0 * NS);
+        sparse_opts.general_solver = GeneralSolver::SparseLdl;
+        let mut dense_opts = sparse_opts.clone();
+        dense_opts.general_solver = GeneralSolver::DenseLu;
+        let rs = simulate(&c, &sparse_opts).unwrap();
+        let rd = simulate(&c, &dense_opts).unwrap();
+        for n in [leaf, tb, tc] {
+            let (vs, vd) = (rs.samples(n), rd.samples(n));
+            assert_eq!(vs.len(), vd.len());
+            for (x, y) in vs.iter().zip(vd) {
+                assert!((x - y).abs() < 1e-9, "backends disagree at node {n:?}");
+            }
+        }
+        // The triangle settles at its drive; the chain at its own.
+        assert!((rs.waveform(tc).value_at(1.0 * NS) - 1.0).abs() < 1e-2);
+        assert!((rs.waveform(leaf).value_at(1.0 * NS) - 1.0).abs() < 1e-2);
     }
 }

@@ -1,0 +1,423 @@
+//! Sparse symmetric factorization for non-tree ("general") resistive
+//! components.
+//!
+//! CTS circuit matrices are symmetric with strictly dominant positive
+//! diagonals: off-diagonals come only from resistors (`-g` between the two
+//! endpoints), while `gmin`, capacitor companion terms, the Dirichlet
+//! penalty and the (negative-`dI/dV`) driver linearization all strengthen
+//! the diagonal. Such matrices factor stably as `P A Pᵀ = L D Lᵀ` without
+//! any pivoting, which permits a **symbolic/numeric split**:
+//!
+//! * [`SymbolicLdl::analyze`] — done once per circuit *topology*: a greedy
+//!   minimum-degree ordering is computed over the resistor graph and the
+//!   fill-in it induces is recorded as the column-compressed pattern of
+//!   `L`, together with a slot map from each input edge to its position in
+//!   the pattern.
+//! * [`SymbolicLdl::factor_into`] — done whenever *values* change: numeric
+//!   entries are stamped into the precomputed pattern and eliminated
+//!   in-place. No allocation, no searching beyond a binary search per
+//!   update within known column patterns.
+//! * [`SymbolicLdl::solve_into`] — forward/diagonal/backward substitution
+//!   against a computed factorization, reusable for many right-hand sides.
+//!
+//! The solver caches the symbolic object per circuit fingerprint (see
+//! [`crate::SolverContext`]), so repeated simulations of the same topology
+//! family — a characterization sweep, repeated verification of a tree —
+//! pay the ordering cost once.
+
+/// Pivot magnitudes below this are treated as numerically singular. The
+/// same threshold the dense LU fallback has always used.
+const SINGULAR_PIVOT: f64 = 1e-300;
+
+/// The reusable symbolic part of an `L D Lᵀ` factorization: elimination
+/// ordering, the fill pattern of `L`, and the edge→slot stamp map.
+#[derive(Debug, Clone)]
+pub struct SymbolicLdl {
+    n: usize,
+    /// `perm[k]` = original index eliminated at step `k`.
+    perm: Vec<usize>,
+    /// `iperm[orig]` = elimination step of the original index.
+    iperm: Vec<usize>,
+    /// CSC column pointers over the strictly-lower pattern of `L`
+    /// (permuted indices), length `n + 1`.
+    col_ptr: Vec<usize>,
+    /// Row indices per column, permuted, sorted ascending, all `> k`.
+    col_rows: Vec<usize>,
+    /// For each input edge, the value slot in `col_rows`/`lvals` it stamps
+    /// into.
+    edge_slot: Vec<usize>,
+}
+
+/// The numeric part of a factorization: `D` and the values of `L`, laid
+/// out on the pattern of the [`SymbolicLdl`] that produced it.
+#[derive(Debug, Clone, Default)]
+pub struct NumericLdl {
+    d: Vec<f64>,
+    lvals: Vec<f64>,
+    work: Vec<f64>,
+}
+
+impl SymbolicLdl {
+    /// Computes a fill-reducing (greedy minimum-degree) elimination order
+    /// for an `n`-node undirected graph given by `edges`, and the symbolic
+    /// `L` pattern that order induces. Parallel edges and any `(i, j)`
+    /// orientation are fine; self-loops are not (the circuit builder
+    /// rejects them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range.
+    pub fn analyze(n: usize, edges: &[(usize, usize)]) -> SymbolicLdl {
+        // Adjacency as sorted vectors of unique neighbors; updated with
+        // fill edges as elimination proceeds. Components here are circuit
+        // stages (hundreds of nodes at most), so the simple O(n^2)-ish
+        // greedy loop is plenty and keeps the code auditable.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            if a != b {
+                insert_sorted(&mut adj[a], b);
+                insert_sorted(&mut adj[b], a);
+            }
+        }
+
+        let mut eliminated = vec![false; n];
+        let mut perm = Vec::with_capacity(n);
+        // Column patterns in ORIGINAL indices; mapped to permuted indices
+        // once the full ordering is known.
+        let mut cols_orig: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Minimum degree among uneliminated nodes, smallest index on
+            // ties — deterministic.
+            let mut best = usize::MAX;
+            let mut best_deg = usize::MAX;
+            for v in 0..n {
+                if !eliminated[v] && adj[v].len() < best_deg {
+                    best_deg = adj[v].len();
+                    best = v;
+                }
+            }
+            let v = best;
+            eliminated[v] = true;
+            let nbrs = std::mem::take(&mut adj[v]);
+            // Form the elimination clique: every pair of v's surviving
+            // neighbors becomes connected (fill).
+            for (i, &a) in nbrs.iter().enumerate() {
+                remove_sorted(&mut adj[a], v);
+                for &b in &nbrs[i + 1..] {
+                    insert_sorted(&mut adj[a], b);
+                    insert_sorted(&mut adj[b], a);
+                }
+            }
+            perm.push(v);
+            cols_orig.push(nbrs);
+        }
+
+        let mut iperm = vec![0usize; n];
+        for (k, &v) in perm.iter().enumerate() {
+            iperm[v] = k;
+        }
+
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut col_rows = Vec::new();
+        col_ptr.push(0);
+        for col in cols_orig {
+            let mut rows: Vec<usize> = col.into_iter().map(|v| iperm[v]).collect();
+            rows.sort_unstable();
+            col_rows.extend_from_slice(&rows);
+            col_ptr.push(col_rows.len());
+        }
+
+        let edge_slot = edges
+            .iter()
+            .map(|&(a, b)| {
+                let (pa, pb) = (iperm[a], iperm[b]);
+                let (col, row) = if pa < pb { (pa, pb) } else { (pb, pa) };
+                let span = &col_rows[col_ptr[col]..col_ptr[col + 1]];
+                let off = span.binary_search(&row).expect("edge must be in pattern");
+                col_ptr[col] + off
+            })
+            .collect();
+
+        SymbolicLdl {
+            n,
+            perm,
+            iperm,
+            col_ptr,
+            col_rows,
+            edge_slot,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The fill-reducing elimination order: `permutation()[k]` is the
+    /// original index eliminated at step `k`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Number of strictly-lower nonzeros in `L` (original entries plus
+    /// fill).
+    pub fn nnz_lower(&self) -> usize {
+        self.col_rows.len()
+    }
+
+    /// Numerically factors the matrix with the given diagonal and per-edge
+    /// conductances (edges as passed to [`SymbolicLdl::analyze`]; each
+    /// stamps `-g` off-diagonal, accumulating for parallel edges) into
+    /// `num`. Returns `false` if a pivot is numerically singular.
+    pub fn factor_into(&self, diag: &[f64], edge_g: &[f64], num: &mut NumericLdl) -> bool {
+        assert_eq!(diag.len(), self.n, "diagonal length mismatch");
+        assert_eq!(edge_g.len(), self.edge_slot.len(), "edge count mismatch");
+        num.d.clear();
+        num.d.resize(self.n, 0.0);
+        num.lvals.clear();
+        num.lvals.resize(self.col_rows.len(), 0.0);
+        num.work.clear();
+        num.work.resize(self.n, 0.0);
+
+        for (orig, &v) in diag.iter().enumerate() {
+            num.d[self.iperm[orig]] = v;
+        }
+        for (&slot, &g) in self.edge_slot.iter().zip(edge_g) {
+            num.lvals[slot] -= g;
+        }
+
+        for k in 0..self.n {
+            let d_k = num.d[k];
+            if d_k.abs() < SINGULAR_PIVOT {
+                return false;
+            }
+            let (s, e) = (self.col_ptr[k], self.col_ptr[k + 1]);
+            // Rank-1 update A -= c cᵀ / d over the (guaranteed-present)
+            // clique of column k, using the raw column values...
+            for pi in s..e {
+                let ci = num.lvals[pi];
+                if ci == 0.0 {
+                    continue;
+                }
+                let ri = self.col_rows[pi];
+                num.d[ri] -= ci * ci / d_k;
+                for pj in (pi + 1)..e {
+                    let cj = num.lvals[pj];
+                    if cj == 0.0 {
+                        continue;
+                    }
+                    let rj = self.col_rows[pj];
+                    // Slot (row rj, col ri): present by the fill property.
+                    let span = &self.col_rows[self.col_ptr[ri]..self.col_ptr[ri + 1]];
+                    let off = span.binary_search(&rj).expect("fill slot");
+                    num.lvals[self.col_ptr[ri] + off] -= ci * cj / d_k;
+                }
+            }
+            // ...then scale the column into L.
+            for pi in s..e {
+                num.lvals[pi] /= d_k;
+            }
+        }
+        true
+    }
+
+    /// Solves `A x = rhs` against a factorization produced by
+    /// [`SymbolicLdl::factor_into`], writing the solution into `out`
+    /// (`rhs` and `out` may alias distinct buffers of length `n`).
+    pub fn solve_into(&self, num: &mut NumericLdl, rhs: &[f64], out: &mut [f64]) {
+        assert_eq!(rhs.len(), self.n, "rhs length mismatch");
+        assert_eq!(out.len(), self.n, "out length mismatch");
+        let w = &mut num.work;
+        for (orig, &v) in rhs.iter().enumerate() {
+            w[self.iperm[orig]] = v;
+        }
+        // Forward: L y = b.
+        for k in 0..self.n {
+            let yk = w[k];
+            if yk != 0.0 {
+                for p in self.col_ptr[k]..self.col_ptr[k + 1] {
+                    w[self.col_rows[p]] -= num.lvals[p] * yk;
+                }
+            }
+        }
+        // Diagonal: D z = y.
+        for (wk, dk) in w.iter_mut().zip(&num.d) {
+            *wk /= dk;
+        }
+        // Backward: Lᵀ x = z.
+        for k in (0..self.n).rev() {
+            let mut acc = w[k];
+            for p in self.col_ptr[k]..self.col_ptr[k + 1] {
+                acc -= num.lvals[p] * w[self.col_rows[p]];
+            }
+            w[k] = acc;
+        }
+        for (orig, o) in out.iter_mut().enumerate() {
+            *o = w[self.iperm[orig]];
+        }
+    }
+}
+
+fn insert_sorted(v: &mut Vec<usize>, x: usize) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<usize>, x: usize) {
+    if let Ok(pos) = v.binary_search(&x) {
+        v.remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference solve (Gaussian elimination with partial pivoting).
+    fn dense_solve(n: usize, a: &mut [f64], rhs: &mut [f64]) {
+        for col in 0..n {
+            let mut piv = col;
+            for row in (col + 1)..n {
+                if a[row * n + col].abs() > a[piv * n + col].abs() {
+                    piv = row;
+                }
+            }
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            rhs.swap(col, piv);
+            let d = a[col * n + col];
+            for row in (col + 1)..n {
+                let f = a[row * n + col] / d;
+                for k in col..n {
+                    a[row * n + k] -= f * a[col * n + k];
+                }
+                rhs[row] -= f * rhs[col];
+            }
+        }
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for k in (row + 1)..n {
+                acc -= a[row * n + k] * rhs[k];
+            }
+            rhs[row] = acc / a[row * n + row];
+        }
+    }
+
+    fn laplacian(n: usize, edges: &[(usize, usize)], g: &[f64], diag_extra: f64) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = diag_extra;
+        }
+        for (&(u, v), &gv) in edges.iter().zip(g) {
+            a[u * n + u] += gv;
+            a[v * n + v] += gv;
+            a[u * n + v] -= gv;
+            a[v * n + u] -= gv;
+        }
+        a
+    }
+
+    fn check_against_dense(n: usize, edges: &[(usize, usize)], g: &[f64]) {
+        let sym = SymbolicLdl::analyze(n, edges);
+        let mut diag = vec![1e-3; n]; // a gmin-like dominance margin
+        for (&(u, v), &gv) in edges.iter().zip(g) {
+            diag[u] += gv;
+            diag[v] += gv;
+        }
+        let mut num = NumericLdl::default();
+        assert!(sym.factor_into(&diag, g, &mut num), "must be nonsingular");
+
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+        let mut x = vec![0.0; n];
+        sym.solve_into(&mut num, &rhs, &mut x);
+
+        let mut a = laplacian(n, edges, g, 1e-3);
+        let mut x_ref = rhs.clone();
+        dense_solve(n, &mut a, &mut x_ref);
+        for i in 0..n {
+            assert!(
+                (x[i] - x_ref[i]).abs() < 1e-9 * (1.0 + x_ref[i].abs()),
+                "node {i}: sparse {} vs dense {}",
+                x[i],
+                x_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grid_matches_dense() {
+        // 4x4 grid: plenty of fill for min-degree to chew on.
+        let (w, h) = (4, 4);
+        let n = w * h;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((y * w + x, y * w + x + 1));
+                }
+                if y + 1 < h {
+                    edges.push((y * w + x, (y + 1) * w + x));
+                }
+            }
+        }
+        let g: Vec<f64> = (0..edges.len()).map(|i| 1.0 + 0.1 * i as f64).collect();
+        check_against_dense(n, &edges, &g);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let edges = vec![(0, 1), (0, 1), (1, 2)];
+        let g = vec![0.5, 0.5, 2.0];
+        check_against_dense(3, &edges, &g);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)];
+        let g = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        check_against_dense(5, &edges, &g);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Zero diagonal, no edges: the all-zero matrix.
+        let sym = SymbolicLdl::analyze(3, &[]);
+        let mut num = NumericLdl::default();
+        assert!(!sym.factor_into(&[0.0; 3], &[], &mut num));
+    }
+
+    #[test]
+    fn disconnected_floating_pair_is_singular() {
+        // Two nodes joined by a resistor but with no path to ground (no
+        // diagonal dominance): the 2x2 Laplacian is exactly singular.
+        let sym = SymbolicLdl::analyze(2, &[(0, 1)]);
+        let g = [1.0];
+        let diag = [1.0, 1.0]; // only the resistor, no gmin
+        let mut num = NumericLdl::default();
+        assert!(!sym.factor_into(&diag, &g, &mut num));
+    }
+
+    #[test]
+    fn fill_is_bounded_for_a_path() {
+        // A path graph is already a tree: min-degree must find a
+        // no-fill order (nnz == edge count).
+        let edges: Vec<(usize, usize)> = (0..9).map(|i| (i, i + 1)).collect();
+        let sym = SymbolicLdl::analyze(10, &edges);
+        assert_eq!(sym.nnz_lower(), edges.len(), "path must factor fill-free");
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let edges = vec![(0, 1), (1, 2), (2, 0)];
+        let sym = SymbolicLdl::analyze(3, &edges);
+        let mut seen = [false; 3];
+        for &p in &sym.perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

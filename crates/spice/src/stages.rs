@@ -17,7 +17,7 @@
 use crate::circuit::{Circuit, NodeId, WireParams};
 use crate::device::{BufferType, Technology};
 use crate::error::SimError;
-use crate::solver::{simulate, SimOptions, TransientResult};
+use crate::solver::{simulate_observed_with, SimOptions, SolverContext, TransientResult};
 use crate::units::{NS, PS};
 use crate::waveform::Waveform;
 
@@ -133,7 +133,24 @@ impl SingleWireStage {
     /// [`SimError::NonFiniteSolution`] would be wrong, so an incomplete
     /// transition is mapped to [`SimError::BadOptions`] naming the window).
     pub fn measure(&self, opts: &SimOptions) -> Result<StageMeasurement, SimError> {
-        let res = simulate(&self.circuit, opts)?;
+        self.measure_with(&mut SolverContext::new(), opts)
+    }
+
+    /// [`SingleWireStage::measure`], reusing cached solve plans from `ctx`.
+    /// Characterization sweeps over one circuit shape hit the plan cache on
+    /// every run after the first. Only the probe nodes are recorded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SingleWireStage::measure`].
+    pub fn measure_with(
+        &self,
+        ctx: &mut SolverContext,
+        opts: &SimOptions,
+    ) -> Result<StageMeasurement, SimError> {
+        let p = &self.probes;
+        let observed = [p.drive_in, p.drive_out, p.load_in];
+        let res = simulate_observed_with(ctx, &self.circuit, opts, &observed)?;
         self.extract(&res).ok_or_else(|| {
             SimError::BadOptions(format!(
                 "transition incomplete within t_stop = {:.3} ns",
@@ -266,7 +283,23 @@ impl BranchStage {
     ///
     /// As for [`SingleWireStage::measure`].
     pub fn measure(&self, opts: &SimOptions) -> Result<BranchMeasurement, SimError> {
-        let res = simulate(&self.circuit, opts)?;
+        self.measure_with(&mut SolverContext::new(), opts)
+    }
+
+    /// [`BranchStage::measure`], reusing cached solve plans from `ctx`.
+    /// Only the probe nodes are recorded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SingleWireStage::measure`].
+    pub fn measure_with(
+        &self,
+        ctx: &mut SolverContext,
+        opts: &SimOptions,
+    ) -> Result<BranchMeasurement, SimError> {
+        let p = &self.probes;
+        let observed = [p.drive_in, p.drive_out, p.left_in, p.right_in];
+        let res = simulate_observed_with(ctx, &self.circuit, opts, &observed)?;
         self.extract(&res).ok_or_else(|| {
             SimError::BadOptions(format!(
                 "transition incomplete within t_stop = {:.3} ns",

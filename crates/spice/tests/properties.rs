@@ -2,7 +2,7 @@
 //! and discretization robustness on randomized RC trees.
 
 use cts_spice::units::*;
-use cts_spice::{simulate, Circuit, NodeId, SimOptions, Technology, Waveform};
+use cts_spice::{simulate, Circuit, GeneralSolver, NodeId, SimOptions, Technology, Waveform};
 use proptest::prelude::*;
 
 /// A random RC tree description: each node i >= 1 attaches to a random
@@ -141,6 +141,44 @@ proptest! {
             let t50 = res.waveform(n).t50(tech.vdd()).unwrap();
             prop_assert!(t50 >= last - 1e-15, "t50 decreased along chain");
             last = t50;
+        }
+    }
+
+    /// The sparse LDLᵀ backend and the historical dense-LU fallback agree
+    /// on random meshed circuits: a random RC tree plus extra cross-links
+    /// (which force the general matrix path) solves to the same waveforms
+    /// under both `GeneralSolver` settings, to solver tolerance.
+    #[test]
+    fn sparse_and_dense_general_solvers_agree(
+        tree in random_tree(10),
+        extra in prop::collection::vec((0usize..1000, 0usize..1000, 200.0..3000.0f64), 1..4),
+        slew in 20.0..120.0f64,
+    ) {
+        let (mut c, nodes) = build_circuit(&tree, slew * PS);
+        // Cross-links create cycles (the general path); a link that lands
+        // on an identical pair degenerates to a parallel edge, which is
+        // also a mesh. Self-loops are skipped.
+        let n = nodes.len();
+        for &(a, b, r) in &extra {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                c.add_resistor(nodes[a], nodes[b], r);
+            }
+        }
+        let mut sparse = SimOptions::default_for(5.0 * NS);
+        sparse.dt = 1.0 * PS;
+        sparse.general_solver = GeneralSolver::SparseLdl;
+        let mut dense = sparse.clone();
+        dense.general_solver = GeneralSolver::DenseLu;
+        let rs = simulate(&c, &sparse).unwrap();
+        let rd = simulate(&c, &dense).unwrap();
+        for &node in &nodes {
+            let (vs, vd) = (rs.samples(node), rd.samples(node));
+            prop_assert_eq!(vs.len(), vd.len());
+            for (x, y) in vs.iter().zip(vd) {
+                prop_assert!((x - y).abs() < 1e-8,
+                    "backends disagree at {}: {x} vs {y}", c.node_name(node));
+            }
         }
     }
 }

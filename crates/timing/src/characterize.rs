@@ -14,8 +14,8 @@ use crate::fit::{FitError, PolyFit};
 use crate::library::{BranchFns, DelaySlewLibrary, SingleWireFns};
 use cts_spice::stages::{branch_stage, single_wire_stage, BranchConfig, SingleWireConfig};
 use cts_spice::units::{NS, PS};
-use cts_spice::{SimError, SimOptions, Technology};
-use cts_util::run_parallel;
+use cts_spice::{SimError, SimOptions, SolverContext, Technology};
+use cts_util::run_parallel_with;
 use std::fmt;
 
 /// Sweep and fitting parameters for [`characterize`].
@@ -177,35 +177,43 @@ pub fn sweep_single_wire(
             jobs.push((l_input, l));
         }
     }
-    let samples = run_parallel(cfg.threads, &jobs, |&(l_input, l)| {
-        let scfg = SingleWireConfig {
-            input_buf: &shaper,
-            l_input_um: l_input,
-            drive: &buffers[drive_idx],
-            l_um: l,
-            load: &buffers[load_idx],
-            wire: tech.wire(),
-            ramp_slew: cfg.ramp_slew,
-            rising: true,
-        };
-        let m = single_wire_stage(tech, &scfg)
-            .measure(&cfg.sim)
-            .map_err(|source| CharacterizeError::Sim {
-                context: format!(
-                    "single wire drive={} load={} Linput={l_input} L={l}",
-                    buffers[drive_idx].name(),
-                    buffers[load_idx].name()
-                ),
-                source,
-            })?;
-        Ok(SingleWireSample {
-            input_slew: m.input_slew,
-            length_um: l,
-            intrinsic_delay: m.intrinsic_delay,
-            wire_delay: m.wire_delay,
-            wire_slew: m.wire_slew,
-        })
-    })?;
+    // Every sweep point shares the same circuit topology (wire lengths
+    // only change element values), so a per-worker solver context makes
+    // the partition/elimination plan a once-per-worker cost.
+    let samples = run_parallel_with(
+        cfg.threads,
+        &jobs,
+        SolverContext::new,
+        |ctx, &(l_input, l)| {
+            let scfg = SingleWireConfig {
+                input_buf: &shaper,
+                l_input_um: l_input,
+                drive: &buffers[drive_idx],
+                l_um: l,
+                load: &buffers[load_idx],
+                wire: tech.wire(),
+                ramp_slew: cfg.ramp_slew,
+                rising: true,
+            };
+            let m = single_wire_stage(tech, &scfg)
+                .measure_with(ctx, &cfg.sim)
+                .map_err(|source| CharacterizeError::Sim {
+                    context: format!(
+                        "single wire drive={} load={} Linput={l_input} L={l}",
+                        buffers[drive_idx].name(),
+                        buffers[load_idx].name()
+                    ),
+                    source,
+                })?;
+            Ok(SingleWireSample {
+                input_slew: m.input_slew,
+                length_um: l,
+                intrinsic_delay: m.intrinsic_delay,
+                wire_delay: m.wire_delay,
+                wire_slew: m.wire_slew,
+            })
+        },
+    )?;
     Ok(samples)
 }
 
@@ -227,41 +235,46 @@ pub fn sweep_branch(
             }
         }
     }
-    let samples = run_parallel(cfg.threads, &jobs, |&(l_input, ll, lr)| {
-        let bcfg = BranchConfig {
-            input_buf: &shaper,
-            l_input_um: l_input,
-            drive: &buffers[drive_idx],
-            l_left_um: ll,
-            l_right_um: lr,
-            load_left: &buffers[load_left_idx],
-            load_right: &buffers[load_right_idx],
-            wire: tech.wire(),
-            ramp_slew: cfg.ramp_slew,
-            rising: true,
-        };
-        let m = branch_stage(tech, &bcfg)
-            .measure(&cfg.sim)
-            .map_err(|source| CharacterizeError::Sim {
-                context: format!(
-                    "branch drive={} loads=({},{}) Linput={l_input} L=({ll},{lr})",
-                    buffers[drive_idx].name(),
-                    buffers[load_left_idx].name(),
-                    buffers[load_right_idx].name()
-                ),
-                source,
-            })?;
-        Ok(BranchSample {
-            input_slew: m.input_slew,
-            l_left_um: ll,
-            l_right_um: lr,
-            intrinsic_delay: m.intrinsic_delay,
-            left_delay: m.left_delay,
-            right_delay: m.right_delay,
-            left_slew: m.left_slew,
-            right_slew: m.right_slew,
-        })
-    })?;
+    let samples = run_parallel_with(
+        cfg.threads,
+        &jobs,
+        SolverContext::new,
+        |ctx, &(l_input, ll, lr)| {
+            let bcfg = BranchConfig {
+                input_buf: &shaper,
+                l_input_um: l_input,
+                drive: &buffers[drive_idx],
+                l_left_um: ll,
+                l_right_um: lr,
+                load_left: &buffers[load_left_idx],
+                load_right: &buffers[load_right_idx],
+                wire: tech.wire(),
+                ramp_slew: cfg.ramp_slew,
+                rising: true,
+            };
+            let m = branch_stage(tech, &bcfg)
+                .measure_with(ctx, &cfg.sim)
+                .map_err(|source| CharacterizeError::Sim {
+                    context: format!(
+                        "branch drive={} loads=({},{}) Linput={l_input} L=({ll},{lr})",
+                        buffers[drive_idx].name(),
+                        buffers[load_left_idx].name(),
+                        buffers[load_right_idx].name()
+                    ),
+                    source,
+                })?;
+            Ok(BranchSample {
+                input_slew: m.input_slew,
+                l_left_um: ll,
+                l_right_um: lr,
+                intrinsic_delay: m.intrinsic_delay,
+                left_delay: m.left_delay,
+                right_delay: m.right_delay,
+                left_slew: m.left_slew,
+                right_slew: m.right_slew,
+            })
+        },
+    )?;
     Ok(samples)
 }
 
@@ -382,6 +395,7 @@ fn shaping_buffer(tech: &Technology) -> cts_spice::BufferType {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cts_util::run_parallel;
 
     #[test]
     fn fast_config_is_fittable() {

@@ -1,0 +1,132 @@
+//! CI gate over the verify-throughput smoke bench: reads the fresh
+//! `BENCH_ci.json` the criterion shim just wrote and enforces
+//!
+//! 1. the warm-cache verify of the 512-sink tree is at least **5x**
+//!    faster than the cold verify (the sparse-solver PR's headline
+//!    claim — the incremental stage cache must actually be serving), and
+//! 2. against an optional committed baseline, neither the cold nor the
+//!    warm median regressed by more than **20%**, after normalizing both
+//!    sides by the run's own `calibration` entry (a fixed pure-FP
+//!    workload), so a slower CI runner is not misread as a code
+//!    regression.
+//!
+//! ```sh
+//! cargo run --release --example bench_gate -- BENCH_ci.json [BENCH_baseline.json]
+//! ```
+//!
+//! A missing baseline file (first run on a branch) or a baseline without
+//! the verify entries (predating the bench) passes rule 2 with a notice;
+//! a malformed fresh file always fails.
+
+use cts::net::Json;
+use std::process::ExitCode;
+
+/// Minimum cold/warm speedup the warm cache must deliver.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+/// Maximum tolerated growth of a calibration-normalized median.
+const MAX_REGRESSION: f64 = 1.20;
+
+const COLD: &str = "verify_512sinks/cold";
+const WARM: &str = "verify_512sinks/warm";
+const CALIBRATION: &str = "verify_512sinks/calibration";
+
+/// `median_ns` of the entry with `id`, if present.
+fn median_ns(entries: &Json, id: &str) -> Option<f64> {
+    let Json::Arr(items) = entries else {
+        return None;
+    };
+    items
+        .iter()
+        .find(|e| e.get("id").and_then(Json::as_str) == Some(id))
+        .and_then(|e| e.get("median_ns"))
+        .and_then(Json::as_f64)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(fresh_path) = args.next() else {
+        eprintln!("usage: bench_gate <fresh BENCH_ci.json> [baseline BENCH_ci.json]");
+        return ExitCode::FAILURE;
+    };
+    let baseline_path = args.next();
+
+    let fresh = match load(&fresh_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(cold), Some(warm), Some(calib)) = (
+        median_ns(&fresh, COLD),
+        median_ns(&fresh, WARM),
+        median_ns(&fresh, CALIBRATION),
+    ) else {
+        eprintln!(
+            "bench_gate: {fresh_path} lacks the verify bench entries \
+             ({COLD}, {WARM}, {CALIBRATION}) — did `cargo bench --bench verify` run?"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let speedup = cold / warm;
+    println!(
+        "bench_gate: cold {:.1} ms, warm {:.2} ms — warm cache speedup {speedup:.1}x \
+         (floor {MIN_WARM_SPEEDUP}x)",
+        cold / 1e6,
+        warm / 1e6
+    );
+    if speedup < MIN_WARM_SPEEDUP {
+        eprintln!("bench_gate: FAIL — warm-cache verify must be at least {MIN_WARM_SPEEDUP}x cold");
+        return ExitCode::FAILURE;
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        println!("bench_gate: no baseline given; skipping the regression check");
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match load(&baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            println!("bench_gate: {e}; treating this as a first run — no regression check");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let (Some(b_cold), Some(b_warm), Some(b_calib)) = (
+        median_ns(&baseline, COLD),
+        median_ns(&baseline, WARM),
+        median_ns(&baseline, CALIBRATION),
+    ) else {
+        println!("bench_gate: {baseline_path} predates the verify bench; no regression check");
+        return ExitCode::SUCCESS;
+    };
+
+    let mut ok = true;
+    for (label, now, was) in [("cold", cold, b_cold), ("warm", warm, b_warm)] {
+        // Normalize by each run's own calibration so runner speed cancels.
+        let ratio = (now / calib) / (was / b_calib);
+        println!(
+            "bench_gate: {label} calibration-normalized ratio vs baseline: {ratio:.3} \
+             (ceiling {MAX_REGRESSION})"
+        );
+        if ratio > MAX_REGRESSION {
+            eprintln!(
+                "bench_gate: FAIL — {label} verify throughput regressed more than \
+                 {:.0}% vs the committed baseline",
+                (MAX_REGRESSION - 1.0) * 100.0
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("bench_gate: verify throughput within bounds ✓");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
