@@ -23,7 +23,7 @@ fn bench_matching(c: &mut Criterion) {
             })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &candidates, |b, cand| {
-            b.iter(|| find_matching(cand, Point::new(2500.0, 2500.0), 1e-3, 1e11));
+            b.iter(|| find_matching(cand, Point::new(2500.0, 2500.0), 1e-3, 1e11).expect("finite"));
         });
     }
     group.finish();

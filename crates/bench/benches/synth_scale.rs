@@ -1,0 +1,132 @@
+//! Scale-tier throughput: sinks/second for full synthesis at 10k/100k
+//! (and 1M when `CTS_SCALE_1M` is set), plus the pairing speedup of the
+//! grid-indexed matcher over the retained brute scan at 100k roots.
+//!
+//! The heavy workloads are timed **one-shot** (`record_measurement`):
+//! a 100k-sink synthesis runs for minutes, so the usual warmup-then-
+//! sample loop would triple the cost for no extra information. The CI
+//! gate (`examples/bench_gate.rs`) reads the recorded entries and
+//! enforces the ≥10× matching-speedup floor and the synthesis
+//! regression bound, normalized by this group's calibration entry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cts::benchmarks::generate_scale;
+use cts::core::topology::{find_matching, find_matching_brute, MatchCandidate};
+use cts::geom::Point;
+use cts::timing::fast_library;
+use cts::{CtsOptions, Synthesizer};
+use std::time::Instant;
+
+/// Matching candidates from a scale instance's sinks, as the first
+/// pairing level sees them (zero accumulated delay).
+fn candidates_of(n: usize) -> (Vec<MatchCandidate>, Point) {
+    let inst = generate_scale(n, 0x5ca1e);
+    let cands: Vec<MatchCandidate> = inst
+        .sinks()
+        .iter()
+        .map(|s| MatchCandidate {
+            location: s.location,
+            delay: 0.0,
+        })
+        .collect();
+    let die = inst.die();
+    (cands, Point::new(die.width() / 2.0, die.height() / 2.0))
+}
+
+fn bench_matching_speedup(c: &mut Criterion) {
+    // Test mode shrinks the workload so `cargo test --benches` stays
+    // fast; the recorded ids are the same either way (but nothing is
+    // written in test mode).
+    let n = if c.is_test_mode() { 512 } else { 100_000 };
+    let (cands, centroid) = candidates_of(n);
+
+    let t0 = Instant::now();
+    let fast = find_matching(&cands, centroid, 1e-3, 1e11).expect("finite");
+    let spatial = t0.elapsed();
+    c.record_measurement("synth_scale/matching_100k_spatial", spatial);
+
+    let t1 = Instant::now();
+    let brute = find_matching_brute(&cands, centroid, 1e-3, 1e11).expect("finite");
+    let brute_elapsed = t1.elapsed();
+    c.record_measurement("synth_scale/matching_100k_brute", brute_elapsed);
+
+    assert_eq!(fast.pairs, brute.pairs, "index diverged from brute scan");
+    assert_eq!(fast.seed, brute.seed);
+    if !c.is_test_mode() {
+        println!(
+            "matching at {n} roots: brute {:.2} s, spatial {:.3} s — {:.0}x speedup",
+            brute_elapsed.as_secs_f64(),
+            spatial.as_secs_f64(),
+            brute_elapsed.as_secs_f64() / spatial.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+fn bench_synth_tiers(c: &mut Criterion) {
+    let mut tiers: Vec<usize> = if c.is_test_mode() {
+        vec![256]
+    } else {
+        vec![10_000, 100_000]
+    };
+    // The million-sink tier runs for well over an hour single-threaded;
+    // opt in explicitly (local scale runs), CI sticks to 10k/100k.
+    if std::env::var("CTS_SCALE_1M").is_ok_and(|v| !v.is_empty() && v != "0") {
+        tiers.push(1_000_000);
+    }
+
+    let lib = fast_library();
+    let mut options = CtsOptions::default();
+    options.threads = 1;
+    let synth = Synthesizer::new(lib, options);
+    for n in tiers {
+        let inst = generate_scale(n, 0x5ca1e);
+        let t0 = Instant::now();
+        let result = synth.synthesize_unverified(&inst).expect("synthesis");
+        let elapsed = t0.elapsed();
+        let id = if c.is_test_mode() {
+            // Stand-in tier: never recorded (test mode skips JSON), the
+            // distinct id keeps real artifacts unpolluted regardless.
+            "synth_scale/synth_test".to_string()
+        } else {
+            format!("synth_scale/synth_{n}")
+        };
+        c.record_measurement(&id, elapsed);
+        if !c.is_test_mode() {
+            let secs = elapsed.as_secs_f64();
+            println!(
+                "synth {n} sinks: {secs:.2} s ({:.0} sinks/s; topology {:.0}/s, merge {:.0}/s)",
+                n as f64 / secs,
+                n as f64 / result.topology_seconds.max(1e-12),
+                n as f64 / result.merge_seconds.max(1e-12),
+            );
+        }
+    }
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth_scale");
+    group.sample_size(10);
+    // Fixed pure-FP workload with no cache or allocator sensitivity;
+    // the CI gate divides scale medians by this so a slower runner does
+    // not read as a code regression (same idiom as the verify bench).
+    group.bench_function("calibration", |b| {
+        b.iter(|| {
+            let mut x = 1.000_000_1_f64;
+            let mut acc = 0.0_f64;
+            for _ in 0..4_000_000u32 {
+                acc += x;
+                x = (x * 1.000_000_1).rem_euclid(2.0);
+            }
+            criterion::black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    synth_scale,
+    bench_matching_speedup,
+    bench_synth_tiers,
+    bench_calibration
+);
+criterion_main!(synth_scale);

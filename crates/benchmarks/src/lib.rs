@@ -435,6 +435,67 @@ pub fn suite_from_dir(dir: impl AsRef<Path>) -> Result<Vec<SuiteEntry>, String> 
     Ok(out)
 }
 
+/// Sink generator for the million-sink scale tier: like [`synth_sinks`]
+/// but with cluster count growing with `n` (a million registers are not
+/// twelve banks) and constant per-sink work — one pass, no intermediate
+/// collections beyond the cluster centers, so generating 10⁶ sinks is
+/// memory-bound on the output `Vec` alone. Kept separate from
+/// [`synth_sinks`] on purpose: that generator's cluster clamp feeds the
+/// seeded goldens and must not change.
+fn scale_sinks(n: usize, die: f64, cap_lo: f64, cap_hi: f64, seed: u64) -> Vec<Sink> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Roughly one cluster per 250 sinks, so density per cluster stays
+    // constant as n grows.
+    let n_clusters = (n / 250).clamp(4, 4096);
+    let centers: Vec<Point> = (0..n_clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.05 * die..0.95 * die),
+                rng.gen_range(0.05 * die..0.95 * die),
+            )
+        })
+        .collect();
+    let sigma = die / (n_clusters as f64).sqrt() / 2.0;
+
+    (0..n)
+        .map(|i| {
+            let location = if rng.gen_bool(0.5) {
+                let c = centers[rng.gen_range(0..centers.len())];
+                let jitter = |rng: &mut StdRng| {
+                    (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * 0.5 * sigma
+                };
+                let dx = jitter(&mut rng);
+                let dy = jitter(&mut rng);
+                Point::new((c.x + dx).clamp(0.0, die), (c.y + dy).clamp(0.0, die))
+            } else {
+                Point::new(rng.gen_range(0.0..die), rng.gen_range(0.0..die))
+            };
+            Sink::new(format!("s{i}"), location, rng.gen_range(cap_lo..cap_hi))
+        })
+        .collect()
+}
+
+/// Synthetic scale-tier instance for throughput measurement: `n_sinks`
+/// registers on a die that grows with √n (constant sink density of one
+/// sink per ~20×20 µm tile, the regime where the matching inner loop —
+/// not routing span — dominates). Deterministic for a given
+/// `(n_sinks, seed)`; used by the `synth_scale` bench and the 100k-sink
+/// CI smoke at 10k/100k/1M.
+///
+/// # Panics
+///
+/// Panics if `n_sinks` is zero.
+pub fn generate_scale(n_sinks: usize, seed: u64) -> Instance {
+    assert!(n_sinks > 0, "need at least one sink");
+    let die = (n_sinks as f64).sqrt() * 20.0;
+    let sinks = scale_sinks(n_sinks, die, 10e-15, 40e-15, seed);
+    Instance::with_die(
+        format!("scale_{n_sinks}"),
+        sinks,
+        Rect::from_corners(Point::ORIGIN, Point::new(die, die)),
+    )
+}
+
 /// Fully custom synthetic instance (uniform + clustered sinks).
 ///
 /// # Panics
@@ -614,6 +675,25 @@ mod tests {
         assert!(ispd_from_dir(IspdBenchmark::F12, &dir)
             .unwrap()
             .is_synthetic());
+    }
+
+    #[test]
+    fn scale_instances_are_deterministic_and_dense() {
+        let a = generate_scale(10_000, 7);
+        let b = generate_scale(10_000, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.sinks().len(), 10_000);
+        assert_eq!(a.name(), "scale_10000");
+        // √n · 20 µm die: constant density across tiers.
+        assert!((a.die().width() - 2000.0).abs() < 1e-9);
+        for s in a.sinks() {
+            assert!(a.die().contains(s.location));
+        }
+        assert_ne!(generate_scale(10_000, 8), a);
+        // Cluster count scales with n: the 40k-sink tier spreads wider
+        // than 12 banks (distinguishable from synth_sinks' clamp).
+        let big = generate_scale(40_000, 7);
+        assert_eq!(big.sinks().len(), 40_000);
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn dme_zero_skew(
                 delay: st.delay,
             })
             .collect();
-        let matching = find_matching(&candidates, centroid, options.cost_alpha, options.cost_beta);
+        let matching = find_matching(&candidates, centroid, options.cost_alpha, options.cost_beta)?;
 
         let mut next = Vec::with_capacity(active.len() / 2 + 1);
         if let Some(seed) = matching.seed {

@@ -42,6 +42,12 @@ pub struct CtsResult {
     pub flippings: usize,
     /// Per-level statistics from the pipeline's level-timing stage.
     pub level_stats: Vec<LevelStats>,
+    /// Wall-clock seconds spent in topology matching (candidate timing +
+    /// pairing), summed over levels. Telemetry only — it feeds the
+    /// service's per-stage sinks/second metrics and never affects results.
+    pub topology_seconds: f64,
+    /// Wall-clock seconds spent merge-routing and refining. Telemetry only.
+    pub merge_seconds: f64,
 }
 
 /// The buffered clock tree synthesizer.
@@ -153,6 +159,8 @@ impl<'a> Synthesizer<'a> {
             wirelength_um,
             flippings: out.flippings,
             level_stats: out.level_stats,
+            topology_seconds: out.topology_seconds,
+            merge_seconds: out.merge_seconds,
         })
     }
 

@@ -45,8 +45,10 @@ mod merge;
 mod options;
 pub mod pipeline;
 pub mod service;
+pub mod spatial;
 pub mod topology;
 mod tree;
+mod vanginneken;
 pub mod verify;
 
 pub use batch::{BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary, StagedSynthesis};
@@ -55,7 +57,7 @@ pub use flow::{CtsResult, Synthesizer};
 pub use hcorrect::{merge_with_correction, merge_with_correction_with, CorrectedMerge};
 pub use instance::{Instance, Sink};
 pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
-pub use options::{CtsError, CtsOptions, HCorrection};
+pub use options::{Buffering, CtsError, CtsOptions, HCorrection};
 pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
 pub use service::{
     BatchSubmitError, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,

@@ -16,7 +16,7 @@
 //! cell paths are re-walked exactly (committing buffer sites and stage
 //! delays), and the result is handed to the binary-search stage.
 
-use crate::options::{CtsError, CtsOptions};
+use crate::options::{Buffering, CtsError, CtsOptions};
 use cts_geom::{CellId, Point, RoutingGrid};
 use cts_timing::{BufferId, DelaySlewLibrary, Load};
 use std::cmp::Ordering;
@@ -199,6 +199,16 @@ impl<'a> MazeRouter<'a> {
         MazeRouter { lib, options }
     }
 
+    /// The library this router sizes buffers from.
+    pub(crate) fn lib(&self) -> &'a DelaySlewLibrary {
+        self.lib
+    }
+
+    /// The options in effect.
+    pub(crate) fn opts(&self) -> &'a CtsOptions {
+        self.options
+    }
+
     /// Longest pending segment the library can drive into `load` at the
     /// slew target, maximized over buffer types (since the eventual driver
     /// is chosen at insertion time).
@@ -233,7 +243,7 @@ impl<'a> MazeRouter<'a> {
     /// `seg_len` µm wire into `load` is closest to the target *without
     /// exceeding it* (Fig. 4.4). Falls back to the strongest buffer if none
     /// qualifies (the caller bounds `seg_len` so this is defensive).
-    fn best_buffer_for(&self, load: BufferId, seg_len: f64) -> BufferId {
+    pub(crate) fn best_buffer_for(&self, load: BufferId, seg_len: f64) -> BufferId {
         let target = self.options.slew_target;
         let mut best: Option<(BufferId, f64)> = None;
         let mut strongest: Option<(BufferId, f64)> = None;
@@ -270,7 +280,7 @@ impl<'a> MazeRouter<'a> {
 
     /// Pending-wire delay estimate: the not-yet-driven top segment,
     /// evaluated under the virtual driver.
-    fn pending_delay(&self, load: BufferId, seg_len: f64) -> f64 {
+    pub(crate) fn pending_delay(&self, load: BufferId, seg_len: f64) -> f64 {
         if seg_len <= 0.0 {
             return 0.0;
         }
@@ -284,7 +294,7 @@ impl<'a> MazeRouter<'a> {
             .wire_delay
     }
 
-    fn resolve_load(&self, load: Load) -> BufferId {
+    pub(crate) fn resolve_load(&self, load: Load) -> BufferId {
         match load {
             Load::Buffer(b) => b,
             Load::Sink { cap } => self.lib.nearest_buffer_by_cap(cap),
@@ -383,6 +393,9 @@ impl<'a> MazeRouter<'a> {
         side: &MergeSide,
         limits: &[f64],
     ) -> Result<SidePlan, CtsError> {
+        if self.options.buffering == Buffering::VanGinneken {
+            return crate::vanginneken::commit_path_vg(self, points, side, limits);
+        }
         let mut load = self.resolve_load(side.root_load);
         // The pre-existing unbuffered depth below the root consumes part of
         // the first segment's slew budget but is not new wire.

@@ -27,6 +27,31 @@ impl fmt::Display for HCorrection {
     }
 }
 
+/// Buffer-insertion strategy used while committing routed merge paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Buffering {
+    /// Per-segment greedy insertion (paper §4.2.2): walk the routed path
+    /// and place the largest slew-satisfying buffer as late as possible.
+    /// The default; results are bit-identical to previous releases.
+    #[default]
+    Greedy,
+    /// Van Ginneken-style bottom-up candidate generation with
+    /// (cap, slack)-dominance pruning over the b-type buffer library
+    /// (Li & Shi, arXiv:0710.4691): every slew-feasible placement and
+    /// sizing is kept as a candidate, dominated candidates are pruned,
+    /// and the minimum-arrival survivor is committed.
+    VanGinneken,
+}
+
+impl fmt::Display for Buffering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Buffering::Greedy => write!(f, "greedy"),
+            Buffering::VanGinneken => write!(f, "van Ginneken"),
+        }
+    }
+}
+
 /// Options controlling the buffered CTS flow.
 ///
 /// Defaults reproduce the paper's experimental setup: 100 ps slew limit
@@ -49,6 +74,8 @@ pub struct CtsOptions {
     pub cost_beta: f64,
     /// H-structure correction mode.
     pub h_correction: HCorrection,
+    /// Buffer-insertion strategy along routed merge paths.
+    pub buffering: Buffering,
     /// 10–90 % slew of the edge presented at the clock source input (s).
     pub source_slew: f64,
     /// Driver type assumed at sub-tree roots during bottom-up construction
@@ -76,6 +103,7 @@ impl Default for CtsOptions {
             cost_alpha: 1e-3,
             cost_beta: 1e11,
             h_correction: HCorrection::Off,
+            buffering: Buffering::Greedy,
             source_slew: 80e-12,
             virtual_driver: BufferId(1),
             binary_search_tol: 0.05e-12,
@@ -132,6 +160,13 @@ pub enum CtsError {
     },
     /// Verification (SPICE) failed.
     Verify(String),
+    /// A NaN or infinite value reached a synthesis kernel (a corrupt
+    /// coordinate or delay), caught up front instead of panicking inside
+    /// a comparison deep in a worker thread.
+    NonFinite {
+        /// Description of the offending value.
+        context: String,
+    },
 }
 
 impl fmt::Display for CtsError {
@@ -145,6 +180,9 @@ impl fmt::Display for CtsError {
                 )
             }
             CtsError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            CtsError::NonFinite { context } => {
+                write!(f, "non-finite value in synthesis input: {context}")
+            }
         }
     }
 }
@@ -186,5 +224,20 @@ mod tests {
     fn hcorrection_display() {
         assert_eq!(HCorrection::Off.to_string(), "off");
         assert_eq!(HCorrection::Correct.to_string(), "correction");
+    }
+
+    #[test]
+    fn buffering_display_and_default() {
+        assert_eq!(Buffering::default(), Buffering::Greedy);
+        assert_eq!(Buffering::Greedy.to_string(), "greedy");
+        assert_eq!(Buffering::VanGinneken.to_string(), "van Ginneken");
+    }
+
+    #[test]
+    fn nonfinite_error_display() {
+        let e = CtsError::NonFinite {
+            context: "candidate 3".into(),
+        };
+        assert!(e.to_string().contains("candidate 3"));
     }
 }

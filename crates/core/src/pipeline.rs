@@ -105,6 +105,12 @@ pub struct PipelineOutput {
     pub flippings: usize,
     /// Per-level statistics.
     pub level_stats: Vec<LevelStats>,
+    /// Wall-clock seconds spent in topology matching (stage 1) across all
+    /// levels. Telemetry only; never feeds back into results.
+    pub topology_seconds: f64,
+    /// Wall-clock seconds spent merge-routing, grafting, and globally
+    /// refining (stages 2–4 plus refinement). Telemetry only.
+    pub merge_seconds: f64,
 }
 
 impl<'a> SynthesisPipeline<'a> {
@@ -175,14 +181,21 @@ impl<'a> SynthesisPipeline<'a> {
         let mut levels = 0;
         let mut flippings = 0;
         let mut level_stats = Vec::new();
+        let mut topology_seconds = 0.0;
+        let mut merge_seconds = 0.0;
         while active.len() > 1 {
             levels += 1;
+            let t0 = std::time::Instant::now();
             let matching = self.match_level(&tree, &active, centroid)?;
+            topology_seconds += t0.elapsed().as_secs_f64();
+            let t1 = std::time::Instant::now();
             let stats = self.merge_level(&mut tree, &mut active, &matching, levels, scratch)?;
+            merge_seconds += t1.elapsed().as_secs_f64();
             flippings += stats.flippings;
             level_stats.push(stats);
         }
 
+        let t2 = std::time::Instant::now();
         let top = active[0];
         let source = tree.add_source(top, strongest_buffer(ctx.lib));
 
@@ -191,6 +204,7 @@ impl<'a> SynthesisPipeline<'a> {
         // which re-opens small skew gaps; see [`refine_global`].
         let engine = TimingEngine::new(ctx.lib);
         refine_global(ctx, &mut tree, source, &engine);
+        merge_seconds += t2.elapsed().as_secs_f64();
 
         tree.validate_under(source);
         Ok(PipelineOutput {
@@ -199,6 +213,8 @@ impl<'a> SynthesisPipeline<'a> {
             levels,
             flippings,
             level_stats,
+            topology_seconds,
+            merge_seconds,
         })
     }
 
@@ -226,12 +242,12 @@ impl<'a> SynthesisPipeline<'a> {
                     .latency,
             })
         })?;
-        Ok(find_matching(
+        find_matching(
             &candidates,
             centroid,
             ctx.options.cost_alpha,
             ctx.options.cost_beta,
-        ))
+        )
     }
 
     /// Stages 2–4 — merge every matched pair on detached forests (in

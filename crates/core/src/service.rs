@@ -367,6 +367,10 @@ struct Counters {
     failed: AtomicU64,
     synth_nanos: AtomicU64,
     verify_nanos: AtomicU64,
+    topology_nanos: AtomicU64,
+    merge_nanos: AtomicU64,
+    sinks_synthesized: AtomicU64,
+    sinks_verified: AtomicU64,
     stages_simulated: AtomicU64,
     stages_reused: AtomicU64,
     symbolic_hits: AtomicU64,
@@ -442,6 +446,45 @@ pub struct ServiceMetrics {
     pub symbolic_hits: u64,
     /// Simulations that had to build a solve plan from scratch.
     pub symbolic_misses: u64,
+    /// Cumulative wall time inside the topology-matching stage of the
+    /// synthesis runs (s), summed across workers. A sub-division of
+    /// `synth_seconds`.
+    pub topology_seconds: f64,
+    /// Cumulative wall time inside the merge-routing/refinement stages of
+    /// the synthesis runs (s), summed across workers. A sub-division of
+    /// `synth_seconds`.
+    pub merge_seconds: f64,
+    /// Total sinks across all completed synthesis stages.
+    pub sinks_synthesized: u64,
+    /// Total sinks across all completed verification stages (0 when the
+    /// service runs with verification off).
+    pub sinks_verified: u64,
+}
+
+impl ServiceMetrics {
+    fn rate(sinks: u64, seconds: f64) -> f64 {
+        if seconds > 0.0 {
+            sinks as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Topology-matching throughput in sinks/second (0 when idle).
+    pub fn topology_sinks_per_second(&self) -> f64 {
+        Self::rate(self.sinks_synthesized, self.topology_seconds)
+    }
+
+    /// Merge-routing throughput in sinks/second (0 when idle).
+    pub fn merge_sinks_per_second(&self) -> f64 {
+        Self::rate(self.sinks_synthesized, self.merge_seconds)
+    }
+
+    /// Verification throughput in sinks/second (0 when idle or when
+    /// verification is off).
+    pub fn verify_sinks_per_second(&self) -> f64 {
+        Self::rate(self.sinks_verified, self.verify_seconds)
+    }
 }
 
 impl fmt::Display for ServiceMetrics {
@@ -450,7 +493,7 @@ impl fmt::Display for ServiceMetrics {
             f,
             "submitted {} | completed {} | cancelled {} | expired {} | failed {} | \
              queued {} | synth {:.3} s | verify {:.3} s | stages {} sim / {} reused | \
-             symbolic {} hit / {} miss",
+             symbolic {} hit / {} miss | sinks/s: topology {:.0}, merge {:.0}, verify {:.0}",
             self.submitted,
             self.completed,
             self.cancelled,
@@ -462,7 +505,10 @@ impl fmt::Display for ServiceMetrics {
             self.stages_simulated,
             self.stages_reused,
             self.symbolic_hits,
-            self.symbolic_misses
+            self.symbolic_misses,
+            self.topology_sinks_per_second(),
+            self.merge_sinks_per_second(),
+            self.verify_sinks_per_second()
         )
     }
 }
@@ -855,6 +901,10 @@ impl SynthesisService {
             stages_reused: c.stages_reused.load(Ordering::Relaxed),
             symbolic_hits: c.symbolic_hits.load(Ordering::Relaxed),
             symbolic_misses: c.symbolic_misses.load(Ordering::Relaxed),
+            topology_seconds: c.topology_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            merge_seconds: c.merge_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            sinks_synthesized: c.sinks_synthesized.load(Ordering::Relaxed),
+            sinks_verified: c.sinks_verified.load(Ordering::Relaxed),
         }
     }
 
@@ -1152,6 +1202,11 @@ fn engine_loop(
             match staged {
                 Ok(staged) => {
                     Counters::add_nanos(&counters.synth_nanos, staged.synth_seconds);
+                    Counters::add_nanos(&counters.topology_nanos, staged.result.topology_seconds);
+                    Counters::add_nanos(&counters.merge_nanos, staged.result.merge_seconds);
+                    counters
+                        .sinks_synthesized
+                        .fetch_add(job.instance.sinks().len() as u64, Ordering::Relaxed);
                     Some((staged, order))
                 }
                 Err(e) => {
@@ -1173,6 +1228,11 @@ fn engine_loop(
                 Ok(item) => {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
                     Counters::add_nanos(&counters.verify_nanos, item.verify_seconds);
+                    if item.verified.is_some() {
+                        counters
+                            .sinks_verified
+                            .fetch_add(item.sinks as u64, Ordering::Relaxed);
+                    }
                     Ok(SynthesisResult {
                         id: job.id,
                         priority: job.priority,

@@ -1,0 +1,339 @@
+//! Grid-bucket spatial index over matching candidates.
+//!
+//! [`crate::topology::find_matching`] repeatedly asks one question that is
+//! quadratic when answered naively: *which live candidate is the cheapest
+//! partner (eq. 4.1) for this one?* The cost mixes Manhattan distance and
+//! delay difference, but only the distance term has geometric structure —
+//! so the index buckets candidates on a uniform grid and answers partner
+//! queries by scanning cells in expanding Chebyshev rings around the query
+//! point, stopping as soon as the *distance-only lower bound* of the next
+//! ring exceeds the best cost found so far (the delay term is
+//! non-negative, so `alpha * ring_distance` is a valid lower bound on the
+//! full cost of anything further out).
+//!
+//! Tie-break preservation: the winner is selected by the exact total order
+//! `(cost, index)` — `f64::total_cmp` on cost, then smallest candidate
+//! index — using the same [`crate::topology::edge_cost`] arithmetic as the
+//! brute scan. A unique minimum under a total order does not depend on
+//! the order candidates are visited in, so ring-order enumeration returns
+//! bit-identical winners to the full scan (pinned by the equivalence
+//! proptest in `crates/core/tests/matching_equivalence.rs`).
+//!
+//! Storage is CSR-style (`starts` + `items`, no per-bucket `Vec`) so
+//! building the index over a million candidates is one counting pass and
+//! one placement pass. Removal is a live-flag flip plus a per-bucket live
+//! counter, letting ring scans skip emptied cells without compaction.
+
+use crate::topology::{edge_cost, MatchCandidate};
+
+/// Relative safety slack on the ring lower bound: the bound is computed
+/// in floating point from quantities the exact costs are also computed
+/// from, so shave a hair off before comparing to never prune the true
+/// minimum on a rounding edge.
+const BOUND_SLACK: f64 = 1.0 - 1e-12;
+
+/// A uniform-grid bucket index over a fixed candidate slice, with
+/// constant-time removal and ring-pruned cheapest-partner queries.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    /// Cell edge length (µm); cells are square.
+    cell: f64,
+    inv_cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR bucket boundaries: bucket `b` holds `items[starts[b]..starts[b + 1]]`.
+    starts: Vec<u32>,
+    /// Candidate indices, grouped by bucket, ascending within each bucket.
+    items: Vec<u32>,
+    /// Bucket of each candidate (for O(1) removal bookkeeping).
+    bucket_of: Vec<u32>,
+    /// Live candidates per bucket; rings skip buckets at zero.
+    bucket_live: Vec<u32>,
+    live: Vec<bool>,
+    live_count: usize,
+}
+
+impl GridIndex {
+    /// Builds the index over `candidates`. Sizing targets an average
+    /// occupancy of ~2 candidates per cell; degenerate inputs (all
+    /// coincident, a single candidate) collapse to one bucket.
+    pub fn build(candidates: &[MatchCandidate]) -> GridIndex {
+        let n = candidates.len();
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for c in candidates {
+            min_x = min_x.min(c.location.x);
+            min_y = min_y.min(c.location.y);
+            max_x = max_x.max(c.location.x);
+            max_y = max_y.max(c.location.y);
+        }
+        if n == 0 {
+            (min_x, min_y, max_x, max_y) = (0.0, 0.0, 0.0, 0.0);
+        }
+        let span = (max_x - min_x).max(max_y - min_y);
+        let per_axis = ((n as f64 / 2.0).sqrt().ceil() as usize).clamp(1, 4096);
+        let cell = if span > 0.0 {
+            span / per_axis as f64
+        } else {
+            1.0
+        };
+        let inv_cell = 1.0 / cell;
+        let cols = (((max_x - min_x) * inv_cell).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) * inv_cell).floor() as usize + 1).max(1);
+
+        // Counting pass, prefix sum, placement pass (ascending index
+        // within each bucket because placement runs in index order).
+        let bucket_at = |x: f64, y: f64| {
+            let bx = (((x - min_x) * inv_cell).floor() as usize).min(cols - 1);
+            let by = (((y - min_y) * inv_cell).floor() as usize).min(rows - 1);
+            by * cols + bx
+        };
+        let mut bucket_of = vec![0u32; n];
+        let mut counts = vec![0u32; cols * rows + 1];
+        for (i, c) in candidates.iter().enumerate() {
+            let b = bucket_at(c.location.x, c.location.y);
+            bucket_of[i] = b as u32;
+            counts[b + 1] += 1;
+        }
+        for b in 1..counts.len() {
+            counts[b] += counts[b - 1];
+        }
+        let starts = counts;
+        let mut items = vec![0u32; n];
+        let mut cursor: Vec<u32> = starts[..starts.len() - 1].to_vec();
+        for (i, &b) in bucket_of.iter().enumerate() {
+            items[cursor[b as usize] as usize] = i as u32;
+            cursor[b as usize] += 1;
+        }
+        let bucket_live: Vec<u32> = (0..cols * rows)
+            .map(|b| starts[b + 1] - starts[b])
+            .collect();
+
+        GridIndex {
+            cell,
+            inv_cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            starts,
+            items,
+            bucket_of,
+            bucket_live,
+            live: vec![true; n],
+            live_count: n,
+        }
+    }
+
+    /// Whether candidate `i` is still live (not removed).
+    pub fn is_live(&self, i: usize) -> bool {
+        self.live[i]
+    }
+
+    /// Number of live candidates.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether no candidates remain live.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Removes candidate `i` from future queries. Idempotent.
+    pub fn remove(&mut self, i: usize) {
+        if self.live[i] {
+            self.live[i] = false;
+            self.bucket_live[self.bucket_of[i] as usize] -= 1;
+            self.live_count -= 1;
+        }
+    }
+
+    /// The cheapest live partner for candidate `from` under eq. 4.1,
+    /// ties broken toward the smallest index — exactly the winner the
+    /// brute scan picks. `from` itself is skipped whether or not it has
+    /// been removed. Returns `None` when no other live candidate exists.
+    pub fn cheapest_partner(
+        &self,
+        candidates: &[MatchCandidate],
+        from: usize,
+        alpha: f64,
+        beta: f64,
+    ) -> Option<usize> {
+        let p = candidates[from].location;
+        let cx =
+            ((((p.x - self.min_x) * self.inv_cell).floor() as usize).min(self.cols - 1)) as isize;
+        let cy =
+            ((((p.y - self.min_y) * self.inv_cell).floor() as usize).min(self.rows - 1)) as isize;
+        let max_ring = cx
+            .max(self.cols as isize - 1 - cx)
+            .max(cy)
+            .max(self.rows as isize - 1 - cy);
+
+        let mut best: Option<(f64, usize)> = None;
+        let visit = |bx: isize, by: isize, best: &mut Option<(f64, usize)>| {
+            if bx < 0 || by < 0 || bx >= self.cols as isize || by >= self.rows as isize {
+                return;
+            }
+            let b = by as usize * self.cols + bx as usize;
+            if self.bucket_live[b] == 0 {
+                return;
+            }
+            for &j in &self.items[self.starts[b] as usize..self.starts[b + 1] as usize] {
+                let j = j as usize;
+                if j == from || !self.live[j] {
+                    continue;
+                }
+                let c = edge_cost(&candidates[from], &candidates[j], alpha, beta);
+                let better = match *best {
+                    None => true,
+                    Some((bc, bi)) => c.total_cmp(&bc).then(j.cmp(&bi)).is_lt(),
+                };
+                if better {
+                    *best = Some((c, j));
+                }
+            }
+        };
+
+        for r in 0..=max_ring {
+            // Anything in a cell at Chebyshev ring r is at least
+            // (r - 1) * cell away in Manhattan distance, and the delay
+            // term only adds cost — so once that floor alone exceeds the
+            // best cost, no farther ring can win.
+            if let Some((bc, _)) = best {
+                if r >= 1 && alpha * ((r - 1) as f64) * self.cell * BOUND_SLACK > bc {
+                    break;
+                }
+            }
+            if r == 0 {
+                visit(cx, cy, &mut best);
+                continue;
+            }
+            for dy in -r..=r {
+                let y = cy + dy;
+                if dy.abs() == r {
+                    for dx in -r..=r {
+                        visit(cx + dx, y, &mut best);
+                    }
+                } else {
+                    visit(cx - r, y, &mut best);
+                    visit(cx + r, y, &mut best);
+                }
+            }
+        }
+        best.map(|(_, j)| j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_geom::Point;
+
+    fn cand(x: f64, y: f64, delay: f64) -> MatchCandidate {
+        MatchCandidate {
+            location: Point::new(x, y),
+            delay,
+        }
+    }
+
+    /// The brute-force reference: min (cost, index) over live partners.
+    fn brute_partner(
+        cands: &[MatchCandidate],
+        live: &[bool],
+        from: usize,
+        alpha: f64,
+        beta: f64,
+    ) -> Option<usize> {
+        (0..cands.len())
+            .filter(|&j| j != from && live[j])
+            .min_by(|&i, &j| {
+                let ci = edge_cost(&cands[from], &cands[i], alpha, beta);
+                let cj = edge_cost(&cands[from], &cands[j], alpha, beta);
+                ci.total_cmp(&cj).then(i.cmp(&j))
+            })
+    }
+
+    #[test]
+    fn partner_matches_brute_on_a_grid() {
+        let mut cands = Vec::new();
+        for i in 0..13 {
+            for j in 0..11 {
+                cands.push(cand(
+                    i as f64 * 97.0,
+                    j as f64 * 63.0,
+                    (i * j) as f64 * 1e-12,
+                ));
+            }
+        }
+        let idx = GridIndex::build(&cands);
+        let live = vec![true; cands.len()];
+        for from in 0..cands.len() {
+            assert_eq!(
+                idx.cheapest_partner(&cands, from, 1e-3, 1e11),
+                brute_partner(&cands, &live, from, 1e-3, 1e11),
+                "from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn partner_matches_brute_after_removals() {
+        let cands: Vec<_> = (0..40)
+            .map(|i| {
+                cand(
+                    (i * 37 % 11) as f64 * 120.0,
+                    (i * 53 % 7) as f64 * 250.0,
+                    0.0,
+                )
+            })
+            .collect();
+        let mut idx = GridIndex::build(&cands);
+        let mut live = vec![true; cands.len()];
+        for kill in [3usize, 17, 20, 21, 39, 0] {
+            idx.remove(kill);
+            live[kill] = false;
+        }
+        assert_eq!(idx.len(), 34);
+        for from in 0..cands.len() {
+            assert_eq!(
+                idx.cheapest_partner(&cands, from, 1.0, 0.0),
+                brute_partner(&cands, &live, from, 1.0, 0.0),
+                "from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn coincident_points_collapse_to_one_bucket() {
+        let cands = vec![cand(5.0, 5.0, 1e-12); 9];
+        let idx = GridIndex::build(&cands);
+        // All costs tie at zero distance and zero delay difference; the
+        // winner must be the smallest index other than `from`.
+        assert_eq!(idx.cheapest_partner(&cands, 0, 1.0, 1.0), Some(1));
+        assert_eq!(idx.cheapest_partner(&cands, 4, 1.0, 1.0), Some(0));
+    }
+
+    #[test]
+    fn zero_alpha_degenerates_to_full_scan() {
+        // With alpha = 0 the geometric bound never prunes; the query must
+        // still return the delay-cheapest partner.
+        let cands = vec![
+            cand(0.0, 0.0, 10e-12),
+            cand(9000.0, 9000.0, 11e-12),
+            cand(4000.0, 100.0, 80e-12),
+        ];
+        let idx = GridIndex::build(&cands);
+        assert_eq!(idx.cheapest_partner(&cands, 0, 0.0, 1e12), Some(1));
+    }
+
+    #[test]
+    fn single_candidate_has_no_partner() {
+        let cands = vec![cand(1.0, 2.0, 0.0)];
+        let idx = GridIndex::build(&cands);
+        assert_eq!(idx.cheapest_partner(&cands, 0, 1.0, 1.0), None);
+        assert!(!idx.is_empty());
+    }
+}

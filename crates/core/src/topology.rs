@@ -6,7 +6,18 @@
 //! centroid* and pair it with its cheapest unmatched partner. With an odd
 //! node count, the node with maximum latency is promoted unmatched to the
 //! next level (the "seed"), where its larger delay is a better fit.
+//!
+//! [`find_matching`] runs the heuristic against the grid-bucket index in
+//! [`crate::spatial`]: the farthest-first order is one distance sort up
+//! front (the centroid is fixed, so the order never changes — matched
+//! nodes are merely skipped), and each cheapest-partner query scans
+//! expanding rings instead of every unmatched node. Both selections use
+//! exact total orders on `(key, index)`, so the result is bit-identical
+//! to the retained brute-force scan [`find_matching_brute`] — pinned by
+//! an equivalence proptest over degenerate and adversarial inputs.
 
+use crate::options::CtsError;
+use crate::spatial::GridIndex;
 use cts_geom::Point;
 
 /// A candidate for pairing at the current level.
@@ -32,8 +43,48 @@ pub fn edge_cost(a: &MatchCandidate, b: &MatchCandidate, alpha: f64, beta: f64) 
     alpha * a.location.manhattan_dist(b.location) + beta * (a.delay - b.delay).abs()
 }
 
+/// Rejects non-finite coordinates or delays up front, so a NaN never
+/// reaches a comparison deep inside a worker thread.
+fn validate_finite(candidates: &[MatchCandidate], centroid: Point) -> Result<(), CtsError> {
+    for (i, c) in candidates.iter().enumerate() {
+        if !(c.location.x.is_finite() && c.location.y.is_finite() && c.delay.is_finite()) {
+            return Err(CtsError::NonFinite {
+                context: format!(
+                    "matching candidate {i} at ({}, {}) with delay {} — all must be finite",
+                    c.location.x, c.location.y, c.delay
+                ),
+            });
+        }
+    }
+    if !(centroid.x.is_finite() && centroid.y.is_finite()) {
+        return Err(CtsError::NonFinite {
+            context: format!("sink centroid ({}, {})", centroid.x, centroid.y),
+        });
+    }
+    Ok(())
+}
+
+/// Seed selection (odd counts): the maximum-delay candidate, ties broken
+/// toward the **largest** index (the order `max_by` resolves to).
+fn pick_seed(candidates: &[MatchCandidate]) -> usize {
+    (0..candidates.len())
+        .max_by(|&i, &j| {
+            candidates[i]
+                .delay
+                .total_cmp(&candidates[j].delay)
+                .then(i.cmp(&j))
+        })
+        .expect("non-empty")
+}
+
 /// Computes the level matching with the farthest-from-centroid greedy
-/// heuristic.
+/// heuristic, accelerated by the [`GridIndex`]. Bit-identical to
+/// [`find_matching_brute`] for every input.
+///
+/// # Errors
+///
+/// [`CtsError::NonFinite`] if any candidate coordinate/delay or the
+/// centroid is NaN or infinite.
 ///
 /// # Panics
 ///
@@ -43,24 +94,81 @@ pub fn find_matching(
     centroid: Point,
     alpha: f64,
     beta: f64,
-) -> Matching {
+) -> Result<Matching, CtsError> {
     assert!(!candidates.is_empty(), "cannot match zero candidates");
+    validate_finite(candidates, centroid)?;
+    let n = candidates.len();
+
+    // Seed: with an odd count, promote the maximum-latency node.
+    let seed = (n % 2 == 1).then(|| pick_seed(candidates));
+
+    // Farthest-first order, fixed for the whole level: distance to the
+    // centroid descending, then smallest index (the brute scan's
+    // tie-break). Matched nodes are skipped via the index's live flags.
+    let dist: Vec<f64> = candidates
+        .iter()
+        .map(|c| c.location.manhattan_dist(centroid))
+        .collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        dist[b as usize]
+            .total_cmp(&dist[a as usize])
+            .then(a.cmp(&b))
+    });
+
+    let mut index = GridIndex::build(candidates);
+    if let Some(s) = seed {
+        index.remove(s);
+    }
+
+    let mut pairs = Vec::with_capacity(n / 2);
+    let mut cursor = 0usize;
+    while index.len() >= 2 {
+        let far = loop {
+            let i = order[cursor] as usize;
+            cursor += 1;
+            if index.is_live(i) {
+                break i;
+            }
+        };
+        index.remove(far);
+        let near = index
+            .cheapest_partner(candidates, far, alpha, beta)
+            .expect("at least one live partner remains");
+        index.remove(near);
+        pairs.push((far, near));
+    }
+
+    Ok(Matching { pairs, seed })
+}
+
+/// The original O(n²) scan, retained as the semantic reference: the
+/// equivalence proptest asserts [`find_matching`] reproduces its output
+/// bit for bit, and `--bench synth_scale` measures the speedup against
+/// it at 100k roots.
+///
+/// # Errors
+///
+/// [`CtsError::NonFinite`] if any candidate coordinate/delay or the
+/// centroid is NaN or infinite.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn find_matching_brute(
+    candidates: &[MatchCandidate],
+    centroid: Point,
+    alpha: f64,
+    beta: f64,
+) -> Result<Matching, CtsError> {
+    assert!(!candidates.is_empty(), "cannot match zero candidates");
+    validate_finite(candidates, centroid)?;
     let n = candidates.len();
     let mut unmatched: Vec<usize> = (0..n).collect();
     let mut pairs = Vec::with_capacity(n / 2);
 
-    // Seed: with an odd count, promote the maximum-latency node.
     let seed = if n % 2 == 1 {
-        let s = *unmatched
-            .iter()
-            .max_by(|&&i, &&j| {
-                candidates[i]
-                    .delay
-                    .partial_cmp(&candidates[j].delay)
-                    .unwrap()
-                    .then(i.cmp(&j))
-            })
-            .expect("non-empty");
+        let s = pick_seed(candidates);
         unmatched.retain(|&i| i != s);
         Some(s)
     } else {
@@ -75,7 +183,7 @@ pub fn find_matching(
             .max_by(|(_, &i), (_, &j)| {
                 let di = candidates[i].location.manhattan_dist(centroid);
                 let dj = candidates[j].location.manhattan_dist(centroid);
-                di.partial_cmp(&dj).unwrap().then(j.cmp(&i))
+                di.total_cmp(&dj).then(j.cmp(&i))
             })
             .expect("len >= 2");
         unmatched.swap_remove(pos);
@@ -87,7 +195,7 @@ pub fn find_matching(
             .min_by(|(_, &i), (_, &j)| {
                 let ci = edge_cost(&candidates[far], &candidates[i], alpha, beta);
                 let cj = edge_cost(&candidates[far], &candidates[j], alpha, beta);
-                ci.partial_cmp(&cj).unwrap().then(i.cmp(&j))
+                ci.total_cmp(&cj).then(i.cmp(&j))
             })
             .expect("len >= 1");
         unmatched.swap_remove(pos);
@@ -95,7 +203,7 @@ pub fn find_matching(
     }
     debug_assert!(unmatched.is_empty());
 
-    Matching { pairs, seed }
+    Ok(Matching { pairs, seed })
 }
 
 #[cfg(test)]
@@ -117,7 +225,7 @@ mod tests {
             cand(1000.0, 1000.0, 0.0),
             cand(1100.0, 1000.0, 0.0),
         ];
-        let m = find_matching(&c, Point::new(550.0, 500.0), 1.0, 0.0);
+        let m = find_matching(&c, Point::new(550.0, 500.0), 1.0, 0.0).unwrap();
         assert_eq!(m.pairs.len(), 2);
         assert!(m.seed.is_none());
         // Close pairs should be matched together.
@@ -134,7 +242,7 @@ mod tests {
             cand(10.0, 0.0, 90.0), // slowest: becomes the seed
             cand(20.0, 0.0, 12.0),
         ];
-        let m = find_matching(&c, Point::new(10.0, 0.0), 1.0, 0.0);
+        let m = find_matching(&c, Point::new(10.0, 0.0), 1.0, 0.0).unwrap();
         assert_eq!(m.seed, Some(1));
         assert_eq!(m.pairs.len(), 1);
         assert_eq!(
@@ -156,12 +264,12 @@ mod tests {
             cand(450.0, 0.0, 99.0),
         ];
         // Pure distance: (0,1), (2,3).
-        let m_dist = find_matching(&c, Point::new(225.0, 0.0), 1.0, 0.0);
+        let m_dist = find_matching(&c, Point::new(225.0, 0.0), 1.0, 0.0).unwrap();
         let norm = |p: (usize, usize)| (p.0.min(p.1), p.0.max(p.1));
         let pairs_dist: Vec<_> = m_dist.pairs.iter().map(|&p| norm(p)).collect();
         assert!(pairs_dist.contains(&(0, 1)));
         // Delay-dominated: (0,2), (1,3).
-        let m_delay = find_matching(&c, Point::new(225.0, 0.0), 1e-6, 1e12);
+        let m_delay = find_matching(&c, Point::new(225.0, 0.0), 1e-6, 1e12).unwrap();
         let pairs_delay: Vec<_> = m_delay.pairs.iter().map(|&p| norm(p)).collect();
         assert!(pairs_delay.contains(&(0, 2)), "{pairs_delay:?}");
         assert!(pairs_delay.contains(&(1, 3)));
@@ -176,7 +284,7 @@ mod tests {
             cand(5000.0, 5000.0, 0.0), // far outlier
             cand(4990.0, 5000.0, 0.0),
         ];
-        let m = find_matching(&c, Point::new(10.0, 10.0), 1.0, 0.0);
+        let m = find_matching(&c, Point::new(10.0, 10.0), 1.0, 0.0).unwrap();
         let first = m.pairs[0];
         assert!(first.0 == 2 || first.1 == 2);
     }
@@ -184,7 +292,7 @@ mod tests {
     #[test]
     fn two_nodes_trivial() {
         let c = vec![cand(0.0, 0.0, 0.0), cand(10.0, 0.0, 5.0)];
-        let m = find_matching(&c, Point::ORIGIN, 1.0, 1.0);
+        let m = find_matching(&c, Point::ORIGIN, 1.0, 1.0).unwrap();
         assert_eq!(m.pairs.len(), 1);
         assert!(m.seed.is_none());
     }
@@ -192,8 +300,50 @@ mod tests {
     #[test]
     fn single_node_is_seed() {
         let c = vec![cand(0.0, 0.0, 0.0)];
-        let m = find_matching(&c, Point::ORIGIN, 1.0, 1.0);
+        let m = find_matching(&c, Point::ORIGIN, 1.0, 1.0).unwrap();
         assert!(m.pairs.is_empty());
         assert_eq!(m.seed, Some(0));
+    }
+
+    #[test]
+    fn nan_candidate_is_a_structured_error() {
+        let c = vec![cand(0.0, 0.0, 0.0), cand(f64::NAN, 0.0, 0.0)];
+        let err = find_matching(&c, Point::ORIGIN, 1.0, 1.0).unwrap_err();
+        assert!(matches!(err, CtsError::NonFinite { .. }), "{err}");
+        let err = find_matching_brute(&c, Point::ORIGIN, 1.0, 1.0).unwrap_err();
+        assert!(matches!(err, CtsError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn infinite_delay_is_a_structured_error() {
+        let c = vec![cand(0.0, 0.0, f64::INFINITY), cand(1.0, 0.0, 0.0)];
+        assert!(find_matching(&c, Point::ORIGIN, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn nan_centroid_is_a_structured_error() {
+        let c = vec![cand(0.0, 0.0, 0.0), cand(1.0, 0.0, 0.0)];
+        let err = find_matching(&c, Point::new(f64::NAN, 0.0), 1.0, 1.0).unwrap_err();
+        assert!(matches!(err, CtsError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn indexed_matches_brute_on_clustered_input() {
+        // A quick inline spot check; the exhaustive sweep lives in the
+        // equivalence proptest (tests/matching_equivalence.rs).
+        let mut c = Vec::new();
+        for i in 0..37 {
+            let cx = (i % 3) as f64 * 3000.0;
+            let cy = (i % 5) as f64 * 2000.0;
+            c.push(cand(
+                cx + (i * 17 % 13) as f64,
+                cy + (i * 29 % 7) as f64,
+                i as f64,
+            ));
+        }
+        let centroid = Point::new(3100.0, 4200.0);
+        let fast = find_matching(&c, centroid, 1e-3, 1e11).unwrap();
+        let brute = find_matching_brute(&c, centroid, 1e-3, 1e11).unwrap();
+        assert_eq!(fast, brute);
     }
 }

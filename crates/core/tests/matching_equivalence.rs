@@ -1,0 +1,132 @@
+//! Equivalence pin: the spatially-indexed `find_matching` must reproduce
+//! the retained brute-force scan **bit for bit** — same `pairs` vector
+//! (order included), same `seed` — for every input. This is what lets
+//! the index replace the O(n²) scan without perturbing a single golden
+//! or determinism test: the default synthesis path flows through it.
+//!
+//! Coverage: every size 1..=96 with deterministic pseudo-random inputs
+//! (clustered, ties on purpose), proptest sweeps up to 512 candidates
+//! with wild-but-finite coordinates, the all-same-point degenerate case,
+//! and delay-dominated cost weights where the geometric bound prunes
+//! nothing.
+
+use cts_core::topology::{find_matching, find_matching_brute, MatchCandidate};
+use cts_geom::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_equivalent(cands: &[MatchCandidate], centroid: Point, alpha: f64, beta: f64) {
+    let fast = find_matching(cands, centroid, alpha, beta).expect("finite input");
+    let brute = find_matching_brute(cands, centroid, alpha, beta).expect("finite input");
+    assert_eq!(
+        fast.seed,
+        brute.seed,
+        "seed diverged at n = {}",
+        cands.len()
+    );
+    assert_eq!(
+        fast.pairs,
+        brute.pairs,
+        "pairs diverged at n = {}",
+        cands.len()
+    );
+}
+
+#[test]
+fn every_size_up_to_96_matches_brute() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_cafe);
+    for n in 1..=96usize {
+        // Clustered geometry with duplicated points and delays, to force
+        // distance and cost ties through both tie-break paths.
+        let cands: Vec<MatchCandidate> = (0..n)
+            .map(|_| {
+                let cluster = rng.gen_range(0..4u32);
+                let base = 2500.0 * cluster as f64;
+                let quantum = 130.0; // coarse grid => frequent exact ties
+                MatchCandidate {
+                    location: Point::new(
+                        base + rng.gen_range(0..6u32) as f64 * quantum,
+                        rng.gen_range(0..6u32) as f64 * quantum,
+                    ),
+                    delay: rng.gen_range(0..5u32) as f64 * 3e-12,
+                }
+            })
+            .collect();
+        let centroid = Point::new(3750.0, 400.0);
+        assert_equivalent(&cands, centroid, 1e-3, 1e11);
+        // Delay-dominated weights: the ring bound prunes nothing and the
+        // query degenerates to a full scan — still bit-identical.
+        assert_equivalent(&cands, centroid, 0.0, 1e12);
+    }
+}
+
+#[test]
+fn all_same_point_degenerate() {
+    for n in [1usize, 2, 3, 17, 64, 255] {
+        let cands = vec![
+            MatchCandidate {
+                location: Point::new(42.0, 17.0),
+                delay: 5e-12,
+            };
+            n
+        ];
+        assert_equivalent(&cands, Point::new(42.0, 17.0), 1e-3, 1e11);
+        assert_equivalent(&cands, Point::ORIGIN, 1e-3, 1e11);
+    }
+}
+
+fn candidate_strategy(max: usize) -> impl Strategy<Value = Vec<MatchCandidate>> {
+    // Wild but finite: coordinates across six orders of magnitude,
+    // negatives included, delays from zero to microseconds.
+    prop::collection::vec(
+        (
+            (-1.0e6..1.0e6f64),
+            (-1.0e6..1.0e6f64),
+            (0.0..1.0e-6f64),
+            (0.0..1.0f64), // quantizer selector: forces coincidences
+        ),
+        1..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, d, q)| {
+                // A third of the points snap to a coarse lattice so exact
+                // ties (same point, same cost) appear at every size.
+                let (x, y, d) = if q < 0.33 {
+                    (
+                        (x / 1e5).round() * 1e5,
+                        (y / 1e5).round() * 1e5,
+                        (d / 1e-7).round() * 1e-7,
+                    )
+                } else {
+                    (x, y, d)
+                };
+                MatchCandidate {
+                    location: Point::new(x, y),
+                    delay: d,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random candidate sets up to 512: the indexed matcher is
+    /// bit-identical to the brute scan under the default cost weights.
+    #[test]
+    fn indexed_equals_brute_up_to_512(cands in candidate_strategy(512)) {
+        let centroid = Point::new(1234.5, -9876.5);
+        assert_equivalent(&cands, centroid, 1e-3, 1e11);
+    }
+
+    /// Same, under adversarial weights (distance-only and delay-heavy).
+    #[test]
+    fn indexed_equals_brute_other_weights(cands in candidate_strategy(192)) {
+        let centroid = Point::ORIGIN;
+        assert_equivalent(&cands, centroid, 1.0, 0.0);
+        assert_equivalent(&cands, centroid, 1e-9, 1e12);
+    }
+}

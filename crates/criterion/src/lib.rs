@@ -62,6 +62,40 @@ impl Criterion {
         self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
+    /// Whether the harness is running under `cargo test` (`--test`):
+    /// benches that hand-measure one-shot workloads (too expensive for
+    /// the warmup-then-sample loop) check this to substitute a tiny
+    /// stand-in workload.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Records a single hand-timed measurement under `id`: printed and,
+    /// when `CTS_BENCH_JSON` is set, appended to the summary artifact
+    /// exactly like a looped measurement (`samples`/`iters_per_sample`
+    /// of 1 mark it as one-shot). For workloads where even one extra
+    /// execution is too expensive for the calibration loop — the caller
+    /// times one run with `Instant` and reports it here. Respects the
+    /// substring filter; no-op in test mode.
+    pub fn record_measurement(&mut self, id: &str, elapsed: Duration) {
+        if !self.enabled(id) {
+            return;
+        }
+        if self.test_mode {
+            println!("{id:<48} ok (test mode)");
+            return;
+        }
+        println!("{id:<48} one-shot {:>12}", fmt_duration(elapsed));
+        if let Ok(path) = std::env::var("CTS_BENCH_JSON") {
+            if !path.is_empty() {
+                let entry = summary_json(id, elapsed, elapsed, 1, 1);
+                if let Err(e) = append_json_entry(std::path::Path::new(&path), &entry) {
+                    eprintln!("warning: could not append bench summary to {path}: {e}");
+                }
+            }
+        }
+    }
+
     /// Runs one standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         if self.enabled(id) {
@@ -366,6 +400,21 @@ mod tests {
             "[\n{\"id\":\"grp/one\",\"median_ns\":1500,\"mean_ns\":1600,\"samples\":3,\"iters_per_sample\":7}\n,\n\
              {\"id\":\"grp/t\\\"wo\\\\\",\"median_ns\":2000,\"mean_ns\":2000,\"samples\":2,\"iters_per_sample\":1}\n]\n"
         );
+    }
+
+    #[test]
+    fn one_shot_measurements_are_recorded_and_filtered() {
+        let mut c = Criterion {
+            filter: Some("scale".into()),
+            test_mode: false,
+            measure: Duration::from_millis(1),
+            default_samples: 2,
+        };
+        // Filter mismatch: silently skipped (no JSON side effects even
+        // with the env var unset, this exercises the path).
+        c.record_measurement("other/thing", Duration::from_millis(3));
+        c.record_measurement("scale/one_shot", Duration::from_millis(3));
+        assert!(!c.is_test_mode());
     }
 
     #[test]

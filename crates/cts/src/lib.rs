@@ -80,11 +80,12 @@ pub use cts_timing as timing;
 
 pub use cts_core::{
     verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSubmitError, BatchSummary,
-    ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats, NodeKind,
-    RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics, ServiceOptions, Sink,
-    StagedSynthesis, SubmitError, SynthesisContext, SynthesisPipeline, SynthesisRequest,
-    SynthesisResult, SynthesisService, Synthesizer, Ticket, TimingEngine, TimingReport, TreeNode,
-    TreeNodeId, TreeStructureError, VerifiedTiming, Verifier, VerifyOptions, VerifyStats,
+    Buffering, ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats,
+    NodeKind, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,
+    ServiceOptions, Sink, StagedSynthesis, SubmitError, SynthesisContext, SynthesisPipeline,
+    SynthesisRequest, SynthesisResult, SynthesisService, Synthesizer, Ticket, TimingEngine,
+    TimingReport, TreeNode, TreeNodeId, TreeStructureError, VerifiedTiming, Verifier,
+    VerifyOptions, VerifyStats,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{BufferId, DelaySlewLibrary, Load};

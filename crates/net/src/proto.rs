@@ -18,7 +18,7 @@
 
 use crate::json::Json;
 use cts_core::{
-    ClockTree, CtsOptions, HCorrection, Instance, LevelStats, NodeKind, RequestStatus,
+    Buffering, ClockTree, CtsOptions, HCorrection, Instance, LevelStats, NodeKind, RequestStatus,
     ServiceError, ServiceMetrics, Sink, SynthesisResult, TreeNode, TreeNodeId,
 };
 use cts_geom::{Point, Rect};
@@ -257,6 +257,8 @@ pub struct OptionsPatch {
     pub h_correction: Option<HCorrection>,
     /// Overrides [`CtsOptions::threads`] (per-request merge parallelism).
     pub threads: Option<usize>,
+    /// Overrides [`CtsOptions::buffering`] (greedy vs van Ginneken).
+    pub buffering: Option<Buffering>,
 }
 
 impl OptionsPatch {
@@ -284,6 +286,9 @@ impl OptionsPatch {
         if let Some(t) = self.threads {
             o.threads = t;
         }
+        if let Some(b) = self.buffering {
+            o.buffering = b;
+        }
         o
     }
 
@@ -309,6 +314,13 @@ impl OptionsPatch {
         }
         if let Some(t) = self.threads {
             fields.push(("threads", Json::num(t as f64)));
+        }
+        if let Some(b) = self.buffering {
+            let s = match b {
+                Buffering::Greedy => "greedy",
+                Buffering::VanGinneken => "van_ginneken",
+            };
+            fields.push(("buffering", Json::str(s)));
         }
         Json::obj(fields)
     }
@@ -365,6 +377,17 @@ impl OptionsPatch {
                         .as_u64()
                         .ok_or_else(|| DecodeError::bad("'threads' must be an integer"))?;
                     patch.threads = Some(n as usize);
+                }
+                "buffering" => {
+                    patch.buffering = Some(match value.as_str() {
+                        Some("greedy") => Buffering::Greedy,
+                        Some("van_ginneken") => Buffering::VanGinneken,
+                        _ => {
+                            return Err(DecodeError::bad(
+                                "'buffering' must be \"greedy\" or \"van_ginneken\"",
+                            ))
+                        }
+                    })
                 }
                 other => return Err(DecodeError::bad(format!("unknown options key '{other}'"))),
             }
@@ -1139,6 +1162,10 @@ pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
                             ("stages_reused", Json::num(s.stages_reused as f64)),
                             ("symbolic_hits", Json::num(s.symbolic_hits as f64)),
                             ("symbolic_misses", Json::num(s.symbolic_misses as f64)),
+                            ("topology_seconds", Json::num(s.topology_seconds)),
+                            ("merge_seconds", Json::num(s.merge_seconds)),
+                            ("sinks_synthesized", Json::num(s.sinks_synthesized as f64)),
+                            ("sinks_verified", Json::num(s.sinks_verified as f64)),
                         ]),
                     ));
                 }
@@ -1257,9 +1284,10 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                     .and_then(Json::as_f64)
                     .ok_or("bad metrics seconds")
             };
-            // Verify-cache counters arrived after the v1 frames; default
-            // to zero when talking to an older server.
+            // Verify-cache and per-stage counters arrived after the v1
+            // frames; default to zero when talking to an older server.
             let opt_count = |key: &str| m.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let opt_seconds = |key: &str| m.get(key).and_then(Json::as_f64).unwrap_or(0.0);
             Response::Metrics(MetricsReply {
                 workers,
                 metrics: ServiceMetrics {
@@ -1275,6 +1303,10 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                     stages_reused: opt_count("stages_reused"),
                     symbolic_hits: opt_count("symbolic_hits"),
                     symbolic_misses: opt_count("symbolic_misses"),
+                    topology_seconds: opt_seconds("topology_seconds"),
+                    merge_seconds: opt_seconds("merge_seconds"),
+                    sinks_synthesized: opt_count("sinks_synthesized"),
+                    sinks_verified: opt_count("sinks_verified"),
                 },
             })
         }
@@ -1607,6 +1639,7 @@ mod tests {
             grid_resolution: Some(31),
             h_correction: Some(HCorrection::Correct),
             threads: Some(2),
+            buffering: Some(Buffering::VanGinneken),
         };
         let back = OptionsPatch::from_json(&patch.to_json()).unwrap();
         assert_eq!(back, patch);
@@ -1618,6 +1651,7 @@ mod tests {
         assert_eq!(applied.grid_resolution, 31);
         assert_eq!(applied.h_correction, HCorrection::Correct);
         assert_eq!(applied.threads, 2);
+        assert_eq!(applied.buffering, Buffering::VanGinneken);
         // Unset fields stay at base values.
         assert_eq!(applied.cost_alpha, base.cost_alpha);
 
@@ -1710,6 +1744,18 @@ mod tests {
         assert_eq!(reply.metrics.stages_reused, 0);
         assert_eq!(reply.metrics.symbolic_hits, 0);
         assert_eq!(reply.metrics.symbolic_misses, 0);
+        // Same for the per-stage throughput fields (arrived even later).
+        assert_eq!(reply.metrics.topology_seconds, 0.0);
+        assert_eq!(reply.metrics.merge_seconds, 0.0);
+        assert_eq!(reply.metrics.sinks_synthesized, 0);
+        assert_eq!(reply.metrics.sinks_verified, 0);
+    }
+
+    #[test]
+    fn options_patch_rejects_bad_buffering_value() {
+        let j = Json::parse(r#"{"buffering":"lazy"}"#).unwrap();
+        let err = OptionsPatch::from_json(&j).unwrap_err();
+        assert!(err.message.contains("buffering"), "{err}");
     }
 
     #[test]
@@ -1760,6 +1806,10 @@ mod tests {
                         stages_reused: 18,
                         symbolic_hits: 40,
                         symbolic_misses: 2,
+                        topology_seconds: 0.25,
+                        merge_seconds: 0.75,
+                        sinks_synthesized: 640,
+                        sinks_verified: 512,
                     },
                 }),
             ),

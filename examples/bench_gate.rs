@@ -14,9 +14,20 @@
 //! cargo run --release --example bench_gate -- BENCH_ci.json [BENCH_baseline.json]
 //! ```
 //!
+//! When the fresh file also carries `synth_scale` entries (the scale
+//! bench ran), two more rules apply:
+//!
+//! 3. the grid-indexed matcher must pair 100k roots at least **10x**
+//!    faster than the retained brute scan (this PR's headline claim —
+//!    both medians come from the same run, no normalization needed), and
+//! 4. the 10k/100k synthesis tiers must not regress more than **50%**
+//!    vs the baseline, calibration-normalized (a looser ceiling than the
+//!    verify rule because the scale tiers are one-shot measurements).
+//!
 //! A missing baseline file (first run on a branch) or a baseline without
 //! the verify entries (predating the bench) passes rule 2 with a notice;
-//! a malformed fresh file always fails.
+//! a fresh file without `synth_scale` entries (a verify-only run) passes
+//! rules 3–4 with a notice; a malformed fresh file always fails.
 
 use cts::net::Json;
 use std::process::ExitCode;
@@ -25,10 +36,19 @@ use std::process::ExitCode;
 const MIN_WARM_SPEEDUP: f64 = 5.0;
 /// Maximum tolerated growth of a calibration-normalized median.
 const MAX_REGRESSION: f64 = 1.20;
+/// Minimum brute/spatial pairing speedup at 100k roots.
+const MIN_MATCHING_SPEEDUP: f64 = 10.0;
+/// Regression ceiling for the one-shot scale tiers (noisier than the
+/// sampled verify medians, so a looser bound).
+const SCALE_MAX_REGRESSION: f64 = 1.50;
 
 const COLD: &str = "verify_512sinks/cold";
 const WARM: &str = "verify_512sinks/warm";
 const CALIBRATION: &str = "verify_512sinks/calibration";
+const MATCH_BRUTE: &str = "synth_scale/matching_100k_brute";
+const MATCH_SPATIAL: &str = "synth_scale/matching_100k_spatial";
+const SCALE_CALIBRATION: &str = "synth_scale/calibration";
+const SCALE_TIERS: [&str; 2] = ["synth_scale/synth_10000", "synth_scale/synth_100000"];
 
 /// `median_ns` of the entry with `id`, if present.
 fn median_ns(entries: &Json, id: &str) -> Option<f64> {
@@ -86,6 +106,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Rule 3: the scale bench's pairing speedup, when that bench ran.
+    match (
+        median_ns(&fresh, MATCH_BRUTE),
+        median_ns(&fresh, MATCH_SPATIAL),
+    ) {
+        (Some(brute), Some(spatial)) => {
+            let pairing = brute / spatial;
+            println!(
+                "bench_gate: matching at 100k roots: brute {:.2} s, spatial {:.1} ms — \
+                 {pairing:.0}x speedup (floor {MIN_MATCHING_SPEEDUP}x)",
+                brute / 1e9,
+                spatial / 1e6
+            );
+            if pairing < MIN_MATCHING_SPEEDUP {
+                eprintln!(
+                    "bench_gate: FAIL — indexed matching must pair 100k roots at least \
+                     {MIN_MATCHING_SPEEDUP}x faster than the brute scan"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => println!(
+            "bench_gate: {fresh_path} lacks the {MATCH_BRUTE}/{MATCH_SPATIAL} entries \
+             (verify-only run); skipping the matching-speedup floor"
+        ),
+    }
+
     let Some(baseline_path) = baseline_path else {
         println!("bench_gate: no baseline given; skipping the regression check");
         return ExitCode::SUCCESS;
@@ -123,8 +170,41 @@ fn main() -> ExitCode {
             ok = false;
         }
     }
+    // Rule 4: scale-tier regression, when both runs carry the entries.
+    match (
+        median_ns(&fresh, SCALE_CALIBRATION),
+        median_ns(&baseline, SCALE_CALIBRATION),
+    ) {
+        (Some(s_calib), Some(bs_calib)) => {
+            for tier in SCALE_TIERS {
+                let (Some(now), Some(was)) = (median_ns(&fresh, tier), median_ns(&baseline, tier))
+                else {
+                    println!("bench_gate: {tier} missing on one side; skipping");
+                    continue;
+                };
+                let ratio = (now / s_calib) / (was / bs_calib);
+                println!(
+                    "bench_gate: {tier} calibration-normalized ratio vs baseline: {ratio:.3} \
+                     (ceiling {SCALE_MAX_REGRESSION})"
+                );
+                if ratio > SCALE_MAX_REGRESSION {
+                    eprintln!(
+                        "bench_gate: FAIL — {tier} synthesis throughput regressed more than \
+                         {:.0}% vs the committed baseline",
+                        (SCALE_MAX_REGRESSION - 1.0) * 100.0
+                    );
+                    ok = false;
+                }
+            }
+        }
+        _ => println!(
+            "bench_gate: {SCALE_CALIBRATION} missing on one side; \
+             skipping the scale-tier regression check"
+        ),
+    }
+
     if ok {
-        println!("bench_gate: verify throughput within bounds ✓");
+        println!("bench_gate: benchmark throughput within bounds ✓");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

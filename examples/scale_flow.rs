@@ -1,0 +1,72 @@
+//! Scale smoke: synthesize a synthetic scale-tier instance end to end
+//! (unverified — SPICE verification of 10⁵+ sinks is a batch job, not a
+//! smoke test) and report throughput, split by pipeline stage.
+//!
+//! Exits non-zero when a wall-clock budget is given and exceeded, which
+//! is how CI pins "a 100k-sink instance synthesizes inside the budget":
+//! ```sh
+//! cargo run --release --example scale_flow -- 100000 300
+//! cargo run --release --example scale_flow -- 1000000        # no budget
+//! ```
+
+use cts::benchmarks::generate_scale;
+use cts::timing::fast_library;
+use cts::{CtsOptions, Synthesizer};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_sinks: usize = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "100000".into())
+        .parse()
+        .map_err(|e| format!("sink count: {e}"))?;
+    let budget_secs: Option<f64> = match std::env::args().nth(2) {
+        Some(s) => Some(s.parse().map_err(|e| format!("budget seconds: {e}"))?),
+        None => None,
+    };
+
+    let t0 = Instant::now();
+    let instance = generate_scale(n_sinks, 0x5ca1e);
+    println!(
+        "generated {} ({} sinks, {:.0} µm die) in {:.2} s",
+        instance.name(),
+        instance.sinks().len(),
+        instance.die().width(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut options = CtsOptions::default();
+    options.threads = 1;
+    let synth = Synthesizer::new(fast_library(), options);
+    let t1 = Instant::now();
+    let result = synth.synthesize_unverified(&instance)?;
+    let elapsed = t1.elapsed().as_secs_f64();
+
+    println!(
+        "synthesized {} sinks in {elapsed:.2} s ({:.0} sinks/s)",
+        n_sinks,
+        n_sinks as f64 / elapsed
+    );
+    println!(
+        "  stage split: topology {:.2} s ({:.0} sinks/s), merge {:.2} s ({:.0} sinks/s)",
+        result.topology_seconds,
+        n_sinks as f64 / result.topology_seconds.max(1e-12),
+        result.merge_seconds,
+        n_sinks as f64 / result.merge_seconds.max(1e-12),
+    );
+    println!(
+        "  tree: {} nodes, {} buffers, est. latency {:.3} ns",
+        result.tree.len(),
+        result.buffers,
+        result.report.latency * 1e9
+    );
+
+    if let Some(budget) = budget_secs {
+        if elapsed > budget {
+            eprintln!("FAIL: {elapsed:.2} s exceeds the {budget:.0} s budget");
+            std::process::exit(1);
+        }
+        println!("within budget ({elapsed:.2} s <= {budget:.0} s)");
+    }
+    Ok(())
+}
