@@ -34,10 +34,12 @@ use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::pipeline::LevelStats;
+use crate::variation::VariationSummary;
 use crate::verify::{VerifiedTiming, Verifier, VerifyOptions};
 use cts_spice::Technology;
-use cts_timing::DelaySlewLibrary;
+use cts_timing::{library_fingerprint, CornerLibraryCache, DelaySlewLibrary};
 use cts_util::{resolve_threads, run_parallel_with, run_two_stage};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Options controlling batch execution. Orthogonal to [`CtsOptions`]: the
@@ -84,6 +86,10 @@ pub struct BatchItem {
     pub result: CtsResult,
     /// SPICE-verified timing, when verification is enabled.
     pub verified: Option<VerifiedTiming>,
+    /// Monte Carlo corner distribution, when
+    /// [`CtsOptions::variation`](crate::CtsOptions) is enabled for this
+    /// instance. Bit-identical across shard counts and overlap settings.
+    pub variation: Option<VariationSummary>,
     /// Wall time of the synthesis stage (s).
     pub synth_seconds: f64,
     /// Wall time of the verification stage (s); `0` when skipped.
@@ -190,6 +196,10 @@ impl BatchSummary {
 pub struct StagedSynthesis {
     /// The synthesized tree and engine-estimated metrics.
     pub result: CtsResult,
+    /// Monte Carlo corner distribution, when the instance's options
+    /// enable variation. Corners are evaluated in the synthesis stage —
+    /// they query the (perturbed) library, not the SPICE simulator.
+    pub variation: Option<VariationSummary>,
     /// Wall time the synthesis stage took (s).
     pub synth_seconds: f64,
 }
@@ -238,6 +248,13 @@ pub struct BatchRunner<'a> {
     synth: Synthesizer<'a>,
     tech: &'a Technology,
     batch: BatchOptions,
+    /// Shared per-corner library derivations; see
+    /// [`BatchRunner::with_corner_cache`].
+    corner_cache: Arc<CornerLibraryCache>,
+    /// Fingerprint of the base library, computed on first variation use
+    /// (serializing the library is not free, and most batches never
+    /// enable the axis). Shared across clones of this runner.
+    base_fp: Arc<OnceLock<u64>>,
 }
 
 impl<'a> BatchRunner<'a> {
@@ -252,7 +269,24 @@ impl<'a> BatchRunner<'a> {
             synth: Synthesizer::new(lib, options),
             tech,
             batch,
+            corner_cache: Arc::new(CornerLibraryCache::new()),
+            base_fp: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Replaces the corner-library cache with a caller-owned one, so a
+    /// long-lived host (the synthesis service) keeps derived corner
+    /// libraries warm across batches and can surface hit/miss counts in
+    /// its metrics. The cache never affects results — it memoizes a pure
+    /// derivation.
+    pub fn with_corner_cache(mut self, cache: Arc<CornerLibraryCache>) -> BatchRunner<'a> {
+        self.corner_cache = cache;
+        self
+    }
+
+    /// The corner-library cache in use (shared with clones).
+    pub fn corner_cache(&self) -> &Arc<CornerLibraryCache> {
+        &self.corner_cache
     }
 
     /// The per-instance synthesizer in effect.
@@ -263,6 +297,12 @@ impl<'a> BatchRunner<'a> {
     /// The batch options in effect.
     pub fn batch_options(&self) -> &BatchOptions {
         &self.batch
+    }
+
+    fn base_fingerprint(&self) -> u64 {
+        *self
+            .base_fp
+            .get_or_init(|| library_fingerprint(self.synth.library()))
     }
 
     /// The synthesis stage for one instance: builds the tree with the
@@ -284,8 +324,10 @@ impl<'a> BatchRunner<'a> {
     ) -> Result<StagedSynthesis, CtsError> {
         let t0 = Instant::now();
         let result = self.synth.synthesize_unverified_with(instance, scratch)?;
+        let variation = self.corner_stage(&self.synth, instance, &result)?;
         Ok(StagedSynthesis {
             result,
+            variation,
             synth_seconds: t0.elapsed().as_secs_f64(),
         })
     }
@@ -306,14 +348,33 @@ impl<'a> BatchRunner<'a> {
         options: CtsOptions,
     ) -> Result<StagedSynthesis, CtsError> {
         let t0 = Instant::now();
-        let result = self
-            .synth
-            .with_options(options)
-            .synthesize_unverified_with(instance, scratch)?;
+        let synth = self.synth.with_options(options);
+        let result = synth.synthesize_unverified_with(instance, scratch)?;
+        let variation = self.corner_stage(&synth, instance, &result)?;
         Ok(StagedSynthesis {
             result,
+            variation,
             synth_seconds: t0.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Expands a finished synthesis into its variation corners (a no-op
+    /// returning `None` when the effective options leave the axis off).
+    fn corner_stage(
+        &self,
+        synth: &Synthesizer<'a>,
+        instance: &Instance,
+        result: &CtsResult,
+    ) -> Result<Option<VariationSummary>, CtsError> {
+        if synth.options().variation.corners == 0 {
+            return Ok(None);
+        }
+        synth.evaluate_variation_with(
+            instance,
+            result,
+            &self.corner_cache,
+            self.base_fingerprint(),
+        )
     }
 
     /// The finishing stage for one instance: SPICE verification (when
@@ -349,6 +410,7 @@ impl<'a> BatchRunner<'a> {
     ) -> Result<BatchItem, CtsError> {
         let StagedSynthesis {
             result,
+            variation,
             synth_seconds,
         } = staged;
         let (verified, verify_seconds) = if self.batch.verify {
@@ -365,6 +427,7 @@ impl<'a> BatchRunner<'a> {
             sinks: instance.sinks().len(),
             result,
             verified,
+            variation,
             synth_seconds,
             verify_seconds,
         })
@@ -524,6 +587,45 @@ mod tests {
             .sum();
         let pairs_agg: usize = s.level_stats.iter().map(|ls| ls.pairs).sum();
         assert_eq!(pairs_direct, pairs_agg);
+    }
+
+    #[test]
+    fn variation_corners_ride_along_and_match_serial() {
+        use cts_timing::library_fingerprint;
+
+        let tech = Technology::nominal_45nm();
+        let suite = tiny_suite(3);
+        let mut opts = options();
+        opts.variation.corners = 6;
+        opts.variation.seed = 99;
+        opts.variation.sigma_buffer = 0.1;
+        let mut batch = BatchOptions::default();
+        batch.verify = false;
+        batch.shards = 2;
+        let runner = BatchRunner::new(fast_library(), &tech, opts.clone(), batch);
+        let out = runner.run(&suite).unwrap();
+
+        let serial = Synthesizer::new(fast_library(), opts);
+        let cache = cts_timing::CornerLibraryCache::new();
+        let fp = library_fingerprint(fast_library());
+        for (item, inst) in out.items.iter().zip(&suite) {
+            let nominal = serial.synthesize_unverified(inst).unwrap();
+            let reference = serial
+                .evaluate_variation_with(inst, &nominal, &cache, fp)
+                .unwrap()
+                .expect("variation enabled");
+            assert_eq!(item.variation.as_ref(), Some(&reference));
+            assert_eq!(reference.corners, 6);
+            assert!(reference.rows.iter().all(|r| !r.resynthesized));
+        }
+        // 3 instances × 6 corners = 18 lookups against 6 distinct keys.
+        // Racing shards may both derive a key before either inserts it,
+        // so only bounds are exact: at least one miss per distinct key,
+        // and hits account for the rest.
+        let (hits, misses) = (runner.corner_cache().hits(), runner.corner_cache().misses());
+        assert_eq!(hits + misses, 18);
+        assert!((6..=18).contains(&misses), "misses: {misses}");
+        assert_eq!(runner.corner_cache().len(), 6);
     }
 
     #[test]

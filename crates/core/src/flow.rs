@@ -83,6 +83,12 @@ impl<'a> Synthesizer<'a> {
         &self.options
     }
 
+    /// The delay library this synthesizer queries (the *base* library of
+    /// the variation axis).
+    pub(crate) fn library(&self) -> &'a DelaySlewLibrary {
+        self.lib
+    }
+
     /// A synthesizer over the same library with different options — the
     /// hook that lets a long-running service honor per-request option
     /// overrides without re-characterizing anything (the expensive state

@@ -25,6 +25,9 @@
 //!   streams with cooperative cancellation, and graceful draining
 //!   shutdown, so many clients share one process and one characterized
 //!   library;
+//! * [`VariationSummary`] — the Monte Carlo variation axis: evaluate each
+//!   instance under N deterministically perturbed libraries and fold the
+//!   corners into a yield-style skew/slew/latency distribution;
 //! * [`baseline`] — unbuffered zero-skew DME and merge-node-only buffering
 //!   for comparisons and ablations.
 //!
@@ -49,6 +52,7 @@ pub mod spatial;
 pub mod topology;
 mod tree;
 mod vanginneken;
+pub mod variation;
 pub mod verify;
 
 pub use batch::{BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSummary, StagedSynthesis};
@@ -57,11 +61,12 @@ pub use flow::{CtsResult, Synthesizer};
 pub use hcorrect::{merge_with_correction, merge_with_correction_with, CorrectedMerge};
 pub use instance::{Instance, Sink};
 pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
-pub use options::{Buffering, CtsError, CtsOptions, HCorrection};
+pub use options::{Buffering, CtsError, CtsOptions, HCorrection, Variation, VariationMode};
 pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
 pub use service::{
     BatchSubmitError, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,
     ServiceOptions, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
 };
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId, TreeStructureError};
+pub use variation::{CornerRow, DistStats, VariationSummary};
 pub use verify::{verify_tree, VerifiedTiming, Verifier, VerifyOptions, VerifyStats};

@@ -52,6 +52,75 @@ impl fmt::Display for Buffering {
     }
 }
 
+/// How each variation corner re-evaluates an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VariationMode {
+    /// Keep the nominal synthesized tree and re-time it under each
+    /// perturbed library: the perturbation only shifts verification.
+    /// Cheap — one synthesis plus N timing evaluations.
+    #[default]
+    Evaluate,
+    /// Re-run full synthesis under each perturbed library, so corners
+    /// where the perturbation changes buffer-insertion decisions get
+    /// the tree those decisions produce. N full syntheses.
+    Resynthesize,
+}
+
+impl fmt::Display for VariationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariationMode::Evaluate => write!(f, "evaluate"),
+            VariationMode::Resynthesize => write!(f, "resynthesize"),
+        }
+    }
+}
+
+/// The Monte Carlo variation axis: how many perturbed-library corners
+/// to evaluate per instance, and how the perturbation is drawn.
+///
+/// The default is off (`corners == 0`). With `corners == N`, every
+/// synthesized instance is additionally evaluated under N libraries
+/// derived from the base library by `cts_timing::perturb_library`,
+/// corner `k` using the stream seed `corner_seed(seed, k)`. The sigmas
+/// are relative half-widths (`0.1` = up to ±10 %) applied per parameter
+/// class. Results fold into a `VariationSummary` whose bytes are
+/// identical for every shard/worker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variation {
+    /// Number of corners to evaluate per instance; `0` disables the axis.
+    pub corners: usize,
+    /// Base seed of the per-corner perturbation streams.
+    pub seed: u64,
+    /// Relative half-width on buffer intrinsic-delay surfaces.
+    pub sigma_buffer: f64,
+    /// Relative half-width on wire-delay surfaces.
+    pub sigma_wire: f64,
+    /// Relative half-width on slew surfaces.
+    pub sigma_slew: f64,
+    /// Whether corners re-time the nominal tree or re-synthesize.
+    pub mode: VariationMode,
+}
+
+impl Default for Variation {
+    fn default() -> Variation {
+        Variation {
+            corners: 0,
+            seed: 0,
+            sigma_buffer: 0.05,
+            sigma_wire: 0.05,
+            sigma_slew: 0.05,
+            mode: VariationMode::Evaluate,
+        }
+    }
+}
+
+impl Variation {
+    /// Upper bound on `corners` accepted by validation — far above any
+    /// practical Monte Carlo budget, low enough to catch a garbage
+    /// value before it turns into a multi-day service job.
+    pub const MAX_CORNERS: usize = 100_000;
+}
+
 /// Options controlling the buffered CTS flow.
 ///
 /// Defaults reproduce the paper's experimental setup: 100 ps slew limit
@@ -91,6 +160,9 @@ pub struct CtsOptions {
     /// merges build detached sub-forests that are grafted back in
     /// deterministic pair order.
     pub threads: usize,
+    /// Monte Carlo corner evaluation under perturbed libraries; off by
+    /// default (`corners == 0`).
+    pub variation: Variation,
 }
 
 impl Default for CtsOptions {
@@ -109,6 +181,7 @@ impl Default for CtsOptions {
             binary_search_tol: 0.05e-12,
             binary_search_iters: 24,
             threads: 0,
+            variation: Variation::default(),
         }
     }
 }
@@ -142,6 +215,22 @@ impl CtsOptions {
         }
         if self.binary_search_iters == 0 {
             return bad("binary_search_iters must be positive".into());
+        }
+        if self.variation.corners > Variation::MAX_CORNERS {
+            return bad(format!(
+                "variation.corners ({}) exceeds the maximum of {}",
+                self.variation.corners,
+                Variation::MAX_CORNERS
+            ));
+        }
+        for (name, s) in [
+            ("sigma_buffer", self.variation.sigma_buffer),
+            ("sigma_wire", self.variation.sigma_wire),
+            ("sigma_slew", self.variation.sigma_slew),
+        ] {
+            if !s.is_finite() || !(0.0..=0.5).contains(&s) {
+                return bad(format!("variation.{name} must be in [0, 0.5], got {s}"));
+            }
         }
         Ok(())
     }
@@ -231,6 +320,30 @@ mod tests {
         assert_eq!(Buffering::default(), Buffering::Greedy);
         assert_eq!(Buffering::Greedy.to_string(), "greedy");
         assert_eq!(Buffering::VanGinneken.to_string(), "van Ginneken");
+    }
+
+    #[test]
+    fn variation_defaults_off_and_validate() {
+        let o = CtsOptions::default();
+        assert_eq!(o.variation.corners, 0);
+        assert_eq!(o.variation.mode, VariationMode::Evaluate);
+        assert!(o.validate().is_ok());
+
+        let mut bad = o.clone();
+        bad.variation.sigma_wire = 0.9;
+        assert!(matches!(bad.validate(), Err(CtsError::BadOptions(_))));
+        let mut bad = o.clone();
+        bad.variation.sigma_slew = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = o;
+        bad.variation.corners = Variation::MAX_CORNERS + 1;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn variation_mode_display() {
+        assert_eq!(VariationMode::Evaluate.to_string(), "evaluate");
+        assert_eq!(VariationMode::Resynthesize.to_string(), "resynthesize");
     }
 
     #[test]

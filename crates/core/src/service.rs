@@ -92,7 +92,7 @@ use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::verify::{Verifier, VerifyOptions, VerifyStats};
 use cts_spice::Technology;
-use cts_timing::DelaySlewLibrary;
+use cts_timing::{CornerLibraryCache, DelaySlewLibrary};
 use cts_util::{resolve_threads, run_two_stage_pull, Pull};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -371,6 +371,7 @@ struct Counters {
     merge_nanos: AtomicU64,
     sinks_synthesized: AtomicU64,
     sinks_verified: AtomicU64,
+    corners_evaluated: AtomicU64,
     stages_simulated: AtomicU64,
     stages_reused: AtomicU64,
     symbolic_hits: AtomicU64,
@@ -459,6 +460,14 @@ pub struct ServiceMetrics {
     /// Total sinks across all completed verification stages (0 when the
     /// service runs with verification off).
     pub sinks_verified: u64,
+    /// Variation corners evaluated across all completed synthesis stages
+    /// (0 when no request enables the variation axis).
+    pub corners_evaluated: u64,
+    /// Corner-library derivations served from the service's shared
+    /// derivation cache.
+    pub corner_lib_hits: u64,
+    /// Corner-library derivations that had to run (cache misses).
+    pub corner_lib_misses: u64,
 }
 
 impl ServiceMetrics {
@@ -493,7 +502,8 @@ impl fmt::Display for ServiceMetrics {
             f,
             "submitted {} | completed {} | cancelled {} | expired {} | failed {} | \
              queued {} | synth {:.3} s | verify {:.3} s | stages {} sim / {} reused | \
-             symbolic {} hit / {} miss | sinks/s: topology {:.0}, merge {:.0}, verify {:.0}",
+             symbolic {} hit / {} miss | sinks/s: topology {:.0}, merge {:.0}, verify {:.0} | \
+             corners {} ({} hit / {} miss)",
             self.submitted,
             self.completed,
             self.cancelled,
@@ -508,7 +518,10 @@ impl fmt::Display for ServiceMetrics {
             self.symbolic_misses,
             self.topology_sinks_per_second(),
             self.merge_sinks_per_second(),
-            self.verify_sinks_per_second()
+            self.verify_sinks_per_second(),
+            self.corners_evaluated,
+            self.corner_lib_hits,
+            self.corner_lib_misses
         )
     }
 }
@@ -813,6 +826,10 @@ pub struct SynthesisService {
     engine: Mutex<Option<JoinHandle<()>>>,
     workers: usize,
     counters: Arc<Counters>,
+    /// Shared with the engine's batch runner; held here so
+    /// [`SynthesisService::metrics`] can report derivation hit/miss
+    /// counts.
+    corner_cache: Arc<CornerLibraryCache>,
     options: CtsOptions,
 }
 
@@ -849,9 +866,11 @@ impl SynthesisService {
             capacity,
         });
         let counters = Arc::new(Counters::default());
+        let corner_cache = Arc::new(CornerLibraryCache::new());
         let base_options = options.clone();
         let engine_queue = Arc::clone(&queue);
         let engine_counters = Arc::clone(&counters);
+        let engine_corner_cache = Arc::clone(&corner_cache);
         let engine = std::thread::Builder::new()
             .name("cts-service-engine".into())
             .spawn(move || {
@@ -864,6 +883,7 @@ impl SynthesisService {
                     service.verify,
                     service.verify_options,
                     workers,
+                    engine_corner_cache,
                 )
             })
             .expect("spawning the service engine thread");
@@ -872,6 +892,7 @@ impl SynthesisService {
             engine: Mutex::new(Some(engine)),
             workers,
             counters,
+            corner_cache,
             options: base_options,
         }
     }
@@ -905,6 +926,9 @@ impl SynthesisService {
             merge_seconds: c.merge_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             sinks_synthesized: c.sinks_synthesized.load(Ordering::Relaxed),
             sinks_verified: c.sinks_verified.load(Ordering::Relaxed),
+            corners_evaluated: c.corners_evaluated.load(Ordering::Relaxed),
+            corner_lib_hits: self.corner_cache.hits(),
+            corner_lib_misses: self.corner_cache.misses(),
         }
     }
 
@@ -1170,6 +1194,7 @@ fn engine_loop(
     verify: bool,
     verify_options: VerifyOptions,
     workers: usize,
+    corner_cache: Arc<CornerLibraryCache>,
 ) {
     let batch = BatchOptions {
         shards: workers, // informational; scheduling is the pull source's
@@ -1177,7 +1202,7 @@ fn engine_loop(
         verify,
         verify_options,
     };
-    let runner = BatchRunner::new(&lib, &tech, options, batch);
+    let runner = BatchRunner::new(&lib, &tech, options, batch).with_corner_cache(corner_cache);
     let dispatch = AtomicU64::new(0);
     run_two_stage_pull(
         workers,
@@ -1207,6 +1232,11 @@ fn engine_loop(
                     counters
                         .sinks_synthesized
                         .fetch_add(job.instance.sinks().len() as u64, Ordering::Relaxed);
+                    if let Some(v) = &staged.variation {
+                        counters
+                            .corners_evaluated
+                            .fetch_add(v.rows.len() as u64, Ordering::Relaxed);
+                    }
                     Some((staged, order))
                 }
                 Err(e) => {
@@ -1633,6 +1663,53 @@ mod tests {
             warm.symbolic_misses, cold.symbolic_misses,
             "plan cache already holds every topology"
         );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn variation_corners_counted_and_match_serial() {
+        use cts_timing::library_fingerprint;
+
+        let mut var_opts = options();
+        var_opts.variation.corners = 5;
+        var_opts.variation.seed = 31;
+        var_opts.variation.sigma_wire = 0.12;
+
+        let svc = service(1, 8, false, false);
+        let inst = tiny("mc", 5, 1600.0);
+        // Two identical requests: the second's corner libraries all come
+        // from the shared cache.
+        let a = svc
+            .submit(SynthesisRequest::new(inst.clone()).with_options(var_opts.clone()))
+            .unwrap()
+            .wait()
+            .expect("first variation request");
+        let b = svc
+            .submit(SynthesisRequest::new(inst.clone()).with_options(var_opts.clone()))
+            .unwrap()
+            .wait()
+            .expect("second variation request");
+
+        let serial = Synthesizer::new(fast_library(), var_opts);
+        let nominal = serial.synthesize_unverified(&inst).unwrap();
+        let reference = serial
+            .evaluate_variation_with(
+                &inst,
+                &nominal,
+                &CornerLibraryCache::new(),
+                library_fingerprint(fast_library()),
+            )
+            .unwrap()
+            .expect("variation enabled");
+        assert_eq!(a.item.variation.as_ref(), Some(&reference));
+        assert_eq!(b.item.variation, a.item.variation);
+
+        let m = svc.metrics();
+        assert_eq!(m.corners_evaluated, 10);
+        // One worker: no derivation races, counts are exact.
+        assert_eq!(m.corner_lib_misses, 5);
+        assert_eq!(m.corner_lib_hits, 5);
+        assert!(m.to_string().contains("corners 10 (5 hit / 5 miss)"));
         svc.shutdown();
     }
 

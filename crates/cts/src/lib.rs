@@ -80,15 +80,18 @@ pub use cts_timing as timing;
 
 pub use cts_core::{
     verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSubmitError, BatchSummary,
-    Buffering, ClockTree, CtsError, CtsOptions, CtsResult, HCorrection, Instance, LevelStats,
-    NodeKind, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,
-    ServiceOptions, Sink, StagedSynthesis, SubmitError, SynthesisContext, SynthesisPipeline,
-    SynthesisRequest, SynthesisResult, SynthesisService, Synthesizer, Ticket, TimingEngine,
-    TimingReport, TreeNode, TreeNodeId, TreeStructureError, VerifiedTiming, Verifier,
-    VerifyOptions, VerifyStats,
+    Buffering, ClockTree, CornerRow, CtsError, CtsOptions, CtsResult, DistStats, HCorrection,
+    Instance, LevelStats, NodeKind, RequestHandle, RequestId, RequestStatus, ServiceError,
+    ServiceMetrics, ServiceOptions, Sink, StagedSynthesis, SubmitError, SynthesisContext,
+    SynthesisPipeline, SynthesisRequest, SynthesisResult, SynthesisService, Synthesizer, Ticket,
+    TimingEngine, TimingReport, TreeNode, TreeNodeId, TreeStructureError, Variation, VariationMode,
+    VariationSummary, VerifiedTiming, Verifier, VerifyOptions, VerifyStats,
 };
 pub use cts_spice::Technology;
-pub use cts_timing::{BufferId, DelaySlewLibrary, Load};
+pub use cts_timing::{
+    corner_seed, library_fingerprint, perturb_library, BufferId, CornerLibraryCache,
+    DelaySlewLibrary, Load, PerturbSigma,
+};
 
 #[cfg(test)]
 mod tests {

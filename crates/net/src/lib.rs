@@ -72,7 +72,7 @@ pub use client::{Client, NetError, ServerInfo, SubmitParams};
 pub use json::{Json, JsonError};
 pub use proto::{
     BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteResult, RemoteTree,
-    ResultEvent, TimingStats, TreeChunkEvent, TreeDoneEvent, TreeEvent, TreeInfo,
+    ResultEvent, TimingStats, TreeChunkEvent, TreeDoneEvent, TreeEvent, TreeInfo, VariationStats,
     DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerHandle};

@@ -18,8 +18,9 @@
 
 use crate::json::Json;
 use cts_core::{
-    Buffering, ClockTree, CtsOptions, HCorrection, Instance, LevelStats, NodeKind, RequestStatus,
-    ServiceError, ServiceMetrics, Sink, SynthesisResult, TreeNode, TreeNodeId,
+    Buffering, ClockTree, CtsOptions, DistStats, HCorrection, Instance, LevelStats, NodeKind,
+    RequestStatus, ServiceError, ServiceMetrics, Sink, SynthesisResult, TreeNode, TreeNodeId,
+    VariationMode, VariationSummary,
 };
 use cts_geom::{Point, Rect};
 use cts_timing::BufferId;
@@ -259,6 +260,19 @@ pub struct OptionsPatch {
     pub threads: Option<usize>,
     /// Overrides [`CtsOptions::buffering`] (greedy vs van Ginneken).
     pub buffering: Option<Buffering>,
+    /// Overrides the variation corner count
+    /// (`CtsOptions::variation.corners`); `0` turns the axis off.
+    pub variation_corners: Option<usize>,
+    /// Overrides the variation stream seed (`variation.seed`).
+    pub variation_seed: Option<u64>,
+    /// Overrides `variation.sigma_buffer` (relative half-width).
+    pub variation_sigma_buffer: Option<f64>,
+    /// Overrides `variation.sigma_wire`.
+    pub variation_sigma_wire: Option<f64>,
+    /// Overrides `variation.sigma_slew`.
+    pub variation_sigma_slew: Option<f64>,
+    /// Overrides `variation.mode` (evaluate vs resynthesize).
+    pub variation_mode: Option<VariationMode>,
 }
 
 impl OptionsPatch {
@@ -288,6 +302,24 @@ impl OptionsPatch {
         }
         if let Some(b) = self.buffering {
             o.buffering = b;
+        }
+        if let Some(n) = self.variation_corners {
+            o.variation.corners = n;
+        }
+        if let Some(s) = self.variation_seed {
+            o.variation.seed = s;
+        }
+        if let Some(v) = self.variation_sigma_buffer {
+            o.variation.sigma_buffer = v;
+        }
+        if let Some(v) = self.variation_sigma_wire {
+            o.variation.sigma_wire = v;
+        }
+        if let Some(v) = self.variation_sigma_slew {
+            o.variation.sigma_slew = v;
+        }
+        if let Some(m) = self.variation_mode {
+            o.variation.mode = m;
         }
         o
     }
@@ -321,6 +353,28 @@ impl OptionsPatch {
                 Buffering::VanGinneken => "van_ginneken",
             };
             fields.push(("buffering", Json::str(s)));
+        }
+        if let Some(n) = self.variation_corners {
+            fields.push(("variation_corners", Json::num(n as f64)));
+        }
+        if let Some(s) = self.variation_seed {
+            fields.push(("variation_seed", Json::num(s as f64)));
+        }
+        if let Some(v) = self.variation_sigma_buffer {
+            fields.push(("variation_sigma_buffer", Json::num(v)));
+        }
+        if let Some(v) = self.variation_sigma_wire {
+            fields.push(("variation_sigma_wire", Json::num(v)));
+        }
+        if let Some(v) = self.variation_sigma_slew {
+            fields.push(("variation_sigma_slew", Json::num(v)));
+        }
+        if let Some(m) = self.variation_mode {
+            let s = match m {
+                VariationMode::Evaluate => "evaluate",
+                VariationMode::Resynthesize => "resynthesize",
+            };
+            fields.push(("variation_mode", Json::str(s)));
         }
         Json::obj(fields)
     }
@@ -385,6 +439,46 @@ impl OptionsPatch {
                         _ => {
                             return Err(DecodeError::bad(
                                 "'buffering' must be \"greedy\" or \"van_ginneken\"",
+                            ))
+                        }
+                    })
+                }
+                "variation_corners" => {
+                    let n = value.as_u64().ok_or_else(|| {
+                        DecodeError::bad("'variation_corners' must be an integer")
+                    })?;
+                    patch.variation_corners = Some(n as usize);
+                }
+                "variation_seed" => {
+                    // JSON numbers are doubles: seeds are exact up to 2^53,
+                    // which as_u64 enforces.
+                    let s = value
+                        .as_u64()
+                        .ok_or_else(|| DecodeError::bad("'variation_seed' must be an integer"))?;
+                    patch.variation_seed = Some(s);
+                }
+                "variation_sigma_buffer" => {
+                    patch.variation_sigma_buffer = Some(value.as_f64().ok_or_else(|| {
+                        DecodeError::bad("'variation_sigma_buffer' must be a number")
+                    })?);
+                }
+                "variation_sigma_wire" => {
+                    patch.variation_sigma_wire = Some(value.as_f64().ok_or_else(|| {
+                        DecodeError::bad("'variation_sigma_wire' must be a number")
+                    })?);
+                }
+                "variation_sigma_slew" => {
+                    patch.variation_sigma_slew = Some(value.as_f64().ok_or_else(|| {
+                        DecodeError::bad("'variation_sigma_slew' must be a number")
+                    })?);
+                }
+                "variation_mode" => {
+                    patch.variation_mode = Some(match value.as_str() {
+                        Some("evaluate") => VariationMode::Evaluate,
+                        Some("resynthesize") => VariationMode::Resynthesize,
+                        _ => {
+                            return Err(DecodeError::bad(
+                                "'variation_mode' must be \"evaluate\" or \"resynthesize\"",
                             ))
                         }
                     })
@@ -1166,6 +1260,9 @@ pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
                             ("merge_seconds", Json::num(s.merge_seconds)),
                             ("sinks_synthesized", Json::num(s.sinks_synthesized as f64)),
                             ("sinks_verified", Json::num(s.sinks_verified as f64)),
+                            ("corners_evaluated", Json::num(s.corners_evaluated as f64)),
+                            ("corner_lib_hits", Json::num(s.corner_lib_hits as f64)),
+                            ("corner_lib_misses", Json::num(s.corner_lib_misses as f64)),
                         ]),
                     ));
                 }
@@ -1307,6 +1404,9 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                     merge_seconds: opt_seconds("merge_seconds"),
                     sinks_synthesized: opt_count("sinks_synthesized"),
                     sinks_verified: opt_count("sinks_verified"),
+                    corners_evaluated: opt_count("corners_evaluated"),
+                    corner_lib_hits: opt_count("corner_lib_hits"),
+                    corner_lib_misses: opt_count("corner_lib_misses"),
                 },
             })
         }
@@ -1328,6 +1428,34 @@ pub struct TimingStats {
     pub skew: f64,
     /// Max source-to-sink latency (s).
     pub latency: f64,
+}
+
+/// Per-corner distribution stats of one Monte Carlo variation run, as
+/// carried by a result event. Only the folded distributions travel —
+/// per-corner rows stay on the server (clients consume yield numbers,
+/// and a 100k-corner row table has no business on a result frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationStats {
+    /// Corners evaluated.
+    pub corners: u64,
+    /// Skew distribution across corners (s).
+    pub skew: DistStats,
+    /// Worst-slew distribution across corners (s).
+    pub worst_slew: DistStats,
+    /// Max-latency distribution across corners (s).
+    pub latency: DistStats,
+}
+
+impl VariationStats {
+    /// Projects a service-side summary onto the wire shape.
+    pub fn from_summary(v: &VariationSummary) -> VariationStats {
+        VariationStats {
+            corners: v.corners as u64,
+            skew: v.skew,
+            worst_slew: v.worst_slew,
+            latency: v.latency,
+        }
+    }
 }
 
 /// The stats a completed request streams back — the full
@@ -1361,6 +1489,8 @@ pub struct RemoteResult {
     pub estimate: TimingStats,
     /// SPICE-verified timing, when the server verifies.
     pub verified: Option<TimingStats>,
+    /// Monte Carlo corner distributions, when the variation axis ran.
+    pub variation: Option<VariationStats>,
 }
 
 impl RemoteResult {
@@ -1388,6 +1518,7 @@ impl RemoteResult {
                 skew: v.skew,
                 latency: v.max_latency,
             }),
+            variation: r.item.variation.as_ref().map(VariationStats::from_summary),
         }
     }
 }
@@ -1465,6 +1596,56 @@ fn timing_from_json(j: &Json) -> Result<TimingStats, String> {
     })
 }
 
+fn dist_to_json(d: &DistStats) -> Json {
+    Json::obj(vec![
+        ("min", Json::num(d.min)),
+        ("median", Json::num(d.median)),
+        ("p95", Json::num(d.p95)),
+        ("max", Json::num(d.max)),
+    ])
+}
+
+fn dist_from_json(j: &Json) -> Result<DistStats, String> {
+    let f = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("distribution stats need a number '{key}'"))
+    };
+    Ok(DistStats {
+        min: f("min")?,
+        median: f("median")?,
+        p95: f("p95")?,
+        max: f("max")?,
+    })
+}
+
+fn variation_to_json(v: &VariationStats) -> Json {
+    Json::obj(vec![
+        ("corners", Json::num(v.corners as f64)),
+        ("skew", dist_to_json(&v.skew)),
+        ("worst_slew", dist_to_json(&v.worst_slew)),
+        ("latency", dist_to_json(&v.latency)),
+    ])
+}
+
+fn variation_from_json(j: &Json) -> Result<VariationStats, String> {
+    let dist = |key: &str| {
+        dist_from_json(
+            j.get(key)
+                .ok_or_else(|| format!("variation stats need '{key}'"))?,
+        )
+    };
+    Ok(VariationStats {
+        corners: j
+            .get("corners")
+            .and_then(Json::as_u64)
+            .ok_or("variation stats need an integer 'corners'")?,
+        skew: dist("skew")?,
+        worst_slew: dist("worst_slew")?,
+        latency: dist("latency")?,
+    })
+}
+
 /// Serializes a result event frame.
 pub fn encode_event(event: &ResultEvent) -> Json {
     let mut fields = vec![
@@ -1492,6 +1673,12 @@ pub fn encode_event(event: &ResultEvent) -> Json {
                     r.verified.as_ref().map_or(Json::Null, timing_to_json),
                 ),
             ];
+            // Only present when the variation axis ran: absent keys keep
+            // axis-off frames byte-identical to pre-variation servers, and
+            // `decode_event` reads by key so old clients skip it unharmed.
+            if let Some(v) = &r.variation {
+                res.push(("variation", variation_to_json(v)));
+            }
             if let Some(c) = &r.client_id {
                 res.insert(1, ("client_id", Json::str(c)));
             }
@@ -1562,6 +1749,10 @@ pub fn decode_event(j: &Json) -> Result<ResultEvent, String> {
                 verified: match r.get("verified") {
                     None | Some(Json::Null) => None,
                     Some(v) => Some(timing_from_json(v)?),
+                },
+                variation: match r.get("variation") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(variation_from_json(v)?),
                 },
             }))
         }
@@ -1640,6 +1831,12 @@ mod tests {
             h_correction: Some(HCorrection::Correct),
             threads: Some(2),
             buffering: Some(Buffering::VanGinneken),
+            variation_corners: Some(48),
+            variation_seed: Some(2010),
+            variation_sigma_buffer: Some(0.08),
+            variation_sigma_wire: Some(0.04),
+            variation_sigma_slew: Some(0.02),
+            variation_mode: Some(VariationMode::Resynthesize),
         };
         let back = OptionsPatch::from_json(&patch.to_json()).unwrap();
         assert_eq!(back, patch);
@@ -1652,6 +1849,12 @@ mod tests {
         assert_eq!(applied.h_correction, HCorrection::Correct);
         assert_eq!(applied.threads, 2);
         assert_eq!(applied.buffering, Buffering::VanGinneken);
+        assert_eq!(applied.variation.corners, 48);
+        assert_eq!(applied.variation.seed, 2010);
+        assert_eq!(applied.variation.sigma_buffer, 0.08);
+        assert_eq!(applied.variation.sigma_wire, 0.04);
+        assert_eq!(applied.variation.sigma_slew, 0.02);
+        assert_eq!(applied.variation.mode, VariationMode::Resynthesize);
         // Unset fields stay at base values.
         assert_eq!(applied.cost_alpha, base.cost_alpha);
 
@@ -1664,6 +1867,93 @@ mod tests {
         let j = Json::parse(r#"{"slew_limit":100}"#).unwrap();
         let err = OptionsPatch::from_json(&j).unwrap_err();
         assert!(err.message.contains("slew_limit"), "{err}");
+    }
+
+    #[test]
+    fn variation_patch_fields_roundtrip_byte_identically() {
+        // Encode → decode → re-encode must reproduce the exact same bytes:
+        // the determinism suite replays frames verbatim.
+        let patch = OptionsPatch {
+            variation_corners: Some(100),
+            variation_seed: Some((1u64 << 53) - 1), // largest exactly-representable seed
+            variation_sigma_buffer: Some(0.05),
+            variation_sigma_wire: Some(0.03),
+            variation_sigma_slew: Some(0.01),
+            variation_mode: Some(VariationMode::Evaluate),
+            ..OptionsPatch::default()
+        };
+        let first = patch.to_json().to_string();
+        let back = OptionsPatch::from_json(&Json::parse(&first).unwrap()).unwrap();
+        assert_eq!(back, patch);
+        assert_eq!(back.to_json().to_string(), first);
+        assert_eq!(back.variation_seed, Some((1u64 << 53) - 1));
+    }
+
+    #[test]
+    fn variation_patch_rejects_malformed_values() {
+        for (bad, needle) in [
+            (r#"{"variation_corners":1.5}"#, "variation_corners"),
+            (r#"{"variation_seed":-1}"#, "variation_seed"),
+            (r#"{"variation_sigma_wire":"big"}"#, "variation_sigma_wire"),
+            (r#"{"variation_mode":"typical"}"#, "variation_mode"),
+        ] {
+            let j = Json::parse(bad).unwrap();
+            let err = OptionsPatch::from_json(&j).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
+            assert!(err.message.contains(needle), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn pre_variation_frames_still_decode() {
+        // A metrics reply from an older server lacks the corner counters:
+        // they default to zero rather than failing the decode.
+        let old = Json::parse(concat!(
+            r#"{"ok":true,"seq":4,"op":"metrics","workers":1,"metrics":{"#,
+            r#""submitted":2,"completed":2,"cancelled":0,"expired":0,"failed":0,"#,
+            r#""queue_depth":0,"synth_seconds":0.5,"verify_seconds":0.25}}"#
+        ))
+        .unwrap();
+        let (_, resp) = decode_response(&old).unwrap();
+        match resp {
+            Response::Metrics(m) => {
+                assert_eq!(m.metrics.corners_evaluated, 0);
+                assert_eq!(m.metrics.corner_lib_hits, 0);
+                assert_eq!(m.metrics.corner_lib_misses, 0);
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+
+        // A completed event without a "variation" key decodes to None, and
+        // an axis-off result encodes without the key at all — old and new
+        // frames are byte-compatible in both directions.
+        let ev = ResultEvent {
+            id: 9,
+            outcome: Outcome::Completed(Box::new(RemoteResult {
+                id: 9,
+                name: "plain".into(),
+                priority: 0,
+                dispatch_order: 1,
+                client_id: None,
+                sinks: 4,
+                levels: 2,
+                buffers: 1,
+                wirelength_um: 100.0,
+                synth_seconds: 0.1,
+                verify_seconds: 0.0,
+                estimate: TimingStats {
+                    worst_slew: 50e-12,
+                    skew: 1e-12,
+                    latency: 1e-9,
+                },
+                verified: None,
+                variation: None,
+            })),
+        };
+        let frame = encode_event(&ev).to_string();
+        assert!(!frame.contains("variation"), "{frame}");
+        let back = decode_event(&Json::parse(&frame).unwrap()).unwrap();
+        assert_eq!(back, ev);
     }
 
     #[test]
@@ -1810,6 +2100,9 @@ mod tests {
                         merge_seconds: 0.75,
                         sinks_synthesized: 640,
                         sinks_verified: 512,
+                        corners_evaluated: 96,
+                        corner_lib_hits: 80,
+                        corner_lib_misses: 16,
                     },
                 }),
             ),
@@ -1858,6 +2151,27 @@ mod tests {
                         worst_slew: 83.0e-12,
                         skew: 4.0e-12,
                         latency: 1.8e-9,
+                    }),
+                    variation: Some(VariationStats {
+                        corners: 64,
+                        skew: DistStats {
+                            min: 3.0e-12,
+                            median: 3.5e-12,
+                            p95: 4.25e-12,
+                            max: 4.5e-12,
+                        },
+                        worst_slew: DistStats {
+                            min: 80.0e-12,
+                            median: 82.0e-12,
+                            p95: 85.0e-12,
+                            max: 86.5e-12,
+                        },
+                        latency: DistStats {
+                            min: 1.7e-9,
+                            median: 1.75e-9,
+                            p95: 1.8e-9,
+                            max: 1.8125e-9,
+                        },
                     }),
                 })),
             },

@@ -234,6 +234,24 @@ impl PolyFit {
             .sum()
     }
 
+    /// A copy of this fit with every coefficient (and the residual
+    /// statistics) multiplied by `factor`, so the surface's output is
+    /// scaled by `factor` over the entire domain. `factor == 1.0`
+    /// reproduces `self` bit-identically (`x * 1.0 == x` for finite
+    /// coefficients), which the variation axis relies on for the
+    /// sigma-zero case.
+    pub(crate) fn scaled(&self, factor: f64) -> PolyFit {
+        PolyFit {
+            dims: self.dims,
+            order: self.order,
+            powers: self.powers.clone(),
+            coefs: self.coefs.iter().map(|c| c * factor).collect(),
+            std: self.std.clone(),
+            max_abs_residual: self.max_abs_residual * factor.abs(),
+            rms_residual: self.rms_residual * factor.abs(),
+        }
+    }
+
     /// Number of input variables.
     pub fn dims(&self) -> usize {
         self.dims

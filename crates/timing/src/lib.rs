@@ -19,6 +19,9 @@
 //!   loads mapped to the nearest buffer by capacitance.
 //! * [`save_library_string`] / [`load_library_str`] — plain-text caching so
 //!   the (expensive) characterization runs once.
+//! * [`variation`] — deterministic process-variation corners: seeded
+//!   perturbation of a characterized library plus a keyed derivation
+//!   cache, the substrate of the workspace's Monte Carlo axis.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ mod library;
 mod linalg;
 pub mod metrics;
 mod rctree;
+pub mod variation;
 
 pub use characterize::{
     characterize, sweep_branch, sweep_single_wire, BranchSample, CharacterizeConfig,
@@ -60,6 +64,9 @@ pub use library::{
     BranchFns, BranchTiming, BufferId, DelaySlewLibrary, Load, SingleWireFns, StageTiming,
 };
 pub use rctree::{RcNodeId, RcTree};
+pub use variation::{
+    corner_seed, library_fingerprint, perturb_library, CornerLibraryCache, PerturbSigma,
+};
 
 use cts_spice::Technology;
 use std::sync::OnceLock;

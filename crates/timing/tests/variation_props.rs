@@ -1,0 +1,142 @@
+//! Property tests for the process-variation axis: perturbed libraries
+//! stay physical for any sigma in [0, 0.3], sigma zero is the identity,
+//! and distinct seeds give distinct corners.
+//!
+//! The library under test is a small synthetic one built from the
+//! public fitting API (linear surfaces over coarse grids), so these
+//! properties run in milliseconds without SPICE characterization.
+
+use cts_spice::{BufferType, WireParams};
+use cts_timing::fit::PolyFit;
+use cts_timing::{
+    corner_seed, perturb_library, BranchFns, BufferId, DelaySlewLibrary, Load, PerturbSigma,
+    SingleWireFns,
+};
+use proptest::prelude::*;
+
+/// A two-buffer library with linear fitted surfaces — the same shape the
+/// in-crate unit tests use, rebuilt here from the public API.
+fn synthetic_library() -> DelaySlewLibrary {
+    let buffers = vec![BufferType::new("A", 10.0), BufferType::new("B", 20.0)];
+    let grid: Vec<Vec<f64>> = (0..4)
+        .flat_map(|i| (0..4).map(move |j| vec![i as f64 * 40e-12, j as f64 * 700.0]))
+        .collect();
+    let lin2 = |a: f64, b: f64, c: f64| {
+        let vals: Vec<f64> = grid.iter().map(|p| a + b * p[0] + c * p[1]).collect();
+        PolyFit::fit(2, 1, &grid, &vals).unwrap()
+    };
+    let single_for = |scale: f64| SingleWireFns {
+        intrinsic: lin2(20e-12 * scale, 0.1, 0.0),
+        wire_delay: lin2(0.0, 0.0, 1e-15 * scale),
+        wire_slew: lin2(10e-12, 0.5, 50e-15 * scale),
+    };
+    let single = vec![
+        single_for(1.0),
+        single_for(1.1),
+        single_for(0.6),
+        single_for(0.7),
+    ];
+
+    let grid3: Vec<Vec<f64>> = (0..3)
+        .flat_map(|i| {
+            (0..3).flat_map(move |j| {
+                (0..3).map(move |k| vec![i as f64 * 40e-12, j as f64 * 700.0, k as f64 * 700.0])
+            })
+        })
+        .collect();
+    let lin3 = |a: f64, b: (f64, f64, f64)| {
+        let vals: Vec<f64> = grid3
+            .iter()
+            .map(|p| a + b.0 * p[0] + b.1 * p[1] + b.2 * p[2])
+            .collect();
+        PolyFit::fit(3, 1, &grid3, &vals).unwrap()
+    };
+    let branch_for = || BranchFns {
+        intrinsic: lin3(25e-12, (0.1, 0.0, 0.0)),
+        left_delay: lin3(0.0, (0.0, 2e-15, 1e-15)),
+        right_delay: lin3(0.0, (0.0, 1e-15, 2e-15)),
+        left_slew: lin3(15e-12, (0.5, 60e-15, 20e-15)),
+        right_slew: lin3(15e-12, (0.5, 20e-15, 60e-15)),
+    };
+    let mut branch = Vec::new();
+    for d in 0..2 {
+        for ll in 0..2 {
+            for lr in ll..2 {
+                branch.push(((d, ll, lr), branch_for()));
+            }
+        }
+    }
+    DelaySlewLibrary::from_parts(1.1, WireParams::gsrc_10x(), buffers, single, branch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sigma in [0, 0.3] keeps every query finite and physical:
+    /// delays non-negative, slews strictly positive.
+    #[test]
+    fn perturbed_library_stays_finite_and_positive(
+        seed in 0u64..1_000_000,
+        corner in 0u64..1024,
+        sb in 0.0..0.3f64,
+        sw in 0.0..0.3f64,
+        ss in 0.0..0.3f64,
+    ) {
+        let base = synthetic_library();
+        let sigma = PerturbSigma { buffer_delay: sb, wire_delay: sw, slew: ss };
+        let p = perturb_library(&base, corner_seed(seed, corner), &sigma);
+        for (drive, load) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            for (slew_in, len) in [(10e-12, 100.0), (60e-12, 1400.0), (120e-12, 2100.0)] {
+                let t = p.single_wire(
+                    BufferId(drive),
+                    Load::Buffer(BufferId(load)),
+                    slew_in,
+                    len,
+                );
+                prop_assert!(t.buffer_delay.is_finite() && t.buffer_delay >= 0.0);
+                prop_assert!(t.wire_delay.is_finite() && t.wire_delay >= 0.0);
+                prop_assert!(t.output_slew.is_finite() && t.output_slew > 0.0);
+            }
+            let b = p.branch(
+                BufferId(drive),
+                (Load::Buffer(BufferId(load)), Load::Buffer(BufferId(load))),
+                60e-12,
+                (700.0, 1100.0),
+            );
+            prop_assert!(b.buffer_delay.is_finite() && b.buffer_delay >= 0.0);
+            prop_assert!(b.left_delay.is_finite() && b.left_delay >= 0.0);
+            prop_assert!(b.right_delay.is_finite() && b.right_delay >= 0.0);
+            prop_assert!(b.left_slew.is_finite() && b.left_slew > 0.0);
+            prop_assert!(b.right_slew.is_finite() && b.right_slew > 0.0);
+        }
+    }
+
+    /// Sigma zero is the exact identity, for every seed: the perturbed
+    /// library equals the base bit-for-bit (`PartialEq` over the fitted
+    /// coefficients).
+    #[test]
+    fn sigma_zero_is_identity(seed in 0u64..1_000_000, corner in 0u64..1024) {
+        let base = synthetic_library();
+        let zero = PerturbSigma { buffer_delay: 0.0, wire_delay: 0.0, slew: 0.0 };
+        let p = perturb_library(&base, corner_seed(seed, corner), &zero);
+        prop_assert_eq!(p, base);
+    }
+
+    /// Distinct stream seeds with nonzero sigma produce distinct
+    /// libraries, and the same seed reproduces the same library.
+    #[test]
+    fn distinct_seeds_distinct_streams(
+        seed in 0u64..1_000_000,
+        delta in 1u64..1_000_000,
+        corner in 0u64..1024,
+        s in 0.01..0.3f64,
+    ) {
+        let base = synthetic_library();
+        let sigma = PerturbSigma { buffer_delay: s, wire_delay: s, slew: s };
+        let a = perturb_library(&base, corner_seed(seed, corner), &sigma);
+        let a2 = perturb_library(&base, corner_seed(seed, corner), &sigma);
+        let b = perturb_library(&base, corner_seed(seed + delta, corner), &sigma);
+        prop_assert_eq!(&a, &a2);
+        prop_assert!(a != b, "seeds {} and {} collided", seed, seed + delta);
+    }
+}

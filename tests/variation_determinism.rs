@@ -1,0 +1,196 @@
+//! The statistical determinism suite: the Monte Carlo variation axis must
+//! be a *pure function* of (base library, seed, sigma, instance) — the same
+//! corners produce bit-identical summaries no matter how the work is
+//! scheduled (synthesis threads, batch shards, verification overlap,
+//! service workers) and the same (seed, sigma) always derives the same
+//! perturbed library, whichever cache (or no cache) produced it.
+
+use cts::benchmarks::generate_custom;
+use cts::timing::save_library_string;
+use cts::{
+    corner_seed, library_fingerprint, perturb_library, BatchOptions, BatchRunner,
+    CornerLibraryCache, CtsOptions, Instance, PerturbSigma, ServiceOptions, SynthesisRequest,
+    SynthesisService, Synthesizer, Technology, VariationMode, VariationSummary,
+};
+use cts_timing::fast_library;
+use std::sync::Arc;
+
+fn suite(n: usize) -> Vec<Instance> {
+    (0..n)
+        .map(|i| generate_custom(&format!("vd{i}"), 5 + i % 4, 1800.0, 0xD0C + i as u64))
+        .collect()
+}
+
+fn variation_options(corners: usize, mode: VariationMode) -> CtsOptions {
+    let mut o = CtsOptions::default();
+    o.threads = 1;
+    o.variation.corners = corners;
+    o.variation.seed = 2010;
+    o.variation.mode = mode;
+    o
+}
+
+/// Serial ground truth: one synthesizer, one fresh cache, corners walked
+/// in index order.
+fn serial_reference(options: &CtsOptions, instances: &[Instance]) -> Vec<VariationSummary> {
+    let synth = Synthesizer::new(fast_library(), options.clone());
+    let cache = CornerLibraryCache::new();
+    let fp = library_fingerprint(fast_library());
+    instances
+        .iter()
+        .map(|inst| {
+            let nominal = synth.synthesize(inst).expect("synthesis");
+            synth
+                .evaluate_variation_with(inst, &nominal, &cache, fp)
+                .expect("corner evaluation")
+                .expect("variation enabled")
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_and_sigma_always_derive_the_same_library() {
+    let base = fast_library();
+    let fp = library_fingerprint(base);
+    let sigma = PerturbSigma {
+        buffer_delay: 0.07,
+        wire_delay: 0.04,
+        slew: 0.02,
+    };
+    let seed = corner_seed(2010, 3);
+
+    // Two independent caches and a cache-free derivation must agree byte
+    // for byte (the serialized library is the canonical byte form).
+    let a = CornerLibraryCache::new().get_or_derive(base, fp, seed, &sigma);
+    let b = CornerLibraryCache::new().get_or_derive(base, fp, seed, &sigma);
+    let direct = perturb_library(base, seed, &sigma);
+    assert_eq!(save_library_string(&a), save_library_string(&b));
+    assert_eq!(save_library_string(&a), save_library_string(&direct));
+
+    // And it is a genuinely different library from the base, while a
+    // different corner of the same stream differs from both.
+    assert_ne!(library_fingerprint(&a), fp);
+    let other = perturb_library(base, corner_seed(2010, 4), &sigma);
+    assert_ne!(save_library_string(&a), save_library_string(&other));
+}
+
+#[test]
+fn corner_summaries_survive_threads_shards_and_overlap() {
+    let tech = Technology::nominal_45nm();
+    let instances = suite(3);
+    let options = variation_options(5, VariationMode::Evaluate);
+    let reference = serial_reference(&options, &instances);
+
+    // Synthesis-thread sweep: the merge parallelism axis must not reach
+    // the corner walk.
+    for threads in [1usize, 2, 4] {
+        let mut o = options.clone();
+        o.threads = threads;
+        assert_eq!(
+            serial_reference(&o, &instances),
+            reference,
+            "summary drifted at {threads} synthesis threads"
+        );
+    }
+
+    // Batch sweep: shard count and verification overlap are scheduling
+    // details; every configuration folds the same rows.
+    for shards in [1usize, 2, 3] {
+        for overlap_verify in [false, true] {
+            let batch = BatchOptions {
+                shards,
+                overlap_verify,
+                verify: false,
+                ..BatchOptions::default()
+            };
+            let runner = BatchRunner::new(fast_library(), &tech, options.clone(), batch);
+            let out = runner.run(&instances).expect("batch run");
+            for (item, want) in out.items.iter().zip(&reference) {
+                assert_eq!(
+                    item.variation.as_ref(),
+                    Some(want),
+                    "{}: summary drifted at {shards} shards (overlap {overlap_verify})",
+                    item.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corner_summaries_survive_service_workers() {
+    let tech = Technology::nominal_45nm();
+    let instances = suite(3);
+    let options = variation_options(5, VariationMode::Evaluate);
+    let reference = serial_reference(&options, &instances);
+
+    for workers in [1usize, 2, 4] {
+        let mut svc = ServiceOptions::default();
+        svc.workers = workers;
+        svc.verify = false;
+        let service = SynthesisService::new(
+            Arc::new(fast_library().clone()),
+            Arc::new(tech.clone()),
+            options.clone(),
+            svc,
+        );
+        let tickets: Vec<_> = instances
+            .iter()
+            .map(|inst| service.submit(SynthesisRequest::new(inst.clone())).unwrap())
+            .collect();
+        for (ticket, want) in tickets.into_iter().zip(&reference) {
+            let done = ticket.wait().expect("synthesis succeeds");
+            assert_eq!(
+                done.item.variation.as_ref(),
+                Some(want),
+                "{}: summary drifted at {workers} service workers",
+                done.item.name
+            );
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn resynthesize_mode_is_schedule_independent() {
+    let tech = Technology::nominal_45nm();
+    let instances = suite(2);
+    let options = variation_options(3, VariationMode::Resynthesize);
+    let reference = serial_reference(&options, &instances);
+    assert!(reference
+        .iter()
+        .all(|s| s.rows.iter().all(|r| r.resynthesized)));
+
+    let batch = BatchOptions {
+        shards: 2,
+        verify: false,
+        ..BatchOptions::default()
+    };
+    let runner = BatchRunner::new(fast_library(), &tech, options.clone(), batch);
+    let out = runner.run(&instances).expect("batch run");
+    for (item, want) in out.items.iter().zip(&reference) {
+        assert_eq!(item.variation.as_ref(), Some(want), "{}", item.name);
+    }
+}
+
+#[test]
+fn golden_corner_skew_bits_are_pinned() {
+    // One corner of one instance, pinned to exact bits: any change to the
+    // perturbation draw order, the xoshiro stream, the fold, or the
+    // synthesis flow itself moves these bits and must be deliberate.
+    let instances = suite(1);
+    let options = variation_options(2, VariationMode::Evaluate);
+    let summary = &serial_reference(&options, &instances)[0];
+
+    assert_eq!(summary.rows[0].seed, corner_seed(2010, 0));
+    assert_eq!(
+        summary.rows[0].skew.to_bits(),
+        0x3DC8_267F_38E5_E92C,
+        "corner 0 skew bits moved: got {:#018x}",
+        summary.rows[0].skew.to_bits()
+    );
+    assert_eq!(
+        summary.skew.max.to_bits(),
+        summary.rows.iter().map(|r| r.skew.to_bits()).max().unwrap()
+    );
+}
