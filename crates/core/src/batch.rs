@@ -42,6 +42,13 @@ use cts_util::{resolve_threads, run_parallel_with, run_two_stage};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+// Span taxonomy for the batch stages: tree construction (attr = sink
+// count), corner expansion (attr = corner count), and SPICE verification
+// (attr = sink count). Telemetry only.
+static SPAN_BATCH_SYNTH: cts_obs::Name = cts_obs::Name::new("batch.synth");
+static SPAN_BATCH_CORNERS: cts_obs::Name = cts_obs::Name::new("batch.corner_stage");
+static SPAN_BATCH_VERIFY: cts_obs::Name = cts_obs::Name::new("batch.verify");
+
 /// Options controlling batch execution. Orthogonal to [`CtsOptions`]: the
 /// per-instance flow is configured there; this configures how instances
 /// are scheduled.
@@ -323,7 +330,10 @@ impl<'a> BatchRunner<'a> {
         instance: &Instance,
     ) -> Result<StagedSynthesis, CtsError> {
         let t0 = Instant::now();
-        let result = self.synth.synthesize_unverified_with(instance, scratch)?;
+        let result = {
+            let _span = cts_obs::span_with(&SPAN_BATCH_SYNTH, instance.sinks().len() as u64);
+            self.synth.synthesize_unverified_with(instance, scratch)?
+        };
         let variation = self.corner_stage(&self.synth, instance, &result)?;
         Ok(StagedSynthesis {
             result,
@@ -349,7 +359,10 @@ impl<'a> BatchRunner<'a> {
     ) -> Result<StagedSynthesis, CtsError> {
         let t0 = Instant::now();
         let synth = self.synth.with_options(options);
-        let result = synth.synthesize_unverified_with(instance, scratch)?;
+        let result = {
+            let _span = cts_obs::span_with(&SPAN_BATCH_SYNTH, instance.sinks().len() as u64);
+            synth.synthesize_unverified_with(instance, scratch)?
+        };
         let variation = self.corner_stage(&synth, instance, &result)?;
         Ok(StagedSynthesis {
             result,
@@ -369,6 +382,10 @@ impl<'a> BatchRunner<'a> {
         if synth.options().variation.corners == 0 {
             return Ok(None);
         }
+        let _span = cts_obs::span_with(
+            &SPAN_BATCH_CORNERS,
+            synth.options().variation.corners as u64,
+        );
         synth.evaluate_variation_with(
             instance,
             result,
@@ -415,6 +432,7 @@ impl<'a> BatchRunner<'a> {
         } = staged;
         let (verified, verify_seconds) = if self.batch.verify {
             let t0 = Instant::now();
+            let _span = cts_obs::span_with(&SPAN_BATCH_VERIFY, instance.sinks().len() as u64);
             let v =
                 self.synth
                     .verify_with(&result, self.tech, &self.batch.verify_options, verifier)?;

@@ -65,7 +65,8 @@ pub use options::{Buffering, CtsError, CtsOptions, HCorrection, Variation, Varia
 pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
 pub use service::{
     BatchSubmitError, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,
-    ServiceOptions, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
+    ServiceOptions, ServiceStats, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService,
+    Ticket,
 };
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId, TreeStructureError};
 pub use variation::{CornerRow, DistStats, VariationSummary};

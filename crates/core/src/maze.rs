@@ -22,6 +22,11 @@ use cts_timing::{BufferId, DelaySlewLibrary, Load};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+// Buffering-mode spans (attr = path point count): which insertion
+// algorithm a committed path went through. Telemetry only.
+static SPAN_BUFFER_GREEDY: cts_obs::Name = cts_obs::Name::new("buffer.greedy");
+static SPAN_BUFFER_VG: cts_obs::Name = cts_obs::Name::new("buffer.van_ginneken");
+
 /// One side of a merge: a sub-tree root waiting to be connected.
 #[derive(Debug, Clone, Copy)]
 pub struct MergeSide {
@@ -394,8 +399,10 @@ impl<'a> MazeRouter<'a> {
         limits: &[f64],
     ) -> Result<SidePlan, CtsError> {
         if self.options.buffering == Buffering::VanGinneken {
+            let _span = cts_obs::span_with(&SPAN_BUFFER_VG, points.len() as u64);
             return crate::vanginneken::commit_path_vg(self, points, side, limits);
         }
+        let _span = cts_obs::span_with(&SPAN_BUFFER_GREEDY, points.len() as u64);
         let mut load = self.resolve_load(side.root_load);
         // The pre-existing unbuffered depth below the root consumes part of
         // the first segment's slew budget but is not new wire.

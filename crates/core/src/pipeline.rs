@@ -36,6 +36,16 @@ use crate::tree::{ClockTree, NodeKind, TreeNodeId};
 use cts_timing::{BufferId, DelaySlewLibrary};
 use cts_util::{resolve_threads, run_parallel, run_parallel_with};
 
+// Span taxonomy for the pipeline stages (attr = topology level, except
+// `pipeline.refine`). Inert single-load checks unless a
+// `cts_obs::Recorder` is installed; never feeds back into results.
+static SPAN_MATCH: cts_obs::Name = cts_obs::Name::new("pipeline.match_level");
+static SPAN_MERGE: cts_obs::Name = cts_obs::Name::new("pipeline.merge_level");
+static SPAN_MERGE_PAIR: cts_obs::Name = cts_obs::Name::new("pipeline.merge_pair");
+static SPAN_LEVEL_STATS: cts_obs::Name = cts_obs::Name::new("pipeline.level_stats");
+static SPAN_GRAFT: cts_obs::Name = cts_obs::Name::new("pipeline.graft");
+static SPAN_REFINE: cts_obs::Name = cts_obs::Name::new("pipeline.refine");
+
 /// Everything a synthesis run needs that outlives any single merge: the
 /// characterized library, the options, and the resolved worker count.
 ///
@@ -186,10 +196,16 @@ impl<'a> SynthesisPipeline<'a> {
         while active.len() > 1 {
             levels += 1;
             let t0 = std::time::Instant::now();
-            let matching = self.match_level(&tree, &active, centroid)?;
+            let matching = {
+                let _span = cts_obs::span_with(&SPAN_MATCH, levels as u64);
+                self.match_level(&tree, &active, centroid)?
+            };
             topology_seconds += t0.elapsed().as_secs_f64();
             let t1 = std::time::Instant::now();
-            let stats = self.merge_level(&mut tree, &mut active, &matching, levels, scratch)?;
+            let stats = {
+                let _span = cts_obs::span_with(&SPAN_MERGE, levels as u64);
+                self.merge_level(&mut tree, &mut active, &matching, levels, scratch)?
+            };
             merge_seconds += t1.elapsed().as_secs_f64();
             flippings += stats.flippings;
             level_stats.push(stats);
@@ -203,7 +219,10 @@ impl<'a> SynthesisPipeline<'a> {
         // stems and drivers that upper levels later place above each merge,
         // which re-opens small skew gaps; see [`refine_global`].
         let engine = TimingEngine::new(ctx.lib);
-        refine_global(ctx, &mut tree, source, &engine);
+        {
+            let _span = cts_obs::span(&SPAN_REFINE);
+            refine_global(ctx, &mut tree, source, &engine);
+        }
         merge_seconds += t2.elapsed().as_secs_f64();
 
         tree.validate_under(source);
@@ -276,6 +295,7 @@ impl<'a> SynthesisPipeline<'a> {
                          tree: &ClockTree,
                          &(a, b): &(TreeNodeId, TreeNodeId)|
          -> Result<PairMerge, CtsError> {
+            let _span = cts_obs::span_with(&SPAN_MERGE_PAIR, level as u64);
             let (mut forest, map) = tree.extract_forest(&[a, b]);
             let la = ClockTree::local_id(&map, a);
             let lb = ClockTree::local_id(&map, b);
@@ -321,18 +341,31 @@ impl<'a> SynthesisPipeline<'a> {
             worst_skew_estimate: 0.0,
             max_latency_estimate: 0.0,
         };
-        for m in merged {
-            stats.flippings += m.flipped as usize;
-            stats.worst_skew_estimate = stats.worst_skew_estimate.max(m.skew_estimate);
-            stats.max_latency_estimate = stats.max_latency_estimate.max(m.latency_estimate);
-            stats.buffers_inserted += m
-                .forest
-                .ids()
-                .skip(m.map.len())
-                .filter(|&id| matches!(m.forest.node(id).kind, NodeKind::Buffer { .. }))
-                .count();
-            let global = tree.graft_forest(m.forest, &m.map);
-            next.push(global[m.root.index()]);
+        // Stage 4 first: the level's statistics are a pure read over the
+        // merge outcomes, so they aggregate before grafting consumes the
+        // forests — in the same pair order, keeping every fold (including
+        // the f64 max folds) arithmetically identical to the old fused
+        // loop.
+        {
+            let _span = cts_obs::span_with(&SPAN_LEVEL_STATS, level as u64);
+            for m in &merged {
+                stats.flippings += m.flipped as usize;
+                stats.worst_skew_estimate = stats.worst_skew_estimate.max(m.skew_estimate);
+                stats.max_latency_estimate = stats.max_latency_estimate.max(m.latency_estimate);
+                stats.buffers_inserted += m
+                    .forest
+                    .ids()
+                    .skip(m.map.len())
+                    .filter(|&id| matches!(m.forest.node(id).kind, NodeKind::Buffer { .. }))
+                    .count();
+            }
+        }
+        {
+            let _span = cts_obs::span_with(&SPAN_GRAFT, level as u64);
+            for m in merged {
+                let global = tree.graft_forest(m.forest, &m.map);
+                next.push(global[m.root.index()]);
+            }
         }
         *active = next;
         Ok(stats)

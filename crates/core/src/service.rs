@@ -91,17 +91,26 @@ use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::verify::{Verifier, VerifyOptions, VerifyStats};
+use cts_obs::Histogram;
 use cts_spice::Technology;
 use cts_timing::{CornerLibraryCache, DelaySlewLibrary};
 use cts_util::{resolve_threads, run_two_stage_pull, Pull};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+// Span taxonomy for the request lifecycle. `service.queue_wait` is a
+// manual cross-thread span (admission happens on the client thread, the
+// wait ends at dispatch on a worker; attr = priority as u64); the stage
+// spans carry attr = sink count. Telemetry only.
+static SPAN_QUEUE_WAIT: cts_obs::Name = cts_obs::Name::new("service.queue_wait");
+static SPAN_SERVICE_SYNTH: cts_obs::Name = cts_obs::Name::new("service.synth");
+static SPAN_SERVICE_VERIFY: cts_obs::Name = cts_obs::Name::new("service.verify");
 
 /// Options controlling the service process, orthogonal to the per-request
 /// [`CtsOptions`].
@@ -376,6 +385,9 @@ struct Counters {
     stages_reused: AtomicU64,
     symbolic_hits: AtomicU64,
     symbolic_misses: AtomicU64,
+    /// Deepest the submission queue has ever been (monotone max, updated
+    /// under the queue lock at admission).
+    queue_high_water: AtomicU64,
 }
 
 impl Counters {
@@ -468,6 +480,11 @@ pub struct ServiceMetrics {
     pub corner_lib_hits: u64,
     /// Corner-library derivations that had to run (cache misses).
     pub corner_lib_misses: u64,
+    /// Deepest the submission queue has ever been over the service
+    /// lifetime (a monotone high-water gauge — `queue_depth` is the
+    /// instantaneous value). Capacity planning signal: a high-water mark
+    /// at the queue capacity means submitters were blocked.
+    pub queue_depth_high_water: u64,
 }
 
 impl ServiceMetrics {
@@ -501,7 +518,7 @@ impl fmt::Display for ServiceMetrics {
         write!(
             f,
             "submitted {} | completed {} | cancelled {} | expired {} | failed {} | \
-             queued {} | synth {:.3} s | verify {:.3} s | stages {} sim / {} reused | \
+             queued {} (peak {}) | synth {:.3} s | verify {:.3} s | stages {} sim / {} reused | \
              symbolic {} hit / {} miss | sinks/s: topology {:.0}, merge {:.0}, verify {:.0} | \
              corners {} ({} hit / {} miss)",
             self.submitted,
@@ -510,6 +527,7 @@ impl fmt::Display for ServiceMetrics {
             self.expired,
             self.failed,
             self.queue_depth,
+            self.queue_depth_high_water,
             self.synth_seconds,
             self.verify_seconds,
             self.stages_simulated,
@@ -524,6 +542,35 @@ impl fmt::Display for ServiceMetrics {
             self.corner_lib_misses
         )
     }
+}
+
+/// Latency distributions shared between the service handle (snapshots)
+/// and the engine workers (recording). Recording takes a brief
+/// uncontended mutex once per stage per request — far off the synthesis
+/// hot paths — and never feeds back into results.
+#[derive(Debug, Default)]
+struct Latencies {
+    queue_wait: Mutex<BTreeMap<i32, Histogram>>,
+    synth: Mutex<Histogram>,
+    verify: Mutex<Histogram>,
+}
+
+/// A point-in-time snapshot of the service's latency distributions — the
+/// payload of [`SynthesisService::stats`] and of the wire protocol's
+/// `stats` op. All histograms are log2-bucketed nanoseconds
+/// ([`cts_obs::Histogram`]) and merge exactly across snapshots or
+/// processes.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Queue wait (admission → dispatch), per priority, ascending
+    /// priority order. Aborted-at-dispatch requests are included: their
+    /// wait ended, whatever the outcome.
+    pub queue_wait_by_priority: Vec<(i32, Histogram)>,
+    /// Per-request synthesis-stage wall time.
+    pub synth_latency: Histogram,
+    /// Per-request verification-stage wall time (all zeros when the
+    /// service runs with verification off).
+    pub verify_latency: Histogram,
 }
 
 /// State shared between a [`Ticket`] and the request's queue entry.
@@ -687,6 +734,9 @@ struct Job {
     /// Per-request options override.
     options: Option<CtsOptions>,
     client_id: Option<String>,
+    /// Admission timestamp on the [`cts_obs::now_ns`] clock; the queue
+    /// wait ends when a worker pulls the job.
+    admitted_ns: u64,
     shared: Arc<ReqShared>,
     tx: Sender<Result<SynthesisResult, ServiceError>>,
 }
@@ -830,6 +880,9 @@ pub struct SynthesisService {
     /// [`SynthesisService::metrics`] can report derivation hit/miss
     /// counts.
     corner_cache: Arc<CornerLibraryCache>,
+    /// Shared with the engine workers; snapshotted by
+    /// [`SynthesisService::stats`].
+    latencies: Arc<Latencies>,
     options: CtsOptions,
 }
 
@@ -867,10 +920,12 @@ impl SynthesisService {
         });
         let counters = Arc::new(Counters::default());
         let corner_cache = Arc::new(CornerLibraryCache::new());
+        let latencies = Arc::new(Latencies::default());
         let base_options = options.clone();
         let engine_queue = Arc::clone(&queue);
         let engine_counters = Arc::clone(&counters);
         let engine_corner_cache = Arc::clone(&corner_cache);
+        let engine_latencies = Arc::clone(&latencies);
         let engine = std::thread::Builder::new()
             .name("cts-service-engine".into())
             .spawn(move || {
@@ -884,6 +939,7 @@ impl SynthesisService {
                     service.verify_options,
                     workers,
                     engine_corner_cache,
+                    engine_latencies,
                 )
             })
             .expect("spawning the service engine thread");
@@ -893,6 +949,7 @@ impl SynthesisService {
             workers,
             counters,
             corner_cache,
+            latencies,
             options: base_options,
         }
     }
@@ -929,6 +986,37 @@ impl SynthesisService {
             corners_evaluated: c.corners_evaluated.load(Ordering::Relaxed),
             corner_lib_hits: self.corner_cache.hits(),
             corner_lib_misses: self.corner_cache.misses(),
+            queue_depth_high_water: c.queue_high_water.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time snapshot of the service's latency distributions:
+    /// queue wait per priority, and per-request synthesis / verification
+    /// stage times. Histograms fold exactly, so a fleet monitor can merge
+    /// snapshots across processes; safe to poll from a monitoring thread.
+    pub fn stats(&self) -> ServiceStats {
+        let queue_wait_by_priority = self
+            .latencies
+            .queue_wait
+            .lock()
+            .expect("latency stats poisoned")
+            .iter()
+            .map(|(&priority, hist)| (priority, hist.clone()))
+            .collect();
+        ServiceStats {
+            queue_wait_by_priority,
+            synth_latency: self
+                .latencies
+                .synth
+                .lock()
+                .expect("latency stats poisoned")
+                .clone(),
+            verify_latency: self
+                .latencies
+                .verify
+                .lock()
+                .expect("latency stats poisoned")
+                .clone(),
         }
     }
 
@@ -1113,9 +1201,15 @@ impl SynthesisService {
             expires_at: request.deadline.map(|d| Instant::now() + d),
             options: request.options,
             client_id: request.client_id,
+            admitted_ns: cts_obs::now_ns(),
             shared: Arc::clone(&shared),
             tx,
         }));
+        // High-water update rides the queue lock the push already holds,
+        // so the gauge is never stale with respect to the heap.
+        self.counters
+            .queue_high_water
+            .fetch_max(inner.heap.len() as u64, Ordering::Relaxed);
         self.queue.avail.notify_one();
         Ticket {
             id,
@@ -1195,7 +1289,29 @@ fn engine_loop(
     verify_options: VerifyOptions,
     workers: usize,
     corner_cache: Arc<CornerLibraryCache>,
+    latencies: Arc<Latencies>,
 ) {
+    // The queue wait ends the moment a worker takes the job off the
+    // queue — whether it then synthesizes or resolves an abort. Recorded
+    // both as a histogram sample (for `stats`) and as a manual
+    // cross-thread span (for traces).
+    let note_queue_wait = |job: &Job| {
+        let dispatched_ns = cts_obs::now_ns();
+        latencies
+            .queue_wait
+            .lock()
+            .expect("latency stats poisoned")
+            .entry(job.priority)
+            .or_default()
+            .record(dispatched_ns.saturating_sub(job.admitted_ns));
+        cts_obs::record(
+            &SPAN_QUEUE_WAIT,
+            0,
+            job.admitted_ns,
+            dispatched_ns,
+            job.priority as i64 as u64,
+        );
+    };
     let batch = BatchOptions {
         shards: workers, // informational; scheduling is the pull source's
         overlap_verify: true,
@@ -1209,6 +1325,7 @@ fn engine_loop(
         || queue.pull(),
         |job: &Job| job.aborted(),
         |job: Job| {
+            note_queue_wait(&job);
             let err = job.abort_error();
             match err {
                 ServiceError::Cancelled => counters.cancelled.fetch_add(1, Ordering::Relaxed),
@@ -1218,14 +1335,24 @@ fn engine_loop(
         },
         MergeScratch::new,
         |scratch, job: &Job| {
+            note_queue_wait(job);
             job.shared.status.store(ST_IN_FLIGHT, Ordering::Release);
             let order = dispatch.fetch_add(1, Ordering::Relaxed);
-            let staged = match job.options.clone() {
-                None => runner.synth_stage(scratch, &job.instance),
-                Some(o) => runner.synth_stage_with_options(scratch, &job.instance, o),
+            let staged = {
+                let _span =
+                    cts_obs::span_with(&SPAN_SERVICE_SYNTH, job.instance.sinks().len() as u64);
+                match job.options.clone() {
+                    None => runner.synth_stage(scratch, &job.instance),
+                    Some(o) => runner.synth_stage_with_options(scratch, &job.instance, o),
+                }
             };
             match staged {
                 Ok(staged) => {
+                    latencies
+                        .synth
+                        .lock()
+                        .expect("latency stats poisoned")
+                        .record((staged.synth_seconds * 1e9).max(0.0) as u64);
                     Counters::add_nanos(&counters.synth_nanos, staged.synth_seconds);
                     Counters::add_nanos(&counters.topology_nanos, staged.result.topology_seconds);
                     Counters::add_nanos(&counters.merge_nanos, staged.result.merge_seconds);
@@ -1254,9 +1381,19 @@ fn engine_loop(
         |(verifier, flushed): &mut (Verifier, VerifyStats),
          job: Job,
          (staged, order): (StagedSynthesis, u64)| {
-            let outcome = match runner.finish_stage_with(verifier, staged, &job.instance) {
+            let finished = {
+                let _span =
+                    cts_obs::span_with(&SPAN_SERVICE_VERIFY, job.instance.sinks().len() as u64);
+                runner.finish_stage_with(verifier, staged, &job.instance)
+            };
+            let outcome = match finished {
                 Ok(item) => {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
+                    latencies
+                        .verify
+                        .lock()
+                        .expect("latency stats poisoned")
+                        .record((item.verify_seconds * 1e9).max(0.0) as u64);
                     Counters::add_nanos(&counters.verify_nanos, item.verify_seconds);
                     if item.verified.is_some() {
                         counters
@@ -1627,6 +1764,63 @@ mod tests {
             m.synth_seconds > 0.0,
             "the completed request accumulated synthesis time"
         );
+    }
+
+    #[test]
+    fn queue_high_water_tracks_the_deepest_queue() {
+        // Paused service: admissions stack up, so the high-water mark
+        // climbs with each one and survives the drain.
+        let svc = service(1, 16, true, false);
+        assert_eq!(svc.metrics().queue_depth_high_water, 0);
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| {
+                svc.submit(SynthesisRequest::new(tiny(&format!("hw{i}"), 3, 900.0)))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(svc.metrics().queue_depth_high_water, 3);
+        svc.resume();
+        for t in tickets {
+            t.wait().expect("synthesis succeeds");
+        }
+        let m = svc.metrics();
+        assert_eq!(m.queue_depth, 0, "queue drained");
+        assert_eq!(m.queue_depth_high_water, 3, "high water is monotone");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stats_expose_latency_histograms_per_priority() {
+        let svc = service(1, 16, true, true);
+        let lo = svc
+            .submit(SynthesisRequest::new(tiny("lo", 3, 900.0)).with_priority(-1))
+            .unwrap();
+        let hi = svc
+            .submit(SynthesisRequest::new(tiny("hi", 3, 900.0)).with_priority(5))
+            .unwrap();
+        svc.resume();
+        lo.wait().expect("low-priority synthesis succeeds");
+        hi.wait().expect("high-priority synthesis succeeds");
+        let stats = svc.stats();
+        assert_eq!(
+            stats
+                .queue_wait_by_priority
+                .iter()
+                .map(|&(p, _)| p)
+                .collect::<Vec<_>>(),
+            vec![-1, 5],
+            "one queue-wait histogram per priority, ascending"
+        );
+        for (_, hist) in &stats.queue_wait_by_priority {
+            assert_eq!(hist.count(), 1);
+        }
+        assert_eq!(stats.synth_latency.count(), 2);
+        assert_eq!(stats.verify_latency.count(), 2);
+        assert!(
+            stats.synth_latency.max() > 0,
+            "synthesis took measurable time"
+        );
+        svc.shutdown();
     }
 
     #[test]

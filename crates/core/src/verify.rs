@@ -33,6 +33,14 @@ use cts_spice::{
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
+// Span taxonomy for verification: one span per [`Verifier::verify`] call
+// (attr = tree size) and one per stage, split by whether the stage was
+// freshly simulated or replayed from the incremental cache (attr = load
+// count). Telemetry only.
+static SPAN_VERIFY: cts_obs::Name = cts_obs::Name::new("verify.tree");
+static SPAN_STAGE_SIMULATE: cts_obs::Name = cts_obs::Name::new("verify.stage_simulate");
+static SPAN_STAGE_REUSE: cts_obs::Name = cts_obs::Name::new("verify.stage_reuse");
+
 /// Options for tree verification.
 #[derive(Debug, Clone)]
 pub struct VerifyOptions {
@@ -212,6 +220,7 @@ impl Verifier {
         tech: &Technology,
         opts: &VerifyOptions,
     ) -> Result<VerifiedTiming, CtsError> {
+        let _span = cts_obs::span_with(&SPAN_VERIFY, tree.len() as u64);
         let driver = match tree.node(source).kind {
             NodeKind::Source { driver } => driver,
             ref k => {
@@ -348,9 +357,11 @@ impl Verifier {
             };
 
             let (stage_worst, t50_in, load_recs) = if let Some(hit) = hit {
+                let _span = cts_obs::span_with(&SPAN_STAGE_REUSE, loads.len() as u64);
                 self.stages_reused += 1;
                 hit
             } else {
+                let _span = cts_obs::span_with(&SPAN_STAGE_SIMULATE, loads.len() as u64);
                 self.stages_simulated += 1;
                 let sim_opts = {
                     let mut o = SimOptions::default_for(opts.stage_window);

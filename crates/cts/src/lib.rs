@@ -73,6 +73,9 @@ pub use cts_core as core;
 pub use cts_geom as geom;
 /// The JSON-over-TCP service front end (re-export of `cts-net`).
 pub use cts_net as net;
+/// Span tracing, latency histograms, and trace exporters (re-export of
+/// `cts-obs`).
+pub use cts_obs as obs;
 /// Circuit simulation substrate (re-export of `cts-spice`).
 pub use cts_spice as spice;
 /// Delay/slew modeling (re-export of `cts-timing`).
@@ -82,10 +85,11 @@ pub use cts_core::{
     verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSubmitError, BatchSummary,
     Buffering, ClockTree, CornerRow, CtsError, CtsOptions, CtsResult, DistStats, HCorrection,
     Instance, LevelStats, NodeKind, RequestHandle, RequestId, RequestStatus, ServiceError,
-    ServiceMetrics, ServiceOptions, Sink, StagedSynthesis, SubmitError, SynthesisContext,
-    SynthesisPipeline, SynthesisRequest, SynthesisResult, SynthesisService, Synthesizer, Ticket,
-    TimingEngine, TimingReport, TreeNode, TreeNodeId, TreeStructureError, Variation, VariationMode,
-    VariationSummary, VerifiedTiming, Verifier, VerifyOptions, VerifyStats,
+    ServiceMetrics, ServiceOptions, ServiceStats, Sink, StagedSynthesis, SubmitError,
+    SynthesisContext, SynthesisPipeline, SynthesisRequest, SynthesisResult, SynthesisService,
+    Synthesizer, Ticket, TimingEngine, TimingReport, TreeNode, TreeNodeId, TreeStructureError,
+    Variation, VariationMode, VariationSummary, VerifiedTiming, Verifier, VerifyOptions,
+    VerifyStats,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{

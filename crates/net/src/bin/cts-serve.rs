@@ -4,16 +4,23 @@
 //!
 //! ```sh
 //! cts-serve [--addr 127.0.0.1:4415] [--workers N] [--queue N]
-//!           [--threads N] [--no-verify]
+//!           [--threads N] [--no-verify] [--trace-out PATH]
+//!           [--metrics-every SECS]
 //! ```
 //!
 //! The process runs until a client sends the `shutdown` op; the service
 //! then drains (every admitted request resolves and streams its result)
-//! and the final metrics are printed.
+//! and the final metrics are printed. With `--trace-out` a span recorder
+//! runs for the server's lifetime and a Chrome trace-event JSON file
+//! (loadable in Perfetto / `chrome://tracing`) is written at shutdown;
+//! with `--metrics-every N` the service counters are dumped to stderr
+//! every N seconds.
 
 use cts_core::{CtsOptions, ServiceOptions, SynthesisService};
 use cts_net::Server;
+use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -21,6 +28,8 @@ struct Args {
     queue: usize,
     threads: usize,
     verify: bool,
+    trace_out: Option<String>,
+    metrics_every: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         queue: 64,
         threads: 1,
         verify: true,
+        trace_out: None,
+        metrics_every: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,16 +63,29 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--no-verify" => args.verify = false,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics-every" => {
+                let secs: u64 = value("--metrics-every")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-every: {e}"))?;
+                if secs == 0 {
+                    return Err("--metrics-every must be at least 1 second".into());
+                }
+                args.metrics_every = Some(secs);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: cts-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--threads N] [--no-verify]\n\
-                     --addr      listen address (default 127.0.0.1:4415; port 0 = ephemeral)\n\
-                     --workers   service worker shards, 0 = every core (default 0)\n\
-                     --queue     submission queue bound, 0 = unbounded (default 64)\n\
-                     --threads   per-request merge threads (default 1: the\n\
-                     \u{20}           worker shards are the parallel axis)\n\
-                     --no-verify skip SPICE verification (engine estimates only)"
+                     [--threads N] [--no-verify] [--trace-out PATH] [--metrics-every SECS]\n\
+                     --addr          listen address (default 127.0.0.1:4415; port 0 = ephemeral)\n\
+                     --workers       service worker shards, 0 = every core (default 0)\n\
+                     --queue         submission queue bound, 0 = unbounded (default 64)\n\
+                     --threads       per-request merge threads (default 1: the\n\
+                     \u{20}               worker shards are the parallel axis)\n\
+                     --no-verify     skip SPICE verification (engine estimates only)\n\
+                     --trace-out     record spans and write a Chrome trace-event JSON\n\
+                     \u{20}               file here at shutdown (open in Perfetto)\n\
+                     --metrics-every dump service metrics to stderr every SECS seconds"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +97,14 @@ fn parse_args() -> Result<Args, String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
+
+    // Install the recorder before any synthesis runs so every span of
+    // every request lands in the trace. Tracing never changes results —
+    // the determinism suite pins that — only observes them.
+    let recorder = args
+        .trace_out
+        .as_ref()
+        .map(|_| cts_obs::Recorder::install());
 
     eprintln!("characterizing (or loading) the delay/slew library…");
     let library = cts_timing::fast_library().clone();
@@ -99,7 +131,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         args.queue,
         args.verify
     );
+
+    // Periodic metrics dump: a monitor thread on an interruptible sleep
+    // (the channel sender drops when run() returns, waking it for exit).
+    let monitor = args.metrics_every.map(|secs| {
+        let (stop_tx, stop_rx) = channel::<()>();
+        let svc = Arc::clone(&service);
+        let thread = std::thread::Builder::new()
+            .name("cts-serve-monitor".into())
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(Duration::from_secs(secs)) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        eprintln!("cts-serve metrics: {}", svc.metrics());
+                    }
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawning the metrics monitor thread");
+        (stop_tx, thread)
+    });
+
     server.run()?;
+
+    if let Some((stop_tx, thread)) = monitor {
+        let _ = stop_tx.send(());
+        let _ = thread.join();
+    }
+
+    if let (Some(path), Some(recorder)) = (&args.trace_out, &recorder) {
+        let trace = recorder.chrome_trace();
+        std::fs::write(path, &trace)?;
+        eprintln!(
+            "cts-serve wrote {} bytes of trace to {path} (dropped {} events)",
+            trace.len(),
+            recorder.dropped()
+        );
+    }
 
     // The service drained before run() returned; the counters are final.
     eprintln!("cts-serve stopped; final metrics: {}", service.metrics());

@@ -17,7 +17,7 @@ use crate::json::Json;
 use crate::proto::{
     decode_event, decode_response, decode_tree_event, encode_request, event_op, is_event,
     BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteTree, Request, Response,
-    TreeEvent, TreeInfo, PROTOCOL_VERSION,
+    StatsReply, TreeEvent, TreeInfo, PROTOCOL_VERSION,
 };
 use cts_core::{ClockTree, Instance, RequestStatus, TreeNode, TreeNodeId};
 use std::collections::HashMap;
@@ -398,6 +398,26 @@ impl Client {
         match self.call(&Request::Metrics)? {
             Response::Metrics(m) => Ok(m),
             other => Err(unexpected("metrics reply", &other)),
+        }
+    }
+
+    /// Snapshots the server's full observability state: the `metrics`
+    /// counters plus latency histograms (queue wait per priority,
+    /// synthesis, verification) and per-span duration summaries. The
+    /// decode is lenient — fields a pre-`stats` server never sends
+    /// default to empty — and the histograms are reconstructed from
+    /// their exact wire parts, so percentiles recomputed client-side
+    /// are bit-identical to the server's.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures; a server predating the `stats` op
+    /// answers `bad_request` (surface as [`NetError::Remote`]) — fall
+    /// back to [`Client::metrics`].
+    pub fn stats(&mut self) -> Result<StatsReply, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(*s),
+            other => Err(unexpected("stats reply", &other)),
         }
     }
 

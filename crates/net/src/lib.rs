@@ -15,9 +15,10 @@
 //!    client id), `submit_batch` (N instances in one frame, admitted
 //!    atomically), `fetch_tree` (the routed tree geometry of a completed
 //!    request, streamed as chunked `tree` events), `status`, `cancel`,
-//!    `metrics`, `shutdown`, structured error replies, and pushed
-//!    `result` events carrying the full per-request stats. Spec and
-//!    transcripts: `docs/PROTOCOL.md`.
+//!    `metrics`, `stats` (latency histograms + span summaries),
+//!    `shutdown`, structured error replies, and pushed `result` events
+//!    carrying the full per-request stats. Spec and transcripts:
+//!    `docs/PROTOCOL.md`.
 //! 3. **[`server`] + [`client`]** — a threaded TCP server (one
 //!    reader/writer/completion-pump thread trio per connection, graceful
 //!    drain on the `shutdown` op) around one [`cts_core::SynthesisService`],
@@ -72,7 +73,7 @@ pub use client::{Client, NetError, ServerInfo, SubmitParams};
 pub use json::{Json, JsonError};
 pub use proto::{
     BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteResult, RemoteTree,
-    ResultEvent, TimingStats, TreeChunkEvent, TreeDoneEvent, TreeEvent, TreeInfo, VariationStats,
-    DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
+    ResultEvent, SpanStat, StatsReply, TimingStats, TreeChunkEvent, TreeDoneEvent, TreeEvent,
+    TreeInfo, VariationStats, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerHandle};

@@ -5,7 +5,7 @@
 //!
 //! * **Requests** ([`Request`]) — client → server, each carrying a
 //!   client-chosen `seq` echoed on its reply: `hello`, `submit`,
-//!   `status`, `cancel`, `metrics`, `shutdown`.
+//!   `status`, `cancel`, `metrics`, `stats`, `shutdown`.
 //! * **Replies** ([`Response`]) — server → client, exactly one per
 //!   request, `"seq"`-correlated; errors are structured
 //!   ([`Response::Error`] with an [`ErrorCode`]) and never kill the
@@ -23,6 +23,7 @@ use cts_core::{
     VariationMode, VariationSummary,
 };
 use cts_geom::{Point, Rect};
+use cts_obs::Histogram;
 use cts_timing::BufferId;
 use std::fmt;
 
@@ -910,6 +911,12 @@ pub enum Request {
     },
     /// Snapshot the service counters.
     Metrics,
+    /// Snapshot the full observability state: the same counters as
+    /// `metrics` plus latency histograms (queue wait per priority,
+    /// synthesis, verification) and per-span-name duration summaries.
+    /// Additive — no version bump; old servers answer `bad_request` and
+    /// clients fall back to `metrics`.
+    Stats,
     /// Drain the service and stop the server.
     Shutdown,
 }
@@ -925,6 +932,7 @@ impl Request {
             Request::Status { .. } => "status",
             Request::Cancel { .. } => "cancel",
             Request::Metrics => "metrics",
+            Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
     }
@@ -982,7 +990,7 @@ pub fn encode_request(seq: u64, request: &Request) -> Json {
         Request::Status { id } | Request::Cancel { id } => {
             fields.push(("id", Json::num(*id as f64)));
         }
-        Request::Metrics | Request::Shutdown => {}
+        Request::Metrics | Request::Stats | Request::Shutdown => {}
     }
     Json::obj(fields)
 }
@@ -1090,6 +1098,7 @@ pub fn decode_request(j: &Json) -> Result<(u64, Request), DecodeError> {
         "status" => Request::Status { id: need_id()? },
         "cancel" => Request::Cancel { id: need_id()? },
         "metrics" => Request::Metrics,
+        "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
         other => return Err(DecodeError::bad(format!("unknown op '{other}'"))),
     };
@@ -1106,6 +1115,44 @@ pub struct MetricsReply {
     pub metrics: ServiceMetrics,
     /// The service's worker count.
     pub workers: u64,
+}
+
+/// One span family's duration summary on the wire: every completed span
+/// with this name, folded into a single histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// The span name (e.g. `"pipeline.merge_level"`).
+    pub name: String,
+    /// Span durations in nanoseconds.
+    pub durations: Histogram,
+}
+
+/// The `stats` reply payload: the `metrics` counters plus latency
+/// histograms and per-span summaries.
+///
+/// Histograms travel as their exact wire parts (sparse buckets, count,
+/// total, max); percentile fields on the wire are *derived* from those
+/// parts at encode time, so a client that re-derives them from the
+/// decoded histogram gets bit-identical answers and a decode → re-encode
+/// round trip reproduces the frame byte for byte.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReply {
+    /// The service's worker count.
+    pub workers: u64,
+    /// The service counter snapshot (same shape as the `metrics` op).
+    pub metrics: ServiceMetrics,
+    /// Queue-wait histograms keyed by priority, ascending.
+    pub queue_wait: Vec<(i32, Histogram)>,
+    /// Synthesis-stage latency across all completed requests.
+    pub synth_latency: Histogram,
+    /// Verification-stage latency across all verified requests.
+    pub verify_latency: Histogram,
+    /// Per-name span duration summaries from the server's recorder,
+    /// sorted by name; empty when the server runs without tracing.
+    pub spans: Vec<SpanStat>,
+    /// Span events dropped by the server's recorder (ring overflow or
+    /// retention eviction); `0` when tracing is off.
+    pub dropped: u64,
 }
 
 /// A server reply — exactly one per request, correlated by `seq`.
@@ -1149,6 +1196,8 @@ pub enum Response {
     },
     /// Reply to `metrics`.
     Metrics(MetricsReply),
+    /// Reply to `stats`.
+    Stats(Box<StatsReply>),
     /// Reply to `shutdown`, sent after the service has drained.
     ShuttingDown,
     /// Structured failure of the correlated request.
@@ -1175,6 +1224,131 @@ fn status_from_str(s: &str) -> Option<RequestStatus> {
         "done" => RequestStatus::Done,
         _ => return None,
     })
+}
+
+/// The counters object shared by the `metrics` and `stats` replies. Key
+/// order is part of the byte-level frame contract the conformance
+/// transcripts pin; new counters append at the end.
+fn service_metrics_to_json(s: &ServiceMetrics) -> Json {
+    Json::obj(vec![
+        ("submitted", Json::num(s.submitted as f64)),
+        ("completed", Json::num(s.completed as f64)),
+        ("cancelled", Json::num(s.cancelled as f64)),
+        ("expired", Json::num(s.expired as f64)),
+        ("failed", Json::num(s.failed as f64)),
+        ("queue_depth", Json::num(s.queue_depth as f64)),
+        ("synth_seconds", Json::num(s.synth_seconds)),
+        ("verify_seconds", Json::num(s.verify_seconds)),
+        ("stages_simulated", Json::num(s.stages_simulated as f64)),
+        ("stages_reused", Json::num(s.stages_reused as f64)),
+        ("symbolic_hits", Json::num(s.symbolic_hits as f64)),
+        ("symbolic_misses", Json::num(s.symbolic_misses as f64)),
+        ("topology_seconds", Json::num(s.topology_seconds)),
+        ("merge_seconds", Json::num(s.merge_seconds)),
+        ("sinks_synthesized", Json::num(s.sinks_synthesized as f64)),
+        ("sinks_verified", Json::num(s.sinks_verified as f64)),
+        ("corners_evaluated", Json::num(s.corners_evaluated as f64)),
+        ("corner_lib_hits", Json::num(s.corner_lib_hits as f64)),
+        ("corner_lib_misses", Json::num(s.corner_lib_misses as f64)),
+        (
+            "queue_depth_high_water",
+            Json::num(s.queue_depth_high_water as f64),
+        ),
+    ])
+}
+
+fn service_metrics_from_json(m: &Json) -> Result<ServiceMetrics, String> {
+    let count = |key: &str| {
+        m.get(key)
+            .and_then(Json::as_u64)
+            .ok_or("bad metrics counter")
+    };
+    let seconds = |key: &str| {
+        m.get(key)
+            .and_then(Json::as_f64)
+            .ok_or("bad metrics seconds")
+    };
+    // Verify-cache and per-stage counters arrived after the v1
+    // frames; default to zero when talking to an older server.
+    let opt_count = |key: &str| m.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let opt_seconds = |key: &str| m.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    Ok(ServiceMetrics {
+        submitted: count("submitted")?,
+        completed: count("completed")?,
+        cancelled: count("cancelled")?,
+        expired: count("expired")?,
+        failed: count("failed")?,
+        queue_depth: count("queue_depth")? as usize,
+        synth_seconds: seconds("synth_seconds")?,
+        verify_seconds: seconds("verify_seconds")?,
+        stages_simulated: opt_count("stages_simulated"),
+        stages_reused: opt_count("stages_reused"),
+        symbolic_hits: opt_count("symbolic_hits"),
+        symbolic_misses: opt_count("symbolic_misses"),
+        topology_seconds: opt_seconds("topology_seconds"),
+        merge_seconds: opt_seconds("merge_seconds"),
+        sinks_synthesized: opt_count("sinks_synthesized"),
+        sinks_verified: opt_count("sinks_verified"),
+        corners_evaluated: opt_count("corners_evaluated"),
+        corner_lib_hits: opt_count("corner_lib_hits"),
+        corner_lib_misses: opt_count("corner_lib_misses"),
+        queue_depth_high_water: opt_count("queue_depth_high_water"),
+    })
+}
+
+/// A histogram as its exact wire parts plus *derived* percentiles. The
+/// buckets/count/total/max quadruple is the source of truth — decode
+/// rebuilds the histogram from it and drops the percentile fields, so
+/// re-encoding re-derives them bit-identically.
+fn histogram_to_json(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::num(h.count() as f64)),
+        ("total_ns", Json::num(h.total() as f64)),
+        ("max_ns", Json::num(h.max() as f64)),
+        ("p50_ns", Json::num(h.percentile(50.0) as f64)),
+        ("p90_ns", Json::num(h.percentile(90.0) as f64)),
+        ("p99_ns", Json::num(h.percentile(99.0) as f64)),
+        (
+            "buckets",
+            Json::arr(
+                h.nonzero_buckets()
+                    .iter()
+                    .map(|&(i, c)| Json::arr(vec![Json::num(i as f64), Json::num(c as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn histogram_from_json(j: &Json) -> Result<Histogram, String> {
+    let int = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("histogram needs an integer '{key}'"))
+    };
+    let buckets = j
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram needs a 'buckets' array")?
+        .iter()
+        .map(|pair| {
+            let p = pair.as_arr()?;
+            if p.len() != 2 {
+                return None;
+            }
+            // Indices past u8 can't be valid; 255 is equally
+            // out-of-range, and `from_parts` ignores it (lenient).
+            let index = u8::try_from(p[0].as_u64()?).unwrap_or(u8::MAX);
+            Some((index, p[1].as_u64()?))
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or("histogram 'buckets' must be [index, count] integer pairs")?;
+    Ok(Histogram::from_parts(
+        &buckets,
+        int("count")?,
+        int("total_ns")?,
+        int("max_ns")?,
+    ))
 }
 
 /// Serializes a reply frame. `seq` is `None` only for errors answering a
@@ -1240,31 +1414,43 @@ pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
                 Response::Metrics(m) => {
                     fields.push(("op", Json::str("metrics")));
                     fields.push(("workers", Json::num(m.workers as f64)));
-                    let s = &m.metrics;
+                    fields.push(("metrics", service_metrics_to_json(&m.metrics)));
+                }
+                Response::Stats(s) => {
+                    fields.push(("op", Json::str("stats")));
+                    fields.push(("workers", Json::num(s.workers as f64)));
+                    fields.push(("metrics", service_metrics_to_json(&s.metrics)));
                     fields.push((
-                        "metrics",
-                        Json::obj(vec![
-                            ("submitted", Json::num(s.submitted as f64)),
-                            ("completed", Json::num(s.completed as f64)),
-                            ("cancelled", Json::num(s.cancelled as f64)),
-                            ("expired", Json::num(s.expired as f64)),
-                            ("failed", Json::num(s.failed as f64)),
-                            ("queue_depth", Json::num(s.queue_depth as f64)),
-                            ("synth_seconds", Json::num(s.synth_seconds)),
-                            ("verify_seconds", Json::num(s.verify_seconds)),
-                            ("stages_simulated", Json::num(s.stages_simulated as f64)),
-                            ("stages_reused", Json::num(s.stages_reused as f64)),
-                            ("symbolic_hits", Json::num(s.symbolic_hits as f64)),
-                            ("symbolic_misses", Json::num(s.symbolic_misses as f64)),
-                            ("topology_seconds", Json::num(s.topology_seconds)),
-                            ("merge_seconds", Json::num(s.merge_seconds)),
-                            ("sinks_synthesized", Json::num(s.sinks_synthesized as f64)),
-                            ("sinks_verified", Json::num(s.sinks_verified as f64)),
-                            ("corners_evaluated", Json::num(s.corners_evaluated as f64)),
-                            ("corner_lib_hits", Json::num(s.corner_lib_hits as f64)),
-                            ("corner_lib_misses", Json::num(s.corner_lib_misses as f64)),
-                        ]),
+                        "queue_wait",
+                        Json::arr(
+                            s.queue_wait
+                                .iter()
+                                .map(|(priority, h)| {
+                                    Json::obj(vec![
+                                        ("priority", Json::num(*priority as f64)),
+                                        ("latency", histogram_to_json(h)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ));
+                    fields.push(("synth_latency", histogram_to_json(&s.synth_latency)));
+                    fields.push(("verify_latency", histogram_to_json(&s.verify_latency)));
+                    fields.push((
+                        "spans",
+                        Json::arr(
+                            s.spans
+                                .iter()
+                                .map(|span| {
+                                    Json::obj(vec![
+                                        ("name", Json::str(&span.name)),
+                                        ("latency", histogram_to_json(&span.durations)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                    fields.push(("dropped", Json::num(s.dropped as f64)));
                 }
                 Response::ShuttingDown => {
                     fields.push(("op", Json::str("shutdown")));
@@ -1371,44 +1557,72 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                 .and_then(Json::as_u64)
                 .ok_or("metrics reply needs 'workers'")?;
             let m = j.get("metrics").ok_or("metrics reply needs 'metrics'")?;
-            let count = |key: &str| {
-                m.get(key)
-                    .and_then(Json::as_u64)
-                    .ok_or("bad metrics counter")
-            };
-            let seconds = |key: &str| {
-                m.get(key)
-                    .and_then(Json::as_f64)
-                    .ok_or("bad metrics seconds")
-            };
-            // Verify-cache and per-stage counters arrived after the v1
-            // frames; default to zero when talking to an older server.
-            let opt_count = |key: &str| m.get(key).and_then(Json::as_u64).unwrap_or(0);
-            let opt_seconds = |key: &str| m.get(key).and_then(Json::as_f64).unwrap_or(0.0);
             Response::Metrics(MetricsReply {
                 workers,
-                metrics: ServiceMetrics {
-                    submitted: count("submitted")?,
-                    completed: count("completed")?,
-                    cancelled: count("cancelled")?,
-                    expired: count("expired")?,
-                    failed: count("failed")?,
-                    queue_depth: count("queue_depth")? as usize,
-                    synth_seconds: seconds("synth_seconds")?,
-                    verify_seconds: seconds("verify_seconds")?,
-                    stages_simulated: opt_count("stages_simulated"),
-                    stages_reused: opt_count("stages_reused"),
-                    symbolic_hits: opt_count("symbolic_hits"),
-                    symbolic_misses: opt_count("symbolic_misses"),
-                    topology_seconds: opt_seconds("topology_seconds"),
-                    merge_seconds: opt_seconds("merge_seconds"),
-                    sinks_synthesized: opt_count("sinks_synthesized"),
-                    sinks_verified: opt_count("sinks_verified"),
-                    corners_evaluated: opt_count("corners_evaluated"),
-                    corner_lib_hits: opt_count("corner_lib_hits"),
-                    corner_lib_misses: opt_count("corner_lib_misses"),
-                },
+                metrics: service_metrics_from_json(m)?,
             })
+        }
+        "stats" => {
+            let workers = j
+                .get("workers")
+                .and_then(Json::as_u64)
+                .ok_or("stats reply needs 'workers'")?;
+            let metrics =
+                service_metrics_from_json(j.get("metrics").ok_or("stats reply needs 'metrics'")?)?;
+            let queue_wait = j
+                .get("queue_wait")
+                .and_then(Json::as_arr)
+                .ok_or("stats reply needs a 'queue_wait' array")?
+                .iter()
+                .map(|entry| {
+                    let priority = entry
+                        .get("priority")
+                        .and_then(Json::as_i64)
+                        .filter(|p| i32::try_from(*p).is_ok())
+                        .ok_or("queue_wait entry needs a 32-bit 'priority'")?
+                        as i32;
+                    let latency = histogram_from_json(
+                        entry
+                            .get("latency")
+                            .ok_or("queue_wait entry needs 'latency'")?,
+                    )?;
+                    Ok((priority, latency))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let hist = |key: &str| {
+                histogram_from_json(
+                    j.get(key)
+                        .ok_or_else(|| format!("stats reply needs '{key}'"))?,
+                )
+            };
+            let spans = j
+                .get("spans")
+                .and_then(Json::as_arr)
+                .ok_or("stats reply needs a 'spans' array")?
+                .iter()
+                .map(|entry| {
+                    Ok(SpanStat {
+                        name: entry
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("span entry needs a string 'name'")?
+                            .to_string(),
+                        durations: histogram_from_json(
+                            entry.get("latency").ok_or("span entry needs 'latency'")?,
+                        )?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Response::Stats(Box::new(StatsReply {
+                workers,
+                metrics,
+                queue_wait,
+                synth_latency: hist("synth_latency")?,
+                verify_latency: hist("verify_latency")?,
+                spans,
+                // Absent on servers that predate drop accounting.
+                dropped: j.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+            }))
         }
         "shutdown" => Response::ShuttingDown,
         other => return Err(format!("unknown reply op '{other}'")),
@@ -1786,6 +2000,14 @@ mod tests {
         )
     }
 
+    fn sample_histogram(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
     #[test]
     fn instance_spec_roundtrips_exactly() {
         let inst = spec_instance();
@@ -2006,6 +2228,7 @@ mod tests {
             Request::Status { id: 7 },
             Request::Cancel { id: 9 },
             Request::Metrics,
+            Request::Stats,
             Request::Shutdown,
         ];
         for (i, req) in requests.iter().enumerate() {
@@ -2103,8 +2326,38 @@ mod tests {
                         corners_evaluated: 96,
                         corner_lib_hits: 80,
                         corner_lib_misses: 16,
+                        queue_depth_high_water: 4,
                     },
                 }),
+            ),
+            (
+                Some(8),
+                Response::Stats(Box::new(StatsReply {
+                    workers: 2,
+                    metrics: ServiceMetrics {
+                        submitted: 3,
+                        completed: 3,
+                        queue_depth_high_water: 2,
+                        ..ServiceMetrics::default()
+                    },
+                    queue_wait: vec![
+                        (-1, sample_histogram(&[0, 90_000])),
+                        (5, sample_histogram(&[12])),
+                    ],
+                    synth_latency: sample_histogram(&[1_000_000, 2_000_000, 3_500_000]),
+                    verify_latency: Histogram::new(),
+                    spans: vec![
+                        SpanStat {
+                            name: "pipeline.merge_level".into(),
+                            durations: sample_histogram(&[250_000, 300_000]),
+                        },
+                        SpanStat {
+                            name: "verify.tree".into(),
+                            durations: sample_histogram(&[7]),
+                        },
+                    ],
+                    dropped: 1,
+                })),
             ),
             (Some(5), Response::ShuttingDown),
             (
@@ -2123,6 +2376,101 @@ mod tests {
             assert_eq!(&got_seq, seq);
             assert_eq!(&back, resp);
         }
+    }
+
+    #[test]
+    fn stats_reply_reencodes_byte_identically() {
+        // The histogram percentile fields are derived from the bucket
+        // parts at encode time, so decode → re-encode must reproduce the
+        // frame byte for byte — the property the determinism suite and
+        // the conformance transcript rely on.
+        let reply = Response::Stats(Box::new(StatsReply {
+            workers: 1,
+            metrics: ServiceMetrics {
+                submitted: 2,
+                completed: 2,
+                synth_seconds: 0.125,
+                queue_depth_high_water: 2,
+                ..ServiceMetrics::default()
+            },
+            queue_wait: vec![(0, sample_histogram(&[1_500, 40_000]))],
+            synth_latency: sample_histogram(&[2_000_000, 9_000_000]),
+            verify_latency: sample_histogram(&[750_000]),
+            spans: vec![SpanStat {
+                name: "service.synth".into(),
+                durations: sample_histogram(&[2_000_000, 9_000_000]),
+            }],
+            dropped: 0,
+        }));
+        let first = encode_response(Some(3), &reply).to_string();
+        let (seq, back) = decode_response(&Json::parse(&first).unwrap()).unwrap();
+        assert_eq!(seq, Some(3));
+        assert_eq!(back, reply);
+        assert_eq!(encode_response(Some(3), &back).to_string(), first);
+        // The derived percentiles on the wire match what a client
+        // recomputes from the decoded buckets.
+        let Response::Stats(decoded) = back else {
+            unreachable!()
+        };
+        let j = Json::parse(&first).unwrap();
+        let wire_p99 = j
+            .get("synth_latency")
+            .and_then(|h| h.get("p99_ns"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(decoded.synth_latency.percentile(99.0), wire_p99);
+    }
+
+    #[test]
+    fn empty_stats_reply_pins_its_frame_bytes() {
+        // A paused, fresh server with no recorder installed answers
+        // `stats` with exactly this frame — the conformance transcript in
+        // docs/PROTOCOL.md replays it verbatim.
+        let reply = Response::Stats(Box::new(StatsReply {
+            workers: 1,
+            ..StatsReply::default()
+        }));
+        let frame = encode_response(Some(2), &reply).to_string();
+        let expected = concat!(
+            r#"{"ok":true,"seq":2,"op":"stats","workers":1,"metrics":{"#,
+            r#""submitted":0,"completed":0,"cancelled":0,"expired":0,"failed":0,"#,
+            r#""queue_depth":0,"synth_seconds":0,"verify_seconds":0,"#,
+            r#""stages_simulated":0,"stages_reused":0,"symbolic_hits":0,"#,
+            r#""symbolic_misses":0,"topology_seconds":0,"merge_seconds":0,"#,
+            r#""sinks_synthesized":0,"sinks_verified":0,"corners_evaluated":0,"#,
+            r#""corner_lib_hits":0,"corner_lib_misses":0,"queue_depth_high_water":0},"#,
+            r#""queue_wait":[],"#,
+            r#""synth_latency":{"count":0,"total_ns":0,"max_ns":0,"p50_ns":0,"p90_ns":0,"p99_ns":0,"buckets":[]},"#,
+            r#""verify_latency":{"count":0,"total_ns":0,"max_ns":0,"p50_ns":0,"p90_ns":0,"p99_ns":0,"buckets":[]},"#,
+            r#""spans":[],"dropped":0}"#,
+        );
+        assert_eq!(frame, expected);
+    }
+
+    #[test]
+    fn stats_reply_decode_is_lenient() {
+        // 'dropped' is absent on servers that predate drop accounting;
+        // out-of-range bucket indices are ignored, not fatal.
+        let frame = concat!(
+            r#"{"ok":true,"seq":1,"op":"stats","workers":1,"metrics":{"#,
+            r#""submitted":0,"completed":0,"cancelled":0,"expired":0,"failed":0,"#,
+            r#""queue_depth":0,"synth_seconds":0,"verify_seconds":0},"#,
+            r#""queue_wait":[],"#,
+            r#""synth_latency":{"count":2,"total_ns":30,"max_ns":20,"buckets":[[4,1],[5,1],[900,7]]},"#,
+            r#""verify_latency":{"count":0,"total_ns":0,"max_ns":0,"buckets":[]},"#,
+            r#""spans":[]}"#,
+        );
+        let (_, resp) = decode_response(&Json::parse(frame).unwrap()).unwrap();
+        let Response::Stats(s) = resp else {
+            panic!("expected a stats reply, got {resp:?}");
+        };
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.metrics.queue_depth_high_water, 0);
+        assert_eq!(s.synth_latency.count(), 2);
+        assert_eq!(s.synth_latency.nonzero_buckets(), vec![(4, 1), (5, 1)]);
+        // Percentiles were not on the wire at all — the client derives
+        // them from the buckets.
+        assert_eq!(s.synth_latency.percentile(100.0), 20);
     }
 
     #[test]

@@ -28,8 +28,9 @@ use crate::frame::{read_frame, write_frame};
 use crate::json::Json;
 use crate::proto::{
     decode_request, encode_event, encode_response, encode_tree_chunk, encode_tree_done,
-    DecodeError, ErrorCode, MetricsReply, Outcome, Request, Response, ResultEvent, TreeChunkEvent,
-    TreeDoneEvent, TreeInfo, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
+    DecodeError, ErrorCode, MetricsReply, Outcome, Request, Response, ResultEvent, SpanStat,
+    StatsReply, TreeChunkEvent, TreeDoneEvent, TreeInfo, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK,
+    PROTOCOL_VERSION,
 };
 use cts_core::{
     BatchSubmitError, RequestHandle, ServiceError, SubmitError, SynthesisRequest, SynthesisResult,
@@ -49,6 +50,9 @@ use std::time::Duration;
 fn server_ident() -> String {
     format!("cts-serve/{}", env!("CARGO_PKG_VERSION"))
 }
+
+// Span: one decoded request frame, op → reply queued (attr = seq).
+static SPAN_HANDLE_FRAME: cts_obs::Name = cts_obs::Name::new("net.handle_frame");
 
 /// Shared server state: the service plus what shutdown needs to reach.
 struct ServerCtx {
@@ -483,6 +487,7 @@ fn handle_frame(
             return false;
         }
     };
+    let _span = cts_obs::span_with(&SPAN_HANDLE_FRAME, seq);
     let reply = match request {
         Request::Hello { version, client_id } => {
             if version != PROTOCOL_VERSION {
@@ -662,6 +667,36 @@ fn handle_frame(
             metrics: ctx.service.metrics(),
             workers: ctx.service.workers() as u64,
         }),
+        Request::Stats => {
+            let latencies = ctx.service.stats();
+            // Span summaries come from the process-global recorder; a
+            // server running without tracing answers with an empty list
+            // (and `dropped: 0`), keeping the frame deterministic.
+            let (spans, dropped) = match cts_obs::Recorder::global() {
+                Some(recorder) => {
+                    recorder.collect();
+                    let spans = recorder
+                        .summaries()
+                        .into_iter()
+                        .map(|s| SpanStat {
+                            name: s.name.to_string(),
+                            durations: s.durations,
+                        })
+                        .collect();
+                    (spans, recorder.dropped())
+                }
+                None => (Vec::new(), 0),
+            };
+            Response::Stats(Box::new(StatsReply {
+                workers: ctx.service.workers() as u64,
+                metrics: ctx.service.metrics(),
+                queue_wait: latencies.queue_wait_by_priority,
+                synth_latency: latencies.synth_latency,
+                verify_latency: latencies.verify_latency,
+                spans,
+                dropped,
+            }))
+        }
         Request::Shutdown => {
             // Drain first: every admitted request (this connection's and
             // everyone else's) resolves and streams its event before the

@@ -1,0 +1,143 @@
+//! Exporters: Chrome trace-event JSON and a compact JSON snapshot.
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::span::{SpanEvent, SpanSummary};
+
+/// Renders drained span events as Chrome trace-event JSON — a flat array
+/// of complete (`"ph":"X"`) events, directly loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev). Timestamps
+/// and durations are microseconds (fractional); span id, parent id, and
+/// the site attribute ride along in `args`.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push('[');
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = event.t_start_ns as f64 / 1000.0;
+        let dur = event.duration_ns() as f64 / 1000.0;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"cts\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"span\":{},\"parent\":{},\"attr\":{}}}}}",
+            escape(event.name),
+            event.thread,
+            ts,
+            dur,
+            event.span_id,
+            event.parent,
+            event.attr,
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders per-name summaries as a compact self-describing JSON object:
+/// `{"version":1,"dropped":N,"spans":[{"name":…,"count":…,"total_ns":…,
+/// "max_ns":…,"p50_ns":…,"p90_ns":…,"p99_ns":…,"buckets":[[i,c],…]},…]}`.
+/// The histogram shape matches the wire-level `stats` op, so one parser
+/// serves both.
+pub fn json_snapshot(summaries: &[SpanSummary], dropped: u64) -> String {
+    let mut out = String::with_capacity(64 + summaries.len() * 160);
+    let _ = write!(out, "{{\"version\":1,\"dropped\":{dropped},\"spans\":[");
+    for (i, summary) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\",", escape(summary.name));
+        write_histogram(&mut out, &summary.durations);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Appends the shared histogram body (no surrounding braces):
+/// `"count":…,"total_ns":…,"max_ns":…,"p50_ns":…,"p90_ns":…,"p99_ns":…,
+/// "buckets":[[index,count],…]`.
+fn write_histogram(out: &mut String, hist: &Histogram) {
+    let _ = write!(
+        out,
+        "\"count\":{},\"total_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"buckets\":[",
+        hist.count(),
+        hist.total(),
+        hist.max(),
+        hist.percentile(50.0),
+        hist.percentile(90.0),
+        hist.percentile(99.0),
+    );
+    for (i, (bucket, count)) in hist.nonzero_buckets().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{bucket},{count}]");
+    }
+    out.push(']');
+}
+
+fn escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(escaped, "\\u{:04x}", c as u32);
+            }
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(span_id: u64, parent: u64, name: &'static str, t0: u64, t1: u64) -> SpanEvent {
+        SpanEvent {
+            span_id,
+            parent,
+            name,
+            t_start_ns: t0,
+            t_end_ns: t1,
+            attr: 3,
+            thread: 2,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_exact() {
+        let events = vec![event(1, 0, "a.b", 1500, 4000)];
+        assert_eq!(
+            chrome_trace(&events),
+            "[{\"name\":\"a.b\",\"cat\":\"cts\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\
+             \"ts\":1.5,\"dur\":2.5,\"args\":{\"span\":1,\"parent\":0,\"attr\":3}}]"
+        );
+        assert_eq!(chrome_trace(&[]), "[]");
+    }
+
+    #[test]
+    fn snapshot_shape_is_exact() {
+        let mut durations = Histogram::new();
+        durations.record(5);
+        let summaries = vec![SpanSummary {
+            name: "x",
+            durations,
+        }];
+        assert_eq!(
+            json_snapshot(&summaries, 7),
+            "{\"version\":1,\"dropped\":7,\"spans\":[{\"name\":\"x\",\
+             \"count\":1,\"total_ns\":5,\"max_ns\":5,\
+             \"p50_ns\":5,\"p90_ns\":5,\"p99_ns\":5,\"buckets\":[[3,1]]}]}"
+        );
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,278 @@
+//! Fixed-bucket log2 latency histograms with exact, grouping-independent
+//! merges.
+
+use std::fmt;
+
+/// Number of buckets in a [`Histogram`]: bucket `0` holds exact zeros,
+/// bucket `b` (1..=64) holds values in `[2^(b-1), 2^b - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index a value falls into: `0` for `0`, otherwise
+/// `floor(log2(v)) + 1`.
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive `[low, high]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= HISTOGRAM_BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples (latencies in
+/// nanoseconds, throughout this workspace).
+///
+/// The representation is purely additive — per-bucket counts, a sample
+/// count, a saturating value total, and the exact maximum — so
+/// [`Histogram::merge`] is exact and **grouping-independent**: folding
+/// per-worker or per-shard histograms in any order, or through any
+/// intermediate grouping, produces identical buckets and therefore
+/// bit-identical [`Histogram::percentile`] answers. This is the same
+/// contract `BatchSummary::fold` keeps for batch statistics, extended
+/// from scalars to distributions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Exact: the result is identical to a
+    /// histogram that recorded both sample streams directly, whatever
+    /// the grouping.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact, not bucketed); `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`), resolved to the upper bound
+    /// of the bucket holding the rank-`ceil(p/100 · count)` sample and
+    /// clamped to the exact [`Histogram::max`]. Deterministic: computed
+    /// purely from the bucket counts and the max, so a histogram
+    /// reconstructed from its wire encoding answers bit-identically.
+    /// Returns `0` when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut cumulative = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if cumulative >= rank {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs in index order —
+    /// the sparse form the wire protocol serializes.
+    pub fn nonzero_buckets(&self) -> Vec<(u8, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u8, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its wire parts (sparse buckets plus the
+    /// scalar fields). Lossless against [`Histogram::nonzero_buckets`] /
+    /// [`Histogram::count`] / [`Histogram::total`] / [`Histogram::max`]:
+    /// the round-tripped histogram is `==` to the original and answers
+    /// every percentile bit-identically. Out-of-range bucket indices are
+    /// ignored (lenient decode).
+    pub fn from_parts(buckets: &[(u8, u64)], count: u64, total: u64, max: u64) -> Histogram {
+        let mut h = Histogram::new();
+        for &(index, c) in buckets {
+            if (index as usize) < HISTOGRAM_BUCKETS {
+                h.counts[index as usize] = c;
+            }
+        }
+        h.count = count;
+        h.total = total;
+        h.max = max;
+        h
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("total", &self.total)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_of(lo), b, "low edge of bucket {b}");
+            assert_eq!(bucket_of(hi), b, "high edge of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn merge_is_grouping_independent() {
+        // One stream of samples, folded three ways: directly, split in
+        // two, and split per-sample then merged pairwise in a different
+        // order. All three must be identical (the BatchSummary::fold
+        // contract).
+        let samples: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9e3779b9) % 100_000)
+            .collect();
+        let mut direct = Histogram::new();
+        for &s in &samples {
+            direct.record(s);
+        }
+
+        let (a, b) = samples.split_at(137);
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        a.iter().for_each(|&s| left.record(s));
+        b.iter().for_each(|&s| right.record(s));
+        let mut split = Histogram::new();
+        split.merge(&right);
+        split.merge(&left);
+        assert_eq!(direct, split);
+
+        let mut singles: Vec<Histogram> = samples
+            .iter()
+            .map(|&s| {
+                let mut h = Histogram::new();
+                h.record(s);
+                h
+            })
+            .collect();
+        while singles.len() > 1 {
+            // Merge back-to-front so the grouping differs from the split
+            // fold above.
+            let last = singles.pop().unwrap();
+            let n = singles.len();
+            singles[n / 2].merge(&last);
+        }
+        assert_eq!(direct, singles.pop().unwrap());
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(direct.percentile(p), split.percentile(p));
+        }
+    }
+
+    #[test]
+    fn percentile_walks_buckets_and_clamps_to_max() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 1000, 5000] {
+            h.record(v);
+        }
+        // Rank 1 of 4 at p25: bucket of 10 is [8,15] -> upper bound 15.
+        assert_eq!(h.percentile(25.0), 15);
+        // p100 resolves to the exact max, not the bucket bound 8191.
+        assert_eq!(h.percentile(100.0), 5000);
+        assert_eq!(h.percentile(0.0), 15, "p0 still ranks the first sample");
+        assert_eq!(Histogram::new().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn wire_parts_round_trip_losslessly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 93, 12_000, 12_001, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(&h.nonzero_buckets(), h.count(), h.total(), h.max());
+        assert_eq!(h, back);
+        for p in [50.0, 90.0, 99.0] {
+            assert_eq!(h.percentile(p), back.percentile(p));
+        }
+        // Lenient decode: a bucket index past the table is ignored.
+        let lenient = Histogram::from_parts(&[(200, 5), (1, 2)], 2, 2, 1);
+        assert_eq!(lenient.count(), 2);
+        assert_eq!(lenient.nonzero_buckets(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.total(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+}

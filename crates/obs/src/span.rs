@@ -1,0 +1,658 @@
+//! Span recording: a process-global [`Recorder`], per-thread lock-free
+//! ring buffers, and scoped [`SpanGuard`] timers.
+//!
+//! The hot path is built around one invariant: **with no recorder
+//! installed, instrumentation costs a single relaxed atomic load**. When
+//! a recorder is installed, each finished span is written into the
+//! calling thread's ring — a fixed array of atomic words driven by a
+//! per-slot sequence counter (a seqlock) — so writers never block and
+//! never allocate. The recorder drains rings centrally under its own
+//! locks. A reader that races a wrapping writer detects the torn slot
+//! via the sequence word and counts it as dropped; in the worst case a
+//! drop goes unnoticed and a garbage duration lands in the telemetry —
+//! telemetry only, never synthesis results.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::export;
+use crate::hist::Histogram;
+
+/// Events retained per thread ring before the oldest are overwritten.
+const RING_CAP: u64 = 4096;
+/// Atomic words per ring slot: sequence + six event fields (one spare).
+const SLOT_WORDS: usize = 8;
+/// Events retained centrally by a [`Recorder`] before the oldest are
+/// discarded (drop-oldest, counted in [`Recorder::dropped`]).
+const STORE_CAP: usize = 262_144;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static GLOBAL: Mutex<Option<Arc<RecorderInner>>> = Mutex::new(None);
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+    #[allow(clippy::type_complexity)]
+    static LOCAL_RING: RefCell<Option<(u64, Arc<ThreadRing>)>> = const { RefCell::new(None) };
+}
+
+/// Nanoseconds since an arbitrary process-wide epoch, from a monotonic
+/// clock. All span timestamps share this epoch, so durations and
+/// cross-thread orderings are meaningful within one process.
+pub fn now_ns() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A static span name, interned on first use.
+///
+/// Declare one per instrumentation site so the hot path ships a small
+/// integer id into the ring instead of a string:
+///
+/// ```
+/// static MERGE: cts_obs::Name = cts_obs::Name::new("pipeline.merge_level");
+/// ```
+pub struct Name {
+    text: &'static str,
+    id: AtomicU32,
+}
+
+impl Name {
+    /// A new (not yet interned) name. `const`, so names can be statics.
+    pub const fn new(text: &'static str) -> Name {
+        Name {
+            text,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// The name text.
+    pub fn text(&self) -> &'static str {
+        self.text
+    }
+
+    /// The interned id (assigned on first call; cached thereafter).
+    fn id(&self) -> u32 {
+        let cached = self.id.load(Ordering::Relaxed);
+        if cached != 0 {
+            return cached;
+        }
+        let id = intern(self.text);
+        // A racing duplicate intern returns the same id for equal text,
+        // so a lost store is harmless.
+        self.id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+fn intern(text: &'static str) -> u32 {
+    let mut names = NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = names.iter().position(|&n| n == text) {
+        return (i + 1) as u32;
+    }
+    names.push(text);
+    names.len() as u32
+}
+
+fn name_text(id: u64) -> &'static str {
+    let names = NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    match id.checked_sub(1).and_then(|i| names.get(i as usize)) {
+        Some(&text) => text,
+        None => "?",
+    }
+}
+
+/// One finished span drained from a thread ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Process-unique span id (never 0).
+    pub span_id: u64,
+    /// Enclosing span's id, or 0 for a root span.
+    pub parent: u64,
+    /// The interned span name.
+    pub name: &'static str,
+    /// Start timestamp, [`now_ns`] epoch.
+    pub t_start_ns: u64,
+    /// End timestamp, [`now_ns`] epoch.
+    pub t_end_ns: u64,
+    /// Free-form site-defined attribute (sink count, level, priority…).
+    pub attr: u64,
+    /// Recorder-assigned id of the thread that produced the event.
+    pub thread: u64,
+}
+
+impl SpanEvent {
+    /// Span duration in nanoseconds (0 if the clock read backwards).
+    pub fn duration_ns(&self) -> u64 {
+        self.t_end_ns.saturating_sub(self.t_start_ns)
+    }
+}
+
+/// Per-name duration aggregate built by [`Recorder::summaries`].
+#[derive(Clone, Debug)]
+pub struct SpanSummary {
+    /// The span name.
+    pub name: &'static str,
+    /// Duration distribution (nanoseconds) across all drained events.
+    pub durations: Histogram,
+}
+
+/// A per-thread seqlock ring. The owning thread is the only writer; the
+/// recorder is the only reader. Each slot is [`SLOT_WORDS`] atomic
+/// words: word 0 is the sequence (`2·n + 1` while event `n` is being
+/// written, `2·n + 2` once published), words 1..=6 are the event fields.
+struct ThreadRing {
+    thread: u64,
+    head: AtomicU64,
+    tail: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl ThreadRing {
+    fn new(thread: u64) -> ThreadRing {
+        let mut slots = Vec::with_capacity(RING_CAP as usize * SLOT_WORDS);
+        slots.resize_with(RING_CAP as usize * SLOT_WORDS, || AtomicU64::new(0));
+        ThreadRing {
+            thread,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    fn push(&self, span_id: u64, parent: u64, name_id: u64, t_start: u64, t_end: u64, attr: u64) {
+        let n = self.head.load(Ordering::Relaxed);
+        let base = (n % RING_CAP) as usize * SLOT_WORDS;
+        self.slots[base].store(2 * n + 1, Ordering::Release);
+        fence(Ordering::SeqCst);
+        self.slots[base + 1].store(span_id, Ordering::Relaxed);
+        self.slots[base + 2].store(parent, Ordering::Relaxed);
+        self.slots[base + 3].store(name_id, Ordering::Relaxed);
+        self.slots[base + 4].store(t_start, Ordering::Relaxed);
+        self.slots[base + 5].store(t_end, Ordering::Relaxed);
+        self.slots[base + 6].store(attr, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        self.slots[base].store(2 * n + 2, Ordering::Release);
+        self.head.store(n + 1, Ordering::Release);
+    }
+
+    /// Drains published events into `out`; returns how many were lost to
+    /// wrap-around or torn by a racing writer.
+    fn drain(&self, out: &mut Vec<SpanEvent>) -> u64 {
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        let mut dropped = 0u64;
+        if head - tail > RING_CAP {
+            dropped += head - tail - RING_CAP;
+            tail = head - RING_CAP;
+        }
+        while tail < head {
+            let base = (tail % RING_CAP) as usize * SLOT_WORDS;
+            let s1 = self.slots[base].load(Ordering::Acquire);
+            if s1 != 2 * tail + 2 {
+                dropped += 1;
+                tail += 1;
+                continue;
+            }
+            fence(Ordering::SeqCst);
+            let span_id = self.slots[base + 1].load(Ordering::Relaxed);
+            let parent = self.slots[base + 2].load(Ordering::Relaxed);
+            let name_id = self.slots[base + 3].load(Ordering::Relaxed);
+            let t_start = self.slots[base + 4].load(Ordering::Relaxed);
+            let t_end = self.slots[base + 5].load(Ordering::Relaxed);
+            let attr = self.slots[base + 6].load(Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            if self.slots[base].load(Ordering::Acquire) != s1 {
+                dropped += 1;
+                tail += 1;
+                continue;
+            }
+            out.push(SpanEvent {
+                span_id,
+                parent,
+                name: name_text(name_id),
+                t_start_ns: t_start,
+                t_end_ns: t_end,
+                attr,
+                thread: self.thread,
+            });
+            tail += 1;
+        }
+        self.tail.store(tail, Ordering::Release);
+        dropped
+    }
+}
+
+struct Store {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+struct RecorderInner {
+    generation: u64,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    store: Mutex<Store>,
+}
+
+/// Handle to the process-global span recorder.
+///
+/// At most one recorder is installed at a time; [`Recorder::install`]
+/// replaces any previous one. Cloning the handle is cheap and all clones
+/// observe the same drained events.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Recorder {
+    /// Installs a fresh recorder as the process global and enables span
+    /// recording. Threads lazily (re-)register their rings on the next
+    /// span they finish.
+    pub fn install() -> Recorder {
+        let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+        let inner = Arc::new(RecorderInner {
+            generation,
+            rings: Mutex::new(Vec::new()),
+            store: Mutex::new(Store {
+                events: Vec::new(),
+                dropped: 0,
+            }),
+        });
+        *guard = Some(inner.clone());
+        ENABLED.store(true, Ordering::Release);
+        Recorder { inner }
+    }
+
+    /// Disables recording and drops the process-global recorder (handles
+    /// already held stay usable for draining what was collected).
+    pub fn uninstall() {
+        let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        ENABLED.store(false, Ordering::Release);
+        GENERATION.fetch_add(1, Ordering::Relaxed);
+        *guard = None;
+    }
+
+    /// The currently installed recorder, if any.
+    pub fn global() -> Option<Recorder> {
+        let guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().map(|inner| Recorder {
+            inner: inner.clone(),
+        })
+    }
+
+    /// Whether a recorder is installed and recording. This is the check
+    /// every instrumentation site performs first — one relaxed load.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Drains every registered thread ring into the central store.
+    /// Call before [`Recorder::events`] / [`Recorder::summaries`] /
+    /// exporters to observe the latest spans.
+    pub fn collect(&self) {
+        let rings: Vec<Arc<ThreadRing>> = {
+            let rings = self.inner.rings.lock().unwrap_or_else(|e| e.into_inner());
+            rings.clone()
+        };
+        let mut store = self.inner.store.lock().unwrap_or_else(|e| e.into_inner());
+        for ring in rings {
+            store.dropped += ring.drain(&mut store.events);
+        }
+        if store.events.len() > STORE_CAP {
+            let excess = store.events.len() - STORE_CAP;
+            store.events.drain(..excess);
+            store.dropped += excess as u64;
+        }
+    }
+
+    /// All collected events, ordered by start time (ties by span id).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let store = self.inner.store.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = store.events.clone();
+        events.sort_by_key(|e| (e.t_start_ns, e.span_id));
+        events
+    }
+
+    /// Per-name duration histograms over all collected events, sorted by
+    /// name.
+    pub fn summaries(&self) -> Vec<SpanSummary> {
+        let store = self.inner.store.lock().unwrap_or_else(|e| e.into_inner());
+        let mut by_name: std::collections::BTreeMap<&'static str, Histogram> =
+            std::collections::BTreeMap::new();
+        for event in &store.events {
+            by_name
+                .entry(event.name)
+                .or_default()
+                .record(event.duration_ns());
+        }
+        by_name
+            .into_iter()
+            .map(|(name, durations)| SpanSummary { name, durations })
+            .collect()
+    }
+
+    /// Events lost to ring wrap-around, torn slots, or the central
+    /// retention cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .store
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dropped
+    }
+
+    /// Discards all collected events and the drop counter.
+    pub fn clear(&self) {
+        let mut store = self.inner.store.lock().unwrap_or_else(|e| e.into_inner());
+        store.events.clear();
+        store.dropped = 0;
+    }
+
+    /// Drains the rings and renders everything collected so far as
+    /// Chrome trace-event JSON (see [`crate::chrome_trace`]).
+    pub fn chrome_trace(&self) -> String {
+        self.collect();
+        export::chrome_trace(&self.events())
+    }
+
+    /// Drains the rings and renders a compact self-describing JSON
+    /// snapshot: per-name duration histograms (count, total, max,
+    /// p50/p90/p99, sparse log2 buckets) plus the drop counter.
+    pub fn json_snapshot(&self) -> String {
+        self.collect();
+        export::json_snapshot(&self.summaries(), self.dropped())
+    }
+}
+
+fn push_event(span_id: u64, parent: u64, name_id: u64, t_start: u64, t_end: u64, attr: u64) {
+    let _ = LOCAL_RING.try_with(|cell| {
+        let generation = GENERATION.load(Ordering::Relaxed);
+        let mut slot = cell.borrow_mut();
+        let stale = match &*slot {
+            Some((cached, _)) => *cached != generation,
+            None => true,
+        };
+        if stale {
+            *slot = register_ring(generation).map(|ring| (generation, ring));
+        }
+        if let Some((_, ring)) = &*slot {
+            ring.push(span_id, parent, name_id, t_start, t_end, attr);
+        }
+    });
+}
+
+fn register_ring(generation: u64) -> Option<Arc<ThreadRing>> {
+    let guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let inner = guard.as_ref()?;
+    if inner.generation != generation {
+        // Raced with a concurrent (un)install; the next event retries.
+        return None;
+    }
+    let ring = Arc::new(ThreadRing::new(
+        NEXT_THREAD.fetch_add(1, Ordering::Relaxed) + 1,
+    ));
+    inner
+        .rings
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(ring.clone());
+    Some(ring)
+}
+
+/// Starts a span named `name`. Inert (a no-op guard) when no recorder is
+/// installed. The span ends — and is written to the thread's ring — when
+/// the guard drops.
+pub fn span(name: &'static Name) -> SpanGuard {
+    span_with(name, 0)
+}
+
+/// Like [`span`], carrying a site-defined `u64` attribute (sink count,
+/// tree level, priority — whatever the taxonomy documents for the site).
+pub fn span_with(name: &'static Name, attr: u64) -> SpanGuard {
+    if !Recorder::enabled() {
+        return SpanGuard {
+            name,
+            span_id: 0,
+            parent: 0,
+            start: 0,
+            attr: 0,
+        };
+    }
+    let span_id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed) + 1;
+    let parent = CURRENT_PARENT.with(|p| {
+        let prev = p.get();
+        p.set(span_id);
+        prev
+    });
+    SpanGuard {
+        name,
+        span_id,
+        parent,
+        start: now_ns(),
+        attr,
+    }
+}
+
+/// Records a completed span directly, bypassing the thread-local parent
+/// stack — for measurements that start on one thread and end on another
+/// (queue waits, connection lifetimes). Returns the allocated span id
+/// (0 when no recorder is installed).
+pub fn record(name: &'static Name, parent: u64, t_start_ns: u64, t_end_ns: u64, attr: u64) -> u64 {
+    if !Recorder::enabled() {
+        return 0;
+    }
+    let span_id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed) + 1;
+    push_event(
+        span_id,
+        parent,
+        name.id() as u64,
+        t_start_ns,
+        t_end_ns,
+        attr,
+    );
+    span_id
+}
+
+/// RAII timer returned by [`span`] / [`span_with`]. Dropping it ends the
+/// span and writes the event to the calling thread's ring.
+pub struct SpanGuard {
+    name: &'static Name,
+    span_id: u64,
+    parent: u64,
+    start: u64,
+    attr: u64,
+}
+
+impl SpanGuard {
+    /// This span's id, usable as an explicit parent for [`record`].
+    /// 0 when the guard is inert (no recorder installed at creation).
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Overwrites the attribute recorded when the span ends — for sites
+    /// where the value (a count, a result size) is only known mid-span.
+    pub fn set_attr(&mut self, attr: u64) {
+        self.attr = attr;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.span_id == 0 {
+            return;
+        }
+        let end = now_ns();
+        let _ = CURRENT_PARENT.try_with(|p| p.set(self.parent));
+        if Recorder::enabled() {
+            push_event(
+                self.span_id,
+                self.parent,
+                self.name.id() as u64,
+                self.start,
+                end,
+                self.attr,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; serialize tests that install one.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    static OUTER: Name = Name::new("test.outer");
+    static INNER: Name = Name::new("test.inner");
+    static MANUAL: Name = Name::new("test.manual");
+    static FLOOD: Name = Name::new("test.flood");
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let _g = lock();
+        Recorder::uninstall();
+        assert!(!Recorder::enabled());
+        let guard = span_with(&OUTER, 7);
+        assert_eq!(guard.id(), 0);
+        drop(guard);
+        assert_eq!(record(&MANUAL, 0, 1, 2, 3), 0);
+    }
+
+    #[test]
+    fn nesting_links_parent_ids() {
+        let _g = lock();
+        let recorder = Recorder::install();
+        let outer_id;
+        {
+            let outer = span(&OUTER);
+            outer_id = outer.id();
+            assert_ne!(outer_id, 0);
+            {
+                let inner = span_with(&INNER, 5);
+                assert_ne!(inner.id(), outer_id);
+            }
+        }
+        recorder.collect();
+        let events = recorder.events();
+        Recorder::uninstall();
+        assert_eq!(events.len(), 2);
+        let inner = events.iter().find(|e| e.name == "test.inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "test.outer").unwrap();
+        assert_eq!(inner.parent, outer.span_id);
+        assert_eq!(outer.span_id, outer_id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.attr, 5);
+        assert!(inner.t_start_ns >= outer.t_start_ns);
+        assert!(inner.t_end_ns <= outer.t_end_ns);
+        // Inner finished first, so it sits earlier in the ring; both
+        // survive and the summaries aggregate by name.
+    }
+
+    #[test]
+    fn manual_record_crosses_threads() {
+        let _g = lock();
+        let recorder = Recorder::install();
+        let t0 = now_ns();
+        let handle = std::thread::spawn(move || {
+            record(&MANUAL, 0, t0, now_ns(), 42);
+        });
+        handle.join().unwrap();
+        {
+            let _local = span(&OUTER);
+        }
+        recorder.collect();
+        let events = recorder.events();
+        Recorder::uninstall();
+        assert_eq!(events.len(), 2);
+        let manual = events.iter().find(|e| e.name == "test.manual").unwrap();
+        let local = events.iter().find(|e| e.name == "test.outer").unwrap();
+        assert_eq!(manual.attr, 42);
+        assert_ne!(manual.thread, local.thread, "distinct per-thread rings");
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let _g = lock();
+        let recorder = Recorder::install();
+        let n = RING_CAP + 100;
+        for i in 0..n {
+            record(&FLOOD, 0, i, i + 1, i);
+        }
+        recorder.collect();
+        let events = recorder.events();
+        let dropped = recorder.dropped();
+        Recorder::uninstall();
+        assert_eq!(events.len() as u64 + dropped, n);
+        assert_eq!(dropped, 100);
+        // The survivors are the newest events.
+        assert!(events.iter().all(|e| e.attr >= 100));
+    }
+
+    #[test]
+    fn reinstall_starts_clean() {
+        let _g = lock();
+        let first = Recorder::install();
+        {
+            let _s = span(&OUTER);
+        }
+        first.collect();
+        assert_eq!(first.events().len(), 1);
+        let second = Recorder::install();
+        {
+            let _s = span(&INNER);
+        }
+        second.collect();
+        let events = second.events();
+        Recorder::uninstall();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "test.inner");
+        // The first handle still serves what it drained earlier.
+        assert_eq!(first.events().len(), 1);
+    }
+
+    #[test]
+    fn summaries_aggregate_by_name() {
+        let _g = lock();
+        let recorder = Recorder::install();
+        for i in 0..10 {
+            record(&FLOOD, 0, 0, 1 << i, 0);
+        }
+        record(&MANUAL, 0, 0, 5, 0);
+        recorder.collect();
+        let summaries = recorder.summaries();
+        Recorder::uninstall();
+        assert_eq!(summaries.len(), 2);
+        // BTreeMap ordering: test.flood before test.manual.
+        assert_eq!(summaries[0].name, "test.flood");
+        assert_eq!(summaries[0].durations.count(), 10);
+        assert_eq!(summaries[0].durations.max(), 512);
+        assert_eq!(summaries[1].name, "test.manual");
+        assert_eq!(summaries[1].durations.count(), 1);
+    }
+
+    #[test]
+    fn set_attr_overrides_initial_value() {
+        let _g = lock();
+        let recorder = Recorder::install();
+        {
+            let mut guard = span_with(&OUTER, 1);
+            guard.set_attr(99);
+        }
+        recorder.collect();
+        let events = recorder.events();
+        Recorder::uninstall();
+        assert_eq!(events[0].attr, 99);
+    }
+}

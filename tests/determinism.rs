@@ -216,6 +216,98 @@ fn service_worker_count_does_not_change_results() {
     }
 }
 
+/// The observability contract: installing a span recorder must not
+/// change synthesis results — not the tree, not the timing report, not
+/// the SPICE numbers, not the serialized wire frame — by a single byte.
+/// Tracing observes the flow; it never participates in it.
+#[test]
+fn tracing_does_not_change_results() {
+    let lib = fast_library();
+    let tech = Technology::nominal_45nm();
+    let instance = cts::benchmarks::generate_custom("traced", 13, 4200.0, 33);
+    let mut options = CtsOptions::default();
+    options.threads = 2;
+    // Exercise the Monte Carlo corner axis under tracing too.
+    options.variation.corners = 4;
+
+    let run_once = || {
+        let mut svc_options = ServiceOptions::default();
+        svc_options.workers = 2;
+        let service = SynthesisService::new(
+            Arc::new(lib.clone()),
+            Arc::new(tech.clone()),
+            options.clone(),
+            svc_options,
+        );
+        let ticket = service
+            .submit(SynthesisRequest::new(instance.clone()))
+            .expect("service accepts");
+        let result = ticket.wait().expect("request completes");
+        service.shutdown();
+        result
+    };
+
+    // Baseline: no recorder installed anywhere in the process.
+    let baseline = run_once();
+
+    // Traced: the same run with a recording recorder installed.
+    let recorder = cts::obs::Recorder::install();
+    let traced = run_once();
+    let summaries = {
+        recorder.collect();
+        recorder.summaries()
+    };
+    cts::obs::Recorder::uninstall();
+
+    assert_eq!(traced.item.result.tree, baseline.item.result.tree);
+    assert_eq!(traced.item.result.source, baseline.item.result.source);
+    assert_eq!(traced.item.result.report, baseline.item.result.report);
+    assert_eq!(traced.item.result.buffers, baseline.item.result.buffers);
+    assert_eq!(
+        traced.item.result.wirelength_um,
+        baseline.item.result.wirelength_um
+    );
+    assert_eq!(
+        traced.item.result.level_stats,
+        baseline.item.result.level_stats
+    );
+    assert_eq!(traced.item.verified, baseline.item.verified);
+    assert_eq!(traced.item.variation, baseline.item.variation);
+
+    // The wire frame a server would push for each run is byte-identical
+    // (modulo the two wall-clock duration fields, which vary run to run
+    // whether or not tracing is on — zeroed so the comparison pins every
+    // deterministic byte).
+    let frame = |r: &cts::SynthesisResult| {
+        let mut r = r.clone();
+        r.item.synth_seconds = 0.0;
+        r.item.verify_seconds = 0.0;
+        let event = cts::net::proto::ResultEvent {
+            id: r.id.0,
+            outcome: cts::net::Outcome::from_service(&Ok(r)),
+        };
+        cts::net::proto::encode_event(&event).to_string()
+    };
+    assert_eq!(frame(&traced), frame(&baseline));
+
+    // And the recorder actually recorded: the traced run produced spans
+    // from every layer it crossed.
+    let names: Vec<&str> = summaries.iter().map(|s| s.name).collect();
+    for expected in [
+        "pipeline.match_level",
+        "pipeline.merge_level",
+        "service.synth",
+        "service.queue_wait",
+        "verify.tree",
+        "batch.corner_stage",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span '{expected}' missing from traced run; got {names:?}"
+        );
+    }
+}
+
 #[test]
 fn bookshelf_roundtrip_is_identity_for_all_benchmarks() {
     for b in GsrcBenchmark::all() {
