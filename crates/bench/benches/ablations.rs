@@ -47,8 +47,7 @@ fn ablate_grid_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid_resolution");
     group.sample_size(10);
     for r in [25u32, 45, 90] {
-        let mut opts = CtsOptions::default();
-        opts.grid_resolution = r;
+        let opts = CtsOptions::builder().grid_resolution(r).build().unwrap();
         let synth = Synthesizer::new(lib, opts);
         group.bench_with_input(BenchmarkId::from_parameter(r), &synth, |b, s| {
             b.iter(|| s.synthesize(&inst).expect("synthesis"));
@@ -69,8 +68,7 @@ fn ablate_hcorrection(c: &mut Criterion) {
         HCorrection::ReEstimate,
         HCorrection::Correct,
     ] {
-        let mut opts = CtsOptions::default();
-        opts.h_correction = mode;
+        let opts = CtsOptions::builder().h_correction(mode).build().unwrap();
         let synth = Synthesizer::new(lib, opts);
         group.bench_with_input(
             BenchmarkId::from_parameter(mode.to_string()),

@@ -18,8 +18,8 @@ fn bench_batch_shards(c: &mut Criterion) {
     let suite: Vec<Instance> = (0..8)
         .map(|k| generate_custom(&format!("b{k}"), 10, 2600.0, 0x5eed + k as u64))
         .collect();
-    let mut options = CtsOptions::default();
-    options.threads = 1; // shards are the parallel axis
+    // Shards are the parallel axis, so synthesis stays serial.
+    let options = CtsOptions::builder().threads(1).build().unwrap();
 
     let mut group = c.benchmark_group("batch_8x10sinks");
     group.sample_size(10);

@@ -14,8 +14,7 @@ fn bench_parallel_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesize_r1_256");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 0] {
-        let mut opts = CtsOptions::default();
-        opts.threads = threads;
+        let opts = CtsOptions::builder().threads(threads).build().unwrap();
         let synth = Synthesizer::new(lib, opts);
         let label = if threads == 0 {
             "auto".to_string()

@@ -75,8 +75,7 @@ fn bench_synth_tiers(c: &mut Criterion) {
     }
 
     let lib = fast_library();
-    let mut options = CtsOptions::default();
-    options.threads = 1;
+    let options = CtsOptions::builder().threads(1).build().unwrap();
     let synth = Synthesizer::new(lib, options);
     for n in tiers {
         let inst = generate_scale(n, 0x5ca1e);

@@ -21,8 +21,7 @@ use cts::{CtsOptions, Synthesizer, Technology, Verifier, VerifyOptions};
 fn bench_verify_throughput(c: &mut Criterion) {
     let lib = fast_library();
     let tech = Technology::nominal_45nm();
-    let mut options = CtsOptions::default();
-    options.threads = 1;
+    let options = CtsOptions::builder().threads(1).build().unwrap();
     let synth = Synthesizer::new(lib, options);
     let inst = generate_custom("verify512", 512, 9000.0, 0x5eed);
     let result = synth.synthesize(&inst).expect("512-sink synthesis");

@@ -56,8 +56,7 @@ fn main() {
     ]
     .into_iter()
     .map(|mode| {
-        let mut opts = CtsOptions::default();
-        opts.h_correction = mode;
+        let opts = CtsOptions::builder().h_correction(mode).build().unwrap();
         run_suite_items(&lib, &tech, opts, &suite)
     })
     .collect();

@@ -33,7 +33,7 @@ use crate::flow::{CtsResult, Synthesizer};
 use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
-use crate::pipeline::LevelStats;
+use crate::pipeline::{LevelSnapshot, LevelStats};
 use crate::variation::VariationSummary;
 use crate::verify::{VerifiedTiming, Verifier, VerifyOptions};
 use cts_spice::Technology;
@@ -181,6 +181,7 @@ impl BatchSummary {
                         buffers_inserted: 0,
                         worst_skew_estimate: 0.0,
                         max_latency_estimate: 0.0,
+                        nodes_total: 0,
                     });
                 }
                 let agg = &mut s.level_stats[ls.level - 1];
@@ -190,6 +191,7 @@ impl BatchSummary {
                 agg.buffers_inserted += ls.buffers_inserted;
                 agg.worst_skew_estimate = agg.worst_skew_estimate.max(ls.worst_skew_estimate);
                 agg.max_latency_estimate = agg.max_latency_estimate.max(ls.max_latency_estimate);
+                agg.nodes_total = agg.nodes_total.max(ls.nodes_total);
             }
         }
         s
@@ -371,6 +373,47 @@ impl<'a> BatchRunner<'a> {
         })
     }
 
+    /// [`BatchRunner::synth_stage`] / [`BatchRunner::synth_stage_with_options`]
+    /// plus a level observer: `on_level` receives a
+    /// [`crate::LevelSnapshot`] copy of the arena after each topology
+    /// level's grafts land, which is how the synthesis service publishes
+    /// level-complete subtrees for mid-synthesis streaming. Pass
+    /// `options: None` to run with the runner's defaults. The observer is
+    /// telemetry-only — the staged result is bit-identical to the
+    /// unobserved stages.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::BadOptions`] / [`CtsError::SlewUnachievable`] from the
+    /// synthesis flow.
+    pub fn synth_stage_observed(
+        &self,
+        scratch: &mut MergeScratch,
+        instance: &Instance,
+        options: Option<CtsOptions>,
+        on_level: &mut dyn FnMut(LevelSnapshot),
+    ) -> Result<StagedSynthesis, CtsError> {
+        let t0 = Instant::now();
+        let owned;
+        let synth = match options {
+            None => &self.synth,
+            Some(o) => {
+                owned = self.synth.with_options(o);
+                &owned
+            }
+        };
+        let result = {
+            let _span = cts_obs::span_with(&SPAN_BATCH_SYNTH, instance.sinks().len() as u64);
+            synth.synthesize_unverified_observed(instance, scratch, on_level)?
+        };
+        let variation = self.corner_stage(synth, instance, &result)?;
+        Ok(StagedSynthesis {
+            result,
+            variation,
+            synth_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
     /// Expands a finished synthesis into its variation corners (a no-op
     /// returning `None` when the effective options leave the axis off).
     fn corner_stage(
@@ -386,12 +429,16 @@ impl<'a> BatchRunner<'a> {
             &SPAN_BATCH_CORNERS,
             synth.options().variation.corners as u64,
         );
-        synth.evaluate_variation_with(
-            instance,
-            result,
-            &self.corner_cache,
-            self.base_fingerprint(),
-        )
+        // A per-request library restriction swaps the queried library out
+        // from under the runner; its corner derivations must not share
+        // cache keys with the base library's, so fingerprint whatever the
+        // synthesizer actually queries (cached for the common base case).
+        let fp = if std::ptr::eq(synth.library(), self.synth.library()) {
+            self.base_fingerprint()
+        } else {
+            library_fingerprint(synth.library())
+        };
+        synth.evaluate_variation_with(instance, result, &self.corner_cache, fp)
     }
 
     /// The finishing stage for one instance: SPICE verification (when

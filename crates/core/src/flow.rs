@@ -14,10 +14,11 @@ use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
 use crate::pipeline::{LevelStats, SynthesisPipeline};
-use crate::tree::{ClockTree, TreeNodeId};
+use crate::tree::{ClockTree, NodeKind, TreeNodeId};
 use crate::verify::{verify_tree, VerifiedTiming, Verifier, VerifyOptions};
 use cts_spice::Technology;
 use cts_timing::DelaySlewLibrary;
+use std::sync::Arc;
 
 /// A synthesized clock tree with engine-estimated quality metrics.
 ///
@@ -40,6 +41,10 @@ pub struct CtsResult {
     pub wirelength_um: f64,
     /// H-structure pairings flipped (0 when correction is off).
     pub flippings: usize,
+    /// Total input capacitance of inserted buffers (F), under the same
+    /// cap-matching convention the timing engine uses. The buffer-area
+    /// objective of sweep Pareto fronts; `0.0` for unbuffered trees.
+    pub buffer_cap_f: f64,
     /// Per-level statistics from the pipeline's level-timing stage.
     pub level_stats: Vec<LevelStats>,
     /// Wall-clock seconds spent in topology matching (candidate timing +
@@ -69,13 +74,32 @@ pub struct CtsResult {
 #[derive(Debug, Clone)]
 pub struct Synthesizer<'a> {
     lib: &'a DelaySlewLibrary,
+    /// Owned restriction of `lib` when `options.library_subset` names a
+    /// strict prefix of its buffer types; `None` means `lib` itself.
+    subset: Option<Arc<DelaySlewLibrary>>,
     options: CtsOptions,
 }
 
 impl<'a> Synthesizer<'a> {
     /// Creates a synthesizer over a delay library with the given options.
+    ///
+    /// When `options.library_subset` names a strict prefix of the
+    /// library's buffer types, the restricted library is derived once
+    /// here and shared by every synthesis this instance runs. An
+    /// out-of-range subset is reported by the first `synthesize` call
+    /// (as [`CtsError::BadOptions`]), not here, so construction stays
+    /// infallible.
     pub fn new(lib: &'a DelaySlewLibrary, options: CtsOptions) -> Synthesizer<'a> {
-        Synthesizer { lib, options }
+        let subset = match options.library_subset {
+            0 => None,
+            k if k >= lib.buffers().len() => None,
+            k => lib.subset(k).map(Arc::new),
+        };
+        Synthesizer {
+            lib,
+            subset,
+            options,
+        }
     }
 
     /// The options in effect.
@@ -83,21 +107,41 @@ impl<'a> Synthesizer<'a> {
         &self.options
     }
 
-    /// The delay library this synthesizer queries (the *base* library of
-    /// the variation axis).
-    pub(crate) fn library(&self) -> &'a DelaySlewLibrary {
-        self.lib
+    /// The delay library synthesis actually queries: the restricted
+    /// subset when `options.library_subset` is active, otherwise the
+    /// base library (also the base of the variation axis).
+    pub(crate) fn library(&self) -> &DelaySlewLibrary {
+        self.subset.as_deref().unwrap_or(self.lib)
     }
 
     /// A synthesizer over the same library with different options — the
     /// hook that lets a long-running service honor per-request option
     /// overrides without re-characterizing anything (the expensive state
-    /// is the library, which is shared by reference).
+    /// is the library, which is shared by reference; only a restricted
+    /// subset, when requested, is derived per configuration).
     pub fn with_options(&self, options: CtsOptions) -> Synthesizer<'a> {
-        Synthesizer {
-            lib: self.lib,
-            options,
+        Synthesizer::new(self.lib, options)
+    }
+
+    /// Rejects options the base library cannot satisfy: a subset wider
+    /// than the library, or a virtual driver outside the (possibly
+    /// restricted) library.
+    fn check_library_bounds(&self) -> Result<(), CtsError> {
+        let nb = self.lib.buffers().len();
+        let k = self.options.library_subset;
+        if k > nb {
+            return Err(CtsError::BadOptions(format!(
+                "library_subset ({k}) exceeds the library's {nb} buffer types"
+            )));
         }
+        let usable = if k == 0 { nb } else { k };
+        if self.options.virtual_driver.0 >= usable {
+            return Err(CtsError::BadOptions(format!(
+                "virtual_driver ({}) is outside the usable library of {} buffer types",
+                self.options.virtual_driver.0, usable
+            )));
+        }
+        Ok(())
     }
 
     /// Synthesizes a buffered clock tree for `instance`.
@@ -148,13 +192,51 @@ impl<'a> Synthesizer<'a> {
         instance: &Instance,
         scratch: &mut MergeScratch,
     ) -> Result<CtsResult, CtsError> {
-        let pipeline = SynthesisPipeline::new(self.lib, &self.options)?;
-        let out = pipeline.run_with(instance, scratch)?;
+        self.synthesize_impl(instance, scratch, None)
+    }
 
-        let engine = TimingEngine::new(self.lib);
+    /// [`Synthesizer::synthesize_unverified_with`] plus a level observer:
+    /// `on_level` receives a [`crate::LevelSnapshot`] copy of the growing
+    /// arena after each level's grafts land, so a streaming front end can
+    /// publish level-complete subtrees mid-synthesis. The observer is
+    /// telemetry-only — the produced tree is bit-identical to an
+    /// unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Synthesizer::synthesize_unverified_with`].
+    pub fn synthesize_unverified_observed(
+        &self,
+        instance: &Instance,
+        scratch: &mut MergeScratch,
+        on_level: &mut dyn FnMut(crate::pipeline::LevelSnapshot),
+    ) -> Result<CtsResult, CtsError> {
+        self.synthesize_impl(instance, scratch, Some(on_level))
+    }
+
+    fn synthesize_impl(
+        &self,
+        instance: &Instance,
+        scratch: &mut MergeScratch,
+        on_level: Option<&mut dyn FnMut(crate::pipeline::LevelSnapshot)>,
+    ) -> Result<CtsResult, CtsError> {
+        self.check_library_bounds()?;
+        // A reused scratch may hold caches from a *different* options
+        // context (a service worker's previous request): drop them, or
+        // results would depend on scratch history.
+        scratch.invalidate_context();
+        let lib = self.library();
+        let pipeline = SynthesisPipeline::new(lib, &self.options)?;
+        let out = match on_level {
+            None => pipeline.run_with(instance, scratch)?,
+            Some(observer) => pipeline.run_observed(instance, scratch, observer)?,
+        };
+
+        let engine = TimingEngine::new(lib);
         let report = engine.evaluate(&out.tree, out.source, self.options.source_slew);
         let buffers = out.tree.buffer_count_under(out.source);
         let wirelength_um = out.tree.wirelength_under(out.source);
+        let buffer_cap_f = buffer_cap_under(&out.tree, out.source, lib);
 
         Ok(CtsResult {
             tree: out.tree,
@@ -164,6 +246,7 @@ impl<'a> Synthesizer<'a> {
             buffers,
             wirelength_um,
             flippings: out.flippings,
+            buffer_cap_f,
             level_stats: out.level_stats,
             topology_seconds: out.topology_seconds,
             merge_seconds: out.merge_seconds,
@@ -206,6 +289,23 @@ impl<'a> Synthesizer<'a> {
     ) -> Result<VerifiedTiming, CtsError> {
         verifier.verify(&result.tree, result.source, tech, opts)
     }
+}
+
+/// Sums the input capacitance of every buffer under `root`, using the
+/// engine's cap-matching convention (`stage1_size × cg_1x`). Traversal
+/// order is deterministic (preorder, right child first), so the sum is
+/// bit-identical across runs of the same tree.
+fn buffer_cap_under(tree: &ClockTree, root: TreeNodeId, lib: &DelaySlewLibrary) -> f64 {
+    let mut total = 0.0;
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let node = tree.node(id);
+        if let NodeKind::Buffer { buffer } = node.kind {
+            total += lib.buffer(buffer).stage1_size() * 1.2e-15;
+        }
+        stack.extend(node.children.iter().copied());
+    }
+    total
 }
 
 #[cfg(test)]
@@ -321,8 +421,7 @@ mod tests {
             HCorrection::ReEstimate,
             HCorrection::Correct,
         ] {
-            let mut opts = CtsOptions::default();
-            opts.h_correction = mode;
+            let opts = CtsOptions::builder().h_correction(mode).build().unwrap();
             let synth = Synthesizer::new(fast_library(), opts);
             let inst = random_instance(10, 3000.0, 3000.0, 7);
             let r = synth.synthesize(&inst).unwrap();
@@ -379,6 +478,81 @@ mod tests {
         assert_eq!(v.worst_slew, direct.worst_slew);
         assert_eq!(v.skew, direct.skew);
         assert_eq!(v.sink_arrivals, direct.sink_arrivals);
+    }
+
+    #[test]
+    fn buffer_cap_tracks_inserted_buffers() {
+        let synth = Synthesizer::new(fast_library(), CtsOptions::default());
+        let r = synth.synthesize(&grid_instance(2, 2, 4000.0)).unwrap();
+        assert!(r.buffers > 0);
+        assert!(r.buffer_cap_f > 0.0);
+        // Unbuffered trees carry zero buffer cap.
+        let small = synth.synthesize(&grid_instance(2, 2, 100.0)).unwrap();
+        if small.buffers == 0 {
+            assert_eq!(small.buffer_cap_f, 0.0);
+        }
+        // The sum matches a direct walk at the matching convention.
+        let mut direct = 0.0;
+        let mut stack = vec![r.source];
+        while let Some(id) = stack.pop() {
+            let node = r.tree.node(id);
+            if let crate::tree::NodeKind::Buffer { buffer } = node.kind {
+                direct += fast_library().buffer(buffer).stage1_size() * 1.2e-15;
+            }
+            stack.extend(node.children.iter().copied());
+        }
+        assert_eq!(r.buffer_cap_f, direct);
+    }
+
+    #[test]
+    fn library_subset_restricts_and_validates() {
+        use cts_timing::BufferId;
+        let nb = fast_library().buffers().len();
+        let inst = random_instance(9, 4000.0, 3000.0, 11);
+
+        // Full-width subset is the identity: byte-identical trees.
+        let full = Synthesizer::new(fast_library(), CtsOptions::default());
+        let same = Synthesizer::new(
+            fast_library(),
+            CtsOptions::builder().library_subset(nb).build().unwrap(),
+        );
+        let a = full.synthesize(&inst).unwrap();
+        let b = same.synthesize(&inst).unwrap();
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.report, b.report);
+
+        // A strict subset only inserts buffers with ids below k.
+        let k = nb - 1;
+        let sub = full.with_options(CtsOptions::builder().library_subset(k).build().unwrap());
+        let r = sub.synthesize(&inst).unwrap();
+        for node in (0..r.tree.len()).map(TreeNodeId::from_index) {
+            if let crate::tree::NodeKind::Buffer { buffer } = r.tree.node(node).kind {
+                assert!(buffer.0 < k, "buffer {buffer} outside subset of {k}");
+            }
+        }
+
+        // Out-of-range subset / virtual driver are typed errors, not panics.
+        let wide = full.with_options(
+            CtsOptions::builder()
+                .library_subset(nb + 1)
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            wide.synthesize(&inst),
+            Err(CtsError::BadOptions(_))
+        ));
+        let bad_driver = full.with_options(
+            CtsOptions::builder()
+                .library_subset(1)
+                .virtual_driver(BufferId(1))
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            bad_driver.synthesize(&inst),
+            Err(CtsError::BadOptions(_))
+        ));
     }
 
     #[test]

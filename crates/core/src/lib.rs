@@ -46,9 +46,11 @@ mod instance;
 pub mod maze;
 mod merge;
 mod options;
+pub mod pareto;
 pub mod pipeline;
 pub mod service;
 pub mod spatial;
+pub mod sweep;
 pub mod topology;
 mod tree;
 mod vanginneken;
@@ -61,13 +63,18 @@ pub use flow::{CtsResult, Synthesizer};
 pub use hcorrect::{merge_with_correction, merge_with_correction_with, CorrectedMerge};
 pub use instance::{Instance, Sink};
 pub use merge::{MergeOutcome, MergeRouting, MergeScratch};
-pub use options::{Buffering, CtsError, CtsOptions, HCorrection, Variation, VariationMode};
-pub use pipeline::{LevelStats, SynthesisContext, SynthesisPipeline};
+pub use options::{
+    Buffering, CtsError, CtsOptions, CtsOptionsBuilder, HCorrection, OptionsError, Variation,
+    VariationMode,
+};
+pub use pareto::{ParetoFront, ParetoPoint};
+pub use pipeline::{LevelSnapshot, LevelStats, SynthesisContext, SynthesisPipeline};
 pub use service::{
     BatchSubmitError, RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics,
-    ServiceOptions, ServiceStats, SubmitError, SynthesisRequest, SynthesisResult, SynthesisService,
-    Ticket,
+    ServiceOptions, ServiceStats, SubmitError, SweepOutcome, SweepSubmitError, SweepTicket,
+    SynthesisRequest, SynthesisResult, SynthesisService, Ticket,
 };
+pub use sweep::{pareto_point, SweepAxes, SweepError, SweepPoint, SweepPoints, SweepSpec};
 pub use tree::{ClockTree, NodeKind, TreeNode, TreeNodeId, TreeStructureError};
 pub use variation::{CornerRow, DistStats, VariationSummary};
 pub use verify::{verify_tree, VerifiedTiming, Verifier, VerifyOptions, VerifyStats};

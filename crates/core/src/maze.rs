@@ -136,6 +136,16 @@ impl MazeScratch {
         Ok(&self.limits)
     }
 
+    /// Drops the caches that depend on the (library, options) context:
+    /// the per-buffer segment limits (a function of the slew target and
+    /// library) and the grid-dimension memo (keyed by resolution, safe in
+    /// principle, but cleared alongside for a context change — it refills
+    /// within one level). Keeps allocations.
+    pub(crate) fn invalidate_context(&mut self) {
+        self.limits.clear();
+        self.grid_dims.clear();
+    }
+
     /// [`RoutingGrid::between`] through the dimension cache: the dynamic
     /// resolution growth is a pure function of the routed region's exact
     /// width/height ([`RoutingGrid::dims_for_region`]), so cached

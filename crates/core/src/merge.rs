@@ -28,6 +28,20 @@ impl MergeScratch {
     pub fn new() -> MergeScratch {
         MergeScratch::default()
     }
+
+    /// Drops every cache that depends on the (library, options) context —
+    /// the arm budget, the strongest-buffer id, and the maze router's
+    /// per-buffer segment limits — while keeping the allocations. Each
+    /// synthesis run calls this on entry, so one long-lived scratch can
+    /// serve requests with *different* options (a service worker's job
+    /// stream, a sweep) without the previous context leaking into
+    /// results: a swept point must synthesize bit-identically to the same
+    /// options submitted on a fresh scratch.
+    pub(crate) fn invalidate_context(&mut self) {
+        self.arm_budget_um = None;
+        self.strongest = None;
+        self.maze.invalidate_context();
+    }
 }
 
 /// Effective pending depth (relative to the single-wire segment budget) at

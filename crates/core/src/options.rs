@@ -160,6 +160,13 @@ pub struct CtsOptions {
     /// merges build detached sub-forests that are grafted back in
     /// deterministic pair order.
     pub threads: usize,
+    /// Restrict synthesis to the first `k` buffer types of the library;
+    /// `0` (the default) uses the full library. Buffer ids keep their
+    /// meaning under the truncation, so a tree synthesized against a
+    /// subset times identically under the full library. Checked against
+    /// the actual library size when synthesis starts (a `k` larger than
+    /// the library is a [`CtsError::BadOptions`]).
+    pub library_subset: usize,
     /// Monte Carlo corner evaluation under perturbed libraries; off by
     /// default (`corners == 0`).
     pub variation: Variation,
@@ -181,47 +188,55 @@ impl Default for CtsOptions {
             binary_search_tol: 0.05e-12,
             binary_search_iters: 24,
             threads: 0,
+            library_subset: 0,
             variation: Variation::default(),
         }
     }
 }
 
 impl CtsOptions {
-    /// Validates option consistency.
+    /// Starts a [`CtsOptionsBuilder`] from the defaults. The builder
+    /// validates ranges at [`CtsOptionsBuilder::build`], so invalid
+    /// combinations surface as a typed [`OptionsError`] before any
+    /// synthesis work begins.
+    pub fn builder() -> CtsOptionsBuilder {
+        CtsOptionsBuilder::default()
+    }
+
+    /// Typed range validation — the machine-readable form of
+    /// [`CtsOptions::validate`].
     ///
     /// # Errors
     ///
-    /// Returns a [`CtsError::BadOptions`] description if values are
-    /// inconsistent (non-positive limits, target above limit, zero grid).
-    pub fn validate(&self) -> Result<(), CtsError> {
-        let bad = |msg: String| Err(CtsError::BadOptions(msg));
+    /// Returns the first [`OptionsError`] describing an out-of-range
+    /// field (non-positive limits, target above limit, zero grid, zero
+    /// iterations, out-of-range sigmas).
+    pub fn check(&self) -> Result<(), OptionsError> {
         if !(self.slew_limit > 0.0) {
-            return bad(format!(
-                "slew_limit must be positive, got {}",
-                self.slew_limit
-            ));
+            return Err(OptionsError::SlewLimit {
+                value: self.slew_limit,
+            });
         }
         if !(self.slew_target > 0.0) || self.slew_target > self.slew_limit {
-            return bad(format!(
-                "slew_target ({}) must be in (0, slew_limit = {}]",
-                self.slew_target, self.slew_limit
-            ));
+            return Err(OptionsError::SlewTarget {
+                target: self.slew_target,
+                limit: self.slew_limit,
+            });
         }
         if self.grid_resolution == 0 {
-            return bad("grid_resolution must be positive".into());
+            return Err(OptionsError::GridResolution);
         }
         if self.cost_alpha < 0.0 || self.cost_beta < 0.0 {
-            return bad("cost weights must be non-negative".into());
+            return Err(OptionsError::CostWeights);
         }
         if self.binary_search_iters == 0 {
-            return bad("binary_search_iters must be positive".into());
+            return Err(OptionsError::BinarySearchIters);
         }
         if self.variation.corners > Variation::MAX_CORNERS {
-            return bad(format!(
-                "variation.corners ({}) exceeds the maximum of {}",
-                self.variation.corners,
-                Variation::MAX_CORNERS
-            ));
+            return Err(OptionsError::Corners {
+                corners: self.variation.corners,
+                max: Variation::MAX_CORNERS,
+            });
         }
         for (name, s) in [
             ("sigma_buffer", self.variation.sigma_buffer),
@@ -229,10 +244,204 @@ impl CtsOptions {
             ("sigma_slew", self.variation.sigma_slew),
         ] {
             if !s.is_finite() || !(0.0..=0.5).contains(&s) {
-                return bad(format!("variation.{name} must be in [0, 0.5], got {s}"));
+                return Err(OptionsError::Sigma { name, value: s });
             }
         }
         Ok(())
+    }
+
+    /// Validates option consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CtsError::BadOptions`] description if values are
+    /// inconsistent (non-positive limits, target above limit, zero grid).
+    pub fn validate(&self) -> Result<(), CtsError> {
+        self.check()
+            .map_err(|e| CtsError::BadOptions(e.to_string()))
+    }
+}
+
+/// A single out-of-range [`CtsOptions`] field, produced by
+/// [`CtsOptions::check`] and [`CtsOptionsBuilder::build`]. Its `Display`
+/// text is exactly the message [`CtsError::BadOptions`] carried before
+/// this type existed, so wire-visible errors are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionsError {
+    /// `slew_limit` was zero, negative, or NaN.
+    SlewLimit {
+        /// The offending value (s).
+        value: f64,
+    },
+    /// `slew_target` was outside `(0, slew_limit]`.
+    SlewTarget {
+        /// The offending target (s).
+        target: f64,
+        /// The limit it must stay under (s).
+        limit: f64,
+    },
+    /// `grid_resolution` was zero.
+    GridResolution,
+    /// `cost_alpha` or `cost_beta` was negative.
+    CostWeights,
+    /// `binary_search_iters` was zero.
+    BinarySearchIters,
+    /// `variation.corners` exceeded [`Variation::MAX_CORNERS`].
+    Corners {
+        /// The requested corner count.
+        corners: usize,
+        /// The maximum accepted.
+        max: usize,
+    },
+    /// A variation sigma was NaN or outside `[0, 0.5]`.
+    Sigma {
+        /// Which sigma field.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionsError::SlewLimit { value } => {
+                write!(f, "slew_limit must be positive, got {value}")
+            }
+            OptionsError::SlewTarget { target, limit } => {
+                write!(
+                    f,
+                    "slew_target ({target}) must be in (0, slew_limit = {limit}]"
+                )
+            }
+            OptionsError::GridResolution => write!(f, "grid_resolution must be positive"),
+            OptionsError::CostWeights => write!(f, "cost weights must be non-negative"),
+            OptionsError::BinarySearchIters => write!(f, "binary_search_iters must be positive"),
+            OptionsError::Corners { corners, max } => {
+                write!(
+                    f,
+                    "variation.corners ({corners}) exceeds the maximum of {max}"
+                )
+            }
+            OptionsError::Sigma { name, value } => {
+                write!(f, "variation.{name} must be in [0, 0.5], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// With-style builder for [`CtsOptions`], started by
+/// [`CtsOptions::builder`] or [`From<CtsOptions>`] to tweak an existing
+/// configuration (how sweep points are constructed). Setters take the
+/// same units as the fields they set; [`CtsOptionsBuilder::build`] runs
+/// the full range validation and returns a typed [`OptionsError`]
+/// instead of deferring the failure to synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct CtsOptionsBuilder {
+    opts: CtsOptions,
+}
+
+impl From<CtsOptions> for CtsOptionsBuilder {
+    fn from(opts: CtsOptions) -> CtsOptionsBuilder {
+        CtsOptionsBuilder { opts }
+    }
+}
+
+impl CtsOptionsBuilder {
+    /// Hard slew limit the final tree must honor (s).
+    pub fn slew_limit(mut self, v: f64) -> Self {
+        self.opts.slew_limit = v;
+        self
+    }
+
+    /// Slew target used during synthesis (s); must stay within the limit.
+    pub fn slew_target(mut self, v: f64) -> Self {
+        self.opts.slew_target = v;
+        self
+    }
+
+    /// Routing grid resolution per dimension.
+    pub fn grid_resolution(mut self, v: u32) -> Self {
+        self.opts.grid_resolution = v;
+        self
+    }
+
+    /// Weight of distance in the nearest-neighbor cost (1/µm).
+    pub fn cost_alpha(mut self, v: f64) -> Self {
+        self.opts.cost_alpha = v;
+        self
+    }
+
+    /// Weight of delay difference in the nearest-neighbor cost (1/s).
+    pub fn cost_beta(mut self, v: f64) -> Self {
+        self.opts.cost_beta = v;
+        self
+    }
+
+    /// H-structure correction mode.
+    pub fn h_correction(mut self, v: HCorrection) -> Self {
+        self.opts.h_correction = v;
+        self
+    }
+
+    /// Buffer-insertion strategy along routed merge paths.
+    pub fn buffering(mut self, v: Buffering) -> Self {
+        self.opts.buffering = v;
+        self
+    }
+
+    /// Slew of the edge presented at the clock source input (s).
+    pub fn source_slew(mut self, v: f64) -> Self {
+        self.opts.source_slew = v;
+        self
+    }
+
+    /// Driver type assumed at sub-tree roots during construction.
+    pub fn virtual_driver(mut self, v: BufferId) -> Self {
+        self.opts.virtual_driver = v;
+        self
+    }
+
+    /// Convergence tolerance of the binary-search stage (s of skew).
+    pub fn binary_search_tol(mut self, v: f64) -> Self {
+        self.opts.binary_search_tol = v;
+        self
+    }
+
+    /// Maximum binary-search iterations per merge.
+    pub fn binary_search_iters(mut self, v: usize) -> Self {
+        self.opts.binary_search_iters = v;
+        self
+    }
+
+    /// Worker threads for the per-level parallel stages.
+    pub fn threads(mut self, v: usize) -> Self {
+        self.opts.threads = v;
+        self
+    }
+
+    /// Restrict synthesis to the first `k` buffer types (0 = all).
+    pub fn library_subset(mut self, v: usize) -> Self {
+        self.opts.library_subset = v;
+        self
+    }
+
+    /// Monte Carlo corner evaluation settings.
+    pub fn variation(mut self, v: Variation) -> Self {
+        self.opts.variation = v;
+        self
+    }
+
+    /// Validates and returns the finished options.
+    ///
+    /// # Errors
+    ///
+    /// The first [`OptionsError`] describing an out-of-range field.
+    pub fn build(self) -> Result<CtsOptions, OptionsError> {
+        self.opts.check()?;
+        Ok(self.opts)
     }
 }
 
@@ -344,6 +553,56 @@ mod tests {
     fn variation_mode_display() {
         assert_eq!(VariationMode::Evaluate.to_string(), "evaluate");
         assert_eq!(VariationMode::Resynthesize.to_string(), "resynthesize");
+    }
+
+    #[test]
+    fn builder_validates_ranges() {
+        // Negative slew, zero grid, zero iters each produce the typed
+        // error whose Display matches the legacy validate() message.
+        let e = CtsOptions::builder().slew_limit(-1.0).build().unwrap_err();
+        assert_eq!(e, OptionsError::SlewLimit { value: -1.0 });
+        assert_eq!(e.to_string(), "slew_limit must be positive, got -1");
+
+        let e = CtsOptions::builder()
+            .grid_resolution(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, OptionsError::GridResolution);
+
+        let e = CtsOptions::builder()
+            .binary_search_iters(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, OptionsError::BinarySearchIters);
+
+        let built = CtsOptions::builder()
+            .slew_target(60e-12)
+            .threads(1)
+            .library_subset(2)
+            .build()
+            .unwrap();
+        assert_eq!(built.slew_target, 60e-12);
+        assert_eq!(built.library_subset, 2);
+        // validate() and check() agree on the message text.
+        let mut o = CtsOptions::default();
+        o.slew_target = 2.0 * o.slew_limit;
+        let typed = o.check().unwrap_err();
+        match o.validate() {
+            Err(CtsError::BadOptions(msg)) => assert_eq!(msg, typed.to_string()),
+            other => panic!("expected BadOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_from_existing_options() {
+        let base = CtsOptions::builder().threads(3).build().unwrap();
+        let tweaked = CtsOptionsBuilder::from(base.clone())
+            .slew_target(70e-12)
+            .build()
+            .unwrap();
+        assert_eq!(tweaked.threads, 3);
+        assert_eq!(tweaked.slew_target, 70e-12);
+        assert_eq!(tweaked.slew_limit, base.slew_limit);
     }
 
     #[test]

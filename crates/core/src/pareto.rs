@@ -1,0 +1,183 @@
+//! Pareto-front accumulation over sweep objectives.
+//!
+//! A sweep evaluates one instance under many option points (see
+//! [`crate::sweep`]); each point yields one [`ParetoPoint`] carrying the
+//! three objectives the paper trades off — global skew, total buffer
+//! capacitance (the buffer-area proxy), and source-to-sink latency. The
+//! [`ParetoFront`] folds points with the same discipline as
+//! [`crate::VariationSummary::fold`]: every row is retained and the
+//! non-dominated set is recomputed from scratch on each fold, so the
+//! result is **grouping-independent bit for bit** — folding per-worker
+//! partial fronts in any association or order yields byte-identical
+//! fronts.
+
+use std::cmp::Ordering;
+
+/// One evaluated sweep point: its expansion ordinal plus the three
+/// objectives, taken from the engine-estimated timing report (so the
+/// front exists whether or not SPICE verification ran).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Index of the point in the sweep's deterministic expansion order.
+    pub ordinal: usize,
+    /// Global skew (s): max minus min sink arrival.
+    pub skew: f64,
+    /// Total input capacitance of inserted buffers (F).
+    pub buffer_cap: f64,
+    /// Maximum source-to-sink latency (s).
+    pub latency: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: no worse on every objective and
+    /// strictly better on at least one. Exact ties on all three dominate
+    /// in neither direction, so duplicated objective vectors both stay
+    /// on the front (keeps the front deterministic without tie-break
+    /// heuristics). A NaN objective compares unordered, so a NaN point
+    /// neither dominates nor is dominated.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.skew <= other.skew
+            && self.buffer_cap <= other.buffer_cap
+            && self.latency <= other.latency;
+        let better = self.skew < other.skew
+            || self.buffer_cap < other.buffer_cap
+            || self.latency < other.latency;
+        no_worse && better
+    }
+
+    /// Total order used to canonicalize row storage: by ordinal, then by
+    /// each objective under IEEE total ordering. Distinct points from a
+    /// real sweep have distinct ordinals; the objective tie-breaks only
+    /// matter when overlapping fronts are folded.
+    fn canonical_cmp(&self, other: &ParetoPoint) -> Ordering {
+        self.ordinal
+            .cmp(&other.ordinal)
+            .then_with(|| self.skew.total_cmp(&other.skew))
+            .then_with(|| self.buffer_cap.total_cmp(&other.buffer_cap))
+            .then_with(|| self.latency.total_cmp(&other.latency))
+    }
+}
+
+/// An exactly-foldable Pareto front over (skew, buffer cap, latency).
+///
+/// Holds **every** evaluated row in canonical order — the front itself
+/// is derived, never stored — which is what makes
+/// [`ParetoFront::fold`] associative and commutative at the byte level:
+/// folding is concatenation plus re-canonicalization, and the
+/// non-dominated set is a pure function of the row multiset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParetoFront {
+    rows: Vec<ParetoPoint>,
+}
+
+impl ParetoFront {
+    /// Builds a front from evaluated points (any order).
+    pub fn from_points(points: impl IntoIterator<Item = ParetoPoint>) -> ParetoFront {
+        let mut rows: Vec<ParetoPoint> = points.into_iter().collect();
+        rows.sort_by(ParetoPoint::canonical_cmp);
+        ParetoFront { rows }
+    }
+
+    /// Folds partial fronts into one, exactly: concatenates every row
+    /// and re-canonicalizes, so
+    /// `fold(&[fold(&[a, b]), c]) == fold(&[a, fold(&[b, c])])`
+    /// bit for bit (same discipline as `VariationSummary::fold`).
+    pub fn fold(parts: &[ParetoFront]) -> ParetoFront {
+        Self::from_points(parts.iter().flat_map(|p| p.rows.iter().copied()))
+    }
+
+    /// Every evaluated row, in canonical (ordinal-major) order.
+    pub fn rows(&self) -> &[ParetoPoint] {
+        &self.rows
+    }
+
+    /// Number of evaluated rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The non-dominated rows, in canonical order.
+    pub fn front(&self) -> Vec<ParetoPoint> {
+        self.rows
+            .iter()
+            .filter(|p| !self.rows.iter().any(|q| q.dominates(p)))
+            .copied()
+            .collect()
+    }
+
+    /// Ordinals of the non-dominated rows, in canonical order — the
+    /// compact form the wire `pareto` event carries alongside the rows.
+    pub fn front_ordinals(&self) -> Vec<usize> {
+        self.front().iter().map(|p| p.ordinal).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ordinal: usize, skew: f64, cap: f64, lat: f64) -> ParetoPoint {
+        ParetoPoint {
+            ordinal,
+            skew,
+            buffer_cap: cap,
+            latency: lat,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = p(0, 1.0, 1.0, 1.0);
+        let b = p(1, 2.0, 1.0, 1.0);
+        let twin = p(2, 1.0, 1.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Exact ties dominate in neither direction.
+        assert!(!a.dominates(&twin) && !twin.dominates(&a));
+        // Trade-offs are incomparable.
+        let c = p(3, 0.5, 5.0, 1.0);
+        assert!(!a.dominates(&c) && !c.dominates(&a));
+    }
+
+    #[test]
+    fn front_keeps_only_non_dominated() {
+        let f = ParetoFront::from_points([
+            p(0, 1.0, 3.0, 2.0),
+            p(1, 2.0, 2.0, 2.0),
+            p(2, 3.0, 3.0, 3.0), // dominated by both 0 and 1
+            p(3, 1.0, 3.0, 2.0), // exact twin of 0: both stay
+        ]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.front_ordinals(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn fold_is_grouping_independent_bit_for_bit() {
+        let a = ParetoFront::from_points([p(0, 1.0, 3.0, 2.0), p(3, 0.5, 4.0, 2.5)]);
+        let b = ParetoFront::from_points([p(1, 2.0, 2.0, 2.0)]);
+        let c = ParetoFront::from_points([p(2, 3.0, 3.0, 3.0), p(4, 1.5, 1.5, 9.0)]);
+        let left = ParetoFront::fold(&[ParetoFront::fold(&[a.clone(), b.clone()]), c.clone()]);
+        let right = ParetoFront::fold(&[a.clone(), ParetoFront::fold(&[b.clone(), c.clone()])]);
+        let flat = ParetoFront::fold(&[a, b, c]);
+        assert_eq!(left, right);
+        assert_eq!(left, flat);
+        // Rows survive folding verbatim and in ordinal order.
+        assert_eq!(
+            left.rows().iter().map(|r| r.ordinal).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(ParetoFront::fold(&[]), ParetoFront::default());
+    }
+
+    #[test]
+    fn nan_rows_are_inert() {
+        let f = ParetoFront::from_points([p(0, f64::NAN, 1.0, 1.0), p(1, 1.0, 1.0, 1.0)]);
+        // The NaN row neither dominates nor is dominated: both stay.
+        assert_eq!(f.front_ordinals(), vec![0, 1]);
+    }
+}

@@ -80,6 +80,31 @@ pub struct LevelStats {
     pub worst_skew_estimate: f64,
     /// Largest engine-estimated sub-tree latency after this level (s).
     pub max_latency_estimate: f64,
+    /// Arena node count once this level's grafts have landed — the
+    /// level-complete watermark. Every node below this index belongs to
+    /// this level or an earlier one, which is what lets a streaming
+    /// client chunk a finished tree on level boundaries (the source node
+    /// and global refinement mutate *positions and buffer types* of
+    /// existing nodes afterwards, never the arena order).
+    pub nodes_total: usize,
+}
+
+/// A point-in-time, level-complete copy of the growing arena, published
+/// by [`SynthesisPipeline::run_observed`] after each level's grafts
+/// land. The nodes form a valid *forest* (the remaining active roots
+/// are parentless) that [`ClockTree::from_nodes`] accepts, so a
+/// mid-synthesis observer can rebuild and inspect completed levels
+/// while upper levels are still merging. Snapshots are copies: later
+/// refinement does not retroactively edit them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSnapshot {
+    /// The arena at the watermark, verbatim (sinks first, then each
+    /// level's merge nodes in deterministic pair order).
+    pub nodes: Vec<crate::tree::TreeNode>,
+    /// Topology levels fully merged and grafted (1 = first merge rank).
+    pub levels_done: usize,
+    /// Active sub-tree roots still awaiting upper levels.
+    pub roots: usize,
 }
 
 /// What one worker hands back for a merged pair: the detached forest, the
@@ -178,6 +203,34 @@ impl<'a> SynthesisPipeline<'a> {
         instance: &Instance,
         scratch: &mut MergeScratch,
     ) -> Result<PipelineOutput, CtsError> {
+        self.run_impl(instance, scratch, None)
+    }
+
+    /// [`SynthesisPipeline::run_with`] plus a level observer: `on_level`
+    /// is invoked after each level's grafts land, with a
+    /// [`LevelSnapshot`] copy of the arena at that watermark. The
+    /// observer is telemetry-only — it cannot influence the synthesis,
+    /// and the produced tree is bit-identical to an unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::SlewUnachievable`] when the buffer library cannot meet
+    /// the slew target.
+    pub fn run_observed(
+        &self,
+        instance: &Instance,
+        scratch: &mut MergeScratch,
+        on_level: &mut dyn FnMut(LevelSnapshot),
+    ) -> Result<PipelineOutput, CtsError> {
+        self.run_impl(instance, scratch, Some(on_level))
+    }
+
+    fn run_impl(
+        &self,
+        instance: &Instance,
+        scratch: &mut MergeScratch,
+        mut on_level: Option<&mut dyn FnMut(LevelSnapshot)>,
+    ) -> Result<PipelineOutput, CtsError> {
         let ctx = self.ctx;
         let mut tree = ClockTree::new();
         let mut active: Vec<TreeNodeId> = instance
@@ -209,6 +262,13 @@ impl<'a> SynthesisPipeline<'a> {
             merge_seconds += t1.elapsed().as_secs_f64();
             flippings += stats.flippings;
             level_stats.push(stats);
+            if let Some(observer) = on_level.as_deref_mut() {
+                observer(LevelSnapshot {
+                    nodes: tree.nodes().to_vec(),
+                    levels_done: levels,
+                    roots: active.len(),
+                });
+            }
         }
 
         let t2 = std::time::Instant::now();
@@ -340,6 +400,7 @@ impl<'a> SynthesisPipeline<'a> {
             buffers_inserted: 0,
             worst_skew_estimate: 0.0,
             max_latency_estimate: 0.0,
+            nodes_total: 0,
         };
         // Stage 4 first: the level's statistics are a pure read over the
         // merge outcomes, so they aggregate before grafting consumes the
@@ -368,6 +429,7 @@ impl<'a> SynthesisPipeline<'a> {
             }
         }
         *active = next;
+        stats.nodes_total = tree.len();
         Ok(stats)
     }
 }
@@ -612,6 +674,41 @@ mod tests {
         assert_eq!(a.tree, b.tree);
         assert_eq!(a.source, b.source);
         assert_eq!(a.level_stats, b.level_stats);
+    }
+
+    #[test]
+    fn observer_sees_level_complete_forests() {
+        let options = CtsOptions::default();
+        let pipe = SynthesisPipeline::new(fast_library(), &options).unwrap();
+        let inst = line_instance(8, 600.0);
+        let mut snaps = Vec::new();
+        let out = pipe
+            .run_observed(&inst, &mut MergeScratch::new(), &mut |s| snaps.push(s))
+            .unwrap();
+        assert_eq!(snaps.len(), out.levels);
+        for (snap, stats) in snaps.iter().zip(&out.level_stats) {
+            // The snapshot arena sits exactly at the level watermark …
+            assert_eq!(snap.nodes.len(), stats.nodes_total);
+            assert_eq!(snap.levels_done, stats.level);
+            // … and rebuilds as a valid forest whose parentless roots are
+            // the level's still-active sub-tree roots.
+            let forest = ClockTree::from_nodes(snap.nodes.clone()).unwrap();
+            let roots = forest
+                .ids()
+                .filter(|&id| forest.node(id).parent.is_none())
+                .count();
+            assert_eq!(roots, snap.roots);
+        }
+        // Watermarks are strictly increasing; the final one covers every
+        // pre-source node of the finished tree.
+        assert!(snaps
+            .windows(2)
+            .all(|w| w[0].nodes.len() < w[1].nodes.len()));
+        assert_eq!(snaps.last().unwrap().nodes.len() + 1, out.tree.len());
+        // Observing never perturbs the synthesis.
+        let plain = pipe.run(&inst).unwrap();
+        assert_eq!(plain.tree, out.tree);
+        assert_eq!(plain.level_stats, out.level_stats);
     }
 
     #[test]

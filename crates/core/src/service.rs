@@ -63,8 +63,8 @@
 //! use cts_geom::Point;
 //! use std::sync::Arc;
 //!
-//! let mut cts = CtsOptions::default();
-//! cts.threads = 1; // service workers are the parallel axis
+//! // Service workers are the parallel axis, so synthesis stays serial.
+//! let cts = CtsOptions::builder().threads(1).build().unwrap();
 //! let mut opts = ServiceOptions::default();
 //! opts.workers = 2;
 //! opts.verify = false; // engine estimates only, to keep this example quick
@@ -90,6 +90,9 @@ use crate::batch::{BatchItem, BatchOptions, BatchRunner, StagedSynthesis};
 use crate::instance::Instance;
 use crate::merge::MergeScratch;
 use crate::options::{CtsError, CtsOptions};
+use crate::pareto::ParetoFront;
+use crate::pipeline::LevelSnapshot;
+use crate::sweep::{pareto_point, SweepError, SweepSpec};
 use crate::verify::{Verifier, VerifyOptions, VerifyStats};
 use cts_obs::Histogram;
 use cts_spice::Technology;
@@ -172,6 +175,13 @@ pub struct SynthesisRequest {
     /// — request metadata for multi-tenant front ends (the wire protocol
     /// forwards it verbatim).
     pub client_id: Option<String>,
+    /// Publish level-complete arena snapshots while the request
+    /// synthesizes, observable through [`Ticket::level_snapshot`] /
+    /// [`RequestHandle::level_snapshot`] — the seam the wire protocol's
+    /// mid-synthesis `fetch_tree` streaming sits on. Off (the default),
+    /// no snapshot copies are taken and synthesis runs exactly as
+    /// before; either way the final tree is bit-identical.
+    pub publish_levels: bool,
 }
 
 impl SynthesisRequest {
@@ -184,6 +194,7 @@ impl SynthesisRequest {
             deadline: None,
             options: None,
             client_id: None,
+            publish_levels: false,
         }
     }
 
@@ -208,6 +219,13 @@ impl SynthesisRequest {
     /// Sets the client id echoed on the result (builder style).
     pub fn with_client_id(mut self, client_id: impl Into<String>) -> SynthesisRequest {
         self.client_id = Some(client_id.into());
+        self
+    }
+
+    /// Enables level-snapshot publishing for this request (builder
+    /// style); see [`SynthesisRequest::publish_levels`].
+    pub fn with_publish_levels(mut self, publish: bool) -> SynthesisRequest {
+        self.publish_levels = publish;
         self
     }
 }
@@ -365,6 +383,99 @@ impl fmt::Display for BatchSubmitError {
 
 impl std::error::Error for BatchSubmitError {}
 
+/// Why a sweep submission was not admitted. Sweep admission is atomic —
+/// on any error **nothing** was admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepSubmitError {
+    /// The [`SweepSpec`] failed to expand (empty, oversized, or a point
+    /// with out-of-range options). Detected before touching the queue.
+    Spec(SweepError),
+    /// The expanded request batch was not admitted; carries the
+    /// underlying batch error (which hands the requests back).
+    Batch(BatchSubmitError),
+}
+
+impl fmt::Display for SweepSubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepSubmitError::Spec(e) => write!(f, "sweep spec rejected: {e}"),
+            SweepSubmitError::Batch(e) => write!(f, "sweep batch rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepSubmitError {}
+
+/// A resolved sweep: per-point outcomes in expansion order plus the
+/// exactly-folded Pareto front over the successful points.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One outcome per sweep point, index = expansion ordinal.
+    pub results: Vec<Result<SynthesisResult, ServiceError>>,
+    /// All successful points as [`ParetoFront`] rows (ordinal = sweep
+    /// ordinal); failed points simply contribute no row.
+    pub pareto: ParetoFront,
+}
+
+/// The handle [`SynthesisService::submit_sweep`] returns: one [`Ticket`]
+/// per expanded sweep point, in expansion order, admitted atomically
+/// with consecutive ids.
+pub struct SweepTicket {
+    tickets: Vec<Ticket>,
+}
+
+impl SweepTicket {
+    /// The per-point tickets, index = expansion ordinal.
+    pub fn tickets(&self) -> &[Ticket] {
+        &self.tickets
+    }
+
+    /// Consumes the handle into its per-point tickets (expansion order),
+    /// for callers that pump results themselves — the wire front end.
+    pub fn into_tickets(self) -> Vec<Ticket> {
+        self.tickets
+    }
+
+    /// Number of sweep points admitted.
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Whether the sweep admitted zero points (never happens through
+    /// [`SynthesisService::submit_sweep`], which rejects empty sweeps).
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// Blocks until every point resolves; returns the per-point outcomes
+    /// plus the folded Pareto front. The front is assembled by folding
+    /// one single-row [`ParetoFront`] per successful point — the same
+    /// grouping-independent discipline a distributed front end uses —
+    /// so it is byte-identical however the points were scheduled.
+    pub fn wait(self) -> SweepOutcome {
+        let results: Vec<Result<SynthesisResult, ServiceError>> =
+            self.tickets.into_iter().map(Ticket::wait).collect();
+        let parts: Vec<ParetoFront> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(ordinal, outcome)| outcome.as_ref().ok().map(|r| (ordinal, r)))
+            .map(|(ordinal, r)| ParetoFront::from_points([pareto_point(ordinal, &r.item.result)]))
+            .collect();
+        SweepOutcome {
+            results,
+            pareto: ParetoFront::fold(&parts),
+        }
+    }
+}
+
+impl fmt::Debug for SweepTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepTicket")
+            .field("points", &self.tickets.len())
+            .finish()
+    }
+}
+
 /// Lock-free lifetime counters, shared between the service handle (for
 /// snapshots) and the engine closures (for increments).
 #[derive(Debug, Default)]
@@ -388,6 +499,9 @@ struct Counters {
     /// Deepest the submission queue has ever been (monotone max, updated
     /// under the queue lock at admission).
     queue_high_water: AtomicU64,
+    /// Sweeps admitted via [`SynthesisService::submit_sweep`] (each also
+    /// counts its points into `submitted`).
+    sweeps_submitted: AtomicU64,
 }
 
 impl Counters {
@@ -485,6 +599,10 @@ pub struct ServiceMetrics {
     /// instantaneous value). Capacity planning signal: a high-water mark
     /// at the queue capacity means submitters were blocked.
     pub queue_depth_high_water: u64,
+    /// Sweeps admitted via [`SynthesisService::submit_sweep`] over the
+    /// service lifetime. Each sweep's points also count into
+    /// `submitted`, so `submitted - …` arithmetic is unaffected.
+    pub sweeps_submitted: u64,
 }
 
 impl ServiceMetrics {
@@ -520,7 +638,7 @@ impl fmt::Display for ServiceMetrics {
             "submitted {} | completed {} | cancelled {} | expired {} | failed {} | \
              queued {} (peak {}) | synth {:.3} s | verify {:.3} s | stages {} sim / {} reused | \
              symbolic {} hit / {} miss | sinks/s: topology {:.0}, merge {:.0}, verify {:.0} | \
-             corners {} ({} hit / {} miss)",
+             corners {} ({} hit / {} miss) | sweeps {}",
             self.submitted,
             self.completed,
             self.cancelled,
@@ -539,7 +657,8 @@ impl fmt::Display for ServiceMetrics {
             self.verify_sinks_per_second(),
             self.corners_evaluated,
             self.corner_lib_hits,
-            self.corner_lib_misses
+            self.corner_lib_misses,
+            self.sweeps_submitted
         )
     }
 }
@@ -577,6 +696,11 @@ pub struct ServiceStats {
 struct ReqShared {
     cancelled: AtomicBool,
     status: AtomicU8,
+    /// Latest level-complete arena snapshot, published by the synthesis
+    /// worker when [`SynthesisRequest::publish_levels`] is on. `Arc` so
+    /// readers clone a pointer, never the node arena; the lock is held
+    /// only for that pointer swap.
+    levels: Mutex<Option<Arc<LevelSnapshot>>>,
 }
 
 /// Flags a request for cooperative cancellation and nudges parked
@@ -589,6 +713,14 @@ fn cancel_request(shared: &ReqShared, queue: &Weak<ServiceQueue>) {
     if let Some(queue) = queue.upgrade() {
         queue.avail.notify_all();
     }
+}
+
+fn level_snapshot_of(shared: &ReqShared) -> Option<Arc<LevelSnapshot>> {
+    shared
+        .levels
+        .lock()
+        .expect("level snapshot poisoned")
+        .clone()
 }
 
 fn status_of(shared: &ReqShared) -> RequestStatus {
@@ -636,6 +768,16 @@ impl Ticket {
     /// finished request is a no-op — the result already streamed.
     pub fn cancel(&self) {
         cancel_request(&self.shared, &self.queue);
+    }
+
+    /// The latest level-complete arena snapshot the synthesis worker has
+    /// published — `None` until the first level lands, or always for a
+    /// request submitted without [`SynthesisRequest::publish_levels`].
+    /// Snapshots only ever advance (each covers strictly more levels
+    /// than the one it replaces), so a poller never observes a partial
+    /// level.
+    pub fn level_snapshot(&self) -> Option<Arc<LevelSnapshot>> {
+        level_snapshot_of(&self.shared)
     }
 
     /// A detachable control handle for this request: cancel and status
@@ -710,6 +852,12 @@ impl RequestHandle {
     pub fn cancel(&self) {
         cancel_request(&self.shared, &self.queue);
     }
+
+    /// The latest published level snapshot; same semantics as
+    /// [`Ticket::level_snapshot`].
+    pub fn level_snapshot(&self) -> Option<Arc<LevelSnapshot>> {
+        level_snapshot_of(&self.shared)
+    }
 }
 
 impl fmt::Debug for RequestHandle {
@@ -734,6 +882,8 @@ struct Job {
     /// Per-request options override.
     options: Option<CtsOptions>,
     client_id: Option<String>,
+    /// Publish level snapshots into `shared.levels` during synthesis.
+    publish_levels: bool,
     /// Admission timestamp on the [`cts_obs::now_ns`] clock; the queue
     /// wait ends when a worker pulls the job.
     admitted_ns: u64,
@@ -987,6 +1137,7 @@ impl SynthesisService {
             corner_lib_hits: self.corner_cache.hits(),
             corner_lib_misses: self.corner_cache.misses(),
             queue_depth_high_water: c.queue_high_water.load(Ordering::Relaxed),
+            sweeps_submitted: c.sweeps_submitted.load(Ordering::Relaxed),
         }
     }
 
@@ -1177,6 +1328,47 @@ impl SynthesisService {
         }
     }
 
+    /// Expands a [`SweepSpec`] and admits every point atomically as one
+    /// batch (blocking for room like [`SynthesisService::submit_batch`]).
+    /// Point `i` of the spec's deterministic expansion becomes ticket
+    /// `i`, with consecutive request ids in expansion order.
+    ///
+    /// `template` supplies everything *but* the options — instance,
+    /// priority, deadline, client id, level publishing — shared by every
+    /// point; its own `options` field is ignored (the sweep's base
+    /// options live in [`SweepSpec::base`]). Each point runs as an
+    /// ordinary request carrying its expanded options override, which is
+    /// what makes a swept point's tree byte-identical to the same
+    /// options submitted individually.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepSubmitError::Spec`] when the spec fails to expand (nothing
+    /// admitted), [`SweepSubmitError::Batch`] when the queue rejects the
+    /// expanded batch (all-or-nothing, requests handed back inside).
+    pub fn submit_sweep(
+        &self,
+        template: SynthesisRequest,
+        spec: &SweepSpec,
+    ) -> Result<SweepTicket, SweepSubmitError> {
+        let expanded = spec.expand().map_err(SweepSubmitError::Spec)?;
+        let requests: Vec<SynthesisRequest> = expanded
+            .into_iter()
+            .map(|options| {
+                let mut request = template.clone();
+                request.options = Some(options);
+                request
+            })
+            .collect();
+        let tickets = self
+            .submit_batch(requests)
+            .map_err(SweepSubmitError::Batch)?;
+        self.counters
+            .sweeps_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(SweepTicket { tickets })
+    }
+
     fn admit_all(&self, inner: &mut QueueInner, requests: Vec<SynthesisRequest>) -> Vec<Ticket> {
         requests
             .into_iter()
@@ -1191,6 +1383,7 @@ impl SynthesisService {
         let shared = Arc::new(ReqShared {
             cancelled: AtomicBool::new(false),
             status: AtomicU8::new(ST_QUEUED),
+            levels: Mutex::new(None),
         });
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         inner.heap.push(QueuedJob(Job {
@@ -1201,6 +1394,7 @@ impl SynthesisService {
             expires_at: request.deadline.map(|d| Instant::now() + d),
             options: request.options,
             client_id: request.client_id,
+            publish_levels: request.publish_levels,
             admitted_ns: cts_obs::now_ns(),
             shared: Arc::clone(&shared),
             tx,
@@ -1341,9 +1535,22 @@ fn engine_loop(
             let staged = {
                 let _span =
                     cts_obs::span_with(&SPAN_SERVICE_SYNTH, job.instance.sinks().len() as u64);
-                match job.options.clone() {
-                    None => runner.synth_stage(scratch, &job.instance),
-                    Some(o) => runner.synth_stage_with_options(scratch, &job.instance, o),
+                if job.publish_levels {
+                    let shared = Arc::clone(&job.shared);
+                    runner.synth_stage_observed(
+                        scratch,
+                        &job.instance,
+                        job.options.clone(),
+                        &mut |snap| {
+                            *shared.levels.lock().expect("level snapshot poisoned") =
+                                Some(Arc::new(snap));
+                        },
+                    )
+                } else {
+                    match job.options.clone() {
+                        None => runner.synth_stage(scratch, &job.instance),
+                        Some(o) => runner.synth_stage_with_options(scratch, &job.instance, o),
+                    }
                 }
             };
             match staged {
@@ -2067,6 +2274,152 @@ mod tests {
             .expect("empty batch is a no-op");
         assert!(tickets.is_empty());
         assert_eq!(svc.metrics().submitted, 0);
+    }
+
+    #[test]
+    fn submit_sweep_matches_individual_submits_bit_for_bit() {
+        use crate::sweep::{SweepAxes, SweepSpec};
+
+        let axes = SweepAxes {
+            slew_targets: vec![70e-12, 85e-12],
+            h_corrections: vec![
+                crate::options::HCorrection::Off,
+                crate::options::HCorrection::Correct,
+            ],
+            ..SweepAxes::default()
+        };
+        let spec = SweepSpec::cartesian(options(), axes);
+        let expanded = spec.expand().expect("valid sweep");
+        assert_eq!(expanded.len(), 4);
+
+        let inst = tiny("sweep", 5, 1600.0);
+        let svc = service(2, 16, false, false);
+        let sweep = svc
+            .submit_sweep(SynthesisRequest::new(inst.clone()), &spec)
+            .expect("sweep admits");
+        assert_eq!(sweep.len(), 4);
+        // Consecutive ids in expansion order.
+        let ids: Vec<u64> = sweep.tickets().iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let outcome = sweep.wait();
+
+        // The standing invariant: each swept point's tree is byte-identical
+        // to the same options submitted individually.
+        for (ordinal, opts) in expanded.iter().enumerate() {
+            let swept = outcome.results[ordinal].as_ref().expect("point completes");
+            let solo = svc
+                .submit(SynthesisRequest::new(inst.clone()).with_options(opts.clone()))
+                .unwrap()
+                .wait()
+                .expect("individual submit completes");
+            assert_eq!(swept.item.result.tree, solo.item.result.tree);
+            assert_eq!(swept.item.result.report, solo.item.result.report);
+            assert_eq!(
+                swept.item.result.buffer_cap_f,
+                solo.item.result.buffer_cap_f
+            );
+        }
+
+        // The front folds exactly: rebuilding it from the per-point stats
+        // reproduces it bit for bit.
+        let direct = ParetoFront::from_points(outcome.results.iter().enumerate().filter_map(
+            |(ordinal, r)| {
+                r.as_ref()
+                    .ok()
+                    .map(|res| pareto_point(ordinal, &res.item.result))
+            },
+        ));
+        assert_eq!(outcome.pareto, direct);
+        assert_eq!(outcome.pareto.len(), 4);
+        assert!(!outcome.pareto.front().is_empty());
+        assert_eq!(svc.metrics().sweeps_submitted, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_sweep_rejects_bad_specs_without_admitting() {
+        use crate::sweep::{SweepPoint, SweepSpec};
+
+        let svc = service(1, 4, true, false);
+        // Empty sweep: typed spec error, nothing admitted.
+        let empty = SweepSpec::explicit(options(), vec![]);
+        match svc.submit_sweep(SynthesisRequest::new(tiny("e", 3, 800.0)), &empty) {
+            Err(SweepSubmitError::Spec(SweepError::Empty)) => {}
+            other => panic!("expected Spec(Empty), got {other:?}"),
+        }
+        // Out-of-range point: rejected before touching the queue.
+        let bad = SweepSpec::explicit(
+            options(),
+            vec![SweepPoint {
+                slew_target: Some(-1.0),
+                ..SweepPoint::default()
+            }],
+        );
+        assert!(matches!(
+            svc.submit_sweep(SynthesisRequest::new(tiny("b", 3, 800.0)), &bad),
+            Err(SweepSubmitError::Spec(SweepError::BadPoint {
+                ordinal: 0,
+                ..
+            }))
+        ));
+        // Wider than the whole queue: batch error, all-or-nothing.
+        let wide = SweepSpec::explicit(options(), vec![SweepPoint::default(); 5]);
+        match svc.submit_sweep(SynthesisRequest::new(tiny("w", 3, 800.0)), &wide) {
+            Err(SweepSubmitError::Batch(BatchSubmitError::TooLarge(back))) => {
+                assert_eq!(back.len(), 5)
+            }
+            other => panic!("expected Batch(TooLarge), got {other:?}"),
+        }
+        assert_eq!(svc.pending(), 0, "nothing was admitted");
+        assert_eq!(svc.metrics().sweeps_submitted, 0);
+    }
+
+    #[test]
+    fn level_snapshots_publish_only_complete_levels() {
+        let svc = service(1, 4, false, false);
+        let inst = tiny("stream", 24, 5000.0);
+        let ticket = svc
+            .submit(SynthesisRequest::new(inst.clone()).with_publish_levels(true))
+            .unwrap();
+        let handle = ticket.handle();
+        // Poll while in flight: every observed snapshot must sit exactly on
+        // a level watermark (never a partially-grafted level) and advance
+        // monotonically.
+        let mut seen: Vec<(usize, usize)> = Vec::new(); // (levels_done, nodes)
+        while handle.status() != RequestStatus::Done {
+            if let Some(snap) = handle.level_snapshot() {
+                if seen.last().map(|&(l, _)| l) != Some(snap.levels_done) {
+                    seen.push((snap.levels_done, snap.nodes.len()));
+                }
+            }
+            std::thread::yield_now();
+        }
+        let done = ticket.wait().expect("synthesis succeeds");
+        let stats = &done.item.result.level_stats;
+        for &(levels_done, nodes) in &seen {
+            assert_eq!(
+                nodes,
+                stats[levels_done - 1].nodes_total,
+                "snapshot at level {levels_done} off the watermark"
+            );
+        }
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "snapshots advance monotonically: {seen:?}"
+        );
+        // The final snapshot is the full pre-source forest and rebuilds
+        // into a valid tree whose nodes prefix the finished arena.
+        let last = handle.level_snapshot().expect("levels were published");
+        assert_eq!(last.levels_done, done.item.result.levels);
+        assert_eq!(last.roots, 1);
+        let rebuilt = crate::tree::ClockTree::from_nodes(last.nodes.clone()).unwrap();
+        assert_eq!(rebuilt.len() + 1, done.item.result.tree.len());
+        // A request without publish_levels never allocates snapshots.
+        let quiet = svc.submit(SynthesisRequest::new(inst)).unwrap();
+        let quiet_handle = quiet.handle();
+        assert!(quiet.wait().is_ok());
+        assert!(quiet_handle.level_snapshot().is_none());
+        svc.shutdown();
     }
 
     #[test]

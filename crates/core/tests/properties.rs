@@ -1,7 +1,9 @@
 //! Property-based tests on the synthesis flow: structural and timing
 //! invariants over randomized instances.
 
-use cts_core::{CtsOptions, Instance, NodeKind, Sink, Synthesizer, TimingEngine};
+use cts_core::{
+    CtsOptions, Instance, NodeKind, ParetoFront, ParetoPoint, Sink, Synthesizer, TimingEngine,
+};
 use cts_geom::Point;
 use cts_timing::fast_library;
 use proptest::prelude::*;
@@ -26,6 +28,24 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
                 .collect();
             Instance::new("prop", sinks)
         })
+}
+
+fn pareto_points_strategy() -> impl Strategy<Value = Vec<ParetoPoint>> {
+    // Small ordinal range on purpose: collisions exercise the canonical
+    // tie-breaks that folding relies on. Objectives span realistic
+    // magnitudes (ps skew, fF cap, ns latency) so exact float identity —
+    // not approximate equality — is what the property checks.
+    prop::collection::vec(
+        (0usize..16, 0.0..80.0f64, 0.0..900.0f64, 0.1..4.0f64).prop_map(
+            |(ordinal, skew_ps, cap_ff, lat_ns)| ParetoPoint {
+                ordinal,
+                skew: skew_ps * 1e-12,
+                buffer_cap: cap_ff * 1e-15,
+                latency: lat_ns * 1e-9,
+            },
+        ),
+        0..24,
+    )
 }
 
 proptest! {
@@ -129,5 +149,46 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Pareto folding is associative, commutative, and
+    /// grouping-independent **bit for bit**: however a sweep's evaluated
+    /// points are partitioned across workers, every association of
+    /// partial folds produces the identical front. This is the exactness
+    /// contract the server's `pareto` event depends on for
+    /// worker-count-independent wire bytes.
+    #[test]
+    fn pareto_fold_is_associative_bit_for_bit(
+        a in pareto_points_strategy(),
+        b in pareto_points_strategy(),
+        c in pareto_points_strategy(),
+    ) {
+        let (fa, fb, fc) = (
+            ParetoFront::from_points(a.iter().copied()),
+            ParetoFront::from_points(b.iter().copied()),
+            ParetoFront::from_points(c.iter().copied()),
+        );
+        let left = ParetoFront::fold(&[ParetoFront::fold(&[fa.clone(), fb.clone()]), fc.clone()]);
+        let right = ParetoFront::fold(&[fa.clone(), ParetoFront::fold(&[fb.clone(), fc.clone()])]);
+        let flat = ParetoFront::fold(&[fc, fb, fa]); // reversed order too
+        let one_shot = ParetoFront::from_points(
+            a.iter().chain(b.iter()).chain(c.iter()).copied(),
+        );
+        for other in [&right, &flat, &one_shot] {
+            prop_assert_eq!(&left, other);
+            // Bitwise, not just PartialEq: NaN-free here, but the rows
+            // must be the same floats, not merely equal ones.
+            for (x, y) in left.rows().iter().zip(other.rows()) {
+                prop_assert_eq!(x.skew.to_bits(), y.skew.to_bits());
+                prop_assert_eq!(x.buffer_cap.to_bits(), y.buffer_cap.to_bits());
+                prop_assert_eq!(x.latency.to_bits(), y.latency.to_bits());
+            }
+        }
+        prop_assert_eq!(left.len(), a.len() + b.len() + c.len());
+        // The derived front is a subset of the rows and never empty when
+        // rows exist (something is always non-dominated).
+        let front = left.front();
+        prop_assert!(front.len() <= left.len());
+        prop_assert_eq!(front.is_empty(), left.is_empty());
     }
 }

@@ -83,13 +83,13 @@ pub use cts_timing as timing;
 
 pub use cts_core::{
     verify_tree, BatchItem, BatchOptions, BatchOutput, BatchRunner, BatchSubmitError, BatchSummary,
-    Buffering, ClockTree, CornerRow, CtsError, CtsOptions, CtsResult, DistStats, HCorrection,
-    Instance, LevelStats, NodeKind, RequestHandle, RequestId, RequestStatus, ServiceError,
-    ServiceMetrics, ServiceOptions, ServiceStats, Sink, StagedSynthesis, SubmitError,
-    SynthesisContext, SynthesisPipeline, SynthesisRequest, SynthesisResult, SynthesisService,
-    Synthesizer, Ticket, TimingEngine, TimingReport, TreeNode, TreeNodeId, TreeStructureError,
-    Variation, VariationMode, VariationSummary, VerifiedTiming, Verifier, VerifyOptions,
-    VerifyStats,
+    Buffering, ClockTree, CornerRow, CtsError, CtsOptions, CtsOptionsBuilder, CtsResult, DistStats,
+    HCorrection, Instance, LevelStats, NodeKind, OptionsError, ParetoFront, ParetoPoint,
+    RequestHandle, RequestId, RequestStatus, ServiceError, ServiceMetrics, ServiceOptions,
+    ServiceStats, Sink, StagedSynthesis, SubmitError, SynthesisContext, SynthesisPipeline,
+    SynthesisRequest, SynthesisResult, SynthesisService, Synthesizer, Ticket, TimingEngine,
+    TimingReport, TreeNode, TreeNodeId, TreeStructureError, Variation, VariationMode,
+    VariationSummary, VerifiedTiming, Verifier, VerifyOptions, VerifyStats,
 };
 pub use cts_spice::Technology;
 pub use cts_timing::{

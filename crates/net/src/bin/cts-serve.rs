@@ -110,8 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = cts_timing::fast_library().clone();
     let tech = cts_spice::Technology::nominal_45nm();
 
-    let mut options = CtsOptions::default();
-    options.threads = args.threads;
+    let options = CtsOptions::builder().threads(args.threads).build()?;
     let mut svc_options = ServiceOptions::default();
     svc_options.workers = args.workers;
     svc_options.queue_capacity = args.queue;

@@ -15,11 +15,12 @@
 use crate::frame::{read_frame, write_frame};
 use crate::json::Json;
 use crate::proto::{
-    decode_event, decode_response, decode_tree_event, encode_request, event_op, is_event,
-    BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteTree, Request, Response,
-    StatsReply, TreeEvent, TreeInfo, PROTOCOL_VERSION,
+    decode_event, decode_pareto_event, decode_response, decode_sweep_progress, decode_tree_event,
+    encode_request, event_op, is_event, BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome,
+    ParetoEvent, RemoteTree, Request, Response, StatsReply, SweepProgressEvent, SweepRange,
+    TreeEvent, TreeInfo, PROTOCOL_VERSION,
 };
-use cts_core::{ClockTree, Instance, RequestStatus, TreeNode, TreeNodeId};
+use cts_core::{ClockTree, Instance, LevelStats, RequestStatus, TreeNode, TreeNodeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufReader, Write};
@@ -85,6 +86,138 @@ pub struct SubmitParams {
     pub client_id: Option<String>,
 }
 
+/// One typed submission: the instance plus every knob the wire carries.
+/// This is the single entry shape behind [`Client::submit_spec`] (one),
+/// [`Client::submit_specs`] (many), and [`Client::submit_sweep`] (a
+/// swept template) — the older [`Client::submit`]/[`Client::submit_batch`]
+/// pair are thin wrappers over it emitting byte-identical frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitSpec {
+    /// The instance to synthesize.
+    pub instance: Instance,
+    /// Dispatch priority (higher first).
+    pub priority: i32,
+    /// Deadline in milliseconds from admission.
+    pub deadline_ms: Option<u64>,
+    /// Per-request options overrides (for a sweep, the *base* the points
+    /// perturb).
+    pub options: OptionsPatch,
+    /// Client id echoed on the result (defaults to the connection's
+    /// `hello` client id).
+    pub client_id: Option<String>,
+    /// Publish level-complete snapshots mid-synthesis, enabling
+    /// [`Client::fetch_tree_progress`] to watch the tree grow.
+    pub publish_levels: bool,
+}
+
+impl SubmitSpec {
+    /// A plain priority-0 submission of `instance` under server-default
+    /// options.
+    pub fn new(instance: Instance) -> SubmitSpec {
+        SubmitSpec {
+            instance,
+            priority: 0,
+            deadline_ms: None,
+            options: OptionsPatch::default(),
+            client_id: None,
+            publish_levels: false,
+        }
+    }
+
+    /// Sets the dispatch priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: i32) -> SubmitSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a deadline in milliseconds from admission.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> SubmitSpec {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the options patch.
+    #[must_use]
+    pub fn with_options(mut self, options: OptionsPatch) -> SubmitSpec {
+        self.options = options;
+        self
+    }
+
+    /// Sets the client id.
+    #[must_use]
+    pub fn with_client_id(mut self, client_id: impl Into<String>) -> SubmitSpec {
+        self.client_id = Some(client_id.into());
+        self
+    }
+
+    /// Turns mid-synthesis level publication on or off.
+    #[must_use]
+    pub fn with_publish_levels(mut self, publish: bool) -> SubmitSpec {
+        self.publish_levels = publish;
+        self
+    }
+}
+
+/// How [`Client::fetch_tree`] asks the server to chunk the node stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkMode {
+    /// Server-default chunk size, plain node-count boundaries.
+    #[default]
+    Default,
+    /// Explicit nodes-per-chunk (the server clamps to its maximum).
+    Nodes(u64),
+    /// Level-granular: chunk boundaries align with completed topology
+    /// levels, so each level can be handed off as its last chunk lands.
+    Levels,
+}
+
+impl ChunkMode {
+    fn wire(self) -> (Option<u64>, bool) {
+        match self {
+            ChunkMode::Default => (None, false),
+            ChunkMode::Nodes(n) => (Some(n), false),
+            ChunkMode::Levels => (None, true),
+        }
+    }
+}
+
+/// A sweep admitted by the server: the correlation ordinal for its
+/// pushed events plus the per-point request ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSubmission {
+    /// The per-connection sweep ordinal `sweep_progress`/`pareto` events
+    /// carry.
+    pub sweep: u64,
+    /// One request id per expanded point, in expansion order.
+    pub ids: Vec<u64>,
+}
+
+/// A level-granular look at a request's tree, possibly mid-synthesis —
+/// what [`Client::fetch_tree_progress`] returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeProgress {
+    /// The request id.
+    pub id: u64,
+    /// Instance name (empty on partial snapshots — the server does not
+    /// retain it until completion).
+    pub name: String,
+    /// `true` while the request is still synthesizing: `nodes` is the
+    /// latest level-complete snapshot (a rooted forest, no source yet).
+    pub partial: bool,
+    /// Topology levels fully grafted into `nodes` (0 on a completed
+    /// tree, where `level_stats` carries the per-level story instead).
+    pub levels_done: u64,
+    /// The streamed nodes. For a completed request this is the full
+    /// arena; rebuild with [`ClockTree::from_nodes`].
+    pub nodes: Vec<TreeNode>,
+    /// The source node, once synthesis completed.
+    pub source: Option<TreeNodeId>,
+    /// Per-level statistics (empty on partial snapshots).
+    pub level_stats: Vec<LevelStats>,
+}
+
 /// One blocking protocol connection. See the module docs.
 pub struct Client {
     writer: TcpStream,
@@ -95,6 +228,10 @@ pub struct Client {
     /// not yet learned about, because a batch reply can race the first
     /// pushed event of one of its own requests.
     stashed: HashMap<u64, Outcome>,
+    /// `sweep_progress` events by sweep ordinal, in arrival order.
+    sweep_progress: HashMap<u64, Vec<SweepProgressEvent>>,
+    /// Terminal `pareto` events by sweep ordinal.
+    paretos: HashMap<u64, ParetoEvent>,
     info: ServerInfo,
 }
 
@@ -125,6 +262,8 @@ impl Client {
             reader,
             next_seq: 0,
             stashed: HashMap::new(),
+            sweep_progress: HashMap::new(),
+            paretos: HashMap::new(),
             info: ServerInfo {
                 version: 0,
                 server: String::new(),
@@ -157,25 +296,97 @@ impl Client {
         &self.info
     }
 
-    /// Submits an instance; returns the service-assigned request id. The
-    /// result arrives later — fetch it with [`Client::wait_result`].
+    /// Submits one typed [`SubmitSpec`]; returns the service-assigned
+    /// request id. The result arrives later — fetch it with
+    /// [`Client::wait_result`].
     ///
     /// # Errors
     ///
     /// Transport/protocol failures, or a structured rejection (draining
     /// server, invalid spec).
-    pub fn submit(&mut self, instance: &Instance, params: &SubmitParams) -> Result<u64, NetError> {
+    pub fn submit_spec(&mut self, spec: SubmitSpec) -> Result<u64, NetError> {
         let reply = self.call(&Request::Submit {
-            instance: instance.clone(),
-            options: params.options.clone(),
-            priority: params.priority,
-            deadline_ms: params.deadline_ms,
-            client_id: params.client_id.clone(),
+            instance: spec.instance,
+            options: spec.options,
+            priority: spec.priority,
+            deadline_ms: spec.deadline_ms,
+            client_id: spec.client_id,
+            publish_levels: spec.publish_levels,
         })?;
         match reply {
             Response::Submitted { id } => Ok(id),
             other => Err(unexpected("submit reply", &other)),
         }
+    }
+
+    /// Submits many typed [`SubmitSpec`]s. Returns the service-assigned
+    /// request ids, one per spec in order; results arrive later, each as
+    /// its own event.
+    ///
+    /// When every spec carries the **same options patch** (the common
+    /// sweep shape), this sends one `submit_batch` frame and the specs
+    /// are admitted **atomically** — all or nothing against queue
+    /// capacity, with consecutive ids. Specs with differing options fall
+    /// back to sequential `submit` frames: every spec is still admitted
+    /// in order, but admission is no longer all-or-nothing (a mid-list
+    /// rejection surfaces as the error after the earlier specs were
+    /// already admitted). An empty list returns `Ok(vec![])` without
+    /// touching the wire.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a structured rejection: a batch
+    /// larger than the server queue's total capacity is `bad_request`
+    /// (nothing was admitted), a draining server is `shutting_down`.
+    pub fn submit_specs(&mut self, specs: Vec<SubmitSpec>) -> Result<Vec<u64>, NetError> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let uniform = specs.windows(2).all(|w| w[0].options == w[1].options);
+        if !uniform {
+            return specs
+                .into_iter()
+                .map(|spec| self.submit_spec(spec))
+                .collect();
+        }
+        let options = specs[0].options.clone();
+        let entries = specs
+            .into_iter()
+            .map(|spec| BatchEntry {
+                instance: spec.instance,
+                priority: spec.priority,
+                deadline_ms: spec.deadline_ms,
+                client_id: spec.client_id,
+                publish_levels: spec.publish_levels,
+            })
+            .collect();
+        let reply = self.call(&Request::SubmitBatch { entries, options })?;
+        match reply {
+            Response::BatchSubmitted { ids } => Ok(ids),
+            other => Err(unexpected("submit_batch reply", &other)),
+        }
+    }
+
+    /// Submits an instance; returns the service-assigned request id. The
+    /// result arrives later — fetch it with [`Client::wait_result`].
+    ///
+    /// Thin wrapper over [`Client::submit_spec`]; both emit byte-identical
+    /// `submit` frames.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a structured rejection (draining
+    /// server, invalid spec).
+    #[deprecated(note = "use Client::submit_spec with a typed SubmitSpec")]
+    pub fn submit(&mut self, instance: &Instance, params: &SubmitParams) -> Result<u64, NetError> {
+        self.submit_spec(SubmitSpec {
+            instance: instance.clone(),
+            priority: params.priority,
+            deadline_ms: params.deadline_ms,
+            options: params.options.clone(),
+            client_id: params.client_id.clone(),
+            publish_levels: false,
+        })
     }
 
     /// Submits many instances in **one frame**, admitted atomically into
@@ -191,11 +402,15 @@ impl Client {
     /// `SynthesisService::submit_batch`'s no-op semantics (the wire op
     /// itself requires at least one entry).
     ///
+    /// Thin wrapper kept for compatibility; [`Client::submit_specs`]
+    /// with uniform options emits a byte-identical `submit_batch` frame.
+    ///
     /// # Errors
     ///
     /// Transport/protocol failures, or a structured rejection: a batch
     /// larger than the server queue's total capacity is `bad_request`
     /// (nothing was admitted), a draining server is `shutting_down`.
+    #[deprecated(note = "use Client::submit_specs with typed SubmitSpecs")]
     pub fn submit_batch(
         &mut self,
         entries: Vec<BatchEntry>,
@@ -212,6 +427,75 @@ impl Client {
             Response::BatchSubmitted { ids } => Ok(ids),
             other => Err(unexpected("submit_batch reply", &other)),
         }
+    }
+
+    /// Submits a parameter sweep in **one frame**: the server expands
+    /// `range` over the spec's options (the *base* patch) into
+    /// deterministic per-point requests, admitted atomically like a
+    /// batch. Each point streams its own result event; `sweep_progress`
+    /// events arrive as points resolve, and the terminal `pareto` event
+    /// ([`Client::wait_pareto`]) carries the folded front over (skew,
+    /// buffer capacitance, latency).
+    ///
+    /// Every swept point synthesizes a tree **byte-identical** to the
+    /// same options submitted individually — the sweep only saves round
+    /// trips and folds the front server-side.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a structured rejection: an empty
+    /// or oversized expansion is `bad_request` (nothing was admitted), a
+    /// draining server is `shutting_down`.
+    pub fn submit_sweep(
+        &mut self,
+        spec: SubmitSpec,
+        range: SweepRange,
+    ) -> Result<SweepSubmission, NetError> {
+        let reply = self.call(&Request::SubmitSweep {
+            instance: spec.instance,
+            base: spec.options,
+            range,
+            priority: spec.priority,
+            deadline_ms: spec.deadline_ms,
+            client_id: spec.client_id,
+            publish_levels: spec.publish_levels,
+        })?;
+        match reply {
+            Response::SweepSubmitted { sweep, ids } => Ok(SweepSubmission { sweep, ids }),
+            other => Err(unexpected("submit_sweep reply", &other)),
+        }
+    }
+
+    /// Blocks until sweep `sweep`'s terminal `pareto` event arrives and
+    /// returns it. Result and progress events that arrive meanwhile are
+    /// stashed for their own accessors.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures (a lost connection rejects every
+    /// outstanding wait).
+    pub fn wait_pareto(&mut self, sweep: u64) -> Result<ParetoEvent, NetError> {
+        loop {
+            if let Some(event) = self.paretos.remove(&sweep) {
+                return Ok(event);
+            }
+            let frame = self.read()?;
+            if is_event(&frame) {
+                self.stash_event(&frame)?;
+            } else {
+                return Err(NetError::Protocol(
+                    "unsolicited reply while waiting for a pareto event".into(),
+                ));
+            }
+        }
+    }
+
+    /// Drains the `sweep_progress` events stashed so far for `sweep`, in
+    /// arrival order (each point's progress frame follows its result
+    /// event). Does not block; poll between waits or after
+    /// [`Client::wait_pareto`].
+    pub fn take_sweep_progress(&mut self, sweep: u64) -> Vec<SweepProgressEvent> {
+        self.sweep_progress.remove(&sweep).unwrap_or_default()
     }
 
     /// Blocks until request `id` resolves and returns its outcome
@@ -244,31 +528,91 @@ impl Client {
     /// their library cell ids, the routed wire length of every segment,
     /// and the per-level synthesis statistics — rebuilt into a
     /// [`ClockTree`] **bit-identical** to the one the server synthesized
-    /// in process.
+    /// in process. `mode` picks the chunking; every mode rebuilds the
+    /// same tree ([`ChunkMode::Levels`] only aligns chunk boundaries
+    /// with completed topology levels).
     ///
     /// # Errors
     ///
     /// Transport failures — including a stream truncated mid-geometry,
     /// which surfaces as an error rather than a silently partial tree —
     /// protocol violations (chunk gaps, short streams, structurally
-    /// invalid nodes), or `unknown_id` when the server no longer retains
-    /// (or never completed) the request.
-    pub fn fetch_tree(&mut self, id: u64) -> Result<RemoteTree, NetError> {
-        self.fetch_tree_chunked(id, None)
+    /// invalid nodes), `unknown_id` when the server no longer retains
+    /// (or never completed) the request, or a *partial* header (the
+    /// request is still synthesizing under [`ChunkMode::Levels`]) —
+    /// watch those with [`Client::fetch_tree_progress`] instead.
+    pub fn fetch_tree(&mut self, id: u64, mode: ChunkMode) -> Result<RemoteTree, NetError> {
+        let header = self.fetch_tree_header(id, mode)?;
+        let (nodes, level_stats) = self.collect_stream(&header)?;
+        if header.partial {
+            return Err(NetError::Protocol(format!(
+                "request {id} is still synthesizing ({} levels published); \
+                 use fetch_tree_progress to watch a partial tree",
+                header.levels_done
+            )));
+        }
+        if header.source >= header.nodes {
+            return Err(NetError::Protocol(format!(
+                "tree source {} is outside the {}-node arena",
+                header.source, header.nodes
+            )));
+        }
+        let tree = ClockTree::from_nodes(nodes).map_err(|e| NetError::Protocol(e.to_string()))?;
+        Ok(RemoteTree {
+            id: header.id,
+            name: header.name,
+            tree,
+            source: TreeNodeId::from_index(header.source as usize),
+            level_stats,
+        })
     }
 
     /// [`Client::fetch_tree`] with an explicit chunk size (nodes per
-    /// `tree` event); `None` uses the server default.
+    /// `tree` event); `None` uses the server default. Thin wrapper over
+    /// `fetch_tree(id, ChunkMode::...)`, kept for compatibility.
     ///
     /// # Errors
     ///
     /// See [`Client::fetch_tree`].
+    #[deprecated(note = "use Client::fetch_tree with a ChunkMode")]
     pub fn fetch_tree_chunked(
         &mut self,
         id: u64,
         chunk: Option<u64>,
     ) -> Result<RemoteTree, NetError> {
-        let header = match self.call(&Request::FetchTree { id, chunk })? {
+        self.fetch_tree(id, chunk.map_or(ChunkMode::Default, ChunkMode::Nodes))
+    }
+
+    /// Streams a level-granular look at request `id`'s tree, **including
+    /// mid-synthesis**: a request submitted with `publish_levels` answers
+    /// with its latest level-complete snapshot (a rooted forest — whole
+    /// levels only, never a torn level) while it synthesizes, and with
+    /// the full tree once done. A request that published nothing yet
+    /// returns an empty partial (zero nodes, zero levels) rather than an
+    /// error, so a watcher can poll from submission to completion.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or `unknown_id` for an id this
+    /// connection never submitted (or whose geometry was evicted).
+    pub fn fetch_tree_progress(&mut self, id: u64) -> Result<TreeProgress, NetError> {
+        let header = self.fetch_tree_header(id, ChunkMode::Levels)?;
+        let (nodes, level_stats) = self.collect_stream(&header)?;
+        Ok(TreeProgress {
+            id: header.id,
+            name: header.name,
+            partial: header.partial,
+            levels_done: header.levels_done,
+            nodes,
+            source: (!header.partial).then(|| TreeNodeId::from_index(header.source as usize)),
+            level_stats,
+        })
+    }
+
+    /// Sends a `fetch_tree` and validates the stream header.
+    fn fetch_tree_header(&mut self, id: u64, mode: ChunkMode) -> Result<TreeInfo, NetError> {
+        let (chunk, levels) = mode.wire();
+        let header = match self.call(&Request::FetchTree { id, chunk, levels })? {
             Response::TreeHeader(h) => h,
             other => return Err(unexpected("fetch_tree reply", &other)),
         };
@@ -278,16 +622,20 @@ impl Client {
                 header.id
             )));
         }
-        self.collect_tree(&header)
+        Ok(header)
     }
 
     /// Consumes the chunked `tree` events following a stream header and
-    /// rebuilds the routed tree. Result events that interleave are
-    /// stashed; `tree` events for *other* ids cannot belong to a live
-    /// stream (this synchronous client runs at most one at a time —
-    /// they are stale leftovers of an earlier failed fetch) and are
-    /// discarded, so a failed stream never poisons a later retry.
-    fn collect_tree(&mut self, header: &TreeInfo) -> Result<RemoteTree, NetError> {
+    /// returns the streamed nodes plus the terminal frame's level stats.
+    /// Result events that interleave are stashed; `tree` events for
+    /// *other* ids cannot belong to a live stream (this synchronous
+    /// client runs at most one at a time — they are stale leftovers of
+    /// an earlier failed fetch) and are discarded, so a failed stream
+    /// never poisons a later retry.
+    fn collect_stream(
+        &mut self,
+        header: &TreeInfo,
+    ) -> Result<(Vec<TreeNode>, Vec<LevelStats>), NetError> {
         // `header.nodes` is server-supplied: cap the preallocation so a
         // buggy or hostile peer cannot panic/abort this process with an
         // absurd claim — the vector grows normally past the hint, and a
@@ -343,21 +691,7 @@ impl Client {
                             header.chunks
                         )));
                     }
-                    if header.source >= header.nodes {
-                        return Err(NetError::Protocol(format!(
-                            "tree source {} is outside the {}-node arena",
-                            header.source, header.nodes
-                        )));
-                    }
-                    let tree = ClockTree::from_nodes(nodes)
-                        .map_err(|e| NetError::Protocol(e.to_string()))?;
-                    return Ok(RemoteTree {
-                        id: header.id,
-                        name: header.name.clone(),
-                        tree,
-                        source: TreeNodeId::from_index(header.source as usize),
-                        level_stats: done.level_stats,
-                    });
+                    return Ok((nodes, done.level_stats));
                 }
             }
         }
@@ -440,17 +774,32 @@ impl Client {
     /// **unconditionally** — the id may belong to a submission whose
     /// reply this client has not even read yet (a batch reply racing its
     /// first pushed event); dropping such an event would lose the
-    /// request's only terminal outcome. `tree` events seen here are
-    /// decoded (malformed frames still fail loudly) but then discarded:
-    /// a live stream is consumed entirely inside `collect_tree`, so any
-    /// tree frame reaching this point is a stale leftover of a fetch
-    /// that already failed — retaining it would only poison a retry.
+    /// request's only terminal outcome. Sweep events stash by sweep
+    /// ordinal the same way. `tree` events seen here are decoded
+    /// (malformed frames still fail loudly) but then discarded: a live
+    /// stream is consumed entirely inside `collect_stream`, so any tree
+    /// frame reaching this point is a stale leftover of a fetch that
+    /// already failed — retaining it would only poison a retry.
     fn stash_event(&mut self, frame: &Json) -> Result<(), NetError> {
-        if event_op(frame) == Some("tree") {
-            decode_tree_event(frame).map_err(NetError::Protocol)?;
-        } else {
-            let event = decode_event(frame).map_err(NetError::Protocol)?;
-            self.stashed.insert(event.id, event.outcome);
+        match event_op(frame) {
+            Some("tree") => {
+                decode_tree_event(frame).map_err(NetError::Protocol)?;
+            }
+            Some("sweep_progress") => {
+                let event = decode_sweep_progress(frame).map_err(NetError::Protocol)?;
+                self.sweep_progress
+                    .entry(event.sweep)
+                    .or_default()
+                    .push(event);
+            }
+            Some("pareto") => {
+                let event = decode_pareto_event(frame).map_err(NetError::Protocol)?;
+                self.paretos.insert(event.sweep, event);
+            }
+            _ => {
+                let event = decode_event(frame).map_err(NetError::Protocol)?;
+                self.stashed.insert(event.id, event.outcome);
+            }
         }
         Ok(())
     }

@@ -33,7 +33,7 @@
 //! ```no_run
 //! use cts_core::{CtsOptions, Instance, ServiceOptions, Sink, SynthesisService};
 //! use cts_geom::Point;
-//! use cts_net::{Client, Outcome, Server, SubmitParams};
+//! use cts_net::{Client, Outcome, Server, SubmitSpec};
 //! use std::sync::Arc;
 //!
 //! let service = Arc::new(SynthesisService::new(
@@ -50,7 +50,7 @@
 //! let sinks = (0..4)
 //!     .map(|i| Sink::new(format!("ff{i}"), Point::new(700.0 * i as f64, 0.0), 25e-15))
 //!     .collect();
-//! let id = client.submit(&Instance::new("remote", sinks), &SubmitParams::default())?;
+//! let id = client.submit_spec(SubmitSpec::new(Instance::new("remote", sinks)))?;
 //! match client.wait_result(id)? {
 //!     Outcome::Completed(result) => println!("skew: {} s", result.estimate.skew),
 //!     other => println!("request resolved {other:?}"),
@@ -69,11 +69,15 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, NetError, ServerInfo, SubmitParams};
+pub use client::{
+    ChunkMode, Client, NetError, ServerInfo, SubmitParams, SubmitSpec, SweepSubmission,
+    TreeProgress,
+};
 pub use json::{Json, JsonError};
 pub use proto::{
-    BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, RemoteResult, RemoteTree,
-    ResultEvent, SpanStat, StatsReply, TimingStats, TreeChunkEvent, TreeDoneEvent, TreeEvent,
-    TreeInfo, VariationStats, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
+    BatchEntry, ErrorCode, MetricsReply, OptionsPatch, Outcome, ParetoEvent, ParetoWirePoint,
+    RemoteResult, RemoteTree, ResultEvent, SpanStat, StatsReply, SweepAxesSpec, SweepPointOutcome,
+    SweepPointSpec, SweepProgressEvent, SweepRange, TimingStats, TreeChunkEvent, TreeDoneEvent,
+    TreeEvent, TreeInfo, VariationStats, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerHandle};

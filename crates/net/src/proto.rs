@@ -19,8 +19,8 @@
 use crate::json::Json;
 use cts_core::{
     Buffering, ClockTree, CtsOptions, DistStats, HCorrection, Instance, LevelStats, NodeKind,
-    RequestStatus, ServiceError, ServiceMetrics, Sink, SynthesisResult, TreeNode, TreeNodeId,
-    VariationMode, VariationSummary,
+    ParetoFront, ParetoPoint, RequestStatus, ServiceError, ServiceMetrics, Sink, SweepAxes,
+    SweepPoint, SynthesisResult, TreeNode, TreeNodeId, VariationMode, VariationSummary,
 };
 use cts_geom::{Point, Rect};
 use cts_obs::Histogram;
@@ -244,6 +244,44 @@ pub fn instance_from_json(j: &Json) -> Result<Instance, DecodeError> {
 // ---------------------------------------------------------------------------
 // Options patch
 
+/// The wire spelling of an [`HCorrection`] mode.
+fn h_correction_str(h: HCorrection) -> &'static str {
+    match h {
+        HCorrection::Off => "off",
+        HCorrection::ReEstimate => "re_estimate",
+        HCorrection::Correct => "correct",
+    }
+}
+
+fn h_correction_from_json(value: &Json, key: &str) -> Result<HCorrection, DecodeError> {
+    match value.as_str() {
+        Some("off") => Ok(HCorrection::Off),
+        Some("re_estimate") => Ok(HCorrection::ReEstimate),
+        Some("correct") => Ok(HCorrection::Correct),
+        _ => Err(DecodeError::bad(format!(
+            "'{key}' must be \"off\", \"re_estimate\", or \"correct\""
+        ))),
+    }
+}
+
+/// The wire spelling of a [`Buffering`] strategy.
+fn buffering_str(b: Buffering) -> &'static str {
+    match b {
+        Buffering::Greedy => "greedy",
+        Buffering::VanGinneken => "van_ginneken",
+    }
+}
+
+fn buffering_from_json(value: &Json, key: &str) -> Result<Buffering, DecodeError> {
+    match value.as_str() {
+        Some("greedy") => Ok(Buffering::Greedy),
+        Some("van_ginneken") => Ok(Buffering::VanGinneken),
+        _ => Err(DecodeError::bad(format!(
+            "'{key}' must be \"greedy\" or \"van_ginneken\""
+        ))),
+    }
+}
+
 /// The `submit` op's [`CtsOptions`] subset: every field optional, applied
 /// over the server's base options. Times travel in picoseconds on the
 /// wire (`slew_*_ps`), matching how the paper quotes them.
@@ -261,6 +299,9 @@ pub struct OptionsPatch {
     pub threads: Option<usize>,
     /// Overrides [`CtsOptions::buffering`] (greedy vs van Ginneken).
     pub buffering: Option<Buffering>,
+    /// Overrides [`CtsOptions::library_subset`] (buffer-library prefix
+    /// size; `0` = full library).
+    pub library_subset: Option<usize>,
     /// Overrides the variation corner count
     /// (`CtsOptions::variation.corners`); `0` turns the axis off.
     pub variation_corners: Option<usize>,
@@ -304,6 +345,9 @@ impl OptionsPatch {
         if let Some(b) = self.buffering {
             o.buffering = b;
         }
+        if let Some(k) = self.library_subset {
+            o.library_subset = k;
+        }
         if let Some(n) = self.variation_corners {
             o.variation.corners = n;
         }
@@ -338,22 +382,16 @@ impl OptionsPatch {
             fields.push(("grid_resolution", Json::num(v as f64)));
         }
         if let Some(h) = self.h_correction {
-            let s = match h {
-                HCorrection::Off => "off",
-                HCorrection::ReEstimate => "re_estimate",
-                HCorrection::Correct => "correct",
-            };
-            fields.push(("h_correction", Json::str(s)));
+            fields.push(("h_correction", Json::str(h_correction_str(h))));
         }
         if let Some(t) = self.threads {
             fields.push(("threads", Json::num(t as f64)));
         }
         if let Some(b) = self.buffering {
-            let s = match b {
-                Buffering::Greedy => "greedy",
-                Buffering::VanGinneken => "van_ginneken",
-            };
-            fields.push(("buffering", Json::str(s)));
+            fields.push(("buffering", Json::str(buffering_str(b))));
+        }
+        if let Some(k) = self.library_subset {
+            fields.push(("library_subset", Json::num(k as f64)));
         }
         if let Some(n) = self.variation_corners {
             fields.push(("variation_corners", Json::num(n as f64)));
@@ -417,15 +455,7 @@ impl OptionsPatch {
                     patch.grid_resolution = Some(n as u32);
                 }
                 "h_correction" => {
-                    patch.h_correction =
-                        Some(match value.as_str() {
-                            Some("off") => HCorrection::Off,
-                            Some("re_estimate") => HCorrection::ReEstimate,
-                            Some("correct") => HCorrection::Correct,
-                            _ => return Err(DecodeError::bad(
-                                "'h_correction' must be \"off\", \"re_estimate\", or \"correct\"",
-                            )),
-                        })
+                    patch.h_correction = Some(h_correction_from_json(value, "h_correction")?)
                 }
                 "threads" => {
                     let n = value
@@ -433,16 +463,12 @@ impl OptionsPatch {
                         .ok_or_else(|| DecodeError::bad("'threads' must be an integer"))?;
                     patch.threads = Some(n as usize);
                 }
-                "buffering" => {
-                    patch.buffering = Some(match value.as_str() {
-                        Some("greedy") => Buffering::Greedy,
-                        Some("van_ginneken") => Buffering::VanGinneken,
-                        _ => {
-                            return Err(DecodeError::bad(
-                                "'buffering' must be \"greedy\" or \"van_ginneken\"",
-                            ))
-                        }
-                    })
+                "buffering" => patch.buffering = Some(buffering_from_json(value, "buffering")?),
+                "library_subset" => {
+                    let k = value
+                        .as_u64()
+                        .ok_or_else(|| DecodeError::bad("'library_subset' must be an integer"))?;
+                    patch.library_subset = Some(k as usize);
                 }
                 "variation_corners" => {
                     let n = value.as_u64().ok_or_else(|| {
@@ -601,6 +627,7 @@ fn level_stats_to_json(s: &LevelStats) -> Json {
         ("buffers_inserted", Json::num(s.buffers_inserted as f64)),
         ("worst_skew_estimate", Json::num(s.worst_skew_estimate)),
         ("max_latency_estimate", Json::num(s.max_latency_estimate)),
+        ("nodes_total", Json::num(s.nodes_total as f64)),
     ])
 }
 
@@ -627,6 +654,9 @@ fn level_stats_from_json(j: &Json) -> Result<LevelStats, String> {
         buffers_inserted: int("buffers_inserted")?,
         worst_skew_estimate: num("worst_skew_estimate")?,
         max_latency_estimate: num("max_latency_estimate")?,
+        // Additive key (level-granular streaming revision): absent on
+        // older servers, defaulting to 0 rather than failing the decode.
+        nodes_total: j.get("nodes_total").and_then(Json::as_u64).unwrap_or(0) as usize,
     })
 }
 
@@ -641,8 +671,35 @@ pub struct TreeInfo {
     pub nodes: u64,
     /// Number of `tree` chunk events that will carry them.
     pub chunks: u64,
-    /// Arena index of the source (root) node.
+    /// Arena index of the source (root) node. Meaningless (`0`) on a
+    /// partial stream, which has no source yet.
     pub source: u64,
+    /// Whether this is a **mid-synthesis** level snapshot: only the
+    /// level-complete prefix streams (a forest — no source node, no
+    /// refinement pass applied). `false` for completed trees, and the
+    /// key is absent on the wire then, keeping those headers
+    /// byte-identical to pre-streaming servers.
+    pub partial: bool,
+    /// Topology levels fully merged into the streamed prefix. On a
+    /// partial stream this is the watermark the snapshot was taken at;
+    /// `0` on completed-tree headers (the terminal event carries the
+    /// full per-level stats instead).
+    pub levels_done: u64,
+}
+
+impl TreeInfo {
+    /// A completed-tree header (not partial).
+    pub fn complete(id: u64, name: String, nodes: u64, chunks: u64, source: u64) -> TreeInfo {
+        TreeInfo {
+            id,
+            name,
+            nodes,
+            chunks,
+            source,
+            partial: false,
+            levels_done: 0,
+        }
+    }
 }
 
 /// One `tree` chunk event: a consecutive run of arena nodes. Chunk `k`
@@ -790,6 +847,11 @@ pub struct BatchEntry {
     /// Client id echoed on the result event (defaults to the
     /// connection's `hello` client id).
     pub client_id: Option<String>,
+    /// Whether the server should publish level-complete snapshots of
+    /// this entry mid-synthesis, for `fetch_tree` in `"levels"` mode.
+    /// Off by default (each level snapshot copies the arena); the key
+    /// is absent on the wire when false, so old frames are unchanged.
+    pub publish_levels: bool,
 }
 
 impl BatchEntry {
@@ -800,6 +862,7 @@ impl BatchEntry {
             priority: 0,
             deadline_ms: None,
             client_id: None,
+            publish_levels: false,
         }
     }
 }
@@ -814,6 +877,9 @@ fn batch_entry_to_json(entry: &BatchEntry) -> Json {
     }
     if let Some(c) = &entry.client_id {
         fields.push(("client_id", Json::str(c)));
+    }
+    if entry.publish_levels {
+        fields.push(("publish_levels", Json::Bool(true)));
     }
     Json::obj(fields)
 }
@@ -846,12 +912,235 @@ fn batch_entry_from_json(j: &Json) -> Result<BatchEntry, DecodeError> {
                 .ok_or_else(|| DecodeError::bad("'client_id' must be a string"))?,
         ),
     };
+    let publish_levels = decode_publish_levels(j)?;
     Ok(BatchEntry {
         instance,
         priority,
         deadline_ms,
         client_id,
+        publish_levels,
     })
+}
+
+/// Decodes the optional `publish_levels` flag shared by the submit ops.
+fn decode_publish_levels(j: &Json) -> Result<bool, DecodeError> {
+    match j.get("publish_levels") {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| DecodeError::bad("'publish_levels' must be a boolean")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep specs
+
+/// The `submit_sweep` op's cartesian axes, in wire units (times in ps,
+/// like the options patch). An empty axis keeps the base value — it
+/// contributes one implicit point, not zero — so the expansion size is
+/// the product of `max(1, len)` over the four axes, row-major with the
+/// slew target outermost and buffering innermost (the exact order of
+/// [`cts_core::SweepSpec::expand_points`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepAxesSpec {
+    /// Slew targets to sweep (ps).
+    pub slew_targets_ps: Vec<f64>,
+    /// Buffer-library prefix sizes (`0` = full library).
+    pub library_subsets: Vec<u64>,
+    /// H-structure correction modes.
+    pub h_corrections: Vec<HCorrection>,
+    /// Buffer-insertion strategies.
+    pub bufferings: Vec<Buffering>,
+}
+
+impl SweepAxesSpec {
+    /// The core-side axes: the exact `ps * 1e-12` conversion an
+    /// individually submitted `slew_target_ps` patch applies, so a swept
+    /// point's options are byte-identical to the same point submitted
+    /// alone.
+    pub fn to_axes(&self) -> SweepAxes {
+        SweepAxes {
+            slew_targets: self.slew_targets_ps.iter().map(|ps| ps * 1e-12).collect(),
+            library_subsets: self.library_subsets.iter().map(|&k| k as usize).collect(),
+            h_corrections: self.h_corrections.clone(),
+            bufferings: self.bufferings.clone(),
+        }
+    }
+}
+
+/// One explicit `submit_sweep` point: per-field overrides of the base
+/// options, in wire units. An all-absent point reproduces the base
+/// configuration exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SweepPointSpec {
+    /// Override of the slew target (ps).
+    pub slew_target_ps: Option<f64>,
+    /// Override of the buffer-library prefix size.
+    pub library_subset: Option<u64>,
+    /// Override of the H-correction mode.
+    pub h_correction: Option<HCorrection>,
+    /// Override of the buffering strategy.
+    pub buffering: Option<Buffering>,
+}
+
+impl SweepPointSpec {
+    /// The core-side point (same unit conversion as [`SweepAxesSpec`]).
+    pub fn to_point(&self) -> SweepPoint {
+        SweepPoint {
+            slew_target: self.slew_target_ps.map(|ps| ps * 1e-12),
+            library_subset: self.library_subset.map(|k| k as usize),
+            h_correction: self.h_correction,
+            buffering: self.buffering,
+        }
+    }
+}
+
+/// How a `submit_sweep` frame enumerates its points: cartesian `axes`
+/// or an explicit `points` list — exactly one of the two keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepRange {
+    /// The cartesian product of the axes.
+    Axes(SweepAxesSpec),
+    /// An explicit point list, kept in order.
+    Points(Vec<SweepPointSpec>),
+}
+
+fn sweep_axes_to_json(axes: &SweepAxesSpec) -> Json {
+    let mut fields = Vec::new();
+    if !axes.slew_targets_ps.is_empty() {
+        fields.push((
+            "slew_target_ps",
+            Json::arr(axes.slew_targets_ps.iter().map(|&v| Json::num(v)).collect()),
+        ));
+    }
+    if !axes.library_subsets.is_empty() {
+        fields.push((
+            "library_subset",
+            Json::arr(
+                axes.library_subsets
+                    .iter()
+                    .map(|&k| Json::num(k as f64))
+                    .collect(),
+            ),
+        ));
+    }
+    if !axes.h_corrections.is_empty() {
+        fields.push((
+            "h_correction",
+            Json::arr(
+                axes.h_corrections
+                    .iter()
+                    .map(|&h| Json::str(h_correction_str(h)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !axes.bufferings.is_empty() {
+        fields.push((
+            "buffering",
+            Json::arr(
+                axes.bufferings
+                    .iter()
+                    .map(|&b| Json::str(buffering_str(b)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(fields)
+}
+
+fn sweep_axes_from_json(j: &Json) -> Result<SweepAxesSpec, DecodeError> {
+    let fields = j
+        .as_obj()
+        .ok_or_else(|| DecodeError::bad("'axes' must be an object"))?;
+    let mut axes = SweepAxesSpec::default();
+    for (key, value) in fields {
+        let arr = value
+            .as_arr()
+            .ok_or_else(|| DecodeError::bad(format!("axis '{key}' must be an array")))?;
+        match key.as_str() {
+            "slew_target_ps" => {
+                axes.slew_targets_ps = arr
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| DecodeError::bad("'slew_target_ps' axis must be numbers"))?;
+            }
+            "library_subset" => {
+                axes.library_subsets = arr
+                    .iter()
+                    .map(Json::as_u64)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| DecodeError::bad("'library_subset' axis must be integers"))?;
+            }
+            "h_correction" => {
+                axes.h_corrections = arr
+                    .iter()
+                    .map(|v| h_correction_from_json(v, "h_correction"))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "buffering" => {
+                axes.bufferings = arr
+                    .iter()
+                    .map(|v| buffering_from_json(v, "buffering"))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            other => return Err(DecodeError::bad(format!("unknown sweep axis '{other}'"))),
+        }
+    }
+    Ok(axes)
+}
+
+fn sweep_point_to_json(point: &SweepPointSpec) -> Json {
+    let mut fields = Vec::new();
+    if let Some(ps) = point.slew_target_ps {
+        fields.push(("slew_target_ps", Json::num(ps)));
+    }
+    if let Some(k) = point.library_subset {
+        fields.push(("library_subset", Json::num(k as f64)));
+    }
+    if let Some(h) = point.h_correction {
+        fields.push(("h_correction", Json::str(h_correction_str(h))));
+    }
+    if let Some(b) = point.buffering {
+        fields.push(("buffering", Json::str(buffering_str(b))));
+    }
+    Json::obj(fields)
+}
+
+fn sweep_point_from_json(j: &Json) -> Result<SweepPointSpec, DecodeError> {
+    let fields = j
+        .as_obj()
+        .ok_or_else(|| DecodeError::bad("sweep point must be an object"))?;
+    let mut point = SweepPointSpec::default();
+    for (key, value) in fields {
+        match key.as_str() {
+            "slew_target_ps" => {
+                point.slew_target_ps = Some(
+                    value
+                        .as_f64()
+                        .ok_or_else(|| DecodeError::bad("'slew_target_ps' must be a number"))?,
+                );
+            }
+            "library_subset" => {
+                point.library_subset = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| DecodeError::bad("'library_subset' must be an integer"))?,
+                );
+            }
+            "h_correction" => {
+                point.h_correction = Some(h_correction_from_json(value, "h_correction")?);
+            }
+            "buffering" => point.buffering = Some(buffering_from_json(value, "buffering")?),
+            other => {
+                return Err(DecodeError::bad(format!(
+                    "unknown sweep point key '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(point)
 }
 
 /// A client request (the `seq` correlation id travels alongside, not
@@ -878,6 +1167,10 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Client id echoed on the result event.
         client_id: Option<String>,
+        /// Publish level-complete snapshots while this request
+        /// synthesizes, so `fetch_tree` with `"mode":"levels"` can watch
+        /// the tree grow. Absent on the wire when `false`.
+        publish_levels: bool,
     },
     /// Submit many instances in one frame, admitted atomically into the
     /// service (all-or-nothing against queue capacity): one round trip
@@ -889,6 +1182,28 @@ pub enum Request {
         /// defaults).
         options: OptionsPatch,
     },
+    /// Submit a parameter sweep in one frame: the server expands the
+    /// range over the base options into deterministic per-point
+    /// requests (admitted atomically, like `submit_batch`), then folds
+    /// the completed points into a Pareto front it pushes as a `pareto`
+    /// event. Additive — no version bump.
+    SubmitSweep {
+        /// The instance spec every point synthesizes.
+        instance: Instance,
+        /// Base options overrides the sweep points perturb (empty =
+        /// server defaults).
+        base: OptionsPatch,
+        /// The points: cartesian axes or an explicit list.
+        range: SweepRange,
+        /// Dispatch priority shared by every point.
+        priority: i32,
+        /// Deadline in milliseconds, shared by every point.
+        deadline_ms: Option<u64>,
+        /// Client id echoed on every point's result event.
+        client_id: Option<String>,
+        /// Publish level-complete snapshots for every point.
+        publish_levels: bool,
+    },
     /// Stream the routed tree geometry of a completed request as chunked
     /// `tree` events plus a terminal frame.
     FetchTree {
@@ -898,6 +1213,11 @@ pub enum Request {
         /// Maximum nodes per chunk event; `None` uses
         /// [`DEFAULT_TREE_CHUNK`].
         chunk: Option<u64>,
+        /// Level-granular mode (`"mode":"levels"` on the wire): chunk
+        /// boundaries align with completed topology levels, and a
+        /// request still in flight answers with a *partial* header over
+        /// its latest level-complete snapshot instead of `unknown_id`.
+        levels: bool,
     },
     /// Where is request `id` (queued / in_flight / done)?
     Status {
@@ -928,6 +1248,7 @@ impl Request {
             Request::Hello { .. } => "hello",
             Request::Submit { .. } => "submit",
             Request::SubmitBatch { .. } => "submit_batch",
+            Request::SubmitSweep { .. } => "submit_sweep",
             Request::FetchTree { .. } => "fetch_tree",
             Request::Status { .. } => "status",
             Request::Cancel { .. } => "cancel",
@@ -957,6 +1278,7 @@ pub fn encode_request(seq: u64, request: &Request) -> Json {
             priority,
             deadline_ms,
             client_id,
+            publish_levels,
         } => {
             fields.push(("instance", instance_to_json(instance)));
             if !options.is_empty() {
@@ -971,6 +1293,9 @@ pub fn encode_request(seq: u64, request: &Request) -> Json {
             if let Some(c) = client_id {
                 fields.push(("client_id", Json::str(c)));
             }
+            if *publish_levels {
+                fields.push(("publish_levels", Json::Bool(true)));
+            }
         }
         Request::SubmitBatch { entries, options } => {
             fields.push((
@@ -981,10 +1306,46 @@ pub fn encode_request(seq: u64, request: &Request) -> Json {
                 fields.push(("options", options.to_json()));
             }
         }
-        Request::FetchTree { id, chunk } => {
+        Request::SubmitSweep {
+            instance,
+            base,
+            range,
+            priority,
+            deadline_ms,
+            client_id,
+            publish_levels,
+        } => {
+            fields.push(("instance", instance_to_json(instance)));
+            if !base.is_empty() {
+                fields.push(("base", base.to_json()));
+            }
+            match range {
+                SweepRange::Axes(axes) => fields.push(("axes", sweep_axes_to_json(axes))),
+                SweepRange::Points(points) => fields.push((
+                    "points",
+                    Json::arr(points.iter().map(sweep_point_to_json).collect()),
+                )),
+            }
+            if *priority != 0 {
+                fields.push(("priority", Json::num(*priority as f64)));
+            }
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms", Json::num(*ms as f64)));
+            }
+            if let Some(c) = client_id {
+                fields.push(("client_id", Json::str(c)));
+            }
+            if *publish_levels {
+                fields.push(("publish_levels", Json::Bool(true)));
+            }
+        }
+        Request::FetchTree { id, chunk, levels } => {
             fields.push(("id", Json::num(*id as f64)));
             if let Some(c) = chunk {
                 fields.push(("chunk", Json::num(*c as f64)));
+            }
+            if *levels {
+                fields.push(("mode", Json::str("levels")));
             }
         }
         Request::Status { id } | Request::Cancel { id } => {
@@ -1061,6 +1422,7 @@ pub fn decode_request(j: &Json) -> Result<(u64, Request), DecodeError> {
                 priority,
                 deadline_ms,
                 client_id: opt_str("client_id")?,
+                publish_levels: decode_publish_levels(j)?,
             }
         }
         "submit_batch" => {
@@ -1081,6 +1443,63 @@ pub fn decode_request(j: &Json) -> Result<(u64, Request), DecodeError> {
             };
             Request::SubmitBatch { entries, options }
         }
+        "submit_sweep" => {
+            let instance = instance_from_json(
+                j.get("instance")
+                    .ok_or_else(|| DecodeError::bad("submit_sweep needs an 'instance'"))?,
+            )?;
+            let base = match j.get("base") {
+                None | Some(Json::Null) => OptionsPatch::default(),
+                Some(o) => OptionsPatch::from_json(o)?,
+            };
+            let range = match (j.get("axes"), j.get("points")) {
+                (Some(axes), None) => SweepRange::Axes(sweep_axes_from_json(axes)?),
+                (None, Some(points)) => {
+                    let arr = points
+                        .as_arr()
+                        .ok_or_else(|| DecodeError::bad("'points' must be an array"))?;
+                    if arr.is_empty() {
+                        return Err(DecodeError::bad("submit_sweep needs at least one point"));
+                    }
+                    SweepRange::Points(
+                        arr.iter()
+                            .map(sweep_point_from_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                (Some(_), Some(_)) => {
+                    return Err(DecodeError::bad(
+                        "submit_sweep takes 'axes' or 'points', not both",
+                    ))
+                }
+                (None, None) => {
+                    return Err(DecodeError::bad("submit_sweep needs 'axes' or 'points'"))
+                }
+            };
+            let priority = match j.get("priority") {
+                None | Some(Json::Null) => 0,
+                Some(p) => p
+                    .as_i64()
+                    .filter(|p| i32::try_from(*p).is_ok())
+                    .ok_or_else(|| DecodeError::bad("'priority' must be a 32-bit integer"))?
+                    as i32,
+            };
+            let deadline_ms = match j.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(d.as_u64().ok_or_else(|| {
+                    DecodeError::bad("'deadline_ms' must be a non-negative integer")
+                })?),
+            };
+            Request::SubmitSweep {
+                instance,
+                base,
+                range,
+                priority,
+                deadline_ms,
+                client_id: opt_str("client_id")?,
+                publish_levels: decode_publish_levels(j)?,
+            }
+        }
         "fetch_tree" => {
             let chunk = match j.get("chunk") {
                 None | Some(Json::Null) => None,
@@ -1090,9 +1509,18 @@ pub fn decode_request(j: &Json) -> Result<(u64, Request), DecodeError> {
                         .ok_or_else(|| DecodeError::bad("'chunk' must be a positive integer"))?,
                 ),
             };
+            let levels = match j.get("mode") {
+                None | Some(Json::Null) => false,
+                Some(m) => match m.as_str() {
+                    Some("nodes") => false,
+                    Some("levels") => true,
+                    _ => return Err(DecodeError::bad("'mode' must be \"nodes\" or \"levels\"")),
+                },
+            };
             Request::FetchTree {
                 id: need_id()?,
                 chunk,
+                levels,
             }
         }
         "status" => Request::Status { id: need_id()? },
@@ -1178,6 +1606,17 @@ pub enum Response {
         /// One id per batch entry, in entry order.
         ids: Vec<u64>,
     },
+    /// Reply to `submit_sweep`: every expanded point was admitted
+    /// atomically. `sweep_progress` events follow as points resolve and
+    /// a terminal `pareto` event carries the folded front.
+    SweepSubmitted {
+        /// The per-connection sweep ordinal correlating this sweep's
+        /// `sweep_progress`/`pareto` events.
+        sweep: u64,
+        /// One request id per expanded point, in expansion order (the
+        /// point ordinal the `pareto` event refers to).
+        ids: Vec<u64>,
+    },
     /// Reply to `fetch_tree`: the stream header. The chunked `tree`
     /// events (and their terminal frame) follow.
     TreeHeader(TreeInfo),
@@ -1254,6 +1693,7 @@ fn service_metrics_to_json(s: &ServiceMetrics) -> Json {
             "queue_depth_high_water",
             Json::num(s.queue_depth_high_water as f64),
         ),
+        ("sweeps_submitted", Json::num(s.sweeps_submitted as f64)),
     ])
 }
 
@@ -1293,6 +1733,7 @@ fn service_metrics_from_json(m: &Json) -> Result<ServiceMetrics, String> {
         corner_lib_hits: opt_count("corner_lib_hits"),
         corner_lib_misses: opt_count("corner_lib_misses"),
         queue_depth_high_water: opt_count("queue_depth_high_water"),
+        sweeps_submitted: opt_count("sweeps_submitted"),
     })
 }
 
@@ -1394,13 +1835,26 @@ pub fn encode_response(seq: Option<u64>, response: &Response) -> Json {
                         Json::arr(ids.iter().map(|&id| Json::num(id as f64)).collect()),
                     ));
                 }
+                Response::SweepSubmitted { sweep, ids } => {
+                    fields.push(("op", Json::str("submit_sweep")));
+                    fields.push(("sweep", Json::num(*sweep as f64)));
+                    fields.push((
+                        "ids",
+                        Json::arr(ids.iter().map(|&id| Json::num(id as f64)).collect()),
+                    ));
+                }
                 Response::TreeHeader(info) => {
                     fields.push(("op", Json::str("fetch_tree")));
                     fields.push(("id", Json::num(info.id as f64)));
                     fields.push(("name", Json::str(&info.name)));
                     fields.push(("nodes", Json::num(info.nodes as f64)));
                     fields.push(("chunks", Json::num(info.chunks as f64)));
-                    fields.push(("source", Json::num(info.source as f64)));
+                    if info.partial {
+                        fields.push(("partial", Json::Bool(true)));
+                        fields.push(("levels_done", Json::num(info.levels_done as f64)));
+                    } else {
+                        fields.push(("source", Json::num(info.source as f64)));
+                    }
                 }
                 Response::Status { id, state } => {
                     fields.push(("op", Json::str("status")));
@@ -1524,12 +1978,27 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                 .collect::<Option<Vec<_>>>()
                 .ok_or("submit_batch 'ids' must be integers")?,
         },
+        "submit_sweep" => Response::SweepSubmitted {
+            sweep: j
+                .get("sweep")
+                .and_then(Json::as_u64)
+                .ok_or("submit_sweep reply needs 'sweep'")?,
+            ids: j
+                .get("ids")
+                .and_then(Json::as_arr)
+                .ok_or("submit_sweep reply needs 'ids'")?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()
+                .ok_or("submit_sweep 'ids' must be integers")?,
+        },
         "fetch_tree" => {
             let int = |key: &str| {
                 j.get(key)
                     .and_then(Json::as_u64)
                     .ok_or_else(|| format!("fetch_tree reply needs '{key}'"))
             };
+            let partial = j.get("partial").and_then(Json::as_bool).unwrap_or(false);
             Response::TreeHeader(TreeInfo {
                 id: int("id")?,
                 name: j
@@ -1539,7 +2008,11 @@ pub fn decode_response(j: &Json) -> Result<(Option<u64>, Response), String> {
                     .to_string(),
                 nodes: int("nodes")?,
                 chunks: int("chunks")?,
-                source: int("source")?,
+                // A partial header is a rooted forest mid-synthesis:
+                // there is no source node yet, so the key is absent.
+                source: if partial { 0 } else { int("source")? },
+                partial,
+                levels_done: if partial { int("levels_done")? } else { 0 },
             })
         }
         "status" => Response::Status {
@@ -1693,6 +2166,9 @@ pub struct RemoteResult {
     pub levels: u64,
     /// Buffers inserted.
     pub buffers: u64,
+    /// Total inserted buffer input capacitance (F) — the sweep Pareto
+    /// front's cost axis. `0.0` from servers that predate sweeps.
+    pub buffer_cap_f: f64,
     /// Routed wirelength (µm).
     pub wirelength_um: f64,
     /// Wall time of the synthesis stage (s).
@@ -1719,6 +2195,7 @@ impl RemoteResult {
             sinks: r.item.sinks as u64,
             levels: r.item.result.levels as u64,
             buffers: r.item.result.buffers as u64,
+            buffer_cap_f: r.item.result.buffer_cap_f,
             wirelength_um: r.item.result.wirelength_um,
             synth_seconds: r.item.synth_seconds,
             verify_seconds: r.item.verify_seconds,
@@ -1783,8 +2260,9 @@ pub fn is_event(j: &Json) -> bool {
 }
 
 /// The op of an event frame (`"result"` for terminal request outcomes,
-/// `"tree"` for geometry stream frames) — the second routing key, after
-/// [`is_event`].
+/// `"tree"` for geometry stream frames, `"sweep_progress"` per resolved
+/// sweep point, `"pareto"` for a finished sweep's folded front) — the
+/// second routing key, after [`is_event`].
 pub fn event_op(j: &Json) -> Option<&str> {
     j.get("op").and_then(Json::as_str)
 }
@@ -1878,6 +2356,7 @@ pub fn encode_event(event: &ResultEvent) -> Json {
                 ("sinks", Json::num(r.sinks as f64)),
                 ("levels", Json::num(r.levels as f64)),
                 ("buffers", Json::num(r.buffers as f64)),
+                ("buffer_cap_f", Json::num(r.buffer_cap_f)),
                 ("wirelength_um", Json::num(r.wirelength_um)),
                 ("synth_seconds", Json::num(r.synth_seconds)),
                 ("verify_seconds", Json::num(r.verify_seconds)),
@@ -1956,6 +2435,8 @@ pub fn decode_event(j: &Json) -> Result<ResultEvent, String> {
                 sinks: int("sinks")?,
                 levels: int("levels")?,
                 buffers: int("buffers")?,
+                // Additive key (sweep revision); zero from older servers.
+                buffer_cap_f: r.get("buffer_cap_f").and_then(Json::as_f64).unwrap_or(0.0),
                 wirelength_um: num("wirelength_um")?,
                 synth_seconds: num("synth_seconds")?,
                 verify_seconds: num("verify_seconds")?,
@@ -1982,6 +2463,245 @@ pub fn decode_event(j: &Json) -> Result<ResultEvent, String> {
         _ => return Err("event needs a valid 'outcome'".into()),
     };
     Ok(ResultEvent { id, outcome })
+}
+
+// ---------------------------------------------------------------------------
+// Sweep events
+
+/// How one sweep point resolved, as labelled on `sweep_progress` frames
+/// (the full payload travels on the point's own `result` event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPointOutcome {
+    /// The point synthesized (its row joins the Pareto fold).
+    Completed,
+    /// The point was cancelled.
+    Cancelled,
+    /// The point's deadline passed first.
+    Expired,
+    /// The point failed.
+    Failed,
+}
+
+impl SweepPointOutcome {
+    /// The wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepPointOutcome::Completed => "completed",
+            SweepPointOutcome::Cancelled => "cancelled",
+            SweepPointOutcome::Expired => "expired",
+            SweepPointOutcome::Failed => "failed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<SweepPointOutcome> {
+        Some(match s {
+            "completed" => SweepPointOutcome::Completed,
+            "cancelled" => SweepPointOutcome::Cancelled,
+            "expired" => SweepPointOutcome::Expired,
+            "failed" => SweepPointOutcome::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// A pushed `sweep_progress` event: one of a sweep's points resolved.
+/// The server emits it right after the point's `result` event, so a
+/// client that saw `done == total` has already seen every payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgressEvent {
+    /// The sweep ordinal from the `submit_sweep` reply.
+    pub sweep: u64,
+    /// Points resolved so far, including this one.
+    pub done: u64,
+    /// Total points in the sweep.
+    pub total: u64,
+    /// The resolved point's request id.
+    pub id: u64,
+    /// How the point resolved.
+    pub outcome: SweepPointOutcome,
+}
+
+/// Serializes a `sweep_progress` event frame.
+pub fn encode_sweep_progress(event: &SweepProgressEvent) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("sweep_progress")),
+        ("event", Json::Bool(true)),
+        ("sweep", Json::num(event.sweep as f64)),
+        ("done", Json::num(event.done as f64)),
+        ("total", Json::num(event.total as f64)),
+        ("id", Json::num(event.id as f64)),
+        ("outcome", Json::str(event.outcome.as_str())),
+    ])
+}
+
+/// Decodes a `sweep_progress` event frame.
+///
+/// # Errors
+///
+/// A description of the malformation.
+pub fn decode_sweep_progress(j: &Json) -> Result<SweepProgressEvent, String> {
+    if !is_event(j) {
+        return Err("not an event frame".into());
+    }
+    let int = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("sweep_progress needs an integer '{key}'"))
+    };
+    Ok(SweepProgressEvent {
+        sweep: int("sweep")?,
+        done: int("done")?,
+        total: int("total")?,
+        id: int("id")?,
+        outcome: j
+            .get("outcome")
+            .and_then(Json::as_str)
+            .and_then(SweepPointOutcome::from_str)
+            .ok_or("sweep_progress needs a valid 'outcome'")?,
+    })
+}
+
+/// One completed sweep point's objective row on a `pareto` event, tying
+/// the point's expansion ordinal and request id to its three objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoWirePoint {
+    /// The point's ordinal in the sweep expansion (index into the
+    /// `submit_sweep` reply's `ids`).
+    pub ordinal: u64,
+    /// The point's request id.
+    pub id: u64,
+    /// Global skew (s).
+    pub skew: f64,
+    /// Total inserted buffer input capacitance (F).
+    pub buffer_cap_f: f64,
+    /// Max source-to-sink latency (s).
+    pub latency: f64,
+}
+
+/// The terminal `pareto` event of a sweep: every completed point's
+/// objective row plus the dominance front, exactly as the server's
+/// grouping-independent [`ParetoFront`] fold produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEvent {
+    /// The sweep ordinal from the `submit_sweep` reply.
+    pub sweep: u64,
+    /// Total points in the sweep.
+    pub total: u64,
+    /// Points that completed (rows in `points`); cancelled / expired /
+    /// failed points contribute nothing.
+    pub completed: u64,
+    /// One row per completed point, in expansion-ordinal order.
+    pub points: Vec<ParetoWirePoint>,
+    /// Ordinals of the non-dominated points, ascending.
+    pub front: Vec<u64>,
+}
+
+impl ParetoEvent {
+    /// Rebuilds the server's fold client-side: a [`ParetoFront`] over
+    /// the carried rows. Its `front_ordinals()` must equal [`front`]
+    /// (`ParetoFront::from_points` is the fold's fixpoint) — the
+    /// conformance suite pins that.
+    ///
+    /// [`front`]: ParetoEvent::front
+    pub fn to_front(&self) -> ParetoFront {
+        ParetoFront::from_points(self.points.iter().map(|p| ParetoPoint {
+            ordinal: p.ordinal as usize,
+            skew: p.skew,
+            buffer_cap: p.buffer_cap_f,
+            latency: p.latency,
+        }))
+    }
+}
+
+/// Serializes a `pareto` event frame.
+pub fn encode_pareto_event(event: &ParetoEvent) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("pareto")),
+        ("event", Json::Bool(true)),
+        ("sweep", Json::num(event.sweep as f64)),
+        ("total", Json::num(event.total as f64)),
+        ("completed", Json::num(event.completed as f64)),
+        (
+            "points",
+            Json::arr(
+                event
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("ordinal", Json::num(p.ordinal as f64)),
+                            ("id", Json::num(p.id as f64)),
+                            ("skew", Json::num(p.skew)),
+                            ("buffer_cap_f", Json::num(p.buffer_cap_f)),
+                            ("latency", Json::num(p.latency)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "front",
+            Json::arr(event.front.iter().map(|&o| Json::num(o as f64)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a `pareto` event frame.
+///
+/// # Errors
+///
+/// A description of the malformation.
+pub fn decode_pareto_event(j: &Json) -> Result<ParetoEvent, String> {
+    if !is_event(j) {
+        return Err("not an event frame".into());
+    }
+    let int = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("pareto needs an integer '{key}'"))
+    };
+    let points = j
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("pareto needs a 'points' array")?
+        .iter()
+        .map(|p| {
+            let pint = |key: &str| {
+                p.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("pareto point needs an integer '{key}'"))
+            };
+            let pnum = |key: &str| {
+                p.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("pareto point needs a number '{key}'"))
+            };
+            Ok(ParetoWirePoint {
+                ordinal: pint("ordinal")?,
+                id: pint("id")?,
+                skew: pnum("skew")?,
+                buffer_cap_f: pnum("buffer_cap_f")?,
+                latency: pnum("latency")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let front = j
+        .get("front")
+        .and_then(Json::as_arr)
+        .ok_or("pareto needs a 'front' array")?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<Vec<_>>>()
+        .ok_or("pareto 'front' must be integers")?;
+    Ok(ParetoEvent {
+        sweep: int("sweep")?,
+        total: int("total")?,
+        completed: int("completed")?,
+        points,
+        front,
+    })
 }
 
 #[cfg(test)]
@@ -2052,6 +2772,7 @@ mod tests {
             grid_resolution: Some(31),
             h_correction: Some(HCorrection::Correct),
             threads: Some(2),
+            library_subset: Some(3),
             buffering: Some(Buffering::VanGinneken),
             variation_corners: Some(48),
             variation_seed: Some(2010),
@@ -2070,6 +2791,7 @@ mod tests {
         assert_eq!(applied.grid_resolution, 31);
         assert_eq!(applied.h_correction, HCorrection::Correct);
         assert_eq!(applied.threads, 2);
+        assert_eq!(applied.library_subset, 3);
         assert_eq!(applied.buffering, Buffering::VanGinneken);
         assert_eq!(applied.variation.corners, 48);
         assert_eq!(applied.variation.seed, 2010);
@@ -2160,6 +2882,7 @@ mod tests {
                 sinks: 4,
                 levels: 2,
                 buffers: 1,
+                buffer_cap_f: 0.0,
                 wirelength_um: 100.0,
                 synth_seconds: 0.1,
                 verify_seconds: 0.0,
@@ -2194,6 +2917,7 @@ mod tests {
                 priority: -4,
                 deadline_ms: Some(1500),
                 client_id: Some("c0".into()),
+                publish_levels: true,
             },
             Request::Submit {
                 instance: spec_instance(),
@@ -2201,6 +2925,7 @@ mod tests {
                 priority: 0,
                 deadline_ms: None,
                 client_id: None,
+                publish_levels: false,
             },
             Request::SubmitBatch {
                 entries: vec![
@@ -2209,6 +2934,7 @@ mod tests {
                         priority: 3,
                         deadline_ms: Some(750),
                         client_id: Some("sweep".into()),
+                        publish_levels: true,
                     },
                     BatchEntry::new(spec_instance()),
                 ],
@@ -2217,13 +2943,49 @@ mod tests {
                     ..OptionsPatch::default()
                 },
             },
+            Request::SubmitSweep {
+                instance: spec_instance(),
+                base: OptionsPatch {
+                    slew_target_ps: Some(80.0),
+                    ..OptionsPatch::default()
+                },
+                range: SweepRange::Axes(SweepAxesSpec {
+                    slew_targets_ps: vec![60.0, 90.0],
+                    library_subsets: vec![0, 2],
+                    h_corrections: vec![HCorrection::Off, HCorrection::Correct],
+                    bufferings: vec![Buffering::VanGinneken],
+                }),
+                priority: 2,
+                deadline_ms: Some(9000),
+                client_id: Some("sweeper".into()),
+                publish_levels: true,
+            },
+            Request::SubmitSweep {
+                instance: spec_instance(),
+                base: OptionsPatch::default(),
+                range: SweepRange::Points(vec![
+                    SweepPointSpec::default(),
+                    SweepPointSpec {
+                        slew_target_ps: Some(75.0),
+                        library_subset: Some(1),
+                        h_correction: Some(HCorrection::ReEstimate),
+                        buffering: Some(Buffering::Greedy),
+                    },
+                ]),
+                priority: 0,
+                deadline_ms: None,
+                client_id: None,
+                publish_levels: false,
+            },
             Request::FetchTree {
                 id: 12,
                 chunk: Some(64),
+                levels: false,
             },
             Request::FetchTree {
                 id: 13,
                 chunk: None,
+                levels: true,
             },
             Request::Status { id: 7 },
             Request::Cancel { id: 9 },
@@ -2285,6 +3047,13 @@ mod tests {
             (Some(1), Response::Submitted { id: 3 }),
             (Some(6), Response::BatchSubmitted { ids: vec![4, 5, 6] }),
             (
+                Some(9),
+                Response::SweepSubmitted {
+                    sweep: 1,
+                    ids: vec![7, 8, 9, 10],
+                },
+            ),
+            (
                 Some(7),
                 Response::TreeHeader(TreeInfo {
                     id: 4,
@@ -2292,6 +3061,20 @@ mod tests {
                     nodes: 57,
                     chunks: 2,
                     source: 56,
+                    partial: false,
+                    levels_done: 0,
+                }),
+            ),
+            (
+                Some(10),
+                Response::TreeHeader(TreeInfo {
+                    id: 5,
+                    name: "blk".into(),
+                    nodes: 24,
+                    chunks: 1,
+                    source: 0,
+                    partial: true,
+                    levels_done: 3,
                 }),
             ),
             (
@@ -2327,6 +3110,7 @@ mod tests {
                         corner_lib_hits: 80,
                         corner_lib_misses: 16,
                         queue_depth_high_water: 4,
+                        sweeps_submitted: 2,
                     },
                 }),
             ),
@@ -2438,7 +3222,8 @@ mod tests {
             r#""stages_simulated":0,"stages_reused":0,"symbolic_hits":0,"#,
             r#""symbolic_misses":0,"topology_seconds":0,"merge_seconds":0,"#,
             r#""sinks_synthesized":0,"sinks_verified":0,"corners_evaluated":0,"#,
-            r#""corner_lib_hits":0,"corner_lib_misses":0,"queue_depth_high_water":0},"#,
+            r#""corner_lib_hits":0,"corner_lib_misses":0,"queue_depth_high_water":0,"#,
+            r#""sweeps_submitted":0},"#,
             r#""queue_wait":[],"#,
             r#""synth_latency":{"count":0,"total_ns":0,"max_ns":0,"p50_ns":0,"p90_ns":0,"p99_ns":0,"buckets":[]},"#,
             r#""verify_latency":{"count":0,"total_ns":0,"max_ns":0,"p50_ns":0,"p90_ns":0,"p99_ns":0,"buckets":[]},"#,
@@ -2487,6 +3272,7 @@ mod tests {
                     sinks: 267,
                     levels: 9,
                     buffers: 120,
+                    buffer_cap_f: 1.375e-13,
                     wirelength_um: 12_345.625,
                     synth_seconds: 2.5,
                     verify_seconds: 1.25,
@@ -2594,6 +3380,7 @@ mod tests {
                 buffers_inserted: 1,
                 worst_skew_estimate: 3.25e-12,
                 max_latency_estimate: 1.75e-9,
+                nodes_total: 5,
             }],
         };
         let frame = Json::parse(&encode_tree_done(&done).to_string()).unwrap();
@@ -2601,6 +3388,102 @@ mod tests {
             TreeEvent::Done(back) => assert_eq!(back, done),
             TreeEvent::Chunk(_) => panic!("terminal decoded as chunk"),
         }
+    }
+
+    #[test]
+    fn sweep_requests_reject_bad_shapes() {
+        let base = r#"{"op":"submit_sweep","seq":1,"instance":{"name":"x","sinks":[{"name":"s","x":1,"y":2,"cap_f":10e-15},{"name":"t","x":5,"y":9,"cap_f":12e-15}]}"#;
+        for (tail, needle) in [
+            (r#"}"#, "'axes' or 'points'"),
+            (r#","axes":{},"points":[{}]}"#, "not both"),
+            (r#","points":[]}"#, "at least one point"),
+            (
+                r#","points":[{"grid_resolution":9}]}"#,
+                "unknown sweep point key 'grid_resolution'",
+            ),
+            (
+                r#","axes":{"slew_ps":[60]}}"#,
+                "unknown sweep axis 'slew_ps'",
+            ),
+            (r#","axes":{"buffering":["lazy"]}}"#, "'buffering' must be"),
+        ] {
+            let j = Json::parse(&format!("{base}{tail}")).unwrap();
+            let err = decode_request(&j).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest);
+            assert!(err.message.contains(needle), "{}: {}", tail, err.message);
+        }
+    }
+
+    #[test]
+    fn sweep_axes_convert_like_individual_patches() {
+        // The ps → s conversion must be the exact expression the options
+        // patch applies, so a swept point reproduces an individually
+        // patched submission bit for bit.
+        let axes = SweepAxesSpec {
+            slew_targets_ps: vec![62.5, 90.0],
+            ..SweepAxesSpec::default()
+        };
+        let core = axes.to_axes();
+        for (ps, s) in axes.slew_targets_ps.iter().zip(&core.slew_targets) {
+            let patched = OptionsPatch {
+                slew_target_ps: Some(*ps),
+                ..OptionsPatch::default()
+            }
+            .apply(&CtsOptions::default());
+            assert_eq!(patched.slew_target.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_events_roundtrip() {
+        let progress = SweepProgressEvent {
+            sweep: 2,
+            done: 1,
+            total: 3,
+            id: 14,
+            outcome: SweepPointOutcome::Completed,
+        };
+        let frame = Json::parse(&encode_sweep_progress(&progress).to_string()).unwrap();
+        assert!(is_event(&frame));
+        assert_eq!(event_op(&frame), Some("sweep_progress"));
+        assert_eq!(decode_sweep_progress(&frame).unwrap(), progress);
+
+        let pareto = ParetoEvent {
+            sweep: 2,
+            total: 3,
+            completed: 2,
+            points: vec![
+                ParetoWirePoint {
+                    ordinal: 0,
+                    id: 14,
+                    skew: 3.25e-12,
+                    buffer_cap_f: 1.5e-13,
+                    latency: 1.75e-9,
+                },
+                ParetoWirePoint {
+                    ordinal: 2,
+                    id: 16,
+                    skew: 2.0e-12,
+                    buffer_cap_f: 2.5e-13,
+                    latency: 1.5e-9,
+                },
+            ],
+            front: vec![0, 2],
+        };
+        let frame = Json::parse(&encode_pareto_event(&pareto).to_string()).unwrap();
+        assert!(is_event(&frame));
+        assert_eq!(event_op(&frame), Some("pareto"));
+        let back = decode_pareto_event(&frame).unwrap();
+        assert_eq!(back, pareto);
+        // The client-side refold reproduces the server's front.
+        assert_eq!(
+            back.to_front()
+                .front_ordinals()
+                .iter()
+                .map(|&o| o as u64)
+                .collect::<Vec<_>>(),
+            back.front
+        );
     }
 
     #[test]

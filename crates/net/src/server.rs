@@ -27,14 +27,16 @@
 use crate::frame::{read_frame, write_frame};
 use crate::json::Json;
 use crate::proto::{
-    decode_request, encode_event, encode_response, encode_tree_chunk, encode_tree_done,
-    DecodeError, ErrorCode, MetricsReply, Outcome, Request, Response, ResultEvent, SpanStat,
-    StatsReply, TreeChunkEvent, TreeDoneEvent, TreeInfo, DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK,
-    PROTOCOL_VERSION,
+    decode_request, encode_event, encode_pareto_event, encode_response, encode_sweep_progress,
+    encode_tree_chunk, encode_tree_done, DecodeError, ErrorCode, MetricsReply, Outcome,
+    ParetoEvent, ParetoWirePoint, Request, Response, ResultEvent, SpanStat, StatsReply,
+    SweepPointOutcome, SweepProgressEvent, SweepRange, TreeChunkEvent, TreeDoneEvent, TreeInfo,
+    DEFAULT_TREE_CHUNK, MAX_TREE_CHUNK, PROTOCOL_VERSION,
 };
 use cts_core::{
-    BatchSubmitError, RequestHandle, ServiceError, SubmitError, SynthesisRequest, SynthesisResult,
-    SynthesisService, Ticket,
+    pareto_point, BatchSubmitError, ParetoFront, ParetoPoint, RequestHandle, ServiceError,
+    SubmitError, SweepSpec, SweepSubmitError, SynthesisRequest, SynthesisResult, SynthesisService,
+    Ticket,
 };
 use cts_util::{CompletionPump, PollPending};
 use std::collections::HashMap;
@@ -243,6 +245,88 @@ impl PollPending for PendingTicket {
 enum PumpMsg {
     /// Track a freshly submitted ticket.
     Track(u64, Ticket),
+    /// Track a sweep's tickets: `(expansion ordinal, request id, ticket)`
+    /// per point, under the connection's sweep ordinal. The pump pushes a
+    /// `sweep_progress` event after each point's result event and the
+    /// terminal `pareto` event once every point resolved.
+    TrackSweep {
+        /// The per-connection sweep ordinal from the `submit_sweep`
+        /// reply.
+        sweep: u64,
+        /// One entry per expanded point, in expansion order.
+        points: Vec<(u64, u64, Ticket)>,
+    },
+}
+
+/// The pump's accumulator for one in-flight sweep.
+struct SweepAgg {
+    /// Points resolved so far (any outcome).
+    done: u64,
+    /// Total points.
+    total: u64,
+    /// Completed points' objective rows, `(request id, row)` — kept
+    /// sorted by expansion ordinal at emission so the `pareto` frame is
+    /// byte-identical for every worker count and completion order.
+    rows: Vec<(u64, ParetoPoint)>,
+}
+
+/// One completion's sweep bookkeeping: the `sweep_progress` frame, plus
+/// the terminal `pareto` frame when this point was the sweep's last.
+fn sweep_frames(
+    sweeps: &mut HashMap<u64, SweepAgg>,
+    members: &HashMap<u64, (u64, u64)>,
+    id: u64,
+    outcome: &Result<SynthesisResult, ServiceError>,
+) -> Vec<Json> {
+    let Some(&(sweep, ordinal)) = members.get(&id) else {
+        return Vec::new();
+    };
+    let Some(agg) = sweeps.get_mut(&sweep) else {
+        return Vec::new();
+    };
+    agg.done += 1;
+    let label = match outcome {
+        Ok(result) => {
+            agg.rows
+                .push((id, pareto_point(ordinal as usize, &result.item.result)));
+            SweepPointOutcome::Completed
+        }
+        Err(ServiceError::Cancelled) => SweepPointOutcome::Cancelled,
+        Err(ServiceError::Expired) => SweepPointOutcome::Expired,
+        Err(_) => SweepPointOutcome::Failed,
+    };
+    let mut frames = vec![encode_sweep_progress(&SweepProgressEvent {
+        sweep,
+        done: agg.done,
+        total: agg.total,
+        id,
+        outcome: label,
+    })];
+    if agg.done == agg.total {
+        let mut agg = sweeps.remove(&sweep).expect("sweep aggregate vanished");
+        // Expansion-ordinal order, not completion order: the frame's
+        // bytes must not depend on worker scheduling.
+        agg.rows.sort_by_key(|(_, row)| row.ordinal);
+        let front = ParetoFront::from_points(agg.rows.iter().map(|&(_, row)| row));
+        frames.push(encode_pareto_event(&ParetoEvent {
+            sweep,
+            total: agg.total,
+            completed: agg.rows.len() as u64,
+            points: agg
+                .rows
+                .iter()
+                .map(|&(id, row)| ParetoWirePoint {
+                    ordinal: row.ordinal as u64,
+                    id,
+                    skew: row.skew,
+                    buffer_cap_f: row.buffer_cap,
+                    latency: row.latency,
+                })
+                .collect(),
+            front: front.front_ordinals().iter().map(|&o| o as u64).collect(),
+        }));
+    }
+    frames
 }
 
 /// How often the pump sweeps its pending set when no control message
@@ -344,15 +428,41 @@ fn resolve_event(
 
 fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>, trees: Arc<Mutex<TreeCache>>) {
     let mut pump: CompletionPump<u64, PendingTicket> = CompletionPump::new();
+    // Sweep bookkeeping: request id → (sweep ordinal, expansion ordinal),
+    // and each sweep's accumulator. Completion order is the pump's
+    // push-order poll, so `done` counters are deterministic per schedule.
+    let mut members: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut sweeps: HashMap<u64, SweepAgg> = HashMap::new();
     loop {
         match rx.recv_timeout(PUMP_SWEEP) {
             Ok(PumpMsg::Track(id, ticket)) => pump.push(id, PendingTicket(ticket)),
+            Ok(PumpMsg::TrackSweep { sweep, points }) => {
+                sweeps.insert(
+                    sweep,
+                    SweepAgg {
+                        done: 0,
+                        total: points.len() as u64,
+                        rows: Vec::new(),
+                    },
+                );
+                for (ordinal, id, ticket) in points {
+                    members.insert(id, (sweep, ordinal));
+                    pump.push(id, PendingTicket(ticket));
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
         for (id, outcome) in pump.poll_completed() {
+            // The point's sweep frames ride right behind its result
+            // event, so a client that saw `done == total` (or `pareto`)
+            // has every payload already.
+            let extra = sweep_frames(&mut sweeps, &members, id, &outcome);
             if wtx.send(resolve_event(&trees, id, outcome)).is_err() {
                 // Writer gone: nothing can reach the client anymore.
+                break;
+            }
+            if extra.into_iter().any(|f| wtx.send(f).is_err()) {
                 break;
             }
         }
@@ -362,7 +472,11 @@ fn pump_loop(rx: Receiver<PumpMsg>, wtx: Sender<Json>, trees: Arc<Mutex<TreeCach
     // a disconnected client's pending work must not keep burning the
     // service ("client disconnect mid-request → ticket cancelled").
     for (id, outcome) in pump.poll_completed() {
+        let extra = sweep_frames(&mut sweeps, &members, id, &outcome);
         let _ = wtx.send(resolve_event(&trees, id, outcome));
+        for f in extra {
+            let _ = wtx.send(f);
+        }
     }
     for (_, PendingTicket(ticket)) in pump.drain_pending() {
         ticket.cancel();
@@ -401,6 +515,9 @@ struct ConnState {
     /// Completed results retained for `fetch_tree` (shared with the
     /// pump, which fills it).
     trees: Arc<Mutex<TreeCache>>,
+    /// Next sweep ordinal for `submit_sweep` replies; per-connection,
+    /// starting at 1 so `0` never aliases a real sweep in client code.
+    next_sweep: u64,
 }
 
 impl ConnState {
@@ -435,6 +552,7 @@ fn serve_connection(ctx: &ServerCtx, stream: TcpStream) {
         handles: HashMap::new(),
         client_id: None,
         trees,
+        next_sweep: 1,
     };
     let mut reader = BufReader::new(stream);
     loop {
@@ -512,8 +630,11 @@ fn handle_frame(
             priority,
             deadline_ms,
             client_id,
+            publish_levels,
         } => {
-            let mut req = SynthesisRequest::new(instance).with_priority(priority);
+            let mut req = SynthesisRequest::new(instance)
+                .with_priority(priority)
+                .with_publish_levels(publish_levels);
             if let Some(ms) = deadline_ms {
                 req = req.with_deadline(Duration::from_millis(ms));
             }
@@ -550,8 +671,9 @@ fn handle_frame(
             let requests: Vec<SynthesisRequest> = entries
                 .into_iter()
                 .map(|entry| {
-                    let mut req =
-                        SynthesisRequest::new(entry.instance).with_priority(entry.priority);
+                    let mut req = SynthesisRequest::new(entry.instance)
+                        .with_priority(entry.priority)
+                        .with_publish_levels(entry.publish_levels);
                     if let Some(ms) = entry.deadline_ms {
                         req = req.with_deadline(Duration::from_millis(ms));
                     }
@@ -590,7 +712,75 @@ fn handle_frame(
                 }
             }
         }
-        Request::FetchTree { id, chunk } => {
+        Request::SubmitSweep {
+            instance,
+            base,
+            range,
+            priority,
+            deadline_ms,
+            client_id,
+            publish_levels,
+        } => {
+            // The base patch applies over the server defaults exactly as
+            // a `submit` patch would, and each point perturbs that base
+            // through the same conversions — the invariant that a swept
+            // point's tree is byte-identical to the same options
+            // submitted individually.
+            let base_options = base.apply(ctx.service.options());
+            let spec = match range {
+                SweepRange::Axes(axes) => SweepSpec::cartesian(base_options, axes.to_axes()),
+                SweepRange::Points(points) => {
+                    SweepSpec::explicit(base_options, points.iter().map(|p| p.to_point()).collect())
+                }
+            };
+            let mut template = SynthesisRequest::new(instance)
+                .with_priority(priority)
+                .with_publish_levels(publish_levels);
+            if let Some(ms) = deadline_ms {
+                template = template.with_deadline(Duration::from_millis(ms));
+            }
+            if let Some(c) = client_id.or_else(|| state.client_id.clone()) {
+                template = template.with_client_id(c);
+            }
+            // Blocking, atomic admission (the sweep rides submit_batch
+            // underneath): a full queue back-pressures this reader.
+            match ctx.service.submit_sweep(template, &spec) {
+                Ok(sweep_ticket) => {
+                    let sweep = state.next_sweep;
+                    state.next_sweep += 1;
+                    let tickets = sweep_ticket.into_tickets();
+                    let ids: Vec<u64> = tickets.iter().map(|t| t.id().0).collect();
+                    let mut points = Vec::with_capacity(tickets.len());
+                    for (ordinal, ticket) in tickets.into_iter().enumerate() {
+                        let id = ticket.id().0;
+                        state.remember(id, ticket.handle());
+                        points.push((ordinal as u64, id, ticket));
+                    }
+                    let _ = ptx.send(PumpMsg::TrackSweep { sweep, points });
+                    Response::SweepSubmitted { sweep, ids }
+                }
+                Err(e @ SweepSubmitError::Spec(_)) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                },
+                Err(e @ SweepSubmitError::Batch(BatchSubmitError::TooLarge(_))) => {
+                    Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    }
+                }
+                Err(SweepSubmitError::Batch(BatchSubmitError::ShuttingDown(_))) => {
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "service is draining; no new work admitted".into(),
+                    }
+                }
+                Err(e @ SweepSubmitError::Batch(BatchSubmitError::WouldBlock(_))) => {
+                    unreachable!("blocking sweep submit cannot report back-pressure: {e}")
+                }
+            }
+        }
+        Request::FetchTree { id, chunk, levels } => {
             // Snapshot the tree under the cache lock (held only for the
             // clone, so the pump — which inserts completions under the
             // same lock — is never stalled behind a large serialization),
@@ -608,31 +798,42 @@ fn handle_frame(
                     )
                 })
             };
+            // Clamp: decode already rejects 0, and anything above
+            // MAX_TREE_CHUNK could serialize past the reader-side
+            // 8 MiB frame cap — a fatal transport error for the
+            // requesting client, which a size request must never
+            // cause.
+            let chunk_size = chunk
+                .map_or(DEFAULT_TREE_CHUNK, |c| c as usize)
+                .min(MAX_TREE_CHUNK);
             match snapshot {
                 Some((name, tree, source, level_stats)) => {
-                    // Clamp: decode already rejects 0, and anything above
-                    // MAX_TREE_CHUNK could serialize past the reader-side
-                    // 8 MiB frame cap — a fatal transport error for the
-                    // requesting client, which a size request must never
-                    // cause.
-                    let chunk_size = chunk
-                        .map_or(DEFAULT_TREE_CHUNK, |c| c as usize)
-                        .min(MAX_TREE_CHUNK);
                     let nodes = tree.nodes();
-                    let header = Response::TreeHeader(TreeInfo {
+                    // Level mode aligns chunk boundaries with the
+                    // completed-level watermarks recorded per level, so a
+                    // consumer can hand each level off (e.g. to a
+                    // verifier) as its last chunk arrives.
+                    let runs = if levels {
+                        let watermarks: Vec<usize> =
+                            level_stats.iter().map(|s| s.nodes_total).collect();
+                        level_chunk_runs(nodes.len(), &watermarks, chunk_size)
+                    } else {
+                        level_chunk_runs(nodes.len(), &[], chunk_size)
+                    };
+                    let header = Response::TreeHeader(TreeInfo::complete(
                         id,
                         name,
-                        nodes: nodes.len() as u64,
-                        chunks: nodes.len().div_ceil(chunk_size) as u64,
-                        source: source.index() as u64,
-                    });
+                        nodes.len() as u64,
+                        runs.len() as u64,
+                        source.index() as u64,
+                    ));
                     let send = |frame: Json| wtx.send(frame).is_ok();
                     if send(encode_response(Some(seq), &header)) {
-                        for (k, run) in nodes.chunks(chunk_size).enumerate() {
+                        for (k, &(start, end)) in runs.iter().enumerate() {
                             if !send(encode_tree_chunk(&TreeChunkEvent {
                                 id,
                                 chunk: k as u64,
-                                nodes: run.to_vec(),
+                                nodes: nodes[start..end].to_vec(),
                             })) {
                                 break;
                             }
@@ -641,6 +842,53 @@ fn handle_frame(
                     }
                     return false;
                 }
+                // Level mode on a request still in flight streams the
+                // latest level-complete snapshot as a *partial* header —
+                // a watcher polls this while the tree grows. A request
+                // that published nothing yet (or does not publish)
+                // streams an empty partial, never an error.
+                None if levels => match state.handles.get(&id) {
+                    Some(handle) if handle.status() != cts_core::RequestStatus::Done => {
+                        let snap = handle.level_snapshot();
+                        let (nodes, levels_done) = match &snap {
+                            Some(s) => (s.nodes.as_slice(), s.levels_done as u64),
+                            None => (&[][..], 0),
+                        };
+                        let runs = level_chunk_runs(nodes.len(), &[], chunk_size);
+                        let header = Response::TreeHeader(TreeInfo {
+                            id,
+                            name: String::new(),
+                            nodes: nodes.len() as u64,
+                            chunks: runs.len() as u64,
+                            source: 0,
+                            partial: true,
+                            levels_done,
+                        });
+                        let send = |frame: Json| wtx.send(frame).is_ok();
+                        if send(encode_response(Some(seq), &header)) {
+                            for (k, &(start, end)) in runs.iter().enumerate() {
+                                if !send(encode_tree_chunk(&TreeChunkEvent {
+                                    id,
+                                    chunk: k as u64,
+                                    nodes: nodes[start..end].to_vec(),
+                                })) {
+                                    break;
+                                }
+                            }
+                            let _ = send(encode_tree_done(&TreeDoneEvent {
+                                id,
+                                level_stats: Vec::new(),
+                            }));
+                        }
+                        return false;
+                    }
+                    _ => Response::Error {
+                        code: ErrorCode::UnknownId,
+                        message: format!(
+                            "no completed result retained for request {id} on this connection"
+                        ),
+                    },
+                },
                 None => Response::Error {
                     code: ErrorCode::UnknownId,
                     message: format!(
@@ -709,6 +957,33 @@ fn handle_frame(
     };
     let _ = wtx.send(encode_response(Some(seq), &reply));
     false
+}
+
+/// Splits `total` nodes into `(start, end)` chunk runs. `watermarks` are
+/// hard boundaries no run may straddle (the per-level arena lengths in
+/// level mode; empty for plain node mode); runs longer than `cap` are
+/// sub-split. With no watermarks this degenerates to the classic uniform
+/// `total.div_ceil(cap)` split, so node-mode streams are byte-identical
+/// to the pre-level-mode wire format.
+fn level_chunk_runs(total: usize, watermarks: &[usize], cap: usize) -> Vec<(usize, usize)> {
+    let mut cuts: Vec<usize> = watermarks
+        .iter()
+        .copied()
+        .filter(|&w| w > 0 && w < total)
+        .collect();
+    cuts.push(total);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for cut in cuts {
+        while start < cut {
+            let end = (start + cap).min(cut);
+            runs.push((start, end));
+            start = end;
+        }
+    }
+    runs
 }
 
 fn unknown_id(id: u64) -> Response {

@@ -12,8 +12,8 @@ use cts_geom::Point;
 use cts_net::frame::{read_frame, write_frame};
 use cts_net::proto::{encode_response, encode_tree_chunk, Response, TreeChunkEvent, TreeInfo};
 use cts_net::{
-    BatchEntry, Client, ErrorCode, Json, NetError, OptionsPatch, Outcome, Server, ServerHandle,
-    SubmitParams,
+    ChunkMode, Client, ErrorCode, Json, NetError, Outcome, Server, ServerHandle, SubmitParams,
+    SubmitSpec,
 };
 use cts_spice::Technology;
 use cts_timing::fast_library;
@@ -41,8 +41,7 @@ impl TestServer {
     /// [`TestServer::start`] with an explicit queue capacity, for batch
     /// all-or-nothing scenarios.
     fn start_with(paused: bool, capacity: usize) -> TestServer {
-        let mut cts = CtsOptions::default();
-        cts.threads = 1;
+        let cts = CtsOptions::builder().threads(1).build().unwrap();
         let mut svc = ServiceOptions::default();
         svc.workers = 1;
         svc.verify = false;
@@ -101,7 +100,7 @@ fn happy_path_submit_wait_status_metrics() {
     assert_eq!(client.server().workers, 1);
 
     let id = client
-        .submit(&tiny("happy", 4), &SubmitParams::default())
+        .submit_spec(SubmitSpec::new(tiny("happy", 4)))
         .unwrap();
     match client.wait_result(id).unwrap() {
         Outcome::Completed(result) => {
@@ -180,6 +179,103 @@ fn malformed_frame_gets_error_reply_without_killing_the_connection() {
 }
 
 #[test]
+fn unknown_option_keys_are_bad_request_naming_the_key_at_every_op() {
+    // Every options-bearing op must reject a patch with an unknown key
+    // as a structured bad_request whose message names the offending key
+    // — a typo fails loudly instead of silently synthesizing defaults.
+    let ts = TestServer::start(true);
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let instance = cts_net::proto::instance_to_json(&tiny("typo", 4));
+    let bad_patch = || Json::obj(vec![("slew_limit", Json::num(100.0))]);
+    let frames: Vec<(Json, &str)> = vec![
+        (
+            Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("seq", Json::num(1.0)),
+                ("instance", instance.clone()),
+                ("options", bad_patch()),
+            ]),
+            "slew_limit",
+        ),
+        (
+            Json::obj(vec![
+                ("op", Json::str("submit_batch")),
+                ("seq", Json::num(2.0)),
+                (
+                    "entries",
+                    Json::arr(vec![Json::obj(vec![("instance", instance.clone())])]),
+                ),
+                ("options", bad_patch()),
+            ]),
+            "slew_limit",
+        ),
+        (
+            Json::obj(vec![
+                ("op", Json::str("submit_sweep")),
+                ("seq", Json::num(3.0)),
+                ("instance", instance.clone()),
+                ("base", bad_patch()),
+                (
+                    "axes",
+                    Json::obj(vec![("slew_target_ps", Json::arr(vec![Json::num(80.0)]))]),
+                ),
+            ]),
+            "slew_limit",
+        ),
+        (
+            Json::obj(vec![
+                ("op", Json::str("submit_sweep")),
+                ("seq", Json::num(4.0)),
+                ("instance", instance.clone()),
+                (
+                    "axes",
+                    Json::obj(vec![("grid_resolutions", Json::arr(vec![Json::num(8.0)]))]),
+                ),
+            ]),
+            "grid_resolutions",
+        ),
+        (
+            Json::obj(vec![
+                ("op", Json::str("submit_sweep")),
+                ("seq", Json::num(5.0)),
+                ("instance", instance.clone()),
+                (
+                    "points",
+                    Json::arr(vec![Json::obj(vec![("cost_alpha", Json::num(0.5))])]),
+                ),
+            ]),
+            "cost_alpha",
+        ),
+    ];
+    for (seq, (frame, key)) in frames.into_iter().enumerate() {
+        write_frame(&mut writer, &frame).unwrap();
+        writer.flush().unwrap();
+        let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            reply.get("seq").and_then(Json::as_u64),
+            Some(seq as u64 + 1)
+        );
+        let error = reply.get("error").unwrap();
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("bad_request")
+        );
+        let message = error.get("message").and_then(Json::as_str).unwrap();
+        assert!(
+            message.contains(key),
+            "reply {seq} must name the offending key '{key}': {message}"
+        );
+    }
+    // Nothing was admitted by any of the rejected frames.
+    assert_eq!(ts.service.metrics().submitted, 0);
+    ts.stop();
+}
+
+#[test]
 fn hello_with_wrong_version_is_rejected() {
     let ts = TestServer::start(false);
     let stream = TcpStream::connect(ts.addr).unwrap();
@@ -228,9 +324,7 @@ fn cancel_over_the_wire_resolves_cancelled() {
     // so the outcome is deterministic.
     let ts = TestServer::start(true);
     let mut client = Client::connect(ts.addr).unwrap();
-    let id = client
-        .submit(&tiny("cut", 4), &SubmitParams::default())
-        .unwrap();
+    let id = client.submit_spec(SubmitSpec::new(tiny("cut", 4))).unwrap();
     assert_eq!(client.status(id).unwrap(), RequestStatus::Queued);
     client.cancel(id).unwrap();
     assert!(matches!(
@@ -251,7 +345,7 @@ fn client_disconnect_mid_request_cancels_the_ticket() {
     {
         let mut client = Client::connect(ts.addr).unwrap();
         let _id = client
-            .submit(&tiny("orphan", 4), &SubmitParams::default())
+            .submit_spec(SubmitSpec::new(tiny("orphan", 4)))
             .unwrap();
         assert_eq!(ts.service.metrics().submitted, 1);
         // Drop the connection with the request still queued.
@@ -274,11 +368,9 @@ fn deadline_expired_queued_request_never_dispatches() {
     // the request must resolve `expired` without ever synthesizing.
     let ts = TestServer::start(true);
     let mut client = Client::connect(ts.addr).unwrap();
-    let params = SubmitParams {
-        deadline_ms: Some(1),
-        ..SubmitParams::default()
-    };
-    let id = client.submit(&tiny("doomed", 4), &params).unwrap();
+    let id = client
+        .submit_spec(SubmitSpec::new(tiny("doomed", 4)).with_deadline_ms(1))
+        .unwrap();
     assert!(matches!(client.wait_result(id).unwrap(), Outcome::Expired));
     let m = client.metrics().unwrap();
     assert_eq!(m.metrics.expired, 1);
@@ -295,12 +387,10 @@ fn deadline_expired_queued_request_never_dispatches() {
 fn submit_batch_admits_all_entries_and_streams_each_result() {
     let ts = TestServer::start(false);
     let mut client = Client::connect_as(ts.addr, Some("batcher")).unwrap();
-    let entries: Vec<BatchEntry> = (0..3)
-        .map(|k| BatchEntry::new(tiny(&format!("batch{k}"), 4 + k)))
+    let specs: Vec<SubmitSpec> = (0..3)
+        .map(|k| SubmitSpec::new(tiny(&format!("batch{k}"), 4 + k)))
         .collect();
-    let ids = client
-        .submit_batch(entries, &OptionsPatch::default())
-        .unwrap();
+    let ids = client.submit_specs(specs).unwrap();
     assert_eq!(ids.len(), 3);
     assert!(
         ids.windows(2).all(|w| w[1] == w[0] + 1),
@@ -328,10 +418,10 @@ fn oversized_batch_is_rejected_whole() {
     // Capacity 2: a 3-entry batch can never be admitted atomically.
     let ts = TestServer::start_with(true, 2);
     let mut client = Client::connect(ts.addr).unwrap();
-    let entries: Vec<BatchEntry> = (0..3)
-        .map(|k| BatchEntry::new(tiny(&format!("big{k}"), 4)))
+    let specs: Vec<SubmitSpec> = (0..3)
+        .map(|k| SubmitSpec::new(tiny(&format!("big{k}"), 4)))
         .collect();
-    match client.submit_batch(entries, &OptionsPatch::default()) {
+    match client.submit_specs(specs) {
         Err(NetError::Remote { code, message }) => {
             assert_eq!(code, ErrorCode::BadRequest);
             assert!(message.contains("batch of 3"), "{message}");
@@ -343,10 +433,7 @@ fn oversized_batch_is_rejected_whole() {
     assert_eq!(ts.service.pending(), 0);
     // A batch that fits still goes through on the same connection.
     let ids = client
-        .submit_batch(
-            vec![BatchEntry::new(tiny("fits", 4))],
-            &OptionsPatch::default(),
-        )
+        .submit_specs(vec![SubmitSpec::new(tiny("fits", 4))])
         .unwrap();
     assert_eq!(ids.len(), 1);
     ts.stop();
@@ -361,12 +448,10 @@ fn result_events_racing_the_next_reply_are_stashed_by_id() {
     // flight). The client must stash by id unconditionally.
     let ts = TestServer::start(false);
     let mut client = Client::connect(ts.addr).unwrap();
-    let entries: Vec<BatchEntry> = (0..3)
-        .map(|k| BatchEntry::new(tiny(&format!("race{k}"), 4)))
+    let specs: Vec<SubmitSpec> = (0..3)
+        .map(|k| SubmitSpec::new(tiny(&format!("race{k}"), 4)))
         .collect();
-    let ids = client
-        .submit_batch(entries, &OptionsPatch::default())
-        .unwrap();
+    let ids = client.submit_specs(specs).unwrap();
     // Let every result event reach the socket before the client reads
     // another frame.
     let done = wait_with_deadline(Duration::from_secs(60), Duration::from_millis(5), || {
@@ -390,17 +475,16 @@ fn fetch_tree_roundtrips_the_routed_geometry_bit_for_bit() {
     let ts = TestServer::start(false);
     let mut client = Client::connect(ts.addr).unwrap();
     let inst = tiny("geom", 7);
-    let id = client.submit(&inst, &SubmitParams::default()).unwrap();
+    let id = client.submit_spec(SubmitSpec::new(inst.clone())).unwrap();
     assert!(matches!(
         client.wait_result(id).unwrap(),
         Outcome::Completed(_)
     ));
 
-    let remote = client.fetch_tree(id).unwrap();
+    let remote = client.fetch_tree(id, ChunkMode::Default).unwrap();
     // The reference: the same instance through the same code path the
     // server ran (identical options), entirely in process.
-    let mut options = CtsOptions::default();
-    options.threads = 1;
+    let options = CtsOptions::builder().threads(1).build().unwrap();
     let reference = Synthesizer::new(fast_library(), options)
         .synthesize(&inst)
         .unwrap();
@@ -414,15 +498,20 @@ fn fetch_tree_roundtrips_the_routed_geometry_bit_for_bit() {
 
     // A forced tiny chunk size exercises the multi-chunk path and must
     // rebuild the identical tree.
-    let chunked = client.fetch_tree_chunked(id, Some(3)).unwrap();
+    let chunked = client.fetch_tree(id, ChunkMode::Nodes(3)).unwrap();
     assert_eq!(chunked, remote);
 
     // An absurd chunk request is clamped server-side (a frame larger
     // than the 8 MiB cap would be a fatal transport error for *us*) —
     // the stream still arrives and rebuilds identically. (Exactly
     // representable as a JSON number, unlike u64::MAX.)
-    let clamped = client.fetch_tree_chunked(id, Some(1_000_000)).unwrap();
+    let clamped = client.fetch_tree(id, ChunkMode::Nodes(1_000_000)).unwrap();
     assert_eq!(clamped, remote);
+
+    // Level-aligned streaming of a *completed* tree rebuilds the very
+    // same geometry — chunk boundaries are presentation, not data.
+    let levels = client.fetch_tree(id, ChunkMode::Levels).unwrap();
+    assert_eq!(levels, remote);
     ts.stop();
 }
 
@@ -431,18 +520,25 @@ fn fetch_tree_of_unresolved_or_unknown_ids_is_unknown_id() {
     let ts = TestServer::start(true);
     let mut client = Client::connect(ts.addr).unwrap();
     // Never submitted.
-    match client.fetch_tree(777) {
+    match client.fetch_tree(777, ChunkMode::Default) {
         Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
         other => panic!("expected unknown_id, got {other:?}"),
     }
     // Submitted but still queued (paused server): no tree to stream yet.
     let id = client
-        .submit(&tiny("pending", 4), &SubmitParams::default())
+        .submit_spec(SubmitSpec::new(tiny("pending", 4)))
         .unwrap();
-    match client.fetch_tree(id) {
+    match client.fetch_tree(id, ChunkMode::Default) {
         Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
         other => panic!("expected unknown_id, got {other:?}"),
     }
+    // In *levels* mode the same queued request is not an error: the
+    // partial stream is simply empty (nothing published yet).
+    let progress = client.fetch_tree_progress(id).unwrap();
+    assert!(progress.partial);
+    assert_eq!(progress.levels_done, 0);
+    assert!(progress.nodes.is_empty());
+    assert!(progress.source.is_none());
     ts.stop();
 }
 
@@ -508,13 +604,7 @@ fn truncated_tree_stream_is_a_transport_error_not_a_partial_tree() {
         let seq = fetch.get("seq").and_then(Json::as_u64);
         let header = encode_response(
             seq,
-            &Response::TreeHeader(TreeInfo {
-                id: 0,
-                name: "cut".into(),
-                nodes: 4,
-                chunks: 2,
-                source: 3,
-            }),
+            &Response::TreeHeader(TreeInfo::complete(0, "cut".into(), 4, 2, 3)),
         );
         write_frame(&mut writer, &header).unwrap();
         let joint = |x: f64| TreeNode {
@@ -534,7 +624,7 @@ fn truncated_tree_stream_is_a_transport_error_not_a_partial_tree() {
         // Drop both halves: the stream ends mid-geometry.
     });
     let mut client = Client::connect(addr).unwrap();
-    match client.fetch_tree(0) {
+    match client.fetch_tree(0, ChunkMode::Default) {
         Err(NetError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
         other => panic!("expected a transport error, got {other:?}"),
     }
@@ -542,6 +632,9 @@ fn truncated_tree_stream_is_a_transport_error_not_a_partial_tree() {
 }
 
 #[test]
+// Deliberately exercises the deprecated `submit` wrapper: the thin shims
+// must keep producing byte-identical frames until they are removed.
+#[allow(deprecated)]
 fn shutdown_op_drains_and_stops_the_server() {
     let ts = TestServer::start(false);
     let mut client = Client::connect(ts.addr).unwrap();

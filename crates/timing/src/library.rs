@@ -342,6 +342,44 @@ impl DelaySlewLibrary {
         Some(lo)
     }
 
+    /// A restricted library holding only the first `k` buffer types.
+    ///
+    /// Buffer ids `0..k` keep their meaning (the truncation preserves
+    /// ordering), so trees synthesized against a subset evaluate
+    /// identically under the full library. Single-wire fits are
+    /// re-indexed to the `k × k` grid and branch fits are filtered to
+    /// canonical triples whose indices all fall below `k`; both are
+    /// bit-copies of the originals, so timing queries that stay within
+    /// the subset return byte-identical results.
+    ///
+    /// Returns `None` when `k` is zero or exceeds the buffer count —
+    /// callers surface that as an options error rather than a panic.
+    pub fn subset(&self, k: usize) -> Option<DelaySlewLibrary> {
+        let nb = self.buffers.len();
+        if k == 0 || k > nb {
+            return None;
+        }
+        if k == nb {
+            return Some(self.clone());
+        }
+        let buffers = self.buffers[..k].to_vec();
+        let mut single = Vec::with_capacity(k * k);
+        for drive in 0..k {
+            for load in 0..k {
+                single.push(self.single[drive * nb + load].clone());
+            }
+        }
+        let branch = self
+            .branch
+            .iter()
+            .filter(|((d, ll, lr), _)| *d < k && *ll < k && *lr < k)
+            .cloned()
+            .collect();
+        Some(DelaySlewLibrary::from_parts(
+            self.vdd, self.wire, buffers, single, branch,
+        ))
+    }
+
     // -- accessors for serialization ---------------------------------------
 
     pub(crate) fn single_slice(&self) -> &[SingleWireFns] {
@@ -513,6 +551,35 @@ mod tests {
         let inside = lib.single_wire(BufferId(0), Load::Buffer(BufferId(0)), 120e-12, 2100.0);
         let outside = lib.single_wire(BufferId(0), Load::Buffer(BufferId(0)), 10.0, 1e9);
         assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn subset_preserves_ids_and_fits() {
+        let lib = synthetic_library();
+        let sub = lib.subset(1).expect("1 <= k <= nb");
+        assert_eq!(sub.buffers().len(), 1);
+        assert_eq!(sub.buffers()[0], lib.buffers()[0]);
+        // Queries within the subset are bit-identical to the full library.
+        let full = lib.single_wire(BufferId(0), Load::Buffer(BufferId(0)), 40e-12, 700.0);
+        let cut = sub.single_wire(BufferId(0), Load::Buffer(BufferId(0)), 40e-12, 700.0);
+        assert_eq!(full, cut);
+        let fullb = lib.branch(
+            BufferId(0),
+            (Load::Buffer(BufferId(0)), Load::Buffer(BufferId(0))),
+            40e-12,
+            (700.0, 900.0),
+        );
+        let cutb = sub.branch(
+            BufferId(0),
+            (Load::Buffer(BufferId(0)), Load::Buffer(BufferId(0))),
+            40e-12,
+            (700.0, 900.0),
+        );
+        assert_eq!(fullb, cutb);
+        // Full-width subset is the identity; out-of-range is refused.
+        assert_eq!(lib.subset(2).unwrap(), lib);
+        assert!(lib.subset(0).is_none());
+        assert!(lib.subset(3).is_none());
     }
 
     #[test]

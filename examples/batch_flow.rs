@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Shard across every core, verification overlapped (the defaults).
-    let mut options = CtsOptions::default();
-    options.threads = 1; // the batch shards are the parallel axis
+    // The batch shards are the parallel axis, so synthesis stays serial.
+    let options = CtsOptions::builder().threads(1).build()?;
     let runner = BatchRunner::new(&library, &tech, options.clone(), BatchOptions::default());
     let t0 = std::time::Instant::now();
     let out = runner.run(&suite)?;

@@ -60,10 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // parallelize on the shard axis (per-instance merge parallelism on top
     // would oversubscribe the cores); a lone instance keeps the per-level
     // parallel merges instead.
-    let mut options = CtsOptions::default();
-    if suite.len() > 1 {
-        options.threads = 1;
-    }
+    let threads = if suite.len() > 1 { 1 } else { 0 };
+    let options = CtsOptions::builder().threads(threads).build()?;
     let runner = BatchRunner::new(&library, &tech, options, BatchOptions::default());
     let t0 = std::time::Instant::now();
     let out = runner.run(&suite)?;

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HCorrection::ReEstimate,
         HCorrection::Correct,
     ] {
-        let mut options = CtsOptions::default();
-        options.h_correction = mode;
+        let options = CtsOptions::builder().h_correction(mode).build()?;
         let synth = Synthesizer::new(&library, options);
         let result = synth.synthesize(&instance)?;
         let verified = cts::verify_tree(

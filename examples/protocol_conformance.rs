@@ -187,8 +187,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &tech,
         &cts::timing::CharacterizeConfig::fast(),
     )?;
-    let mut options = CtsOptions::default();
-    options.threads = 1;
+    let options = CtsOptions::builder()
+        .threads(1)
+        .build()
+        .expect("valid options");
     let mut svc = ServiceOptions::default();
     svc.workers = 1;
     svc.queue_capacity = 4;

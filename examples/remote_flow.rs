@@ -22,7 +22,7 @@
 //! ```
 
 use cts::benchmarks::generate_custom;
-use cts::net::{BatchEntry, Client, OptionsPatch, Outcome, RemoteResult, Server, SubmitParams};
+use cts::net::{ChunkMode, Client, Outcome, RemoteResult, Server, SubmitSpec};
 use cts::spice::units::{NS, PS};
 use cts::{
     verify_tree, CtsOptions, ServiceOptions, SynthesisService, Synthesizer, Technology,
@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &cts::timing::CharacterizeConfig::fast(),
     )?;
 
-    let mut options = CtsOptions::default();
-    options.threads = 1; // service workers are the parallel axis
+    // Service workers are the parallel axis, so synthesis stays serial.
+    let options = CtsOptions::builder().threads(1).build()?;
     let mut svc_options = ServiceOptions::default();
     svc_options.workers = 0; // every core
     let service = Arc::new(SynthesisService::new(
@@ -85,12 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // exercising the stash path for out-of-order completions.
                 let ids: Vec<u64> = (0..per_client)
                     .map(|k| {
-                        let params = SubmitParams {
-                            priority: client_idx as i32,
-                            ..SubmitParams::default()
-                        };
                         client
-                            .submit(&instance_for(client_idx, k), &params)
+                            .submit_spec(
+                                SubmitSpec::new(instance_for(client_idx, k))
+                                    .with_priority(client_idx as i32),
+                            )
                             .expect("submit")
                     })
                     .collect();
@@ -187,12 +186,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let mut batcher = Client::connect_as(addr, Some("batcher"))?;
     let mut serial_submitter = Client::connect_as(addr, Some("serial"))?;
-    let batch_ids = batcher.submit_batch(
+    // Uniform specs: submit_specs folds them into one atomic
+    // `submit_batch` frame.
+    let batch_ids = batcher.submit_specs(
         batch_instances
             .iter()
-            .map(|i| BatchEntry::new(i.clone()))
+            .map(|i| SubmitSpec::new(i.clone()))
             .collect(),
-        &OptionsPatch::default(),
     )?;
     assert_eq!(batch_ids.len(), batch_n);
     assert!(
@@ -201,7 +201,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let serial_ids: Vec<u64> = batch_instances
         .iter()
-        .map(|i| serial_submitter.submit(i, &SubmitParams::default()))
+        .map(|i| serial_submitter.submit_spec(SubmitSpec::new(i.clone())))
         .collect::<Result<_, _>>()?;
 
     let completed = |outcome: Outcome, what: &str| -> RemoteResult {
@@ -234,7 +234,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // fetch_tree of every batch result: the streamed geometry must
     // rebuild the exact in-process tree — node for node, bit for bit.
     for (k, &bid) in batch_ids.iter().enumerate() {
-        let remote = batcher.fetch_tree(bid)?;
+        let remote = batcher.fetch_tree(bid, ChunkMode::Default)?;
         let reference = serial.synthesize(&batch_instances[k])?;
         assert_eq!(remote.name, format!("bat{k}"));
         assert_eq!(

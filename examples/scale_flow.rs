@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed().as_secs_f64()
     );
 
-    let mut options = CtsOptions::default();
-    options.threads = 1;
+    let options = CtsOptions::builder().threads(1).build()?;
     let synth = Synthesizer::new(fast_library(), options);
     let t1 = Instant::now();
     let result = synth.synthesize_unverified(&instance)?;

@@ -32,11 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &cts::timing::CharacterizeConfig::fast(),
     )?;
 
-    let mut options = CtsOptions::default();
-    options.threads = 1; // service workers are the parallel axis
-                         // A deliberately tight queue so the run exercises back-pressure: when
-                         // the worker set falls behind, try_submit reports WouldBlock and the
-                         // client falls back to the blocking path.
+    // Service workers are the parallel axis, so synthesis stays serial.
+    // A deliberately tight queue so the run exercises back-pressure: when
+    // the worker set falls behind, try_submit reports WouldBlock and the
+    // client falls back to the blocking path.
+    let options = CtsOptions::builder().threads(1).build()?;
     let mut svc_options = ServiceOptions::default();
     svc_options.workers = 0; // every core
     svc_options.queue_capacity = 2;

@@ -37,8 +37,10 @@ fn run_batch(
     tech: &Technology,
     suite: &[Instance],
 ) -> Result<BatchOutput, cts::CtsError> {
-    let mut options = CtsOptions::default();
-    options.threads = 2;
+    let options = CtsOptions::builder()
+        .threads(2)
+        .build()
+        .expect("valid options");
     let mut batch = BatchOptions::default();
     batch.shards = 2;
     BatchRunner::new(lib, tech, options, batch).run(suite)
@@ -107,8 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Act 3: the stats op round-trips histograms exactly. Serve the
     // still-installed recorder's process over TCP and compare the
     // client's decoded view against the service's own histograms.
-    let mut options = CtsOptions::default();
-    options.threads = 1;
+    let options = CtsOptions::builder().threads(1).build()?;
     let mut svc_options = ServiceOptions::default();
     svc_options.workers = 2;
     let service = Arc::new(SynthesisService::new(

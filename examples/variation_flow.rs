@@ -17,8 +17,9 @@
 use cts::benchmarks::generate_custom;
 use cts::spice::units::PS;
 use cts::{
-    library_fingerprint, CornerLibraryCache, CtsOptions, Instance, ServiceOptions,
-    SynthesisRequest, SynthesisService, Synthesizer, Technology, VariationMode, VariationSummary,
+    library_fingerprint, CornerLibraryCache, CtsOptions, CtsOptionsBuilder, Instance,
+    ServiceOptions, SynthesisRequest, SynthesisService, Synthesizer, Technology, Variation,
+    VariationMode, VariationSummary,
 };
 use std::sync::Arc;
 
@@ -34,11 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &cts::timing::CharacterizeConfig::fast(),
     )?;
 
-    let mut options = CtsOptions::default();
-    options.threads = 1; // service workers are the parallel axis
-    options.variation.corners = corners;
-    options.variation.seed = 2010;
-    // Defaults: 5 % sigma on buffer delay, wire delay, and slew.
+    // Service workers are the parallel axis, so synthesis stays serial.
+    // Variation defaults: 5 % sigma on buffer delay, wire delay, and slew.
+    let options = CtsOptions::builder()
+        .threads(1)
+        .variation(Variation {
+            corners,
+            seed: 2010,
+            ..Variation::default()
+        })
+        .build()?;
 
     let suite: Vec<Instance> = (0..instances)
         .map(|i| generate_custom(&format!("v{i}"), 6 + i % 4, 2000.0, 0xC75 + i as u64))
@@ -133,9 +139,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Resynthesize mode: the perturbed library changes insertion decisions,
     // not just the measured numbers. A small corner budget — each corner is
     // a full synthesis pass.
-    let mut rs_options = options.clone();
-    rs_options.variation.corners = corners.min(8);
-    rs_options.variation.mode = VariationMode::Resynthesize;
+    let rs_options = CtsOptionsBuilder::from(options.clone())
+        .variation(Variation {
+            corners: corners.min(8),
+            mode: VariationMode::Resynthesize,
+            ..options.variation
+        })
+        .build()?;
     let rs_synth = Synthesizer::new(&library, rs_options.clone());
     let rs_nominal = rs_synth.synthesize(&suite[0])?;
     let rs_serial = rs_synth
